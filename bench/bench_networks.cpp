@@ -1,0 +1,62 @@
+// Beyond the paper: the VGG family and ternary-weight models.
+//
+// The paper evaluates VGG-16 only and names "binarized, ternary and
+// recurrent networks" as future work.  This bench runs the stride-1 3x3 VGG
+// family (11/13/16/19) and the implemented ternary extension through the
+// validated performance model on the 256-opt and 512-opt variants —
+// demonstrating the claim that new workloads need only software changes.
+#include <cstdio>
+
+#include "driver/study.hpp"
+
+using namespace tsca;
+
+namespace {
+
+void row(const core::ArchConfig& cfg, const driver::StudyOptions& opts) {
+  const driver::StudyNetwork net = driver::build_study_network(opts);
+  const driver::VariantResult r = driver::evaluate_variant(cfg, net);
+  double weight_mib = 0.0;
+  for (const driver::StudyLayer& layer : net.layers)
+    weight_mib += static_cast<double>(layer.packed.total_nonzeros()) *
+                  (opts.ternary ? 1.0 : 2.0) / (1024.0 * 1024.0);
+  std::printf("%-16s %5.1f G %8.1f %8.1f %8.1f %7.0f%% %9.1f\n",
+              net.model_name.c_str(),
+              static_cast<double>(r.total_macs) * 1e-9, r.network_gops,
+              r.best_gops,
+              static_cast<double>(r.total_cycles + r.pad_pool_cycles) /
+                  (cfg.clock_mhz * 1e3),
+              100.0 * r.mean_efficiency, weight_mib);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Network sweep on 256-opt (perf model, 224x224 inputs)\n\n");
+  std::printf("%-16s %7s %8s %8s %8s %8s %9s\n", "model", "MACs", "GOPS",
+              "peak", "ms/img", "eff", "wMiB");
+  const core::ArchConfig cfg = core::ArchConfig::k256_opt();
+  for (const nn::VggVariant variant :
+       {nn::VggVariant::kVgg11, nn::VggVariant::kVgg13,
+        nn::VggVariant::kVgg16, nn::VggVariant::kVgg19}) {
+    row(cfg, {.pruned = false, .variant = variant});
+  }
+  std::printf("\n");
+  for (const nn::VggVariant variant :
+       {nn::VggVariant::kVgg11, nn::VggVariant::kVgg13,
+        nn::VggVariant::kVgg16, nn::VggVariant::kVgg19}) {
+    row(cfg, {.pruned = true, .variant = variant});
+  }
+  std::printf("\nTernary-weight models (paper future work, 1-byte packed "
+              "stream):\n");
+  for (const nn::VggVariant variant :
+       {nn::VggVariant::kVgg11, nn::VggVariant::kVgg16}) {
+    row(cfg, {.ternary = true, .variant = variant});
+  }
+  std::printf("\n512-opt, VGG-16 family summary:\n");
+  const core::ArchConfig big = core::ArchConfig::k512_opt();
+  row(big, {.pruned = false});
+  row(big, {.pruned = true});
+  row(big, {.ternary = true});
+  return 0;
+}

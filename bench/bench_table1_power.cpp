@@ -1,0 +1,60 @@
+// Table I — power consumption and GOPS/W.
+//
+// Substitution (no board to instrument): the activity-based power model of
+// model/power.hpp, calibrated to the paper's 256-opt measurement, replaces
+// the power meter.  Peak power is measured "while running the accelerator on
+// the worst-case VGG-16 layer" (peak activity); GOPS/W uses the pruned
+// model's average effective GOPS, GOPS/W(peak) the best layer's.
+#include <cstdio>
+
+#include "driver/study.hpp"
+#include "model/power.hpp"
+
+using namespace tsca;
+
+int main() {
+  std::printf("Table I — power consumption (model)\n\n");
+  const model::FpgaDevice device = model::FpgaDevice::arria10_sx660();
+  const driver::StudyNetwork pruned =
+      driver::build_study_network({.pruned = true});
+
+  struct PaperRow {
+    const char* name;
+    double fpga_peak_mw;
+    double fpga_dynamic_mw;
+    double board_mw;
+    double gops_w;
+    double gops_w_peak;
+  };
+  const PaperRow paper[] = {
+      {"256-opt", 2300, 500, 9500, 13.4, 37.4},
+      {"512-opt", 3300, 800, 10800, 13.9, 41.8},
+  };
+
+  std::printf("%-22s %10s %10s %8s %12s\n", "accelerator variant",
+              "peak power", "(dynamic)", "GOPS/W", "GOPS/W(peak)");
+  int row = 0;
+  for (const core::ArchConfig& cfg :
+       {core::ArchConfig::k256_opt(), core::ArchConfig::k512_opt()}) {
+    const model::AreaReport area = model::estimate_area(cfg);
+    const model::PowerEstimate power = model::estimate_power(
+        cfg, area, model::Activity::peak(cfg), device);
+    const driver::VariantResult perf = driver::evaluate_variant(cfg, pruned);
+
+    std::printf("%-22s %7.0f mW %7.0f mW %8.1f %12.1f   (FPGA)\n",
+                cfg.name.c_str(), power.fpga_w() * 1e3, power.dynamic_w * 1e3,
+                perf.network_gops / power.fpga_w(),
+                perf.best_gops / power.fpga_w());
+    std::printf("%-22s %7.0f mW %10s %8.1f %12.1f   (Board)\n", "",
+                power.board_w * 1e3, "", perf.network_gops / power.board_w,
+                perf.best_gops / power.board_w);
+    std::printf("  paper: FPGA %4.0f mW (%3.0f dyn) %5.1f / %4.1f GOPS/W; "
+                "board %5.0f mW\n",
+                paper[row].fpga_peak_mw, paper[row].fpga_dynamic_mw,
+                paper[row].gops_w, paper[row].gops_w_peak,
+                paper[row].board_mw);
+    ++row;
+  }
+  std::printf("\n(dynamic power parenthesized, as in the paper)\n");
+  return 0;
+}

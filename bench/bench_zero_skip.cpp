@@ -1,0 +1,130 @@
+// Zero-skip ablations (paper §III-B.1, §V and the stated future work).
+//
+//   1. Sparsity sweep: uniform weight density 100 % → 5 %; the cycle-count
+//      reduction saturates at the 4-cycle IFM-load floor, i.e. at most
+//      (16-4)/16 = 75 % fewer cycles than dense — the paper's bound.
+//   2. Filter grouping: sorting filters by non-zero count before grouping
+//      (the paper's proposed future work) vs natural order — fewer bubbles.
+//   3. Empty-tile-group skipping (library extension, off in the paper):
+//      skipping (channel, weight-tile) pairs whose 4 filters are all zero
+//      also avoids the IFM loads, breaking the 75 % bound at high sparsity.
+#include <cstdio>
+
+#include "driver/perf_model.hpp"
+#include "driver/study.hpp"
+#include "pack/filter_group.hpp"
+#include "quant/quantize.hpp"
+#include "util/rng.hpp"
+
+using namespace tsca;
+
+namespace {
+
+nn::FilterBankI8 synthetic_filters(nn::FilterShape shape, double density,
+                                   Rng& rng) {
+  nn::FilterBankI8 bank(shape);
+  for (std::size_t i = 0; i < bank.size(); ++i)
+    if (rng.next_double() < density)
+      bank.data()[i] = static_cast<std::int8_t>(
+          rng.next_bool() ? rng.next_int(1, 30) : rng.next_int(-30, -1));
+  return bank;
+}
+
+}  // namespace
+
+int main() {
+  const nn::FmShape fm{128, 30, 30};  // conv3-sized test layer (padded)
+  const nn::FilterShape fs{128, 128, 3, 3};
+
+  std::printf("Zero-skip sparsity sweep (conv3-like layer, 256-opt)\n");
+  std::printf("%-9s %12s %10s %10s %12s\n", "density", "cycles", "speedup",
+              "eff", "skip-empty");
+  const core::ArchConfig cfg = core::ArchConfig::k256_opt();
+  core::ArchConfig cfg_skip = cfg;
+  cfg_skip.skip_empty_tile_groups = true;
+  const driver::PerfModel model(cfg);
+  const driver::PerfModel model_skip(cfg_skip);
+
+  std::int64_t dense_cycles = 0;
+  for (const double density :
+       {1.0, 0.8, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1, 0.05, 0.02}) {
+    Rng rng(0xACC ^ static_cast<std::uint64_t>(density * 1000));
+    const pack::PackedFilters packed =
+        pack::pack_filters(synthetic_filters(fs, density, rng));
+    const driver::ConvPerf perf = model.conv_layer(fm, packed);
+    const driver::ConvPerf perf_skip = model_skip.conv_layer(fm, packed);
+    if (density == 1.0) dense_cycles = perf.cycles;
+    std::printf("%8.0f%% %12lld %9.2fx %9.1f%% %11.2fx\n", density * 100,
+                static_cast<long long>(perf.cycles),
+                static_cast<double>(dense_cycles) /
+                    static_cast<double>(perf.cycles),
+                100.0 * perf.efficiency(),
+                static_cast<double>(dense_cycles) /
+                    static_cast<double>(perf_skip.cycles));
+  }
+  std::printf(
+      "Bound for 3x3 kernels: dense 9 weights/tile vs the 4-cycle IFM floor\n"
+      "= %.2fx — precisely the paper's observed ~2.2x peak gain.  The\n"
+      "paper's 75%% (4.00x) bound applies to full 4x4 weight tiles; skipping\n"
+      "all-zero tile groups (library extension) breaks even that bound.\n\n",
+      9.0 / 4.0);
+
+  std::printf("Filter grouping ablation (paper future work)\n");
+  std::printf("%-9s %16s %16s %9s\n", "density", "natural (cyc)",
+              "sorted (cyc)", "gain");
+  for (const double density : {0.5, 0.3, 0.2, 0.1}) {
+    Rng rng(0xF1F ^ static_cast<std::uint64_t>(density * 1000));
+    // Heterogeneous sparsity across filters exaggerates imbalance: half the
+    // filters at `density`, half much denser.
+    nn::FilterBankI8 bank(fs);
+    for (int oc = 0; oc < fs.oc; ++oc) {
+      const double d = (oc % 2 == 0) ? density : std::min(1.0, density * 3);
+      for (int ic = 0; ic < fs.ic; ++ic)
+        for (int ky = 0; ky < fs.kh; ++ky)
+          for (int kx = 0; kx < fs.kw; ++kx)
+            if (rng.next_double() < d)
+              bank.at(oc, ic, ky, kx) = static_cast<std::int8_t>(
+                  rng.next_bool() ? rng.next_int(1, 30)
+                                  : rng.next_int(-30, -1));
+    }
+    const pack::PackedFilters packed = pack::pack_filters(bank);
+    const std::vector<int> natural =
+        pack::group_filters(packed, pack::GroupPolicy::kIdentity);
+    const std::vector<int> sorted =
+        pack::group_filters(packed, pack::GroupPolicy::kSortByNnz);
+    const std::int64_t cyc_nat =
+        pack::grouped_weight_cycles(packed, natural);
+    const std::int64_t cyc_sort =
+        pack::grouped_weight_cycles(packed, sorted);
+    std::printf("%8.0f%% %16lld %16lld %8.1f%%\n", density * 100,
+                static_cast<long long>(cyc_nat),
+                static_cast<long long>(cyc_sort),
+                100.0 * (1.0 - static_cast<double>(cyc_sort) /
+                                   static_cast<double>(cyc_nat)));
+  }
+
+  std::printf("\nVGG-16 (pruned, Han profile) with vs without grouping:\n");
+  const driver::StudyNetwork pruned =
+      driver::build_study_network({.pruned = true});
+  std::int64_t nat_total = 0;
+  std::int64_t sort_total = 0;
+  for (const driver::StudyLayer& layer : pruned.layers) {
+    nat_total += pack::grouped_weight_cycles(
+        layer.packed,
+        pack::group_filters(layer.packed, pack::GroupPolicy::kIdentity));
+    sort_total += pack::grouped_weight_cycles(
+        layer.packed,
+        pack::group_filters(layer.packed, pack::GroupPolicy::kSortByNnz));
+  }
+  std::printf("  weight-application cycles: natural %lld, sorted %lld "
+              "(%.1f%% fewer bubbles)\n",
+              static_cast<long long>(nat_total),
+              static_cast<long long>(sort_total),
+              100.0 * (1.0 - static_cast<double>(sort_total) /
+                                 static_cast<double>(nat_total)));
+  std::printf(
+      "  (magnitude pruning of i.i.d. synthetic weights balances filters\n"
+      "   naturally; the heterogeneous sweep above shows the gain when\n"
+      "   real-world per-filter sparsity varies.)\n");
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Accuracy study — the §IV-B analogue without ImageNet.
+//
+// The paper reports the pruned, 8-bit sign+magnitude VGG-16 "within 2 % of
+// the original unpruned floating point" in validation.  We have no ImageNet,
+// so we measure the same kind of quantity on synthetic data: over a batch of
+// random inputs through a channel-scaled VGG-16, how often does each reduced
+// model's top-1 prediction agree with the float oracle, and how large is the
+// relative error of the logits?
+//
+// Models compared (all with identical topology and the same float weights):
+//   int8          — 8-bit sign+magnitude quantization
+//   int8-pruned   — + magnitude pruning (Han et al. densities)
+//   ternary       — ±1 weights with power-of-two layer scales (future work)
+//
+// Usage: ./build/examples/accuracy_study [num_inputs]
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "nn/vgg16.hpp"
+#include "quant/prune.hpp"
+#include "quant/quantize.hpp"
+#include "quant/ternary.hpp"
+#include "util/rng.hpp"
+
+using namespace tsca;
+
+namespace {
+
+std::size_t argmax_f(const std::vector<float>& v) {
+  return static_cast<std::size_t>(
+      std::max_element(v.begin(), v.end()) - v.begin());
+}
+
+std::size_t argmax_i8(const std::vector<std::int8_t>& v) {
+  return static_cast<std::size_t>(
+      std::max_element(v.begin(), v.end()) - v.begin());
+}
+
+// Last FC activation (the logits) of the int8 reference network.
+std::vector<std::int8_t> int8_logits(const nn::Network& net,
+                                     const quant::QuantizedModel& model,
+                                     const nn::FeatureMapF& image) {
+  const nn::FeatureMapI8 input = quant::quantize_fm(image, model.input_exp);
+  const std::vector<nn::ActivationI8> acts =
+      nn::forward_i8_all(net, model.weights, input);
+  for (std::size_t i = net.layers().size(); i-- > 0;)
+    if (net.layers()[i].kind == nn::LayerKind::kFullyConnected)
+      return acts[i].flat;
+  return {};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int num_inputs = argc > 1 ? std::atoi(argv[1]) : 40;
+  Rng rng(424242);
+
+  const nn::Network net = nn::build_vgg16(
+      {.input_extent = 32, .channel_divisor = 8, .num_classes = 10});
+  const nn::WeightsF weights = nn::init_random_weights(net, rng);
+  nn::WeightsF pruned_weights = weights;
+  quant::prune_weights(net, pruned_weights, quant::vgg16_han_profile());
+
+  // Calibrate all three reduced models on a shared sample.
+  nn::FeatureMapF calib(net.input_shape());
+  for (std::size_t i = 0; i < calib.size(); ++i)
+    calib.data()[i] = static_cast<float>(rng.next_gaussian() * 0.5);
+  const quant::QuantizedModel q8 =
+      quant::quantize_network(net, weights, {calib});
+  const quant::QuantizedModel q8_pruned =
+      quant::quantize_network(net, pruned_weights, {calib});
+  const quant::QuantizedModel ternary =
+      quant::ternarize_network(net, weights, {calib});
+
+  int agree_q8 = 0;
+  int agree_pruned = 0;
+  int agree_ternary = 0;
+  int agree_pruned_float = 0;
+  for (int n = 0; n < num_inputs; ++n) {
+    nn::FeatureMapF image(net.input_shape());
+    for (std::size_t i = 0; i < image.size(); ++i)
+      image.data()[i] = static_cast<float>(rng.next_gaussian() * 0.5);
+
+    // Float oracle logits.
+    const std::vector<nn::ActivationF> facts =
+        nn::forward_f_all(net, weights, image);
+    std::vector<float> flogits;
+    for (std::size_t i = net.layers().size(); i-- > 0;)
+      if (net.layers()[i].kind == nn::LayerKind::kFullyConnected) {
+        flogits = facts[i].flat;
+        break;
+      }
+    const std::size_t top_f = argmax_f(flogits);
+
+    // Pruned float (isolates the pruning loss from the quantization loss).
+    const std::vector<nn::ActivationF> pacts =
+        nn::forward_f_all(net, pruned_weights, image);
+    std::vector<float> plogits;
+    for (std::size_t i = net.layers().size(); i-- > 0;)
+      if (net.layers()[i].kind == nn::LayerKind::kFullyConnected) {
+        plogits = pacts[i].flat;
+        break;
+      }
+    if (argmax_f(plogits) == top_f) ++agree_pruned_float;
+
+    if (argmax_i8(int8_logits(net, q8, image)) == top_f) ++agree_q8;
+    if (argmax_i8(int8_logits(net, q8_pruned, image)) == top_f)
+      ++agree_pruned;
+    if (argmax_i8(int8_logits(net, ternary, image)) == top_f) ++agree_ternary;
+  }
+
+  std::printf("Top-1 agreement with the float oracle over %d synthetic "
+              "inputs (scaled VGG-16):\n\n", num_inputs);
+  std::printf("  %-26s %3d / %d  (%.0f%%)\n", "pruned float", agree_pruned_float,
+              num_inputs, 100.0 * agree_pruned_float / num_inputs);
+  std::printf("  %-26s %3d / %d  (%.0f%%)\n", "int8 sign+magnitude", agree_q8,
+              num_inputs, 100.0 * agree_q8 / num_inputs);
+  std::printf("  %-26s %3d / %d  (%.0f%%)\n", "int8 + pruning (paper model)",
+              agree_pruned, num_inputs, 100.0 * agree_pruned / num_inputs);
+  std::printf("  %-26s %3d / %d  (%.0f%%)\n", "ternary (future work)",
+              agree_ternary, num_inputs, 100.0 * agree_ternary / num_inputs);
+  std::printf(
+      "\nNote: random untrained weights make this a *mechanism* check, not a\n"
+      "benchmark accuracy claim — the paper's \"within 2%% of float\" needs\n"
+      "trained weights and ImageNet (see EXPERIMENTS.md).\n");
+  return 0;
+}

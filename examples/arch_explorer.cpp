@@ -1,0 +1,87 @@
+// Architecture exploration — the paper's "variants from software and
+// constraint changes alone" (§V), as a parameter sweep.
+//
+// Sweeps lanes×group, clock, bank size and weight-scratchpad size over the
+// full-size VGG-16 workload with the validated performance model, and prints
+// performance / area / power trade-offs — reproducing how the authors
+// explored 16-unopt → 512-opt, and going beyond (e.g. a hypothetical
+// 1024-MAC part on a GT1150).
+//
+// Usage: ./build/examples/arch_explorer [--pruned]
+#include <cstdio>
+#include <cstring>
+
+#include "driver/study.hpp"
+#include "model/power.hpp"
+
+using namespace tsca;
+
+namespace {
+
+void report(const core::ArchConfig& cfg, const driver::StudyNetwork& net,
+            const model::FpgaDevice& device) {
+  const driver::VariantResult perf = driver::evaluate_variant(cfg, net);
+  const model::AreaReport area = model::estimate_area(cfg);
+  const model::PowerEstimate power =
+      model::estimate_power(cfg, area, model::Activity::peak(cfg), device);
+  const bool fits = area.alm_utilization(device) <= 0.85 &&
+                    area.m20k_utilization(device) <= 1.0 &&
+                    area.dsp_utilization(device) <= 1.0;
+  std::printf("%-14s %4d @%3.0f  %7.1f %7.1f  %5.1f%% %5.1f%% %5.1f%%  "
+              "%5.2fW %6.1f  %s\n",
+              cfg.name.c_str(), cfg.macs_per_cycle(), cfg.clock_mhz,
+              perf.network_gops, perf.best_gops,
+              100 * area.alm_utilization(device),
+              100 * area.dsp_utilization(device),
+              100 * area.m20k_utilization(device), power.fpga_w(),
+              perf.network_gops / power.fpga_w(),
+              fits ? "" : "(does not fit!)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool pruned = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--pruned") == 0) pruned = true;
+
+  const driver::StudyNetwork net =
+      driver::build_study_network({.pruned = pruned});
+  std::printf("VGG-16 (%s) architecture exploration\n\n", net.model_name.c_str());
+  std::printf("%-14s %4s %5s %8s %7s  %6s %6s %6s  %6s %6s\n", "variant",
+              "MACs", "MHz", "GOPS", "peak", "ALM", "DSP", "M20K", "power",
+              "GOPS/W");
+
+  const model::FpgaDevice sx660 = model::FpgaDevice::arria10_sx660();
+  std::printf("--- the paper's four variants (SX660) ---\n");
+  for (const core::ArchConfig& cfg : core::ArchConfig::paper_variants())
+    report(cfg, net, sx660);
+
+  std::printf("--- clock sweep on 256 MACs/cycle ---\n");
+  for (double mhz : {55.0, 100.0, 150.0, 200.0}) {
+    core::ArchConfig cfg = core::ArchConfig::k256_opt();
+    cfg.name = "256@" + std::to_string(static_cast<int>(mhz));
+    cfg.clock_mhz = mhz;
+    report(cfg, net, sx660);
+  }
+
+  std::printf("--- weight scratchpad sweep (256-opt) ---\n");
+  for (int words : {16, 64, 256, 1024}) {
+    core::ArchConfig cfg = core::ArchConfig::k256_opt();
+    cfg.name = "256 ws" + std::to_string(words);
+    cfg.weight_scratch_words = words;
+    report(cfg, net, sx660);
+  }
+
+  std::printf("--- scale-out on a GT1150 (paper §V: 'software changes alone "
+              "would allow us to scale out') ---\n");
+  const model::FpgaDevice gt1150 = model::FpgaDevice::arria10_gt1150();
+  for (int instances : {2, 3, 4}) {
+    core::ArchConfig cfg = core::ArchConfig::k512_opt();
+    cfg.name = std::to_string(instances * 256) + "-gt1150";
+    cfg.instances = instances;
+    cfg.bank_words = 32 * 1024 * 2 / instances;
+    report(cfg, net, gt1150);
+  }
+  return 0;
+}

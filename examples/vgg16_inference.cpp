@@ -1,0 +1,97 @@
+// End-to-end VGG-16 inference on the accelerator (scaled).
+//
+// The paper's full flow: a float model is pruned and quantized to 8-bit
+// sign+magnitude ("Caffe" stage, here synthetic weights); pad/conv/pool run
+// on the accelerator, fully-connected layers and softmax on the host ARM.
+// The default channel scale (÷8) keeps the cycle-accurate run under a minute;
+// pass a divisor argument to change it (1 = the real network — minutes).
+//
+// Usage: ./build/examples/vgg16_inference [channel_divisor] [--thread]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/accelerator.hpp"
+#include "driver/runtime.hpp"
+#include "nn/vgg16.hpp"
+#include "quant/prune.hpp"
+#include "quant/quantize.hpp"
+#include "util/rng.hpp"
+
+using namespace tsca;
+
+int main(int argc, char** argv) {
+  int divisor = 8;
+  hls::Mode mode = hls::Mode::kCycle;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--thread") == 0)
+      mode = hls::Mode::kThread;
+    else
+      divisor = std::atoi(argv[i]);
+  }
+  if (divisor < 1) divisor = 1;
+
+  Rng rng(2017);
+  const nn::Network net = nn::build_vgg16(
+      {.input_extent = 64, .channel_divisor = divisor, .num_classes = 10});
+  std::printf("VGG-16 (64x64 input, channels /%d), %zu layers\n", divisor,
+              net.layers().size());
+
+  // "Training": synthetic weights, pruned to the Han et al. profile.
+  nn::WeightsF weights = nn::init_random_weights(net, rng);
+  const std::vector<double> densities =
+      quant::prune_weights(net, weights, quant::vgg16_han_profile());
+  std::printf("pruned conv densities: ");
+  for (double d : densities) std::printf("%.0f%% ", 100 * d);
+  std::printf("\n");
+
+  // Calibration + quantization on a synthetic image.
+  nn::FeatureMapF image(net.input_shape());
+  for (std::size_t i = 0; i < image.size(); ++i)
+    image.data()[i] = static_cast<float>(rng.next_gaussian() * 0.5);
+  const quant::QuantizedModel model =
+      quant::quantize_network(net, weights, {image});
+  const nn::FeatureMapI8 input = quant::quantize_fm(image, model.input_exp);
+
+  // Run on the accelerator.
+  core::Accelerator accelerator(core::ArchConfig::k256_opt());
+  sim::Dram dram(256u << 20);
+  sim::DmaEngine dma(dram);
+  driver::Runtime runtime(accelerator, dram, dma, {.mode = mode});
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const driver::NetworkRun run = runtime.run_network(net, model, input);
+  const auto elapsed = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+
+  std::uint64_t total_cycles = 0;
+  std::printf("\n%-10s %6s %9s %12s %14s\n", "layer", "kind", "stripes",
+              "cycles", "MACs");
+  for (const driver::LayerRun& lr : run.layers) {
+    if (!lr.on_accelerator) continue;
+    total_cycles += lr.cycles;
+    std::printf("%-10s %6s %9d %12llu %14lld\n", lr.name.c_str(),
+                nn::layer_kind_name(lr.kind), lr.stripes,
+                static_cast<unsigned long long>(lr.cycles),
+                static_cast<long long>(lr.macs));
+  }
+  const double mhz = accelerator.config().clock_mhz;
+  std::printf("\naccelerator total: %llu cycles = %.2f ms at %.0f MHz "
+              "(simulated in %.1f s, %s mode)\n",
+              static_cast<unsigned long long>(total_cycles),
+              static_cast<double>(total_cycles) / (mhz * 1e3), mhz, elapsed,
+              mode == hls::Mode::kCycle ? "cycle" : "thread");
+
+  // Host-side classifier result.
+  if (run.flat_output) {
+    int best = 0;
+    for (std::size_t i = 1; i < run.logits.size(); ++i)
+      if (run.logits[i] > run.logits[static_cast<std::size_t>(best)])
+        best = static_cast<int>(i);
+    std::printf("predicted class: %d (logit %d)\n", best,
+                run.logits[static_cast<std::size_t>(best)]);
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+#include "core/config.hpp"
+
+#include <vector>
+
+namespace tsca::core {
+
+ArchConfig ArchConfig::k16_unopt() {
+  ArchConfig cfg;
+  cfg.name = "16-unopt";
+  cfg.lanes = 1;
+  cfg.group = 1;
+  cfg.instances = 1;
+  // A single lane keeps the whole bank budget: 4 banks' worth of RAM.
+  cfg.bank_words = 4 * 32 * 1024;
+  cfg.clock_mhz = 55.0;
+  cfg.optimized_build = false;
+  return cfg;
+}
+
+ArchConfig ArchConfig::k256_unopt() {
+  ArchConfig cfg;
+  cfg.name = "256-unopt";
+  cfg.clock_mhz = 55.0;
+  cfg.optimized_build = false;
+  return cfg;
+}
+
+ArchConfig ArchConfig::k256_opt() {
+  ArchConfig cfg;
+  cfg.name = "256-opt";
+  cfg.clock_mhz = 150.0;
+  cfg.optimized_build = true;
+  return cfg;
+}
+
+ArchConfig ArchConfig::k512_opt() {
+  ArchConfig cfg;
+  cfg.name = "512-opt";
+  cfg.instances = 2;
+  // Two instances share the FPGA's RAM blocks: half the bank size each.
+  cfg.bank_words = 16 * 1024;
+  cfg.clock_mhz = 120.0;
+  cfg.optimized_build = true;
+  return cfg;
+}
+
+const std::vector<ArchConfig>& ArchConfig::paper_variants() {
+  static const std::vector<ArchConfig> variants = {
+      k16_unopt(), k256_unopt(), k256_opt(), k512_opt()};
+  return variants;
+}
+
+}  // namespace tsca::core

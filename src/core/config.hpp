@@ -1,0 +1,89 @@
+// Accelerator architecture configuration.
+//
+// One ArchConfig describes one accelerator *instance* (Fig. 3 of the paper):
+// `lanes` data-staging/convolution/write/pool-pad units and SRAM banks, and
+// `group` concurrently computed OFM tiles (accumulator units).  The paper's
+// variants:
+//
+//   16-unopt   lanes=1 group=1   55 MHz   16 MACs/cycle, no synchronisation
+//   256-unopt  lanes=4 group=4   55 MHz   256 MACs/cycle, area-minimal build
+//   256-opt    lanes=4 group=4  150 MHz   performance-optimized build
+//   512-opt    2 × (lanes=4 group=4) 120 MHz, instances work on separate
+//              stripes (scale-out, Section IV-D)
+//
+// The HLS "constraint changes alone" knobs of the paper appear here as plain
+// fields: clock target, FIFO depths, scratchpad size, pipeline options.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pack/tile.hpp"
+#include "util/check.hpp"
+
+namespace tsca::core {
+
+inline constexpr int kMaxGroup = 4;
+inline constexpr int kMaxLanes = 4;
+
+struct ArchConfig {
+  std::string name = "256-opt";
+  int lanes = 4;   // staging/conv/write/pool-pad units and SRAM banks
+  int group = 4;   // OFM tiles computed concurrently (accumulator units)
+  int instances = 1;  // accelerator instances working on separate stripes
+
+  // Per-bank capacity in 16-byte words.  The paper sizes banks to "maximize
+  // bank size given the number of available RAMs" — ~49 % of the SX660's
+  // M20K across 4 banks ≈ 512 KiB/bank ≈ 32 K words/bank.
+  int bank_words = 32 * 1024;
+
+  // Per-lane packed-weight scratchpad in 16-byte words.  Weight stream bytes
+  // beyond this must be re-fetched through the bank read port on every OFM
+  // tile position — the "unpacking overhead" that grows for deep layers.
+  int weight_scratch_words = 64;  // 1 KiB
+
+  // FIFO depth between kernels (the LEGUP_PTHREAD_FIFO length).
+  int fifo_depth = 8;
+
+  // Synchronize lanes with a barrier at every OFM tile position (the paper's
+  // pthread barrier).  Off = rely purely on FIFO flow control (ablation).
+  bool position_barrier = true;
+
+  // Skip (ic, weight-tile) groups whose four filters are all zero, saving
+  // the 4-cycle IFM load floor.  The paper does not do this (its stated
+  // upper bound on zero-skip savings is 75 %); implemented as the
+  // future-work ablation.
+  bool skip_empty_tile_groups = false;
+
+  // Timing/build parameters (do not affect cycle counts, only wall-clock
+  // performance and the area/power models).
+  double clock_mhz = 150.0;
+  bool optimized_build = true;  // retiming/physical synthesis, deeper pipeline
+
+  int macs_per_cycle() const {
+    return lanes * group * pack::kTileSize * instances;
+  }
+
+  void validate() const {
+    TSCA_CHECK(lanes >= 1 && lanes <= kMaxLanes, "lanes=" << lanes);
+    TSCA_CHECK(group >= 1 && group <= kMaxGroup, "group=" << group);
+    TSCA_CHECK(lanes == group,
+               "this architecture pairs accumulators with lanes (paper uses "
+               "4/4 and 1/1); lanes="
+                   << lanes << " group=" << group);
+    TSCA_CHECK(instances >= 1 && instances <= 4);
+    TSCA_CHECK(bank_words >= 64, "bank_words=" << bank_words);
+    TSCA_CHECK(weight_scratch_words >= 16);
+    TSCA_CHECK(fifo_depth >= 2);
+    TSCA_CHECK(clock_mhz > 0);
+  }
+
+  // --- the paper's four variants ---
+  static ArchConfig k16_unopt();
+  static ArchConfig k256_unopt();
+  static ArchConfig k256_opt();
+  static ArchConfig k512_opt();
+  static const std::vector<ArchConfig>& paper_variants();
+};
+
+}  // namespace tsca::core

@@ -1,0 +1,91 @@
+// Hardware event counters.
+//
+// Incremented by the kernels in both execution modes (atomically — the
+// threaded engine updates them from 20+ threads).  They feed the GOPS
+// accounting, the efficiency study (Fig. 7) and the activity-based power
+// model (Table I).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace tsca::core {
+
+struct Counters {
+  // Weight commands entering convolution units (one per cycle per lane in
+  // steady state), split into real weights and bubbles from unbalanced
+  // sparsity across the concurrent filters.
+  std::atomic<std::int64_t> weight_cmds{0};
+  std::atomic<std::int64_t> weight_bubbles{0};
+
+  // Multiply-accumulates actually performed (non-zero weight × 16 values ×
+  // active filters).
+  std::atomic<std::int64_t> macs_performed{0};
+
+  // SRAM traffic (tile-wide words).
+  std::atomic<std::int64_t> ifm_tile_reads{0};
+  std::atomic<std::int64_t> weight_word_reads{0};   // scratch preload + spill
+  std::atomic<std::int64_t> weight_spill_reads{0};  // the per-position spill
+  std::atomic<std::int64_t> ofm_tile_writes{0};
+
+  // Pool/pad unit activity.
+  std::atomic<std::int64_t> pool_ops{0};
+
+  // Instruction counts.
+  std::atomic<std::int64_t> conv_instrs{0};
+  std::atomic<std::int64_t> pad_instrs{0};
+  std::atomic<std::int64_t> pool_instrs{0};
+
+  // OFM tile positions completed (barrier releases in the 4-lane variants).
+  std::atomic<std::int64_t> positions{0};
+
+  void reset() {
+    weight_cmds = 0;
+    weight_bubbles = 0;
+    macs_performed = 0;
+    ifm_tile_reads = 0;
+    weight_word_reads = 0;
+    weight_spill_reads = 0;
+    ofm_tile_writes = 0;
+    pool_ops = 0;
+    conv_instrs = 0;
+    pad_instrs = 0;
+    pool_instrs = 0;
+    positions = 0;
+  }
+};
+
+// Plain-value snapshot of Counters (copyable, for reporting).
+struct CounterSnapshot {
+  std::int64_t weight_cmds = 0;
+  std::int64_t weight_bubbles = 0;
+  std::int64_t macs_performed = 0;
+  std::int64_t ifm_tile_reads = 0;
+  std::int64_t weight_word_reads = 0;
+  std::int64_t weight_spill_reads = 0;
+  std::int64_t ofm_tile_writes = 0;
+  std::int64_t pool_ops = 0;
+  std::int64_t conv_instrs = 0;
+  std::int64_t pad_instrs = 0;
+  std::int64_t pool_instrs = 0;
+  std::int64_t positions = 0;
+};
+
+inline CounterSnapshot snapshot(const Counters& c) {
+  CounterSnapshot s;
+  s.weight_cmds = c.weight_cmds.load();
+  s.weight_bubbles = c.weight_bubbles.load();
+  s.macs_performed = c.macs_performed.load();
+  s.ifm_tile_reads = c.ifm_tile_reads.load();
+  s.weight_word_reads = c.weight_word_reads.load();
+  s.weight_spill_reads = c.weight_spill_reads.load();
+  s.ofm_tile_writes = c.ofm_tile_writes.load();
+  s.pool_ops = c.pool_ops.load();
+  s.conv_instrs = c.conv_instrs.load();
+  s.pad_instrs = c.pad_instrs.load();
+  s.pool_instrs = c.pool_instrs.load();
+  s.positions = c.positions.load();
+  return s;
+}
+
+}  // namespace tsca::core

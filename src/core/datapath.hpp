@@ -1,0 +1,73 @@
+// Shared datapath arithmetic.
+//
+// Pure functions implementing the compute fabric of Fig. 4(b) and Fig. 5:
+// the offset-steered multiply grid of the convolution unit, the accumulator
+// adds, the requantizing write-back, and the MAX/mux network of the
+// padding/pooling unit.  Both execution engines (threaded and cycle-accurate)
+// call exactly these functions, which is what makes their outputs bit-exact
+// by construction.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "nn/layers.hpp"
+#include "pack/tile.hpp"
+#include "util/check.hpp"
+
+namespace tsca::core {
+
+// Four contiguous IFM tiles (Fig. 4(a)): a tile-aligned 8×8 window from which
+// a weight with intra-tile offset (oy, ox) selects the 4×4 region at (oy, ox).
+struct Window {
+  // [0] top-left, [1] top-right, [2] bottom-left, [3] bottom-right.
+  std::array<pack::Tile, 4> tiles{};
+
+  std::int8_t at(int y, int x) const {
+    TSCA_CHECK(y >= 0 && y < 8 && x >= 0 && x < 8);
+    const int quadrant = (y / pack::kTileDim) * 2 + (x / pack::kTileDim);
+    return tiles[static_cast<std::size_t>(quadrant)].at(y % pack::kTileDim,
+                                                        x % pack::kTileDim);
+  }
+  bool operator==(const Window&) const = default;
+};
+
+// 16 products of one weight applied to the window region selected by its
+// intra-tile offset (the multiplexer + multiplier array of Fig. 4(b)).
+std::array<std::int32_t, pack::kTileSize> steer_multiply(const Window& window,
+                                                         std::int8_t weight,
+                                                         int offset);
+
+// Adds 16 products into an accumulator tile.
+void accumulate(pack::TileAcc& acc,
+                const std::array<std::int32_t, pack::kTileSize>& products);
+
+// Requantizes an accumulator tile into an int8 output tile (rounded shift,
+// optional ReLU, saturation to ±127) — the write-to-memory unit's datapath.
+pack::Tile requantize_tile(const pack::TileAcc& acc, const nn::Requant& rq);
+
+// ---- padding/pooling unit (Fig. 5) ----------------------------------------
+
+inline constexpr int kNumMaxUnits = 4;
+
+// Output-mux select encodings: take MAX k, running-max with the old value
+// (library extension for windows that straddle tiles), or keep.
+inline constexpr std::uint8_t kSelTake0 = 0;  // .. kSelTake0+3
+inline constexpr std::uint8_t kSelCombine0 = 4;  // .. kSelCombine0+3
+inline constexpr std::uint8_t kSelKeep = 8;
+
+// One cycle of the pool/pad unit: masks select which of the 16 injected IFM
+// values each MAX unit reduces; out_sel routes MAX outputs (or the old value)
+// to each of the 16 OFM tile values.
+struct PoolPadOp {
+  std::array<std::uint16_t, kNumMaxUnits> max_mask{};  // bit i = value i
+  std::array<std::uint8_t, pack::kTileSize> out_sel{};
+
+  PoolPadOp() { out_sel.fill(kSelKeep); }
+};
+
+// Applies one op to the output-tile register.
+void apply_pool_pad(const PoolPadOp& op, const pack::Tile& in_tile,
+                    pack::Tile& out_reg);
+
+}  // namespace tsca::core

@@ -1,0 +1,132 @@
+#include "core/encoding.hpp"
+
+namespace tsca::core {
+
+namespace {
+
+std::uint32_t pack16(std::int32_t lo, std::int32_t hi) {
+  TSCA_CHECK(lo >= 0 && lo <= 0xffff && hi >= 0 && hi <= 0xffff,
+             "field exceeds 16 bits: " << lo << ", " << hi);
+  return static_cast<std::uint32_t>(lo) |
+         (static_cast<std::uint32_t>(hi) << 16);
+}
+
+std::int32_t lo16(std::uint32_t w) { return static_cast<std::int32_t>(w & 0xffff); }
+std::int32_t hi16(std::uint32_t w) {
+  return static_cast<std::int32_t>(w >> 16);
+}
+
+std::uint32_t from_i32(std::int32_t v) { return static_cast<std::uint32_t>(v); }
+std::int32_t to_i32(std::uint32_t w) { return static_cast<std::int32_t>(w); }
+
+}  // namespace
+
+EncodedInstruction encode_instruction(const Instruction& instr) {
+  EncodedInstruction words{};
+  words[0] = kInstrMagic | static_cast<std::uint32_t>(instr.op);
+  switch (instr.op) {
+    case Opcode::kHalt:
+      break;
+    case Opcode::kConv: {
+      const ConvInstr& c = instr.conv;
+      words[1] = from_i32(c.ifm_base);
+      words[2] = pack16(c.ifm_tiles_x, c.ifm_tiles_y);
+      words[3] = from_i32(c.ifm_channels);
+      words[4] = from_i32(c.weight_base);
+      words[5] = from_i32(c.ofm_base);
+      words[6] = pack16(c.ofm_tiles_x, c.ofm_tiles_y);
+      TSCA_CHECK(c.oc0 >= 0 && c.oc0 < (1 << 24) && c.active_filters >= 0 &&
+                 c.active_filters <= 0xff);
+      words[7] = static_cast<std::uint32_t>(c.oc0) |
+                 (static_cast<std::uint32_t>(c.active_filters) << 24);
+      words[8] = pack16(c.kernel_h, c.kernel_w);
+      TSCA_CHECK(c.shift >= 0 && c.shift <= 0xff);
+      words[9] = static_cast<std::uint32_t>(c.shift) |
+                 (c.relu ? 0x100u : 0u) |
+                 (c.ternary_weights ? 0x200u : 0u);
+      for (int k = 0; k < kMaxGroup; ++k)
+        words[static_cast<std::size_t>(10 + k)] =
+            from_i32(c.bias[static_cast<std::size_t>(k)]);
+      break;
+    }
+    case Opcode::kPad:
+    case Opcode::kPool: {
+      const PadPoolInstr& p = instr.pp;
+      words[1] = from_i32(p.ifm_base);
+      words[2] = pack16(p.ifm_tiles_x, p.ifm_tiles_y);
+      words[3] = pack16(p.ifm_h, p.ifm_w);
+      words[4] = from_i32(p.channels);
+      words[5] = from_i32(p.ofm_base);
+      words[6] = pack16(p.ofm_tiles_x, p.ofm_tiles_y);
+      words[7] = pack16(p.ofm_h, p.ofm_w);
+      words[8] = pack16(p.win, p.stride);
+      words[9] = from_i32(p.offset_y);
+      words[10] = from_i32(p.offset_x);
+      break;
+    }
+  }
+  return words;
+}
+
+Instruction decode_instruction(const EncodedInstruction& words) {
+  if ((words[0] & 0xffff0000u) != kInstrMagic)
+    throw InstructionError("bad instruction magic word");
+  const std::uint32_t op = words[0] & 0xffu;
+  Instruction instr;
+  switch (op) {
+    case static_cast<std::uint32_t>(Opcode::kHalt):
+      instr.op = Opcode::kHalt;
+      return instr;
+    case static_cast<std::uint32_t>(Opcode::kConv): {
+      instr.op = Opcode::kConv;
+      ConvInstr& c = instr.conv;
+      c.ifm_base = to_i32(words[1]);
+      c.ifm_tiles_x = lo16(words[2]);
+      c.ifm_tiles_y = hi16(words[2]);
+      c.ifm_channels = to_i32(words[3]);
+      c.weight_base = to_i32(words[4]);
+      c.ofm_base = to_i32(words[5]);
+      c.ofm_tiles_x = lo16(words[6]);
+      c.ofm_tiles_y = hi16(words[6]);
+      c.oc0 = static_cast<std::int32_t>(words[7] & 0xffffffu);
+      c.active_filters = static_cast<std::int32_t>(words[7] >> 24);
+      c.kernel_h = lo16(words[8]);
+      c.kernel_w = hi16(words[8]);
+      c.shift = static_cast<std::int32_t>(words[9] & 0xffu);
+      c.relu = (words[9] & 0x100u) != 0;
+      c.ternary_weights = (words[9] & 0x200u) != 0;
+      if ((words[9] & ~0x3ffu) != 0)
+        throw InstructionError("reserved bits set in CONV word 9");
+      for (int k = 0; k < kMaxGroup; ++k)
+        c.bias[static_cast<std::size_t>(k)] =
+            to_i32(words[static_cast<std::size_t>(10 + k)]);
+      return instr;
+    }
+    case static_cast<std::uint32_t>(Opcode::kPad):
+    case static_cast<std::uint32_t>(Opcode::kPool): {
+      instr.op = static_cast<Opcode>(op);
+      PadPoolInstr& p = instr.pp;
+      p.ifm_base = to_i32(words[1]);
+      p.ifm_tiles_x = lo16(words[2]);
+      p.ifm_tiles_y = hi16(words[2]);
+      p.ifm_h = lo16(words[3]);
+      p.ifm_w = hi16(words[3]);
+      p.channels = to_i32(words[4]);
+      p.ofm_base = to_i32(words[5]);
+      p.ofm_tiles_x = lo16(words[6]);
+      p.ofm_tiles_y = hi16(words[6]);
+      p.ofm_h = lo16(words[7]);
+      p.ofm_w = hi16(words[7]);
+      p.win = lo16(words[8]);
+      p.stride = hi16(words[8]);
+      p.offset_y = to_i32(words[9]);
+      p.offset_x = to_i32(words[10]);
+      return instr;
+    }
+    default:
+      throw InstructionError("unknown opcode in encoded instruction: " +
+                             std::to_string(op));
+  }
+}
+
+}  // namespace tsca::core

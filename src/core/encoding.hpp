@@ -1,0 +1,40 @@
+// Binary instruction encoding.
+//
+// The host ARM writes instructions into the accelerator's memory-mapped
+// instruction window as 32-bit words (System II, §IV-D).  An instruction is
+// 16 words (512 bits): word 0 carries a magic/version tag and the opcode,
+// the rest the operation's fields.  decode_instruction validates the tag and
+// field ranges structurally; full semantic validation stays in
+// validate_instruction.
+//
+//   CONV  w1 ifm_base           w2 ifm_tiles_x | ifm_tiles_y<<16
+//         w3 ifm_channels       w4 weight_base
+//         w5 ofm_base           w6 ofm_tiles_x | ofm_tiles_y<<16
+//         w7 oc0 | active<<24   w8 kernel_h | kernel_w<<16
+//         w9 shift | relu<<8    w10..13 bias[0..3]
+//   PAD/  w1 ifm_base           w2 ifm_tiles_x | ifm_tiles_y<<16
+//   POOL  w3 ifm_h | ifm_w<<16  w4 channels
+//         w5 ofm_base           w6 ofm_tiles_x | ofm_tiles_y<<16
+//         w7 ofm_h | ofm_w<<16  w8 win | stride<<16
+//         w9 offset_y           w10 offset_x
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "core/isa.hpp"
+
+namespace tsca::core {
+
+inline constexpr int kInstrWords = 16;
+inline constexpr std::uint32_t kInstrMagic = 0x75CA0000u;  // + opcode
+
+using EncodedInstruction = std::array<std::uint32_t, kInstrWords>;
+
+EncodedInstruction encode_instruction(const Instruction& instr);
+
+// Throws InstructionError on a bad magic tag, unknown opcode or field
+// corruption detectable from the encoding itself.
+Instruction decode_instruction(const EncodedInstruction& words);
+
+}  // namespace tsca::core

@@ -1,0 +1,117 @@
+#include "core/isa.hpp"
+
+#include <sstream>
+
+namespace tsca::core {
+
+const char* opcode_name(Opcode op) {
+  switch (op) {
+    case Opcode::kConv:
+      return "CONV";
+    case Opcode::kPad:
+      return "PAD";
+    case Opcode::kPool:
+      return "POOL";
+    case Opcode::kHalt:
+      return "HALT";
+  }
+  return "?";
+}
+
+namespace {
+
+[[noreturn]] void fail(const char* what, const Instruction& instr) {
+  std::ostringstream os;
+  os << "bad " << opcode_name(instr.op) << " instruction: " << what;
+  throw InstructionError(os.str());
+}
+
+void check_region(const char* what, std::int64_t base, std::int64_t words,
+                  const ArchConfig& cfg, const Instruction& instr) {
+  if (base < 0 || words < 0 || base + words > cfg.bank_words) {
+    std::ostringstream os;
+    os << what << " region [" << base << ", " << base + words
+       << ") outside bank of " << cfg.bank_words << " words";
+    fail(os.str().c_str(), instr);
+  }
+}
+
+// Words a region of `channels` channels × tiles_y × tiles_x occupies per
+// bank (channels are distributed round-robin over lanes).
+std::int64_t region_words(std::int64_t channels, std::int64_t tiles_y,
+                          std::int64_t tiles_x, int lanes) {
+  const std::int64_t slots = (channels + lanes - 1) / lanes;
+  return slots * tiles_y * tiles_x;
+}
+
+}  // namespace
+
+void validate_instruction(const Instruction& instr, const ArchConfig& cfg,
+                          int weight_words) {
+  cfg.validate();
+  switch (instr.op) {
+    case Opcode::kHalt:
+      return;
+    case Opcode::kConv: {
+      const ConvInstr& c = instr.conv;
+      if (c.ifm_tiles_x <= 0 || c.ifm_tiles_y <= 0)
+        fail("non-positive IFM tile grid", instr);
+      if (c.ifm_channels <= 0) fail("no IFM channels", instr);
+      if (c.ofm_tiles_x <= 0 || c.ofm_tiles_y <= 0)
+        fail("non-positive OFM tile grid", instr);
+      if (c.kernel_h <= 0 || c.kernel_w <= 0) fail("bad kernel size", instr);
+      if (c.kernel_h > c.ifm_tiles_y * pack::kTileDim ||
+          c.kernel_w > c.ifm_tiles_x * pack::kTileDim)
+        fail("kernel larger than stripe", instr);
+      if (c.active_filters < 1 || c.active_filters > cfg.group)
+        fail("active_filters out of range", instr);
+      if (c.oc0 < 0 || c.oc0 % cfg.group != 0)
+        fail("oc0 must be a non-negative multiple of group", instr);
+      if (c.shift < 0 || c.shift > 31) fail("shift out of range", instr);
+      check_region("IFM", c.ifm_base,
+                   region_words(c.ifm_channels, c.ifm_tiles_y, c.ifm_tiles_x,
+                                cfg.lanes),
+                   cfg, instr);
+      // OFM region: this instruction writes one channel slot per active
+      // filter; the enclosing layer may use more, which the driver checks.
+      check_region("OFM", c.ofm_base,
+                   region_words(cfg.group, c.ofm_tiles_y, c.ofm_tiles_x,
+                                cfg.lanes),
+                   cfg, instr);
+      check_region("weights", c.weight_base, weight_words, cfg, instr);
+      return;
+    }
+    case Opcode::kPad:
+    case Opcode::kPool: {
+      const PadPoolInstr& p = instr.pp;
+      if (p.channels <= 0) fail("no channels", instr);
+      if (p.ifm_tiles_x <= 0 || p.ifm_tiles_y <= 0 || p.ofm_tiles_x <= 0 ||
+          p.ofm_tiles_y <= 0)
+        fail("non-positive tile grid", instr);
+      if (p.ifm_h <= 0 || p.ifm_w <= 0 || p.ofm_h <= 0 || p.ofm_w <= 0)
+        fail("non-positive logical extent", instr);
+      if (p.ifm_h > p.ifm_tiles_y * pack::kTileDim ||
+          p.ifm_w > p.ifm_tiles_x * pack::kTileDim ||
+          p.ofm_h > p.ofm_tiles_y * pack::kTileDim ||
+          p.ofm_w > p.ofm_tiles_x * pack::kTileDim)
+        fail("logical extent exceeds tile grid", instr);
+      if (p.win <= 0 || p.stride <= 0) fail("bad window geometry", instr);
+      if (instr.op == Opcode::kPad && (p.win != 1 || p.stride != 1))
+        fail("PAD requires win=1 stride=1", instr);
+      if (instr.op == Opcode::kPool && (p.win > p.ifm_h || p.win > p.ifm_w))
+        fail("pool window larger than input", instr);
+      check_region("IFM", p.ifm_base,
+                   region_words(p.channels, p.ifm_tiles_y, p.ifm_tiles_x,
+                                cfg.lanes),
+                   cfg, instr);
+      check_region("OFM", p.ofm_base,
+                   region_words(p.channels, p.ofm_tiles_y, p.ofm_tiles_x,
+                                cfg.lanes),
+                   cfg, instr);
+      return;
+    }
+  }
+  fail("unknown opcode", instr);
+}
+
+}  // namespace tsca::core

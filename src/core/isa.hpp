@@ -1,0 +1,120 @@
+// Accelerator instruction set.
+//
+// The host issues three kinds of work (paper §III-A): convolution, padding
+// and max-pooling; a halt instruction shuts the streaming kernels down at the
+// end of a batch.  One CONV instruction computes a *group* of output feature
+// maps (up to 4) over every tile position of one stripe; one PAD/POOL
+// instruction processes all channels of one stripe.
+//
+// All addresses are per-bank word addresses (16-byte words): channel c lives
+// in bank c % lanes at channel slot c / lanes, so the same base address is
+// valid in every bank.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "core/config.hpp"
+#include "util/check.hpp"
+
+namespace tsca::core {
+
+enum class Opcode : std::uint8_t { kConv = 1, kPad = 2, kPool = 3, kHalt = 0xf };
+
+const char* opcode_name(Opcode op);
+
+// Convolution of one OFM group over one stripe, output stationary.
+struct ConvInstr {
+  // IFM (already padded by a preceding PAD instruction).
+  std::int32_t ifm_base = 0;
+  std::int32_t ifm_tiles_x = 0;
+  std::int32_t ifm_tiles_y = 0;
+  std::int32_t ifm_channels = 0;
+
+  // Packed zero-skip weight stream, one per lane, laid out back to back in
+  // each bank starting at weight_base (see pack::serialize_lane_stream).
+  std::int32_t weight_base = 0;
+
+  // OFM destination.
+  std::int32_t ofm_base = 0;
+  std::int32_t ofm_tiles_x = 0;
+  std::int32_t ofm_tiles_y = 0;
+  std::int32_t oc0 = 0;             // first output channel (multiple of group)
+  std::int32_t active_filters = 0;  // 1..group
+
+  // Filter geometry.
+  std::int32_t kernel_h = 3;
+  std::int32_t kernel_w = 3;
+
+  // Numerics.
+  std::array<std::int32_t, kMaxGroup> bias{};
+  std::int32_t shift = 0;
+  bool relu = true;
+  // Packed stream uses the dense 1-byte ternary entry format (weights ±1).
+  bool ternary_weights = false;
+
+  std::int32_t positions() const { return ofm_tiles_x * ofm_tiles_y; }
+  std::int32_t wtiles_y() const { return (kernel_h + 3) / 4; }
+  std::int32_t wtiles_x() const { return (kernel_w + 3) / 4; }
+};
+
+// Padding or max-pooling of one stripe (paper Fig. 5 unit).
+struct PadPoolInstr {
+  std::int32_t ifm_base = 0;
+  std::int32_t ifm_tiles_x = 0;
+  std::int32_t ifm_tiles_y = 0;
+  std::int32_t ifm_h = 0;  // logical (unpadded-to-tile) extents
+  std::int32_t ifm_w = 0;
+  std::int32_t channels = 0;
+
+  std::int32_t ofm_base = 0;
+  std::int32_t ofm_tiles_x = 0;
+  std::int32_t ofm_tiles_y = 0;
+  std::int32_t ofm_h = 0;
+  std::int32_t ofm_w = 0;
+
+  // Unified source-window geometry: output value (oy, ox) reduces (MAX) the
+  // input window starting at (oy*stride + offset_y, ox*stride + offset_x) of
+  // size win×win, clipped to the logical input extents; an empty window
+  // leaves the zero-initialised output value (that is what zero-padding is).
+  //   kPad : win=1, stride=1, offset = −pad  (pure shift/copy)
+  //   kPool: win=s, stride=st, offset usually 0
+  // Offsets may be negative and also absorb stripe-local coordinate shifts.
+  std::int32_t win = 1;
+  std::int32_t stride = 1;
+  std::int32_t offset_y = 0;
+  std::int32_t offset_x = 0;
+};
+
+struct Instruction {
+  Opcode op = Opcode::kHalt;
+  ConvInstr conv;
+  PadPoolInstr pp;
+
+  static Instruction halt() { return Instruction{}; }
+  static Instruction make_conv(const ConvInstr& c) {
+    Instruction i;
+    i.op = Opcode::kConv;
+    i.conv = c;
+    return i;
+  }
+  static Instruction make_pad(const PadPoolInstr& p) {
+    Instruction i;
+    i.op = Opcode::kPad;
+    i.pp = p;
+    return i;
+  }
+  static Instruction make_pool(const PadPoolInstr& p) {
+    Instruction i;
+    i.op = Opcode::kPool;
+    i.pp = p;
+    return i;
+  }
+};
+
+// Throws InstructionError if the instruction is malformed or references
+// memory outside the banks.  weight_words = extent of the packed stream.
+void validate_instruction(const Instruction& instr, const ArchConfig& cfg,
+                          int weight_words = 0);
+
+}  // namespace tsca::core

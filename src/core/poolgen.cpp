@@ -1,0 +1,107 @@
+#include "core/poolgen.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace tsca::core {
+
+namespace {
+
+// A single output value's contribution from one input tile.
+struct Contribution {
+  int out_idx;             // 0..15 within the output tile
+  std::uint16_t mask;      // input-tile values in this output's window
+  bool first_for_output;   // take (replace) vs running-max combine
+};
+
+}  // namespace
+
+std::vector<PoolStep> make_pool_steps(const PadPoolInstr& instr, int oty,
+                                      int otx) {
+  // Gather contributions keyed by input tile, in (ty, tx) scan order.
+  std::map<std::pair<int, int>, std::vector<Contribution>> by_tile;
+  std::array<bool, pack::kTileSize> touched{};  // output already written once
+
+  for (int vy = 0; vy < pack::kTileDim; ++vy) {
+    for (int vx = 0; vx < pack::kTileDim; ++vx) {
+      const int oy = oty * pack::kTileDim + vy;
+      const int ox = otx * pack::kTileDim + vx;
+      if (oy >= instr.ofm_h || ox >= instr.ofm_w) continue;
+      const int out_idx = vy * pack::kTileDim + vx;
+
+      // Source window in input coordinates (half-open).
+      int y0 = oy * instr.stride + instr.offset_y;
+      int x0 = ox * instr.stride + instr.offset_x;
+      int y1 = y0 + instr.win;
+      int x1 = x0 + instr.win;
+      y0 = std::max(y0, 0);
+      x0 = std::max(x0, 0);
+      y1 = std::min(y1, instr.ifm_h);
+      x1 = std::min(x1, instr.ifm_w);
+      if (y0 >= y1 || x0 >= x1) continue;  // padding region: stays zero
+
+      // Split the window across the input tiles it straddles.
+      for (int ty = y0 / pack::kTileDim; ty <= (y1 - 1) / pack::kTileDim;
+           ++ty) {
+        for (int tx = x0 / pack::kTileDim; tx <= (x1 - 1) / pack::kTileDim;
+             ++tx) {
+          std::uint16_t mask = 0;
+          for (int y = std::max(y0, ty * pack::kTileDim);
+               y < std::min(y1, (ty + 1) * pack::kTileDim); ++y)
+            for (int x = std::max(x0, tx * pack::kTileDim);
+                 x < std::min(x1, (tx + 1) * pack::kTileDim); ++x)
+              mask = static_cast<std::uint16_t>(
+                  mask | (1u << ((y % pack::kTileDim) * pack::kTileDim +
+                                 (x % pack::kTileDim))));
+          if (mask == 0) continue;
+          by_tile[{ty, tx}].push_back(
+              {out_idx, mask,
+               !touched[static_cast<std::size_t>(out_idx)]});
+          touched[static_cast<std::size_t>(out_idx)] = true;
+        }
+      }
+    }
+  }
+
+  std::vector<PoolStep> steps;
+  for (const auto& [tile_yx, contributions] : by_tile) {
+    // Chunk contributions into groups of ≤ 4 MAX units.
+    for (std::size_t base = 0; base < contributions.size();
+         base += kNumMaxUnits) {
+      PoolStep step;
+      step.in_ty = tile_yx.first;
+      step.in_tx = tile_yx.second;
+      step.load = (base == 0);
+      const std::size_t n =
+          std::min<std::size_t>(kNumMaxUnits, contributions.size() - base);
+      for (std::size_t k = 0; k < n; ++k) {
+        const Contribution& c = contributions[base + k];
+        step.op.max_mask[k] = c.mask;
+        step.op.out_sel[static_cast<std::size_t>(c.out_idx)] =
+            c.first_for_output
+                ? static_cast<std::uint8_t>(kSelTake0 + k)
+                : static_cast<std::uint8_t>(kSelCombine0 + k);
+      }
+      steps.push_back(std::move(step));
+    }
+  }
+  if (steps.empty()) {
+    // Entire tile is padding / out of logical range: one no-op step so the
+    // unit still emits a (zero) output tile.
+    steps.push_back(PoolStep{});
+  }
+  steps.front().first = true;
+  steps.back().last = true;
+  return steps;
+}
+
+std::int64_t count_pool_steps(const PadPoolInstr& instr) {
+  std::int64_t total = 0;
+  for (int oty = 0; oty < instr.ofm_tiles_y; ++oty)
+    for (int otx = 0; otx < instr.ofm_tiles_x; ++otx)
+      total += static_cast<std::int64_t>(
+          make_pool_steps(instr, oty, otx).size());
+  return total;
+}
+
+}  // namespace tsca::core

@@ -1,0 +1,47 @@
+// Micro-op generation for the padding/pooling unit.
+//
+// The data-staging/control unit drives the pool/pad unit (Fig. 5) with a
+// stream of (IFM tile, micro-op) pairs.  This module compiles one PAD or
+// POOL instruction into that stream, one output tile at a time:
+//
+//   * every output value's source window is computed from the instruction
+//     (a 1×1 "window" for padding, size×size at the given stride for
+//     pooling);
+//   * sources are grouped by the input tile that holds them;
+//   * each input tile's contributions are chunked ≤ 4 at a time (four MAX
+//     units per cycle), with running-max combining when a window straddles
+//     input tiles.
+//
+// The same generator serves any pool size/stride and any padding — the
+// paper's generality claim — and the property tests sweep it against the
+// nn:: reference.
+#pragma once
+
+#include <vector>
+
+#include "core/datapath.hpp"
+#include "core/isa.hpp"
+
+namespace tsca::core {
+
+// One cycle of pool/pad work for a given output tile.
+struct PoolStep {
+  int in_ty = 0;  // input tile coordinates; out-of-grid ⇒ zero tile
+  int in_tx = 0;
+  bool load = false;  // first step touching this input tile: read the bank
+  PoolPadOp op{};
+  bool first = false;  // reset the output register before applying
+  bool last = false;   // emit the output tile afterwards
+};
+
+// Steps for output tile (oty, otx) of a PAD or POOL instruction.  Never
+// empty: a fully-out-of-range tile produces one no-op step so the write unit
+// still receives a (zero) tile.
+std::vector<PoolStep> make_pool_steps(const PadPoolInstr& instr, int oty,
+                                      int otx);
+
+// Total steps (≈ cycles) for a whole instruction — used by the performance
+// model.
+std::int64_t count_pool_steps(const PadPoolInstr& instr);
+
+}  // namespace tsca::core

@@ -1,0 +1,276 @@
+#include "driver/compiler.hpp"
+
+#include <algorithm>
+
+#include "pack/tile.hpp"
+
+namespace tsca::driver {
+
+WeightImage::WeightImage(const pack::PackedFilters& packed, int lanes,
+                         int group) {
+  TSCA_CHECK(lanes >= 1 && group >= 1);
+  oc_ = packed.shape().oc;
+  ternary_ = pack::is_ternary(packed);
+  lanes_ = lanes;
+  group_size_ = group;
+  groups_ = (oc_ + group - 1) / group;
+  bytes_.resize(static_cast<std::size_t>(groups_) * lanes_);
+  words_.resize(static_cast<std::size_t>(groups_) * lanes_, 0);
+  for (int g = 0; g < groups_; ++g) {
+    const int oc0 = g * group;
+    const int active = std::min(group, oc_ - oc0);
+    for (int lane = 0; lane < lanes_; ++lane) {
+      const pack::LaneStream stream = pack::build_lane_stream(
+          packed, oc0, active, lane, lanes_, ternary_);
+      bytes_[index(g, lane)] = pack::serialize_lane_stream(stream);
+      words_[index(g, lane)] = static_cast<int>(stream.total_words());
+    }
+  }
+}
+
+int WeightImage::active_filters(int g) const {
+  TSCA_CHECK(g >= 0 && g < groups_);
+  return std::min(group_size_, oc_ - g * group_size_);
+}
+
+int WeightImage::aligned_words(int g) const {
+  int w = 0;
+  for (int lane = 0; lane < lanes_; ++lane) w = std::max(w, words(g, lane));
+  return w;
+}
+
+std::int64_t conv_macs(const nn::FmShape& in_shape, int out_channels,
+                       int kernel) {
+  const int oh = in_shape.h - kernel + 1;
+  const int ow = in_shape.w - kernel + 1;
+  TSCA_CHECK(oh > 0 && ow > 0);
+  return static_cast<std::int64_t>(out_channels) * oh * ow * in_shape.c *
+         kernel * kernel;
+}
+
+ConvPlan plan_conv(const core::ArchConfig& cfg, const nn::FmShape& in_shape,
+                   int out_channels, int kernel, const WeightImage& weights) {
+  TSCA_CHECK(out_channels > 0 && kernel > 0);
+  TSCA_CHECK(in_shape.h >= kernel && in_shape.w >= kernel,
+             "kernel larger than input");
+  ConvPlan plan;
+  plan.in_shape = in_shape;
+  plan.out_shape = {out_channels, in_shape.h - kernel + 1,
+                    in_shape.w - kernel + 1};
+  plan.kernel = kernel;
+  plan.in_tiles_x = pack::tiles_for(in_shape.w);
+  plan.out_tiles_x = pack::tiles_for(plan.out_shape.w);
+
+  const int lanes = cfg.lanes;
+  const int slots_in = (in_shape.c + lanes - 1) / lanes;
+  const int slots_out = (out_channels + lanes - 1) / lanes;
+  const int out_rows_total = pack::tiles_for(plan.out_shape.h);
+  const int in_rows_total = pack::tiles_for(in_shape.h);
+  const int wtiles_y = (kernel + pack::kTileDim - 1) / pack::kTileDim;
+
+  int max_group_words = 0;
+  for (int g = 0; g < weights.groups(); ++g)
+    max_group_words = std::max(max_group_words, weights.aligned_words(g));
+
+  // Largest stripe (in OFM tile rows) whose regions plus at least one weight
+  // group fit in a bank.
+  int stripe_rows = out_rows_total;
+  int budget = 0;
+  for (; stripe_rows >= 1; --stripe_rows) {
+    const int in_rows = std::min(stripe_rows + wtiles_y, in_rows_total);
+    const std::int64_t in_words = static_cast<std::int64_t>(slots_in) *
+                                  in_rows * plan.in_tiles_x;
+    const std::int64_t out_words = static_cast<std::int64_t>(slots_out) *
+                                   stripe_rows * plan.out_tiles_x;
+    const std::int64_t left = cfg.bank_words - in_words - out_words;
+    if (left >= max_group_words) {
+      budget = static_cast<int>(left);
+      break;
+    }
+  }
+  if (stripe_rows < 1)
+    throw ConfigError(
+        "conv layer does not fit on chip even with single-tile-row stripes "
+        "(channels " +
+        std::to_string(in_shape.c) + "->" + std::to_string(out_channels) +
+        ", width " + std::to_string(in_shape.w) + ")");
+
+  // Balance stripes across instances (512-opt works on separate stripes):
+  // round the stripe count up to a multiple of `instances` and split rows
+  // evenly, so no instance idles while another finishes a longer tail.
+  if (cfg.instances > 1 && out_rows_total > stripe_rows) {
+    int n_stripes = (out_rows_total + stripe_rows - 1) / stripe_rows;
+    n_stripes = ((n_stripes + cfg.instances - 1) / cfg.instances) *
+                cfg.instances;
+    stripe_rows = (out_rows_total + n_stripes - 1) / n_stripes;
+  } else if (cfg.instances > 1 && out_rows_total >= cfg.instances) {
+    stripe_rows = (out_rows_total + cfg.instances - 1) / cfg.instances;
+  }
+
+  plan.weight_budget_words = budget;
+
+  for (int row0 = 0; row0 < out_rows_total; row0 += stripe_rows) {
+    ConvStripe stripe;
+    stripe.otile_row0 = row0;
+    stripe.otile_rows = std::min(stripe_rows, out_rows_total - row0);
+    stripe.in_tile_row0 = row0;
+    stripe.in_tile_rows =
+        std::min(stripe.otile_rows + wtiles_y, in_rows_total - row0);
+    // Chunk filter groups into the weight budget.
+    int g = 0;
+    while (g < weights.groups()) {
+      ConvStripe::Chunk chunk;
+      chunk.g0 = g;
+      int used = 0;
+      while (g < weights.groups() &&
+             used + weights.aligned_words(g) <= budget) {
+        used += weights.aligned_words(g);
+        ++g;
+        ++chunk.count;
+      }
+      TSCA_CHECK(chunk.count > 0,
+                 "weight group too large for budget: " << budget << " words");
+      stripe.chunks.push_back(chunk);
+    }
+    plan.stripes.push_back(std::move(stripe));
+  }
+
+  // Region bases: IFM at 0, OFM after the largest IFM stripe, weights last.
+  int max_in_words = 0;
+  int max_out_words = 0;
+  for (const ConvStripe& s : plan.stripes) {
+    max_in_words = std::max(max_in_words,
+                            slots_in * s.in_tile_rows * plan.in_tiles_x);
+    max_out_words = std::max(max_out_words,
+                             slots_out * s.otile_rows * plan.out_tiles_x);
+  }
+  plan.ifm_base = 0;
+  plan.ofm_base = max_in_words;
+  plan.weight_base = max_in_words + max_out_words;
+  TSCA_CHECK(plan.weight_base + max_group_words <= cfg.bank_words,
+             "layout overflow");
+  return plan;
+}
+
+core::ConvInstr make_conv_instr(const ConvPlan& plan, const ConvStripe& stripe,
+                                int g, int weight_base_for_group,
+                                const WeightImage& weights,
+                                const std::vector<std::int32_t>& bias,
+                                const nn::Requant& rq, int group_size) {
+  core::ConvInstr instr;
+  instr.ifm_base = plan.ifm_base;
+  instr.ifm_tiles_x = plan.in_tiles_x;
+  instr.ifm_tiles_y = stripe.in_tile_rows;
+  instr.ifm_channels = plan.in_shape.c;
+  instr.weight_base = weight_base_for_group;
+  instr.ofm_base = plan.ofm_base;
+  instr.ofm_tiles_x = plan.out_tiles_x;
+  instr.ofm_tiles_y = stripe.otile_rows;
+  instr.oc0 = g * group_size;
+  instr.active_filters = weights.active_filters(g);
+  instr.kernel_h = plan.kernel;
+  instr.kernel_w = plan.kernel;
+  for (int k = 0; k < instr.active_filters; ++k) {
+    const std::size_t oc = static_cast<std::size_t>(instr.oc0 + k);
+    instr.bias[static_cast<std::size_t>(k)] =
+        oc < bias.size() ? bias[oc] : 0;
+  }
+  instr.shift = rq.shift;
+  instr.relu = rq.relu;
+  instr.ternary_weights = weights.ternary();
+  return instr;
+}
+
+PoolPlan plan_pool(const core::ArchConfig& cfg, const nn::FmShape& in_shape,
+                   const nn::FmShape& out_shape, core::Opcode op, int win,
+                   int stride, int offset_y, int offset_x) {
+  TSCA_CHECK(op == core::Opcode::kPad || op == core::Opcode::kPool);
+  TSCA_CHECK(in_shape.c == out_shape.c, "pad/pool preserves channels");
+  PoolPlan plan;
+  plan.in_shape = in_shape;
+  plan.out_shape = out_shape;
+  plan.op = op;
+  plan.win = win;
+  plan.stride = stride;
+  plan.offset_y = offset_y;
+  plan.offset_x = offset_x;
+  plan.in_tiles_x = pack::tiles_for(in_shape.w);
+  plan.out_tiles_x = pack::tiles_for(out_shape.w);
+
+  const int lanes = cfg.lanes;
+  const int slots = (in_shape.c + lanes - 1) / lanes;
+  const int out_rows_total = pack::tiles_for(out_shape.h);
+  const int in_rows_total = pack::tiles_for(in_shape.h);
+
+  // Input tile rows required for out tile rows [r0, r0+rows).
+  auto in_row_range = [&](int r0, int rows, int& in_row0, int& in_rows) {
+    const int y_first = r0 * pack::kTileDim * stride + offset_y;
+    const int y_last = ((r0 + rows) * pack::kTileDim - 1) * stride + offset_y +
+                       win - 1;
+    const int lo = std::clamp(y_first, 0, in_shape.h - 1) / pack::kTileDim;
+    const int hi = std::clamp(y_last, 0, in_shape.h - 1) / pack::kTileDim;
+    in_row0 = lo;
+    in_rows = std::min(hi - lo + 1, in_rows_total - lo);
+  };
+
+  int stripe_rows = out_rows_total;
+  for (; stripe_rows >= 1; --stripe_rows) {
+    int in_row0 = 0;
+    int in_rows = 0;
+    in_row_range(0, stripe_rows, in_row0, in_rows);
+    const std::int64_t words =
+        static_cast<std::int64_t>(slots) *
+        (static_cast<std::int64_t>(in_rows) * plan.in_tiles_x +
+         static_cast<std::int64_t>(stripe_rows) * plan.out_tiles_x);
+    if (words <= cfg.bank_words) break;
+  }
+  if (stripe_rows < 1)
+    throw ConfigError("pad/pool layer does not fit on chip");
+
+  int max_in_words = 0;
+  for (int row0 = 0; row0 < out_rows_total; row0 += stripe_rows) {
+    PoolStripe stripe;
+    stripe.otile_row0 = row0;
+    stripe.otile_rows = std::min(stripe_rows, out_rows_total - row0);
+    in_row_range(row0, stripe.otile_rows, stripe.in_tile_row0,
+                 stripe.in_tile_rows);
+    stripe.local_offset_y = offset_y +
+                            row0 * pack::kTileDim * stride -
+                            stripe.in_tile_row0 * pack::kTileDim;
+    plan.stripes.push_back(stripe);
+    max_in_words = std::max(
+        max_in_words, slots * stripe.in_tile_rows * plan.in_tiles_x);
+  }
+  plan.ifm_base = 0;
+  plan.ofm_base = max_in_words;
+  return plan;
+}
+
+core::PadPoolInstr make_pool_instr(const PoolPlan& plan,
+                                   const PoolStripe& stripe) {
+  core::PadPoolInstr instr;
+  instr.ifm_base = plan.ifm_base;
+  instr.ifm_tiles_x = plan.in_tiles_x;
+  instr.ifm_tiles_y = stripe.in_tile_rows;
+  // Logical input extent within the stripe (rows past the layer's logical
+  // height read as zero anyway, but the generator clips against these).
+  instr.ifm_h = std::min(plan.in_shape.h - stripe.in_tile_row0 *
+                                               pack::kTileDim,
+                         stripe.in_tile_rows * pack::kTileDim);
+  instr.ifm_w = plan.in_shape.w;
+  instr.channels = plan.in_shape.c;
+  instr.ofm_base = plan.ofm_base;
+  instr.ofm_tiles_x = plan.out_tiles_x;
+  instr.ofm_tiles_y = stripe.otile_rows;
+  instr.ofm_h = std::min(plan.out_shape.h - stripe.otile_row0 *
+                                                pack::kTileDim,
+                         stripe.otile_rows * pack::kTileDim);
+  instr.ofm_w = plan.out_shape.w;
+  instr.win = plan.win;
+  instr.stride = plan.stride;
+  instr.offset_y = stripe.local_offset_y;
+  instr.offset_x = plan.offset_x;
+  return instr;
+}
+
+}  // namespace tsca::driver

@@ -1,0 +1,47 @@
+#include "driver/host_interface.hpp"
+
+namespace tsca::driver {
+
+HostInterface::HostInterface(core::Accelerator& accelerator, hls::Mode mode)
+    : acc_(accelerator), mode_(mode), regs_("accelerator-csr", kNumRegs) {}
+
+void HostInterface::write(int reg, std::uint32_t value) {
+  regs_.write(reg, value);
+  if (reg == kDoorbell && value != 0) {
+    core::EncodedInstruction words{};
+    for (int w = 0; w < core::kInstrWords; ++w)
+      words[static_cast<std::size_t>(w)] = regs_.peek(w);
+    try {
+      const core::Instruction instr = core::decode_instruction(words);
+      core::validate_instruction(instr, acc_.config());
+      queue_.push_back(instr);
+      regs_.poke(kStatus, kStatusQueued);
+      regs_.poke(kQueued, static_cast<std::uint32_t>(queue_.size()));
+    } catch (const InstructionError&) {
+      regs_.poke(kStatus, kStatusError);
+      throw;
+    }
+  } else if (reg == kGo && value != 0) {
+    last_stats_ = acc_.run_batch(queue_, mode_);
+    queue_.clear();
+    regs_.poke(kQueued, 0);
+    regs_.poke(kStatus, kStatusDone);
+    regs_.poke(kCyclesLo,
+               static_cast<std::uint32_t>(last_stats_.cycles & 0xffffffffu));
+    regs_.poke(kCyclesHi, static_cast<std::uint32_t>(last_stats_.cycles >> 32));
+  }
+}
+
+void HostInterface::submit(const core::Instruction& instr) {
+  const core::EncodedInstruction words = core::encode_instruction(instr);
+  for (int w = 0; w < core::kInstrWords; ++w)
+    regs_.write(w, words[static_cast<std::size_t>(w)]);
+  write(kDoorbell, 1);
+}
+
+core::BatchStats HostInterface::go() {
+  write(kGo, 1);
+  return last_stats_;
+}
+
+}  // namespace tsca::driver

@@ -1,0 +1,65 @@
+// Memory-mapped host interface ("System II", §IV-D).
+//
+// The ARM controls the accelerator through Avalon memory-mapped control and
+// status registers.  This models that contract: the host writes a 16-word
+// encoded instruction into the window, rings the doorbell, and the device
+// side decodes and queues it; GO executes the queued batch and publishes
+// status/cycle counters in read-back registers.
+//
+// Register map (32-bit registers):
+//   0..15   instruction window (core/encoding.hpp layout)
+//   16      DOORBELL — write 1: decode the window, append to the queue
+//   17      GO       — write 1: execute the queued batch on the accelerator
+//   18      STATUS   — 0 idle, 1 queued, 2 done, 0xE error
+//   19      QUEUED   — number of instructions pending
+//   20/21   CYCLES   — lo/hi of the last batch's cycle count
+#pragma once
+
+#include <vector>
+
+#include "core/accelerator.hpp"
+#include "core/encoding.hpp"
+#include "sim/mmio.hpp"
+
+namespace tsca::driver {
+
+class HostInterface {
+ public:
+  static constexpr int kDoorbell = 16;
+  static constexpr int kGo = 17;
+  static constexpr int kStatus = 18;
+  static constexpr int kQueued = 19;
+  static constexpr int kCyclesLo = 20;
+  static constexpr int kCyclesHi = 21;
+  static constexpr int kNumRegs = 22;
+
+  static constexpr std::uint32_t kStatusIdle = 0;
+  static constexpr std::uint32_t kStatusQueued = 1;
+  static constexpr std::uint32_t kStatusDone = 2;
+  static constexpr std::uint32_t kStatusError = 0xE;
+
+  explicit HostInterface(core::Accelerator& accelerator,
+                         hls::Mode mode = hls::Mode::kCycle);
+
+  // --- host-side convenience (drives the registers underneath) ---
+  void submit(const core::Instruction& instr);
+  core::BatchStats go();
+
+  // --- raw register access, as the bus would see it ---
+  sim::RegisterFile& regs() { return regs_; }
+  // Processes a register write's side effects (doorbell/GO).  The host-side
+  // helpers call this automatically.
+  void write(int reg, std::uint32_t value);
+  std::uint32_t read(int reg) const { return regs_.read(reg); }
+
+  const std::vector<core::Instruction>& queued() const { return queue_; }
+
+ private:
+  core::Accelerator& acc_;
+  hls::Mode mode_;
+  sim::RegisterFile regs_;
+  std::vector<core::Instruction> queue_;
+  core::BatchStats last_stats_;
+};
+
+}  // namespace tsca::driver

@@ -1,0 +1,194 @@
+#include "driver/perf_model.hpp"
+
+#include <algorithm>
+
+#include "core/kernels.hpp"
+#include "core/poolgen.hpp"
+#include "pack/lane_stream.hpp"
+
+namespace tsca::driver {
+
+PerfModel::PerfModel(core::ArchConfig cfg) : cfg_(std::move(cfg)) {
+  cfg_.validate();
+}
+
+std::int64_t PerfModel::conv_instr_cycles(
+    const core::ConvInstr& instr, const pack::PackedFilters& packed) const {
+  const std::int64_t scratch_bytes =
+      static_cast<std::int64_t>(cfg_.weight_scratch_words) * 16;
+
+  std::int64_t max_preload = 0;
+  std::int64_t max_lane_position = 0;
+  for (int lane = 0; lane < cfg_.lanes; ++lane) {
+    const int my_channels =
+        core::lane_channel_count(instr.ifm_channels, lane, cfg_.lanes);
+    if (my_channels == 0) {
+      max_lane_position = std::max<std::int64_t>(max_lane_position, 1);
+      continue;
+    }
+    const pack::LaneStream stream =
+        pack::build_lane_stream(packed, instr.oc0, instr.active_filters, lane,
+                                cfg_.lanes, instr.ternary_weights);
+    max_preload = std::max<std::int64_t>(
+        max_preload,
+        std::min<std::int64_t>(stream.total_words(),
+                               cfg_.weight_scratch_words));
+    // Fetch (port) and inject (weight command) totals pipeline against each
+    // other across the steps of a position — and across positions, since
+    // the barrier release hides behind the bundle FIFO — so the sustained
+    // per-position cost is the larger of the two totals.
+    std::int64_t fetch_total = 0;
+    std::int64_t inject_total = 0;
+    int steps = 0;
+    for (int ci = 0; ci < stream.channels; ++ci) {
+      for (int wt = 0; wt < stream.wtiles; ++wt) {
+        const pack::LaneTileGroup& group = stream.group(ci, wt);
+        if (cfg_.skip_empty_tile_groups &&
+            group.total_nnz(instr.active_filters) == 0)
+          continue;
+        ++steps;
+        const std::int64_t spill_begin =
+            std::max(group.byte_begin, scratch_bytes);
+        const std::int64_t spill_words =
+            (std::max<std::int64_t>(0, group.byte_end - spill_begin) + 15) /
+            16;
+        fetch_total += 4 + spill_words;
+        inject_total += std::max(1, group.max_nnz(instr.active_filters));
+      }
+    }
+    // The position barrier sits in the fetch path; it only shows up when
+    // fetch is the bottleneck (inject slack hides it otherwise).
+    const std::int64_t barrier = cfg_.lanes > 1 ? 1 : 0;
+    std::int64_t position = std::max(fetch_total + barrier, inject_total);
+    if (steps == 0) position = 1 + barrier;  // empty-marker bundle
+    max_lane_position = std::max(max_lane_position, position);
+  }
+
+  return constants_.instr_dispatch + max_preload +
+         static_cast<std::int64_t>(instr.positions()) * max_lane_position;
+}
+
+ConvPerf PerfModel::conv_layer(const nn::FmShape& padded_in,
+                               const pack::PackedFilters& packed) const {
+  const nn::FilterShape& fs = packed.shape();
+  TSCA_CHECK(fs.ic == padded_in.c);
+  const WeightImage wimg(packed, cfg_.lanes, cfg_.group);
+  const bool ternary = wimg.ternary();
+  const ConvPlan plan = plan_conv(cfg_, padded_in, fs.oc, fs.kh, wimg);
+
+  ConvPerf perf;
+  perf.macs_dense = conv_macs(padded_in, fs.oc, fs.kh);
+  perf.stripes = static_cast<int>(plan.stripes.size());
+  perf.ideal_cycles =
+      (perf.macs_dense + cfg_.macs_per_cycle() - 1) / cfg_.macs_per_cycle();
+
+  std::vector<std::int64_t> instance_cycles(
+      static_cast<std::size_t>(cfg_.instances), 0);
+  for (std::size_t si = 0; si < plan.stripes.size(); ++si) {
+    const ConvStripe& stripe = plan.stripes[si];
+    std::int64_t stripe_cycles = 0;
+    for (const ConvStripe::Chunk& chunk : stripe.chunks) {
+      for (int k = 0; k < chunk.count; ++k) {
+        const int g = chunk.g0 + k;
+        core::ConvInstr instr = make_conv_instr(
+            plan, stripe, g, plan.weight_base, wimg, {},
+            nn::Requant{}, cfg_.group);
+        stripe_cycles += conv_instr_cycles(instr, packed);
+        ++perf.instructions;
+      }
+    }
+    stripe_cycles += static_cast<std::int64_t>(stripe.chunks.size()) *
+                     constants_.batch_overhead;
+    instance_cycles[si % static_cast<std::size_t>(cfg_.instances)] +=
+        stripe_cycles;
+    // DMA traffic of this stripe: IFM in, OFM out, weight chunks.
+    perf.dma_bytes +=
+        16LL * (static_cast<std::int64_t>(padded_in.c) *
+                    stripe.in_tile_rows * plan.in_tiles_x +
+                static_cast<std::int64_t>(fs.oc) * stripe.otile_rows *
+                    plan.out_tiles_x);
+    for (const ConvStripe::Chunk& chunk : stripe.chunks)
+      for (int k = 0; k < chunk.count; ++k)
+        for (int lane = 0; lane < cfg_.lanes; ++lane)
+          perf.dma_bytes += 16LL * wimg.words(chunk.g0 + k, lane);
+  }
+  perf.cycles = *std::max_element(instance_cycles.begin(),
+                                  instance_cycles.end());
+
+  // Zero-skip accounting (independent of striping): per (group, lane,
+  // channel, weight tile), the concurrent filters inject max nnz commands.
+  const int positions_total = [&] {
+    std::int64_t p = 0;
+    for (const ConvStripe& s : plan.stripes)
+      p += static_cast<std::int64_t>(s.otile_rows) * plan.out_tiles_x;
+    return static_cast<int>(p);
+  }();
+  for (int g = 0; g < wimg.groups(); ++g) {
+    const int active = wimg.active_filters(g);
+    for (int lane = 0; lane < cfg_.lanes; ++lane) {
+      if (core::lane_channel_count(fs.ic, lane, cfg_.lanes) == 0) {
+        // Channel-less lanes emit one all-bubble end-of-position marker.
+        perf.weight_cmds += positions_total;
+        perf.weight_bubbles += static_cast<std::int64_t>(active) *
+                               positions_total;
+        continue;
+      }
+      const pack::LaneStream stream = pack::build_lane_stream(
+          packed, g * cfg_.group, active, lane, cfg_.lanes, ternary);
+      std::int64_t steps = 0;
+      for (const pack::LaneTileGroup& group : stream.groups) {
+        if (cfg_.skip_empty_tile_groups && group.total_nnz(active) == 0)
+          continue;
+        ++steps;
+        const std::int64_t n = std::max(1, group.max_nnz(active));
+        perf.weight_cmds += n * positions_total;
+        perf.weight_bubbles +=
+            (n * active - group.total_nnz(active)) * positions_total;
+        perf.macs_performed += static_cast<std::int64_t>(
+                                   group.total_nnz(active)) *
+                               pack::kTileSize * positions_total;
+      }
+      if (steps == 0) {
+        perf.weight_cmds += positions_total;
+        perf.weight_bubbles += static_cast<std::int64_t>(active) *
+                               positions_total;
+      }
+    }
+  }
+  return perf;
+}
+
+PoolPerf PerfModel::pool_layer(const nn::FmShape& in_shape,
+                               const nn::FmShape& out_shape, core::Opcode op,
+                               int win, int stride, int offset_y,
+                               int offset_x) const {
+  const PoolPlan plan =
+      plan_pool(cfg_, in_shape, out_shape, op, win, stride, offset_y,
+                offset_x);
+  PoolPerf perf;
+  perf.stripes = static_cast<int>(plan.stripes.size());
+  std::vector<std::int64_t> instance_cycles(
+      static_cast<std::size_t>(cfg_.instances), 0);
+  for (std::size_t si = 0; si < plan.stripes.size(); ++si) {
+    const core::PadPoolInstr instr =
+        make_pool_instr(plan, plan.stripes[si]);
+    // Steps per output tile are channel-independent; lanes run their
+    // channel slots in parallel.
+    const std::int64_t steps_per_channel = core::count_pool_steps(instr);
+    std::int64_t worst_lane = 0;
+    for (int lane = 0; lane < cfg_.lanes; ++lane)
+      worst_lane = std::max<std::int64_t>(
+          worst_lane,
+          static_cast<std::int64_t>(
+              core::lane_channel_count(instr.channels, lane, cfg_.lanes)) *
+              steps_per_channel);
+    perf.ops += steps_per_channel * instr.channels;
+    instance_cycles[si % static_cast<std::size_t>(cfg_.instances)] +=
+        constants_.instr_dispatch + worst_lane + constants_.batch_overhead;
+  }
+  perf.cycles = *std::max_element(instance_cycles.begin(),
+                                  instance_cycles.end());
+  return perf;
+}
+
+}  // namespace tsca::driver

@@ -1,0 +1,100 @@
+// Transaction-level performance model.
+//
+// Predicts the cycle-accurate engine's cycle counts analytically, so the
+// full-size VGG-16 studies (Figs. 7 and 8 of the paper) can sweep four
+// architecture variants × pruned/unpruned models in milliseconds instead of
+// simulating tens of millions of cycles.  The model walks the same plan the
+// driver executes and applies the pipeline's steady-state cost per
+// (channel, weight-tile) step:
+//
+//     step cycles = max( 4 IFM tile loads + scratchpad-spill words,
+//                        max(1, max_g nnz_g) weight injections )
+//
+// with instruction dispatch, scratchpad preload, per-position barrier
+// synchronization and pipeline-drain constants.  test_perf_model.cpp holds
+// the model to within a few percent of the cycle engine across a parameter
+// grid; the constants below were calibrated there.
+#pragma once
+
+#include <cstdint>
+
+#include "core/config.hpp"
+#include "driver/compiler.hpp"
+#include "pack/weight_pack.hpp"
+
+namespace tsca::driver {
+
+struct ConvPerf {
+  std::int64_t cycles = 0;        // elapsed cycles (max over instances)
+  std::int64_t ideal_cycles = 0;  // dense MACs / (macs per cycle, all instances)
+  std::int64_t macs_dense = 0;
+  std::int64_t macs_performed = 0;  // after zero-skipping
+  std::int64_t weight_cmds = 0;
+  std::int64_t weight_bubbles = 0;
+  std::int64_t dma_bytes = 0;  // stripe FM traffic + per-chunk weight streams
+  int stripes = 0;
+  int instructions = 0;
+
+  // Accelerator-clock cycles the DMA needs if not overlapped with compute
+  // (256-bit bus at the DDR clock).
+  std::int64_t dma_cycles(double clock_mhz, double ddr_mhz = 1200.0,
+                          int bus_bytes = 32) const {
+    const double beats =
+        static_cast<double>(dma_bytes) / static_cast<double>(bus_bytes);
+    return static_cast<std::int64_t>(beats * clock_mhz / ddr_mhz);
+  }
+
+  double efficiency() const {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(ideal_cycles) /
+                             static_cast<double>(cycles);
+  }
+  // Throughput in effective GMAC/s ("ops" in the paper count skipped MACs
+  // as performed).
+  double effective_gops(double clock_mhz) const {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(macs_dense) * clock_mhz * 1e6 /
+                             static_cast<double>(cycles) * 1e-9;
+  }
+};
+
+struct PoolPerf {
+  std::int64_t cycles = 0;
+  std::int64_t ops = 0;  // pool/pad micro-ops executed
+  int stripes = 0;
+};
+
+class PerfModel {
+ public:
+  explicit PerfModel(core::ArchConfig cfg);
+
+  const core::ArchConfig& config() const { return cfg_; }
+
+  // One CONV instruction (one stripe × one filter group).
+  std::int64_t conv_instr_cycles(const core::ConvInstr& instr,
+                                 const pack::PackedFilters& packed) const;
+
+  // A whole convolution layer: plans stripes/chunks exactly like the driver
+  // and sums instruction costs, distributing stripes over instances.
+  ConvPerf conv_layer(const nn::FmShape& padded_in,
+                      const pack::PackedFilters& packed) const;
+
+  // A whole PAD or POOL layer.
+  PoolPerf pool_layer(const nn::FmShape& in_shape,
+                      const nn::FmShape& out_shape, core::Opcode op, int win,
+                      int stride, int offset_y, int offset_x) const;
+
+  // Calibration constants (cycles), held to the cycle engine by
+  // test_perf_model.cpp.
+  struct Constants {
+    int instr_dispatch = 2;  // controller decode + fan-out, per instruction
+    int batch_overhead = 6;  // pipeline fill/drain per run_batch
+  };
+  const Constants& constants() const { return constants_; }
+
+ private:
+  core::ArchConfig cfg_;
+  Constants constants_;
+};
+
+}  // namespace tsca::driver

@@ -1,0 +1,615 @@
+#include "driver/runtime.hpp"
+
+#include <algorithm>
+
+#include "core/kernels.hpp"
+
+namespace tsca::driver {
+
+namespace {
+
+sim::DmaStats dma_delta(const sim::DmaStats& after,
+                        const sim::DmaStats& before) {
+  sim::DmaStats d;
+  d.transfers = after.transfers - before.transfers;
+  d.bytes_to_fpga = after.bytes_to_fpga - before.bytes_to_fpga;
+  d.bytes_to_dram = after.bytes_to_dram - before.bytes_to_dram;
+  d.modelled_cycles = after.modelled_cycles - before.modelled_cycles;
+  return d;
+}
+
+core::CounterSnapshot counter_delta(const core::CounterSnapshot& after,
+                                    const core::CounterSnapshot& before) {
+  core::CounterSnapshot d;
+  d.weight_cmds = after.weight_cmds - before.weight_cmds;
+  d.weight_bubbles = after.weight_bubbles - before.weight_bubbles;
+  d.macs_performed = after.macs_performed - before.macs_performed;
+  d.ifm_tile_reads = after.ifm_tile_reads - before.ifm_tile_reads;
+  d.weight_word_reads = after.weight_word_reads - before.weight_word_reads;
+  d.weight_spill_reads = after.weight_spill_reads - before.weight_spill_reads;
+  d.ofm_tile_writes = after.ofm_tile_writes - before.ofm_tile_writes;
+  d.pool_ops = after.pool_ops - before.pool_ops;
+  d.conv_instrs = after.conv_instrs - before.conv_instrs;
+  d.pad_instrs = after.pad_instrs - before.pad_instrs;
+  d.pool_instrs = after.pool_instrs - before.pool_instrs;
+  d.positions = after.positions - before.positions;
+  return d;
+}
+
+// Unpacks a contiguous range of channel slots (slot = channel / lanes) of a
+// stripe image — used by batched execution, where each weight chunk reads
+// back only the output channels it computed.
+void unpack_bank_stripe_slots(pack::TiledFm& fm,
+                              const std::vector<std::uint8_t>& bytes,
+                              int lane, int lanes, int row0, int rows,
+                              int slot0, int slot_count) {
+  std::size_t pos = 0;
+  for (int slot = slot0; slot < slot0 + slot_count; ++slot) {
+    const int c = slot * lanes + lane;
+    for (int r = row0; r < row0 + rows; ++r) {
+      for (int x = 0; x < fm.tiles_x(); ++x) {
+        TSCA_CHECK(pos + sim::kWordBytes <= bytes.size(),
+                   "short slot-range stripe image");
+        if (c < fm.channels()) {
+          sim::Word word;
+          std::copy(bytes.begin() + static_cast<std::ptrdiff_t>(pos),
+                    bytes.begin() + static_cast<std::ptrdiff_t>(pos) +
+                        sim::kWordBytes,
+                    word.b.begin());
+          fm.tile(c, r, x) = sim::tile_from_word(word);
+        }
+        pos += sim::kWordBytes;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> bank_stripe_bytes(const pack::TiledFm& fm, int lane,
+                                            int lanes, int row0, int rows) {
+  TSCA_CHECK(row0 >= 0 && rows >= 0 && row0 + rows <= fm.tiles_y(),
+             "stripe rows [" << row0 << ", " << row0 + rows << ") of "
+                             << fm.tiles_y());
+  std::vector<std::uint8_t> bytes;
+  for (int c = lane; c < fm.channels(); c += lanes) {
+    for (int r = row0; r < row0 + rows; ++r) {
+      for (int x = 0; x < fm.tiles_x(); ++x) {
+        const sim::Word word = sim::word_from_tile(fm.tile(c, r, x));
+        bytes.insert(bytes.end(), word.b.begin(), word.b.end());
+      }
+    }
+  }
+  return bytes;
+}
+
+void unpack_bank_stripe(pack::TiledFm& fm,
+                        const std::vector<std::uint8_t>& bytes, int lane,
+                        int lanes, int row0, int rows) {
+  TSCA_CHECK(row0 >= 0 && rows >= 0 && row0 + rows <= fm.tiles_y());
+  std::size_t pos = 0;
+  for (int c = lane; c < fm.channels(); c += lanes) {
+    for (int r = row0; r < row0 + rows; ++r) {
+      for (int x = 0; x < fm.tiles_x(); ++x) {
+        TSCA_CHECK(pos + sim::kWordBytes <= bytes.size(),
+                   "short stripe image");
+        sim::Word word;
+        std::copy(bytes.begin() + static_cast<std::ptrdiff_t>(pos),
+                  bytes.begin() + static_cast<std::ptrdiff_t>(pos) +
+                      sim::kWordBytes,
+                  word.b.begin());
+        fm.tile(c, r, x) = sim::tile_from_word(word);
+        pos += sim::kWordBytes;
+      }
+    }
+  }
+}
+
+Runtime::Runtime(core::Accelerator& accelerator, sim::Dram& dram,
+                 sim::DmaEngine& dma, RuntimeOptions options)
+    : acc_(accelerator), dram_(dram), dma_(dma), options_(options) {}
+
+void Runtime::stage_to_bank(sim::SramBank& bank, int word_addr,
+                            const std::vector<std::uint8_t>& bytes,
+                            sim::DmaStats&) {
+  if (bytes.empty()) return;
+  if (ddr_cursor_ + bytes.size() > dram_.size()) ddr_cursor_ = 0;
+  TSCA_CHECK(bytes.size() <= dram_.size(), "stripe larger than DDR");
+  dram_.write(ddr_cursor_, bytes.data(), bytes.size());
+  dma_.to_bank(bank, word_addr, ddr_cursor_, bytes.size());
+  ddr_cursor_ += bytes.size();
+}
+
+std::vector<std::uint8_t> Runtime::stage_from_bank(const sim::SramBank& bank,
+                                                   int word_addr, int words,
+                                                   sim::DmaStats&) {
+  std::vector<std::uint8_t> bytes(
+      static_cast<std::size_t>(words) * sim::kWordBytes);
+  if (bytes.empty()) return bytes;
+  if (ddr_cursor_ + bytes.size() > dram_.size()) ddr_cursor_ = 0;
+  dma_.to_dram(bank, word_addr, ddr_cursor_, bytes.size());
+  dram_.read(ddr_cursor_, bytes.data(), bytes.size());
+  ddr_cursor_ += bytes.size();
+  return bytes;
+}
+
+pack::TiledFm Runtime::run_conv(const pack::TiledFm& input,
+                                const pack::PackedFilters& packed,
+                                const std::vector<std::int32_t>& bias,
+                                const nn::Requant& rq, LayerRun& run) {
+  const core::ArchConfig& cfg = acc_.config();
+  TSCA_CHECK(packed.shape().ic == input.channels(),
+             "filter ic " << packed.shape().ic << " != input channels "
+                          << input.channels());
+  TSCA_CHECK(packed.shape().kh == packed.shape().kw,
+             "square kernels only (paper uses 3x3)");
+
+  const WeightImage wimg(packed, cfg.lanes, cfg.group);
+  const ConvPlan plan = plan_conv(cfg, input.shape(), packed.shape().oc,
+                                  packed.shape().kh, wimg);
+  pack::TiledFm output(plan.out_shape);
+
+  const auto counters_before = core::snapshot(acc_.counters());
+  const auto dma_before = dma_.stats();
+  std::vector<std::uint64_t> instance_cycles(
+      static_cast<std::size_t>(cfg.instances), 0);
+
+  run.on_accelerator = true;
+  run.kind = nn::LayerKind::kConv;
+  run.macs = conv_macs(input.shape(), packed.shape().oc, packed.shape().kh);
+  run.stripes = static_cast<int>(plan.stripes.size());
+
+  const int slots_out = (plan.out_shape.c + cfg.lanes - 1) / cfg.lanes;
+  for (std::size_t si = 0; si < plan.stripes.size(); ++si) {
+    const ConvStripe& stripe = plan.stripes[si];
+    const std::size_t instance = si % static_cast<std::size_t>(cfg.instances);
+    // Stage the (padded) IFM stripe into every bank.
+    for (int lane = 0; lane < cfg.lanes; ++lane)
+      stage_to_bank(acc_.bank(lane), plan.ifm_base,
+                    bank_stripe_bytes(input, lane, cfg.lanes,
+                                      stripe.in_tile_row0,
+                                      stripe.in_tile_rows),
+                    run.dma);
+    for (const ConvStripe::Chunk& chunk : stripe.chunks) {
+      // Stage this chunk's weight streams at lane-aligned group bases.
+      std::vector<core::Instruction> instrs;
+      int base = plan.weight_base;
+      for (int k = 0; k < chunk.count; ++k) {
+        const int g = chunk.g0 + k;
+        for (int lane = 0; lane < cfg.lanes; ++lane)
+          stage_to_bank(acc_.bank(lane), base, wimg.bytes(g, lane), run.dma);
+        instrs.push_back(core::Instruction::make_conv(make_conv_instr(
+            plan, stripe, g, base, wimg, bias, rq, cfg.group)));
+        base += wimg.aligned_words(g);
+      }
+      const core::BatchStats stats =
+          acc_.run_batch(instrs, options_.mode);
+      instance_cycles[instance] += stats.cycles;
+      ++run.batches;
+    }
+    // Read the OFM stripe back.
+    const int out_words = slots_out * stripe.otile_rows * plan.out_tiles_x;
+    for (int lane = 0; lane < cfg.lanes; ++lane) {
+      const int lane_words =
+          core::lane_channel_count(plan.out_shape.c, lane, cfg.lanes) *
+          stripe.otile_rows * plan.out_tiles_x;
+      (void)out_words;
+      if (lane_words == 0) continue;
+      unpack_bank_stripe(output,
+                         stage_from_bank(acc_.bank(lane), plan.ofm_base,
+                                         lane_words, run.dma),
+                         lane, cfg.lanes, stripe.otile_row0,
+                         stripe.otile_rows);
+    }
+  }
+  run.cycles = *std::max_element(instance_cycles.begin(),
+                                 instance_cycles.end());
+  run.counters = counter_delta(core::snapshot(acc_.counters()),
+                               counters_before);
+  run.dma = dma_delta(dma_.stats(), dma_before);
+  return output;
+}
+
+pack::TiledFm Runtime::run_pad_pool(const pack::TiledFm& input,
+                                    core::Opcode op,
+                                    const nn::FmShape& out_shape, int win,
+                                    int stride, int offset_y, int offset_x,
+                                    LayerRun& run) {
+  const core::ArchConfig& cfg = acc_.config();
+  const PoolPlan plan = plan_pool(cfg, input.shape(), out_shape, op, win,
+                                  stride, offset_y, offset_x);
+  pack::TiledFm output(out_shape);
+
+  const auto counters_before = core::snapshot(acc_.counters());
+  const auto dma_before = dma_.stats();
+  std::vector<std::uint64_t> instance_cycles(
+      static_cast<std::size_t>(cfg.instances), 0);
+
+  run.on_accelerator = true;
+  run.kind = op == core::Opcode::kPad ? nn::LayerKind::kPad
+                                      : nn::LayerKind::kMaxPool;
+  run.stripes = static_cast<int>(plan.stripes.size());
+
+  for (std::size_t si = 0; si < plan.stripes.size(); ++si) {
+    const PoolStripe& stripe = plan.stripes[si];
+    const std::size_t instance = si % static_cast<std::size_t>(cfg.instances);
+    for (int lane = 0; lane < cfg.lanes; ++lane)
+      stage_to_bank(acc_.bank(lane), plan.ifm_base,
+                    bank_stripe_bytes(input, lane, cfg.lanes,
+                                      stripe.in_tile_row0,
+                                      stripe.in_tile_rows),
+                    run.dma);
+    const core::Instruction instr =
+        op == core::Opcode::kPad
+            ? core::Instruction::make_pad(make_pool_instr(plan, stripe))
+            : core::Instruction::make_pool(make_pool_instr(plan, stripe));
+    const core::BatchStats stats = acc_.run_batch({instr}, options_.mode);
+    instance_cycles[instance] += stats.cycles;
+    ++run.batches;
+    for (int lane = 0; lane < cfg.lanes; ++lane) {
+      const int lane_words =
+          core::lane_channel_count(out_shape.c, lane, cfg.lanes) *
+          stripe.otile_rows * plan.out_tiles_x;
+      if (lane_words == 0) continue;
+      unpack_bank_stripe(output,
+                         stage_from_bank(acc_.bank(lane), plan.ofm_base,
+                                         lane_words, run.dma),
+                         lane, cfg.lanes, stripe.otile_row0,
+                         stripe.otile_rows);
+    }
+  }
+  run.cycles = *std::max_element(instance_cycles.begin(),
+                                 instance_cycles.end());
+  run.counters = counter_delta(core::snapshot(acc_.counters()),
+                               counters_before);
+  run.dma = dma_delta(dma_.stats(), dma_before);
+  return output;
+}
+
+std::vector<pack::TiledFm> Runtime::run_conv_batch(
+    const std::vector<pack::TiledFm>& inputs,
+    const pack::PackedFilters& packed, const std::vector<std::int32_t>& bias,
+    const nn::Requant& rq, LayerRun& run) {
+  TSCA_CHECK(!inputs.empty());
+  const core::ArchConfig& cfg = acc_.config();
+  for (const pack::TiledFm& input : inputs)
+    TSCA_CHECK(input.shape() == inputs.front().shape(),
+               "batch images must share a shape");
+  TSCA_CHECK(packed.shape().ic == inputs.front().channels());
+  TSCA_CHECK(packed.shape().kh == packed.shape().kw);
+
+  const WeightImage wimg(packed, cfg.lanes, cfg.group);
+  const ConvPlan plan = plan_conv(cfg, inputs.front().shape(),
+                                  packed.shape().oc, packed.shape().kh, wimg);
+  std::vector<pack::TiledFm> outputs(inputs.size(),
+                                     pack::TiledFm(plan.out_shape));
+
+  const auto counters_before = core::snapshot(acc_.counters());
+  const auto dma_before = dma_.stats();
+  std::vector<std::uint64_t> instance_cycles(
+      static_cast<std::size_t>(cfg.instances), 0);
+
+  run.on_accelerator = true;
+  run.kind = nn::LayerKind::kConv;
+  run.macs = conv_macs(inputs.front().shape(), packed.shape().oc,
+                       packed.shape().kh) *
+             static_cast<std::int64_t>(inputs.size());
+  run.stripes = static_cast<int>(plan.stripes.size());
+
+  for (std::size_t si = 0; si < plan.stripes.size(); ++si) {
+    const ConvStripe& stripe = plan.stripes[si];
+    const std::size_t instance = si % static_cast<std::size_t>(cfg.instances);
+    for (const ConvStripe::Chunk& chunk : stripe.chunks) {
+      // Weights once per chunk — the batch's whole point.
+      std::vector<core::Instruction> instrs;
+      int base = plan.weight_base;
+      for (int k = 0; k < chunk.count; ++k) {
+        const int g = chunk.g0 + k;
+        for (int lane = 0; lane < cfg.lanes; ++lane)
+          stage_to_bank(acc_.bank(lane), base, wimg.bytes(g, lane), run.dma);
+        instrs.push_back(core::Instruction::make_conv(make_conv_instr(
+            plan, stripe, g, base, wimg, bias, rq, cfg.group)));
+        base += wimg.aligned_words(g);
+      }
+      for (std::size_t img = 0; img < inputs.size(); ++img) {
+        for (int lane = 0; lane < cfg.lanes; ++lane)
+          stage_to_bank(acc_.bank(lane), plan.ifm_base,
+                        bank_stripe_bytes(inputs[img], lane, cfg.lanes,
+                                          stripe.in_tile_row0,
+                                          stripe.in_tile_rows),
+                        run.dma);
+        const core::BatchStats stats = acc_.run_batch(instrs, options_.mode);
+        instance_cycles[instance] += stats.cycles;
+        ++run.batches;
+        // Read back only this chunk's output-channel slots (group g writes
+        // slot g, since group == lanes and oc0 is group-aligned).
+        const int slot_words = stripe.otile_rows * plan.out_tiles_x;
+        for (int lane = 0; lane < cfg.lanes; ++lane) {
+          unpack_bank_stripe_slots(
+              outputs[img],
+              stage_from_bank(acc_.bank(lane),
+                              plan.ofm_base + chunk.g0 * slot_words,
+                              chunk.count * slot_words, run.dma),
+              lane, cfg.lanes, stripe.otile_row0, stripe.otile_rows,
+              chunk.g0, chunk.count);
+        }
+      }
+    }
+  }
+  run.cycles = *std::max_element(instance_cycles.begin(),
+                                 instance_cycles.end());
+  run.counters = counter_delta(core::snapshot(acc_.counters()),
+                               counters_before);
+  run.dma = dma_delta(dma_.stats(), dma_before);
+  return outputs;
+}
+
+std::vector<std::int8_t> Runtime::run_fc_as_conv(
+    const std::vector<std::int8_t>& input,
+    const std::vector<std::int8_t>& weights,
+    const std::vector<std::int32_t>& bias, int out_dim, const nn::Requant& rq,
+    LayerRun& run) {
+  TSCA_CHECK(out_dim > 0 && !input.empty());
+  TSCA_CHECK(weights.size() ==
+             input.size() * static_cast<std::size_t>(out_dim));
+  const int in_dim = static_cast<int>(input.size());
+
+  // 1x1 feature map with in_dim channels; filters are out_dim x in_dim x 1x1.
+  nn::FeatureMapI8 fm({in_dim, 1, 1});
+  for (int c = 0; c < in_dim; ++c)
+    fm.at(c, 0, 0) = input[static_cast<std::size_t>(c)];
+  nn::FilterBankI8 bank({out_dim, in_dim, 1, 1});
+  for (int o = 0; o < out_dim; ++o)
+    for (int c = 0; c < in_dim; ++c)
+      bank.at(o, c, 0, 0) =
+          weights[static_cast<std::size_t>(o) * input.size() +
+                  static_cast<std::size_t>(c)];
+
+  run.name = "fc-as-conv";
+  const pack::TiledFm out =
+      run_conv(pack::to_tiled(fm), pack::pack_filters(bank), bias, rq, run);
+  run.kind = nn::LayerKind::kFullyConnected;
+  const nn::FeatureMapI8 linear = pack::from_tiled(out);
+  std::vector<std::int8_t> logits(static_cast<std::size_t>(out_dim));
+  for (int o = 0; o < out_dim; ++o)
+    logits[static_cast<std::size_t>(o)] = linear.at(o, 0, 0);
+  return logits;
+}
+
+bool Runtime::run_fused_pad_conv(const pack::TiledFm& input,
+                                 const nn::Padding& pad,
+                                 const pack::PackedFilters& packed,
+                                 const std::vector<std::int32_t>& bias,
+                                 const nn::Requant& rq, pack::TiledFm& output,
+                                 LayerRun& pad_run, LayerRun& conv_run) {
+  const core::ArchConfig& cfg = acc_.config();
+  TSCA_CHECK(packed.shape().ic == input.channels());
+  TSCA_CHECK(packed.shape().kh == packed.shape().kw);
+  const int kernel = packed.shape().kh;
+  const nn::FmShape raw = input.shape();
+  const nn::FmShape padded{raw.c, raw.h + pad.top + pad.bottom,
+                           raw.w + pad.left + pad.right};
+  if (padded.h < kernel || padded.w < kernel) return false;
+  const nn::FmShape out_shape{packed.shape().oc, padded.h - kernel + 1,
+                              padded.w - kernel + 1};
+
+  // On-chip layout: raw input | padded map | OFM | weight chunk.  Everything
+  // must fit unstriped, with all filter groups' weights resident at once.
+  const int lanes = cfg.lanes;
+  const int slots_in = (raw.c + lanes - 1) / lanes;
+  const int slots_out = (out_shape.c + lanes - 1) / lanes;
+  const int raw_words =
+      slots_in * pack::tiles_for(raw.h) * pack::tiles_for(raw.w);
+  const int padded_words =
+      slots_in * pack::tiles_for(padded.h) * pack::tiles_for(padded.w);
+  const int out_words =
+      slots_out * pack::tiles_for(out_shape.h) * pack::tiles_for(out_shape.w);
+  const WeightImage wimg(packed, lanes, cfg.group);
+  int weight_words = 0;
+  for (int g = 0; g < wimg.groups(); ++g)
+    weight_words += wimg.aligned_words(g);
+  if (raw_words + padded_words + out_words + weight_words > cfg.bank_words)
+    return false;
+
+  const int padded_base = raw_words;
+  const int ofm_base = raw_words + padded_words;
+  const int weight_base = ofm_base + out_words;
+
+  const auto counters_before = core::snapshot(acc_.counters());
+  const auto dma_before = dma_.stats();
+
+  // Stage the raw input and every weight stream once.
+  for (int lane = 0; lane < lanes; ++lane) {
+    stage_to_bank(acc_.bank(lane), 0,
+                  bank_stripe_bytes(input, lane, lanes, 0,
+                                    pack::tiles_for(raw.h)),
+                  pad_run.dma);
+    int base = weight_base;
+    for (int g = 0; g < wimg.groups(); ++g) {
+      stage_to_bank(acc_.bank(lane), base, wimg.bytes(g, lane), conv_run.dma);
+      base += wimg.aligned_words(g);
+    }
+  }
+
+  // Batch 1: PAD into the on-chip padded region.  (A separate batch: the
+  // dependent CONV may only start once the pad's writes have landed, which
+  // the host guarantees by polling completion — exactly what the paper's
+  // driver does between dependent instructions.)
+  core::PadPoolInstr pi;
+  pi.ifm_base = 0;
+  pi.ifm_tiles_x = pack::tiles_for(raw.w);
+  pi.ifm_tiles_y = pack::tiles_for(raw.h);
+  pi.ifm_h = raw.h;
+  pi.ifm_w = raw.w;
+  pi.channels = raw.c;
+  pi.ofm_base = padded_base;
+  pi.ofm_tiles_x = pack::tiles_for(padded.w);
+  pi.ofm_tiles_y = pack::tiles_for(padded.h);
+  pi.ofm_h = padded.h;
+  pi.ofm_w = padded.w;
+  pi.win = 1;
+  pi.stride = 1;
+  pi.offset_y = -pad.top;
+  pi.offset_x = -pad.left;
+  const core::BatchStats pad_stats =
+      acc_.run_batch({core::Instruction::make_pad(pi)}, options_.mode);
+  pad_run.on_accelerator = true;
+  pad_run.kind = nn::LayerKind::kPad;
+  pad_run.cycles = pad_stats.cycles;
+  pad_run.stripes = 1;
+  pad_run.batches = 1;
+
+  // Batch 2: all filter groups, reading the padded map in place.
+  std::vector<core::Instruction> instrs;
+  int base = weight_base;
+  for (int g = 0; g < wimg.groups(); ++g) {
+    core::ConvInstr ci;
+    ci.ifm_base = padded_base;
+    ci.ifm_tiles_x = pi.ofm_tiles_x;
+    ci.ifm_tiles_y = pi.ofm_tiles_y;
+    ci.ifm_channels = padded.c;
+    ci.weight_base = base;
+    ci.ofm_base = ofm_base;
+    ci.ofm_tiles_x = pack::tiles_for(out_shape.w);
+    ci.ofm_tiles_y = pack::tiles_for(out_shape.h);
+    ci.oc0 = g * cfg.group;
+    ci.active_filters = wimg.active_filters(g);
+    ci.kernel_h = ci.kernel_w = kernel;
+    for (int k = 0; k < ci.active_filters; ++k) {
+      const std::size_t oc = static_cast<std::size_t>(ci.oc0 + k);
+      ci.bias[static_cast<std::size_t>(k)] = oc < bias.size() ? bias[oc] : 0;
+    }
+    ci.shift = rq.shift;
+    ci.relu = rq.relu;
+    ci.ternary_weights = wimg.ternary();
+    instrs.push_back(core::Instruction::make_conv(ci));
+    base += wimg.aligned_words(g);
+  }
+  const core::BatchStats conv_stats = acc_.run_batch(instrs, options_.mode);
+  conv_run.on_accelerator = true;
+  conv_run.kind = nn::LayerKind::kConv;
+  conv_run.cycles = conv_stats.cycles;
+  conv_run.macs = conv_macs(padded, out_shape.c, kernel);
+  conv_run.stripes = 1;
+  conv_run.batches = 1;
+
+  // Read the OFM back.
+  output = pack::TiledFm(out_shape);
+  for (int lane = 0; lane < lanes; ++lane) {
+    const int lane_words =
+        core::lane_channel_count(out_shape.c, lane, lanes) *
+        pack::tiles_for(out_shape.h) * pack::tiles_for(out_shape.w);
+    if (lane_words == 0) continue;
+    unpack_bank_stripe(output,
+                       stage_from_bank(acc_.bank(lane), ofm_base, lane_words,
+                                       conv_run.dma),
+                       lane, lanes, 0, pack::tiles_for(out_shape.h));
+  }
+  const auto counters_after = core::snapshot(acc_.counters());
+  conv_run.counters = counter_delta(counters_after, counters_before);
+  conv_run.dma = dma_delta(dma_.stats(), dma_before);
+  return true;
+}
+
+NetworkRun Runtime::run_network(const nn::Network& net,
+                                const quant::QuantizedModel& model,
+                                const nn::FeatureMapI8& input) {
+  TSCA_CHECK(input.shape() == net.input_shape(), "input shape mismatch");
+  NetworkRun result;
+  pack::TiledFm fm = pack::to_tiled(input);
+  std::vector<std::int8_t> flat;
+  bool is_flat = false;
+
+  for (std::size_t i = 0; i < net.layers().size(); ++i) {
+    const nn::LayerSpec& spec = net.layers()[i];
+    LayerRun run;
+    run.name = spec.name;
+    run.kind = spec.kind;
+    switch (spec.kind) {
+      case nn::LayerKind::kPad: {
+        TSCA_CHECK(!is_flat, "pad after flatten");
+        // Fuse with a directly following conv when both fit on chip.
+        if (options_.fuse_pad_conv && i + 1 < net.layers().size() &&
+            net.layers()[i + 1].kind == nn::LayerKind::kConv) {
+          LayerRun conv_run;
+          conv_run.name = net.layers()[i + 1].name;
+          const pack::PackedFilters packed =
+              pack::pack_filters(model.weights.conv[i + 1]);
+          pack::TiledFm fused_out;
+          if (run_fused_pad_conv(fm, spec.pad, packed,
+                                 model.weights.conv_bias[i + 1],
+                                 model.weights.conv_requant[i + 1], fused_out,
+                                 run, conv_run)) {
+            if (options_.keep_activations) {
+              // The padded intermediate never left the chip; reconstruct it
+              // for callers that asked for every activation.
+              const nn::FmShape padded{
+                  fm.shape().c, fm.shape().h + spec.pad.top + spec.pad.bottom,
+                  fm.shape().w + spec.pad.left + spec.pad.right};
+              result.activations.push_back(
+                  nn::pad_i8(pack::from_tiled(fm), spec.pad));
+              (void)padded;
+            }
+            fm = std::move(fused_out);
+            result.layers.push_back(std::move(run));
+            if (options_.keep_activations)
+              result.activations.push_back(pack::from_tiled(fm));
+            result.layers.push_back(std::move(conv_run));
+            ++i;  // the conv layer was consumed
+            continue;
+          }
+        }
+        const nn::FmShape out{fm.shape().c,
+                              fm.shape().h + spec.pad.top + spec.pad.bottom,
+                              fm.shape().w + spec.pad.left + spec.pad.right};
+        fm = run_pad_pool(fm, core::Opcode::kPad, out, 1, 1, -spec.pad.top,
+                          -spec.pad.left, run);
+        break;
+      }
+      case nn::LayerKind::kConv: {
+        TSCA_CHECK(!is_flat, "conv after flatten");
+        const pack::PackedFilters packed =
+            pack::pack_filters(model.weights.conv[i]);
+        fm = run_conv(fm, packed, model.weights.conv_bias[i],
+                      model.weights.conv_requant[i], run);
+        break;
+      }
+      case nn::LayerKind::kMaxPool: {
+        TSCA_CHECK(!is_flat, "pool after flatten");
+        const nn::FmShape out{
+            fm.shape().c,
+            nn::conv_out_extent(fm.shape().h, spec.pool.size,
+                                spec.pool.stride),
+            nn::conv_out_extent(fm.shape().w, spec.pool.size,
+                                spec.pool.stride)};
+        fm = run_pad_pool(fm, core::Opcode::kPool, out, spec.pool.size,
+                          spec.pool.stride, 0, 0, run);
+        break;
+      }
+      case nn::LayerKind::kFlatten: {
+        const nn::FeatureMapI8 linear = pack::from_tiled(fm);
+        flat.assign(linear.data(), linear.data() + linear.size());
+        is_flat = true;
+        break;
+      }
+      case nn::LayerKind::kFullyConnected:
+        TSCA_CHECK(is_flat, "fc before flatten");
+        flat = nn::fc_i8(flat, model.weights.fc[i], model.weights.fc_bias[i],
+                         spec.fc.out_dim, model.weights.fc_requant[i]);
+        break;
+      case nn::LayerKind::kSoftmax:
+        break;  // host-side, float domain; logits pass through
+    }
+    if (options_.keep_activations && !is_flat)
+      result.activations.push_back(pack::from_tiled(fm));
+    result.layers.push_back(std::move(run));
+  }
+  result.flat_output = is_flat;
+  if (is_flat)
+    result.logits = std::move(flat);
+  else
+    result.final_fm = pack::from_tiled(fm);
+  return result;
+}
+
+}  // namespace tsca::driver

@@ -1,0 +1,137 @@
+// Host runtime — the software on the embedded ARM (paper §IV-C).
+//
+// Owns the end-to-end flow: quantized weights are packed offline (§III-B);
+// per layer the runtime stages stripes into DDR, DMAs them into the
+// accelerator's banks, submits instruction batches, and collects results and
+// statistics.  Fully-connected layers and softmax run on the host, as in the
+// paper.
+//
+// With `instances > 1` in the ArchConfig (512-opt), stripes are distributed
+// round-robin over the instances; each instance is modelled by the same
+// Accelerator object run per stripe, and a layer's elapsed cycles are the
+// maximum over instances of their per-instance totals (the instances work
+// concurrently on separate stripes, §IV-D).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/accelerator.hpp"
+#include "driver/compiler.hpp"
+#include "nn/network.hpp"
+#include "pack/tile.hpp"
+#include "quant/quantize.hpp"
+#include "sim/dma.hpp"
+
+namespace tsca::driver {
+
+struct RuntimeOptions {
+  hls::Mode mode = hls::Mode::kCycle;
+  bool keep_activations = false;  // return every layer's feature map
+  // Fuse PAD directly into the following CONV batch when both fit on chip
+  // unstriped: the padded map never round-trips through DDR (the banks
+  // persist between instructions).  Falls back to separate execution when
+  // striping is needed.
+  bool fuse_pad_conv = true;
+};
+
+// Per-layer execution record.
+struct LayerRun {
+  std::string name;
+  nn::LayerKind kind = nn::LayerKind::kPad;
+  bool on_accelerator = false;
+  std::uint64_t cycles = 0;  // accelerator cycles (max over instances)
+  std::int64_t macs = 0;     // dense MACs (conv layers)
+  int stripes = 0;
+  int batches = 0;
+  core::CounterSnapshot counters;  // deltas for this layer
+  sim::DmaStats dma;
+};
+
+struct NetworkRun {
+  std::vector<LayerRun> layers;
+  std::vector<std::int8_t> logits;       // final flat activation (if any)
+  nn::FeatureMapI8 final_fm;             // final feature map (if not flat)
+  bool flat_output = false;
+  std::vector<nn::FeatureMapI8> activations;  // per layer, if requested
+};
+
+class Runtime {
+ public:
+  Runtime(core::Accelerator& accelerator, sim::Dram& dram,
+          sim::DmaEngine& dma, RuntimeOptions options = {});
+
+  // Executes one convolution over an already-padded input feature map.
+  // Returns the output map; fills `run` with statistics.
+  pack::TiledFm run_conv(const pack::TiledFm& input,
+                         const pack::PackedFilters& packed,
+                         const std::vector<std::int32_t>& bias,
+                         const nn::Requant& rq, LayerRun& run);
+
+  // Executes a PAD (win=1, stride=1, offset=−pad) or POOL layer.
+  pack::TiledFm run_pad_pool(const pack::TiledFm& input, core::Opcode op,
+                             const nn::FmShape& out_shape, int win, int stride,
+                             int offset_y, int offset_x, LayerRun& run);
+
+  // Lowers a fully-connected layer to a 1x1 convolution over a 1x1 feature
+  // map (in_dim channels -> out_dim channels) and runs it on the
+  // accelerator.  This is the experiment the paper declined to run: with one
+  // valid value per 16-value tile the datapath utilization is capped at
+  // 1/16, which is why FC layers stay on the ARM (§III-A).  Returns the
+  // logits; `run` records the (poor) cycle counts for the ablation bench.
+  std::vector<std::int8_t> run_fc_as_conv(
+      const std::vector<std::int8_t>& input,
+      const std::vector<std::int8_t>& weights,  // row-major [out][in]
+      const std::vector<std::int32_t>& bias, int out_dim,
+      const nn::Requant& rq, LayerRun& run);
+
+  // Executes PAD and the following convolution as one instruction batch with
+  // the padded map living only on chip.  Requires everything to fit without
+  // striping; returns false (doing nothing) otherwise.
+  bool run_fused_pad_conv(const pack::TiledFm& input, const nn::Padding& pad,
+                          const pack::PackedFilters& packed,
+                          const std::vector<std::int32_t>& bias,
+                          const nn::Requant& rq, pack::TiledFm& output,
+                          LayerRun& pad_run, LayerRun& conv_run);
+
+  // Executes a whole network: pad/conv/pool on the accelerator, flatten/FC/
+  // softmax on the host.
+  NetworkRun run_network(const nn::Network& net,
+                         const quant::QuantizedModel& model,
+                         const nn::FeatureMapI8& input);
+
+  // Batched convolution: one striping/chunking plan, weights staged once per
+  // chunk and reused across all images (the embedded-inference batching the
+  // paper's driver would do for throughput workloads).  Statistics in `run`
+  // cover the whole batch.
+  std::vector<pack::TiledFm> run_conv_batch(
+      const std::vector<pack::TiledFm>& inputs,
+      const pack::PackedFilters& packed,
+      const std::vector<std::int32_t>& bias, const nn::Requant& rq,
+      LayerRun& run);
+
+ private:
+  // DMA helpers: stage bytes through DDR into a bank region and back.
+  void stage_to_bank(sim::SramBank& bank, int word_addr,
+                     const std::vector<std::uint8_t>& bytes,
+                     sim::DmaStats& stats);
+  std::vector<std::uint8_t> stage_from_bank(const sim::SramBank& bank,
+                                            int word_addr, int words,
+                                            sim::DmaStats& stats);
+
+  core::Accelerator& acc_;
+  sim::Dram& dram_;
+  sim::DmaEngine& dma_;
+  RuntimeOptions options_;
+  std::uint64_t ddr_cursor_ = 0;  // bump allocator for staging buffers
+};
+
+// Stripe (de)serialization between tiled feature maps and bank images:
+// channels c ≡ lane (mod lanes), tile rows [row0, row0+rows), word layout
+// [channel slot][tile row][tile col].
+std::vector<std::uint8_t> bank_stripe_bytes(const pack::TiledFm& fm, int lane,
+                                            int lanes, int row0, int rows);
+void unpack_bank_stripe(pack::TiledFm& fm, const std::vector<std::uint8_t>& bytes,
+                        int lane, int lanes, int row0, int rows);
+
+}  // namespace tsca::driver

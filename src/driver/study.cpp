@@ -1,0 +1,128 @@
+#include "driver/study.hpp"
+
+#include <algorithm>
+
+#include "quant/ternary.hpp"
+
+namespace tsca::driver {
+
+StudyNetwork build_study_network(const StudyOptions& options) {
+  Rng rng(options.seed);
+  const nn::Network net = nn::build_vgg16({
+      .variant = options.variant,
+      .input_extent = options.input_extent,
+      .channel_divisor = options.channel_divisor,
+      .include_classifier = false,
+  });
+  nn::WeightsF weights = nn::init_random_weights(net, rng);
+  if (options.pruned && !options.ternary) {
+    const quant::PruneProfile profile =
+        options.uniform_density >= 0.0
+            ? quant::PruneProfile::uniform(options.uniform_density, 13, 3)
+            : quant::vgg16_han_profile();
+    quant::prune_weights(net, weights, profile);
+  } else if (options.uniform_density >= 0.0) {
+    quant::prune_weights(
+        net, weights,
+        quant::PruneProfile::uniform(options.uniform_density, 13, 3));
+  }
+
+  StudyNetwork study;
+  study.model_name = std::string(nn::vgg_variant_name(options.variant)) +
+                     (options.ternary ? "-ternary"
+                                      : (options.pruned ? "-pruned" : ""));
+
+  const std::vector<nn::LayerShape> shapes = net.infer_shapes();
+  nn::FmShape in = net.input_shape();
+  for (std::size_t i = 0; i < net.layers().size(); ++i) {
+    const nn::LayerSpec& spec = net.layers()[i];
+    if (spec.kind == nn::LayerKind::kConv) {
+      StudyLayer layer;
+      layer.name = spec.name;
+      layer.padded_in = in;
+      if (options.ternary) {
+        layer.packed = pack::pack_filters(
+            quant::ternarize_filters(weights.conv[i]).weights);
+      } else {
+        const int w_exp = quant::choose_exponent([&] {
+          float m = 0.0f;
+          const nn::FilterBankF& bank = weights.conv[i];
+          for (std::size_t k = 0; k < bank.size(); ++k)
+            m = std::max(m, std::abs(bank.data()[k]));
+          return m;
+        }());
+        layer.packed = pack::pack_filters(
+            quant::quantize_filters(weights.conv[i], w_exp));
+      }
+      const std::int64_t total =
+          static_cast<std::int64_t>(weights.conv[i].size());
+      layer.density = total == 0
+                          ? 0.0
+                          : static_cast<double>(layer.packed.total_nonzeros()) /
+                                static_cast<double>(total);
+      study.layers.push_back(std::move(layer));
+    } else if (spec.kind == nn::LayerKind::kPad) {
+      study.pad_pool_ops.push_back({core::Opcode::kPad, in, shapes[i].fm, 1,
+                                    1, -spec.pad.top});
+    } else if (spec.kind == nn::LayerKind::kMaxPool) {
+      study.pad_pool_ops.push_back({core::Opcode::kPool, in, shapes[i].fm,
+                                    spec.pool.size, spec.pool.stride, 0});
+    }
+    if (shapes[i].flat_dim == 0) in = shapes[i].fm;
+  }
+  return study;
+}
+
+VariantResult evaluate_variant(const core::ArchConfig& cfg,
+                               const StudyNetwork& network) {
+  const PerfModel model(cfg);
+  VariantResult result;
+  result.variant = cfg.name;
+  result.model_name = network.model_name;
+  result.clock_mhz = cfg.clock_mhz;
+
+  double eff_weighted = 0.0;
+  for (const StudyLayer& layer : network.layers) {
+    LayerResult lr;
+    lr.name = layer.name;
+    lr.perf = model.conv_layer(layer.padded_in, layer.packed);
+    lr.efficiency = lr.perf.efficiency();
+    lr.effective_gops = lr.perf.effective_gops(cfg.clock_mhz);
+    result.total_cycles += lr.perf.cycles;
+    result.total_macs += lr.perf.macs_dense;
+    result.dma_cycles += lr.perf.dma_cycles(cfg.clock_mhz);
+    eff_weighted += lr.efficiency * static_cast<double>(lr.perf.macs_dense);
+    result.layers.push_back(std::move(lr));
+  }
+  TSCA_CHECK(!result.layers.empty());
+  result.best_efficiency = result.worst_efficiency =
+      result.layers.front().efficiency;
+  result.best_gops = result.layers.front().effective_gops;
+  for (const LayerResult& lr : result.layers) {
+    result.best_efficiency = std::max(result.best_efficiency, lr.efficiency);
+    result.worst_efficiency = std::min(result.worst_efficiency, lr.efficiency);
+    result.best_gops = std::max(result.best_gops, lr.effective_gops);
+  }
+  result.mean_efficiency =
+      eff_weighted / static_cast<double>(result.total_macs);
+  result.mean_gops = static_cast<double>(result.total_macs) *
+                     cfg.clock_mhz * 1e6 /
+                     static_cast<double>(result.total_cycles) * 1e-9;
+  for (const StudyNetwork::PadPoolOp& op : network.pad_pool_ops)
+    result.pad_pool_cycles +=
+        model.pool_layer(op.in, op.out, op.op, op.win, op.stride, op.offset,
+                         op.offset)
+            .cycles;
+  result.network_gops =
+      static_cast<double>(result.total_macs) * cfg.clock_mhz * 1e6 /
+      static_cast<double>(result.total_cycles + result.pad_pool_cycles) *
+      1e-9;
+  result.network_gops_dma_serial =
+      static_cast<double>(result.total_macs) * cfg.clock_mhz * 1e6 /
+      static_cast<double>(result.total_cycles + result.pad_pool_cycles +
+                          result.dma_cycles) *
+      1e-9;
+  return result;
+}
+
+}  // namespace tsca::driver

@@ -1,0 +1,93 @@
+// VGG-16 experiment support — shared by the benchmark harness and examples.
+//
+// Builds the paper's workload (full-size VGG-16, synthetic weights at the
+// published pruning densities), packs every convolution layer, and evaluates
+// a configuration with the validated performance model.  One LayerResult per
+// conv layer carries everything Figs. 7/8 plot: ideal vs modelled cycles,
+// efficiency and effective GOPS.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "driver/perf_model.hpp"
+#include "nn/vgg16.hpp"
+#include "pack/weight_pack.hpp"
+#include "quant/prune.hpp"
+#include "quant/quantize.hpp"
+
+namespace tsca::driver {
+
+// One prepared convolution layer of the study network.
+struct StudyLayer {
+  std::string name;
+  nn::FmShape padded_in;  // input shape after the preceding PAD
+  pack::PackedFilters packed;
+  double density = 1.0;  // fraction of non-zero weights
+};
+
+// A prepared workload: every conv layer of VGG-16 (or a scaled variant).
+struct StudyNetwork {
+  std::string model_name;  // "vgg16" / "vgg16-pruned"
+  std::vector<StudyLayer> layers;
+  // Associated pad/pool geometry for whole-network cycle accounting.
+  struct PadPoolOp {
+    core::Opcode op;
+    nn::FmShape in;
+    nn::FmShape out;
+    int win = 1;
+    int stride = 1;
+    int offset = 0;  // offset_y == offset_x for VGG padding
+  };
+  std::vector<PadPoolOp> pad_pool_ops;
+};
+
+struct StudyOptions {
+  bool pruned = false;
+  // Ternary-weight model (paper future work): overrides pruning; weights
+  // become ±1/0 and the packed streams use the dense 1-byte format.
+  bool ternary = false;
+  nn::VggVariant variant = nn::VggVariant::kVgg16;
+  int input_extent = 224;
+  int channel_divisor = 1;
+  std::uint64_t seed = 2017;
+  // Uniform density override; < 0 uses the Han et al. VGG-16 profile when
+  // pruned.
+  double uniform_density = -1.0;
+};
+
+// Builds VGG-16 with deterministic synthetic weights, optionally pruned,
+// quantized and packed.
+StudyNetwork build_study_network(const StudyOptions& options);
+
+// Per-layer evaluation of one architecture variant.
+struct LayerResult {
+  std::string name;
+  ConvPerf perf;
+  double efficiency = 0.0;      // ideal cycles / modelled cycles
+  double effective_gops = 0.0;  // dense MACs / elapsed time
+};
+
+struct VariantResult {
+  std::string variant;
+  std::string model_name;
+  double clock_mhz = 0.0;
+  std::vector<LayerResult> layers;
+
+  double best_efficiency = 0.0;
+  double worst_efficiency = 0.0;
+  double mean_efficiency = 0.0;  // MAC-weighted across layers
+  double best_gops = 0.0;        // "peak" in the paper
+  double mean_gops = 0.0;        // MAC-weighted average, conv cycles only
+  double network_gops = 0.0;     // including interleaved pad/pool cycles
+  double network_gops_dma_serial = 0.0;  // worst case: DMA not overlapped
+  std::int64_t total_cycles = 0;
+  std::int64_t dma_cycles = 0;
+  std::int64_t pad_pool_cycles = 0;
+  std::int64_t total_macs = 0;
+};
+
+VariantResult evaluate_variant(const core::ArchConfig& cfg,
+                               const StudyNetwork& network);
+
+}  // namespace tsca::driver

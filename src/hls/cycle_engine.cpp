@@ -1,0 +1,100 @@
+#include "hls/cycle_engine.hpp"
+
+#include <sstream>
+#include <utility>
+
+namespace tsca::hls {
+
+void CycleEngine::add_kernel(const std::string& name, const Kernel& kernel) {
+  TSCA_CHECK(kernel.valid(), "invalid kernel: " << name);
+  root_of_handle_[kernel.handle().address()] = roots_.size();
+  roots_.push_back({name, kernel.handle()});
+  resumes_.push_back(0);
+  ready_.push_back(kernel.handle());
+}
+
+std::vector<CycleEngine::KernelActivity> CycleEngine::activity() const {
+  std::vector<KernelActivity> result;
+  result.reserve(roots_.size());
+  for (std::size_t i = 0; i < roots_.size(); ++i)
+    result.push_back({roots_[i].name, resumes_[i]});
+  return result;
+}
+
+void CycleEngine::check_errors() const {
+  for (const Root& root : roots_) {
+    if (root.handle.promise().error)
+      std::rethrow_exception(root.handle.promise().error);
+  }
+}
+
+bool CycleEngine::all_done() const {
+  for (const Root& root : roots_)
+    if (!root.handle.promise().done) return false;
+  return true;
+}
+
+void CycleEngine::throw_deadlock() const {
+  std::ostringstream os;
+  os << "cycle-engine deadlock at cycle " << cycle_ << "; stuck kernels:";
+  for (const Root& root : roots_)
+    if (!root.handle.promise().done) os << ' ' << root.name;
+  throw DeadlockError(os.str());
+}
+
+std::uint64_t CycleEngine::run(std::uint64_t max_cycles) {
+  TSCA_CHECK(!roots_.empty(), "no kernels to run");
+  for (;;) {
+    // Run phase: resume every runnable kernel; resumed kernels may schedule
+    // others only for later cycles (registered FIFOs), so a plain sweep over
+    // ready_ is complete for this cycle.
+    std::vector<std::coroutine_handle<>> batch = std::move(ready_);
+    ready_.clear();
+    for (std::coroutine_handle<> h : batch) {
+      if (track_resumes_) {
+        const auto it = root_of_handle_.find(h.address());
+        if (it != root_of_handle_.end()) ++resumes_[it->second];
+      }
+      h.resume();
+    }
+    check_errors();
+    if (all_done()) return cycle_;
+
+    // Advance phase.
+    bool pending = !next_.empty() || !ready_.empty();
+    if (!pending) {
+      for (const Waitable* w : waiting_) {
+        if (w->pending()) {
+          pending = true;
+          break;
+        }
+      }
+    }
+    if (!pending) throw_deadlock();
+    if (cycle_ >= max_cycles)
+      throw Error("cycle limit exceeded (" + std::to_string(max_cycles) +
+                  " cycles) — runaway simulation?");
+    ++cycle_;
+    ready_.insert(ready_.end(), next_.begin(), next_.end());
+    next_.clear();
+    // Poll only primitives with suspended waiters; a primitive may appear
+    // more than once in waiting_ (marked again after an earlier removal), so
+    // compact duplicates while sweeping.
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < waiting_.size(); ++i) {
+      Waitable* w = waiting_[i];
+      bool duplicate = false;
+      for (std::size_t j = 0; j < keep; ++j)
+        if (waiting_[j] == w) {
+          duplicate = true;
+          break;
+        }
+      if (duplicate) continue;
+      w->on_cycle_start();
+      if (w->has_waiters()) waiting_[keep++] = w;
+    }
+    waiting_.resize(keep);
+  }
+}
+
+}  // namespace tsca::hls

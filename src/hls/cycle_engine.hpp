@@ -1,0 +1,89 @@
+// Cycle-accurate scheduler.
+//
+// Single-threaded discrete-time simulation: each cycle, every runnable kernel
+// coroutine is resumed and runs until it suspends on `clk`, an empty/full
+// FIFO, a barrier, or an SRAM port.  FIFO pushes become visible one cycle
+// after the push (registered queues), which makes simulation results
+// independent of resume order within a cycle.
+//
+// The engine detects deadlock: if no kernel is runnable this cycle, none is
+// scheduled for a future cycle, and no waitable can make progress, it throws
+// DeadlockError with a state dump.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "hls/domain.hpp"
+#include "hls/kernel.hpp"
+
+namespace tsca::hls {
+
+class CycleEngine final : public Domain, public CycleScheduler {
+ public:
+  CycleEngine() = default;
+  CycleEngine(const CycleEngine&) = delete;
+  CycleEngine& operator=(const CycleEngine&) = delete;
+
+  // --- Domain ---
+  bool clk_ready() override { return false; }
+  void clk_wait(std::coroutine_handle<> h) override { next_.push_back(h); }
+  std::uint64_t cycle() const override { return cycle_; }
+  bool is_cycle_accurate() const override { return true; }
+
+  // --- CycleScheduler ---
+  std::uint64_t scheduler_cycle() const override { return cycle_; }
+  void schedule(std::coroutine_handle<> h) override { ready_.push_back(h); }
+  void register_waitable(Waitable* waitable) override {
+    // Registration exists for symmetry/debugging; polling is driven by
+    // mark_waiting so idle primitives cost nothing per cycle.
+    (void)waitable;
+  }
+  void mark_waiting(Waitable* waitable) override {
+    if (!waiting_.empty() && waiting_.back() == waitable) return;
+    waiting_.push_back(waitable);
+  }
+
+  // Kernels to simulate.  The engine does not own the coroutines; the caller
+  // (hls::System) keeps the Kernel objects alive for the whole run.
+  void add_kernel(const std::string& name, const Kernel& kernel);
+
+  // Per-kernel activity accounting: resumes ≈ cycles the unit did work (it
+  // was neither FIFO- nor port-blocked).  Off by default — tracking costs a
+  // hash lookup per resume.
+  void enable_resume_tracking() { track_resumes_ = true; }
+  struct KernelActivity {
+    std::string name;
+    std::uint64_t resumes = 0;
+  };
+  std::vector<KernelActivity> activity() const;
+
+  // Runs until every kernel has finished.  Returns the number of simulated
+  // cycles.  Throws the first kernel error, DeadlockError on deadlock, or
+  // Error when max_cycles is exceeded.
+  std::uint64_t run(std::uint64_t max_cycles);
+
+ private:
+  struct Root {
+    std::string name;
+    Kernel::Handle handle;
+  };
+
+  void check_errors() const;
+  bool all_done() const;
+  [[noreturn]] void throw_deadlock() const;
+
+  bool track_resumes_ = false;
+  std::unordered_map<void*, std::size_t> root_of_handle_;
+  std::vector<std::uint64_t> resumes_;
+  std::uint64_t cycle_ = 1;  // cycle 0 is "before time"; pushes at 1 visible at 2
+  std::vector<std::coroutine_handle<>> ready_;
+  std::vector<std::coroutine_handle<>> next_;
+  std::vector<Waitable*> waiting_;  // primitives with suspended waiters
+  std::vector<Root> roots_;
+};
+
+}  // namespace tsca::hls

@@ -1,0 +1,323 @@
+// FIFO queues connecting kernels — the LEGUP_PTHREAD_FIFO equivalent.
+//
+// One abstract interface, two implementations:
+//   * ThreadFifo — bounded blocking queue (mutex + condvars): the pthreads
+//     producer/consumer queue of the paper's software model.
+//   * CycleFifo — registered hardware FIFO for the cycle engine: data pushed
+//     in cycle N becomes poppable in cycle N+1; at most one push and one pop
+//     per cycle (single read/write port), so a kernel that forgets a clk
+//     await still cannot consume more than hardware bandwidth allows.
+//
+// Kernels use `co_await fifo.pop()` / `co_await fifo.push(v)`; in the thread
+// domain these block instead of suspending.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "hls/domain.hpp"
+#include "util/check.hpp"
+
+namespace tsca::hls {
+
+// Per-FIFO occupancy/stall statistics (valid in cycle mode).
+struct FifoStats {
+  std::uint64_t pushes = 0;
+  std::uint64_t pops = 0;
+  std::uint64_t push_stalls = 0;  // cycles a producer waited for space
+  std::uint64_t pop_stalls = 0;   // cycles a consumer waited for data
+};
+
+template <typename T>
+class Fifo;
+
+template <typename T>
+struct PopAwaiter {
+  Fifo<T>& fifo;
+  T value{};
+  bool got = false;
+
+  bool await_ready() {
+    got = fifo.try_pop(value);
+    return got;
+  }
+  void await_suspend(std::coroutine_handle<> h) { fifo.subscribe_pop(h); }
+  T await_resume() {
+    if (!got) {
+      const bool ok = fifo.try_pop(value);
+      TSCA_CHECK(ok, "woken popper found no data: " << fifo.name());
+    }
+    return std::move(value);
+  }
+};
+
+template <typename T>
+struct PushAwaiter {
+  Fifo<T>& fifo;
+  T value;
+  bool done_early = false;
+
+  bool await_ready() {
+    done_early = fifo.try_push(value);
+    return done_early;
+  }
+  void await_suspend(std::coroutine_handle<> h) { fifo.subscribe_push(h); }
+  void await_resume() {
+    if (!done_early) {
+      const bool ok = fifo.try_push(value);
+      TSCA_CHECK(ok, "woken pusher found no space: " << fifo.name());
+    }
+  }
+};
+
+template <typename T>
+class Fifo {
+ public:
+  Fifo(std::string name, int capacity) : name_(std::move(name)), capacity_(capacity) {
+    TSCA_CHECK(capacity > 0, "fifo capacity: " << name_);
+  }
+  virtual ~Fifo() = default;
+  Fifo(const Fifo&) = delete;
+  Fifo& operator=(const Fifo&) = delete;
+
+  const std::string& name() const { return name_; }
+  int capacity() const { return capacity_; }
+
+  PopAwaiter<T> pop() { return PopAwaiter<T>{*this}; }
+  PushAwaiter<T> push(T value) { return PushAwaiter<T>{*this, std::move(value)}; }
+
+  // Non-blocking pop in every mode (the accumulator units merge several
+  // product streams per cycle with this).  Subject to the same one-pop-per-
+  // cycle port rule as try_pop in cycle mode.
+  virtual bool poll(T& out) = 0;
+
+  // Host-side injection before the system starts (e.g. prefilled instruction
+  // queues): bypasses port accounting, fails only when full.
+  virtual bool seed(const T& value) = 0;
+
+  // --- awaiter hooks ---
+  virtual bool try_pop(T& out) = 0;
+  virtual void subscribe_pop(std::coroutine_handle<> h) = 0;
+  virtual bool try_push(const T& value) = 0;
+  virtual void subscribe_push(std::coroutine_handle<> h) = 0;
+
+  virtual FifoStats stats() const = 0;
+
+ protected:
+  const std::string name_;
+  const int capacity_;
+};
+
+// Notified on every completed blocking operation; the thread system's
+// watchdog uses it to detect global lack of progress.
+class ProgressSink {
+ public:
+  virtual ~ProgressSink() = default;
+  virtual void note_progress() = 0;
+};
+
+template <typename T>
+class ThreadFifo final : public Fifo<T>, public Poisonable {
+ public:
+  ThreadFifo(std::string name, int capacity, ProgressSink* progress)
+      : Fifo<T>(std::move(name), capacity), progress_(progress) {}
+
+  bool seed(const T& value) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (static_cast<int>(items_.size()) >= this->capacity()) return false;
+    items_.push_back(value);
+    ++stats_.pushes;
+    return true;
+  }
+
+  bool poll(T& out) override {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (poisoned_ && items_.empty())
+      throw PoisonedError("fifo poisoned: " + this->name());
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    ++stats_.pops;
+    lock.unlock();
+    not_full_.notify_one();
+    if (progress_ != nullptr) progress_->note_progress();
+    return true;
+  }
+
+  bool try_pop(T& out) override {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return !items_.empty() || poisoned_; });
+    if (items_.empty())
+      throw PoisonedError("fifo poisoned: " + this->name());
+    out = std::move(items_.front());
+    items_.pop_front();
+    ++stats_.pops;
+    lock.unlock();
+    not_full_.notify_one();
+    if (progress_ != nullptr) progress_->note_progress();
+    return true;
+  }
+
+  void subscribe_pop(std::coroutine_handle<>) override {
+    TSCA_CHECK(false, "thread fifo never suspends: " << this->name());
+  }
+
+  bool try_push(const T& value) override {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [&] {
+      return static_cast<int>(items_.size()) < this->capacity() || poisoned_;
+    });
+    if (poisoned_) throw PoisonedError("fifo poisoned: " + this->name());
+    items_.push_back(value);
+    ++stats_.pushes;
+    lock.unlock();
+    not_empty_.notify_one();
+    if (progress_ != nullptr) progress_->note_progress();
+    return true;
+  }
+
+  void subscribe_push(std::coroutine_handle<>) override {
+    TSCA_CHECK(false, "thread fifo never suspends: " << this->name());
+  }
+
+  void poison() override {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      poisoned_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  FifoStats stats() const override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+  }
+
+ private:
+  ProgressSink* progress_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool poisoned_ = false;
+  FifoStats stats_;
+};
+
+template <typename T>
+class CycleFifo final : public Fifo<T>, public Waitable {
+ public:
+  CycleFifo(std::string name, int capacity, CycleScheduler& sched)
+      : Fifo<T>(std::move(name), capacity), sched_(sched) {
+    sched_.register_waitable(this);
+  }
+
+  bool try_pop(T& out) override {
+    if (!pop_possible_now()) return false;
+    out = std::move(items_.front().value);
+    items_.pop_front();
+    last_pop_cycle_ = sched_.scheduler_cycle();
+    ++stats_.pops;
+    return true;
+  }
+
+  bool poll(T& out) override { return try_pop(out); }
+
+  bool seed(const T& value) override {
+    if (static_cast<int>(items_.size()) >= this->capacity()) return false;
+    items_.push_back({value, 0});  // visible from cycle 1 onward
+    ++stats_.pushes;
+    return true;
+  }
+
+  void subscribe_pop(std::coroutine_handle<> h) override {
+    TSCA_CHECK(!waiting_pop_, "two poppers on fifo " << this->name()
+                                                     << " (SPSC only)");
+    waiting_pop_ = h;
+    sched_.mark_waiting(this);
+  }
+
+  bool try_push(const T& value) override {
+    if (!push_possible_now()) return false;
+    items_.push_back({value, sched_.scheduler_cycle()});
+    last_push_cycle_ = sched_.scheduler_cycle();
+    ++stats_.pushes;
+    return true;
+  }
+
+  void subscribe_push(std::coroutine_handle<> h) override {
+    TSCA_CHECK(!waiting_push_, "two pushers on fifo " << this->name()
+                                                      << " (SPSC only)");
+    waiting_push_ = h;
+    sched_.mark_waiting(this);
+  }
+
+  bool has_waiters() const override {
+    return waiting_pop_ != nullptr || waiting_push_ != nullptr;
+  }
+
+  void on_cycle_start() override {
+    if (waiting_pop_) {
+      if (pop_possible_now()) {
+        sched_.schedule(std::exchange(waiting_pop_, nullptr));
+      } else {
+        ++stats_.pop_stalls;
+      }
+    }
+    if (waiting_push_) {
+      if (push_possible_now()) {
+        sched_.schedule(std::exchange(waiting_push_, nullptr));
+      } else {
+        ++stats_.push_stalls;
+      }
+    }
+  }
+
+  bool pending() const override {
+    // A popper wakes once a staged item becomes visible; a pusher wakes once
+    // occupancy drops (or, if the port limit blocked it, next cycle).
+    const bool popper_can_advance = waiting_pop_ != nullptr && !items_.empty();
+    const bool pusher_can_advance =
+        waiting_push_ != nullptr &&
+        (static_cast<int>(items_.size()) < this->capacity());
+    return popper_can_advance || pusher_can_advance;
+  }
+
+  FifoStats stats() const override { return stats_; }
+
+  std::size_t occupancy() const { return items_.size(); }
+
+ private:
+  struct Item {
+    T value;
+    std::uint64_t push_cycle;
+  };
+
+  bool pop_possible_now() const {
+    const std::uint64_t now = sched_.scheduler_cycle();
+    if (last_pop_cycle_ == now) return false;  // read port already used
+    return !items_.empty() && items_.front().push_cycle < now;
+  }
+
+  bool push_possible_now() const {
+    const std::uint64_t now = sched_.scheduler_cycle();
+    if (last_push_cycle_ == now) return false;  // write port already used
+    return static_cast<int>(items_.size()) < this->capacity();
+  }
+
+  CycleScheduler& sched_;
+  std::deque<Item> items_;
+  std::coroutine_handle<> waiting_pop_ = nullptr;
+  std::coroutine_handle<> waiting_push_ = nullptr;
+  std::uint64_t last_pop_cycle_ = ~std::uint64_t{0};
+  std::uint64_t last_push_cycle_ = ~std::uint64_t{0};
+  FifoStats stats_;
+};
+
+}  // namespace tsca::hls

@@ -1,0 +1,91 @@
+// Kernel coroutine type.
+//
+// A kernel is the unit the paper synthesizes from one pthread: a streaming
+// compute loop that pops inputs from FIFO queues, computes, and pushes
+// results.  Kernels here are C++20 coroutines written once and executed under
+// either of two domains (hls/system.hpp):
+//
+//   * thread domain — every kernel runs on its own std::thread and FIFO
+//     awaiters block, i.e. the classic producer/consumer pthreads program the
+//     paper's accelerator is written as;
+//   * cycle domain — a single-threaded scheduler advances a clock; FIFO
+//     awaiters suspend the coroutine until data/space becomes visible, and
+//     `co_await clk(domain)` consumes exactly one cycle, modelling an II=1
+//     pipelined loop.
+#pragma once
+
+#include <atomic>
+#include <coroutine>
+#include <exception>
+#include <string>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace tsca::hls {
+
+class Kernel {
+ public:
+  struct promise_type {
+    std::exception_ptr error;
+    // Atomic: in thread mode the watchdog polls done while the kernel's own
+    // thread writes it at final suspension.
+    std::atomic<bool> done{false};
+
+    Kernel get_return_object() {
+      return Kernel(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      void await_suspend(std::coroutine_handle<promise_type> h) noexcept {
+        h.promise().done = true;
+      }
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_void() {}
+    void unhandled_exception() {
+      error = std::current_exception();
+      done = true;
+    }
+  };
+
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Kernel() = default;
+  explicit Kernel(Handle handle) : handle_(handle) {}
+  Kernel(Kernel&& other) noexcept
+      : handle_(std::exchange(other.handle_, nullptr)) {}
+  Kernel& operator=(Kernel&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+  ~Kernel() { destroy(); }
+
+  Handle handle() const { return handle_; }
+  bool valid() const { return static_cast<bool>(handle_); }
+  bool done() const { return handle_ && handle_.promise().done.load(); }
+  std::exception_ptr error() const {
+    return handle_ ? handle_.promise().error : nullptr;
+  }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  Handle handle_;
+};
+
+}  // namespace tsca::hls

@@ -1,0 +1,123 @@
+#include "hls/system.hpp"
+
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+namespace tsca::hls {
+
+System::System(Mode mode, SystemOptions options)
+    : mode_(mode), options_(options) {
+  if (mode_ == Mode::kCycle)
+    engine_ = std::make_unique<CycleEngine>();
+  else
+    thread_domain_ = std::make_unique<ThreadDomain>();
+}
+
+Domain& System::domain() {
+  if (mode_ == Mode::kCycle) return *engine_;
+  return *thread_domain_;
+}
+
+Barrier& System::make_barrier(std::string name, int participants) {
+  if (mode_ == Mode::kCycle) {
+    auto barrier = std::make_shared<CycleBarrier>(std::move(name),
+                                                  participants, *engine_);
+    Barrier& ref = *barrier;
+    storage_.push_back(std::move(barrier));
+    return ref;
+  }
+  auto barrier =
+      std::make_shared<ThreadBarrier>(std::move(name), participants);
+  poisonables_.push_back(barrier.get());
+  Barrier& ref = *barrier;
+  storage_.push_back(std::move(barrier));
+  return ref;
+}
+
+void System::spawn(std::string name, Kernel kernel) {
+  TSCA_CHECK(!ran_, "spawn after run");
+  TSCA_CHECK(kernel.valid(), "invalid kernel: " << name);
+  kernels_.emplace_back(std::move(name), std::move(kernel));
+}
+
+System::RunResult System::run() {
+  TSCA_CHECK(!ran_, "System::run may only be called once");
+  TSCA_CHECK(!kernels_.empty(), "no kernels spawned");
+  ran_ = true;
+  if (mode_ == Mode::kCycle) {
+    if (options_.track_utilization) engine_->enable_resume_tracking();
+    for (const auto& [name, kernel] : kernels_)
+      engine_->add_kernel(name, kernel);
+    RunResult result;
+    result.cycles = engine_->run(options_.max_cycles);
+    if (options_.track_utilization) result.activity = engine_->activity();
+    return result;
+  }
+  return run_threads();
+}
+
+System::RunResult System::run_threads() {
+  std::vector<std::thread> threads;
+  threads.reserve(kernels_.size());
+  for (auto& [name, kernel] : kernels_) {
+    const Kernel::Handle handle = kernel.handle();
+    threads.emplace_back([handle] { handle.resume(); });
+  }
+
+  // Watchdog: if nothing makes progress for watchdog_ms while kernels are
+  // still running, poison every FIFO/barrier so blocked threads unwind.
+  bool poisoned = false;
+  {
+    using Clock = std::chrono::steady_clock;
+    std::uint64_t last_progress = progress_.load();
+    Clock::time_point last_change = Clock::now();
+    for (;;) {
+      bool all_done = true;
+      for (const auto& [name, kernel] : kernels_)
+        if (!kernel.done()) all_done = false;
+      if (all_done) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      const std::uint64_t now_progress = progress_.load();
+      if (now_progress != last_progress) {
+        last_progress = now_progress;
+        last_change = Clock::now();
+        continue;
+      }
+      if (Clock::now() - last_change >
+          std::chrono::milliseconds(options_.watchdog_ms)) {
+        poisoned = true;
+        for (Poisonable* p : poisonables_) p->poison();
+        break;
+      }
+    }
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Report the first non-poison error; poison-only errors mean the watchdog
+  // fired on a genuine deadlock.
+  std::exception_ptr first_real;
+  bool saw_poison = false;
+  for (const auto& [name, kernel] : kernels_) {
+    if (!kernel.error()) continue;
+    try {
+      std::rethrow_exception(kernel.error());
+    } catch (const PoisonedError&) {
+      saw_poison = true;
+    } catch (...) {
+      if (!first_real) first_real = kernel.error();
+    }
+  }
+  if (first_real) std::rethrow_exception(first_real);
+  if (poisoned || saw_poison) {
+    std::ostringstream os;
+    os << "thread-system watchdog fired after " << options_.watchdog_ms
+       << " ms without progress; stuck kernels:";
+    for (const auto& [name, kernel] : kernels_)
+      if (!kernel.done()) os << ' ' << name;
+    throw DeadlockError(os.str());
+  }
+  return RunResult{};
+}
+
+}  // namespace tsca::hls

@@ -1,0 +1,128 @@
+#include "model/area.hpp"
+
+#include <cmath>
+
+namespace tsca::model {
+
+namespace {
+
+// --- Arria-10-flavoured primitive costs -----------------------------------
+
+// n:1 multiplexer, `bits` wide: an ALM implements a 4:1 mux per bit; a tree
+// of them implements wider selects.
+int mux_alms(int inputs, int bits) {
+  if (inputs <= 1) return 0;
+  const int per_bit = (inputs - 1 + 2) / 3;  // (n-1)/3 rounded up
+  return per_bit * bits;
+}
+
+// Ripple/carry adder: ~1 ALM per bit.
+int adder_alms(int bits) { return bits; }
+
+// Registers: 4 FFs per ALM, but packing with logic is imperfect.
+int reg_alms(int bits) { return (bits + 2) / 3; }
+
+// 8-bit comparator (for MAX trees).
+int cmp8_alms() { return 6; }
+
+// Fabric overhead for control, routing and retiming registers in the
+// optimized builds.
+double fabric_overhead(const core::ArchConfig& cfg) {
+  return cfg.optimized_build ? 1.35 : 1.15;
+}
+
+int m20k_for_bits(double bits) {
+  // 80 % achievable utilization of a 20 Kbit block at wide aspect ratios.
+  return static_cast<int>(std::ceil(bits / (20'480.0 * 0.8)));
+}
+
+}  // namespace
+
+AreaReport estimate_area(const core::ArchConfig& cfg) {
+  cfg.validate();
+  const int L = cfg.lanes;
+  const int G = cfg.group;
+  const double oh = fabric_overhead(cfg);
+  AreaReport report;
+
+  auto add = [&](const std::string& name, int instances, double alms_each,
+                 int dsp_each, int m20k_each) {
+    UnitArea unit;
+    unit.unit = name;
+    unit.instances = instances;
+    unit.alms = static_cast<int>(alms_each * instances * oh);
+    unit.dsp_blocks = dsp_each * instances;
+    unit.m20k_blocks = m20k_each * instances;
+    report.units.push_back(unit);
+  };
+
+  // Convolution unit (Fig. 4(b)): per concurrent filter, 16 offset-steered
+  // 16:1 byte muxes feeding 16 multipliers; window + product registers.
+  const double conv_alms = G * 16 * mux_alms(16, 8)  // steering network
+                           + reg_alms(8 * 64)        // window registers
+                           + G * reg_alms(16 * 16)   // product registers
+                           + 600;                    // command decode/ctrl
+  const int conv_dsp = (G * 16 + 1) / 2;  // two 8-bit multiplies per block
+  add("convolution", L * cfg.instances, conv_alms, conv_dsp, 0);
+
+  // Accumulator unit: 16 OFM values × (lanes + 1)-input adder reduction at
+  // 32 bits, full-precision tile register, DSP blocks in accumulate mode.
+  const double accum_alms = 16 * L * adder_alms(32)  // reduction adders
+                            + reg_alms(16 * 32)      // tile register
+                            + 16 * mux_alms(L, 32) / 4  // lane gating
+                            + 400;
+  const int accum_dsp = 16 * L;  // one accumulator chain per value per lane
+  add("accumulator", G * cfg.instances, accum_alms, accum_dsp, 0);
+
+  // Data-staging/control (fetch + inject halves): address generation, the
+  // packed-stream parser, scratchpad barrel shifter, window assembly and the
+  // big instruction FSMs the paper calls out.
+  const double staging_alms = 1'400                     // address generation
+                              + 1'600                   // stream unpacker
+                              + 16 * mux_alms(16, 8)    // scratch barrel mux
+                              + 4 * mux_alms(4, 128) / 8  // window assembly
+                              + G * 320                 // per-filter inject
+                              + 1'200;                  // FSM + stall logic
+  const int staging_dsp = 8;  // address multipliers
+  // Weight scratchpad.
+  const int staging_m20k =
+      m20k_for_bits(static_cast<double>(cfg.weight_scratch_words) * 128);
+  add("data-staging/ctrl", L * cfg.instances, staging_alms, staging_dsp,
+      staging_m20k);
+
+  // Write-to-memory unit: 16 rounding shifters + saturation + port mux.
+  const double write_alms = 16 * (adder_alms(32) + 24) + 500;
+  add("write-to-memory", L * cfg.instances, write_alms, 0, 0);
+
+  // Pool/pad unit (Fig. 5): 4 MAX trees (15 comparators each) + 16 output
+  // muxes selecting among 4 MAX outputs / combine / keep.
+  const double pool_alms = 4 * 15 * cmp8_alms() + 16 * mux_alms(9, 8) +
+                           reg_alms(16 * 8) + 700;
+  add("pool/pad", L * cfg.instances, pool_alms, 0, 0);
+
+  // Controller (split conv / pad-pool FSMs per the paper's fix).
+  add("controller", cfg.instances, 2'400, 0, 0);
+
+  // FIFO queues: implemented in LUT RAM (the paper's pragma edit), so they
+  // cost ALMs, not M20K.
+  const int fifo_count = cfg.instances * (L * (6 + G) + 2 * G + 1);
+  const double fifo_alms = fifo_count * (cfg.fifo_depth * 3.0 + 60);
+  add("FIFO queues", 1, fifo_alms, 0, 0);
+
+  // On-FPGA SRAM banks.
+  const int bank_m20k =
+      m20k_for_bits(static_cast<double>(cfg.bank_words) * 128);
+  add("SRAM banks", L * cfg.instances, 350, 0, bank_m20k);
+
+  // DMA engine (the one hand-written RTL block) + Qsys interconnect.
+  add("DMA + interconnect", 1, 8'500, 0, 4);
+
+  for (const UnitArea& unit : report.units) {
+    report.total_alms += unit.alms;
+    report.total_dsp += unit.dsp_blocks;
+    report.total_m20k += unit.m20k_blocks;
+  }
+  return report;
+}
+
+}  // namespace tsca::model

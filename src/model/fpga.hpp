@@ -1,0 +1,29 @@
+// FPGA device database.
+//
+// Resource inventories of the Intel Arria 10 parts the paper targets (SX660)
+// and mentions as the scale-out path (GT1150).  Numbers are from the Arria 10
+// device overview: ALMs (adaptive logic modules), M20K memory blocks and
+// DSP blocks.
+#pragma once
+
+#include <string>
+
+namespace tsca::model {
+
+struct FpgaDevice {
+  std::string name;
+  int alms = 0;
+  int m20k_blocks = 0;   // 20 Kbit each
+  int dsp_blocks = 0;    // each: 2 × 18×19 multipliers (4 × 9-bit capable)
+
+  static FpgaDevice arria10_sx660() {
+    return {"Arria 10 SX660", 251'680, 2'133, 1'687};
+  }
+  static FpgaDevice arria10_gt1150() {
+    return {"Arria 10 GT1150", 427'200, 2'713, 1'518};
+  }
+
+  double m20k_kbits() const { return m20k_blocks * 20.0; }
+};
+
+}  // namespace tsca::model

@@ -1,0 +1,38 @@
+#include "model/power.hpp"
+
+#include <algorithm>
+
+namespace tsca::model {
+
+Activity Activity::peak(const core::ArchConfig& cfg) {
+  Activity a;
+  const double hz = cfg.clock_mhz * 1e6;
+  a.mac_rate = static_cast<double>(cfg.macs_per_cycle()) * hz;
+  // Every bank: one read word + one write word per cycle.
+  a.sram_word_rate =
+      2.0 * cfg.lanes * cfg.instances * hz;
+  // Sustained stripe traffic on the 256-bit DMA bus.
+  a.dma_byte_rate = 2e9;
+  return a;
+}
+
+PowerEstimate estimate_power(const core::ArchConfig& cfg,
+                             const AreaReport& area, const Activity& activity,
+                             const FpgaDevice& device,
+                             const PowerConstants& constants) {
+  PowerEstimate p;
+  const double util = std::min(1.0, area.alm_utilization(device));
+  p.static_w =
+      constants.static_base_w + constants.static_per_alm_util_w * util;
+  p.dynamic_w = activity.mac_rate * constants.mac_energy_pj * 1e-12 +
+                activity.sram_word_rate * constants.sram_word_energy_pj *
+                    1e-12 +
+                activity.dma_byte_rate * constants.dma_byte_energy_pj * 1e-12 +
+                cfg.clock_mhz * constants.clock_w_per_mhz *
+                    (static_cast<double>(area.total_alms) / 50'000.0);
+  p.board_w = p.fpga_w() / constants.vrm_efficiency +
+              constants.board_overhead_w;
+  return p;
+}
+
+}  // namespace tsca::model

@@ -1,0 +1,52 @@
+// Activity-based power model (substitute for board measurements, Table I).
+//
+//   P_fpga   = P_static(device, utilization) + P_dynamic(activity)
+//   P_board  = P_fpga / VRM efficiency + fixed board overhead (DDR4,
+//              peripherals, fans)
+//
+// Dynamic power is energy-per-event times event rate: multiply-accumulates,
+// SRAM tile-words and clock-tree/register toggling.  Constants are calibrated
+// to Table I's 256-opt measurement (2.3 W peak / 0.5 W dynamic on the FPGA;
+// 9.5 W at the board) and validated against the 512-opt row in the tests.
+#pragma once
+
+#include "core/config.hpp"
+#include "model/area.hpp"
+
+namespace tsca::model {
+
+// Event rates while running a workload (per second).
+struct Activity {
+  double mac_rate = 0.0;        // multiply-accumulates/s (performed)
+  double sram_word_rate = 0.0;  // 16-byte bank words/s (reads + writes)
+  double dma_byte_rate = 0.0;   // DDR traffic bytes/s
+
+  // Peak activity of a configuration: every MAC lane busy, every bank port
+  // streaming a word per cycle.
+  static Activity peak(const core::ArchConfig& cfg);
+};
+
+struct PowerEstimate {
+  double static_w = 0.0;
+  double dynamic_w = 0.0;
+  double fpga_w() const { return static_w + dynamic_w; }
+  double board_w = 0.0;
+};
+
+struct PowerConstants {
+  double mac_energy_pj = 6.0;         // per 8-bit MAC incl. local routing
+  double sram_word_energy_pj = 80.0;  // per 16-byte bank word access
+  double dma_byte_energy_pj = 30.0;   // per DDR byte moved
+  double clock_w_per_mhz = 4.0e-4;    // clock tree + register toggle
+  double static_base_w = 1.10;        // device leakage floor
+  double static_per_alm_util_w = 1.75;
+  double vrm_efficiency = 0.85;
+  double board_overhead_w = 6.8;      // DDR4 + peripherals + fan
+};
+
+PowerEstimate estimate_power(const core::ArchConfig& cfg,
+                             const AreaReport& area, const Activity& activity,
+                             const FpgaDevice& device,
+                             const PowerConstants& constants = {});
+
+}  // namespace tsca::model

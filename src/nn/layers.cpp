@@ -1,0 +1,210 @@
+#include "nn/layers.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tsca::nn {
+
+int conv_out_extent(int in, int kernel, int stride) {
+  TSCA_CHECK(stride > 0 && kernel > 0 && in >= kernel,
+             "in=" << in << " kernel=" << kernel << " stride=" << stride);
+  return (in - kernel) / stride + 1;
+}
+
+std::int8_t requantize(std::int32_t acc, const Requant& rq) {
+  std::int64_t v = acc;
+  if (rq.shift > 0) {
+    // Round half away from zero, matching the accelerator's rounder.
+    const std::int64_t half = std::int64_t{1} << (rq.shift - 1);
+    v = (v >= 0) ? ((v + half) >> rq.shift) : (-((-v + half) >> rq.shift));
+  }
+  if (rq.relu && v < 0) v = 0;
+  v = std::clamp<std::int64_t>(v, kInt8Min, kInt8Max);
+  return static_cast<std::int8_t>(v);
+}
+
+// ---- float ----------------------------------------------------------------
+
+FeatureMapF pad_f(const FeatureMapF& in, const Padding& pad) {
+  TSCA_CHECK(pad.top >= 0 && pad.bottom >= 0 && pad.left >= 0 &&
+             pad.right >= 0);
+  FeatureMapF out({in.channels(), in.height() + pad.top + pad.bottom,
+                   in.width() + pad.left + pad.right});
+  for (int c = 0; c < in.channels(); ++c)
+    for (int y = 0; y < in.height(); ++y)
+      for (int x = 0; x < in.width(); ++x)
+        out.at(c, y + pad.top, x + pad.left) = in.at(c, y, x);
+  return out;
+}
+
+FeatureMapF conv2d_f(const FeatureMapF& in, const FilterBankF& filters,
+                     const std::vector<float>& bias, int stride, bool relu) {
+  const FilterShape& fs = filters.shape();
+  TSCA_CHECK(fs.ic == in.channels(), "filter ic=" << fs.ic << " input c="
+                                                  << in.channels());
+  TSCA_CHECK(bias.empty() || static_cast<int>(bias.size()) == fs.oc);
+  const int oh = conv_out_extent(in.height(), fs.kh, stride);
+  const int ow = conv_out_extent(in.width(), fs.kw, stride);
+  FeatureMapF out({fs.oc, oh, ow});
+  for (int oc = 0; oc < fs.oc; ++oc) {
+    for (int oy = 0; oy < oh; ++oy) {
+      for (int ox = 0; ox < ow; ++ox) {
+        float acc = bias.empty() ? 0.0f : bias[oc];
+        for (int ic = 0; ic < fs.ic; ++ic)
+          for (int ky = 0; ky < fs.kh; ++ky)
+            for (int kx = 0; kx < fs.kw; ++kx)
+              acc += in.at(ic, oy * stride + ky, ox * stride + kx) *
+                     filters.at(oc, ic, ky, kx);
+        if (relu && acc < 0.0f) acc = 0.0f;
+        out.at(oc, oy, ox) = acc;
+      }
+    }
+  }
+  return out;
+}
+
+FeatureMapF maxpool_f(const FeatureMapF& in, const PoolParams& pool) {
+  const int oh = conv_out_extent(in.height(), pool.size, pool.stride);
+  const int ow = conv_out_extent(in.width(), pool.size, pool.stride);
+  FeatureMapF out({in.channels(), oh, ow});
+  for (int c = 0; c < in.channels(); ++c) {
+    for (int oy = 0; oy < oh; ++oy) {
+      for (int ox = 0; ox < ow; ++ox) {
+        float best = in.at(c, oy * pool.stride, ox * pool.stride);
+        for (int py = 0; py < pool.size; ++py)
+          for (int px = 0; px < pool.size; ++px)
+            best = std::max(best, in.at(c, oy * pool.stride + py,
+                                        ox * pool.stride + px));
+        out.at(c, oy, ox) = best;
+      }
+    }
+  }
+  return out;
+}
+
+FeatureMapF relu_f(const FeatureMapF& in) {
+  FeatureMapF out = in;
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out.data()[i] = std::max(0.0f, out.data()[i]);
+  return out;
+}
+
+std::vector<float> fc_f(const std::vector<float>& in,
+                        const std::vector<float>& weights,
+                        const std::vector<float>& bias, int out_dim,
+                        bool relu) {
+  TSCA_CHECK(out_dim > 0);
+  TSCA_CHECK(weights.size() == in.size() * static_cast<std::size_t>(out_dim));
+  TSCA_CHECK(bias.empty() || static_cast<int>(bias.size()) == out_dim);
+  std::vector<float> out(static_cast<std::size_t>(out_dim), 0.0f);
+  for (int o = 0; o < out_dim; ++o) {
+    float acc = bias.empty() ? 0.0f : bias[o];
+    const float* row = &weights[static_cast<std::size_t>(o) * in.size()];
+    for (std::size_t i = 0; i < in.size(); ++i) acc += row[i] * in[i];
+    out[o] = (relu && acc < 0.0f) ? 0.0f : acc;
+  }
+  return out;
+}
+
+std::vector<float> softmax_f(const std::vector<float>& in) {
+  TSCA_CHECK(!in.empty());
+  const float mx = *std::max_element(in.begin(), in.end());
+  std::vector<float> out(in.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i] = std::exp(in[i] - mx);
+    sum += out[i];
+  }
+  for (auto& v : out) v = static_cast<float>(v / sum);
+  return out;
+}
+
+// ---- int8 -------------------------------------------------------------
+
+FeatureMapI8 pad_i8(const FeatureMapI8& in, const Padding& pad) {
+  TSCA_CHECK(pad.top >= 0 && pad.bottom >= 0 && pad.left >= 0 &&
+             pad.right >= 0);
+  FeatureMapI8 out({in.channels(), in.height() + pad.top + pad.bottom,
+                    in.width() + pad.left + pad.right});
+  for (int c = 0; c < in.channels(); ++c)
+    for (int y = 0; y < in.height(); ++y)
+      for (int x = 0; x < in.width(); ++x)
+        out.at(c, y + pad.top, x + pad.left) = in.at(c, y, x);
+  return out;
+}
+
+FeatureMapI32 conv2d_i8_raw(const FeatureMapI8& in,
+                            const FilterBankI8& filters,
+                            const std::vector<std::int32_t>& bias,
+                            int stride) {
+  const FilterShape& fs = filters.shape();
+  TSCA_CHECK(fs.ic == in.channels());
+  TSCA_CHECK(bias.empty() || static_cast<int>(bias.size()) == fs.oc);
+  const int oh = conv_out_extent(in.height(), fs.kh, stride);
+  const int ow = conv_out_extent(in.width(), fs.kw, stride);
+  FeatureMapI32 out({fs.oc, oh, ow});
+  for (int oc = 0; oc < fs.oc; ++oc) {
+    for (int oy = 0; oy < oh; ++oy) {
+      for (int ox = 0; ox < ow; ++ox) {
+        std::int32_t acc = bias.empty() ? 0 : bias[oc];
+        for (int ic = 0; ic < fs.ic; ++ic)
+          for (int ky = 0; ky < fs.kh; ++ky)
+            for (int kx = 0; kx < fs.kw; ++kx)
+              acc += static_cast<std::int32_t>(
+                         in.at(ic, oy * stride + ky, ox * stride + kx)) *
+                     filters.at(oc, ic, ky, kx);
+        out.at(oc, oy, ox) = acc;
+      }
+    }
+  }
+  return out;
+}
+
+FeatureMapI8 conv2d_i8(const FeatureMapI8& in, const FilterBankI8& filters,
+                       const std::vector<std::int32_t>& bias, int stride,
+                       const Requant& rq) {
+  const FeatureMapI32 raw = conv2d_i8_raw(in, filters, bias, stride);
+  FeatureMapI8 out(raw.shape());
+  for (std::size_t i = 0; i < raw.size(); ++i)
+    out.data()[i] = requantize(raw.data()[i], rq);
+  return out;
+}
+
+FeatureMapI8 maxpool_i8(const FeatureMapI8& in, const PoolParams& pool) {
+  const int oh = conv_out_extent(in.height(), pool.size, pool.stride);
+  const int ow = conv_out_extent(in.width(), pool.size, pool.stride);
+  FeatureMapI8 out({in.channels(), oh, ow});
+  for (int c = 0; c < in.channels(); ++c) {
+    for (int oy = 0; oy < oh; ++oy) {
+      for (int ox = 0; ox < ow; ++ox) {
+        std::int8_t best = in.at(c, oy * pool.stride, ox * pool.stride);
+        for (int py = 0; py < pool.size; ++py)
+          for (int px = 0; px < pool.size; ++px)
+            best = std::max(best, in.at(c, oy * pool.stride + py,
+                                        ox * pool.stride + px));
+        out.at(c, oy, ox) = best;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::int8_t> fc_i8(const std::vector<std::int8_t>& in,
+                               const std::vector<std::int8_t>& weights,
+                               const std::vector<std::int32_t>& bias,
+                               int out_dim, const Requant& rq) {
+  TSCA_CHECK(out_dim > 0);
+  TSCA_CHECK(weights.size() == in.size() * static_cast<std::size_t>(out_dim));
+  TSCA_CHECK(bias.empty() || static_cast<int>(bias.size()) == out_dim);
+  std::vector<std::int8_t> out(static_cast<std::size_t>(out_dim));
+  for (int o = 0; o < out_dim; ++o) {
+    std::int32_t acc = bias.empty() ? 0 : bias[o];
+    const std::int8_t* row = &weights[static_cast<std::size_t>(o) * in.size()];
+    for (std::size_t i = 0; i < in.size(); ++i)
+      acc += static_cast<std::int32_t>(row[i]) * in[i];
+    out[o] = requantize(acc, rq);
+  }
+  return out;
+}
+
+}  // namespace tsca::nn

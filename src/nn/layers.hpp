@@ -1,0 +1,88 @@
+// Reference layer implementations ("the oracle").
+//
+// Two families:
+//   * float ops — stand-in for the Caffe model the paper trains against;
+//   * int8 ops — bit-exact software model of the accelerator's arithmetic
+//     (int8 operands in [-127,127], 32-bit accumulation, rounded right-shift
+//     requantization, optional fused ReLU, saturation to [-127,127]).
+//
+// Every accelerator engine (threaded, cycle-accurate) is tested for bit-exact
+// agreement with the int8 ops here.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace tsca::nn {
+
+// Padding amounts around a feature map (paper: zeros around the perimeter).
+struct Padding {
+  int top = 0;
+  int bottom = 0;
+  int left = 0;
+  int right = 0;
+
+  static Padding uniform(int p) { return {p, p, p, p}; }
+  bool operator==(const Padding&) const = default;
+};
+
+// Max-pooling window geometry.
+struct PoolParams {
+  int size = 2;
+  int stride = 2;
+  bool operator==(const PoolParams&) const = default;
+};
+
+// Requantization applied after integer accumulation.
+struct Requant {
+  int shift = 0;    // arithmetic right shift with round-half-up
+  bool relu = false;
+
+  bool operator==(const Requant&) const = default;
+};
+
+// Saturating int8 range used throughout: sign+magnitude has no -128.
+inline constexpr std::int32_t kInt8Min = -127;
+inline constexpr std::int32_t kInt8Max = 127;
+
+// Rounded arithmetic right shift, then optional ReLU, then saturation.
+std::int8_t requantize(std::int32_t acc, const Requant& rq);
+
+// ---- float reference ----------------------------------------------------
+
+FeatureMapF pad_f(const FeatureMapF& in, const Padding& pad);
+FeatureMapF conv2d_f(const FeatureMapF& in, const FilterBankF& filters,
+                     const std::vector<float>& bias, int stride, bool relu);
+FeatureMapF maxpool_f(const FeatureMapF& in, const PoolParams& pool);
+FeatureMapF relu_f(const FeatureMapF& in);
+std::vector<float> fc_f(const std::vector<float>& in,
+                        const std::vector<float>& weights,  // [out][in]
+                        const std::vector<float>& bias, int out_dim, bool relu);
+std::vector<float> softmax_f(const std::vector<float>& in);
+
+// ---- int8 reference (accelerator semantics) ------------------------------
+
+FeatureMapI8 pad_i8(const FeatureMapI8& in, const Padding& pad);
+
+// Raw 32-bit accumulator output (bias pre-loaded), before requantization.
+FeatureMapI32 conv2d_i8_raw(const FeatureMapI8& in,
+                            const FilterBankI8& filters,
+                            const std::vector<std::int32_t>& bias, int stride);
+
+FeatureMapI8 conv2d_i8(const FeatureMapI8& in, const FilterBankI8& filters,
+                       const std::vector<std::int32_t>& bias, int stride,
+                       const Requant& rq);
+
+FeatureMapI8 maxpool_i8(const FeatureMapI8& in, const PoolParams& pool);
+
+std::vector<std::int8_t> fc_i8(const std::vector<std::int8_t>& in,
+                               const std::vector<std::int8_t>& weights,
+                               const std::vector<std::int32_t>& bias,
+                               int out_dim, const Requant& rq);
+
+// Output spatial size of a convolution/pool with given input extent.
+int conv_out_extent(int in, int kernel, int stride);
+
+}  // namespace tsca::nn

@@ -1,0 +1,307 @@
+#include "nn/network.hpp"
+
+#include <cmath>
+
+namespace tsca::nn {
+
+const char* layer_kind_name(LayerKind kind) {
+  switch (kind) {
+    case LayerKind::kPad:
+      return "pad";
+    case LayerKind::kConv:
+      return "conv";
+    case LayerKind::kMaxPool:
+      return "maxpool";
+    case LayerKind::kFlatten:
+      return "flatten";
+    case LayerKind::kFullyConnected:
+      return "fc";
+    case LayerKind::kSoftmax:
+      return "softmax";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string default_name(const char* base, std::size_t index) {
+  return std::string(base) + "_" + std::to_string(index);
+}
+
+}  // namespace
+
+Network& Network::add_pad(const Padding& pad, std::string name) {
+  LayerSpec spec;
+  spec.kind = LayerKind::kPad;
+  spec.pad = pad;
+  spec.name = name.empty() ? default_name("pad", layers_.size()) : name;
+  layers_.push_back(std::move(spec));
+  return *this;
+}
+
+Network& Network::add_conv(const ConvSpec& conv, std::string name) {
+  LayerSpec spec;
+  spec.kind = LayerKind::kConv;
+  spec.conv = conv;
+  spec.name = name.empty() ? default_name("conv", layers_.size()) : name;
+  layers_.push_back(std::move(spec));
+  return *this;
+}
+
+Network& Network::add_maxpool(const PoolParams& pool, std::string name) {
+  LayerSpec spec;
+  spec.kind = LayerKind::kMaxPool;
+  spec.pool = pool;
+  spec.name = name.empty() ? default_name("pool", layers_.size()) : name;
+  layers_.push_back(std::move(spec));
+  return *this;
+}
+
+Network& Network::add_flatten(std::string name) {
+  LayerSpec spec;
+  spec.kind = LayerKind::kFlatten;
+  spec.name = name.empty() ? default_name("flatten", layers_.size()) : name;
+  layers_.push_back(std::move(spec));
+  return *this;
+}
+
+Network& Network::add_fc(const FcSpec& fc, std::string name) {
+  LayerSpec spec;
+  spec.kind = LayerKind::kFullyConnected;
+  spec.fc = fc;
+  spec.name = name.empty() ? default_name("fc", layers_.size()) : name;
+  layers_.push_back(std::move(spec));
+  return *this;
+}
+
+Network& Network::add_softmax(std::string name) {
+  LayerSpec spec;
+  spec.kind = LayerKind::kSoftmax;
+  spec.name = name.empty() ? default_name("softmax", layers_.size()) : name;
+  layers_.push_back(std::move(spec));
+  return *this;
+}
+
+std::vector<LayerShape> Network::infer_shapes() const {
+  std::vector<LayerShape> shapes;
+  shapes.reserve(layers_.size());
+  FmShape fm = input_shape_;
+  int flat_dim = 0;
+  bool flat = false;
+  TSCA_CHECK(fm.c > 0 && fm.h > 0 && fm.w > 0, "network input shape");
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    const LayerSpec& spec = layers_[i];
+    LayerShape out;
+    switch (spec.kind) {
+      case LayerKind::kPad:
+        if (flat) throw ConfigError("pad layer after flatten: " + spec.name);
+        fm.h += spec.pad.top + spec.pad.bottom;
+        fm.w += spec.pad.left + spec.pad.right;
+        out.fm = fm;
+        break;
+      case LayerKind::kConv: {
+        if (flat) throw ConfigError("conv layer after flatten: " + spec.name);
+        if (spec.conv.out_c <= 0 || spec.conv.kernel <= 0 ||
+            spec.conv.stride <= 0)
+          throw ConfigError("bad conv spec: " + spec.name);
+        if (fm.h < spec.conv.kernel || fm.w < spec.conv.kernel)
+          throw ConfigError("conv kernel larger than input: " + spec.name);
+        fm = {spec.conv.out_c,
+              conv_out_extent(fm.h, spec.conv.kernel, spec.conv.stride),
+              conv_out_extent(fm.w, spec.conv.kernel, spec.conv.stride)};
+        out.fm = fm;
+        break;
+      }
+      case LayerKind::kMaxPool:
+        if (flat) throw ConfigError("pool layer after flatten: " + spec.name);
+        if (fm.h < spec.pool.size || fm.w < spec.pool.size)
+          throw ConfigError("pool window larger than input: " + spec.name);
+        fm = {fm.c, conv_out_extent(fm.h, spec.pool.size, spec.pool.stride),
+              conv_out_extent(fm.w, spec.pool.size, spec.pool.stride)};
+        out.fm = fm;
+        break;
+      case LayerKind::kFlatten:
+        if (flat) throw ConfigError("double flatten: " + spec.name);
+        flat = true;
+        flat_dim = static_cast<int>(fm.count());
+        out.flat_dim = flat_dim;
+        break;
+      case LayerKind::kFullyConnected:
+        if (!flat)
+          throw ConfigError("fc layer before flatten: " + spec.name);
+        if (spec.fc.out_dim <= 0) throw ConfigError("bad fc spec: " + spec.name);
+        flat_dim = spec.fc.out_dim;
+        out.flat_dim = flat_dim;
+        break;
+      case LayerKind::kSoftmax:
+        if (!flat)
+          throw ConfigError("softmax before flatten: " + spec.name);
+        out.flat_dim = flat_dim;
+        break;
+    }
+    if (!flat) out.flat_dim = 0;
+    shapes.push_back(out);
+  }
+  return shapes;
+}
+
+std::vector<std::int64_t> Network::conv_macs() const {
+  const std::vector<LayerShape> shapes = infer_shapes();
+  std::vector<std::int64_t> macs(layers_.size(), 0);
+  FmShape in = input_shape_;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    const LayerSpec& spec = layers_[i];
+    if (spec.kind == LayerKind::kConv) {
+      const FmShape& out = shapes[i].fm;
+      macs[i] = static_cast<std::int64_t>(out.c) * out.h * out.w * in.c *
+                spec.conv.kernel * spec.conv.kernel;
+    }
+    if (shapes[i].flat_dim == 0) in = shapes[i].fm;
+  }
+  return macs;
+}
+
+WeightsF init_random_weights(const Network& net, Rng& rng) {
+  const std::vector<LayerShape> shapes = net.infer_shapes();
+  const std::size_t n = net.layers().size();
+  WeightsF w;
+  w.conv.resize(n);
+  w.conv_bias.resize(n);
+  w.fc.resize(n);
+  w.fc_bias.resize(n);
+  FmShape in = net.input_shape();
+  int flat_in = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const LayerSpec& spec = net.layers()[i];
+    if (spec.kind == LayerKind::kConv) {
+      const FilterShape fs{spec.conv.out_c, in.c, spec.conv.kernel,
+                           spec.conv.kernel};
+      FilterBankF bank(fs);
+      const double scale =
+          std::sqrt(2.0 / (static_cast<double>(fs.ic) * fs.kh * fs.kw));
+      for (std::size_t k = 0; k < bank.size(); ++k)
+        bank.data()[k] = static_cast<float>(rng.next_gaussian() * scale);
+      w.conv[i] = std::move(bank);
+      w.conv_bias[i].assign(static_cast<std::size_t>(fs.oc), 0.0f);
+      for (auto& b : w.conv_bias[i])
+        b = static_cast<float>(rng.next_gaussian() * 0.01);
+    } else if (spec.kind == LayerKind::kFullyConnected) {
+      const std::size_t in_dim = static_cast<std::size_t>(flat_in);
+      const std::size_t out_dim = static_cast<std::size_t>(spec.fc.out_dim);
+      w.fc[i].resize(in_dim * out_dim);
+      const double scale = std::sqrt(2.0 / static_cast<double>(in_dim));
+      for (auto& v : w.fc[i])
+        v = static_cast<float>(rng.next_gaussian() * scale);
+      w.fc_bias[i].assign(out_dim, 0.0f);
+      for (auto& b : w.fc_bias[i])
+        b = static_cast<float>(rng.next_gaussian() * 0.01);
+    }
+    if (shapes[i].flat_dim == 0)
+      in = shapes[i].fm;
+    else
+      flat_in = shapes[i].flat_dim;
+  }
+  return w;
+}
+
+std::vector<ActivationF> forward_f_all(const Network& net,
+                                       const WeightsF& weights,
+                                       const FeatureMapF& input) {
+  TSCA_CHECK(input.shape() == net.input_shape(), "input shape mismatch");
+  std::vector<ActivationF> acts;
+  acts.reserve(net.layers().size());
+  FeatureMapF fm = input;
+  std::vector<float> flat;
+  bool is_flat = false;
+  for (std::size_t i = 0; i < net.layers().size(); ++i) {
+    const LayerSpec& spec = net.layers()[i];
+    switch (spec.kind) {
+      case LayerKind::kPad:
+        fm = pad_f(fm, spec.pad);
+        break;
+      case LayerKind::kConv:
+        fm = conv2d_f(fm, weights.conv[i], weights.conv_bias[i],
+                      spec.conv.stride, spec.conv.relu);
+        break;
+      case LayerKind::kMaxPool:
+        fm = maxpool_f(fm, spec.pool);
+        break;
+      case LayerKind::kFlatten:
+        flat.assign(fm.data(), fm.data() + fm.size());
+        is_flat = true;
+        break;
+      case LayerKind::kFullyConnected:
+        flat = fc_f(flat, weights.fc[i], weights.fc_bias[i], spec.fc.out_dim,
+                    spec.fc.relu);
+        break;
+      case LayerKind::kSoftmax:
+        flat = softmax_f(flat);
+        break;
+    }
+    ActivationF act;
+    act.is_flat = is_flat;
+    if (is_flat)
+      act.flat = flat;
+    else
+      act.fm = fm;
+    acts.push_back(std::move(act));
+  }
+  return acts;
+}
+
+std::vector<float> forward_f(const Network& net, const WeightsF& weights,
+                             const FeatureMapF& input) {
+  std::vector<ActivationF> acts = forward_f_all(net, weights, input);
+  TSCA_CHECK(!acts.empty());
+  ActivationF& last = acts.back();
+  if (last.is_flat) return std::move(last.flat);
+  return std::vector<float>(last.fm.data(), last.fm.data() + last.fm.size());
+}
+
+std::vector<ActivationI8> forward_i8_all(const Network& net,
+                                         const WeightsI8& weights,
+                                         const FeatureMapI8& input) {
+  TSCA_CHECK(input.shape() == net.input_shape(), "input shape mismatch");
+  std::vector<ActivationI8> acts;
+  acts.reserve(net.layers().size());
+  FeatureMapI8 fm = input;
+  std::vector<std::int8_t> flat;
+  bool is_flat = false;
+  for (std::size_t i = 0; i < net.layers().size(); ++i) {
+    const LayerSpec& spec = net.layers()[i];
+    switch (spec.kind) {
+      case LayerKind::kPad:
+        fm = pad_i8(fm, spec.pad);
+        break;
+      case LayerKind::kConv:
+        fm = conv2d_i8(fm, weights.conv[i], weights.conv_bias[i],
+                       spec.conv.stride, weights.conv_requant[i]);
+        break;
+      case LayerKind::kMaxPool:
+        fm = maxpool_i8(fm, spec.pool);
+        break;
+      case LayerKind::kFlatten:
+        flat.assign(fm.data(), fm.data() + fm.size());
+        is_flat = true;
+        break;
+      case LayerKind::kFullyConnected:
+        flat = fc_i8(flat, weights.fc[i], weights.fc_bias[i], spec.fc.out_dim,
+                     weights.fc_requant[i]);
+        break;
+      case LayerKind::kSoftmax:
+        // Softmax stays in the float domain on the host; the int8 pipeline
+        // passes logits through unchanged (argmax is shift-invariant).
+        break;
+    }
+    ActivationI8 act;
+    act.is_flat = is_flat;
+    if (is_flat)
+      act.flat = flat;
+    else
+      act.fm = fm;
+    acts.push_back(std::move(act));
+  }
+  return acts;
+}
+
+}  // namespace tsca::nn

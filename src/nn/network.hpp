@@ -1,0 +1,142 @@
+// Sequential network description.
+//
+// A Network is a list of layer specs (pad / conv / max-pool / flatten / fully
+// connected / softmax).  Padding is an explicit layer — the paper's
+// accelerator executes padding as its own instruction, so the network
+// description mirrors the instruction stream the driver will compile.
+//
+// Weight storage is separate from topology: the same Network can be run with
+// float weights (oracle) or quantized weights (accelerator semantics).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/layers.hpp"
+#include "nn/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace tsca::nn {
+
+enum class LayerKind {
+  kPad,
+  kConv,
+  kMaxPool,
+  kFlatten,
+  kFullyConnected,
+  kSoftmax,
+};
+
+const char* layer_kind_name(LayerKind kind);
+
+struct ConvSpec {
+  int out_c = 0;
+  int kernel = 3;
+  int stride = 1;
+  bool relu = true;
+  bool operator==(const ConvSpec&) const = default;
+};
+
+struct FcSpec {
+  int out_dim = 0;
+  bool relu = true;
+  bool operator==(const FcSpec&) const = default;
+};
+
+struct LayerSpec {
+  LayerKind kind = LayerKind::kPad;
+  std::string name;
+  Padding pad;      // kPad
+  ConvSpec conv;    // kConv
+  PoolParams pool;  // kMaxPool
+  FcSpec fc;        // kFullyConnected
+};
+
+// Per-layer output shape after shape inference.  For kFlatten and later
+// layers `flat_dim` is used and `fm` is zero-sized.
+struct LayerShape {
+  FmShape fm;
+  int flat_dim = 0;
+};
+
+class Network {
+ public:
+  explicit Network(FmShape input_shape, std::string name = "net")
+      : input_shape_(input_shape), name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  const FmShape& input_shape() const { return input_shape_; }
+  const std::vector<LayerSpec>& layers() const { return layers_; }
+
+  Network& add_pad(const Padding& pad, std::string name = "");
+  Network& add_conv(const ConvSpec& conv, std::string name = "");
+  Network& add_maxpool(const PoolParams& pool, std::string name = "");
+  Network& add_flatten(std::string name = "");
+  Network& add_fc(const FcSpec& fc, std::string name = "");
+  Network& add_softmax(std::string name = "");
+
+  // Validates the topology and returns the output shape of every layer
+  // (element i is the shape *after* layer i).  Throws ConfigError on
+  // inconsistent topology (e.g. fc before flatten).
+  std::vector<LayerShape> infer_shapes() const;
+
+  // Total multiply-accumulates per conv layer (keyed by layer index); pads
+  // and pools contribute zero.  Used for GOPS accounting.
+  std::vector<std::int64_t> conv_macs() const;
+
+ private:
+  FmShape input_shape_;
+  std::string name_;
+  std::vector<LayerSpec> layers_;
+};
+
+// Float weights for every parameterised layer, indexed by layer position.
+struct WeightsF {
+  // conv[i] valid iff layer i is kConv; fc[i] valid iff layer i is kFC.
+  std::vector<FilterBankF> conv;
+  std::vector<std::vector<float>> conv_bias;
+  std::vector<std::vector<float>> fc;  // row-major [out][in]
+  std::vector<std::vector<float>> fc_bias;
+};
+
+// Int8 weights plus requantization parameters (accelerator semantics).
+struct WeightsI8 {
+  std::vector<FilterBankI8> conv;
+  std::vector<std::vector<std::int32_t>> conv_bias;
+  std::vector<Requant> conv_requant;
+  std::vector<std::vector<std::int8_t>> fc;
+  std::vector<std::vector<std::int32_t>> fc_bias;
+  std::vector<Requant> fc_requant;
+};
+
+// Gaussian-initialised float weights (He-style scale), deterministic in rng.
+WeightsF init_random_weights(const Network& net, Rng& rng);
+
+// Runs the float oracle end to end.  Returns the final activation: if the
+// network ends in fc/softmax layers the flat vector, otherwise the feature
+// map flattened in CHW order.
+std::vector<float> forward_f(const Network& net, const WeightsF& weights,
+                             const FeatureMapF& input);
+
+// Per-layer float forward; returns activations after every layer (feature
+// maps flattened for post-flatten layers).
+struct ActivationF {
+  FeatureMapF fm;
+  std::vector<float> flat;
+  bool is_flat = false;
+};
+std::vector<ActivationF> forward_f_all(const Network& net,
+                                       const WeightsF& weights,
+                                       const FeatureMapF& input);
+
+// Runs the int8 reference (accelerator arithmetic) end to end.
+struct ActivationI8 {
+  FeatureMapI8 fm;
+  std::vector<std::int8_t> flat;
+  bool is_flat = false;
+};
+std::vector<ActivationI8> forward_i8_all(const Network& net,
+                                         const WeightsI8& weights,
+                                         const FeatureMapI8& input);
+
+}  // namespace tsca::nn

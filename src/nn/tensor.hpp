@@ -1,0 +1,145 @@
+// Dense tensors for the NN substrate.
+//
+// Feature maps are stored CHW (channel, row, column) and filter banks OIHW
+// (output channel, input channel, row, column), both row-major.  The
+// accelerator side of the library uses its own tiled layout (see
+// pack/tile.hpp); conversions live in pack/.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace tsca::nn {
+
+// Shape of a feature-map tensor: channels × height × width.
+struct FmShape {
+  int c = 0;
+  int h = 0;
+  int w = 0;
+
+  std::size_t count() const {
+    return static_cast<std::size_t>(c) * h * w;
+  }
+  bool operator==(const FmShape&) const = default;
+};
+
+// Shape of a filter bank: out-channels × in-channels × kernel-h × kernel-w.
+struct FilterShape {
+  int oc = 0;
+  int ic = 0;
+  int kh = 0;
+  int kw = 0;
+
+  std::size_t count() const {
+    return static_cast<std::size_t>(oc) * ic * kh * kw;
+  }
+  bool operator==(const FilterShape&) const = default;
+};
+
+// A CHW feature map.
+template <typename T>
+class FeatureMap {
+ public:
+  FeatureMap() = default;
+  explicit FeatureMap(FmShape shape, T fill = T{})
+      : shape_(shape), data_(shape.count(), fill) {
+    TSCA_CHECK(shape.c >= 0 && shape.h >= 0 && shape.w >= 0);
+  }
+
+  const FmShape& shape() const { return shape_; }
+  int channels() const { return shape_.c; }
+  int height() const { return shape_.h; }
+  int width() const { return shape_.w; }
+  std::size_t size() const { return data_.size(); }
+
+  T& at(int c, int y, int x) {
+    TSCA_CHECK(in_range(c, y, x),
+               "fm index (" << c << ',' << y << ',' << x << ") shape ("
+                            << shape_.c << ',' << shape_.h << ',' << shape_.w
+                            << ')');
+    return data_[index(c, y, x)];
+  }
+  const T& at(int c, int y, int x) const {
+    TSCA_CHECK(in_range(c, y, x),
+               "fm index (" << c << ',' << y << ',' << x << ") shape ("
+                            << shape_.c << ',' << shape_.h << ',' << shape_.w
+                            << ')');
+    return data_[index(c, y, x)];
+  }
+
+  // Unchecked access for hot loops.
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  std::size_t index(int c, int y, int x) const {
+    return (static_cast<std::size_t>(c) * shape_.h + y) * shape_.w + x;
+  }
+
+  bool in_range(int c, int y, int x) const {
+    return c >= 0 && c < shape_.c && y >= 0 && y < shape_.h && x >= 0 &&
+           x < shape_.w;
+  }
+
+  bool operator==(const FeatureMap&) const = default;
+
+ private:
+  FmShape shape_;
+  std::vector<T> data_;
+};
+
+// An OIHW filter bank.
+template <typename T>
+class FilterBank {
+ public:
+  FilterBank() = default;
+  explicit FilterBank(FilterShape shape, T fill = T{})
+      : shape_(shape), data_(shape.count(), fill) {
+    TSCA_CHECK(shape.oc >= 0 && shape.ic >= 0 && shape.kh >= 0 &&
+               shape.kw >= 0);
+  }
+
+  const FilterShape& shape() const { return shape_; }
+  std::size_t size() const { return data_.size(); }
+
+  T& at(int oc, int ic, int ky, int kx) {
+    TSCA_CHECK(in_range(oc, ic, ky, kx),
+               "filter index (" << oc << ',' << ic << ',' << ky << ',' << kx
+                                << ')');
+    return data_[index(oc, ic, ky, kx)];
+  }
+  const T& at(int oc, int ic, int ky, int kx) const {
+    TSCA_CHECK(in_range(oc, ic, ky, kx),
+               "filter index (" << oc << ',' << ic << ',' << ky << ',' << kx
+                                << ')');
+    return data_[index(oc, ic, ky, kx)];
+  }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  std::size_t index(int oc, int ic, int ky, int kx) const {
+    return ((static_cast<std::size_t>(oc) * shape_.ic + ic) * shape_.kh + ky) *
+               shape_.kw +
+           kx;
+  }
+  bool in_range(int oc, int ic, int ky, int kx) const {
+    return oc >= 0 && oc < shape_.oc && ic >= 0 && ic < shape_.ic && ky >= 0 &&
+           ky < shape_.kh && kx >= 0 && kx < shape_.kw;
+  }
+
+  bool operator==(const FilterBank&) const = default;
+
+ private:
+  FilterShape shape_;
+  std::vector<T> data_;
+};
+
+using FeatureMapF = FeatureMap<float>;
+using FeatureMapI8 = FeatureMap<std::int8_t>;
+using FeatureMapI32 = FeatureMap<std::int32_t>;
+using FilterBankF = FilterBank<float>;
+using FilterBankI8 = FilterBank<std::int8_t>;
+
+}  // namespace tsca::nn

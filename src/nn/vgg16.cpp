@@ -1,0 +1,91 @@
+#include "nn/vgg16.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace tsca::nn {
+
+namespace {
+
+// Channels per block are common to the family; depth varies per variant.
+constexpr std::array<int, 5> kBlockChannels = {64, 128, 256, 512, 512};
+
+std::array<int, 5> block_convs(VggVariant variant) {
+  switch (variant) {
+    case VggVariant::kVgg11:
+      return {1, 1, 2, 2, 2};
+    case VggVariant::kVgg13:
+      return {2, 2, 2, 2, 2};
+    case VggVariant::kVgg16:
+      return {2, 2, 3, 3, 3};
+    case VggVariant::kVgg19:
+      return {2, 2, 4, 4, 4};
+  }
+  TSCA_CHECK(false, "unknown VGG variant");
+  return {};
+}
+
+int scaled_channels(int channels, int divisor) {
+  return std::max(4, channels / divisor);
+}
+
+}  // namespace
+
+const char* vgg_variant_name(VggVariant variant) {
+  switch (variant) {
+    case VggVariant::kVgg11:
+      return "vgg11";
+    case VggVariant::kVgg13:
+      return "vgg13";
+    case VggVariant::kVgg16:
+      return "vgg16";
+    case VggVariant::kVgg19:
+      return "vgg19";
+  }
+  return "?";
+}
+
+Network build_vgg16(const Vgg16Options& options) {
+  TSCA_CHECK(options.input_extent >= 32,
+             "VGG-16 needs >= 32 px input (5 pooling stages), got "
+                 << options.input_extent);
+  TSCA_CHECK(options.input_extent % 32 == 0,
+             "input extent must be a multiple of 32, got "
+                 << options.input_extent);
+  TSCA_CHECK(options.channel_divisor >= 1);
+
+  const std::array<int, 5> convs_per_block = block_convs(options.variant);
+  Network net({3, options.input_extent, options.input_extent},
+              vgg_variant_name(options.variant));
+  for (std::size_t b = 0; b < kBlockChannels.size(); ++b) {
+    const int out_c = scaled_channels(kBlockChannels[b],
+                                      options.channel_divisor);
+    for (int conv = 0; conv < convs_per_block[b]; ++conv) {
+      const std::string tag =
+          std::to_string(b + 1) + "_" + std::to_string(conv + 1);
+      net.add_pad(Padding::uniform(1), "pad" + tag);
+      net.add_conv({.out_c = out_c, .kernel = 3, .stride = 1, .relu = true},
+                   "conv" + tag);
+    }
+    net.add_maxpool({.size = 2, .stride = 2},
+                    "pool" + std::to_string(b + 1));
+  }
+  if (options.include_classifier) {
+    net.add_flatten("flatten");
+    const int fc_dim = scaled_channels(4096, options.channel_divisor);
+    net.add_fc({.out_dim = fc_dim, .relu = true}, "fc6");
+    net.add_fc({.out_dim = fc_dim, .relu = true}, "fc7");
+    net.add_fc({.out_dim = options.num_classes, .relu = false}, "fc8");
+    net.add_softmax("softmax");
+  }
+  return net;
+}
+
+std::vector<std::size_t> vgg16_conv_layers(const Network& net) {
+  std::vector<std::size_t> indices;
+  for (std::size_t i = 0; i < net.layers().size(); ++i)
+    if (net.layers()[i].kind == LayerKind::kConv) indices.push_back(i);
+  return indices;
+}
+
+}  // namespace tsca::nn

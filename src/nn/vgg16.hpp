@@ -1,0 +1,36 @@
+// VGG-16 topology (Simonyan & Zisserman), the paper's test vehicle.
+//
+// Padding appears as explicit layers (the accelerator executes PAD as its own
+// instruction before every convolution).  A scaled-down builder produces
+// topologically identical networks small enough for the cycle-accurate engine
+// and the test suite.
+#pragma once
+
+#include "nn/network.hpp"
+
+namespace tsca::nn {
+
+// The VGG configuration family (Simonyan & Zisserman, Table 1): number of
+// 3x3 convolutions per block.  VGG-16 ("D") is the paper's test vehicle.
+enum class VggVariant { kVgg11, kVgg13, kVgg16, kVgg19 };
+
+const char* vgg_variant_name(VggVariant variant);
+
+struct Vgg16Options {
+  VggVariant variant = VggVariant::kVgg16;
+  int input_extent = 224;  // square RGB input
+  // Channel counts are divided by this factor (floor, min 4).  1 = the real
+  // network.  Use e.g. 16 for fast end-to-end tests.
+  int channel_divisor = 1;
+  bool include_classifier = true;  // flatten + 3 FC + softmax
+  int num_classes = 1000;
+};
+
+// Builds a VGG-family network.  Layer names follow the usual convention
+// (conv1_1 … conv5_3, pool1 … pool5, fc6/fc7/fc8).
+Network build_vgg16(const Vgg16Options& options = {});
+
+// Indices (into Network::layers()) of the 13 convolution layers, in order.
+std::vector<std::size_t> vgg16_conv_layers(const Network& net);
+
+}  // namespace tsca::nn

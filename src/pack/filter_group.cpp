@@ -1,0 +1,56 @@
+#include "pack/filter_group.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace tsca::pack {
+
+std::vector<int> group_filters(const PackedFilters& packed, GroupPolicy policy,
+                               int group_size) {
+  TSCA_CHECK(group_size > 0);
+  const int oc = packed.shape().oc;
+  std::vector<int> perm(static_cast<std::size_t>(oc));
+  std::iota(perm.begin(), perm.end(), 0);
+  if (policy == GroupPolicy::kIdentity) return perm;
+
+  // Total non-zeros per output channel.
+  std::vector<std::int64_t> nnz(static_cast<std::size_t>(oc), 0);
+  for (int o = 0; o < oc; ++o)
+    for (int ic = 0; ic < packed.shape().ic; ++ic)
+      for (int wty = 0; wty < packed.wtiles_y(); ++wty)
+        for (int wtx = 0; wtx < packed.wtiles_x(); ++wtx)
+          nnz[static_cast<std::size_t>(o)] += packed.nnz(o, ic, wty, wtx);
+
+  std::stable_sort(perm.begin(), perm.end(), [&](int a, int b) {
+    return nnz[static_cast<std::size_t>(a)] < nnz[static_cast<std::size_t>(b)];
+  });
+  return perm;
+}
+
+std::int64_t grouped_weight_cycles(const PackedFilters& packed,
+                                   const std::vector<int>& perm,
+                                   int group_size) {
+  TSCA_CHECK(group_size > 0);
+  const nn::FilterShape& fs = packed.shape();
+  TSCA_CHECK(static_cast<int>(perm.size()) == fs.oc,
+             "permutation size " << perm.size() << " != oc " << fs.oc);
+  std::int64_t cycles = 0;
+  for (int g = 0; g < fs.oc; g += group_size) {
+    const int members = std::min(group_size, fs.oc - g);
+    for (int ic = 0; ic < fs.ic; ++ic) {
+      for (int wty = 0; wty < packed.wtiles_y(); ++wty) {
+        for (int wtx = 0; wtx < packed.wtiles_x(); ++wtx) {
+          int worst = 0;
+          for (int m = 0; m < members; ++m)
+            worst = std::max(worst, packed.nnz(perm[static_cast<std::size_t>(
+                                                   g + m)],
+                                               ic, wty, wtx));
+          cycles += worst;
+        }
+      }
+    }
+  }
+  return cycles;
+}
+
+}  // namespace tsca::pack

@@ -1,0 +1,38 @@
+// Filter grouping for balanced zero-skipping (paper §V, future work).
+//
+// The accelerator computes four OFM tiles concurrently; at each weight tile
+// the group of four filters costs max(4, max_i nnz_i) cycles, so grouping
+// filters with dissimilar non-zero counts wastes the skip.  The paper
+// suggests "grouping filters in advance according to similarity in
+// non-zero-entry counts" as future work; this module implements that pass
+// and the benches ablate it (bench_zero_skip).
+#pragma once
+
+#include <vector>
+
+#include "pack/weight_pack.hpp"
+
+namespace tsca::pack {
+
+// Grouping strategy for assigning output channels to groups of `group_size`.
+enum class GroupPolicy {
+  kIdentity,   // natural order (what the baseline accelerator does)
+  kSortByNnz,  // sort filters by total non-zero count, group consecutively
+};
+
+// Returns a permutation `perm` of output channels such that filters
+// perm[4k..4k+3] are computed concurrently.  perm.size() == shape().oc,
+// rounded up conceptually — callers pad the final group with repeats of the
+// last channel when oc is not a multiple of group_size.
+std::vector<int> group_filters(const PackedFilters& packed, GroupPolicy policy,
+                               int group_size = 4);
+
+// Cost (in weight-application cycles, ignoring the 4-cycle floor and all
+// other overheads) of processing groups under a permutation:
+//   sum over groups, ics, weight tiles of max_i nnz.
+// Used by tests and the ablation bench to quantify grouping benefit.
+std::int64_t grouped_weight_cycles(const PackedFilters& packed,
+                                   const std::vector<int>& perm,
+                                   int group_size = 4);
+
+}  // namespace tsca::pack

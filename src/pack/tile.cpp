@@ -1,0 +1,36 @@
+#include "pack/tile.hpp"
+
+namespace tsca::pack {
+
+TiledFm to_tiled(const nn::FeatureMapI8& fm) {
+  TiledFm tiled(fm.shape());
+  for (int c = 0; c < fm.channels(); ++c)
+    for (int y = 0; y < fm.height(); ++y)
+      for (int x = 0; x < fm.width(); ++x)
+        tiled.tile(c, y / kTileDim, x / kTileDim)
+            .at(y % kTileDim, x % kTileDim) = fm.at(c, y, x);
+  return tiled;
+}
+
+nn::FeatureMapI8 from_tiled(const TiledFm& tiled) {
+  nn::FeatureMapI8 fm(tiled.shape());
+  for (int c = 0; c < fm.channels(); ++c)
+    for (int y = 0; y < fm.height(); ++y)
+      for (int x = 0; x < fm.width(); ++x)
+        fm.at(c, y, x) = tiled.value(c, y, x);
+  return fm;
+}
+
+Tile read_region(const nn::FeatureMapI8& fm, int c, int y0, int x0) {
+  Tile out;
+  for (int dy = 0; dy < kTileDim; ++dy) {
+    for (int dx = 0; dx < kTileDim; ++dx) {
+      const int y = y0 + dy;
+      const int x = x0 + dx;
+      out.at(dy, dx) = fm.in_range(c, y, x) ? fm.at(c, y, x) : std::int8_t{0};
+    }
+  }
+  return out;
+}
+
+}  // namespace tsca::pack

@@ -1,0 +1,108 @@
+// 4×4 tile data layout (paper Fig. 2).
+//
+// Feature maps are organised into tiles of 4×4 values stored row-major
+// ("row-major of tiles; row-major within a tile"), per channel.  An SRAM bank
+// delivers one whole tile (16 values) per cycle, which is what makes the
+// zero-skip datapath work: one weight × 16 feature-map values each cycle.
+//
+// A *stripe* is a band of tile rows spanning the full width of a feature map;
+// striping subdivides layers too large for on-chip SRAM (see
+// driver/compiler.hpp for stripe planning).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace tsca::pack {
+
+inline constexpr int kTileDim = 4;                      // 4×4 values
+inline constexpr int kTileSize = kTileDim * kTileDim;   // 16 values
+
+// Number of tiles covering `extent` values (ceiling division).
+inline int tiles_for(int extent) {
+  TSCA_CHECK(extent >= 0);
+  return (extent + kTileDim - 1) / kTileDim;
+}
+
+// One 4×4 tile of int8 values, row-major: index = y*4 + x.
+struct Tile {
+  std::array<std::int8_t, kTileSize> v{};
+
+  std::int8_t& at(int y, int x) {
+    TSCA_CHECK(y >= 0 && y < kTileDim && x >= 0 && x < kTileDim);
+    return v[static_cast<std::size_t>(y) * kTileDim + x];
+  }
+  std::int8_t at(int y, int x) const {
+    TSCA_CHECK(y >= 0 && y < kTileDim && x >= 0 && x < kTileDim);
+    return v[static_cast<std::size_t>(y) * kTileDim + x];
+  }
+  bool operator==(const Tile&) const = default;
+};
+
+// One 4×4 tile of 32-bit accumulator values.
+struct TileAcc {
+  std::array<std::int32_t, kTileSize> v{};
+  bool operator==(const TileAcc&) const = default;
+};
+
+// A feature map in tiled layout.  Spatial extents are padded up to tile
+// multiples with zeros; the logical (unpadded) shape is retained.
+class TiledFm {
+ public:
+  TiledFm() = default;
+  explicit TiledFm(nn::FmShape shape)
+      : shape_(shape),
+        tiles_y_(tiles_for(shape.h)),
+        tiles_x_(tiles_for(shape.w)),
+        tiles_(static_cast<std::size_t>(shape.c) * tiles_y_ * tiles_x_) {}
+
+  const nn::FmShape& shape() const { return shape_; }
+  int channels() const { return shape_.c; }
+  int tiles_y() const { return tiles_y_; }
+  int tiles_x() const { return tiles_x_; }
+  std::size_t tile_count() const { return tiles_.size(); }
+
+  // Tile index in storage order: channel-major, then tile row, then tile col.
+  std::size_t tile_index(int c, int ty, int tx) const {
+    TSCA_CHECK(c >= 0 && c < shape_.c && ty >= 0 && ty < tiles_y_ && tx >= 0 &&
+                   tx < tiles_x_,
+               "tile (" << c << ',' << ty << ',' << tx << ')');
+    return (static_cast<std::size_t>(c) * tiles_y_ + ty) * tiles_x_ + tx;
+  }
+
+  Tile& tile(int c, int ty, int tx) { return tiles_[tile_index(c, ty, tx)]; }
+  const Tile& tile(int c, int ty, int tx) const {
+    return tiles_[tile_index(c, ty, tx)];
+  }
+
+  // Value access through the tiled layout (y/x in logical coordinates).
+  std::int8_t value(int c, int y, int x) const {
+    return tiles_[tile_index(c, y / kTileDim, x / kTileDim)].at(y % kTileDim,
+                                                                x % kTileDim);
+  }
+
+  std::vector<Tile>& tiles() { return tiles_; }
+  const std::vector<Tile>& tiles() const { return tiles_; }
+
+  bool operator==(const TiledFm&) const = default;
+
+ private:
+  nn::FmShape shape_;
+  int tiles_y_ = 0;
+  int tiles_x_ = 0;
+  std::vector<Tile> tiles_;
+};
+
+// Linear (CHW) ↔ tiled conversions.  to_tiled pads with zeros.
+TiledFm to_tiled(const nn::FeatureMapI8& fm);
+nn::FeatureMapI8 from_tiled(const TiledFm& tiled);
+
+// Reads the 4×4 region of `fm` whose top-left corner is (y0, x0) — the
+// "four contiguous IFM tiles" window of Fig. 4(a) reads such regions at
+// tile-aligned offsets.  Out-of-range positions read as zero.
+Tile read_region(const nn::FeatureMapI8& fm, int c, int y0, int x0);
+
+}  // namespace tsca::pack

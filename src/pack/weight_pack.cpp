@@ -1,0 +1,135 @@
+#include "pack/weight_pack.hpp"
+
+namespace tsca::pack {
+
+PackedFilters::PackedFilters(nn::FilterShape shape, int wtiles_y, int wtiles_x)
+    : shape_(shape),
+      wtiles_y_(wtiles_y),
+      wtiles_x_(wtiles_x),
+      lists_(static_cast<std::size_t>(shape.oc) * shape.ic * wtiles_y *
+             wtiles_x) {
+  TSCA_CHECK(wtiles_y > 0 && wtiles_x > 0);
+}
+
+std::size_t PackedFilters::list_index(int oc, int ic, int wty, int wtx) const {
+  TSCA_CHECK(oc >= 0 && oc < shape_.oc && ic >= 0 && ic < shape_.ic &&
+                 wty >= 0 && wty < wtiles_y_ && wtx >= 0 && wtx < wtiles_x_,
+             "packed list (" << oc << ',' << ic << ',' << wty << ',' << wtx
+                             << ')');
+  return ((static_cast<std::size_t>(oc) * shape_.ic + ic) * wtiles_y_ + wty) *
+             wtiles_x_ +
+         wtx;
+}
+
+std::int64_t PackedFilters::total_nonzeros() const {
+  std::int64_t total = 0;
+  for (const auto& list : lists_) total += static_cast<std::int64_t>(list.size());
+  return total;
+}
+
+std::int64_t PackedFilters::serialized_bytes() const {
+  return static_cast<std::int64_t>(lists_.size()) + 2 * total_nonzeros();
+}
+
+PackedFilters pack_filters(const nn::FilterBankI8& bank) {
+  const nn::FilterShape& fs = bank.shape();
+  PackedFilters packed(fs, tiles_for(fs.kh), tiles_for(fs.kw));
+  for (int oc = 0; oc < fs.oc; ++oc) {
+    for (int ic = 0; ic < fs.ic; ++ic) {
+      for (int ky = 0; ky < fs.kh; ++ky) {
+        for (int kx = 0; kx < fs.kw; ++kx) {
+          const std::int8_t w = bank.at(oc, ic, ky, kx);
+          if (w == 0) continue;
+          const int offset = (ky % kTileDim) * kTileDim + (kx % kTileDim);
+          packed.list(oc, ic, ky / kTileDim, kx / kTileDim)
+              .push_back({quant::sm8_encode(w),
+                          static_cast<std::uint8_t>(offset)});
+        }
+      }
+    }
+  }
+  return packed;
+}
+
+nn::FilterBankI8 unpack_filters(const PackedFilters& packed) {
+  const nn::FilterShape& fs = packed.shape();
+  nn::FilterBankI8 bank(fs);
+  for (int oc = 0; oc < fs.oc; ++oc) {
+    for (int ic = 0; ic < fs.ic; ++ic) {
+      for (int wty = 0; wty < packed.wtiles_y(); ++wty) {
+        for (int wtx = 0; wtx < packed.wtiles_x(); ++wtx) {
+          for (const PackedEntry& entry : packed.list(oc, ic, wty, wtx)) {
+            const int ky = wty * kTileDim + entry.offset / kTileDim;
+            const int kx = wtx * kTileDim + entry.offset % kTileDim;
+            TSCA_CHECK(ky < fs.kh && kx < fs.kw,
+                       "packed offset outside kernel: oc=" << oc);
+            bank.at(oc, ic, ky, kx) =
+                static_cast<std::int8_t>(quant::sm8_decode(entry.value));
+          }
+        }
+      }
+    }
+  }
+  return bank;
+}
+
+std::vector<std::uint8_t> serialize(const PackedFilters& packed) {
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(static_cast<std::size_t>(packed.serialized_bytes()));
+  const nn::FilterShape& fs = packed.shape();
+  for (int oc = 0; oc < fs.oc; ++oc) {
+    for (int ic = 0; ic < fs.ic; ++ic) {
+      for (int wty = 0; wty < packed.wtiles_y(); ++wty) {
+        for (int wtx = 0; wtx < packed.wtiles_x(); ++wtx) {
+          const auto& list = packed.list(oc, ic, wty, wtx);
+          TSCA_CHECK(list.size() <= kTileSize);
+          bytes.push_back(static_cast<std::uint8_t>(list.size()));
+          for (const PackedEntry& entry : list) {
+            bytes.push_back(entry.value);
+            bytes.push_back(entry.offset);
+          }
+        }
+      }
+    }
+  }
+  return bytes;
+}
+
+PackedFilters deserialize(nn::FilterShape shape,
+                          const std::vector<std::uint8_t>& bytes) {
+  PackedFilters packed(shape, tiles_for(shape.kh), tiles_for(shape.kw));
+  std::size_t pos = 0;
+  auto take = [&]() -> std::uint8_t {
+    TSCA_CHECK(pos < bytes.size(), "truncated packed-weight stream");
+    return bytes[pos++];
+  };
+  for (int oc = 0; oc < shape.oc; ++oc) {
+    for (int ic = 0; ic < shape.ic; ++ic) {
+      for (int wty = 0; wty < packed.wtiles_y(); ++wty) {
+        for (int wtx = 0; wtx < packed.wtiles_x(); ++wtx) {
+          const int count = take();
+          TSCA_CHECK(count <= kTileSize, "corrupt packed-weight count");
+          auto& list = packed.list(oc, ic, wty, wtx);
+          list.reserve(static_cast<std::size_t>(count));
+          int prev_offset = -1;
+          for (int k = 0; k < count; ++k) {
+            PackedEntry entry;
+            entry.value = take();
+            entry.offset = take();
+            TSCA_CHECK(entry.offset < kTileSize, "corrupt packed offset");
+            TSCA_CHECK(static_cast<int>(entry.offset) > prev_offset,
+                       "packed offsets not strictly increasing");
+            TSCA_CHECK(quant::sm8_decode(entry.value) != 0,
+                       "zero weight in packed stream");
+            prev_offset = entry.offset;
+            list.push_back(entry);
+          }
+        }
+      }
+    }
+  }
+  TSCA_CHECK(pos == bytes.size(), "trailing bytes in packed-weight stream");
+  return packed;
+}
+
+}  // namespace tsca::pack

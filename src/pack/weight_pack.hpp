@@ -1,0 +1,84 @@
+// Zero-skip weight packing (paper §III-B).
+//
+// For a given CNN model the non-zero weights and their intra-tile offsets are
+// packed offline, once.  During inference the accelerator reads the packed
+// stream straight into scratchpad memory and applies one non-zero weight per
+// clock cycle — no cycles are spent on zero weights.
+//
+// Packing granularity: each (output-channel, input-channel) filter plane is
+// covered by a grid of 4×4 *weight tiles* (one tile for the ubiquitous 3×3
+// kernels).  Each weight tile packs to a list of (sm8 value, offset) pairs,
+// offset = intra-tile position y*4+x, sorted by offset.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.hpp"
+#include "pack/tile.hpp"
+#include "quant/sm8.hpp"
+
+namespace tsca::pack {
+
+// One packed non-zero weight: sign+magnitude value and intra-tile offset.
+struct PackedEntry {
+  quant::Sm8Bits value = 0;
+  std::uint8_t offset = 0;  // 0..15, y*4+x within the weight tile
+
+  bool operator==(const PackedEntry&) const = default;
+};
+
+// All packed weights of one convolution layer.
+class PackedFilters {
+ public:
+  PackedFilters() = default;
+  PackedFilters(nn::FilterShape shape, int wtiles_y, int wtiles_x);
+
+  const nn::FilterShape& shape() const { return shape_; }
+  int wtiles_y() const { return wtiles_y_; }
+  int wtiles_x() const { return wtiles_x_; }
+
+  std::vector<PackedEntry>& list(int oc, int ic, int wty, int wtx) {
+    return lists_[list_index(oc, ic, wty, wtx)];
+  }
+  const std::vector<PackedEntry>& list(int oc, int ic, int wty,
+                                       int wtx) const {
+    return lists_[list_index(oc, ic, wty, wtx)];
+  }
+
+  // Non-zero count of one weight tile.
+  int nnz(int oc, int ic, int wty, int wtx) const {
+    return static_cast<int>(list(oc, ic, wty, wtx).size());
+  }
+
+  std::int64_t total_nonzeros() const;
+
+  // Serialized size in bytes: per weight tile 1 count byte + 2 bytes/entry.
+  // This is the stream the data-staging units unpack from SRAM; the byte
+  // count drives the weight-unpacking overhead in the performance model.
+  std::int64_t serialized_bytes() const;
+
+  std::size_t list_index(int oc, int ic, int wty, int wtx) const;
+
+ private:
+  nn::FilterShape shape_;
+  int wtiles_y_ = 0;
+  int wtiles_x_ = 0;
+  std::vector<std::vector<PackedEntry>> lists_;
+};
+
+// Packs a quantized filter bank.  Offsets within every list are strictly
+// increasing; zero weights never appear.
+PackedFilters pack_filters(const nn::FilterBankI8& bank);
+
+// Exact inverse of pack_filters (zeros restored).
+nn::FilterBankI8 unpack_filters(const PackedFilters& packed);
+
+// Byte-stream (de)serialization — the format stored in SRAM banks:
+//   for each (oc, ic, wty, wtx) in lexicographic order:
+//     u8 count, then count × { u8 sm8-value, u8 offset }.
+std::vector<std::uint8_t> serialize(const PackedFilters& packed);
+PackedFilters deserialize(nn::FilterShape shape,
+                          const std::vector<std::uint8_t>& bytes);
+
+}  // namespace tsca::pack

@@ -1,0 +1,81 @@
+#include "quant/prune.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tsca::quant {
+
+PruneProfile PruneProfile::uniform(double density, int conv_layers,
+                                   int fc_layers) {
+  TSCA_CHECK(density >= 0.0 && density <= 1.0, "density=" << density);
+  PruneProfile profile;
+  profile.conv_density.assign(static_cast<std::size_t>(conv_layers), density);
+  profile.fc_density.assign(static_cast<std::size_t>(fc_layers), density);
+  return profile;
+}
+
+PruneProfile vgg16_han_profile() {
+  // Han et al., Deep Compression, Table 4 (fraction of weights kept).
+  PruneProfile profile;
+  profile.conv_density = {0.58, 0.22, 0.34, 0.36, 0.53, 0.24, 0.42,
+                          0.32, 0.27, 0.34, 0.35, 0.29, 0.36};
+  profile.fc_density = {0.04, 0.04, 0.23};
+  return profile;
+}
+
+namespace {
+
+double profile_entry(const std::vector<double>& entries, std::size_t index) {
+  TSCA_CHECK(!entries.empty(), "empty prune profile");
+  const double d =
+      entries[std::min(index, entries.size() - 1)];
+  TSCA_CHECK(d >= 0.0 && d <= 1.0, "density=" << d);
+  return d;
+}
+
+// Zeroes the smallest-magnitude values of `data` so that round(n * density)
+// values remain.  Deterministic: ties are broken by index order via
+// stable partial selection on (|v|, index).
+double prune_array(float* data, std::size_t n, double density) {
+  if (n == 0) return 1.0;
+  const std::size_t keep = static_cast<std::size_t>(
+      std::llround(static_cast<double>(n) * density));
+  const std::size_t drop = n - keep;
+  if (drop == 0) return 1.0;
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return std::abs(data[a]) < std::abs(data[b]);
+                   });
+  for (std::size_t i = 0; i < drop; ++i) data[order[i]] = 0.0f;
+  return static_cast<double>(keep) / static_cast<double>(n);
+}
+
+}  // namespace
+
+std::vector<double> prune_weights(const nn::Network& net,
+                                  nn::WeightsF& weights,
+                                  const PruneProfile& profile) {
+  std::vector<double> achieved;
+  std::size_t conv_pos = 0;
+  std::size_t fc_pos = 0;
+  for (std::size_t i = 0; i < net.layers().size(); ++i) {
+    const nn::LayerSpec& spec = net.layers()[i];
+    if (spec.kind == nn::LayerKind::kConv) {
+      nn::FilterBankF& bank = weights.conv[i];
+      TSCA_CHECK(bank.size() > 0, "missing conv weights for layer " << i);
+      achieved.push_back(prune_array(
+          bank.data(), bank.size(),
+          profile_entry(profile.conv_density, conv_pos++)));
+    } else if (spec.kind == nn::LayerKind::kFullyConnected) {
+      std::vector<float>& mat = weights.fc[i];
+      TSCA_CHECK(!mat.empty(), "missing fc weights for layer " << i);
+      prune_array(mat.data(), mat.size(),
+                  profile_entry(profile.fc_density, fc_pos++));
+    }
+  }
+  return achieved;
+}
+
+}  // namespace tsca::quant

@@ -1,0 +1,37 @@
+// Magnitude pruning.
+//
+// The paper prunes VGG-16 in Caffe "in a manner similar to [Han et al.]" and
+// evaluates two models: reduced precision, and reduced precision + pruning.
+// We reproduce that with deterministic magnitude pruning: in each layer the
+// smallest-magnitude weights are set to zero until a target *density*
+// (fraction kept) is reached.  The default VGG-16 profile uses the per-layer
+// densities published for VGG-16 in Han et al.'s Deep Compression paper.
+#pragma once
+
+#include <vector>
+
+#include "nn/network.hpp"
+
+namespace tsca::quant {
+
+// Fraction of weights KEPT per prunable layer, in network layer order
+// (conv layers first 13 entries for VGG-16, then fc6/fc7/fc8).
+struct PruneProfile {
+  std::vector<double> conv_density;  // one entry per conv layer, in order
+  std::vector<double> fc_density;    // one entry per fc layer, in order
+
+  // Uniform density across all layers.
+  static PruneProfile uniform(double density, int conv_layers, int fc_layers);
+};
+
+// Per-layer densities for pruned VGG-16 following Han, Mao & Dally,
+// "Deep Compression" (ICLR'16), Table 4.
+PruneProfile vgg16_han_profile();
+
+// Prunes in place; layer k's density is taken from the profile entry matching
+// its position among conv (resp. fc) layers.  Profiles shorter than the
+// network reuse their last entry.  Returns achieved per-conv-layer density.
+std::vector<double> prune_weights(const nn::Network& net, nn::WeightsF& weights,
+                                  const PruneProfile& profile);
+
+}  // namespace tsca::quant

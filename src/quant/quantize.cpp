@@ -1,0 +1,157 @@
+#include "quant/quantize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "quant/sm8.hpp"
+
+namespace tsca::quant {
+
+int choose_exponent(float max_abs) {
+  TSCA_CHECK(max_abs >= 0.0f && std::isfinite(max_abs));
+  if (max_abs == 0.0f) return kMaxExp;
+  int exp = kMaxExp;
+  while (exp > kMinExp &&
+         std::round(static_cast<double>(max_abs) * std::ldexp(1.0, exp)) >
+             kSm8Max)
+    --exp;
+  TSCA_CHECK(std::round(static_cast<double>(max_abs) * std::ldexp(1.0, exp)) <=
+                 kSm8Max,
+             "activation magnitude too large to quantize: " << max_abs);
+  return exp;
+}
+
+std::int8_t quantize_value(float v, int exp) {
+  const double scaled = std::round(static_cast<double>(v) * std::ldexp(1.0, exp));
+  return static_cast<std::int8_t>(
+      std::clamp<double>(scaled, nn::kInt8Min, nn::kInt8Max));
+}
+
+float dequantize_value(std::int8_t q, int exp) {
+  return static_cast<float>(std::ldexp(static_cast<double>(q), -exp));
+}
+
+nn::FeatureMapI8 quantize_fm(const nn::FeatureMapF& fm, int exp) {
+  nn::FeatureMapI8 out(fm.shape());
+  for (std::size_t i = 0; i < fm.size(); ++i)
+    out.data()[i] = quantize_value(fm.data()[i], exp);
+  return out;
+}
+
+nn::FilterBankI8 quantize_filters(const nn::FilterBankF& bank, int exp) {
+  nn::FilterBankI8 out(bank.shape());
+  for (std::size_t i = 0; i < bank.size(); ++i)
+    out.data()[i] = quantize_value(bank.data()[i], exp);
+  return out;
+}
+
+double sparsity(const nn::FilterBankI8& bank) {
+  if (bank.size() == 0) return 0.0;
+  std::size_t zeros = 0;
+  for (std::size_t i = 0; i < bank.size(); ++i)
+    if (bank.data()[i] == 0) ++zeros;
+  return static_cast<double>(zeros) / static_cast<double>(bank.size());
+}
+
+namespace {
+
+float max_abs(const float* data, std::size_t n) {
+  float m = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) m = std::max(m, std::abs(data[i]));
+  return m;
+}
+
+}  // namespace
+
+QuantizedModel quantize_network(const nn::Network& net,
+                                const nn::WeightsF& weights,
+                                const std::vector<nn::FeatureMapF>& samples) {
+  TSCA_CHECK(!samples.empty(), "need at least one calibration sample");
+  const std::size_t n = net.layers().size();
+
+  // Calibrate activation ranges over all samples.
+  float input_max = 0.0f;
+  std::vector<float> act_max(n, 0.0f);
+  for (const nn::FeatureMapF& sample : samples) {
+    input_max = std::max(input_max, max_abs(sample.data(), sample.size()));
+    const std::vector<nn::ActivationF> acts =
+        nn::forward_f_all(net, weights, sample);
+    for (std::size_t i = 0; i < n; ++i) {
+      const nn::ActivationF& act = acts[i];
+      const float m = act.is_flat ? max_abs(act.flat.data(), act.flat.size())
+                                  : max_abs(act.fm.data(), act.fm.size());
+      act_max[i] = std::max(act_max[i], m);
+    }
+  }
+
+  QuantizedModel model;
+  model.input_exp = choose_exponent(input_max);
+  model.act_exp.assign(n, 0);
+  model.weight_exp.assign(n, 0);
+  model.weights.conv.resize(n);
+  model.weights.conv_bias.resize(n);
+  model.weights.conv_requant.resize(n);
+  model.weights.fc.resize(n);
+  model.weights.fc_bias.resize(n);
+  model.weights.fc_requant.resize(n);
+
+  int exp_in = model.input_exp;
+  for (std::size_t i = 0; i < n; ++i) {
+    const nn::LayerSpec& spec = net.layers()[i];
+    switch (spec.kind) {
+      case nn::LayerKind::kPad:
+      case nn::LayerKind::kMaxPool:
+      case nn::LayerKind::kFlatten:
+      case nn::LayerKind::kSoftmax:
+        // Value-preserving (or host-side) layers keep the exponent.
+        model.act_exp[i] = exp_in;
+        break;
+      case nn::LayerKind::kConv: {
+        const nn::FilterBankF& bank = weights.conv[i];
+        TSCA_CHECK(bank.size() > 0, "missing conv weights for layer " << i);
+        const int w_exp = choose_exponent(max_abs(bank.data(), bank.size()));
+        int out_exp = choose_exponent(act_max[i]);
+        out_exp = std::min(out_exp, exp_in + w_exp);  // shift must be >= 0
+        model.weight_exp[i] = w_exp;
+        model.act_exp[i] = out_exp;
+        model.weights.conv[i] = quantize_filters(bank, w_exp);
+        const double bias_scale = std::ldexp(1.0, exp_in + w_exp);
+        model.weights.conv_bias[i].reserve(weights.conv_bias[i].size());
+        for (float b : weights.conv_bias[i])
+          model.weights.conv_bias[i].push_back(static_cast<std::int32_t>(
+              std::llround(static_cast<double>(b) * bias_scale)));
+        model.weights.conv_requant[i] = {.shift = exp_in + w_exp - out_exp,
+                                         .relu = spec.conv.relu};
+        exp_in = out_exp;
+        break;
+      }
+      case nn::LayerKind::kFullyConnected: {
+        const std::vector<float>& mat = weights.fc[i];
+        TSCA_CHECK(!mat.empty(), "missing fc weights for layer " << i);
+        const int w_exp = choose_exponent(max_abs(mat.data(), mat.size()));
+        int out_exp = choose_exponent(act_max[i]);
+        out_exp = std::min(out_exp, exp_in + w_exp);
+        model.weight_exp[i] = w_exp;
+        model.act_exp[i] = out_exp;
+        model.weights.fc[i].reserve(mat.size());
+        for (float v : mat)
+          model.weights.fc[i].push_back(quantize_value(v, w_exp));
+        const double bias_scale = std::ldexp(1.0, exp_in + w_exp);
+        model.weights.fc_bias[i].reserve(weights.fc_bias[i].size());
+        for (float b : weights.fc_bias[i])
+          model.weights.fc_bias[i].push_back(static_cast<std::int32_t>(
+              std::llround(static_cast<double>(b) * bias_scale)));
+        model.weights.fc_requant[i] = {.shift = exp_in + w_exp - out_exp,
+                                       .relu = spec.fc.relu};
+        exp_in = out_exp;
+        break;
+      }
+    }
+    if (spec.kind != nn::LayerKind::kConv &&
+        spec.kind != nn::LayerKind::kFullyConnected)
+      exp_in = model.act_exp[i];
+  }
+  return model;
+}
+
+}  // namespace tsca::quant

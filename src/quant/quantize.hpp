@@ -1,0 +1,52 @@
+// Float → int8 quantization with power-of-two scales.
+//
+// Mirrors the paper's flow: starting from a (pre-trained, here synthetic)
+// float model, weights and activations are scaled into 8-bit sign+magnitude
+// range.  Scales are powers of two so that requantization between layers is a
+// single rounded right shift — exactly what the accelerator datapath
+// implements (see nn::requantize).
+//
+// Quantized value q represents real value q * 2^-exp ("exp" = binary point).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/network.hpp"
+#include "nn/tensor.hpp"
+
+namespace tsca::quant {
+
+// Largest exponent e such that round(max_abs * 2^e) <= 127.  max_abs == 0
+// yields kMaxExp (any scale works; pick a large one).
+int choose_exponent(float max_abs);
+inline constexpr int kMaxExp = 24;
+inline constexpr int kMinExp = -24;
+
+// Element-wise quantization q = sat(round(v * 2^exp)).
+std::int8_t quantize_value(float v, int exp);
+nn::FeatureMapI8 quantize_fm(const nn::FeatureMapF& fm, int exp);
+nn::FilterBankI8 quantize_filters(const nn::FilterBankF& bank, int exp);
+float dequantize_value(std::int8_t q, int exp);
+
+// A fully quantized model: int8 weights + per-layer requant shifts, plus the
+// activation exponents needed to quantize inputs / interpret outputs.
+struct QuantizedModel {
+  nn::WeightsI8 weights;
+  int input_exp = 0;                // exponent of the network input
+  std::vector<int> act_exp;         // exponent of every layer's output
+  std::vector<int> weight_exp;      // per-layer weight exponent (conv/fc)
+};
+
+// Calibrates activation ranges by running the float oracle on the given
+// sample inputs, then quantizes weights and derives per-layer shifts:
+//   shift(layer) = exp_in + exp_w - exp_out   (clamped to >= 0 by lowering
+//   exp_out when needed).
+QuantizedModel quantize_network(const nn::Network& net,
+                                const nn::WeightsF& weights,
+                                const std::vector<nn::FeatureMapF>& samples);
+
+// Fraction of zero-valued weights in a filter bank / across conv layers.
+double sparsity(const nn::FilterBankI8& bank);
+
+}  // namespace tsca::quant

@@ -1,0 +1,52 @@
+// 8-bit sign + magnitude codec.
+//
+// The paper's accelerator computes in "8-bit magnitude + sign" format: one
+// sign bit and a 7-bit magnitude, i.e. representable values are
+// -127 … +127 with two encodings of zero (+0 and -0; the packer normalises
+// to +0).  Arithmetic in the library is done on decoded two's-complement
+// integers; this codec defines the storage/transport format used in SRAM
+// banks, FIFOs and the packed weight stream.
+#pragma once
+
+#include <cstdint>
+
+#include "util/check.hpp"
+
+namespace tsca::quant {
+
+// Raw sign-magnitude octet: bit 7 = sign (1 = negative), bits 6..0 = magnitude.
+using Sm8Bits = std::uint8_t;
+
+inline constexpr int kSm8MagnitudeBits = 7;
+inline constexpr std::int32_t kSm8Max = 127;
+inline constexpr std::int32_t kSm8Min = -127;
+
+// Encodes a value in [-127, 127]; checks range.
+inline Sm8Bits sm8_encode(std::int32_t value) {
+  TSCA_CHECK(value >= kSm8Min && value <= kSm8Max, "sm8 range: " << value);
+  if (value >= 0) return static_cast<Sm8Bits>(value);
+  return static_cast<Sm8Bits>(0x80u | static_cast<std::uint32_t>(-value));
+}
+
+// Decodes; -0 decodes to 0.
+inline std::int32_t sm8_decode(Sm8Bits bits) {
+  const std::int32_t mag = bits & 0x7f;
+  return (bits & 0x80) ? -mag : mag;
+}
+
+// Saturating encode from a wide integer.
+inline Sm8Bits sm8_encode_sat(std::int64_t value) {
+  if (value > kSm8Max) value = kSm8Max;
+  if (value < kSm8Min) value = kSm8Min;
+  return sm8_encode(static_cast<std::int32_t>(value));
+}
+
+// True if the octet is a canonical encoding (no negative zero).
+inline bool sm8_is_canonical(Sm8Bits bits) { return bits != 0x80; }
+
+// Canonicalises -0 to +0.
+inline Sm8Bits sm8_canonicalize(Sm8Bits bits) {
+  return sm8_is_canonical(bits) ? bits : Sm8Bits{0};
+}
+
+}  // namespace tsca::quant

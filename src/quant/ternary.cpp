@@ -1,0 +1,91 @@
+#include "quant/ternary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tsca::quant {
+
+TernaryLayer ternarize_filters(const nn::FilterBankF& bank,
+                               const TernarizeOptions& options) {
+  TSCA_CHECK(options.delta_factor >= 0.0);
+  TernaryLayer layer;
+  layer.weights = nn::FilterBankI8(bank.shape());
+  if (bank.size() == 0) return layer;
+
+  double mean_abs = 0.0;
+  for (std::size_t i = 0; i < bank.size(); ++i)
+    mean_abs += std::abs(static_cast<double>(bank.data()[i]));
+  mean_abs /= static_cast<double>(bank.size());
+  const double delta = options.delta_factor * mean_abs;
+
+  double alpha_sum = 0.0;
+  std::size_t survivors = 0;
+  for (std::size_t i = 0; i < bank.size(); ++i) {
+    const float w = bank.data()[i];
+    if (std::abs(static_cast<double>(w)) > delta) {
+      layer.weights.data()[i] = w > 0 ? 1 : -1;
+      alpha_sum += std::abs(static_cast<double>(w));
+      ++survivors;
+    }
+  }
+  layer.density =
+      static_cast<double>(survivors) / static_cast<double>(bank.size());
+  if (survivors == 0) {
+    layer.weight_exp = 0;
+    return layer;
+  }
+  const double alpha = alpha_sum / static_cast<double>(survivors);
+  // Round the layer scale to a power of two: w_real ≈ ±2^(-weight_exp).
+  layer.weight_exp = -static_cast<int>(std::lround(std::log2(alpha)));
+  layer.weight_exp = std::clamp(layer.weight_exp, kMinExp, kMaxExp);
+  return layer;
+}
+
+QuantizedModel ternarize_network(const nn::Network& net,
+                                 const nn::WeightsF& weights,
+                                 const std::vector<nn::FeatureMapF>& samples,
+                                 const TernarizeOptions& options) {
+  TSCA_CHECK(!samples.empty(), "need at least one calibration sample");
+  const std::size_t n = net.layers().size();
+
+  // Ternarize conv layers, then calibrate activations with the *effective*
+  // float weights (±2^-weight_exp) so the shifts see what will actually run.
+  std::vector<TernaryLayer> ternary(n);
+  nn::WeightsF effective = weights;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (net.layers()[i].kind != nn::LayerKind::kConv) continue;
+    ternary[i] = ternarize_filters(weights.conv[i], options);
+    const double scale = std::ldexp(1.0, -ternary[i].weight_exp);
+    nn::FilterBankF& bank = effective.conv[i];
+    for (std::size_t k = 0; k < bank.size(); ++k)
+      bank.data()[k] =
+          static_cast<float>(ternary[i].weights.data()[k] * scale);
+  }
+
+  // Reuse the int8 calibration machinery on the effective network, then
+  // substitute the ternary weights and their exponents.
+  QuantizedModel model = quantize_network(net, effective, samples);
+  int exp_in = model.input_exp;
+  for (std::size_t i = 0; i < n; ++i) {
+    const nn::LayerSpec& spec = net.layers()[i];
+    if (spec.kind == nn::LayerKind::kConv) {
+      const int w_exp = ternary[i].weight_exp;
+      int out_exp = model.act_exp[i];
+      out_exp = std::min(out_exp, exp_in + w_exp);
+      model.weight_exp[i] = w_exp;
+      model.act_exp[i] = out_exp;
+      model.weights.conv[i] = ternary[i].weights;
+      const double bias_scale = std::ldexp(1.0, exp_in + w_exp);
+      model.weights.conv_bias[i].clear();
+      for (float b : weights.conv_bias[i])
+        model.weights.conv_bias[i].push_back(static_cast<std::int32_t>(
+            std::llround(static_cast<double>(b) * bias_scale)));
+      model.weights.conv_requant[i] = {.shift = exp_in + w_exp - out_exp,
+                                       .relu = spec.conv.relu};
+    }
+    exp_in = model.act_exp[i];
+  }
+  return model;
+}
+
+}  // namespace tsca::quant

@@ -1,0 +1,39 @@
+// Ternary weight networks (paper §VII future work).
+//
+// Ternary-weight quantization in the style of TWN: per layer, weights below
+// a threshold Δ = factor · mean|w| become zero, the rest ±1; the layer scale
+// α = mean|w| over the survivors is rounded to a power of two so it folds
+// into the accelerator's rounded-shift requantization (the datapath is
+// unchanged — only the packed weight stream gets denser, 1 byte per entry,
+// see pack::LaneStream::ternary).
+#pragma once
+
+#include "nn/network.hpp"
+#include "quant/quantize.hpp"
+
+namespace tsca::quant {
+
+struct TernarizeOptions {
+  double delta_factor = 0.7;  // Δ = factor · mean|w|
+};
+
+struct TernaryLayer {
+  nn::FilterBankI8 weights;  // values in {-1, 0, +1}
+  int weight_exp = 0;        // w_real ≈ w_t · 2^(-weight_exp)
+  double density = 0.0;      // fraction of ±1 entries
+};
+
+// Ternarizes one float filter bank.
+TernaryLayer ternarize_filters(const nn::FilterBankF& bank,
+                               const TernarizeOptions& options = {});
+
+// Full-network ternarization: conv layers become ternary (per-layer
+// power-of-two scale folded into the requant shift); FC layers are
+// quantized to int8 as usual (they run on the host).  Activation ranges are
+// calibrated with the float oracle, exactly like quantize_network.
+QuantizedModel ternarize_network(const nn::Network& net,
+                                 const nn::WeightsF& weights,
+                                 const std::vector<nn::FeatureMapF>& samples,
+                                 const TernarizeOptions& options = {});
+
+}  // namespace tsca::quant

@@ -1,0 +1,32 @@
+#include "sim/dma.hpp"
+
+namespace tsca::sim {
+
+std::uint64_t DmaEngine::transfer_cycles(std::size_t bytes) const {
+  const auto& t = dram_.timing();
+  const std::uint64_t beats =
+      (bytes + static_cast<std::size_t>(t.bus_bytes) - 1) /
+      static_cast<std::size_t>(t.bus_bytes);
+  return static_cast<std::uint64_t>(setup_cycles_) +
+         static_cast<std::uint64_t>(t.access_latency_cycles) + beats;
+}
+
+void DmaEngine::to_bank(SramBank& bank, int word_addr, std::uint64_t dram_addr,
+                        std::size_t bytes) {
+  if (bytes == 0) return;
+  bank.load(word_addr, dram_.raw(dram_addr, bytes), bytes);
+  ++stats_.transfers;
+  stats_.bytes_to_fpga += bytes;
+  stats_.modelled_cycles += transfer_cycles(bytes);
+}
+
+void DmaEngine::to_dram(const SramBank& bank, int word_addr,
+                        std::uint64_t dram_addr, std::size_t bytes) {
+  if (bytes == 0) return;
+  bank.store(word_addr, dram_.raw(dram_addr, bytes), bytes);
+  ++stats_.transfers;
+  stats_.bytes_to_dram += bytes;
+  stats_.modelled_cycles += transfer_cycles(bytes);
+}
+
+}  // namespace tsca::sim

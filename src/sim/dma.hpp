@@ -1,0 +1,58 @@
+// DMA engine between DDR and the on-FPGA SRAM banks.
+//
+// The paper's DMA unit is the one hand-written RTL block; it is driven by the
+// host via memory-mapped control registers and moves stripes of feature maps
+// and packed weights over a 256-bit bus ("System I").  Here it is a
+// functional copy engine with a transfer-cycle model:
+//   cycles = setup + ceil(bytes / bus_bytes) + dram.access_latency.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/dram.hpp"
+#include "sim/sram.hpp"
+
+namespace tsca::sim {
+
+struct DmaStats {
+  std::uint64_t transfers = 0;
+  std::uint64_t bytes_to_fpga = 0;
+  std::uint64_t bytes_to_dram = 0;
+  std::uint64_t modelled_cycles = 0;
+
+  DmaStats& operator+=(const DmaStats& other) {
+    transfers += other.transfers;
+    bytes_to_fpga += other.bytes_to_fpga;
+    bytes_to_dram += other.bytes_to_dram;
+    modelled_cycles += other.modelled_cycles;
+    return *this;
+  }
+};
+
+class DmaEngine {
+ public:
+  explicit DmaEngine(Dram& dram, int setup_cycles = 8)
+      : dram_(dram), setup_cycles_(setup_cycles) {}
+
+  // DDR → bank.  `bytes` need not be word-aligned; the tail word is
+  // zero-padded.
+  void to_bank(SramBank& bank, int word_addr, std::uint64_t dram_addr,
+               std::size_t bytes);
+
+  // Bank → DDR.
+  void to_dram(const SramBank& bank, int word_addr, std::uint64_t dram_addr,
+               std::size_t bytes);
+
+  const DmaStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = DmaStats{}; }
+
+ private:
+  std::uint64_t transfer_cycles(std::size_t bytes) const;
+
+  Dram& dram_;
+  int setup_cycles_;
+  DmaStats stats_;
+};
+
+}  // namespace tsca::sim

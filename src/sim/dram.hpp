@@ -1,0 +1,63 @@
+// Off-chip DDR4 model.
+//
+// Functionally a flat byte array; the timing side is a simple
+// bandwidth/latency model used by the DMA engine for traffic accounting.
+// The paper's performance results are accelerator-cycle based (DMA is
+// overlapped with compute through bank double-buffering), so DDR timing only
+// feeds the traffic/energy accounting, not the headline cycle counts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace tsca::sim {
+
+struct DramTiming {
+  double clock_mhz = 1200.0;  // DDR4-2400 data rate / 2
+  int bus_bytes = 32;         // 256-bit DMA path (paper "System I")
+  int access_latency_cycles = 30;
+};
+
+class Dram {
+ public:
+  explicit Dram(std::size_t bytes, DramTiming timing = {})
+      : storage_(bytes, 0), timing_(timing) {}
+
+  std::size_t size() const { return storage_.size(); }
+  const DramTiming& timing() const { return timing_; }
+
+  void write(std::uint64_t addr, const std::uint8_t* data, std::size_t n) {
+    check_range(addr, n);
+    std::copy(data, data + n, storage_.begin() + static_cast<std::ptrdiff_t>(addr));
+  }
+  void read(std::uint64_t addr, std::uint8_t* data, std::size_t n) const {
+    check_range(addr, n);
+    std::copy(storage_.begin() + static_cast<std::ptrdiff_t>(addr),
+              storage_.begin() + static_cast<std::ptrdiff_t>(addr + n), data);
+  }
+
+  std::uint8_t* raw(std::uint64_t addr, std::size_t n) {
+    check_range(addr, n);
+    return storage_.data() + addr;
+  }
+  const std::uint8_t* raw(std::uint64_t addr, std::size_t n) const {
+    check_range(addr, n);
+    return storage_.data() + addr;
+  }
+
+ private:
+  void check_range(std::uint64_t addr, std::size_t n) const {
+    if (addr + n > storage_.size())
+      throw MemoryError("DRAM access out of range: addr=" +
+                        std::to_string(addr) + " len=" + std::to_string(n) +
+                        " size=" + std::to_string(storage_.size()));
+  }
+
+  std::vector<std::uint8_t> storage_;
+  DramTiming timing_;
+};
+
+}  // namespace tsca::sim

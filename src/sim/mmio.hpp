@@ -1,0 +1,64 @@
+// Memory-mapped control/status registers ("System II").
+//
+// The host ARM controls the accelerator and DMA unit through Avalon
+// memory-mapped registers.  This is a functional register file with access
+// accounting; the driver submits instructions by writing their words to the
+// instruction window and hitting the doorbell, exactly one level of realism
+// above calling a C++ method — enough to model the host/accelerator contract
+// (and to inject malformed programs in tests).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace tsca::sim {
+
+class RegisterFile {
+ public:
+  explicit RegisterFile(std::string name, int num_regs)
+      : name_(std::move(name)), regs_(static_cast<std::size_t>(num_regs), 0) {}
+
+  int size() const { return static_cast<int>(regs_.size()); }
+
+  std::uint32_t read(int index) const {
+    check_index(index);
+    ++reads_;
+    return regs_[static_cast<std::size_t>(index)];
+  }
+
+  void write(int index, std::uint32_t value) {
+    check_index(index);
+    ++writes_;
+    regs_[static_cast<std::size_t>(index)] = value;
+  }
+
+  // Raw access without bus accounting (used by the device side).
+  std::uint32_t peek(int index) const {
+    check_index(index);
+    return regs_[static_cast<std::size_t>(index)];
+  }
+  void poke(int index, std::uint32_t value) {
+    check_index(index);
+    regs_[static_cast<std::size_t>(index)] = value;
+  }
+
+  std::uint64_t bus_reads() const { return reads_; }
+  std::uint64_t bus_writes() const { return writes_; }
+
+ private:
+  void check_index(int index) const {
+    if (index < 0 || index >= size())
+      throw MemoryError("register index out of range on " + name_ + ": " +
+                        std::to_string(index));
+  }
+
+  std::string name_;
+  std::vector<std::uint32_t> regs_;
+  mutable std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+};
+
+}  // namespace tsca::sim

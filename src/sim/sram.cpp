@@ -1,0 +1,64 @@
+#include "sim/sram.hpp"
+
+#include <cstring>
+
+namespace tsca::sim {
+
+Word word_from_tile(const pack::Tile& tile) {
+  Word word;
+  for (int i = 0; i < pack::kTileSize; ++i)
+    word.b[static_cast<std::size_t>(i)] =
+        quant::sm8_encode(tile.v[static_cast<std::size_t>(i)]);
+  return word;
+}
+
+pack::Tile tile_from_word(const Word& word) {
+  pack::Tile tile;
+  for (int i = 0; i < pack::kTileSize; ++i)
+    tile.v[static_cast<std::size_t>(i)] = static_cast<std::int8_t>(
+        quant::sm8_decode(word.b[static_cast<std::size_t>(i)]));
+  return tile;
+}
+
+void SramBank::load(int addr, const std::uint8_t* bytes, std::size_t n) {
+  const int words = static_cast<int>((n + kWordBytes - 1) / kWordBytes);
+  if (words == 0) return;
+  check_addr(addr);
+  check_addr(addr + words - 1);
+  std::size_t remaining = n;
+  for (int w = 0; w < words; ++w) {
+    Word& word = storage_[static_cast<std::size_t>(addr + w)];
+    const std::size_t chunk =
+        remaining < kWordBytes ? remaining : std::size_t{kWordBytes};
+    word = Word{};
+    std::memcpy(word.b.data(), bytes + static_cast<std::size_t>(w) * kWordBytes,
+                chunk);
+    remaining -= chunk;
+  }
+}
+
+void SramBank::store(int addr, std::uint8_t* bytes, std::size_t n) const {
+  const int words = static_cast<int>((n + kWordBytes - 1) / kWordBytes);
+  if (words == 0) return;
+  check_addr(addr);
+  check_addr(addr + words - 1);
+  std::size_t remaining = n;
+  for (int w = 0; w < words; ++w) {
+    const Word& word = storage_[static_cast<std::size_t>(addr + w)];
+    const std::size_t chunk =
+        remaining < kWordBytes ? remaining : std::size_t{kWordBytes};
+    std::memcpy(bytes + static_cast<std::size_t>(w) * kWordBytes, word.b.data(),
+                chunk);
+    remaining -= chunk;
+  }
+}
+
+void SramBank::fill(int addr, int words, std::uint8_t value) {
+  if (words <= 0) return;
+  check_addr(addr);
+  check_addr(addr + words - 1);
+  for (int w = 0; w < words; ++w)
+    storage_[static_cast<std::size_t>(addr + w)].b.fill(value);
+}
+
+}  // namespace tsca::sim

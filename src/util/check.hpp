@@ -1,0 +1,71 @@
+// Error handling primitives used across the library.
+//
+// TSCA models a hardware system; most "impossible" conditions are programmer
+// or configuration errors (bad instruction fields, out-of-range bank
+// addresses).  These raise typed exceptions so tests can assert on failure
+// injection, per the failure-injection strategy in DESIGN.md.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tsca {
+
+// Base class of all library errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Invalid configuration (architecture parameters, layer shapes).
+class ConfigError : public Error {
+ public:
+  using Error::Error;
+};
+
+// Malformed or out-of-range accelerator instruction.
+class InstructionError : public Error {
+ public:
+  using Error::Error;
+};
+
+// Illegal memory access (bank/DDR out of range, port conflict).
+class MemoryError : public Error {
+ public:
+  using Error::Error;
+};
+
+// The streaming system stopped making progress (FIFO deadlock watchdog).
+class DeadlockError : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_check_failure(const char* kind,
+                                             const char* cond,
+                                             const char* file, int line,
+                                             const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: " << cond << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+
+// Always-on invariant check.  `msg` is streamed, e.g.
+//   TSCA_CHECK(x < n, "x=" << x << " n=" << n);
+#define TSCA_CHECK(cond, ...)                                               \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::ostringstream tsca_check_os_;                                    \
+      tsca_check_os_ << "" __VA_ARGS__;                                     \
+      ::tsca::detail::throw_check_failure("TSCA_CHECK", #cond, __FILE__,    \
+                                          __LINE__, tsca_check_os_.str()); \
+    }                                                                       \
+  } while (0)
+
+}  // namespace tsca

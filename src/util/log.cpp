@@ -1,0 +1,51 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace tsca {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+std::mutex& sink_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void log_emit(LogLevel level, const std::string& message) {
+  const std::lock_guard<std::mutex> lock(sink_mutex());
+  std::fprintf(stderr, "[tsca %s] %s\n", level_name(level), message.c_str());
+}
+
+}  // namespace detail
+
+}  // namespace tsca

@@ -1,0 +1,40 @@
+// Minimal leveled logger.
+//
+// Hardware simulations produce torrents of per-cycle detail; the logger keeps
+// that behind a global level so tests run silent and examples/benches can opt
+// into progress output.  Not thread-safe by design beyond a per-call mutex on
+// the sink: kernels in the threaded engine may log concurrently.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace tsca {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4 };
+
+// Global threshold; messages below it are discarded.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}  // namespace detail
+
+#define TSCA_LOG(level, ...)                                        \
+  do {                                                              \
+    if (static_cast<int>(level) >=                                  \
+        static_cast<int>(::tsca::log_level())) {                    \
+      std::ostringstream tsca_log_os_;                              \
+      tsca_log_os_ << __VA_ARGS__;                                  \
+      ::tsca::detail::log_emit(level, tsca_log_os_.str());          \
+    }                                                               \
+  } while (0)
+
+#define TSCA_TRACE(...) TSCA_LOG(::tsca::LogLevel::kTrace, __VA_ARGS__)
+#define TSCA_DEBUG(...) TSCA_LOG(::tsca::LogLevel::kDebug, __VA_ARGS__)
+#define TSCA_INFO(...) TSCA_LOG(::tsca::LogLevel::kInfo, __VA_ARGS__)
+#define TSCA_WARN(...) TSCA_LOG(::tsca::LogLevel::kWarn, __VA_ARGS__)
+#define TSCA_ERROR(...) TSCA_LOG(::tsca::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace tsca

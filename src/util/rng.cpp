@@ -1,0 +1,18 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace tsca {
+
+double Rng::next_gaussian() {
+  // Box-Muller; draw u1 in (0,1] to avoid log(0).
+  double u1 = 0.0;
+  do {
+    u1 = next_double();
+  } while (u1 <= 0.0);
+  const double u2 = next_double();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * 3.141592653589793238462643383279502884 * u2);
+}
+
+}  // namespace tsca

@@ -1,0 +1,184 @@
+// Driver: stripe/chunk planning, weight images, stripe (de)serialization.
+#include <gtest/gtest.h>
+
+#include "driver/compiler.hpp"
+#include "driver/runtime.hpp"
+#include "pack/weight_pack.hpp"
+#include "util/rng.hpp"
+
+namespace tsca::driver {
+namespace {
+
+nn::FilterBankI8 random_bank(nn::FilterShape shape, double density, Rng& rng) {
+  nn::FilterBankI8 bank(shape);
+  for (std::size_t i = 0; i < bank.size(); ++i)
+    if (rng.next_double() < density)
+      bank.data()[i] = static_cast<std::int8_t>(rng.next_int(1, 40));
+  return bank;
+}
+
+TEST(WeightImage, GroupsLanesAndActiveFilters) {
+  Rng rng(1);
+  const pack::PackedFilters packed =
+      pack::pack_filters(random_bank({10, 8, 3, 3}, 0.5, rng));
+  const WeightImage image(packed, /*lanes=*/4, /*group=*/4);
+  EXPECT_EQ(image.groups(), 3);  // ceil(10/4)
+  EXPECT_EQ(image.active_filters(0), 4);
+  EXPECT_EQ(image.active_filters(2), 2);
+  for (int g = 0; g < image.groups(); ++g) {
+    int max_words = 0;
+    for (int lane = 0; lane < 4; ++lane) {
+      EXPECT_EQ(static_cast<int>((image.bytes(g, lane).size() + 15) / 16),
+                image.words(g, lane));
+      max_words = std::max(max_words, image.words(g, lane));
+    }
+    EXPECT_EQ(image.aligned_words(g), max_words);
+  }
+}
+
+TEST(PlanConv, SingleStripeWhenEverythingFits) {
+  Rng rng(2);
+  core::ArchConfig cfg = core::ArchConfig::k256_opt();
+  const pack::PackedFilters packed =
+      pack::pack_filters(random_bank({8, 8, 3, 3}, 0.5, rng));
+  const WeightImage image(packed, cfg.lanes, cfg.group);
+  const ConvPlan plan = plan_conv(cfg, {8, 18, 18}, 8, 3, image);
+  ASSERT_EQ(plan.stripes.size(), 1u);
+  EXPECT_EQ(plan.stripes[0].otile_rows, pack::tiles_for(16));
+  EXPECT_EQ(plan.stripes[0].in_tile_rows, pack::tiles_for(18));
+  ASSERT_EQ(plan.stripes[0].chunks.size(), 1u);
+  EXPECT_EQ(plan.stripes[0].chunks[0].count, 2);  // both groups in one chunk
+  EXPECT_EQ(plan.out_shape, (nn::FmShape{8, 16, 16}));
+}
+
+TEST(PlanConv, StripesCoverOutputWithHalo) {
+  Rng rng(3);
+  core::ArchConfig cfg = core::ArchConfig::k256_opt();
+  cfg.bank_words = 160;  // force multiple stripes
+  const pack::PackedFilters packed =
+      pack::pack_filters(random_bank({8, 8, 3, 3}, 0.4, rng));
+  const WeightImage image(packed, cfg.lanes, cfg.group);
+  const ConvPlan plan = plan_conv(cfg, {8, 26, 26}, 8, 3, image);
+  ASSERT_GT(plan.stripes.size(), 1u);
+  int covered = 0;
+  const int out_rows = pack::tiles_for(24);
+  const int in_rows = pack::tiles_for(26);
+  for (const ConvStripe& stripe : plan.stripes) {
+    EXPECT_EQ(stripe.otile_row0, covered);
+    covered += stripe.otile_rows;
+    // Halo: the stripe's input rows start at its first output row and
+    // extend one weight-tile row further (3x3 kernel -> wtiles_y = 1).
+    EXPECT_EQ(stripe.in_tile_row0, stripe.otile_row0);
+    EXPECT_EQ(stripe.in_tile_rows,
+              std::min(stripe.otile_rows + 1, in_rows - stripe.in_tile_row0));
+    for (const ConvStripe::Chunk& chunk : stripe.chunks)
+      EXPECT_GT(chunk.count, 0);
+  }
+  EXPECT_EQ(covered, out_rows);
+  // Region layout leaves room for at least one weight group.
+  EXPECT_LE(plan.weight_base, cfg.bank_words);
+}
+
+TEST(PlanConv, ChunksPartitionGroupsWithinBudget) {
+  Rng rng(4);
+  core::ArchConfig cfg = core::ArchConfig::k256_opt();
+  cfg.bank_words = 300;
+  const pack::PackedFilters packed =
+      pack::pack_filters(random_bank({32, 16, 3, 3}, 0.9, rng));
+  const WeightImage image(packed, cfg.lanes, cfg.group);
+  const ConvPlan plan = plan_conv(cfg, {16, 14, 14}, 32, 3, image);
+  for (const ConvStripe& stripe : plan.stripes) {
+    int next_group = 0;
+    for (const ConvStripe::Chunk& chunk : stripe.chunks) {
+      EXPECT_EQ(chunk.g0, next_group);
+      next_group += chunk.count;
+      int used = 0;
+      for (int k = 0; k < chunk.count; ++k)
+        used += image.aligned_words(chunk.g0 + k);
+      EXPECT_LE(used, plan.weight_budget_words);
+    }
+    EXPECT_EQ(next_group, image.groups());
+  }
+}
+
+TEST(PlanConv, BalancesStripesAcrossInstances) {
+  Rng rng(5);
+  core::ArchConfig cfg = core::ArchConfig::k512_opt();
+  const pack::PackedFilters packed =
+      pack::pack_filters(random_bank({8, 8, 3, 3}, 0.5, rng));
+  const WeightImage image(packed, cfg.lanes, cfg.group);
+  // 8 output tile rows on 2 instances: expect an even split.
+  const ConvPlan plan = plan_conv(cfg, {8, 34, 34}, 8, 3, image);
+  ASSERT_GE(plan.stripes.size(), 2u);
+  EXPECT_EQ(plan.stripes.size() % 2, 0u);
+  int rows0 = 0;
+  int rows1 = 0;
+  for (std::size_t i = 0; i < plan.stripes.size(); ++i)
+    (i % 2 == 0 ? rows0 : rows1) += plan.stripes[i].otile_rows;
+  EXPECT_LE(std::abs(rows0 - rows1), 1);
+}
+
+TEST(PlanConv, ThrowsWhenLayerCannotFit) {
+  Rng rng(6);
+  core::ArchConfig cfg = core::ArchConfig::k256_opt();
+  cfg.bank_words = 64;  // hopeless
+  const pack::PackedFilters packed =
+      pack::pack_filters(random_bank({64, 64, 3, 3}, 1.0, rng));
+  const WeightImage image(packed, cfg.lanes, cfg.group);
+  EXPECT_THROW(plan_conv(cfg, {64, 114, 114}, 64, 3, image), ConfigError);
+}
+
+TEST(PlanPool, StripeLocalOffsetsReconstructGlobalWindows) {
+  core::ArchConfig cfg = core::ArchConfig::k256_opt();
+  cfg.bank_words = 64;
+  const PoolPlan plan = plan_pool(cfg, {4, 32, 32}, {4, 16, 16},
+                                  core::Opcode::kPool, 2, 2, 0, 0);
+  ASSERT_GT(plan.stripes.size(), 1u);
+  for (const PoolStripe& stripe : plan.stripes) {
+    // Global source row of the stripe's first output row equals the local
+    // offset plus the loaded window start.
+    const int global_out_row = stripe.otile_row0 * pack::kTileDim;
+    const int global_src = global_out_row * plan.stride + plan.offset_y;
+    EXPECT_EQ(stripe.local_offset_y + stripe.in_tile_row0 * pack::kTileDim,
+              global_src);
+    const core::PadPoolInstr instr = make_pool_instr(plan, stripe);
+    EXPECT_NO_THROW(core::validate_instruction(
+        core::Instruction::make_pool(instr), cfg));
+  }
+}
+
+TEST(ConvMacsHelper, MatchesFormula) {
+  EXPECT_EQ(conv_macs({3, 226, 226}, 64, 3),
+            3LL * 64 * 9 * 224 * 224);
+  EXPECT_THROW(conv_macs({3, 2, 2}, 4, 3), Error);
+}
+
+TEST(BankStripe, RoundTripsThroughBytes) {
+  Rng rng(7);
+  nn::FeatureMapI8 fm({6, 12, 10});
+  for (std::size_t i = 0; i < fm.size(); ++i)
+    fm.data()[i] = static_cast<std::int8_t>(rng.next_int(-100, 100));
+  const pack::TiledFm tiled = pack::to_tiled(fm);
+  pack::TiledFm restored(fm.shape());
+  for (int lane = 0; lane < 4; ++lane) {
+    const std::vector<std::uint8_t> bytes =
+        bank_stripe_bytes(tiled, lane, 4, 1, 2);
+    unpack_bank_stripe(restored, bytes, lane, 4, 1, 2);
+  }
+  // Rows 1..2 restored for every channel; others untouched (zero).
+  for (int c = 0; c < 6; ++c)
+    for (int r = 1; r < 3; ++r)
+      for (int x = 0; x < tiled.tiles_x(); ++x)
+        EXPECT_EQ(restored.tile(c, r, x), tiled.tile(c, r, x));
+  EXPECT_EQ(restored.tile(0, 0, 0), pack::Tile{});
+}
+
+TEST(BankStripe, RejectsOutOfRangeRows) {
+  const pack::TiledFm tiled(nn::FmShape{2, 8, 8});
+  EXPECT_THROW(bank_stripe_bytes(tiled, 0, 4, 1, 5), Error);
+  pack::TiledFm out(nn::FmShape{2, 8, 8});
+  EXPECT_THROW(unpack_bank_stripe(out, {}, 0, 4, 0, 3), Error);
+}
+
+}  // namespace
+}  // namespace tsca::driver

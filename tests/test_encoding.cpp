@@ -1,0 +1,215 @@
+// Instruction encoding round-trips and the memory-mapped host interface.
+#include <gtest/gtest.h>
+
+#include "core/encoding.hpp"
+#include "driver/host_interface.hpp"
+#include "core/kernels.hpp"
+#include "driver/runtime.hpp"
+#include "pack/weight_pack.hpp"
+#include "util/rng.hpp"
+
+namespace tsca {
+namespace {
+
+core::ConvInstr random_conv(Rng& rng) {
+  core::ConvInstr c;
+  c.ifm_base = rng.next_int(0, 1 << 20);
+  c.ifm_tiles_x = rng.next_int(1, 60000);
+  c.ifm_tiles_y = rng.next_int(1, 60000);
+  c.ifm_channels = rng.next_int(1, 4096);
+  c.weight_base = rng.next_int(0, 1 << 20);
+  c.ofm_base = rng.next_int(0, 1 << 20);
+  c.ofm_tiles_x = rng.next_int(1, 60000);
+  c.ofm_tiles_y = rng.next_int(1, 60000);
+  c.oc0 = 4 * rng.next_int(0, 1000);
+  c.active_filters = rng.next_int(1, 4);
+  c.kernel_h = rng.next_int(1, 11);
+  c.kernel_w = rng.next_int(1, 11);
+  for (auto& b : c.bias) b = rng.next_int(-1000000, 1000000);
+  c.shift = rng.next_int(0, 31);
+  c.relu = rng.next_bool();
+  return c;
+}
+
+core::PadPoolInstr random_pp(Rng& rng) {
+  core::PadPoolInstr p;
+  p.ifm_base = rng.next_int(0, 1 << 20);
+  p.ifm_tiles_x = rng.next_int(1, 60000);
+  p.ifm_tiles_y = rng.next_int(1, 60000);
+  p.ifm_h = rng.next_int(1, 60000);
+  p.ifm_w = rng.next_int(1, 60000);
+  p.channels = rng.next_int(1, 4096);
+  p.ofm_base = rng.next_int(0, 1 << 20);
+  p.ofm_tiles_x = rng.next_int(1, 60000);
+  p.ofm_tiles_y = rng.next_int(1, 60000);
+  p.ofm_h = rng.next_int(1, 60000);
+  p.ofm_w = rng.next_int(1, 60000);
+  p.win = rng.next_int(1, 16);
+  p.stride = rng.next_int(1, 16);
+  p.offset_y = rng.next_int(-1000, 1000);
+  p.offset_x = rng.next_int(-1000, 1000);
+  return p;
+}
+
+bool conv_equal(const core::ConvInstr& a, const core::ConvInstr& b) {
+  return a.ifm_base == b.ifm_base && a.ifm_tiles_x == b.ifm_tiles_x &&
+         a.ifm_tiles_y == b.ifm_tiles_y && a.ifm_channels == b.ifm_channels &&
+         a.weight_base == b.weight_base && a.ofm_base == b.ofm_base &&
+         a.ofm_tiles_x == b.ofm_tiles_x && a.ofm_tiles_y == b.ofm_tiles_y &&
+         a.oc0 == b.oc0 && a.active_filters == b.active_filters &&
+         a.kernel_h == b.kernel_h && a.kernel_w == b.kernel_w &&
+         a.bias == b.bias && a.shift == b.shift && a.relu == b.relu;
+}
+
+bool pp_equal(const core::PadPoolInstr& a, const core::PadPoolInstr& b) {
+  return a.ifm_base == b.ifm_base && a.ifm_tiles_x == b.ifm_tiles_x &&
+         a.ifm_tiles_y == b.ifm_tiles_y && a.ifm_h == b.ifm_h &&
+         a.ifm_w == b.ifm_w && a.channels == b.channels &&
+         a.ofm_base == b.ofm_base && a.ofm_tiles_x == b.ofm_tiles_x &&
+         a.ofm_tiles_y == b.ofm_tiles_y && a.ofm_h == b.ofm_h &&
+         a.ofm_w == b.ofm_w && a.win == b.win && a.stride == b.stride &&
+         a.offset_y == b.offset_y && a.offset_x == b.offset_x;
+}
+
+TEST(Encoding, ConvRoundTripFuzz) {
+  Rng rng(0xE11C0DE);
+  for (int i = 0; i < 200; ++i) {
+    const core::ConvInstr c = random_conv(rng);
+    const core::Instruction decoded = core::decode_instruction(
+        core::encode_instruction(core::Instruction::make_conv(c)));
+    ASSERT_EQ(decoded.op, core::Opcode::kConv);
+    EXPECT_TRUE(conv_equal(decoded.conv, c)) << "iteration " << i;
+  }
+}
+
+TEST(Encoding, PadPoolRoundTripFuzz) {
+  Rng rng(0xE11C0DF);
+  for (int i = 0; i < 200; ++i) {
+    const core::PadPoolInstr p = random_pp(rng);
+    const bool pool = rng.next_bool();
+    const core::Instruction instr = pool ? core::Instruction::make_pool(p)
+                                         : core::Instruction::make_pad(p);
+    const core::Instruction decoded =
+        core::decode_instruction(core::encode_instruction(instr));
+    ASSERT_EQ(decoded.op, instr.op);
+    EXPECT_TRUE(pp_equal(decoded.pp, p)) << "iteration " << i;
+  }
+}
+
+TEST(Encoding, HaltRoundTrip) {
+  const core::Instruction decoded = core::decode_instruction(
+      core::encode_instruction(core::Instruction::halt()));
+  EXPECT_EQ(decoded.op, core::Opcode::kHalt);
+}
+
+TEST(Encoding, RejectsCorruptWords) {
+  core::EncodedInstruction words =
+      core::encode_instruction(core::Instruction::halt());
+  words[0] = 0x12345678;  // bad magic
+  EXPECT_THROW(core::decode_instruction(words), InstructionError);
+
+  words = core::encode_instruction(core::Instruction::halt());
+  words[0] = core::kInstrMagic | 0x7;  // unknown opcode
+  EXPECT_THROW(core::decode_instruction(words), InstructionError);
+
+  Rng rng(1);
+  words = core::encode_instruction(
+      core::Instruction::make_conv(random_conv(rng)));
+  words[9] |= 0x8000;  // reserved bit
+  EXPECT_THROW(core::decode_instruction(words), InstructionError);
+}
+
+TEST(Encoding, RejectsUnencodableFields) {
+  core::ConvInstr c;
+  c.ifm_tiles_x = 1 << 17;  // exceeds the 16-bit field
+  c.ifm_tiles_y = 1;
+  EXPECT_THROW(core::encode_instruction(core::Instruction::make_conv(c)),
+               Error);
+}
+
+// --- host interface -----------------------------------------------------
+
+TEST(HostInterface, MmioPathMatchesDirectExecution) {
+  Rng rng(0x105);
+  nn::FeatureMapI8 input({4, 8, 8});
+  for (std::size_t i = 0; i < input.size(); ++i)
+    input.data()[i] = static_cast<std::int8_t>(rng.next_int(-30, 30));
+  nn::FilterBankI8 filters({4, 4, 3, 3});
+  for (std::size_t i = 0; i < filters.size(); ++i)
+    if (rng.next_double() < 0.6)
+      filters.data()[i] = static_cast<std::int8_t>(rng.next_int(-15, 15));
+  const std::vector<std::int32_t> bias(4, 5);
+  const nn::Requant rq{.shift = 5, .relu = true};
+
+  // Reference result via the runtime.
+  core::ArchConfig cfg = core::ArchConfig::k256_opt();
+  cfg.bank_words = 2048;
+  const nn::FeatureMapI8 expected =
+      nn::conv2d_i8(input, filters, bias, 1, rq);
+
+  // MMIO path: stage data manually, submit CONV through the register file.
+  core::Accelerator acc(cfg);
+  const pack::PackedFilters packed = pack::pack_filters(filters);
+  const driver::WeightImage wimg(packed, cfg.lanes, cfg.group);
+  const driver::ConvPlan plan =
+      driver::plan_conv(cfg, input.shape(), 4, 3, wimg);
+  const pack::TiledFm tiled = pack::to_tiled(input);
+  for (int lane = 0; lane < cfg.lanes; ++lane) {
+    const auto bytes = driver::bank_stripe_bytes(
+        tiled, lane, cfg.lanes, 0, plan.stripes[0].in_tile_rows);
+    acc.bank(lane).load(plan.ifm_base, bytes.data(), bytes.size());
+    const auto& wbytes = wimg.bytes(0, lane);
+    if (!wbytes.empty())
+      acc.bank(lane).load(plan.weight_base, wbytes.data(), wbytes.size());
+  }
+
+  driver::HostInterface host(acc, hls::Mode::kCycle);
+  host.submit(core::Instruction::make_conv(driver::make_conv_instr(
+      plan, plan.stripes[0], 0, plan.weight_base, wimg, bias, rq,
+      cfg.group)));
+  EXPECT_EQ(host.read(driver::HostInterface::kStatus),
+            driver::HostInterface::kStatusQueued);
+  EXPECT_EQ(host.read(driver::HostInterface::kQueued), 1u);
+
+  const core::BatchStats stats = host.go();
+  EXPECT_EQ(host.read(driver::HostInterface::kStatus),
+            driver::HostInterface::kStatusDone);
+  EXPECT_EQ(host.read(driver::HostInterface::kQueued), 0u);
+  const std::uint64_t cycles =
+      host.read(driver::HostInterface::kCyclesLo) |
+      (static_cast<std::uint64_t>(
+           host.read(driver::HostInterface::kCyclesHi))
+       << 32);
+  EXPECT_EQ(cycles, stats.cycles);
+  EXPECT_GT(cycles, 0u);
+
+  // Read the OFM region back and compare.
+  pack::TiledFm out(plan.out_shape);
+  for (int lane = 0; lane < cfg.lanes; ++lane) {
+    const int words = core::lane_channel_count(4, lane, cfg.lanes) *
+                      plan.stripes[0].otile_rows * plan.out_tiles_x;
+    if (words == 0) continue;
+    std::vector<std::uint8_t> bytes(
+        static_cast<std::size_t>(words) * sim::kWordBytes);
+    acc.bank(lane).store(plan.ofm_base, bytes.data(), bytes.size());
+    driver::unpack_bank_stripe(out, bytes, lane, cfg.lanes, 0,
+                               plan.stripes[0].otile_rows);
+  }
+  EXPECT_EQ(pack::from_tiled(out), expected);
+}
+
+TEST(HostInterface, MalformedDoorbellSetsErrorStatus) {
+  core::ArchConfig cfg = core::ArchConfig::k256_opt();
+  cfg.bank_words = 256;
+  core::Accelerator acc(cfg);
+  driver::HostInterface host(acc, hls::Mode::kCycle);
+  // Garbage window.
+  host.regs().write(0, 0xdeadbeef);
+  EXPECT_THROW(host.write(driver::HostInterface::kDoorbell, 1),
+               InstructionError);
+  EXPECT_EQ(host.read(driver::HostInterface::kStatus),
+            driver::HostInterface::kStatusError);
+}
+
+}  // namespace
+}  // namespace tsca

@@ -1,0 +1,220 @@
+// Tests for the HLS runtime: kernels, FIFOs, barriers, both execution modes.
+//
+// These tests pin down the semantics everything else is built on:
+//   * one kernel source runs identically under the thread and cycle domains;
+//   * an II=1 streaming loop moves one item per cycle;
+//   * registered FIFOs add one cycle of latency per hop;
+//   * deadlocks are detected, kernel errors propagate.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "hls/system.hpp"
+
+namespace tsca::hls {
+namespace {
+
+struct Msg {
+  int value = 0;
+  bool last = false;
+};
+
+Kernel producer(Domain& d, Fifo<Msg>& out, int count) {
+  for (int i = 0; i < count; ++i) {
+    co_await out.push({i, i == count - 1});
+    co_await clk(d);
+  }
+}
+
+Kernel consumer(Domain& d, Fifo<Msg>& in, std::vector<int>& sink) {
+  for (;;) {
+    Msg m = co_await in.pop();
+    sink.push_back(m.value);
+    co_await clk(d);
+    if (m.last) break;
+  }
+}
+
+Kernel relay(Domain& d, Fifo<Msg>& in, Fifo<Msg>& out) {
+  for (;;) {
+    Msg m = co_await in.pop();
+    co_await out.push(m);
+    co_await clk(d);
+    if (m.last) break;
+  }
+}
+
+Kernel slow_consumer(Domain& d, Fifo<Msg>& in, std::vector<int>& sink,
+                     int cycles_per_item) {
+  for (;;) {
+    Msg m = co_await in.pop();
+    sink.push_back(m.value);
+    for (int c = 0; c < cycles_per_item; ++c) co_await clk(d);
+    if (m.last) break;
+  }
+}
+
+std::vector<int> expected_sequence(int count) {
+  std::vector<int> v(static_cast<std::size_t>(count));
+  std::iota(v.begin(), v.end(), 0);
+  return v;
+}
+
+class HlsBothModes : public ::testing::TestWithParam<Mode> {};
+
+TEST_P(HlsBothModes, ProducerConsumerDeliversAllItemsInOrder) {
+  System sys(GetParam());
+  auto& q = sys.make_fifo<Msg>("q", 8);
+  std::vector<int> sink;
+  sys.spawn("producer", producer(sys.domain(), q, 500));
+  sys.spawn("consumer", consumer(sys.domain(), q, sink));
+  sys.run();
+  EXPECT_EQ(sink, expected_sequence(500));
+}
+
+TEST_P(HlsBothModes, ThreeStagePipelineDeliversAllItems) {
+  System sys(GetParam());
+  auto& q1 = sys.make_fifo<Msg>("q1", 4);
+  auto& q2 = sys.make_fifo<Msg>("q2", 4);
+  std::vector<int> sink;
+  sys.spawn("producer", producer(sys.domain(), q1, 300));
+  sys.spawn("relay", relay(sys.domain(), q1, q2));
+  sys.spawn("consumer", consumer(sys.domain(), q2, sink));
+  sys.run();
+  EXPECT_EQ(sink, expected_sequence(300));
+}
+
+TEST_P(HlsBothModes, KernelExceptionPropagates) {
+  System sys(GetParam(), {.watchdog_ms = 2000});
+  auto& q = sys.make_fifo<Msg>("q", 4);
+  auto thrower = [](Domain& d, Fifo<Msg>& in) -> Kernel {
+    Msg m = co_await in.pop();
+    (void)m;
+    co_await clk(d);
+    throw ConfigError("boom");
+  };
+  sys.spawn("producer", producer(sys.domain(), q, 10));
+  sys.spawn("thrower", thrower(sys.domain(), q));
+  EXPECT_THROW(sys.run(), ConfigError);
+}
+
+TEST_P(HlsBothModes, BarrierSynchronizesParticipants) {
+  constexpr int kParticipants = 4;
+  constexpr int kRounds = 25;
+  System sys(GetParam());
+  auto& bar = sys.make_barrier("bar", kParticipants);
+  // Each participant increments its own round counter; after the barrier all
+  // counters must agree.  A mismatch detected by any participant is fatal.
+  static thread_local int unused = 0;
+  (void)unused;
+  auto counters = std::make_shared<std::array<std::atomic<int>, 4>>();
+  for (auto& c : *counters) c = 0;
+  auto participant = [](Domain& d, Barrier& b,
+                        std::shared_ptr<std::array<std::atomic<int>, 4>> ctrs,
+                        int id) -> Kernel {
+    for (int round = 0; round < kRounds; ++round) {
+      (*ctrs)[static_cast<std::size_t>(id)].fetch_add(1);
+      co_await clk(d);
+      co_await b.arrive_and_wait();
+      for (const auto& c : *ctrs) {
+        TSCA_CHECK(c.load() == round + 1,
+                   "barrier round skew: " << c.load() << " vs " << round + 1);
+      }
+      co_await b.arrive_and_wait();
+    }
+  };
+  for (int id = 0; id < kParticipants; ++id)
+    sys.spawn("p" + std::to_string(id),
+              participant(sys.domain(), bar, counters, id));
+  EXPECT_NO_THROW(sys.run());
+}
+
+TEST_P(HlsBothModes, DeadlockIsDetected) {
+  System sys(GetParam(), {.max_cycles = 100'000, .watchdog_ms = 300});
+  auto& q = sys.make_fifo<Msg>("q", 4);
+  std::vector<int> sink;
+  sys.spawn("consumer", consumer(sys.domain(), q, sink));  // nobody pushes
+  EXPECT_THROW(sys.run(), DeadlockError);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, HlsBothModes,
+                         ::testing::Values(Mode::kThread, Mode::kCycle),
+                         [](const ::testing::TestParamInfo<Mode>& info) {
+                           return info.param == Mode::kThread ? "thread"
+                                                              : "cycle";
+                         });
+
+// --- cycle-accurate timing ----------------------------------------------
+
+TEST(HlsCycleTiming, StreamingLoopHasInitiationIntervalOne) {
+  System sys(Mode::kCycle);
+  auto& q = sys.make_fifo<Msg>("q", 8);
+  std::vector<int> sink;
+  constexpr int kItems = 1000;
+  sys.spawn("producer", producer(sys.domain(), q, kItems));
+  sys.spawn("consumer", consumer(sys.domain(), q, sink));
+  const auto result = sys.run();
+  // One item per cycle plus constant pipeline fill/drain.
+  EXPECT_GE(result.cycles, static_cast<std::uint64_t>(kItems));
+  EXPECT_LE(result.cycles, static_cast<std::uint64_t>(kItems) + 10);
+}
+
+TEST(HlsCycleTiming, SlowConsumerThrottlesProducerViaBackpressure) {
+  System sys(Mode::kCycle);
+  auto& q = sys.make_fifo<Msg>("q", 2);
+  std::vector<int> sink;
+  constexpr int kItems = 500;
+  constexpr int kCyclesPerItem = 3;
+  sys.spawn("producer", producer(sys.domain(), q, kItems));
+  sys.spawn("consumer",
+            slow_consumer(sys.domain(), q, sink, kCyclesPerItem));
+  const auto result = sys.run();
+  EXPECT_EQ(sink.size(), static_cast<std::size_t>(kItems));
+  EXPECT_GE(result.cycles, static_cast<std::uint64_t>(kItems) * kCyclesPerItem);
+  EXPECT_LE(result.cycles,
+            static_cast<std::uint64_t>(kItems) * (kCyclesPerItem + 1) + 20);
+}
+
+TEST(HlsCycleTiming, RegisteredFifoAddsOneCycleLatencyPerHop) {
+  // Measure a single item through N relay hops: latency grows with hops.
+  auto run_hops = [](int hops) {
+    System sys(Mode::kCycle);
+    std::vector<int> sink;
+    Fifo<Msg>* prev = &sys.make_fifo<Msg>("q0", 4);
+    sys.spawn("producer", producer(sys.domain(), *prev, 1));
+    for (int h = 0; h < hops; ++h) {
+      auto& next = sys.make_fifo<Msg>("q" + std::to_string(h + 1), 4);
+      sys.spawn("relay" + std::to_string(h), relay(sys.domain(), *prev, next));
+      prev = &next;
+    }
+    sys.spawn("consumer", consumer(sys.domain(), *prev, sink));
+    return sys.run().cycles;
+  };
+  const std::uint64_t short_chain = run_hops(1);
+  const std::uint64_t long_chain = run_hops(5);
+  EXPECT_EQ(long_chain - short_chain, 4u);
+}
+
+TEST(HlsCycleTiming, FifoStatsCountTraffic) {
+  System sys(Mode::kCycle);
+  auto& q = sys.make_fifo<Msg>("q", 8);
+  std::vector<int> sink;
+  sys.spawn("producer", producer(sys.domain(), q, 64));
+  sys.spawn("consumer", consumer(sys.domain(), q, sink));
+  sys.run();
+  EXPECT_EQ(q.stats().pushes, 64u);
+  EXPECT_EQ(q.stats().pops, 64u);
+}
+
+TEST(HlsCycleTiming, RunawaySimulationHitsCycleLimit) {
+  System sys(Mode::kCycle, {.max_cycles = 1000});
+  auto spinner = [](Domain& d) -> Kernel {
+    for (;;) co_await clk(d);
+  };
+  sys.spawn("spinner", spinner(sys.domain()));
+  EXPECT_THROW(sys.run(), Error);
+}
+
+}  // namespace
+}  // namespace tsca::hls

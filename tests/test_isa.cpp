@@ -1,0 +1,156 @@
+// Instruction-set validation and failure injection.
+#include <gtest/gtest.h>
+
+#include "core/accelerator.hpp"
+#include "core/isa.hpp"
+
+namespace tsca::core {
+namespace {
+
+ArchConfig cfg4() {
+  ArchConfig cfg = ArchConfig::k256_opt();
+  cfg.bank_words = 1024;
+  return cfg;
+}
+
+ConvInstr good_conv() {
+  ConvInstr c;
+  c.ifm_base = 0;
+  c.ifm_tiles_x = 4;
+  c.ifm_tiles_y = 4;
+  c.ifm_channels = 8;
+  c.weight_base = 200;
+  c.ofm_base = 100;
+  c.ofm_tiles_x = 4;
+  c.ofm_tiles_y = 4;
+  c.oc0 = 0;
+  c.active_filters = 4;
+  c.kernel_h = c.kernel_w = 3;
+  c.shift = 6;
+  return c;
+}
+
+PadPoolInstr good_pool() {
+  PadPoolInstr p;
+  p.ifm_base = 0;
+  p.ifm_tiles_x = 4;
+  p.ifm_tiles_y = 4;
+  p.ifm_h = p.ifm_w = 16;
+  p.channels = 8;
+  p.ofm_base = 64;
+  p.ofm_tiles_x = 2;
+  p.ofm_tiles_y = 2;
+  p.ofm_h = p.ofm_w = 8;
+  p.win = 2;
+  p.stride = 2;
+  return p;
+}
+
+TEST(IsaValidation, AcceptsWellFormedInstructions) {
+  EXPECT_NO_THROW(
+      validate_instruction(Instruction::make_conv(good_conv()), cfg4(), 16));
+  EXPECT_NO_THROW(
+      validate_instruction(Instruction::make_pool(good_pool()), cfg4()));
+  EXPECT_NO_THROW(validate_instruction(Instruction::halt(), cfg4()));
+  PadPoolInstr pad = good_pool();
+  pad.win = 1;
+  pad.stride = 1;
+  pad.offset_y = -1;
+  pad.ofm_tiles_x = pad.ofm_tiles_y = 5;
+  pad.ofm_h = pad.ofm_w = 18;
+  EXPECT_NO_THROW(
+      validate_instruction(Instruction::make_pad(pad), cfg4()));
+}
+
+TEST(IsaValidation, RejectsEachMalformedConvField) {
+  const ArchConfig cfg = cfg4();
+  auto expect_bad = [&](auto mutate) {
+    ConvInstr c = good_conv();
+    mutate(c);
+    EXPECT_THROW(validate_instruction(Instruction::make_conv(c), cfg, 16),
+                 InstructionError);
+  };
+  expect_bad([](ConvInstr& c) { c.ifm_tiles_x = 0; });
+  expect_bad([](ConvInstr& c) { c.ifm_channels = 0; });
+  expect_bad([](ConvInstr& c) { c.ofm_tiles_y = -1; });
+  expect_bad([](ConvInstr& c) { c.kernel_h = 0; });
+  expect_bad([](ConvInstr& c) { c.kernel_h = 99; });  // larger than stripe
+  expect_bad([](ConvInstr& c) { c.active_filters = 0; });
+  expect_bad([](ConvInstr& c) { c.active_filters = 5; });
+  expect_bad([](ConvInstr& c) { c.oc0 = 2; });   // not a multiple of group
+  expect_bad([](ConvInstr& c) { c.oc0 = -4; });
+  expect_bad([](ConvInstr& c) { c.shift = -1; });
+  expect_bad([](ConvInstr& c) { c.shift = 32; });
+  expect_bad([](ConvInstr& c) { c.ifm_base = -1; });
+  expect_bad([](ConvInstr& c) { c.ifm_base = 1020; });  // region overflows
+  expect_bad([](ConvInstr& c) { c.weight_base = 1023; });
+}
+
+TEST(IsaValidation, RejectsEachMalformedPoolField) {
+  const ArchConfig cfg = cfg4();
+  auto expect_bad = [&](auto mutate, Opcode op = Opcode::kPool) {
+    PadPoolInstr p = good_pool();
+    mutate(p);
+    Instruction instr =
+        op == Opcode::kPool ? Instruction::make_pool(p)
+                            : Instruction::make_pad(p);
+    EXPECT_THROW(validate_instruction(instr, cfg), InstructionError);
+  };
+  expect_bad([](PadPoolInstr& p) { p.channels = 0; });
+  expect_bad([](PadPoolInstr& p) { p.ifm_h = 0; });
+  expect_bad([](PadPoolInstr& p) { p.ifm_h = 99; });  // exceeds tile grid
+  expect_bad([](PadPoolInstr& p) { p.win = 0; });
+  expect_bad([](PadPoolInstr& p) { p.stride = 0; });
+  expect_bad([](PadPoolInstr& p) { p.win = 20; });    // > input
+  expect_bad([](PadPoolInstr& p) { p.ofm_base = 1020; });
+  // PAD must be win=1 stride=1.
+  expect_bad([](PadPoolInstr& p) { p.win = 2; }, Opcode::kPad);
+}
+
+TEST(IsaValidation, OpcodeNames) {
+  EXPECT_STREQ(opcode_name(Opcode::kConv), "CONV");
+  EXPECT_STREQ(opcode_name(Opcode::kPad), "PAD");
+  EXPECT_STREQ(opcode_name(Opcode::kPool), "POOL");
+  EXPECT_STREQ(opcode_name(Opcode::kHalt), "HALT");
+}
+
+TEST(AcceleratorValidation, RejectsBatchBeforeExecuting) {
+  Accelerator acc(cfg4());
+  ConvInstr bad = good_conv();
+  bad.ifm_base = 4096;  // outside the bank
+  EXPECT_THROW(
+      acc.run_batch({Instruction::make_conv(bad)}, hls::Mode::kCycle),
+      InstructionError);
+  // Nothing ran: counters untouched.
+  EXPECT_EQ(snapshot(acc.counters()).conv_instrs, 0);
+}
+
+TEST(ArchConfigValidation, RejectsBadConfigs) {
+  auto bad = [](auto mutate) {
+    ArchConfig cfg = ArchConfig::k256_opt();
+    mutate(cfg);
+    EXPECT_THROW(cfg.validate(), Error);
+  };
+  bad([](ArchConfig& c) { c.lanes = 0; });
+  bad([](ArchConfig& c) { c.lanes = 5; });
+  bad([](ArchConfig& c) { c.group = 2; });  // lanes != group unsupported
+  bad([](ArchConfig& c) { c.instances = 0; });
+  bad([](ArchConfig& c) { c.bank_words = 1; });
+  bad([](ArchConfig& c) { c.fifo_depth = 1; });
+  bad([](ArchConfig& c) { c.clock_mhz = 0.0; });
+}
+
+TEST(ArchConfigVariants, PaperParametersAndThroughput) {
+  EXPECT_EQ(ArchConfig::k16_unopt().macs_per_cycle(), 16);
+  EXPECT_EQ(ArchConfig::k256_unopt().macs_per_cycle(), 256);
+  EXPECT_EQ(ArchConfig::k256_opt().macs_per_cycle(), 256);
+  EXPECT_EQ(ArchConfig::k512_opt().macs_per_cycle(), 512);
+  EXPECT_DOUBLE_EQ(ArchConfig::k256_opt().clock_mhz, 150.0);
+  EXPECT_DOUBLE_EQ(ArchConfig::k512_opt().clock_mhz, 120.0);
+  EXPECT_DOUBLE_EQ(ArchConfig::k16_unopt().clock_mhz, 55.0);
+  for (const ArchConfig& cfg : ArchConfig::paper_variants())
+    EXPECT_NO_THROW(cfg.validate());
+}
+
+}  // namespace
+}  // namespace tsca::core

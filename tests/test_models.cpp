@@ -1,0 +1,171 @@
+// Area/power model invariants and study-network structure.
+#include <gtest/gtest.h>
+
+#include "driver/study.hpp"
+#include "model/area.hpp"
+#include "model/power.hpp"
+
+namespace tsca {
+namespace {
+
+TEST(AreaModel, CalibrationTracksPaperUtilization) {
+  const model::FpgaDevice device = model::FpgaDevice::arria10_sx660();
+  const model::AreaReport report =
+      model::estimate_area(core::ArchConfig::k256_opt());
+  // Paper: 44 % ALM, 25 % DSP, 49 % RAM blocks for 256-opt.
+  EXPECT_NEAR(report.alm_utilization(device), 0.44, 0.05);
+  EXPECT_NEAR(report.dsp_utilization(device), 0.25, 0.03);
+  EXPECT_NEAR(report.m20k_utilization(device), 0.49, 0.04);
+}
+
+TEST(AreaModel, MuxHeavyUnitsDominate) {
+  const model::AreaReport report =
+      model::estimate_area(core::ArchConfig::k256_opt());
+  std::map<std::string, int> alms;
+  for (const model::UnitArea& unit : report.units) alms[unit.unit] = unit.alms;
+  // Fig. 6: convolution, accumulator and data-staging take most of the area.
+  const int big = alms["convolution"] + alms["accumulator"] +
+                  alms["data-staging/ctrl"];
+  EXPECT_GT(big, report.total_alms / 2);
+  EXPECT_GT(alms["data-staging/ctrl"], alms["write-to-memory"]);
+  EXPECT_GT(alms["convolution"], alms["pool/pad"]);
+}
+
+TEST(AreaModel, ScalesWithLanesAndInstances) {
+  const model::AreaReport a16 =
+      model::estimate_area(core::ArchConfig::k16_unopt());
+  const model::AreaReport a256 =
+      model::estimate_area(core::ArchConfig::k256_unopt());
+  const model::AreaReport a512 =
+      model::estimate_area(core::ArchConfig::k512_opt());
+  EXPECT_LT(a16.total_alms, a256.total_alms);
+  EXPECT_LT(a256.total_alms, a512.total_alms);
+  EXPECT_LT(a16.total_dsp, a256.total_dsp);
+  EXPECT_EQ(a512.total_dsp, 2 * a256.total_dsp);
+  // 512-opt fits the SX660 (the paper routed it, with congestion).
+  const model::FpgaDevice device = model::FpgaDevice::arria10_sx660();
+  EXPECT_LT(a512.alm_utilization(device), 0.9);
+  EXPECT_LT(a512.m20k_utilization(device), 0.6);
+}
+
+TEST(AreaModel, OptimizedBuildCostsMoreFabric) {
+  const model::AreaReport unopt =
+      model::estimate_area(core::ArchConfig::k256_unopt());
+  const model::AreaReport opt =
+      model::estimate_area(core::ArchConfig::k256_opt());
+  EXPECT_GT(opt.total_alms, unopt.total_alms);  // retiming registers etc.
+  EXPECT_EQ(opt.total_dsp, unopt.total_dsp);
+}
+
+TEST(PowerModel, CalibrationTracksTableOne) {
+  const model::FpgaDevice device = model::FpgaDevice::arria10_sx660();
+  {
+    const core::ArchConfig cfg = core::ArchConfig::k256_opt();
+    const model::PowerEstimate p = model::estimate_power(
+        cfg, model::estimate_area(cfg), model::Activity::peak(cfg), device);
+    EXPECT_NEAR(p.fpga_w(), 2.3, 0.15);     // paper: 2300 mW
+    EXPECT_NEAR(p.dynamic_w, 0.5, 0.1);     // paper: 500 mW
+    EXPECT_NEAR(p.board_w, 9.5, 0.5);       // paper: 9500 mW
+  }
+  {
+    const core::ArchConfig cfg = core::ArchConfig::k512_opt();
+    const model::PowerEstimate p = model::estimate_power(
+        cfg, model::estimate_area(cfg), model::Activity::peak(cfg), device);
+    EXPECT_NEAR(p.fpga_w(), 3.3, 0.2);      // paper: 3300 mW
+    EXPECT_NEAR(p.dynamic_w, 0.8, 0.15);    // paper: 800 mW
+    EXPECT_NEAR(p.board_w, 10.8, 0.6);      // paper: 10800 mW
+  }
+}
+
+TEST(PowerModel, DynamicPowerScalesWithActivity) {
+  const model::FpgaDevice device = model::FpgaDevice::arria10_sx660();
+  const core::ArchConfig cfg = core::ArchConfig::k256_opt();
+  const model::AreaReport area = model::estimate_area(cfg);
+  model::Activity idle;
+  model::Activity busy = model::Activity::peak(cfg);
+  const model::PowerEstimate p_idle =
+      model::estimate_power(cfg, area, idle, device);
+  const model::PowerEstimate p_busy =
+      model::estimate_power(cfg, area, busy, device);
+  EXPECT_LT(p_idle.dynamic_w, p_busy.dynamic_w);
+  EXPECT_DOUBLE_EQ(p_idle.static_w, p_busy.static_w);
+
+  model::Activity half = busy;
+  half.mac_rate /= 2;
+  const model::PowerEstimate p_half =
+      model::estimate_power(cfg, area, half, device);
+  EXPECT_LT(p_half.dynamic_w, p_busy.dynamic_w);
+  EXPECT_GT(p_half.dynamic_w, p_idle.dynamic_w);
+}
+
+TEST(FpgaDevice, DatabaseEntries) {
+  const model::FpgaDevice sx = model::FpgaDevice::arria10_sx660();
+  const model::FpgaDevice gt = model::FpgaDevice::arria10_gt1150();
+  EXPECT_GT(gt.alms, sx.alms);  // the paper's "nearly double the capacity"
+  EXPECT_NEAR(static_cast<double>(gt.alms) / sx.alms, 1.7, 0.3);
+}
+
+// --- study networks --------------------------------------------------------
+
+TEST(Study, Vgg16StructureAndDensities) {
+  const driver::StudyNetwork unpruned =
+      driver::build_study_network({.pruned = false, .channel_divisor = 8});
+  const driver::StudyNetwork pruned =
+      driver::build_study_network({.pruned = true, .channel_divisor = 8});
+  ASSERT_EQ(unpruned.layers.size(), 13u);
+  ASSERT_EQ(pruned.layers.size(), 13u);
+  EXPECT_EQ(unpruned.pad_pool_ops.size(), 13u + 5u);  // one pad/conv + 5 pools
+  for (std::size_t i = 0; i < 13; ++i) {
+    // Quantization zeroes few weights; pruning many more.
+    EXPECT_GT(unpruned.layers[i].density, 0.85) << i;
+    EXPECT_LT(pruned.layers[i].density, unpruned.layers[i].density) << i;
+  }
+  // Padded input of conv1_1 is the 226x226 map.
+  EXPECT_EQ(unpruned.layers[0].padded_in.h, 226 / 1);
+}
+
+TEST(Study, EvaluateVariantInvariants) {
+  const driver::StudyNetwork net =
+      driver::build_study_network({.pruned = true, .channel_divisor = 8});
+  const driver::VariantResult r256 =
+      driver::evaluate_variant(core::ArchConfig::k256_opt(), net);
+  const driver::VariantResult r512 =
+      driver::evaluate_variant(core::ArchConfig::k512_opt(), net);
+  const driver::VariantResult r16 =
+      driver::evaluate_variant(core::ArchConfig::k16_unopt(), net);
+
+  EXPECT_EQ(r256.layers.size(), 13u);
+  EXPECT_GT(r256.total_macs, 0);
+  EXPECT_LE(r256.worst_efficiency, r256.best_efficiency);
+  EXPECT_GE(r256.mean_efficiency, r256.worst_efficiency);
+  EXPECT_LE(r256.mean_efficiency, r256.best_efficiency);
+  // More hardware, fewer cycles; higher clock, more GOPS.
+  EXPECT_LT(r512.total_cycles, r256.total_cycles);
+  EXPECT_GT(r16.total_cycles, r256.total_cycles);
+  EXPECT_GT(r512.best_gops, r256.best_gops);
+  // Network-level GOPS includes pad/pool and is therefore lower.
+  EXPECT_LT(r256.network_gops, r256.mean_gops + 1e-9);
+  EXPECT_GT(r256.pad_pool_cycles, 0);
+}
+
+TEST(Study, PruningReducesCyclesNeverChangesMacCount) {
+  const driver::StudyNetwork unpruned =
+      driver::build_study_network({.pruned = false, .channel_divisor = 16});
+  const driver::StudyNetwork pruned =
+      driver::build_study_network({.pruned = true, .channel_divisor = 16});
+  const core::ArchConfig cfg = core::ArchConfig::k256_opt();
+  const driver::VariantResult u = driver::evaluate_variant(cfg, unpruned);
+  const driver::VariantResult p = driver::evaluate_variant(cfg, pruned);
+  EXPECT_EQ(u.total_macs, p.total_macs);  // dense MAC accounting identical
+  EXPECT_LT(p.total_cycles, u.total_cycles);
+}
+
+TEST(Study, UniformDensityOverrideApplies) {
+  const driver::StudyNetwork net = driver::build_study_network(
+      {.pruned = true, .channel_divisor = 16, .uniform_density = 0.25});
+  for (const driver::StudyLayer& layer : net.layers)
+    EXPECT_NEAR(layer.density, 0.25, 0.05) << layer.name;
+}
+
+}  // namespace
+}  // namespace tsca

@@ -1,0 +1,232 @@
+// NN substrate: tensors, reference layers, network topology, VGG-16.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/network.hpp"
+#include "nn/vgg16.hpp"
+#include "util/rng.hpp"
+
+namespace tsca::nn {
+namespace {
+
+TEST(Tensor, IndexingIsRowMajorCHW) {
+  FeatureMapI8 fm({2, 3, 4});
+  fm.at(1, 2, 3) = 42;
+  EXPECT_EQ(fm.data()[1 * 12 + 2 * 4 + 3], 42);
+  EXPECT_THROW(fm.at(2, 0, 0), Error);
+  EXPECT_THROW(fm.at(0, 3, 0), Error);
+  EXPECT_THROW(fm.at(0, 0, -1), Error);
+}
+
+TEST(Tensor, FilterBankIndexingIsOIHW) {
+  FilterBankI8 bank({2, 3, 2, 2});
+  bank.at(1, 2, 1, 0) = 7;
+  EXPECT_EQ(bank.data()[(1 * 3 + 2) * 4 + 1 * 2 + 0], 7);
+  EXPECT_THROW(bank.at(0, 3, 0, 0), Error);
+}
+
+TEST(ConvOutExtent, StandardFormula) {
+  EXPECT_EQ(conv_out_extent(224, 3, 1), 222);
+  EXPECT_EQ(conv_out_extent(226, 3, 1), 224);
+  EXPECT_EQ(conv_out_extent(8, 2, 2), 4);
+  EXPECT_EQ(conv_out_extent(7, 3, 2), 3);
+  EXPECT_THROW(conv_out_extent(2, 3, 1), Error);
+}
+
+TEST(Requantize, RoundHalfAwayFromZero) {
+  EXPECT_EQ(requantize(96, {.shift = 6, .relu = false}), 2);   // 1.5 -> 2
+  EXPECT_EQ(requantize(-96, {.shift = 6, .relu = false}), -2);
+  EXPECT_EQ(requantize(95, {.shift = 6, .relu = false}), 1);
+  EXPECT_EQ(requantize(-95, {.shift = 6, .relu = false}), -1);
+  EXPECT_EQ(requantize(5, {.shift = 0, .relu = false}), 5);
+  EXPECT_EQ(requantize(-200, {.shift = 0, .relu = false}), -127);
+  EXPECT_EQ(requantize(-200, {.shift = 0, .relu = true}), 0);
+}
+
+TEST(ConvFloat, HandComputedExample) {
+  FeatureMapF in({1, 3, 3});
+  for (int i = 0; i < 9; ++i) in.data()[i] = static_cast<float>(i);
+  FilterBankF filters({1, 1, 2, 2});
+  filters.at(0, 0, 0, 0) = 1.0f;
+  filters.at(0, 0, 0, 1) = 2.0f;
+  filters.at(0, 0, 1, 0) = 3.0f;
+  filters.at(0, 0, 1, 1) = 4.0f;
+  const FeatureMapF out = conv2d_f(in, filters, {10.0f}, 1, false);
+  // out(0,0) = 0*1 + 1*2 + 3*3 + 4*4 + 10 = 37
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 37.0f);
+  EXPECT_FLOAT_EQ(out.at(0, 1, 1), 4 + 10 + 21 + 32 + 10.0f);
+}
+
+TEST(ConvInt8, MatchesFloatOnExactValues) {
+  Rng rng(4);
+  FeatureMapI8 in({3, 6, 6});
+  for (std::size_t i = 0; i < in.size(); ++i)
+    in.data()[i] = static_cast<std::int8_t>(rng.next_int(-10, 10));
+  FilterBankI8 filters({2, 3, 3, 3});
+  for (std::size_t i = 0; i < filters.size(); ++i)
+    filters.data()[i] = static_cast<std::int8_t>(rng.next_int(-5, 5));
+  const FeatureMapI32 raw = conv2d_i8_raw(in, filters, {100, -100}, 1);
+
+  // Cross-check against the float path on identical values.
+  FeatureMapF in_f(in.shape());
+  for (std::size_t i = 0; i < in.size(); ++i)
+    in_f.data()[i] = static_cast<float>(in.data()[i]);
+  FilterBankF filters_f(filters.shape());
+  for (std::size_t i = 0; i < filters.size(); ++i)
+    filters_f.data()[i] = static_cast<float>(filters.data()[i]);
+  const FeatureMapF out_f = conv2d_f(in_f, filters_f, {100.0f, -100.0f}, 1,
+                                     false);
+  for (std::size_t i = 0; i < raw.size(); ++i)
+    EXPECT_FLOAT_EQ(static_cast<float>(raw.data()[i]), out_f.data()[i]);
+}
+
+TEST(MaxPool, StrideAndWindowCombos) {
+  FeatureMapI8 in({1, 4, 4});
+  for (int i = 0; i < 16; ++i)
+    in.data()[i] = static_cast<std::int8_t>(i);
+  const FeatureMapI8 p22 = maxpool_i8(in, {2, 2});
+  EXPECT_EQ(p22.at(0, 0, 0), 5);
+  EXPECT_EQ(p22.at(0, 1, 1), 15);
+  const FeatureMapI8 p31 = maxpool_i8(in, {3, 1});
+  EXPECT_EQ(p31.at(0, 0, 0), 10);
+  EXPECT_EQ(p31.shape(), (FmShape{1, 2, 2}));
+}
+
+TEST(Pad, ZeroPerimeter) {
+  FeatureMapI8 in({1, 2, 2});
+  in.at(0, 0, 0) = 1;
+  in.at(0, 1, 1) = 4;
+  const FeatureMapI8 out = pad_i8(in, Padding{1, 2, 0, 1});
+  EXPECT_EQ(out.shape(), (FmShape{1, 5, 3}));
+  EXPECT_EQ(out.at(0, 0, 0), 0);
+  EXPECT_EQ(out.at(0, 1, 0), 1);
+  EXPECT_EQ(out.at(0, 2, 1), 4);
+  EXPECT_EQ(out.at(0, 4, 2), 0);
+}
+
+TEST(Softmax, NormalizesAndOrdersLikeInput) {
+  const std::vector<float> out = softmax_f({1.0f, 3.0f, 2.0f});
+  EXPECT_NEAR(out[0] + out[1] + out[2], 1.0f, 1e-6);
+  EXPECT_GT(out[1], out[2]);
+  EXPECT_GT(out[2], out[0]);
+}
+
+TEST(FcInt8, MatrixVectorWithRequant) {
+  const std::vector<std::int8_t> in = {1, 2, 3};
+  const std::vector<std::int8_t> w = {1, 0, 0, /*row1*/ 1, 1, 1};
+  const std::vector<std::int32_t> bias = {0, 10};
+  const std::vector<std::int8_t> out =
+      fc_i8(in, w, bias, 2, {.shift = 1, .relu = false});
+  EXPECT_EQ(out[0], 1);  // round(1/2) = 1 (half away from zero)
+  EXPECT_EQ(out[1], 8);  // (6+10)/2
+}
+
+// --- network topology ----------------------------------------------------
+
+TEST(Network, ShapeInferenceThroughAllLayerKinds) {
+  Network net({3, 8, 8}, "t");
+  net.add_pad(Padding::uniform(1))
+      .add_conv({.out_c = 5, .kernel = 3, .stride = 1, .relu = true})
+      .add_maxpool({.size = 2, .stride = 2})
+      .add_flatten()
+      .add_fc({.out_dim = 7, .relu = false})
+      .add_softmax();
+  const std::vector<LayerShape> shapes = net.infer_shapes();
+  EXPECT_EQ(shapes[0].fm, (FmShape{3, 10, 10}));
+  EXPECT_EQ(shapes[1].fm, (FmShape{5, 8, 8}));
+  EXPECT_EQ(shapes[2].fm, (FmShape{5, 4, 4}));
+  EXPECT_EQ(shapes[3].flat_dim, 80);
+  EXPECT_EQ(shapes[4].flat_dim, 7);
+  EXPECT_EQ(shapes[5].flat_dim, 7);
+}
+
+TEST(Network, RejectsInconsistentTopologies) {
+  {
+    Network net({3, 8, 8});
+    net.add_flatten().add_conv({.out_c = 2});
+    EXPECT_THROW(net.infer_shapes(), ConfigError);
+  }
+  {
+    Network net({3, 8, 8});
+    net.add_fc({.out_dim = 4});
+    EXPECT_THROW(net.infer_shapes(), ConfigError);
+  }
+  {
+    Network net({3, 4, 4});
+    net.add_conv({.out_c = 2, .kernel = 5});
+    EXPECT_THROW(net.infer_shapes(), ConfigError);
+  }
+  {
+    Network net({3, 8, 8});
+    net.add_flatten().add_flatten();
+    EXPECT_THROW(net.infer_shapes(), ConfigError);
+  }
+}
+
+TEST(Network, ConvMacsMatchHandCount) {
+  Network net({3, 8, 8});
+  net.add_pad(Padding::uniform(1))
+      .add_conv({.out_c = 4, .kernel = 3, .stride = 1, .relu = true});
+  const auto macs = net.conv_macs();
+  EXPECT_EQ(macs[0], 0);
+  EXPECT_EQ(macs[1], 4LL * 8 * 8 * 3 * 3 * 3);
+}
+
+TEST(Vgg16, FullSizeTopology) {
+  const Network net = build_vgg16();
+  const std::vector<std::size_t> convs = vgg16_conv_layers(net);
+  EXPECT_EQ(convs.size(), 13u);
+  const std::vector<LayerShape> shapes = net.infer_shapes();
+  // Block outputs: 64x224, 128x112, 256x56, 512x28, 512x14, pooled to 7.
+  EXPECT_EQ(shapes[convs[1]].fm, (FmShape{64, 224, 224}));
+  EXPECT_EQ(shapes[convs[12]].fm, (FmShape{512, 14, 14}));
+  EXPECT_EQ(shapes.back().flat_dim, 1000);
+  // 15.3 GMACs total, the well-known VGG-16 number (±1 %).
+  std::int64_t total = 0;
+  for (std::int64_t m : net.conv_macs()) total += m;
+  EXPECT_NEAR(static_cast<double>(total), 15.35e9, 0.2e9);
+}
+
+TEST(Vgg16, ScaledVariantKeepsTopologyShape) {
+  const Network net = build_vgg16(
+      {.input_extent = 64, .channel_divisor = 16, .num_classes = 10});
+  EXPECT_EQ(vgg16_conv_layers(net).size(), 13u);
+  EXPECT_EQ(net.infer_shapes().back().flat_dim, 10);
+  EXPECT_THROW(build_vgg16({.input_extent = 30}), Error);
+}
+
+TEST(Vgg16, ForwardFloatRunsEndToEnd) {
+  Rng rng(12);
+  const Network net = build_vgg16(
+      {.input_extent = 32, .channel_divisor = 32, .num_classes = 5});
+  const WeightsF weights = init_random_weights(net, rng);
+  FeatureMapF image(net.input_shape());
+  for (std::size_t i = 0; i < image.size(); ++i)
+    image.data()[i] = static_cast<float>(rng.next_gaussian() * 0.1);
+  const std::vector<float> probs = forward_f(net, weights, image);
+  ASSERT_EQ(probs.size(), 5u);
+  float sum = 0.0f;
+  for (float p : probs) {
+    EXPECT_GE(p, 0.0f);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0f, 1e-5);
+}
+
+TEST(InitRandomWeights, DeterministicInSeed) {
+  const Network net = build_vgg16(
+      {.input_extent = 32, .channel_divisor = 32, .num_classes = 5});
+  Rng a(9);
+  Rng b(9);
+  Rng c(10);
+  const WeightsF wa = init_random_weights(net, a);
+  const WeightsF wb = init_random_weights(net, b);
+  const WeightsF wc = init_random_weights(net, c);
+  const std::size_t conv0 = vgg16_conv_layers(net)[0];
+  EXPECT_EQ(wa.conv[conv0], wb.conv[conv0]);
+  EXPECT_NE(wa.conv[conv0], wc.conv[conv0]);
+}
+
+}  // namespace
+}  // namespace tsca::nn

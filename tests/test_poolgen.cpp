@@ -1,0 +1,185 @@
+// Pool/pad micro-op generator: property tests against the nn:: reference by
+// replaying generated micro-ops through the datapath.
+#include <gtest/gtest.h>
+
+#include "core/poolgen.hpp"
+#include "nn/layers.hpp"
+#include "pack/tile.hpp"
+#include "util/rng.hpp"
+
+namespace tsca::core {
+namespace {
+
+// Replays the generated steps exactly like the pool/pad unit would and
+// returns the resulting output map.
+nn::FeatureMapI8 replay(const PadPoolInstr& instr,
+                        const nn::FeatureMapI8& input) {
+  const pack::TiledFm tiled = pack::to_tiled(input);
+  nn::FeatureMapI8 out({instr.channels,
+                        instr.ofm_tiles_y * pack::kTileDim,
+                        instr.ofm_tiles_x * pack::kTileDim});
+  for (int c = 0; c < instr.channels; ++c) {
+    for (int oty = 0; oty < instr.ofm_tiles_y; ++oty) {
+      for (int otx = 0; otx < instr.ofm_tiles_x; ++otx) {
+        pack::Tile reg{};
+        pack::Tile held{};
+        for (const PoolStep& step : make_pool_steps(instr, oty, otx)) {
+          if (step.first) reg = pack::Tile{};
+          if (step.load) {
+            held = (step.in_ty < tiled.tiles_y() && step.in_tx < tiled.tiles_x())
+                       ? tiled.tile(c, step.in_ty, step.in_tx)
+                       : pack::Tile{};
+          }
+          apply_pool_pad(step.op, held, reg);
+          if (step.last) {
+            for (int vy = 0; vy < pack::kTileDim; ++vy)
+              for (int vx = 0; vx < pack::kTileDim; ++vx)
+                out.at(c, oty * pack::kTileDim + vy,
+                       otx * pack::kTileDim + vx) = reg.at(vy, vx);
+          }
+        }
+      }
+    }
+  }
+  // Crop to the logical extent.
+  nn::FeatureMapI8 cropped({instr.channels, instr.ofm_h, instr.ofm_w});
+  for (int c = 0; c < instr.channels; ++c)
+    for (int y = 0; y < instr.ofm_h; ++y)
+      for (int x = 0; x < instr.ofm_w; ++x)
+        cropped.at(c, y, x) = out.at(c, y, x);
+  return cropped;
+}
+
+nn::FeatureMapI8 random_fm(nn::FmShape shape, Rng& rng) {
+  nn::FeatureMapI8 fm(shape);
+  for (std::size_t i = 0; i < fm.size(); ++i)
+    fm.data()[i] = static_cast<std::int8_t>(rng.next_int(-80, 80));
+  return fm;
+}
+
+PadPoolInstr pool_instr(const nn::FmShape& in, int win, int stride) {
+  PadPoolInstr p;
+  p.ifm_tiles_x = pack::tiles_for(in.w);
+  p.ifm_tiles_y = pack::tiles_for(in.h);
+  p.ifm_h = in.h;
+  p.ifm_w = in.w;
+  p.channels = in.c;
+  p.ofm_h = nn::conv_out_extent(in.h, win, stride);
+  p.ofm_w = nn::conv_out_extent(in.w, win, stride);
+  p.ofm_tiles_x = pack::tiles_for(p.ofm_w);
+  p.ofm_tiles_y = pack::tiles_for(p.ofm_h);
+  p.win = win;
+  p.stride = stride;
+  return p;
+}
+
+struct PoolGeometry {
+  nn::FmShape in;
+  int win;
+  int stride;
+};
+
+class PoolGenSweep : public ::testing::TestWithParam<PoolGeometry> {};
+
+TEST_P(PoolGenSweep, ReplayMatchesReference) {
+  const PoolGeometry& g = GetParam();
+  Rng rng(0x90 + static_cast<std::uint64_t>(g.win * 10 + g.stride));
+  const nn::FeatureMapI8 input = random_fm(g.in, rng);
+  const PadPoolInstr instr = pool_instr(g.in, g.win, g.stride);
+  EXPECT_EQ(replay(instr, input), nn::maxpool_i8(input, {g.win, g.stride}));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, PoolGenSweep,
+    ::testing::Values(PoolGeometry{{2, 8, 8}, 2, 2},
+                      PoolGeometry{{1, 12, 12}, 3, 3},
+                      PoolGeometry{{3, 10, 10}, 3, 2},
+                      PoolGeometry{{1, 9, 9}, 2, 1},
+                      PoolGeometry{{2, 16, 16}, 5, 3},
+                      PoolGeometry{{1, 8, 8}, 8, 8},
+                      PoolGeometry{{2, 11, 7}, 4, 2}),
+    [](const auto& info) {
+      const PoolGeometry& g = info.param;
+      return "h" + std::to_string(g.in.h) + "w" + std::to_string(g.in.w) +
+             "win" + std::to_string(g.win) + "s" + std::to_string(g.stride);
+    });
+
+TEST(PoolGenPad, ReplayMatchesReferencePadding) {
+  Rng rng(0x91);
+  const nn::FeatureMapI8 input = random_fm({2, 9, 10}, rng);
+  for (const nn::Padding& pad :
+       {nn::Padding::uniform(1), nn::Padding{3, 0, 2, 1}}) {
+    PadPoolInstr p;
+    p.ifm_tiles_x = pack::tiles_for(10);
+    p.ifm_tiles_y = pack::tiles_for(9);
+    p.ifm_h = 9;
+    p.ifm_w = 10;
+    p.channels = 2;
+    p.ofm_h = 9 + pad.top + pad.bottom;
+    p.ofm_w = 10 + pad.left + pad.right;
+    p.ofm_tiles_x = pack::tiles_for(p.ofm_w);
+    p.ofm_tiles_y = pack::tiles_for(p.ofm_h);
+    p.win = 1;
+    p.stride = 1;
+    p.offset_y = -pad.top;
+    p.offset_x = -pad.left;
+    EXPECT_EQ(replay(p, input), nn::pad_i8(input, pad));
+  }
+}
+
+TEST(PoolGenSteps, ChunksNeverExceedFourMaxUnits) {
+  const PadPoolInstr instr = pool_instr({1, 16, 16}, 3, 1);
+  for (int oty = 0; oty < instr.ofm_tiles_y; ++oty) {
+    for (int otx = 0; otx < instr.ofm_tiles_x; ++otx) {
+      const auto steps = make_pool_steps(instr, oty, otx);
+      ASSERT_FALSE(steps.empty());
+      EXPECT_TRUE(steps.front().first);
+      EXPECT_TRUE(steps.back().last);
+      for (const PoolStep& step : steps) {
+        int used = 0;
+        for (int m = 0; m < kNumMaxUnits; ++m)
+          if (step.op.max_mask[static_cast<std::size_t>(m)] != 0) ++used;
+        EXPECT_LE(used, kNumMaxUnits);
+      }
+    }
+  }
+}
+
+TEST(PoolGenSteps, Vgg2x2PoolCostsOneOpPerInputTile) {
+  // The paper sizes the unit (4 MAX units) for 2x2/s2: each input tile
+  // produces exactly one micro-op.
+  const PadPoolInstr instr = pool_instr({1, 16, 16}, 2, 2);
+  const auto steps = make_pool_steps(instr, 0, 0);
+  EXPECT_EQ(steps.size(), 4u);  // 4 input tiles per output tile
+  for (const PoolStep& step : steps) EXPECT_TRUE(step.load);
+}
+
+TEST(PoolGenSteps, FullyPaddedTileEmitsSingleNoOp) {
+  PadPoolInstr p;
+  p.ifm_tiles_x = p.ifm_tiles_y = 1;
+  p.ifm_h = p.ifm_w = 4;
+  p.channels = 1;
+  p.ofm_tiles_x = p.ofm_tiles_y = 3;
+  p.ofm_h = p.ofm_w = 12;
+  p.win = 1;
+  p.stride = 1;
+  p.offset_y = -8;  // output tile (0,0) entirely padding
+  p.offset_x = -8;
+  const auto steps = make_pool_steps(p, 0, 0);
+  ASSERT_EQ(steps.size(), 1u);
+  EXPECT_TRUE(steps.front().first);
+  EXPECT_TRUE(steps.front().last);
+  EXPECT_FALSE(steps.front().load);
+}
+
+TEST(PoolGenSteps, CountMatchesEnumeration) {
+  const PadPoolInstr instr = pool_instr({3, 12, 12}, 3, 2);
+  std::int64_t total = 0;
+  for (int oty = 0; oty < instr.ofm_tiles_y; ++oty)
+    for (int otx = 0; otx < instr.ofm_tiles_x; ++otx)
+      total += static_cast<std::int64_t>(make_pool_steps(instr, oty, otx).size());
+  EXPECT_EQ(count_pool_steps(instr), total);
+}
+
+}  // namespace
+}  // namespace tsca::core

@@ -1,0 +1,206 @@
+// Quantization: sign-magnitude codec, power-of-two scaling, calibration,
+// pruning.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/vgg16.hpp"
+#include "quant/prune.hpp"
+#include "quant/quantize.hpp"
+#include "quant/sm8.hpp"
+#include "util/rng.hpp"
+
+namespace tsca::quant {
+namespace {
+
+TEST(Sm8, RoundTripsEveryRepresentableValue) {
+  for (int v = -127; v <= 127; ++v) {
+    const Sm8Bits bits = sm8_encode(v);
+    EXPECT_EQ(sm8_decode(bits), v);
+  }
+}
+
+TEST(Sm8, SignBitAndMagnitudeLayout) {
+  EXPECT_EQ(sm8_encode(5), 0x05);
+  EXPECT_EQ(sm8_encode(-5), 0x85);
+  EXPECT_EQ(sm8_encode(127), 0x7f);
+  EXPECT_EQ(sm8_encode(-127), 0xff);
+  EXPECT_EQ(sm8_encode(0), 0x00);
+}
+
+TEST(Sm8, NegativeZeroDecodesToZeroAndCanonicalizes) {
+  EXPECT_EQ(sm8_decode(0x80), 0);
+  EXPECT_FALSE(sm8_is_canonical(0x80));
+  EXPECT_EQ(sm8_canonicalize(0x80), 0x00);
+  EXPECT_TRUE(sm8_is_canonical(0x7f));
+  EXPECT_EQ(sm8_canonicalize(0xff), 0xff);
+}
+
+TEST(Sm8, EncodeRejectsOutOfRange) {
+  EXPECT_THROW(sm8_encode(128), Error);
+  EXPECT_THROW(sm8_encode(-128), Error);
+}
+
+TEST(Sm8, SaturatingEncodeClamps) {
+  EXPECT_EQ(sm8_decode(sm8_encode_sat(300)), 127);
+  EXPECT_EQ(sm8_decode(sm8_encode_sat(-300)), -127);
+  EXPECT_EQ(sm8_decode(sm8_encode_sat(42)), 42);
+}
+
+TEST(ChooseExponent, LargestScaleThatFits) {
+  for (const float max_abs : {0.01f, 0.37f, 1.0f, 5.7f, 126.9f, 1000.0f}) {
+    const int exp = choose_exponent(max_abs);
+    EXPECT_LE(std::round(static_cast<double>(max_abs) * std::ldexp(1.0, exp)),
+              127.0)
+        << max_abs;
+    // One more bit would overflow (unless we hit the cap).
+    if (exp < kMaxExp) {
+      EXPECT_GT(
+          std::round(static_cast<double>(max_abs) * std::ldexp(1.0, exp + 1)),
+          127.0)
+          << max_abs;
+    }
+  }
+  EXPECT_EQ(choose_exponent(0.0f), kMaxExp);
+}
+
+TEST(QuantizeValue, RoundsAndSaturates) {
+  EXPECT_EQ(quantize_value(0.5f, 1), 1);
+  EXPECT_EQ(quantize_value(0.24f, 2), 1);
+  EXPECT_EQ(quantize_value(-0.26f, 2), -1);
+  EXPECT_EQ(quantize_value(1000.0f, 0), 127);
+  EXPECT_EQ(quantize_value(-1000.0f, 0), -127);
+}
+
+TEST(QuantizeDequantize, ErrorBoundedByHalfStep) {
+  Rng rng(9);
+  const int exp = 5;
+  for (int i = 0; i < 500; ++i) {
+    const float v = static_cast<float>(rng.next_gaussian());
+    if (std::abs(v) * 32.0 > 127) continue;  // saturation excluded
+    const float round_trip = dequantize_value(quantize_value(v, exp), exp);
+    EXPECT_LE(std::abs(round_trip - v), 0.5 / 32.0 + 1e-7);
+  }
+}
+
+TEST(QuantizeNetwork, ShiftsAreNonNegativeAndExponentsConsistent) {
+  Rng rng(77);
+  const nn::Network net = nn::build_vgg16(
+      {.input_extent = 32, .channel_divisor = 32, .num_classes = 10});
+  const nn::WeightsF weights = nn::init_random_weights(net, rng);
+  nn::FeatureMapF image(net.input_shape());
+  for (std::size_t i = 0; i < image.size(); ++i)
+    image.data()[i] = static_cast<float>(rng.next_gaussian() * 0.3);
+  const QuantizedModel model = quantize_network(net, weights, {image});
+
+  int exp_in = model.input_exp;
+  for (std::size_t i = 0; i < net.layers().size(); ++i) {
+    const nn::LayerSpec& spec = net.layers()[i];
+    if (spec.kind == nn::LayerKind::kConv) {
+      const nn::Requant& rq = model.weights.conv_requant[i];
+      EXPECT_GE(rq.shift, 0);
+      EXPECT_EQ(rq.shift,
+                exp_in + model.weight_exp[i] - model.act_exp[i]);
+      EXPECT_EQ(rq.relu, spec.conv.relu);
+    } else if (spec.kind == nn::LayerKind::kFullyConnected) {
+      EXPECT_GE(model.weights.fc_requant[i].shift, 0);
+    } else {
+      // Value-preserving layers keep the exponent.
+      EXPECT_EQ(model.act_exp[i], exp_in);
+    }
+    exp_in = model.act_exp[i];
+  }
+}
+
+TEST(QuantizeNetwork, BiasUsesInputTimesWeightScale) {
+  Rng rng(78);
+  nn::Network net({4, 8, 8}, "t");
+  net.add_conv({.out_c = 4, .kernel = 3, .stride = 1, .relu = false});
+  nn::WeightsF weights = nn::init_random_weights(net, rng);
+  weights.conv_bias[0] = {0.5f, -0.25f, 1.0f, 0.0f};
+  nn::FeatureMapF image({4, 8, 8});
+  for (std::size_t i = 0; i < image.size(); ++i)
+    image.data()[i] = static_cast<float>(rng.next_gaussian() * 0.2);
+  const QuantizedModel model = quantize_network(net, weights, {image});
+  const double scale =
+      std::ldexp(1.0, model.input_exp + model.weight_exp[0]);
+  EXPECT_EQ(model.weights.conv_bias[0][0], std::llround(0.5 * scale));
+  EXPECT_EQ(model.weights.conv_bias[0][1], std::llround(-0.25 * scale));
+  EXPECT_EQ(model.weights.conv_bias[0][3], 0);
+}
+
+TEST(Sparsity, CountsZeroFraction) {
+  nn::FilterBankI8 bank({1, 1, 2, 2});
+  bank.at(0, 0, 0, 0) = 3;
+  EXPECT_DOUBLE_EQ(sparsity(bank), 0.75);
+}
+
+// --- pruning -------------------------------------------------------------
+
+TEST(Prune, AchievesTargetDensityAndKeepsLargest) {
+  Rng rng(80);
+  nn::Network net({8, 16, 16}, "t");
+  net.add_conv({.out_c = 8, .kernel = 3, .stride = 1, .relu = true});
+  nn::WeightsF weights = nn::init_random_weights(net, rng);
+  const nn::FilterBankF original = weights.conv[0];
+  const auto achieved = prune_weights(
+      net, weights, PruneProfile::uniform(0.3, 1, 0));
+  ASSERT_EQ(achieved.size(), 1u);
+  EXPECT_NEAR(achieved[0], 0.3, 0.01);
+
+  // Every surviving weight is >= every pruned weight in magnitude.
+  float min_kept = 1e9f;
+  float max_dropped = 0.0f;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    if (weights.conv[0].data()[i] != 0.0f)
+      min_kept = std::min(min_kept, std::abs(original.data()[i]));
+    else
+      max_dropped = std::max(max_dropped, std::abs(original.data()[i]));
+  }
+  EXPECT_GE(min_kept, max_dropped);
+}
+
+TEST(Prune, HanProfileMatchesPublishedDensities) {
+  const PruneProfile profile = vgg16_han_profile();
+  ASSERT_EQ(profile.conv_density.size(), 13u);
+  ASSERT_EQ(profile.fc_density.size(), 3u);
+  EXPECT_DOUBLE_EQ(profile.conv_density[0], 0.58);
+  EXPECT_DOUBLE_EQ(profile.conv_density[1], 0.22);
+  EXPECT_DOUBLE_EQ(profile.fc_density[2], 0.23);
+  for (double d : profile.conv_density) {
+    EXPECT_GT(d, 0.0);
+    EXPECT_LE(d, 1.0);
+  }
+}
+
+TEST(Prune, VggEndToEndDensitiesTrackProfile) {
+  Rng rng(81);
+  const nn::Network net = nn::build_vgg16(
+      {.input_extent = 32, .channel_divisor = 8, .num_classes = 10});
+  nn::WeightsF weights = nn::init_random_weights(net, rng);
+  const auto achieved = prune_weights(net, weights, vgg16_han_profile());
+  const PruneProfile profile = vgg16_han_profile();
+  ASSERT_EQ(achieved.size(), 13u);
+  for (std::size_t i = 0; i < achieved.size(); ++i)
+    EXPECT_NEAR(achieved[i], profile.conv_density[i], 0.02) << "layer " << i;
+}
+
+TEST(Prune, DeterministicAcrossRuns) {
+  const auto make = [] {
+    Rng rng(82);
+    nn::Network net({4, 8, 8}, "t");
+    net.add_conv({.out_c = 4, .kernel = 3, .stride = 1, .relu = true});
+    nn::WeightsF weights = nn::init_random_weights(net, rng);
+    prune_weights(net, weights, PruneProfile::uniform(0.4, 1, 0));
+    return weights.conv[0];
+  };
+  EXPECT_EQ(make(), make());
+}
+
+TEST(Prune, UniformProfileValidatesDensity) {
+  EXPECT_THROW(PruneProfile::uniform(1.5, 2, 2), Error);
+  EXPECT_THROW(PruneProfile::uniform(-0.1, 2, 2), Error);
+}
+
+}  // namespace
+}  // namespace tsca::quant

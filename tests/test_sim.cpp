@@ -1,0 +1,149 @@
+// Platform simulation: SRAM banks + ports, DDR, DMA, MMIO registers.
+#include <gtest/gtest.h>
+
+#include "hls/system.hpp"
+#include "sim/dma.hpp"
+#include "sim/mmio.hpp"
+#include "sim/sram.hpp"
+#include "util/rng.hpp"
+
+namespace tsca::sim {
+namespace {
+
+TEST(WordTileCodec, RoundTripsAllValues) {
+  pack::Tile tile;
+  for (int i = 0; i < pack::kTileSize; ++i)
+    tile.v[static_cast<std::size_t>(i)] =
+        static_cast<std::int8_t>(i * 17 - 120);
+  EXPECT_EQ(tile_from_word(word_from_tile(tile)), tile);
+}
+
+TEST(WordTileCodec, UsesSignMagnitudeOctets) {
+  pack::Tile tile{};
+  tile.v[0] = -5;
+  tile.v[1] = 5;
+  const Word word = word_from_tile(tile);
+  EXPECT_EQ(word.b[0], 0x85);
+  EXPECT_EQ(word.b[1], 0x05);
+}
+
+TEST(SramBank, ReadWriteAndBounds) {
+  SramBank bank("b", 16);
+  pack::Tile tile;
+  tile.v.fill(7);
+  bank.write_tile(3, tile);
+  EXPECT_EQ(bank.read_tile(3), tile);
+  EXPECT_THROW(bank.read_word(16), MemoryError);
+  EXPECT_THROW(bank.write_word(-1, Word{}), MemoryError);
+}
+
+TEST(SramBank, BulkLoadStoreWithPartialTailWord) {
+  SramBank bank("b", 4);
+  std::vector<std::uint8_t> data(40);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<std::uint8_t>(i + 1);
+  bank.load(0, data.data(), data.size());
+  std::vector<std::uint8_t> back(48, 0xEE);
+  bank.store(0, back.data(), 48);
+  for (std::size_t i = 0; i < 40; ++i) EXPECT_EQ(back[i], data[i]);
+  for (std::size_t i = 40; i < 48; ++i) EXPECT_EQ(back[i], 0);  // zero pad
+  EXPECT_THROW(bank.load(3, data.data(), 40), MemoryError);
+}
+
+TEST(SramBank, FillSetsWords) {
+  SramBank bank("b", 8);
+  bank.fill(2, 3, 0xAB);
+  EXPECT_EQ(bank.read_word(2).b[0], 0xAB);
+  EXPECT_EQ(bank.read_word(4).b[15], 0xAB);
+  EXPECT_EQ(bank.read_word(1).b[0], 0);
+  EXPECT_THROW(bank.fill(6, 3, 1), MemoryError);
+}
+
+TEST(SramPort, CycleModeGrantsOncePerCycle) {
+  // Two kernels contending for one read port serialize to 1 access/cycle.
+  hls::System sys(hls::Mode::kCycle);
+  SramBank bank("b", 8);
+  bank.bind(sys.scheduler());
+  constexpr int kAccesses = 50;
+  auto reader = [](hls::Domain& d, SramPort& port, int n) -> hls::Kernel {
+    for (int i = 0; i < n; ++i) {
+      co_await port.grant();
+      co_await hls::clk(d);
+    }
+  };
+  sys.spawn("r0", reader(sys.domain(), bank.read_port(), kAccesses));
+  sys.spawn("r1", reader(sys.domain(), bank.read_port(), kAccesses));
+  const auto result = sys.run();
+  EXPECT_EQ(bank.read_port().grants(), 2u * kAccesses);
+  EXPECT_GE(result.cycles, 2u * kAccesses);          // serialized
+  EXPECT_LE(result.cycles, 2u * kAccesses + 10);
+}
+
+TEST(SramPort, ThreadModeGrantsAreFree) {
+  SramBank bank("b", 8);
+  bank.bind(nullptr);  // functional mode
+  auto awaiter = bank.read_port().grant();
+  EXPECT_TRUE(awaiter.await_ready());
+  EXPECT_EQ(bank.read_port().stall_cycles(), 0u);
+}
+
+TEST(Dram, ReadWriteAndBounds) {
+  Dram dram(128);
+  const std::uint8_t data[4] = {1, 2, 3, 4};
+  dram.write(100, data, 4);
+  std::uint8_t back[4] = {};
+  dram.read(100, back, 4);
+  EXPECT_EQ(back[2], 3);
+  EXPECT_THROW(dram.write(126, data, 4), MemoryError);
+  EXPECT_THROW(dram.read(300, back, 1), MemoryError);
+}
+
+TEST(DmaEngine, TransfersAndAccounts) {
+  Dram dram(1 << 16);
+  DmaEngine dma(dram, /*setup_cycles=*/8);
+  SramBank bank("b", 64);
+
+  std::vector<std::uint8_t> payload(100);
+  for (std::size_t i = 0; i < payload.size(); ++i)
+    payload[i] = static_cast<std::uint8_t>(i * 7);
+  dram.write(512, payload.data(), payload.size());
+  dma.to_bank(bank, 4, 512, payload.size());
+  EXPECT_EQ(bank.read_word(4).b[0], payload[0]);
+  EXPECT_EQ(bank.read_word(10).b[3], payload[99]);
+
+  dma.to_dram(bank, 4, 2048, payload.size());
+  std::vector<std::uint8_t> back(payload.size());
+  dram.read(2048, back.data(), back.size());
+  EXPECT_EQ(back, payload);
+
+  const DmaStats& stats = dma.stats();
+  EXPECT_EQ(stats.transfers, 2u);
+  EXPECT_EQ(stats.bytes_to_fpga, 100u);
+  EXPECT_EQ(stats.bytes_to_dram, 100u);
+  // cycles: 2 × (setup 8 + latency 30 + ceil(100/32)=4 beats) = 84.
+  EXPECT_EQ(stats.modelled_cycles, 2u * (8 + 30 + 4));
+}
+
+TEST(DmaEngine, ZeroByteTransferIsNoOp) {
+  Dram dram(64);
+  DmaEngine dma(dram);
+  SramBank bank("b", 4);
+  dma.to_bank(bank, 0, 0, 0);
+  EXPECT_EQ(dma.stats().transfers, 0u);
+}
+
+TEST(RegisterFile, ReadWritePeekPokeAndBounds) {
+  RegisterFile regs("ctrl", 8);
+  regs.write(3, 0xDEADBEEF);
+  EXPECT_EQ(regs.read(3), 0xDEADBEEFu);
+  EXPECT_EQ(regs.bus_writes(), 1u);
+  EXPECT_EQ(regs.bus_reads(), 1u);
+  regs.poke(4, 5);
+  EXPECT_EQ(regs.peek(4), 5u);
+  EXPECT_EQ(regs.bus_reads(), 1u);  // peek/poke bypass bus accounting
+  EXPECT_THROW(regs.read(8), MemoryError);
+  EXPECT_THROW(regs.write(-1, 0), MemoryError);
+}
+
+}  // namespace
+}  // namespace tsca::sim

@@ -1,0 +1,109 @@
+// Utilities: deterministic RNG, check macro, logging levels.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/check.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace tsca {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, NextIntCoversInclusiveRangeUniformly) {
+  Rng rng(7);
+  std::set<int> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const int v = rng.next_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // every value hit
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(8);
+  double sum = 0.0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(Rng, GaussianHasZeroMeanUnitVariance) {
+  Rng rng(9);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kN = 20'000;
+  for (int i = 0; i < kN; ++i) {
+    const double v = rng.next_gaussian();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / kN, 1.0, 0.05);
+}
+
+TEST(Rng, NextBelowRejectsZeroBound) {
+  Rng rng(10);
+  EXPECT_THROW(rng.next_below(0), Error);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Check, ThrowsWithStreamedMessage) {
+  const int x = 41;
+  try {
+    TSCA_CHECK(x == 42, "x=" << x << " expected 42");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("x == 42"), std::string::npos);
+    EXPECT_NE(what.find("x=41"), std::string::npos);
+    EXPECT_NE(what.find("expected 42"), std::string::npos);
+  }
+  EXPECT_NO_THROW(TSCA_CHECK(x == 41));
+}
+
+TEST(Check, ErrorHierarchy) {
+  EXPECT_THROW(throw ConfigError("c"), Error);
+  EXPECT_THROW(throw InstructionError("i"), Error);
+  EXPECT_THROW(throw MemoryError("m"), Error);
+  EXPECT_THROW(throw DeadlockError("d"), Error);
+}
+
+TEST(Log, LevelGatesEmission) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  // Below threshold: the macro must not evaluate its arguments.
+  int evaluations = 0;
+  auto count = [&evaluations] {
+    ++evaluations;
+    return "x";
+  };
+  TSCA_INFO("msg " << count());
+  EXPECT_EQ(evaluations, 0);
+  set_log_level(before);
+}
+
+}  // namespace
+}  // namespace tsca
