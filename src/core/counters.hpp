@@ -69,7 +69,45 @@ struct CounterSnapshot {
   std::int64_t pad_instrs = 0;
   std::int64_t pool_instrs = 0;
   std::int64_t positions = 0;
+
+  bool operator==(const CounterSnapshot&) const = default;
 };
+
+inline CounterSnapshot& operator+=(CounterSnapshot& a,
+                                   const CounterSnapshot& b) {
+  a.weight_cmds += b.weight_cmds;
+  a.weight_bubbles += b.weight_bubbles;
+  a.macs_performed += b.macs_performed;
+  a.ifm_tile_reads += b.ifm_tile_reads;
+  a.weight_word_reads += b.weight_word_reads;
+  a.weight_spill_reads += b.weight_spill_reads;
+  a.ofm_tile_writes += b.ofm_tile_writes;
+  a.pool_ops += b.pool_ops;
+  a.conv_instrs += b.conv_instrs;
+  a.pad_instrs += b.pad_instrs;
+  a.pool_instrs += b.pool_instrs;
+  a.positions += b.positions;
+  return a;
+}
+
+// after − before, for per-layer / per-stripe accounting.
+inline CounterSnapshot operator-(const CounterSnapshot& after,
+                                 const CounterSnapshot& before) {
+  CounterSnapshot d;
+  d.weight_cmds = after.weight_cmds - before.weight_cmds;
+  d.weight_bubbles = after.weight_bubbles - before.weight_bubbles;
+  d.macs_performed = after.macs_performed - before.macs_performed;
+  d.ifm_tile_reads = after.ifm_tile_reads - before.ifm_tile_reads;
+  d.weight_word_reads = after.weight_word_reads - before.weight_word_reads;
+  d.weight_spill_reads = after.weight_spill_reads - before.weight_spill_reads;
+  d.ofm_tile_writes = after.ofm_tile_writes - before.ofm_tile_writes;
+  d.pool_ops = after.pool_ops - before.pool_ops;
+  d.conv_instrs = after.conv_instrs - before.conv_instrs;
+  d.pad_instrs = after.pad_instrs - before.pad_instrs;
+  d.pool_instrs = after.pool_instrs - before.pool_instrs;
+  d.positions = after.positions - before.positions;
+  return d;
+}
 
 inline CounterSnapshot snapshot(const Counters& c) {
   CounterSnapshot s;

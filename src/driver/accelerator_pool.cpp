@@ -1,0 +1,85 @@
+#include "driver/accelerator_pool.hpp"
+
+#include "util/check.hpp"
+
+namespace tsca::driver {
+
+AcceleratorPool::AcceleratorPool(const core::ArchConfig& cfg,
+                                 PoolOptions options)
+    : cfg_(cfg) {
+  TSCA_CHECK(options.workers >= 1, "pool workers=" << options.workers);
+  cfg_.validate();
+  contexts_.reserve(static_cast<std::size_t>(options.workers));
+  for (int i = 0; i < options.workers; ++i)
+    contexts_.push_back(std::make_unique<Context>(cfg_, options.dram_bytes));
+  threads_.reserve(contexts_.size());
+  for (int i = 0; i < options.workers; ++i)
+    threads_.emplace_back([this, i] { worker_loop(i); });
+}
+
+AcceleratorPool::~AcceleratorPool() {
+  {
+    const std::lock_guard<std::mutex> lock(m_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void AcceleratorPool::worker_loop(int worker) {
+  Context& ctx = context(worker);
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(m_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+    }
+    // Claim units until the queue is drained (or a task aborted the job).
+    std::exception_ptr local_error;
+    for (;;) {
+      if (abort_.load(std::memory_order_relaxed)) break;
+      const std::size_t index =
+          next_.fetch_add(1, std::memory_order_relaxed);
+      if (index >= job_n_) break;
+      try {
+        (*job_)(ctx, index);
+      } catch (...) {
+        local_error = std::current_exception();
+        abort_.store(true, std::memory_order_relaxed);
+        break;
+      }
+    }
+    {
+      const std::lock_guard<std::mutex> lock(m_);
+      if (local_error && !error_) error_ = local_error;
+      if (--active_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void AcceleratorPool::parallel_for(std::size_t n, const Task& fn) {
+  if (n == 0) return;
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(m_);
+    TSCA_CHECK(active_ == 0, "reentrant AcceleratorPool::parallel_for");
+    job_ = &fn;
+    job_n_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    abort_.store(false, std::memory_order_relaxed);
+    error_ = nullptr;
+    active_ = static_cast<int>(contexts_.size());
+    ++generation_;
+    work_cv_.notify_all();
+    done_cv_.wait(lock, [&] { return active_ == 0; });
+    job_ = nullptr;
+    error = error_;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace tsca::driver

@@ -1,0 +1,225 @@
+#include "driver/pool_runtime.hpp"
+
+#include <algorithm>
+
+#include "driver/stripe_exec.hpp"
+
+namespace tsca::driver {
+
+// Snapshots every context's counters and DMA statistics on construction;
+// merge() folds the per-context deltas into a LayerRun.  Sums of identical
+// per-unit integer deltas are independent of worker assignment, which is
+// what makes the merged statistics bit-identical to the serial path.
+struct PoolRuntime::ScopedMerge {
+  explicit ScopedMerge(AcceleratorPool& pool) : pool_(pool) {
+    counters_before.reserve(static_cast<std::size_t>(pool.workers()));
+    dma_before.reserve(static_cast<std::size_t>(pool.workers()));
+    for (int i = 0; i < pool.workers(); ++i) {
+      counters_before.push_back(core::snapshot(pool.context(i).acc.counters()));
+      dma_before.push_back(pool.context(i).dma.stats());
+    }
+  }
+
+  void merge(LayerRun& run) const {
+    for (int i = 0; i < pool_.workers(); ++i) {
+      run.counters += core::snapshot(pool_.context(i).acc.counters()) -
+                      counters_before[static_cast<std::size_t>(i)];
+      run.dma += pool_.context(i).dma.stats() -
+                 dma_before[static_cast<std::size_t>(i)];
+    }
+  }
+
+  AcceleratorPool& pool_;
+  std::vector<core::CounterSnapshot> counters_before;
+  std::vector<sim::DmaStats> dma_before;
+};
+
+namespace {
+
+ExecCtx make_exec_ctx(AcceleratorPool::Context& ctx, hls::Mode mode) {
+  return ExecCtx{ctx.acc, ctx.dram, ctx.dma, ctx.ddr_cursor, mode};
+}
+
+// Serial cycle accounting: unit u's cycles land in instance bucket
+// u % instances; a layer's elapsed cycles are the maximum bucket (instances
+// work concurrently on separate stripes, §IV-D).
+std::uint64_t max_over_instances(const std::vector<std::uint64_t>& per_unit,
+                                 int instances) {
+  std::vector<std::uint64_t> buckets(static_cast<std::size_t>(instances), 0);
+  for (std::size_t u = 0; u < per_unit.size(); ++u)
+    buckets[u % static_cast<std::size_t>(instances)] += per_unit[u];
+  return *std::max_element(buckets.begin(), buckets.end());
+}
+
+}  // namespace
+
+PoolRuntime::PoolRuntime(AcceleratorPool& pool, RuntimeOptions options)
+    : Runtime(pool.context(0).acc, pool.context(0).dram, pool.context(0).dma,
+              options),
+      pool_(pool) {}
+
+pack::TiledFm PoolRuntime::run_conv(const pack::TiledFm& input,
+                                    const pack::PackedFilters& packed,
+                                    const std::vector<std::int32_t>& bias,
+                                    const nn::Requant& rq, LayerRun& run) {
+  const core::ArchConfig& cfg = pool_.config();
+  TSCA_CHECK(packed.shape().ic == input.channels(),
+             "filter ic " << packed.shape().ic << " != input channels "
+                          << input.channels());
+  TSCA_CHECK(packed.shape().kh == packed.shape().kw,
+             "square kernels only (paper uses 3x3)");
+
+  const WeightImage wimg(packed, cfg.lanes, cfg.group);
+  const ConvPlan plan = plan_conv(cfg, input.shape(), packed.shape().oc,
+                                  packed.shape().kh, wimg);
+  pack::TiledFm output(plan.out_shape);
+
+  const ScopedMerge scope(pool_);
+  run.on_accelerator = true;
+  run.kind = nn::LayerKind::kConv;
+  run.macs = conv_macs(input.shape(), packed.shape().oc, packed.shape().kh);
+  run.stripes = static_cast<int>(plan.stripes.size());
+
+  // One unit per stripe.  Stripes read the shared input and write disjoint
+  // tile rows of the shared output, so no unit touches another's data.
+  std::vector<StripeOutcome> outcomes(plan.stripes.size());
+  const hls::Mode mode = options_.mode;
+  pool_.parallel_for(
+      plan.stripes.size(),
+      [&](AcceleratorPool::Context& ctx, std::size_t si) {
+        ExecCtx ec = make_exec_ctx(ctx, mode);
+        outcomes[si] = exec_conv_stripe(ec, plan, plan.stripes[si], wimg,
+                                        input, bias, rq, output);
+      });
+
+  std::vector<std::uint64_t> per_stripe(outcomes.size());
+  for (std::size_t si = 0; si < outcomes.size(); ++si) {
+    per_stripe[si] = outcomes[si].cycles;
+    run.batches += outcomes[si].batches;
+  }
+  run.cycles = max_over_instances(per_stripe, cfg.instances);
+  scope.merge(run);
+  return output;
+}
+
+pack::TiledFm PoolRuntime::run_pad_pool(const pack::TiledFm& input,
+                                        core::Opcode op,
+                                        const nn::FmShape& out_shape, int win,
+                                        int stride, int offset_y, int offset_x,
+                                        LayerRun& run) {
+  const core::ArchConfig& cfg = pool_.config();
+  const PoolPlan plan = plan_pool(cfg, input.shape(), out_shape, op, win,
+                                  stride, offset_y, offset_x);
+  pack::TiledFm output(out_shape);
+
+  const ScopedMerge scope(pool_);
+  run.on_accelerator = true;
+  run.kind = op == core::Opcode::kPad ? nn::LayerKind::kPad
+                                      : nn::LayerKind::kMaxPool;
+  run.stripes = static_cast<int>(plan.stripes.size());
+
+  std::vector<StripeOutcome> outcomes(plan.stripes.size());
+  const hls::Mode mode = options_.mode;
+  pool_.parallel_for(
+      plan.stripes.size(),
+      [&](AcceleratorPool::Context& ctx, std::size_t si) {
+        ExecCtx ec = make_exec_ctx(ctx, mode);
+        outcomes[si] =
+            exec_pool_stripe(ec, plan, plan.stripes[si], input, output);
+      });
+
+  std::vector<std::uint64_t> per_stripe(outcomes.size());
+  for (std::size_t si = 0; si < outcomes.size(); ++si) {
+    per_stripe[si] = outcomes[si].cycles;
+    run.batches += outcomes[si].batches;
+  }
+  run.cycles = max_over_instances(per_stripe, cfg.instances);
+  scope.merge(run);
+  return output;
+}
+
+std::vector<pack::TiledFm> PoolRuntime::run_conv_batch(
+    const std::vector<pack::TiledFm>& inputs,
+    const pack::PackedFilters& packed, const std::vector<std::int32_t>& bias,
+    const nn::Requant& rq, LayerRun& run) {
+  TSCA_CHECK(!inputs.empty());
+  const core::ArchConfig& cfg = pool_.config();
+  for (const pack::TiledFm& input : inputs)
+    TSCA_CHECK(input.shape() == inputs.front().shape(),
+               "batch images must share a shape");
+  TSCA_CHECK(packed.shape().ic == inputs.front().channels());
+  TSCA_CHECK(packed.shape().kh == packed.shape().kw);
+
+  const WeightImage wimg(packed, cfg.lanes, cfg.group);
+  const ConvPlan plan = plan_conv(cfg, inputs.front().shape(),
+                                  packed.shape().oc, packed.shape().kh, wimg);
+  std::vector<pack::TiledFm> outputs(inputs.size(),
+                                     pack::TiledFm(plan.out_shape));
+
+  const ScopedMerge scope(pool_);
+  run.on_accelerator = true;
+  run.kind = nn::LayerKind::kConv;
+  run.macs = conv_macs(inputs.front().shape(), packed.shape().oc,
+                       packed.shape().kh) *
+             static_cast<std::int64_t>(inputs.size());
+  run.stripes = static_cast<int>(plan.stripes.size());
+
+  // The hardware stages each (stripe, chunk)'s weights once and reuses them
+  // across the whole image batch; account that DMA once here.  Workers then
+  // replicate the streams into their own banks unaccounted.
+  for (const ConvStripe& stripe : plan.stripes)
+    for (const ConvStripe::Chunk& chunk : stripe.chunks)
+      account_chunk_weights(pool_.context(0).dma, chunk, wimg);
+
+  // One unit per image: each image runs the full stripe/chunk schedule on a
+  // private context.
+  std::vector<std::vector<std::uint64_t>> cycles_by_image_stripe(
+      inputs.size(), std::vector<std::uint64_t>(plan.stripes.size(), 0));
+  std::vector<int> batches_by_image(inputs.size(), 0);
+  const hls::Mode mode = options_.mode;
+  pool_.parallel_for(
+      inputs.size(), [&](AcceleratorPool::Context& ctx, std::size_t img) {
+        ExecCtx ec = make_exec_ctx(ctx, mode);
+        for (std::size_t si = 0; si < plan.stripes.size(); ++si) {
+          const ConvStripe& stripe = plan.stripes[si];
+          for (const ConvStripe::Chunk& chunk : stripe.chunks) {
+            const std::vector<core::Instruction> instrs =
+                stage_chunk_weights(ec, plan, stripe, chunk, wimg, bias, rq,
+                                    /*count_stats=*/false);
+            const StripeOutcome outcome = exec_batch_image_chunk(
+                ec, plan, stripe, chunk, instrs, inputs[img], outputs[img]);
+            cycles_by_image_stripe[img][si] += outcome.cycles;
+            batches_by_image[img] += outcome.batches;
+          }
+        }
+      });
+
+  // Merge with the serial bucketing: stripe si's cycles (summed over chunks
+  // and images) land in instance bucket si % instances.
+  std::vector<std::uint64_t> per_stripe(plan.stripes.size(), 0);
+  for (std::size_t img = 0; img < inputs.size(); ++img) {
+    for (std::size_t si = 0; si < plan.stripes.size(); ++si)
+      per_stripe[si] += cycles_by_image_stripe[img][si];
+    run.batches += batches_by_image[img];
+  }
+  run.cycles = max_over_instances(per_stripe, cfg.instances);
+  scope.merge(run);
+  return outputs;
+}
+
+std::vector<NetworkRun> PoolRuntime::serve(
+    const nn::Network& net, const quant::QuantizedModel& model,
+    const std::vector<nn::FeatureMapI8>& inputs) {
+  std::vector<NetworkRun> results(inputs.size());
+  const RuntimeOptions options = options_;
+  pool_.parallel_for(
+      inputs.size(), [&](AcceleratorPool::Context& ctx, std::size_t i) {
+        // A fresh serial Runtime per request: per-request statistics come
+        // out exactly as a standalone serial run would report them.
+        Runtime runtime(ctx.acc, ctx.dram, ctx.dma, options);
+        results[i] = runtime.run_network(net, model, inputs[i]);
+      });
+  return results;
+}
+
+}  // namespace tsca::driver

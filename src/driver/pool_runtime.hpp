@@ -1,0 +1,66 @@
+// Host-parallel runtime on top of AcceleratorPool.
+//
+// Drop-in replacement for the serial Runtime: the stripe loops of run_conv /
+// run_pad_pool fan out over the pool's workers (one stripe per unit), batched
+// convolution fans out over images, and serve() runs whole-network requests
+// concurrently — one request per context, exactly the scale-out axis the
+// paper's 512-opt uses and PipeCNN-style hosts exploit with concurrent
+// pipeline kernels.
+//
+// Determinism guarantee: simulated cycle counts, hardware counters, and
+// output feature maps are bit-identical to the serial Runtime for any worker
+// count.  Every unit runs through the shared per-stripe executors
+// (driver/stripe_exec.hpp) on a private context; merges are index-ordered
+// sums (commutative in exact integer arithmetic) with the serial path's
+// max-over-instances / sum-over-stripes cycle accounting.  DMA statistics
+// match too: the only staging the pool adds — replicating a batch chunk's
+// weights into more than one context — is performed unaccounted and charged
+// analytically once, as the hardware would stage it.
+#pragma once
+
+#include <vector>
+
+#include "driver/accelerator_pool.hpp"
+#include "driver/runtime.hpp"
+
+namespace tsca::driver {
+
+class PoolRuntime final : public Runtime {
+ public:
+  // The pool must outlive the runtime.  Serial paths (fused pad+conv, FC
+  // lowering, host-side layers) run on context 0.
+  explicit PoolRuntime(AcceleratorPool& pool, RuntimeOptions options = {});
+
+  pack::TiledFm run_conv(const pack::TiledFm& input,
+                         const pack::PackedFilters& packed,
+                         const std::vector<std::int32_t>& bias,
+                         const nn::Requant& rq, LayerRun& run) override;
+
+  pack::TiledFm run_pad_pool(const pack::TiledFm& input, core::Opcode op,
+                             const nn::FmShape& out_shape, int win, int stride,
+                             int offset_y, int offset_x,
+                             LayerRun& run) override;
+
+  std::vector<pack::TiledFm> run_conv_batch(
+      const std::vector<pack::TiledFm>& inputs,
+      const pack::PackedFilters& packed,
+      const std::vector<std::int32_t>& bias, const nn::Requant& rq,
+      LayerRun& run) override;
+
+  // Whole-network request parallelism: each request runs a full serial
+  // network pass on a private context.  Results (including per-layer
+  // statistics) are bit-identical to running each request through a fresh
+  // serial Runtime.
+  std::vector<NetworkRun> serve(const nn::Network& net,
+                                const quant::QuantizedModel& model,
+                                const std::vector<nn::FeatureMapI8>& inputs);
+
+ private:
+  // Captures per-context counter/DMA snapshots around a parallel region and
+  // merges the deltas into `run`.
+  struct ScopedMerge;
+
+  AcceleratorPool& pool_;
+};
+
+}  // namespace tsca::driver

@@ -3,68 +3,9 @@
 #include <algorithm>
 
 #include "core/kernels.hpp"
+#include "driver/stripe_exec.hpp"
 
 namespace tsca::driver {
-
-namespace {
-
-sim::DmaStats dma_delta(const sim::DmaStats& after,
-                        const sim::DmaStats& before) {
-  sim::DmaStats d;
-  d.transfers = after.transfers - before.transfers;
-  d.bytes_to_fpga = after.bytes_to_fpga - before.bytes_to_fpga;
-  d.bytes_to_dram = after.bytes_to_dram - before.bytes_to_dram;
-  d.modelled_cycles = after.modelled_cycles - before.modelled_cycles;
-  return d;
-}
-
-core::CounterSnapshot counter_delta(const core::CounterSnapshot& after,
-                                    const core::CounterSnapshot& before) {
-  core::CounterSnapshot d;
-  d.weight_cmds = after.weight_cmds - before.weight_cmds;
-  d.weight_bubbles = after.weight_bubbles - before.weight_bubbles;
-  d.macs_performed = after.macs_performed - before.macs_performed;
-  d.ifm_tile_reads = after.ifm_tile_reads - before.ifm_tile_reads;
-  d.weight_word_reads = after.weight_word_reads - before.weight_word_reads;
-  d.weight_spill_reads = after.weight_spill_reads - before.weight_spill_reads;
-  d.ofm_tile_writes = after.ofm_tile_writes - before.ofm_tile_writes;
-  d.pool_ops = after.pool_ops - before.pool_ops;
-  d.conv_instrs = after.conv_instrs - before.conv_instrs;
-  d.pad_instrs = after.pad_instrs - before.pad_instrs;
-  d.pool_instrs = after.pool_instrs - before.pool_instrs;
-  d.positions = after.positions - before.positions;
-  return d;
-}
-
-// Unpacks a contiguous range of channel slots (slot = channel / lanes) of a
-// stripe image — used by batched execution, where each weight chunk reads
-// back only the output channels it computed.
-void unpack_bank_stripe_slots(pack::TiledFm& fm,
-                              const std::vector<std::uint8_t>& bytes,
-                              int lane, int lanes, int row0, int rows,
-                              int slot0, int slot_count) {
-  std::size_t pos = 0;
-  for (int slot = slot0; slot < slot0 + slot_count; ++slot) {
-    const int c = slot * lanes + lane;
-    for (int r = row0; r < row0 + rows; ++r) {
-      for (int x = 0; x < fm.tiles_x(); ++x) {
-        TSCA_CHECK(pos + sim::kWordBytes <= bytes.size(),
-                   "short slot-range stripe image");
-        if (c < fm.channels()) {
-          sim::Word word;
-          std::copy(bytes.begin() + static_cast<std::ptrdiff_t>(pos),
-                    bytes.begin() + static_cast<std::ptrdiff_t>(pos) +
-                        sim::kWordBytes,
-                    word.b.begin());
-          fm.tile(c, r, x) = sim::tile_from_word(word);
-        }
-        pos += sim::kWordBytes;
-      }
-    }
-  }
-}
-
-}  // namespace
 
 std::vector<std::uint8_t> bank_stripe_bytes(const pack::TiledFm& fm, int lane,
                                             int lanes, int row0, int rows) {
@@ -109,30 +50,6 @@ Runtime::Runtime(core::Accelerator& accelerator, sim::Dram& dram,
                  sim::DmaEngine& dma, RuntimeOptions options)
     : acc_(accelerator), dram_(dram), dma_(dma), options_(options) {}
 
-void Runtime::stage_to_bank(sim::SramBank& bank, int word_addr,
-                            const std::vector<std::uint8_t>& bytes,
-                            sim::DmaStats&) {
-  if (bytes.empty()) return;
-  if (ddr_cursor_ + bytes.size() > dram_.size()) ddr_cursor_ = 0;
-  TSCA_CHECK(bytes.size() <= dram_.size(), "stripe larger than DDR");
-  dram_.write(ddr_cursor_, bytes.data(), bytes.size());
-  dma_.to_bank(bank, word_addr, ddr_cursor_, bytes.size());
-  ddr_cursor_ += bytes.size();
-}
-
-std::vector<std::uint8_t> Runtime::stage_from_bank(const sim::SramBank& bank,
-                                                   int word_addr, int words,
-                                                   sim::DmaStats&) {
-  std::vector<std::uint8_t> bytes(
-      static_cast<std::size_t>(words) * sim::kWordBytes);
-  if (bytes.empty()) return bytes;
-  if (ddr_cursor_ + bytes.size() > dram_.size()) ddr_cursor_ = 0;
-  dma_.to_dram(bank, word_addr, ddr_cursor_, bytes.size());
-  dram_.read(ddr_cursor_, bytes.data(), bytes.size());
-  ddr_cursor_ += bytes.size();
-  return bytes;
-}
-
 pack::TiledFm Runtime::run_conv(const pack::TiledFm& input,
                                 const pack::PackedFilters& packed,
                                 const std::vector<std::int32_t>& bias,
@@ -159,54 +76,18 @@ pack::TiledFm Runtime::run_conv(const pack::TiledFm& input,
   run.macs = conv_macs(input.shape(), packed.shape().oc, packed.shape().kh);
   run.stripes = static_cast<int>(plan.stripes.size());
 
-  const int slots_out = (plan.out_shape.c + cfg.lanes - 1) / cfg.lanes;
+  ExecCtx ctx{acc_, dram_, dma_, ddr_cursor_, options_.mode};
   for (std::size_t si = 0; si < plan.stripes.size(); ++si) {
-    const ConvStripe& stripe = plan.stripes[si];
-    const std::size_t instance = si % static_cast<std::size_t>(cfg.instances);
-    // Stage the (padded) IFM stripe into every bank.
-    for (int lane = 0; lane < cfg.lanes; ++lane)
-      stage_to_bank(acc_.bank(lane), plan.ifm_base,
-                    bank_stripe_bytes(input, lane, cfg.lanes,
-                                      stripe.in_tile_row0,
-                                      stripe.in_tile_rows),
-                    run.dma);
-    for (const ConvStripe::Chunk& chunk : stripe.chunks) {
-      // Stage this chunk's weight streams at lane-aligned group bases.
-      std::vector<core::Instruction> instrs;
-      int base = plan.weight_base;
-      for (int k = 0; k < chunk.count; ++k) {
-        const int g = chunk.g0 + k;
-        for (int lane = 0; lane < cfg.lanes; ++lane)
-          stage_to_bank(acc_.bank(lane), base, wimg.bytes(g, lane), run.dma);
-        instrs.push_back(core::Instruction::make_conv(make_conv_instr(
-            plan, stripe, g, base, wimg, bias, rq, cfg.group)));
-        base += wimg.aligned_words(g);
-      }
-      const core::BatchStats stats =
-          acc_.run_batch(instrs, options_.mode);
-      instance_cycles[instance] += stats.cycles;
-      ++run.batches;
-    }
-    // Read the OFM stripe back.
-    const int out_words = slots_out * stripe.otile_rows * plan.out_tiles_x;
-    for (int lane = 0; lane < cfg.lanes; ++lane) {
-      const int lane_words =
-          core::lane_channel_count(plan.out_shape.c, lane, cfg.lanes) *
-          stripe.otile_rows * plan.out_tiles_x;
-      (void)out_words;
-      if (lane_words == 0) continue;
-      unpack_bank_stripe(output,
-                         stage_from_bank(acc_.bank(lane), plan.ofm_base,
-                                         lane_words, run.dma),
-                         lane, cfg.lanes, stripe.otile_row0,
-                         stripe.otile_rows);
-    }
+    const StripeOutcome outcome = exec_conv_stripe(
+        ctx, plan, plan.stripes[si], wimg, input, bias, rq, output);
+    instance_cycles[si % static_cast<std::size_t>(cfg.instances)] +=
+        outcome.cycles;
+    run.batches += outcome.batches;
   }
   run.cycles = *std::max_element(instance_cycles.begin(),
                                  instance_cycles.end());
-  run.counters = counter_delta(core::snapshot(acc_.counters()),
-                               counters_before);
-  run.dma = dma_delta(dma_.stats(), dma_before);
+  run.counters = core::snapshot(acc_.counters()) - counters_before;
+  run.dma = dma_.stats() - dma_before;
   return output;
 }
 
@@ -230,39 +111,18 @@ pack::TiledFm Runtime::run_pad_pool(const pack::TiledFm& input,
                                       : nn::LayerKind::kMaxPool;
   run.stripes = static_cast<int>(plan.stripes.size());
 
+  ExecCtx ctx{acc_, dram_, dma_, ddr_cursor_, options_.mode};
   for (std::size_t si = 0; si < plan.stripes.size(); ++si) {
-    const PoolStripe& stripe = plan.stripes[si];
-    const std::size_t instance = si % static_cast<std::size_t>(cfg.instances);
-    for (int lane = 0; lane < cfg.lanes; ++lane)
-      stage_to_bank(acc_.bank(lane), plan.ifm_base,
-                    bank_stripe_bytes(input, lane, cfg.lanes,
-                                      stripe.in_tile_row0,
-                                      stripe.in_tile_rows),
-                    run.dma);
-    const core::Instruction instr =
-        op == core::Opcode::kPad
-            ? core::Instruction::make_pad(make_pool_instr(plan, stripe))
-            : core::Instruction::make_pool(make_pool_instr(plan, stripe));
-    const core::BatchStats stats = acc_.run_batch({instr}, options_.mode);
-    instance_cycles[instance] += stats.cycles;
-    ++run.batches;
-    for (int lane = 0; lane < cfg.lanes; ++lane) {
-      const int lane_words =
-          core::lane_channel_count(out_shape.c, lane, cfg.lanes) *
-          stripe.otile_rows * plan.out_tiles_x;
-      if (lane_words == 0) continue;
-      unpack_bank_stripe(output,
-                         stage_from_bank(acc_.bank(lane), plan.ofm_base,
-                                         lane_words, run.dma),
-                         lane, cfg.lanes, stripe.otile_row0,
-                         stripe.otile_rows);
-    }
+    const StripeOutcome outcome =
+        exec_pool_stripe(ctx, plan, plan.stripes[si], input, output);
+    instance_cycles[si % static_cast<std::size_t>(cfg.instances)] +=
+        outcome.cycles;
+    run.batches += outcome.batches;
   }
   run.cycles = *std::max_element(instance_cycles.begin(),
                                  instance_cycles.end());
-  run.counters = counter_delta(core::snapshot(acc_.counters()),
-                               counters_before);
-  run.dma = dma_delta(dma_.stats(), dma_before);
+  run.counters = core::snapshot(acc_.counters()) - counters_before;
+  run.dma = dma_.stats() - dma_before;
   return output;
 }
 
@@ -296,51 +156,26 @@ std::vector<pack::TiledFm> Runtime::run_conv_batch(
              static_cast<std::int64_t>(inputs.size());
   run.stripes = static_cast<int>(plan.stripes.size());
 
+  ExecCtx ctx{acc_, dram_, dma_, ddr_cursor_, options_.mode};
   for (std::size_t si = 0; si < plan.stripes.size(); ++si) {
     const ConvStripe& stripe = plan.stripes[si];
     const std::size_t instance = si % static_cast<std::size_t>(cfg.instances);
     for (const ConvStripe::Chunk& chunk : stripe.chunks) {
       // Weights once per chunk — the batch's whole point.
-      std::vector<core::Instruction> instrs;
-      int base = plan.weight_base;
-      for (int k = 0; k < chunk.count; ++k) {
-        const int g = chunk.g0 + k;
-        for (int lane = 0; lane < cfg.lanes; ++lane)
-          stage_to_bank(acc_.bank(lane), base, wimg.bytes(g, lane), run.dma);
-        instrs.push_back(core::Instruction::make_conv(make_conv_instr(
-            plan, stripe, g, base, wimg, bias, rq, cfg.group)));
-        base += wimg.aligned_words(g);
-      }
+      const std::vector<core::Instruction> instrs =
+          stage_chunk_weights(ctx, plan, stripe, chunk, wimg, bias, rq);
       for (std::size_t img = 0; img < inputs.size(); ++img) {
-        for (int lane = 0; lane < cfg.lanes; ++lane)
-          stage_to_bank(acc_.bank(lane), plan.ifm_base,
-                        bank_stripe_bytes(inputs[img], lane, cfg.lanes,
-                                          stripe.in_tile_row0,
-                                          stripe.in_tile_rows),
-                        run.dma);
-        const core::BatchStats stats = acc_.run_batch(instrs, options_.mode);
-        instance_cycles[instance] += stats.cycles;
-        ++run.batches;
-        // Read back only this chunk's output-channel slots (group g writes
-        // slot g, since group == lanes and oc0 is group-aligned).
-        const int slot_words = stripe.otile_rows * plan.out_tiles_x;
-        for (int lane = 0; lane < cfg.lanes; ++lane) {
-          unpack_bank_stripe_slots(
-              outputs[img],
-              stage_from_bank(acc_.bank(lane),
-                              plan.ofm_base + chunk.g0 * slot_words,
-                              chunk.count * slot_words, run.dma),
-              lane, cfg.lanes, stripe.otile_row0, stripe.otile_rows,
-              chunk.g0, chunk.count);
-        }
+        const StripeOutcome outcome = exec_batch_image_chunk(
+            ctx, plan, stripe, chunk, instrs, inputs[img], outputs[img]);
+        instance_cycles[instance] += outcome.cycles;
+        run.batches += outcome.batches;
       }
     }
   }
   run.cycles = *std::max_element(instance_cycles.begin(),
                                  instance_cycles.end());
-  run.counters = counter_delta(core::snapshot(acc_.counters()),
-                               counters_before);
-  run.dma = dma_delta(dma_.stats(), dma_before);
+  run.counters = core::snapshot(acc_.counters()) - counters_before;
+  run.dma = dma_.stats() - dma_before;
   return outputs;
 }
 
@@ -419,14 +254,14 @@ bool Runtime::run_fused_pad_conv(const pack::TiledFm& input,
   const auto dma_before = dma_.stats();
 
   // Stage the raw input and every weight stream once.
+  ExecCtx ctx{acc_, dram_, dma_, ddr_cursor_, options_.mode};
   for (int lane = 0; lane < lanes; ++lane) {
-    stage_to_bank(acc_.bank(lane), 0,
+    stage_to_bank(ctx, acc_.bank(lane), 0,
                   bank_stripe_bytes(input, lane, lanes, 0,
-                                    pack::tiles_for(raw.h)),
-                  pad_run.dma);
+                                    pack::tiles_for(raw.h)));
     int base = weight_base;
     for (int g = 0; g < wimg.groups(); ++g) {
-      stage_to_bank(acc_.bank(lane), base, wimg.bytes(g, lane), conv_run.dma);
+      stage_to_bank(ctx, acc_.bank(lane), base, wimg.bytes(g, lane));
       base += wimg.aligned_words(g);
     }
   }
@@ -501,13 +336,12 @@ bool Runtime::run_fused_pad_conv(const pack::TiledFm& input,
         pack::tiles_for(out_shape.h) * pack::tiles_for(out_shape.w);
     if (lane_words == 0) continue;
     unpack_bank_stripe(output,
-                       stage_from_bank(acc_.bank(lane), ofm_base, lane_words,
-                                       conv_run.dma),
+                       stage_from_bank(ctx, acc_.bank(lane), ofm_base,
+                                       lane_words),
                        lane, lanes, 0, pack::tiles_for(out_shape.h));
   }
-  const auto counters_after = core::snapshot(acc_.counters());
-  conv_run.counters = counter_delta(counters_after, counters_before);
-  conv_run.dma = dma_delta(dma_.stats(), dma_before);
+  conv_run.counters = core::snapshot(acc_.counters()) - counters_before;
+  conv_run.dma = dma_.stats() - dma_before;
   return true;
 }
 

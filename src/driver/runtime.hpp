@@ -60,18 +60,25 @@ class Runtime {
  public:
   Runtime(core::Accelerator& accelerator, sim::Dram& dram,
           sim::DmaEngine& dma, RuntimeOptions options = {});
+  virtual ~Runtime() = default;
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
 
   // Executes one convolution over an already-padded input feature map.
-  // Returns the output map; fills `run` with statistics.
-  pack::TiledFm run_conv(const pack::TiledFm& input,
-                         const pack::PackedFilters& packed,
-                         const std::vector<std::int32_t>& bias,
-                         const nn::Requant& rq, LayerRun& run);
+  // Returns the output map; fills `run` with statistics.  Virtual: the
+  // pool runtime (pool_runtime.hpp) dispatches the stripes onto worker
+  // threads instead of the serial loop here.
+  virtual pack::TiledFm run_conv(const pack::TiledFm& input,
+                                 const pack::PackedFilters& packed,
+                                 const std::vector<std::int32_t>& bias,
+                                 const nn::Requant& rq, LayerRun& run);
 
   // Executes a PAD (win=1, stride=1, offset=−pad) or POOL layer.
-  pack::TiledFm run_pad_pool(const pack::TiledFm& input, core::Opcode op,
-                             const nn::FmShape& out_shape, int win, int stride,
-                             int offset_y, int offset_x, LayerRun& run);
+  virtual pack::TiledFm run_pad_pool(const pack::TiledFm& input,
+                                     core::Opcode op,
+                                     const nn::FmShape& out_shape, int win,
+                                     int stride, int offset_y, int offset_x,
+                                     LayerRun& run);
 
   // Lowers a fully-connected layer to a 1x1 convolution over a 1x1 feature
   // map (in_dim channels -> out_dim channels) and runs it on the
@@ -104,21 +111,13 @@ class Runtime {
   // chunk and reused across all images (the embedded-inference batching the
   // paper's driver would do for throughput workloads).  Statistics in `run`
   // cover the whole batch.
-  std::vector<pack::TiledFm> run_conv_batch(
+  virtual std::vector<pack::TiledFm> run_conv_batch(
       const std::vector<pack::TiledFm>& inputs,
       const pack::PackedFilters& packed,
       const std::vector<std::int32_t>& bias, const nn::Requant& rq,
       LayerRun& run);
 
- private:
-  // DMA helpers: stage bytes through DDR into a bank region and back.
-  void stage_to_bank(sim::SramBank& bank, int word_addr,
-                     const std::vector<std::uint8_t>& bytes,
-                     sim::DmaStats& stats);
-  std::vector<std::uint8_t> stage_from_bank(const sim::SramBank& bank,
-                                            int word_addr, int words,
-                                            sim::DmaStats& stats);
-
+ protected:
   core::Accelerator& acc_;
   sim::Dram& dram_;
   sim::DmaEngine& dma_;

@@ -1,0 +1,185 @@
+#include "driver/stripe_exec.hpp"
+
+#include "core/kernels.hpp"
+#include "driver/runtime.hpp"
+
+namespace tsca::driver {
+
+namespace {
+
+// Unpacks a contiguous range of channel slots (slot = channel / lanes) of a
+// stripe image — used by batched execution, where each weight chunk reads
+// back only the output channels it computed.
+void unpack_bank_stripe_slots(pack::TiledFm& fm,
+                              const std::vector<std::uint8_t>& bytes,
+                              int lane, int lanes, int row0, int rows,
+                              int slot0, int slot_count) {
+  std::size_t pos = 0;
+  for (int slot = slot0; slot < slot0 + slot_count; ++slot) {
+    const int c = slot * lanes + lane;
+    for (int r = row0; r < row0 + rows; ++r) {
+      for (int x = 0; x < fm.tiles_x(); ++x) {
+        TSCA_CHECK(pos + sim::kWordBytes <= bytes.size(),
+                   "short slot-range stripe image");
+        if (c < fm.channels()) {
+          sim::Word word;
+          std::copy(bytes.begin() + static_cast<std::ptrdiff_t>(pos),
+                    bytes.begin() + static_cast<std::ptrdiff_t>(pos) +
+                        sim::kWordBytes,
+                    word.b.begin());
+          fm.tile(c, r, x) = sim::tile_from_word(word);
+        }
+        pos += sim::kWordBytes;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void stage_to_bank(ExecCtx& ctx, sim::SramBank& bank, int word_addr,
+                   const std::vector<std::uint8_t>& bytes, bool count_stats) {
+  if (bytes.empty()) return;
+  if (ctx.ddr_cursor + bytes.size() > ctx.dram.size()) ctx.ddr_cursor = 0;
+  TSCA_CHECK(bytes.size() <= ctx.dram.size(), "stripe larger than DDR");
+  ctx.dram.write(ctx.ddr_cursor, bytes.data(), bytes.size());
+  ctx.dma.to_bank(bank, word_addr, ctx.ddr_cursor, bytes.size(), count_stats);
+  ctx.ddr_cursor += bytes.size();
+}
+
+std::vector<std::uint8_t> stage_from_bank(ExecCtx& ctx,
+                                          const sim::SramBank& bank,
+                                          int word_addr, int words) {
+  std::vector<std::uint8_t> bytes(
+      static_cast<std::size_t>(words) * sim::kWordBytes);
+  if (bytes.empty()) return bytes;
+  if (ctx.ddr_cursor + bytes.size() > ctx.dram.size()) ctx.ddr_cursor = 0;
+  ctx.dma.to_dram(bank, word_addr, ctx.ddr_cursor, bytes.size());
+  ctx.dram.read(ctx.ddr_cursor, bytes.data(), bytes.size());
+  ctx.ddr_cursor += bytes.size();
+  return bytes;
+}
+
+std::vector<core::Instruction> stage_chunk_weights(
+    ExecCtx& ctx, const ConvPlan& plan, const ConvStripe& stripe,
+    const ConvStripe::Chunk& chunk, const WeightImage& wimg,
+    const std::vector<std::int32_t>& bias, const nn::Requant& rq,
+    bool count_stats) {
+  const core::ArchConfig& cfg = ctx.acc.config();
+  std::vector<core::Instruction> instrs;
+  int base = plan.weight_base;
+  for (int k = 0; k < chunk.count; ++k) {
+    const int g = chunk.g0 + k;
+    for (int lane = 0; lane < cfg.lanes; ++lane)
+      stage_to_bank(ctx, ctx.acc.bank(lane), base, wimg.bytes(g, lane),
+                    count_stats);
+    instrs.push_back(core::Instruction::make_conv(
+        make_conv_instr(plan, stripe, g, base, wimg, bias, rq, cfg.group)));
+    base += wimg.aligned_words(g);
+  }
+  return instrs;
+}
+
+void account_chunk_weights(sim::DmaEngine& dma, const ConvStripe::Chunk& chunk,
+                           const WeightImage& wimg) {
+  for (int k = 0; k < chunk.count; ++k) {
+    const int g = chunk.g0 + k;
+    for (int lane = 0; lane < wimg.lanes(); ++lane)
+      dma.account_to_fpga(wimg.bytes(g, lane).size());
+  }
+}
+
+StripeOutcome exec_conv_stripe(ExecCtx& ctx, const ConvPlan& plan,
+                               const ConvStripe& stripe,
+                               const WeightImage& wimg,
+                               const pack::TiledFm& input,
+                               const std::vector<std::int32_t>& bias,
+                               const nn::Requant& rq, pack::TiledFm& output) {
+  const core::ArchConfig& cfg = ctx.acc.config();
+  StripeOutcome out;
+  // Stage the (padded) IFM stripe into every bank.
+  for (int lane = 0; lane < cfg.lanes; ++lane)
+    stage_to_bank(ctx, ctx.acc.bank(lane), plan.ifm_base,
+                  bank_stripe_bytes(input, lane, cfg.lanes,
+                                    stripe.in_tile_row0, stripe.in_tile_rows));
+  for (const ConvStripe::Chunk& chunk : stripe.chunks) {
+    const std::vector<core::Instruction> instrs =
+        stage_chunk_weights(ctx, plan, stripe, chunk, wimg, bias, rq);
+    const core::BatchStats stats = ctx.acc.run_batch(instrs, ctx.mode);
+    out.cycles += stats.cycles;
+    ++out.batches;
+  }
+  // Read the OFM stripe back.
+  for (int lane = 0; lane < cfg.lanes; ++lane) {
+    const int lane_words =
+        core::lane_channel_count(plan.out_shape.c, lane, cfg.lanes) *
+        stripe.otile_rows * plan.out_tiles_x;
+    if (lane_words == 0) continue;
+    unpack_bank_stripe(output,
+                       stage_from_bank(ctx, ctx.acc.bank(lane), plan.ofm_base,
+                                       lane_words),
+                       lane, cfg.lanes, stripe.otile_row0, stripe.otile_rows);
+  }
+  return out;
+}
+
+StripeOutcome exec_pool_stripe(ExecCtx& ctx, const PoolPlan& plan,
+                               const PoolStripe& stripe,
+                               const pack::TiledFm& input,
+                               pack::TiledFm& output) {
+  const core::ArchConfig& cfg = ctx.acc.config();
+  StripeOutcome out;
+  for (int lane = 0; lane < cfg.lanes; ++lane)
+    stage_to_bank(ctx, ctx.acc.bank(lane), plan.ifm_base,
+                  bank_stripe_bytes(input, lane, cfg.lanes,
+                                    stripe.in_tile_row0, stripe.in_tile_rows));
+  const core::Instruction instr =
+      plan.op == core::Opcode::kPad
+          ? core::Instruction::make_pad(make_pool_instr(plan, stripe))
+          : core::Instruction::make_pool(make_pool_instr(plan, stripe));
+  const core::BatchStats stats = ctx.acc.run_batch({instr}, ctx.mode);
+  out.cycles += stats.cycles;
+  ++out.batches;
+  for (int lane = 0; lane < cfg.lanes; ++lane) {
+    const int lane_words =
+        core::lane_channel_count(plan.out_shape.c, lane, cfg.lanes) *
+        stripe.otile_rows * plan.out_tiles_x;
+    if (lane_words == 0) continue;
+    unpack_bank_stripe(output,
+                       stage_from_bank(ctx, ctx.acc.bank(lane), plan.ofm_base,
+                                       lane_words),
+                       lane, cfg.lanes, stripe.otile_row0, stripe.otile_rows);
+  }
+  return out;
+}
+
+StripeOutcome exec_batch_image_chunk(
+    ExecCtx& ctx, const ConvPlan& plan, const ConvStripe& stripe,
+    const ConvStripe::Chunk& chunk,
+    const std::vector<core::Instruction>& instrs, const pack::TiledFm& input,
+    pack::TiledFm& output) {
+  const core::ArchConfig& cfg = ctx.acc.config();
+  StripeOutcome out;
+  for (int lane = 0; lane < cfg.lanes; ++lane)
+    stage_to_bank(ctx, ctx.acc.bank(lane), plan.ifm_base,
+                  bank_stripe_bytes(input, lane, cfg.lanes,
+                                    stripe.in_tile_row0, stripe.in_tile_rows));
+  const core::BatchStats stats = ctx.acc.run_batch(instrs, ctx.mode);
+  out.cycles += stats.cycles;
+  ++out.batches;
+  // Read back only this chunk's output-channel slots (group g writes slot g,
+  // since group == lanes and oc0 is group-aligned).
+  const int slot_words = stripe.otile_rows * plan.out_tiles_x;
+  for (int lane = 0; lane < cfg.lanes; ++lane) {
+    unpack_bank_stripe_slots(
+        output,
+        stage_from_bank(ctx, ctx.acc.bank(lane),
+                        plan.ofm_base + chunk.g0 * slot_words,
+                        chunk.count * slot_words),
+        lane, cfg.lanes, stripe.otile_row0, stripe.otile_rows, chunk.g0,
+        chunk.count);
+  }
+  return out;
+}
+
+}  // namespace tsca::driver

@@ -7,10 +7,13 @@ namespace tsca::hls {
 
 void CycleEngine::add_kernel(const std::string& name, const Kernel& kernel) {
   TSCA_CHECK(kernel.valid(), "invalid kernel: " << name);
-  root_of_handle_[kernel.handle().address()] = roots_.size();
-  roots_.push_back({name, kernel.handle()});
+  const Kernel::Handle handle = kernel.handle();
+  handle.promise().sink = &sink_;
+  handle.promise().root_index = static_cast<std::uint32_t>(roots_.size());
+  ++sink_.live;
+  roots_.push_back({name, handle});
   resumes_.push_back(0);
-  ready_.push_back(kernel.handle());
+  ready_.push_back(handle);
 }
 
 std::vector<CycleEngine::KernelActivity> CycleEngine::activity() const {
@@ -19,19 +22,6 @@ std::vector<CycleEngine::KernelActivity> CycleEngine::activity() const {
   for (std::size_t i = 0; i < roots_.size(); ++i)
     result.push_back({roots_[i].name, resumes_[i]});
   return result;
-}
-
-void CycleEngine::check_errors() const {
-  for (const Root& root : roots_) {
-    if (root.handle.promise().error)
-      std::rethrow_exception(root.handle.promise().error);
-  }
-}
-
-bool CycleEngine::all_done() const {
-  for (const Root& root : roots_)
-    if (!root.handle.promise().done) return false;
-  return true;
 }
 
 void CycleEngine::throw_deadlock() const {
@@ -47,18 +37,22 @@ std::uint64_t CycleEngine::run(std::uint64_t max_cycles) {
   for (;;) {
     // Run phase: resume every runnable kernel; resumed kernels may schedule
     // others only for later cycles (registered FIFOs), so a plain sweep over
-    // ready_ is complete for this cycle.
-    std::vector<std::coroutine_handle<>> batch = std::move(ready_);
-    ready_.clear();
-    for (std::coroutine_handle<> h : batch) {
+    // the batch is complete for this cycle.  ready_ is swapped into the
+    // reused batch_ vector, so the steady state allocates nothing per cycle.
+    batch_.clear();
+    batch_.swap(ready_);
+    for (std::coroutine_handle<> h : batch_) {
       if (track_resumes_) {
-        const auto it = root_of_handle_.find(h.address());
-        if (it != root_of_handle_.end()) ++resumes_[it->second];
+        // Every handle in the engine is a root kernel's frame, so the root
+        // index lives in its promise — no hash lookup.
+        ++resumes_[Kernel::Handle::from_address(h.address())
+                       .promise()
+                       .root_index];
       }
       h.resume();
     }
-    check_errors();
-    if (all_done()) return cycle_;
+    if (sink_.first_error) std::rethrow_exception(sink_.first_error);
+    if (sink_.live == 0) return cycle_;
 
     // Advance phase.
     bool pending = !next_.empty() || !ready_.empty();
@@ -77,21 +71,15 @@ std::uint64_t CycleEngine::run(std::uint64_t max_cycles) {
     ++cycle_;
     ready_.insert(ready_.end(), next_.begin(), next_.end());
     next_.clear();
-    // Poll only primitives with suspended waiters; a primitive may appear
-    // more than once in waiting_ (marked again after an earlier removal), so
-    // compact duplicates while sweeping.
+    // Poll only primitives with suspended waiters.  mark_waiting keeps the
+    // list duplicate-free, so one linear pass suffices.
     std::size_t keep = 0;
-    for (std::size_t i = 0; i < waiting_.size(); ++i) {
-      Waitable* w = waiting_[i];
-      bool duplicate = false;
-      for (std::size_t j = 0; j < keep; ++j)
-        if (waiting_[j] == w) {
-          duplicate = true;
-          break;
-        }
-      if (duplicate) continue;
+    for (Waitable* w : waiting_) {
       w->on_cycle_start();
-      if (w->has_waiters()) waiting_[keep++] = w;
+      if (w->has_waiters())
+        waiting_[keep++] = w;
+      else
+        w->in_wait_list_ = false;
     }
     waiting_.resize(keep);
   }

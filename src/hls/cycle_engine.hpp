@@ -14,7 +14,6 @@
 #include <coroutine>
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "hls/domain.hpp"
@@ -43,7 +42,10 @@ class CycleEngine final : public Domain, public CycleScheduler {
     (void)waitable;
   }
   void mark_waiting(Waitable* waitable) override {
-    if (!waiting_.empty() && waiting_.back() == waitable) return;
+    // The in-list flag keeps waiting_ duplicate-free, so the advance-phase
+    // sweep never has to compact repeated entries.
+    if (waitable->in_wait_list_) return;
+    waitable->in_wait_list_ = true;
     waiting_.push_back(waitable);
   }
 
@@ -72,16 +74,17 @@ class CycleEngine final : public Domain, public CycleScheduler {
     Kernel::Handle handle;
   };
 
-  void check_errors() const;
-  bool all_done() const;
   [[noreturn]] void throw_deadlock() const;
 
   bool track_resumes_ = false;
-  std::unordered_map<void*, std::size_t> root_of_handle_;
   std::vector<std::uint64_t> resumes_;
   std::uint64_t cycle_ = 1;  // cycle 0 is "before time"; pushes at 1 visible at 2
+  // Done/error bookkeeping updated from the kernel promises, so the per-cycle
+  // loop checks completion and errors in O(1) instead of sweeping roots_.
+  CompletionSink sink_;
   std::vector<std::coroutine_handle<>> ready_;
   std::vector<std::coroutine_handle<>> next_;
+  std::vector<std::coroutine_handle<>> batch_;  // reused run-phase scratch
   std::vector<Waitable*> waiting_;  // primitives with suspended waiters
   std::vector<Root> roots_;
 };

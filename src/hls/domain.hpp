@@ -91,6 +91,12 @@ class Waitable {
   // True while any coroutine is suspended on this primitive; the engine
   // stops polling a primitive once its waiters are gone.
   virtual bool has_waiters() const = 0;
+
+ private:
+  friend class CycleEngine;
+  // Maintained by the engine: true while this primitive sits in its waiting
+  // list, keeping mark_waiting O(1) and the list duplicate-free.
+  bool in_wait_list_ = false;
 };
 
 // Thread-mode blocking primitives that can be torn down on failure.

@@ -24,6 +24,15 @@
 
 namespace tsca::hls {
 
+// Completion bookkeeping the cycle engine installs into every root kernel's
+// promise: a live-kernel counter decremented at final suspension and the
+// first kernel exception, latched.  This lets the per-cycle loop test
+// "all done?" and "any error?" in O(1) instead of sweeping every root.
+struct CompletionSink {
+  std::uint64_t live = 0;          // kernels not yet finally suspended
+  std::exception_ptr first_error;  // first kernel exception, latched
+};
+
 class Kernel {
  public:
   struct promise_type {
@@ -31,6 +40,11 @@ class Kernel {
     // Atomic: in thread mode the watchdog polls done while the kernel's own
     // thread writes it at final suspension.
     std::atomic<bool> done{false};
+    // Set by the cycle engine for root kernels; null in thread mode.
+    CompletionSink* sink = nullptr;
+    // Index into the cycle engine's root table (resume accounting without a
+    // per-resume hash lookup).
+    std::uint32_t root_index = 0;
 
     Kernel get_return_object() {
       return Kernel(std::coroutine_handle<promise_type>::from_promise(*this));
@@ -40,7 +54,9 @@ class Kernel {
     struct FinalAwaiter {
       bool await_ready() noexcept { return false; }
       void await_suspend(std::coroutine_handle<promise_type> h) noexcept {
-        h.promise().done = true;
+        promise_type& p = h.promise();
+        p.done = true;
+        if (p.sink != nullptr) --p.sink->live;
       }
       void await_resume() noexcept {}
     };
@@ -50,6 +66,7 @@ class Kernel {
     void unhandled_exception() {
       error = std::current_exception();
       done = true;
+      if (sink != nullptr && !sink->first_error) sink->first_error = error;
     }
   };
 

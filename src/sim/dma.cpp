@@ -12,9 +12,17 @@ std::uint64_t DmaEngine::transfer_cycles(std::size_t bytes) const {
 }
 
 void DmaEngine::to_bank(SramBank& bank, int word_addr, std::uint64_t dram_addr,
-                        std::size_t bytes) {
+                        std::size_t bytes, bool count_stats) {
   if (bytes == 0) return;
   bank.load(word_addr, dram_.raw(dram_addr, bytes), bytes);
+  if (!count_stats) return;
+  ++stats_.transfers;
+  stats_.bytes_to_fpga += bytes;
+  stats_.modelled_cycles += transfer_cycles(bytes);
+}
+
+void DmaEngine::account_to_fpga(std::size_t bytes) {
+  if (bytes == 0) return;
   ++stats_.transfers;
   stats_.bytes_to_fpga += bytes;
   stats_.modelled_cycles += transfer_cycles(bytes);

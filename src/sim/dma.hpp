@@ -21,6 +21,8 @@ struct DmaStats {
   std::uint64_t bytes_to_dram = 0;
   std::uint64_t modelled_cycles = 0;
 
+  bool operator==(const DmaStats&) const = default;
+
   DmaStats& operator+=(const DmaStats& other) {
     transfers += other.transfers;
     bytes_to_fpga += other.bytes_to_fpga;
@@ -30,19 +32,36 @@ struct DmaStats {
   }
 };
 
+// after − before, for per-layer / per-stripe accounting.
+inline DmaStats operator-(const DmaStats& after, const DmaStats& before) {
+  DmaStats d;
+  d.transfers = after.transfers - before.transfers;
+  d.bytes_to_fpga = after.bytes_to_fpga - before.bytes_to_fpga;
+  d.bytes_to_dram = after.bytes_to_dram - before.bytes_to_dram;
+  d.modelled_cycles = after.modelled_cycles - before.modelled_cycles;
+  return d;
+}
+
 class DmaEngine {
  public:
   explicit DmaEngine(Dram& dram, int setup_cycles = 8)
       : dram_(dram), setup_cycles_(setup_cycles) {}
 
   // DDR → bank.  `bytes` need not be word-aligned; the tail word is
-  // zero-padded.
+  // zero-padded.  `count_stats = false` moves the data without accounting —
+  // used by the host-parallel pool when replicating already-accounted weight
+  // streams into worker contexts (the modelled hardware stages them once).
   void to_bank(SramBank& bank, int word_addr, std::uint64_t dram_addr,
-               std::size_t bytes);
+               std::size_t bytes, bool count_stats = true);
 
   // Bank → DDR.
   void to_dram(const SramBank& bank, int word_addr, std::uint64_t dram_addr,
                std::size_t bytes);
+
+  // Stats-only: accounts one DDR → FPGA transfer of `bytes` without moving
+  // data, exactly as to_bank would.  Pairs with the uncounted replication
+  // above so pooled execution reports the same DMA totals as the serial path.
+  void account_to_fpga(std::size_t bytes);
 
   const DmaStats& stats() const { return stats_; }
   void reset_stats() { stats_ = DmaStats{}; }

@@ -1,0 +1,234 @@
+// PoolRuntime determinism: simulated cycle counts, hardware counters, DMA
+// statistics, and output feature maps must be bit-identical to the serial
+// Runtime for any worker count — the pool changes wall-clock, never results.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "core/accelerator.hpp"
+#include "driver/accelerator_pool.hpp"
+#include "driver/pool_runtime.hpp"
+#include "driver/runtime.hpp"
+#include "nn/vgg16.hpp"
+#include "pack/weight_pack.hpp"
+#include "quant/prune.hpp"
+#include "quant/quantize.hpp"
+#include "util/rng.hpp"
+
+namespace tsca {
+namespace {
+
+nn::FeatureMapI8 random_fm(nn::FmShape shape, Rng& rng) {
+  nn::FeatureMapI8 fm(shape);
+  for (std::size_t i = 0; i < fm.size(); ++i)
+    fm.data()[i] = static_cast<std::int8_t>(rng.next_int(-40, 40));
+  return fm;
+}
+
+nn::FilterBankI8 random_filters(nn::FilterShape shape, double density,
+                                Rng& rng) {
+  nn::FilterBankI8 bank(shape);
+  for (std::size_t i = 0; i < bank.size(); ++i)
+    if (rng.next_double() < density)
+      bank.data()[i] = static_cast<std::int8_t>(rng.next_int(-15, 15));
+  return bank;
+}
+
+void expect_same_run(const driver::LayerRun& serial,
+                     const driver::LayerRun& pooled) {
+  EXPECT_EQ(serial.cycles, pooled.cycles);
+  EXPECT_EQ(serial.stripes, pooled.stripes);
+  EXPECT_EQ(serial.batches, pooled.batches);
+  EXPECT_EQ(serial.macs, pooled.macs);
+  EXPECT_EQ(serial.counters, pooled.counters);
+  EXPECT_EQ(serial.dma, pooled.dma);
+}
+
+core::ArchConfig striped_config(int instances = 1) {
+  core::ArchConfig cfg = core::ArchConfig::k256_opt();
+  cfg.bank_words = 128;  // small banks force stripes + weight chunks
+  cfg.instances = instances;
+  return cfg;
+}
+
+// Worker counts below, equal to, and above the unit count all merge to the
+// same result.
+class PoolWorkers : public ::testing::TestWithParam<int> {};
+
+TEST_P(PoolWorkers, ConvMatchesSerial) {
+  Rng rng(101);
+  const pack::TiledFm input = pack::to_tiled(random_fm({16, 28, 28}, rng));
+  const pack::PackedFilters packed =
+      pack::pack_filters(random_filters({16, 16, 3, 3}, 0.5, rng));
+  const std::vector<std::int32_t> bias(16, -4);
+  const nn::Requant rq{.shift = 6, .relu = true};
+
+  for (const int instances : {1, 2}) {
+    const core::ArchConfig cfg = striped_config(instances);
+    core::Accelerator acc(cfg);
+    sim::Dram dram(32u << 20);
+    sim::DmaEngine dma(dram);
+    driver::Runtime serial(acc, dram, dma, {.mode = hls::Mode::kCycle});
+    driver::LayerRun serial_run;
+    const pack::TiledFm serial_out =
+        serial.run_conv(input, packed, bias, rq, serial_run);
+
+    driver::AcceleratorPool pool(cfg, {.workers = GetParam()});
+    driver::PoolRuntime pooled(pool, {.mode = hls::Mode::kCycle});
+    driver::LayerRun pooled_run;
+    const pack::TiledFm pooled_out =
+        pooled.run_conv(input, packed, bias, rq, pooled_run);
+
+    EXPECT_GT(serial_run.stripes, 1);
+    EXPECT_EQ(serial_out, pooled_out) << "instances=" << instances;
+    expect_same_run(serial_run, pooled_run);
+  }
+}
+
+TEST_P(PoolWorkers, MaxPoolMatchesSerial) {
+  Rng rng(102);
+  const nn::FeatureMapI8 image = random_fm({8, 14, 14}, rng);
+  const nn::FmShape out_shape{8, 7, 7};
+
+  const core::ArchConfig cfg = striped_config();
+  core::Accelerator acc(cfg);
+  sim::Dram dram(32u << 20);
+  sim::DmaEngine dma(dram);
+  driver::Runtime serial(acc, dram, dma, {.mode = hls::Mode::kCycle});
+  driver::LayerRun serial_run;
+  const pack::TiledFm serial_out =
+      serial.run_pad_pool(pack::to_tiled(image), core::Opcode::kPool,
+                          out_shape, 2, 2, 0, 0, serial_run);
+
+  driver::AcceleratorPool pool(cfg, {.workers = GetParam()});
+  driver::PoolRuntime pooled(pool, {.mode = hls::Mode::kCycle});
+  driver::LayerRun pooled_run;
+  const pack::TiledFm pooled_out =
+      pooled.run_pad_pool(pack::to_tiled(image), core::Opcode::kPool,
+                          out_shape, 2, 2, 0, 0, pooled_run);
+
+  EXPECT_EQ(serial_out, pooled_out);
+  expect_same_run(serial_run, pooled_run);
+}
+
+TEST_P(PoolWorkers, ConvBatchMatchesSerial) {
+  Rng rng(103);
+  constexpr int kBatch = 5;
+  std::vector<pack::TiledFm> images;
+  for (int i = 0; i < kBatch; ++i)
+    images.push_back(pack::to_tiled(random_fm({16, 28, 28}, rng)));
+  const pack::PackedFilters packed =
+      pack::pack_filters(random_filters({16, 16, 3, 3}, 0.5, rng));
+  const std::vector<std::int32_t> bias(16, 3);
+  const nn::Requant rq{.shift = 6, .relu = true};
+
+  const core::ArchConfig cfg = striped_config();
+  core::Accelerator acc(cfg);
+  sim::Dram dram(32u << 20);
+  sim::DmaEngine dma(dram);
+  driver::Runtime serial(acc, dram, dma, {.mode = hls::Mode::kCycle});
+  driver::LayerRun serial_run;
+  const std::vector<pack::TiledFm> serial_out =
+      serial.run_conv_batch(images, packed, bias, rq, serial_run);
+
+  driver::AcceleratorPool pool(cfg, {.workers = GetParam()});
+  driver::PoolRuntime pooled(pool, {.mode = hls::Mode::kCycle});
+  driver::LayerRun pooled_run;
+  const std::vector<pack::TiledFm> pooled_out =
+      pooled.run_conv_batch(images, packed, bias, rq, pooled_run);
+
+  ASSERT_EQ(serial_out.size(), pooled_out.size());
+  for (int i = 0; i < kBatch; ++i)
+    EXPECT_EQ(serial_out[static_cast<std::size_t>(i)],
+              pooled_out[static_cast<std::size_t>(i)])
+        << "image " << i;
+  expect_same_run(serial_run, pooled_run);
+}
+
+TEST_P(PoolWorkers, ServeMatchesSerialPerRequest) {
+  Rng rng(104);
+  nn::Network net = nn::build_vgg16(
+      {.input_extent = 32, .channel_divisor = 16, .num_classes = 10});
+  nn::WeightsF weights = nn::init_random_weights(net, rng);
+  quant::prune_weights(net, weights, quant::vgg16_han_profile());
+  nn::FeatureMapF calib(net.input_shape());
+  for (std::size_t i = 0; i < calib.size(); ++i)
+    calib.data()[i] = static_cast<float>(rng.next_gaussian() * 0.4);
+  const quant::QuantizedModel model =
+      quant::quantize_network(net, weights, {calib});
+
+  constexpr int kRequests = 3;
+  std::vector<nn::FeatureMapI8> inputs;
+  for (int i = 0; i < kRequests; ++i)
+    inputs.push_back(random_fm(net.input_shape(), rng));
+
+  const core::ArchConfig cfg = core::ArchConfig::k256_opt();
+  const driver::RuntimeOptions options{.mode = hls::Mode::kCycle};
+  std::vector<driver::NetworkRun> serial;
+  for (const nn::FeatureMapI8& input : inputs) {
+    core::Accelerator acc(cfg);
+    sim::Dram dram(64u << 20);
+    sim::DmaEngine dma(dram);
+    driver::Runtime runtime(acc, dram, dma, options);
+    serial.push_back(runtime.run_network(net, model, input));
+  }
+
+  driver::AcceleratorPool pool(cfg, {.workers = GetParam()});
+  driver::PoolRuntime pooled(pool, options);
+  const std::vector<driver::NetworkRun> served =
+      pooled.serve(net, model, inputs);
+
+  ASSERT_EQ(served.size(), serial.size());
+  for (int i = 0; i < kRequests; ++i) {
+    const driver::NetworkRun& a = serial[static_cast<std::size_t>(i)];
+    const driver::NetworkRun& b = served[static_cast<std::size_t>(i)];
+    EXPECT_EQ(a.flat_output, b.flat_output) << "request " << i;
+    EXPECT_EQ(a.logits, b.logits) << "request " << i;
+    ASSERT_EQ(a.layers.size(), b.layers.size());
+    for (std::size_t l = 0; l < a.layers.size(); ++l) {
+      SCOPED_TRACE("request " + std::to_string(i) + " layer " +
+                   a.layers[l].name);
+      expect_same_run(a.layers[l], b.layers[l]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, PoolWorkers, ::testing::Values(1, 2, 8),
+                         [](const auto& info) {
+                           return "w" + std::to_string(info.param);
+                         });
+
+// Workers genuinely overlap: 8 sleeping units on 8 workers finish in far
+// less than 8 serial sleeps.  (Sleeps overlap even on a single CPU, so this
+// holds on any host.)
+TEST(AcceleratorPool, RunsUnitsConcurrently) {
+  driver::AcceleratorPool pool(core::ArchConfig::k256_opt(), {.workers = 8});
+  const auto t0 = std::chrono::steady_clock::now();
+  pool.parallel_for(8, [](driver::AcceleratorPool::Context&, std::size_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  });
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(elapsed, std::chrono::milliseconds(1000));  // serial would be 1.6s
+}
+
+TEST(AcceleratorPool, PropagatesTaskExceptions) {
+  driver::AcceleratorPool pool(core::ArchConfig::k256_opt(), {.workers = 2});
+  EXPECT_THROW(pool.parallel_for(
+                   8,
+                   [](driver::AcceleratorPool::Context&, std::size_t i) {
+                     if (i == 3) throw std::runtime_error("unit 3 failed");
+                   }),
+               std::runtime_error);
+  // The pool stays usable after a failed job.
+  std::atomic<int> done{0};
+  pool.parallel_for(4, [&](driver::AcceleratorPool::Context&, std::size_t) {
+    done.fetch_add(1);
+  });
+  EXPECT_EQ(done.load(), 4);
+}
+
+}  // namespace
+}  // namespace tsca
