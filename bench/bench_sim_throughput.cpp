@@ -20,6 +20,7 @@
 #include "driver/pool_runtime.hpp"
 #include "driver/runtime.hpp"
 #include "nn/vgg16.hpp"
+#include "obs/metrics.hpp"
 #include "quant/prune.hpp"
 #include "quant/quantize.hpp"
 #include "util/rng.hpp"
@@ -71,6 +72,10 @@ struct Measurement {
   double wall_s = 0.0;
   std::uint64_t sim_cycles = 0;
   double units = 0.0;  // images (serve) or 1 (stripes)
+  // Per-request serve latency from the PoolRuntime metrics registry.
+  std::int64_t lat_p50_us = 0;
+  std::int64_t lat_p95_us = 0;
+  std::int64_t lat_max_us = 0;
 };
 
 }  // namespace
@@ -112,8 +117,11 @@ int main() {
 
   std::vector<Measurement> serve_rows;
   for (const int workers : kWorkers) {
+    obs::MetricsRegistry metrics;
+    driver::RuntimeOptions pool_options = options;
+    pool_options.metrics = &metrics;
     driver::AcceleratorPool pool(serve_cfg, {.workers = workers});
-    driver::PoolRuntime runtime(pool, options);
+    driver::PoolRuntime runtime(pool, pool_options);
     t0 = std::chrono::steady_clock::now();
     const std::vector<driver::NetworkRun> runs =
         runtime.serve(w.net, w.model, w.inputs);
@@ -128,9 +136,18 @@ int main() {
         return 1;
       }
     }
-    serve_rows.push_back({workers, wall, cycles, double(kImages)});
-    std::printf("  workers=%-3d %8.2f s %10.2f img/s %12.0f cyc/s\n", workers,
-                wall, kImages / wall, static_cast<double>(cycles) / wall);
+    Measurement m{workers, wall, cycles, double(kImages)};
+    const obs::Histogram& lat = metrics.histogram("serve.request_wall_us");
+    m.lat_p50_us = lat.quantile(0.5);
+    m.lat_p95_us = lat.quantile(0.95);
+    m.lat_max_us = lat.max();
+    serve_rows.push_back(m);
+    std::printf("  workers=%-3d %8.2f s %10.2f img/s %12.0f cyc/s "
+                "(req p50=%lld us p95=%lld us)\n",
+                workers, wall, kImages / wall,
+                static_cast<double>(cycles) / wall,
+                static_cast<long long>(m.lat_p50_us),
+                static_cast<long long>(m.lat_p95_us));
   }
 
   // --- stripes: intra-layer stripe parallelism --------------------------
@@ -192,10 +209,15 @@ int main() {
     std::fprintf(out,
                  "    {\"workers\": %d, \"wall_s\": %.4f, "
                  "\"images_per_s\": %.3f, \"sim_cycles_per_s\": %.0f, "
-                 "\"speedup_vs_1w\": %.3f}%s\n",
+                 "\"speedup_vs_1w\": %.3f, "
+                 "\"request_wall_us\": {\"p50\": %lld, \"p95\": %lld, "
+                 "\"max\": %lld}}%s\n",
                  m.workers, m.wall_s, m.units / m.wall_s,
                  static_cast<double>(m.sim_cycles) / m.wall_s,
                  serve_rows.front().wall_s / m.wall_s,
+                 static_cast<long long>(m.lat_p50_us),
+                 static_cast<long long>(m.lat_p95_us),
+                 static_cast<long long>(m.lat_max_us),
                  i + 1 < serve_rows.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n");

@@ -7,14 +7,28 @@
 // pass a divisor argument to change it (1 = the real network — minutes).
 //
 // Usage: ./build/examples/vgg16_inference [channel_divisor] [--thread]
+//            [--pool[=N]] [--trace FILE] [--metrics]
+//   --pool[=N]    run layers through the PoolRuntime with N workers
+//                 (default: hardware concurrency)
+//   --trace FILE  write a Chrome trace_event JSON (chrome://tracing,
+//                 Perfetto) of the run to FILE
+//   --metrics     dump the metrics registry (counters + latency
+//                 histograms) after the run
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <thread>
 
 #include "core/accelerator.hpp"
+#include "driver/accelerator_pool.hpp"
+#include "driver/pool_runtime.hpp"
 #include "driver/runtime.hpp"
 #include "nn/vgg16.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "quant/prune.hpp"
 #include "quant/quantize.hpp"
 #include "util/rng.hpp"
@@ -24,11 +38,25 @@ using namespace tsca;
 int main(int argc, char** argv) {
   int divisor = 8;
   hls::Mode mode = hls::Mode::kCycle;
+  int pool_workers = 0;  // 0 = serial Runtime
+  const char* trace_path = nullptr;
+  bool dump_metrics = false;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--thread") == 0)
+    if (std::strcmp(argv[i], "--thread") == 0) {
       mode = hls::Mode::kThread;
-    else
+    } else if (std::strcmp(argv[i], "--pool") == 0) {
+      pool_workers = static_cast<int>(std::thread::hardware_concurrency());
+      if (pool_workers < 1) pool_workers = 2;
+    } else if (std::strncmp(argv[i], "--pool=", 7) == 0) {
+      pool_workers = std::atoi(argv[i] + 7);
+      if (pool_workers < 1) pool_workers = 1;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      dump_metrics = true;
+    } else {
       divisor = std::atoi(argv[i]);
+    }
   }
   if (divisor < 1) divisor = 1;
 
@@ -54,14 +82,29 @@ int main(int argc, char** argv) {
       quant::quantize_network(net, weights, {image});
   const nn::FeatureMapI8 input = quant::quantize_fm(image, model.input_exp);
 
-  // Run on the accelerator.
-  core::Accelerator accelerator(core::ArchConfig::k256_opt());
+  // Run on the accelerator — serial Runtime, or PoolRuntime with --pool.
+  obs::Recorder recorder;
+  obs::MetricsRegistry metrics;
+  driver::RuntimeOptions options{.mode = mode};
+  if (trace_path != nullptr) options.trace = &recorder;
+  if (dump_metrics) options.metrics = &metrics;
+
+  const core::ArchConfig cfg = core::ArchConfig::k256_opt();
+  core::Accelerator accelerator(cfg);
   sim::Dram dram(256u << 20);
   sim::DmaEngine dma(dram);
-  driver::Runtime runtime(accelerator, dram, dma, {.mode = mode});
 
+  driver::NetworkRun run;
   const auto t0 = std::chrono::steady_clock::now();
-  const driver::NetworkRun run = runtime.run_network(net, model, input);
+  if (pool_workers > 0) {
+    std::printf("pool runtime: %d workers\n", pool_workers);
+    driver::AcceleratorPool pool(cfg, {.workers = pool_workers});
+    driver::PoolRuntime runtime(pool, options);
+    run = runtime.run_network(net, model, input);
+  } else {
+    driver::Runtime runtime(accelerator, dram, dma, options);
+    run = runtime.run_network(net, model, input);
+  }
   const auto elapsed = std::chrono::duration<double>(
                            std::chrono::steady_clock::now() - t0)
                            .count();
@@ -77,7 +120,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(lr.cycles),
                 static_cast<long long>(lr.macs));
   }
-  const double mhz = accelerator.config().clock_mhz;
+  const double mhz = cfg.clock_mhz;
   std::printf("\naccelerator total: %llu cycles = %.2f ms at %.0f MHz "
               "(simulated in %.1f s, %s mode)\n",
               static_cast<unsigned long long>(total_cycles),
@@ -92,6 +135,21 @@ int main(int argc, char** argv) {
         best = static_cast<int>(i);
     std::printf("predicted class: %d (logit %d)\n", best,
                 run.logits[static_cast<std::size_t>(best)]);
+  }
+
+  if (trace_path != nullptr) {
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n", trace_path);
+      return 1;
+    }
+    obs::write_chrome_trace(recorder, out);
+    std::printf("wrote %zu trace events to %s (open in chrome://tracing "
+                "or https://ui.perfetto.dev)\n",
+                recorder.event_count(), trace_path);
+  }
+  if (dump_metrics) {
+    std::printf("\nmetrics:\n%s", metrics.text().c_str());
   }
   return 0;
 }

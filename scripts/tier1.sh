@@ -1,0 +1,36 @@
+#!/usr/bin/env sh
+# Tier-1 gate: build + full test suite, in the default configuration and
+# again instrumented with AddressSanitizer + UBSan.  Run from the repo root:
+#
+#   ./scripts/tier1.sh            # both configurations
+#   ./scripts/tier1.sh default    # just the plain build
+#   ./scripts/tier1.sh sanitize   # just the asan/ubsan build
+#
+# Exits non-zero on the first failing build or test.
+set -eu
+
+root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+which=${1:-all}
+jobs=$(nproc 2>/dev/null || echo 4)
+
+run_config() {
+  build_dir=$1
+  shift
+  echo "=== ${build_dir} ($*) ==="
+  cmake -B "${root}/${build_dir}" -S "${root}" "$@"
+  cmake --build "${root}/${build_dir}" -j "${jobs}"
+  ctest --test-dir "${root}/${build_dir}" --output-on-failure -j "${jobs}"
+}
+
+case "${which}" in
+  default) run_config build ;;
+  sanitize)
+    run_config build-sanitize -DTSCA_SANITIZE=address,undefined ;;
+  all)
+    run_config build
+    run_config build-sanitize -DTSCA_SANITIZE=address,undefined ;;
+  *)
+    echo "usage: $0 [default|sanitize|all]" >&2
+    exit 2 ;;
+esac
+echo "tier1: all green"

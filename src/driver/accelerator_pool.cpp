@@ -10,8 +10,10 @@ AcceleratorPool::AcceleratorPool(const core::ArchConfig& cfg,
   TSCA_CHECK(options.workers >= 1, "pool workers=" << options.workers);
   cfg_.validate();
   contexts_.reserve(static_cast<std::size_t>(options.workers));
-  for (int i = 0; i < options.workers; ++i)
+  for (int i = 0; i < options.workers; ++i) {
     contexts_.push_back(std::make_unique<Context>(cfg_, options.dram_bytes));
+    contexts_.back()->worker = i;
+  }
   threads_.reserve(contexts_.size());
   for (int i = 0; i < options.workers; ++i)
     threads_.emplace_back([this, i] { worker_loop(i); });

@@ -46,6 +46,10 @@ class AcceleratorPool {
     sim::Dram dram;
     sim::DmaEngine dma;
     std::uint64_t ddr_cursor = 0;  // staging bump allocator
+    int worker = 0;                // index of the owning worker thread
+    // Serving timeline position (simulated cycles) for tracing: requests a
+    // worker serves lay their spans end to end on the worker's tracks.
+    std::uint64_t trace_clock = 0;
   };
 
   using Task = std::function<void(Context&, std::size_t)>;

@@ -117,11 +117,13 @@ ConvPerf PerfModel::conv_layer(const nn::FmShape& padded_in,
 
   // Zero-skip accounting (independent of striping): per (group, lane,
   // channel, weight tile), the concurrent filters inject max nnz commands.
-  const int positions_total = [&] {
+  // Kept in 64 bits end to end: large feature maps overflow an int position
+  // count (tiles_y × tiles_x alone can exceed 2^31).
+  const std::int64_t positions_total = [&] {
     std::int64_t p = 0;
     for (const ConvStripe& s : plan.stripes)
       p += static_cast<std::int64_t>(s.otile_rows) * plan.out_tiles_x;
-    return static_cast<int>(p);
+    return p;
   }();
   for (int g = 0; g < wimg.groups(); ++g) {
     const int active = wimg.active_filters(g);

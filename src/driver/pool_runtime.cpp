@@ -1,6 +1,8 @@
 #include "driver/pool_runtime.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <string>
 
 #include "driver/stripe_exec.hpp"
 
@@ -75,6 +77,7 @@ pack::TiledFm PoolRuntime::run_conv(const pack::TiledFm& input,
   pack::TiledFm output(plan.out_shape);
 
   const ScopedMerge scope(pool_);
+  run.reset_stats();
   run.on_accelerator = true;
   run.kind = nn::LayerKind::kConv;
   run.macs = conv_macs(input.shape(), packed.shape().oc, packed.shape().kh);
@@ -84,13 +87,25 @@ pack::TiledFm PoolRuntime::run_conv(const pack::TiledFm& input,
   // tile rows of the shared output, so no unit touches another's data.
   std::vector<StripeOutcome> outcomes(plan.stripes.size());
   const hls::Mode mode = options_.mode;
+  const LayerTracer tracer = begin_layer_trace(pool_.workers(), "worker");
+  const bool trace_kernels = options_.trace_kernels;
+  if (tracer)
+    for (int i = 0; i < pool_.workers(); ++i)
+      pool_.context(i).dma.set_trace(tracer.dma[static_cast<std::size_t>(i)]);
   pool_.parallel_for(
       plan.stripes.size(),
       [&](AcceleratorPool::Context& ctx, std::size_t si) {
         ExecCtx ec = make_exec_ctx(ctx, mode);
+        if (tracer) {
+          ec.trace = tracer.compute[static_cast<std::size_t>(ctx.worker)];
+          ec.trace_kernels = trace_kernels;
+        }
         outcomes[si] = exec_conv_stripe(ec, plan, plan.stripes[si], wimg,
                                         input, bias, rq, output);
       });
+  if (tracer)
+    for (int i = 0; i < pool_.workers(); ++i)
+      pool_.context(i).dma.set_trace(nullptr);
 
   std::vector<std::uint64_t> per_stripe(outcomes.size());
   for (std::size_t si = 0; si < outcomes.size(); ++si) {
@@ -99,6 +114,7 @@ pack::TiledFm PoolRuntime::run_conv(const pack::TiledFm& input,
   }
   run.cycles = max_over_instances(per_stripe, cfg.instances);
   scope.merge(run);
+  finish_layer(run);
   return output;
 }
 
@@ -113,6 +129,7 @@ pack::TiledFm PoolRuntime::run_pad_pool(const pack::TiledFm& input,
   pack::TiledFm output(out_shape);
 
   const ScopedMerge scope(pool_);
+  run.reset_stats();
   run.on_accelerator = true;
   run.kind = op == core::Opcode::kPad ? nn::LayerKind::kPad
                                       : nn::LayerKind::kMaxPool;
@@ -120,13 +137,25 @@ pack::TiledFm PoolRuntime::run_pad_pool(const pack::TiledFm& input,
 
   std::vector<StripeOutcome> outcomes(plan.stripes.size());
   const hls::Mode mode = options_.mode;
+  const LayerTracer tracer = begin_layer_trace(pool_.workers(), "worker");
+  const bool trace_kernels = options_.trace_kernels;
+  if (tracer)
+    for (int i = 0; i < pool_.workers(); ++i)
+      pool_.context(i).dma.set_trace(tracer.dma[static_cast<std::size_t>(i)]);
   pool_.parallel_for(
       plan.stripes.size(),
       [&](AcceleratorPool::Context& ctx, std::size_t si) {
         ExecCtx ec = make_exec_ctx(ctx, mode);
+        if (tracer) {
+          ec.trace = tracer.compute[static_cast<std::size_t>(ctx.worker)];
+          ec.trace_kernels = trace_kernels;
+        }
         outcomes[si] =
             exec_pool_stripe(ec, plan, plan.stripes[si], input, output);
       });
+  if (tracer)
+    for (int i = 0; i < pool_.workers(); ++i)
+      pool_.context(i).dma.set_trace(nullptr);
 
   std::vector<std::uint64_t> per_stripe(outcomes.size());
   for (std::size_t si = 0; si < outcomes.size(); ++si) {
@@ -135,6 +164,7 @@ pack::TiledFm PoolRuntime::run_pad_pool(const pack::TiledFm& input,
   }
   run.cycles = max_over_instances(per_stripe, cfg.instances);
   scope.merge(run);
+  finish_layer(run);
   return output;
 }
 
@@ -157,12 +187,19 @@ std::vector<pack::TiledFm> PoolRuntime::run_conv_batch(
                                      pack::TiledFm(plan.out_shape));
 
   const ScopedMerge scope(pool_);
+  run.reset_stats();
   run.on_accelerator = true;
   run.kind = nn::LayerKind::kConv;
   run.macs = conv_macs(inputs.front().shape(), packed.shape().oc,
                        packed.shape().kh) *
              static_cast<std::int64_t>(inputs.size());
   run.stripes = static_cast<int>(plan.stripes.size());
+
+  const LayerTracer tracer = begin_layer_trace(pool_.workers(), "worker");
+  const bool trace_kernels = options_.trace_kernels;
+  if (tracer)
+    for (int i = 0; i < pool_.workers(); ++i)
+      pool_.context(i).dma.set_trace(tracer.dma[static_cast<std::size_t>(i)]);
 
   // The hardware stages each (stripe, chunk)'s weights once and reuses them
   // across the whole image batch; account that DMA once here.  Workers then
@@ -180,6 +217,10 @@ std::vector<pack::TiledFm> PoolRuntime::run_conv_batch(
   pool_.parallel_for(
       inputs.size(), [&](AcceleratorPool::Context& ctx, std::size_t img) {
         ExecCtx ec = make_exec_ctx(ctx, mode);
+        if (tracer) {
+          ec.trace = tracer.compute[static_cast<std::size_t>(ctx.worker)];
+          ec.trace_kernels = trace_kernels;
+        }
         for (std::size_t si = 0; si < plan.stripes.size(); ++si) {
           const ConvStripe& stripe = plan.stripes[si];
           for (const ConvStripe::Chunk& chunk : stripe.chunks) {
@@ -196,6 +237,9 @@ std::vector<pack::TiledFm> PoolRuntime::run_conv_batch(
 
   // Merge with the serial bucketing: stripe si's cycles (summed over chunks
   // and images) land in instance bucket si % instances.
+  if (tracer)
+    for (int i = 0; i < pool_.workers(); ++i)
+      pool_.context(i).dma.set_trace(nullptr);
   std::vector<std::uint64_t> per_stripe(plan.stripes.size(), 0);
   for (std::size_t img = 0; img < inputs.size(); ++img) {
     for (std::size_t si = 0; si < plan.stripes.size(); ++si)
@@ -204,6 +248,7 @@ std::vector<pack::TiledFm> PoolRuntime::run_conv_batch(
   }
   run.cycles = max_over_instances(per_stripe, cfg.instances);
   scope.merge(run);
+  finish_layer(run);
   return outputs;
 }
 
@@ -211,13 +256,42 @@ std::vector<NetworkRun> PoolRuntime::serve(
     const nn::Network& net, const quant::QuantizedModel& model,
     const std::vector<nn::FeatureMapI8>& inputs) {
   std::vector<NetworkRun> results(inputs.size());
-  const RuntimeOptions options = options_;
+  const RuntimeOptions base = options_;
+  obs::MetricsRegistry* const metrics = options_.metrics;
   pool_.parallel_for(
       inputs.size(), [&](AcceleratorPool::Context& ctx, std::size_t i) {
         // A fresh serial Runtime per request: per-request statistics come
-        // out exactly as a standalone serial run would report them.
+        // out exactly as a standalone serial run would report them.  Track
+        // names are scoped per worker, and the worker's trace clock carries
+        // across requests so their spans lay end to end.
+        RuntimeOptions options = base;
+        if (options.trace != nullptr)
+          options.trace_scope =
+              base.trace_scope + "worker" + std::to_string(ctx.worker) + "/";
         Runtime runtime(ctx.acc, ctx.dram, ctx.dma, options);
+        runtime.set_trace_clock(ctx.trace_clock);
+        const auto wall0 = std::chrono::steady_clock::now();
         results[i] = runtime.run_network(net, model, inputs[i]);
+        const std::int64_t wall_us =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - wall0)
+                .count();
+        const std::uint64_t sim_cycles =
+            runtime.trace_clock() - ctx.trace_clock;
+        if (options.trace != nullptr)
+          options.trace->track(options.trace_scope + "requests")
+              .complete("request " + std::to_string(i), "request",
+                        ctx.trace_clock, sim_cycles,
+                        {{"layers", static_cast<std::int64_t>(
+                                        results[i].layers.size())},
+                         {"wall_us", wall_us}});
+        ctx.trace_clock = runtime.trace_clock();
+        if (metrics != nullptr) {
+          metrics->counter("serve.requests").add(1);
+          metrics->histogram("serve.request_sim_cycles")
+              .observe(static_cast<std::int64_t>(sim_cycles));
+          metrics->histogram("serve.request_wall_us").observe(wall_us);
+        }
       });
   return results;
 }

@@ -1,6 +1,7 @@
 #include "driver/runtime.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "core/kernels.hpp"
 #include "driver/stripe_exec.hpp"
@@ -48,7 +49,60 @@ void unpack_bank_stripe(pack::TiledFm& fm,
 
 Runtime::Runtime(core::Accelerator& accelerator, sim::Dram& dram,
                  sim::DmaEngine& dma, RuntimeOptions options)
-    : acc_(accelerator), dram_(dram), dma_(dma), options_(options) {}
+    : acc_(accelerator), dram_(dram), dma_(dma), options_(std::move(options)) {}
+
+Runtime::LayerTracer Runtime::begin_layer_trace(int units,
+                                                const char* unit_prefix) {
+  LayerTracer tracer;
+  if (options_.trace == nullptr) return tracer;
+  tracer.compute.reserve(static_cast<std::size_t>(units));
+  tracer.dma.reserve(static_cast<std::size_t>(units));
+  for (int u = 0; u < units; ++u) {
+    const std::string base =
+        options_.trace_scope + unit_prefix + std::to_string(u);
+    obs::Track& compute = options_.trace->track(base);
+    obs::Track& dma = options_.trace->track(base + ".dma");
+    // Rewind both cursors to the layer start: compute spans then accumulate
+    // exactly the unit's batch cycles, so the busiest unit's cursor lands at
+    // trace_clock_ + run.cycles — flush with the layer span below.
+    compute.set_now(trace_clock_);
+    dma.set_now(trace_clock_);
+    tracer.compute.push_back(&compute);
+    tracer.dma.push_back(&dma);
+  }
+  return tracer;
+}
+
+void Runtime::finish_layer(const LayerRun& run) {
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry& m = *options_.metrics;
+    m.counter("runtime.layers").add(1);
+    m.counter("runtime.accel_cycles").add(static_cast<std::int64_t>(run.cycles));
+    m.counter("runtime.batches").add(run.batches);
+    m.counter("runtime.stripes").add(run.stripes);
+    m.counter("runtime.macs").add(run.macs);
+    m.counter("runtime.dma.bytes_to_fpga")
+        .add(static_cast<std::int64_t>(run.dma.bytes_to_fpga));
+    m.counter("runtime.dma.bytes_to_dram")
+        .add(static_cast<std::int64_t>(run.dma.bytes_to_dram));
+    m.histogram("runtime.layer_cycles")
+        .observe(static_cast<std::int64_t>(run.cycles));
+  }
+  if (options_.trace != nullptr) {
+    const std::string label =
+        run.name.empty() ? std::string(nn::layer_kind_name(run.kind))
+                         : run.name;
+    options_.trace->track(options_.trace_scope + "layers")
+        .complete(label, "layer", trace_clock_, run.cycles,
+                  {{"macs", run.macs},
+                   {"stripes", run.stripes},
+                   {"batches", run.batches},
+                   {"dma_bytes",
+                    static_cast<std::int64_t>(run.dma.bytes_to_fpga +
+                                              run.dma.bytes_to_dram)}});
+  }
+  trace_clock_ += run.cycles;
+}
 
 pack::TiledFm Runtime::run_conv(const pack::TiledFm& input,
                                 const pack::PackedFilters& packed,
@@ -71,23 +125,32 @@ pack::TiledFm Runtime::run_conv(const pack::TiledFm& input,
   std::vector<std::uint64_t> instance_cycles(
       static_cast<std::size_t>(cfg.instances), 0);
 
+  run.reset_stats();
   run.on_accelerator = true;
   run.kind = nn::LayerKind::kConv;
   run.macs = conv_macs(input.shape(), packed.shape().oc, packed.shape().kh);
   run.stripes = static_cast<int>(plan.stripes.size());
 
   ExecCtx ctx{acc_, dram_, dma_, ddr_cursor_, options_.mode};
+  const LayerTracer tracer = begin_layer_trace(cfg.instances, "inst");
+  ctx.trace_kernels = options_.trace_kernels;
   for (std::size_t si = 0; si < plan.stripes.size(); ++si) {
+    const std::size_t inst = si % static_cast<std::size_t>(cfg.instances);
+    if (tracer) {
+      ctx.trace = tracer.compute[inst];
+      dma_.set_trace(tracer.dma[inst]);
+    }
     const StripeOutcome outcome = exec_conv_stripe(
         ctx, plan, plan.stripes[si], wimg, input, bias, rq, output);
-    instance_cycles[si % static_cast<std::size_t>(cfg.instances)] +=
-        outcome.cycles;
+    instance_cycles[inst] += outcome.cycles;
     run.batches += outcome.batches;
   }
+  if (tracer) dma_.set_trace(nullptr);
   run.cycles = *std::max_element(instance_cycles.begin(),
                                  instance_cycles.end());
   run.counters = core::snapshot(acc_.counters()) - counters_before;
   run.dma = dma_.stats() - dma_before;
+  finish_layer(run);
   return output;
 }
 
@@ -106,23 +169,32 @@ pack::TiledFm Runtime::run_pad_pool(const pack::TiledFm& input,
   std::vector<std::uint64_t> instance_cycles(
       static_cast<std::size_t>(cfg.instances), 0);
 
+  run.reset_stats();
   run.on_accelerator = true;
   run.kind = op == core::Opcode::kPad ? nn::LayerKind::kPad
                                       : nn::LayerKind::kMaxPool;
   run.stripes = static_cast<int>(plan.stripes.size());
 
   ExecCtx ctx{acc_, dram_, dma_, ddr_cursor_, options_.mode};
+  const LayerTracer tracer = begin_layer_trace(cfg.instances, "inst");
+  ctx.trace_kernels = options_.trace_kernels;
   for (std::size_t si = 0; si < plan.stripes.size(); ++si) {
+    const std::size_t inst = si % static_cast<std::size_t>(cfg.instances);
+    if (tracer) {
+      ctx.trace = tracer.compute[inst];
+      dma_.set_trace(tracer.dma[inst]);
+    }
     const StripeOutcome outcome =
         exec_pool_stripe(ctx, plan, plan.stripes[si], input, output);
-    instance_cycles[si % static_cast<std::size_t>(cfg.instances)] +=
-        outcome.cycles;
+    instance_cycles[inst] += outcome.cycles;
     run.batches += outcome.batches;
   }
+  if (tracer) dma_.set_trace(nullptr);
   run.cycles = *std::max_element(instance_cycles.begin(),
                                  instance_cycles.end());
   run.counters = core::snapshot(acc_.counters()) - counters_before;
   run.dma = dma_.stats() - dma_before;
+  finish_layer(run);
   return output;
 }
 
@@ -149,6 +221,7 @@ std::vector<pack::TiledFm> Runtime::run_conv_batch(
   std::vector<std::uint64_t> instance_cycles(
       static_cast<std::size_t>(cfg.instances), 0);
 
+  run.reset_stats();
   run.on_accelerator = true;
   run.kind = nn::LayerKind::kConv;
   run.macs = conv_macs(inputs.front().shape(), packed.shape().oc,
@@ -157,9 +230,15 @@ std::vector<pack::TiledFm> Runtime::run_conv_batch(
   run.stripes = static_cast<int>(plan.stripes.size());
 
   ExecCtx ctx{acc_, dram_, dma_, ddr_cursor_, options_.mode};
+  const LayerTracer tracer = begin_layer_trace(cfg.instances, "inst");
+  ctx.trace_kernels = options_.trace_kernels;
   for (std::size_t si = 0; si < plan.stripes.size(); ++si) {
     const ConvStripe& stripe = plan.stripes[si];
     const std::size_t instance = si % static_cast<std::size_t>(cfg.instances);
+    if (tracer) {
+      ctx.trace = tracer.compute[instance];
+      dma_.set_trace(tracer.dma[instance]);
+    }
     for (const ConvStripe::Chunk& chunk : stripe.chunks) {
       // Weights once per chunk — the batch's whole point.
       const std::vector<core::Instruction> instrs =
@@ -172,10 +251,12 @@ std::vector<pack::TiledFm> Runtime::run_conv_batch(
       }
     }
   }
+  if (tracer) dma_.set_trace(nullptr);
   run.cycles = *std::max_element(instance_cycles.begin(),
                                  instance_cycles.end());
   run.counters = core::snapshot(acc_.counters()) - counters_before;
   run.dma = dma_.stats() - dma_before;
+  finish_layer(run);
   return outputs;
 }
 
@@ -227,6 +308,8 @@ bool Runtime::run_fused_pad_conv(const pack::TiledFm& input,
   if (padded.h < kernel || padded.w < kernel) return false;
   const nn::FmShape out_shape{packed.shape().oc, padded.h - kernel + 1,
                               padded.w - kernel + 1};
+  pad_run.reset_stats();
+  conv_run.reset_stats();
 
   // On-chip layout: raw input | padded map | OFM | weight chunk.  Everything
   // must fit unstriped, with all filter groups' weights resident at once.
@@ -255,6 +338,12 @@ bool Runtime::run_fused_pad_conv(const pack::TiledFm& input,
 
   // Stage the raw input and every weight stream once.
   ExecCtx ctx{acc_, dram_, dma_, ddr_cursor_, options_.mode};
+  const LayerTracer tracer = begin_layer_trace(1, "inst");
+  ctx.trace_kernels = options_.trace_kernels;
+  if (tracer) {
+    ctx.trace = tracer.compute[0];
+    dma_.set_trace(tracer.dma[0]);
+  }
   for (int lane = 0; lane < lanes; ++lane) {
     stage_to_bank(ctx, acc_.bank(lane), 0,
                   bank_stripe_bytes(input, lane, lanes, 0,
@@ -287,12 +376,13 @@ bool Runtime::run_fused_pad_conv(const pack::TiledFm& input,
   pi.offset_y = -pad.top;
   pi.offset_x = -pad.left;
   const core::BatchStats pad_stats =
-      acc_.run_batch({core::Instruction::make_pad(pi)}, options_.mode);
+      run_batch_traced(ctx, {core::Instruction::make_pad(pi)}, "fused pad");
   pad_run.on_accelerator = true;
   pad_run.kind = nn::LayerKind::kPad;
   pad_run.cycles = pad_stats.cycles;
   pad_run.stripes = 1;
   pad_run.batches = 1;
+  finish_layer(pad_run);
 
   // Batch 2: all filter groups, reading the padded map in place.
   std::vector<core::Instruction> instrs;
@@ -320,7 +410,8 @@ bool Runtime::run_fused_pad_conv(const pack::TiledFm& input,
     instrs.push_back(core::Instruction::make_conv(ci));
     base += wimg.aligned_words(g);
   }
-  const core::BatchStats conv_stats = acc_.run_batch(instrs, options_.mode);
+  const core::BatchStats conv_stats =
+      run_batch_traced(ctx, instrs, "fused conv");
   conv_run.on_accelerator = true;
   conv_run.kind = nn::LayerKind::kConv;
   conv_run.cycles = conv_stats.cycles;
@@ -340,8 +431,10 @@ bool Runtime::run_fused_pad_conv(const pack::TiledFm& input,
                                        lane_words),
                        lane, lanes, 0, pack::tiles_for(out_shape.h));
   }
+  if (tracer) dma_.set_trace(nullptr);
   conv_run.counters = core::snapshot(acc_.counters()) - counters_before;
   conv_run.dma = dma_.stats() - dma_before;
+  finish_layer(conv_run);
   return true;
 }
 

@@ -19,6 +19,8 @@
 #include "core/accelerator.hpp"
 #include "driver/compiler.hpp"
 #include "nn/network.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pack/tile.hpp"
 #include "quant/quantize.hpp"
 #include "sim/dma.hpp"
@@ -33,6 +35,16 @@ struct RuntimeOptions {
   // persist between instructions).  Falls back to separate execution when
   // striping is needed.
   bool fuse_pad_conv = true;
+  // Observability (both null by default = disabled, near-zero overhead).
+  // `trace` records per-layer / per-stripe / per-batch spans and DMA
+  // transfers in simulated cycles; `metrics` aggregates counters and layer
+  // latency histograms.  trace_scope prefixes every track name (the pool
+  // runtime sets "worker<i>/" per serving worker); trace_kernels adds
+  // per-kernel busy/stall spans inside each batch (cycle mode).
+  obs::Recorder* trace = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
+  std::string trace_scope = {};  // NSDMI: keeps designated inits warning-free
+  bool trace_kernels = false;
 };
 
 // Per-layer execution record.
@@ -46,6 +58,19 @@ struct LayerRun {
   int batches = 0;
   core::CounterSnapshot counters;  // deltas for this layer
   sim::DmaStats dma;
+
+  // Clears every statistics field, keeping the caller-assigned name/kind.
+  // Runtime entry points call this on entry so a LayerRun reused across
+  // calls cannot accumulate stale batches/counters/DMA totals.
+  void reset_stats() {
+    on_accelerator = false;
+    cycles = 0;
+    macs = 0;
+    stripes = 0;
+    batches = 0;
+    counters = core::CounterSnapshot{};
+    dma = sim::DmaStats{};
+  }
 };
 
 struct NetworkRun {
@@ -117,12 +142,32 @@ class Runtime {
       const std::vector<std::int32_t>& bias, const nn::Requant& rq,
       LayerRun& run);
 
+  // Simulated-cycle timeline position for tracing: each accelerator layer
+  // advances it by the layer's cycles, so successive layer spans lay end to
+  // end.  The pool runtime round-trips this through per-request runtimes.
+  std::uint64_t trace_clock() const { return trace_clock_; }
+  void set_trace_clock(std::uint64_t cycles) { trace_clock_ = cycles; }
+
  protected:
+  // Per-layer trace handles: one compute track plus one ".dma" sibling per
+  // execution unit (accelerator instance or pool worker), cursors rewound to
+  // the layer's start.  Empty (bool false) when tracing is disabled.
+  struct LayerTracer {
+    std::vector<obs::Track*> compute;
+    std::vector<obs::Track*> dma;
+    explicit operator bool() const { return !compute.empty(); }
+  };
+  LayerTracer begin_layer_trace(int units, const char* unit_prefix);
+  // Layer epilogue: records the layer span (duration == run.cycles) on the
+  // "<scope>layers" track, bumps the metrics registry, and advances the
+  // trace clock.  Called by every accelerator-layer entry point.
+  void finish_layer(const LayerRun& run);
   core::Accelerator& acc_;
   sim::Dram& dram_;
   sim::DmaEngine& dma_;
   RuntimeOptions options_;
   std::uint64_t ddr_cursor_ = 0;  // bump allocator for staging buffers
+  std::uint64_t trace_clock_ = 0;
 };
 
 // Stripe (de)serialization between tiled feature maps and bank images:

@@ -37,6 +37,31 @@ void unpack_bank_stripe_slots(pack::TiledFm& fm,
 
 }  // namespace
 
+core::BatchStats run_batch_traced(ExecCtx& ctx,
+                                  const std::vector<core::Instruction>& instrs,
+                                  const char* label) {
+  core::BatchStats stats;
+  if (ctx.trace != nullptr && ctx.trace_kernels &&
+      ctx.mode == hls::Mode::kCycle) {
+    hls::SystemOptions options = core::Accelerator::default_options();
+    options.trace = &ctx.trace->recorder();
+    options.trace_scope = ctx.trace->name() + "/";
+    options.trace_base_cycle = ctx.trace->now();
+    stats = ctx.acc.run_batch(instrs, ctx.mode, options);
+  } else {
+    stats = ctx.acc.run_batch(instrs, ctx.mode);
+  }
+  if (ctx.trace != nullptr) {
+    ctx.trace->span(
+        label, "batch", stats.cycles,
+        {{"instructions", static_cast<std::int64_t>(instrs.size())},
+         {"fifo_push_stalls", static_cast<std::int64_t>(stats.fifo_push_stalls)},
+         {"fifo_pop_stalls", static_cast<std::int64_t>(stats.fifo_pop_stalls)},
+         {"port_stalls", static_cast<std::int64_t>(stats.port_stalls)}});
+  }
+  return stats;
+}
+
 void stage_to_bank(ExecCtx& ctx, sim::SramBank& bank, int word_addr,
                    const std::vector<std::uint8_t>& bytes, bool count_stats) {
   if (bytes.empty()) return;
@@ -97,6 +122,8 @@ StripeOutcome exec_conv_stripe(ExecCtx& ctx, const ConvPlan& plan,
                                const nn::Requant& rq, pack::TiledFm& output) {
   const core::ArchConfig& cfg = ctx.acc.config();
   StripeOutcome out;
+  const std::uint64_t trace_begin =
+      ctx.trace != nullptr ? ctx.trace->now() : 0;
   // Stage the (padded) IFM stripe into every bank.
   for (int lane = 0; lane < cfg.lanes; ++lane)
     stage_to_bank(ctx, ctx.acc.bank(lane), plan.ifm_base,
@@ -105,10 +132,14 @@ StripeOutcome exec_conv_stripe(ExecCtx& ctx, const ConvPlan& plan,
   for (const ConvStripe::Chunk& chunk : stripe.chunks) {
     const std::vector<core::Instruction> instrs =
         stage_chunk_weights(ctx, plan, stripe, chunk, wimg, bias, rq);
-    const core::BatchStats stats = ctx.acc.run_batch(instrs, ctx.mode);
+    const core::BatchStats stats = run_batch_traced(ctx, instrs, "conv chunk");
     out.cycles += stats.cycles;
     ++out.batches;
   }
+  if (ctx.trace != nullptr)
+    ctx.trace->complete("conv stripe", "stripe", trace_begin, out.cycles,
+                        {{"batches", out.batches},
+                         {"tile_row0", stripe.otile_row0}});
   // Read the OFM stripe back.
   for (int lane = 0; lane < cfg.lanes; ++lane) {
     const int lane_words =
@@ -137,7 +168,9 @@ StripeOutcome exec_pool_stripe(ExecCtx& ctx, const PoolPlan& plan,
       plan.op == core::Opcode::kPad
           ? core::Instruction::make_pad(make_pool_instr(plan, stripe))
           : core::Instruction::make_pool(make_pool_instr(plan, stripe));
-  const core::BatchStats stats = ctx.acc.run_batch({instr}, ctx.mode);
+  const char* label =
+      plan.op == core::Opcode::kPad ? "pad stripe" : "pool stripe";
+  const core::BatchStats stats = run_batch_traced(ctx, {instr}, label);
   out.cycles += stats.cycles;
   ++out.batches;
   for (int lane = 0; lane < cfg.lanes; ++lane) {
@@ -164,7 +197,7 @@ StripeOutcome exec_batch_image_chunk(
     stage_to_bank(ctx, ctx.acc.bank(lane), plan.ifm_base,
                   bank_stripe_bytes(input, lane, cfg.lanes,
                                     stripe.in_tile_row0, stripe.in_tile_rows));
-  const core::BatchStats stats = ctx.acc.run_batch(instrs, ctx.mode);
+  const core::BatchStats stats = run_batch_traced(ctx, instrs, "image chunk");
   out.cycles += stats.cycles;
   ++out.batches;
   // Read back only this chunk's output-channel slots (group g writes slot g,

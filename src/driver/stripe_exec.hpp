@@ -14,6 +14,7 @@
 
 #include "core/accelerator.hpp"
 #include "driver/compiler.hpp"
+#include "obs/trace.hpp"
 #include "pack/tile.hpp"
 #include "sim/dma.hpp"
 
@@ -27,6 +28,12 @@ struct ExecCtx {
   sim::DmaEngine& dma;
   std::uint64_t& ddr_cursor;
   hls::Mode mode;
+  // Observability (null disables): the compute track this unit lays its
+  // stripe/batch spans on.  trace_kernels additionally records per-kernel
+  // busy/stall spans inside every batch (cycle mode only) on sibling tracks
+  // "<track name>/<kernel>".
+  obs::Track* trace = nullptr;
+  bool trace_kernels = false;
 };
 
 // DMA helpers: stage bytes through DDR into a bank region and back.
@@ -41,6 +48,14 @@ struct StripeOutcome {
   std::uint64_t cycles = 0;  // accelerator cycles accumulated by this unit
   int batches = 0;           // instruction batches submitted
 };
+
+// Accelerator::run_batch with the context's instrumentation applied: records
+// a `label` span of the batch's cycles (with instruction count and stall
+// totals as args) on ctx.trace and, when ctx.trace_kernels is set, threads
+// the recorder into the cycle engine for per-kernel spans.
+core::BatchStats run_batch_traced(ExecCtx& ctx,
+                                  const std::vector<core::Instruction>& instrs,
+                                  const char* label);
 
 // Stages one weight chunk's per-(group, lane) streams at lane-aligned bases
 // and builds the chunk's CONV instructions.  `count_stats = false` replicates

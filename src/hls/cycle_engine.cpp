@@ -1,5 +1,6 @@
 #include "hls/cycle_engine.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <utility>
 
@@ -22,6 +23,24 @@ std::vector<CycleEngine::KernelActivity> CycleEngine::activity() const {
   for (std::size_t i = 0; i < roots_.size(); ++i)
     result.push_back({roots_[i].name, resumes_[i]});
   return result;
+}
+
+void CycleEngine::set_trace(obs::Recorder* recorder, std::string scope,
+                            std::uint64_t base_cycle) {
+  trace_ = recorder;
+  trace_scope_ = std::move(scope);
+  trace_base_cycle_ = base_cycle;
+  if (trace_ != nullptr) track_resumes_ = true;
+}
+
+void CycleEngine::emit_kernel_spans() const {
+  for (std::size_t i = 0; i < roots_.size(); ++i) {
+    const std::uint64_t busy = std::min(resumes_[i], cycle_);
+    trace_->track(trace_scope_ + roots_[i].name)
+        .complete(roots_[i].name, "kernel", trace_base_cycle_, cycle_,
+                  {{"busy_cycles", static_cast<std::int64_t>(busy)},
+                   {"stall_cycles", static_cast<std::int64_t>(cycle_ - busy)}});
+  }
 }
 
 void CycleEngine::throw_deadlock() const {
@@ -52,7 +71,10 @@ std::uint64_t CycleEngine::run(std::uint64_t max_cycles) {
       h.resume();
     }
     if (sink_.first_error) std::rethrow_exception(sink_.first_error);
-    if (sink_.live == 0) return cycle_;
+    if (sink_.live == 0) {
+      if (trace_ != nullptr) emit_kernel_spans();
+      return cycle_;
+    }
 
     // Advance phase.
     bool pending = !next_.empty() || !ready_.empty();

@@ -18,6 +18,7 @@
 
 #include "hls/domain.hpp"
 #include "hls/kernel.hpp"
+#include "obs/trace.hpp"
 
 namespace tsca::hls {
 
@@ -63,6 +64,13 @@ class CycleEngine final : public Domain, public CycleScheduler {
   };
   std::vector<KernelActivity> activity() const;
 
+  // Observability: when set, the engine records one span per kernel on track
+  // "<scope><kernel name>" covering [base_cycle, base_cycle + run cycles),
+  // with busy (resume) and stall cycle counts as args — where cycles go
+  // inside one instruction batch.  Implies resume tracking.
+  void set_trace(obs::Recorder* recorder, std::string scope,
+                 std::uint64_t base_cycle);
+
   // Runs until every kernel has finished.  Returns the number of simulated
   // cycles.  Throws the first kernel error, DeadlockError on deadlock, or
   // Error when max_cycles is exceeded.
@@ -75,8 +83,12 @@ class CycleEngine final : public Domain, public CycleScheduler {
   };
 
   [[noreturn]] void throw_deadlock() const;
+  void emit_kernel_spans() const;
 
   bool track_resumes_ = false;
+  obs::Recorder* trace_ = nullptr;
+  std::string trace_scope_;
+  std::uint64_t trace_base_cycle_ = 0;
   std::vector<std::uint64_t> resumes_;
   std::uint64_t cycle_ = 1;  // cycle 0 is "before time"; pushes at 1 visible at 2
   // Done/error bookkeeping updated from the kernel promises, so the per-cycle

@@ -47,6 +47,9 @@ System::RunResult System::run() {
   ran_ = true;
   if (mode_ == Mode::kCycle) {
     if (options_.track_utilization) engine_->enable_resume_tracking();
+    if (options_.trace != nullptr)
+      engine_->set_trace(options_.trace, options_.trace_scope,
+                         options_.trace_base_cycle);
     for (const auto& [name, kernel] : kernels_)
       engine_->add_kernel(name, kernel);
     RunResult result;

@@ -34,6 +34,12 @@ struct SystemOptions {
   int watchdog_ms = 10'000;
   // Cycle mode: record per-kernel resume counts (≈ busy cycles).
   bool track_utilization = false;
+  // Cycle mode: when set, the engine emits one span per kernel on track
+  // "<trace_scope><kernel name>" covering [trace_base_cycle, + run cycles)
+  // with busy/stall cycle args.  Implies resume tracking.
+  obs::Recorder* trace = nullptr;
+  std::string trace_scope = {};  // NSDMI: keeps designated inits warning-free
+  std::uint64_t trace_base_cycle = 0;
 };
 
 class System : public ProgressSink {

@@ -1,0 +1,80 @@
+#include "obs/chrome_trace.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace tsca::obs {
+
+namespace {
+
+void write_escaped(std::ostream& os, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20)
+          os << ' ';  // control characters never appear in our names
+        else
+          os << c;
+    }
+  }
+}
+
+}  // namespace
+
+void write_chrome_trace(const Recorder& recorder, std::ostream& os) {
+  const std::vector<std::string> tracks = recorder.track_names();
+  const std::vector<TraceEvent> events = recorder.events();
+
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  // Thread-name metadata: one named "thread" per track, ordered as created.
+  for (std::size_t t = 0; t < tracks.size(); ++t) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":" << t
+       << ",\"args\":{\"name\":\"";
+    write_escaped(os, tracks[t]);
+    os << "\"}},\n{\"ph\":\"M\",\"name\":\"thread_sort_index\",\"pid\":1,"
+       << "\"tid\":" << t << ",\"args\":{\"sort_index\":" << t << "}}";
+  }
+  for (const TraceEvent& ev : events) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"ph\":\"X\",\"pid\":1,\"tid\":" << ev.track << ",\"ts\":"
+       << ev.begin << ",\"dur\":" << ev.duration << ",\"name\":\"";
+    write_escaped(os, ev.name);
+    os << "\",\"cat\":\"";
+    write_escaped(os, ev.category);
+    os << "\"";
+    if (!ev.args.empty()) {
+      os << ",\"args\":{";
+      for (std::size_t i = 0; i < ev.args.size(); ++i) {
+        if (i > 0) os << ",";
+        os << "\"";
+        write_escaped(os, ev.args[i].first);
+        os << "\":" << ev.args[i].second;
+      }
+      os << "}";
+    }
+    os << "}";
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{"
+     << "\"time_unit\":\"1 trace us = 1 simulated accelerator cycle\"}}\n";
+}
+
+std::string chrome_trace_json(const Recorder& recorder) {
+  std::ostringstream os;
+  write_chrome_trace(recorder, os);
+  return os.str();
+}
+
+}  // namespace tsca::obs

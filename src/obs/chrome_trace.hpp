@@ -1,0 +1,22 @@
+// Chrome `trace_event` JSON exporter.
+//
+// Renders a Recorder's events in the Trace Event Format understood by
+// chrome://tracing and Perfetto: one "thread" (tid) per track, complete
+// ("ph":"X") events with microsecond timestamps.  Simulated accelerator
+// cycles map 1:1 onto trace microseconds — a span of N cycles renders as
+// N µs, so relative durations read directly off the timeline.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace tsca::obs {
+
+void write_chrome_trace(const Recorder& recorder, std::ostream& os);
+
+// Convenience: returns the JSON as a string (tests, small traces).
+std::string chrome_trace_json(const Recorder& recorder);
+
+}  // namespace tsca::obs

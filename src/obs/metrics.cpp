@@ -1,0 +1,133 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <ostream>
+#include <sstream>
+
+namespace tsca::obs {
+
+namespace {
+
+int bucket_for(std::int64_t value) {
+  if (value <= 1) return 0;
+  return std::bit_width(static_cast<std::uint64_t>(value - 1));
+}
+
+// Lock-free monotonic min/max update.
+void atomic_min(std::atomic<std::int64_t>& slot, std::int64_t value) {
+  std::int64_t cur = slot.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !slot.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<std::int64_t>& slot, std::int64_t value) {
+  std::int64_t cur = slot.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !slot.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Histogram::observe(std::int64_t value) {
+  if (value < 0) value = 0;
+  buckets_[static_cast<std::size_t>(bucket_for(value))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  atomic_min(min_, value);
+  atomic_max(max_, value);
+}
+
+std::int64_t Histogram::min() const {
+  const std::int64_t m = min_.load(std::memory_order_relaxed);
+  return m == INT64_MAX ? 0 : m;
+}
+
+double Histogram::mean() const {
+  const std::int64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+std::int64_t Histogram::quantile(double q) const {
+  const std::int64_t n = count();
+  if (n == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const std::int64_t rank =
+      std::max<std::int64_t>(1, static_cast<std::int64_t>(q * n + 0.5));
+  std::int64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += bucket_count(b);
+    if (seen >= rank) {
+      // Upper bound of bucket b, clipped to the observed maximum.
+      const std::int64_t bound =
+          b == 0 ? 1 : static_cast<std::int64_t>(1) << b;
+      return std::min(bound, max());
+    }
+  }
+  return max();
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(m_);
+  for (Counter& c : counters_)
+    if (c.name() == name) return c;
+  counters_.emplace_back(name);
+  return counters_.back();
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(m_);
+  for (Histogram& h : histograms_)
+    if (h.name() == name) return h;
+  histograms_.emplace_back(name);
+  return histograms_.back();
+}
+
+void MetricsRegistry::write_text(std::ostream& os) const {
+  const std::lock_guard<std::mutex> lock(m_);
+  for (const Counter& c : counters_)
+    os << c.name() << " " << c.value() << "\n";
+  for (const Histogram& h : histograms_)
+    os << h.name() << " count=" << h.count() << " mean=" << h.mean()
+       << " min=" << h.min() << " p50=" << h.quantile(0.5)
+       << " p95=" << h.quantile(0.95) << " max=" << h.max() << "\n";
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  const std::lock_guard<std::mutex> lock(m_);
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const Counter& c : counters_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << c.name() << "\":" << c.value();
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const Histogram& h : histograms_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << h.name() << "\":{\"count\":" << h.count()
+       << ",\"sum\":" << h.sum() << ",\"mean\":" << h.mean()
+       << ",\"min\":" << h.min() << ",\"p50\":" << h.quantile(0.5)
+       << ",\"p95\":" << h.quantile(0.95) << ",\"max\":" << h.max() << "}";
+  }
+  os << "}}";
+}
+
+std::string MetricsRegistry::text() const {
+  std::ostringstream os;
+  write_text(os);
+  return os.str();
+}
+
+std::string MetricsRegistry::json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+}  // namespace tsca::obs

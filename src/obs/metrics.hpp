@@ -1,0 +1,94 @@
+// In-memory metrics registry (observability layer).
+//
+// The always-on sibling of the trace recorder: monotonically increasing
+// counters and power-of-two latency histograms, cheap enough to leave
+// enabled in a serving loop (one atomic add per observation).  Benches and
+// examples dump the registry as text or JSON next to their results.
+//
+// Names are dotted paths ("serve.requests", "runtime.accel_cycles");
+// find-or-create handles are stable for the registry's lifetime.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tsca::obs {
+
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  const std::string& name() const { return name_; }
+
+  void add(std::int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::string name_;
+  std::atomic<std::int64_t> value_{0};
+};
+
+// Histogram over non-negative values with power-of-two buckets: bucket b
+// counts observations in [2^(b-1), 2^b) (bucket 0 counts zeros and ones).
+// Quantiles are upper bounds read off the bucket boundaries — coarse (×2),
+// but stable, lock-free and enough to tell p50 from p99 tail behaviour.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  explicit Histogram(std::string name) : name_(std::move(name)) {}
+  const std::string& name() const { return name_; }
+
+  void observe(std::int64_t value);
+
+  std::int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::int64_t min() const;  // 0 when empty
+  std::int64_t max() const { return max_.load(std::memory_order_relaxed); }
+  double mean() const;
+  // Upper bound of the bucket holding quantile q (q in [0, 1]).
+  std::int64_t quantile(double q) const;
+  std::int64_t bucket_count(int b) const {
+    return buckets_[static_cast<std::size_t>(b)].load(
+        std::memory_order_relaxed);
+  }
+
+ private:
+  std::string name_;
+  std::atomic<std::int64_t> buckets_[kBuckets]{};
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};
+  std::atomic<std::int64_t> min_{INT64_MAX};
+  std::atomic<std::int64_t> max_{0};
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  // Human-readable dump, one metric per line; histograms report
+  // count/mean/p50/p95/max.
+  void write_text(std::ostream& os) const;
+  // Machine-readable dump: {"counters": {...}, "histograms": {...}}.
+  void write_json(std::ostream& os) const;
+  std::string text() const;
+  std::string json() const;
+
+ private:
+  mutable std::mutex m_;
+  std::deque<Counter> counters_;
+  std::deque<Histogram> histograms_;
+};
+
+}  // namespace tsca::obs

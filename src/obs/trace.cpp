@@ -1,0 +1,50 @@
+#include "obs/trace.hpp"
+
+namespace tsca::obs {
+
+void Track::span(std::string name, std::string category, std::uint64_t cycles,
+                 EventArgs args) {
+  complete(std::move(name), std::move(category), now_, cycles,
+           std::move(args));
+  now_ += cycles;
+}
+
+void Track::complete(std::string name, std::string category,
+                     std::uint64_t begin, std::uint64_t cycles,
+                     EventArgs args) {
+  recorder_->record(TraceEvent{id_, std::move(name), std::move(category),
+                               begin, cycles, std::move(args)});
+}
+
+Track& Recorder::track(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(m_);
+  for (Track& t : tracks_)
+    if (t.name_ == name) return t;
+  tracks_.push_back(Track(this, static_cast<int>(tracks_.size()), name));
+  return tracks_.back();
+}
+
+void Recorder::record(TraceEvent event) {
+  const std::lock_guard<std::mutex> lock(m_);
+  events_.push_back(std::move(event));
+}
+
+std::size_t Recorder::event_count() const {
+  const std::lock_guard<std::mutex> lock(m_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> Recorder::events() const {
+  const std::lock_guard<std::mutex> lock(m_);
+  return events_;
+}
+
+std::vector<std::string> Recorder::track_names() const {
+  const std::lock_guard<std::mutex> lock(m_);
+  std::vector<std::string> names;
+  names.reserve(tracks_.size());
+  for (const Track& t : tracks_) names.push_back(t.name_);
+  return names;
+}
+
+}  // namespace tsca::obs

@@ -1,0 +1,102 @@
+// Span/event recorder for the simulator (observability layer).
+//
+// Everything the runtime, the stripe executors, the DMA engine and the cycle
+// engine want to report — per-layer, per-stripe and per-batch spans, DMA
+// transfers, per-kernel busy summaries — is recorded here as events on named
+// *tracks* with simulated-cycle timestamps.  One track per accelerator
+// instance (serial runtime) or pool worker, plus a ".dma" sibling track per
+// unit and a "layers"/"requests" track for the coarse timeline.
+//
+// Overhead contract: all instrumentation sites are guarded by a null-pointer
+// check (`if (track == nullptr) return;`), so a run with tracing disabled
+// pays one predictable branch per site and allocates nothing.  When enabled,
+// events append to a mutex-guarded vector; a track's cycle cursor is only
+// ever touched by the single worker that owns the track during a parallel
+// region, so cursor arithmetic is unsynchronized.
+//
+// Sinks: obs/chrome_trace.hpp renders the recorded events as Chrome
+// `trace_event` JSON (chrome://tracing / Perfetto); obs/metrics.hpp is the
+// aggregate-counter sibling for always-on production metrics.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tsca::obs {
+
+class Recorder;
+
+// Small integer key/value annotations attached to an event (rendered into
+// the Chrome trace "args" object).
+using EventArgs = std::vector<std::pair<std::string, std::int64_t>>;
+
+struct TraceEvent {
+  int track = 0;                 // index into Recorder's track table
+  std::string name;              // span name ("conv1", "stripe 3", "dma→fpga")
+  std::string category;          // "layer", "stripe", "batch", "dma", ...
+  std::uint64_t begin = 0;       // simulated cycles
+  std::uint64_t duration = 0;    // simulated cycles (0 = instant event)
+  EventArgs args;
+};
+
+// One named timeline.  Tracks keep a cycle cursor so instrumentation sites
+// can lay spans end to end without threading timestamps through every call:
+// `span()` records [now, now+cycles) and advances the cursor.
+class Track {
+ public:
+  const std::string& name() const { return name_; }
+  Recorder& recorder() const { return *recorder_; }
+
+  std::uint64_t now() const { return now_; }
+  void set_now(std::uint64_t cycles) { now_ = cycles; }
+  void advance(std::uint64_t cycles) { now_ += cycles; }
+
+  // Records a span at the cursor and advances the cursor past it.
+  void span(std::string name, std::string category, std::uint64_t cycles,
+            EventArgs args = {});
+
+  // Records a span at an explicit begin cycle; the cursor is not moved.
+  void complete(std::string name, std::string category, std::uint64_t begin,
+                std::uint64_t cycles, EventArgs args = {});
+
+ private:
+  friend class Recorder;
+  Track(Recorder* recorder, int id, std::string name)
+      : recorder_(recorder), id_(id), name_(std::move(name)) {}
+
+  Recorder* recorder_;
+  int id_;
+  std::string name_;
+  std::uint64_t now_ = 0;
+};
+
+// Thread-safe event store.  Track handles are stable for the Recorder's
+// lifetime (deque storage); find-or-create by name, so a pool worker that
+// serves many requests keeps appending to the same timeline.
+class Recorder {
+ public:
+  Recorder() = default;
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+
+  // Finds or creates the track with this name.
+  Track& track(const std::string& name);
+
+  void record(TraceEvent event);
+
+  std::size_t event_count() const;
+  // Copies out the recorded events / track names (test + exporter access).
+  std::vector<TraceEvent> events() const;
+  std::vector<std::string> track_names() const;
+
+ private:
+  mutable std::mutex m_;
+  std::deque<Track> tracks_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace tsca::obs

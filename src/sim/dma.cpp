@@ -11,30 +11,42 @@ std::uint64_t DmaEngine::transfer_cycles(std::size_t bytes) const {
          static_cast<std::uint64_t>(t.access_latency_cycles) + beats;
 }
 
+void DmaEngine::trace_transfer(const char* name, std::size_t bytes,
+                               std::uint64_t cycles) {
+  trace_->span(name, "dma", cycles,
+               {{"bytes", static_cast<std::int64_t>(bytes)}});
+}
+
 void DmaEngine::to_bank(SramBank& bank, int word_addr, std::uint64_t dram_addr,
                         std::size_t bytes, bool count_stats) {
   if (bytes == 0) return;
   bank.load(word_addr, dram_.raw(dram_addr, bytes), bytes);
   if (!count_stats) return;
+  const std::uint64_t cycles = transfer_cycles(bytes);
   ++stats_.transfers;
   stats_.bytes_to_fpga += bytes;
-  stats_.modelled_cycles += transfer_cycles(bytes);
+  stats_.modelled_cycles += cycles;
+  if (trace_ != nullptr) trace_transfer("dma→fpga", bytes, cycles);
 }
 
 void DmaEngine::account_to_fpga(std::size_t bytes) {
   if (bytes == 0) return;
+  const std::uint64_t cycles = transfer_cycles(bytes);
   ++stats_.transfers;
   stats_.bytes_to_fpga += bytes;
-  stats_.modelled_cycles += transfer_cycles(bytes);
+  stats_.modelled_cycles += cycles;
+  if (trace_ != nullptr) trace_transfer("dma→fpga (batch weights)", bytes, cycles);
 }
 
 void DmaEngine::to_dram(const SramBank& bank, int word_addr,
                         std::uint64_t dram_addr, std::size_t bytes) {
   if (bytes == 0) return;
   bank.store(word_addr, dram_.raw(dram_addr, bytes), bytes);
+  const std::uint64_t cycles = transfer_cycles(bytes);
   ++stats_.transfers;
   stats_.bytes_to_dram += bytes;
-  stats_.modelled_cycles += transfer_cycles(bytes);
+  stats_.modelled_cycles += cycles;
+  if (trace_ != nullptr) trace_transfer("dma→ddr", bytes, cycles);
 }
 
 }  // namespace tsca::sim

@@ -10,8 +10,10 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "sim/dram.hpp"
 #include "sim/sram.hpp"
+#include "util/check.hpp"
 
 namespace tsca::sim {
 
@@ -32,8 +34,17 @@ struct DmaStats {
   }
 };
 
-// after − before, for per-layer / per-stripe accounting.
+// after − before, for per-layer / per-stripe accounting.  The guard catches
+// a reset_stats() (or any other counter rollback) inside a measurement
+// window — e.g. between a PoolRuntime ScopedMerge snapshot and its merge —
+// which would otherwise wrap the unsigned fields into garbage deltas.
 inline DmaStats operator-(const DmaStats& after, const DmaStats& before) {
+  TSCA_CHECK(after.transfers >= before.transfers &&
+                 after.bytes_to_fpga >= before.bytes_to_fpga &&
+                 after.bytes_to_dram >= before.bytes_to_dram &&
+                 after.modelled_cycles >= before.modelled_cycles,
+             "DmaStats delta would underflow — reset_stats() inside a "
+             "measurement window?");
   DmaStats d;
   d.transfers = after.transfers - before.transfers;
   d.bytes_to_fpga = after.bytes_to_fpga - before.bytes_to_fpga;
@@ -66,12 +77,21 @@ class DmaEngine {
   const DmaStats& stats() const { return stats_; }
   void reset_stats() { stats_ = DmaStats{}; }
 
+  // Observability: every *accounted* transfer is recorded as a span of its
+  // modelled cycles on this track (null disables; uncounted replication
+  // stays invisible, matching the statistics).  The runtime points this at
+  // the owning instance/worker's ".dma" track for the current layer.
+  void set_trace(obs::Track* track) { trace_ = track; }
+
  private:
   std::uint64_t transfer_cycles(std::size_t bytes) const;
+  void trace_transfer(const char* name, std::size_t bytes,
+                      std::uint64_t cycles);
 
   Dram& dram_;
   int setup_cycles_;
   DmaStats stats_;
+  obs::Track* trace_ = nullptr;
 };
 
 }  // namespace tsca::sim
