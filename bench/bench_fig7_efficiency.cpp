@@ -35,10 +35,8 @@ void spot_check_cycle_engine(const driver::StudyNetwork& net) {
     for (std::size_t i = 0; i < input.size(); ++i)
       input.data()[i] = static_cast<std::int8_t>(rng.next_int(-30, 30));
     driver::LayerRun run;
-    const std::vector<std::int32_t> bias(
-        static_cast<std::size_t>(layer.packed.shape().oc), 0);
-    runtime.run_conv(pack::to_tiled(input), layer.packed, bias,
-                     nn::Requant{.shift = 7, .relu = true}, run);
+    const driver::ConvProgram program = driver::compile_study_conv(cfg, layer);
+    runtime.run_conv(pack::to_tiled(input), program, run);
     const driver::PerfModel model(cfg);
     const driver::ConvPerf perf = model.conv_layer(layer.padded_in,
                                                    layer.packed);

@@ -18,6 +18,7 @@
 
 #include "core/accelerator.hpp"
 #include "driver/pool_runtime.hpp"
+#include "driver/program.hpp"
 #include "driver/runtime.hpp"
 #include "nn/vgg16.hpp"
 #include "obs/metrics.hpp"
@@ -191,6 +192,60 @@ int main() {
   std::printf("\nserve speedup, 4 workers vs 1: %.2fx (deterministic: yes)\n",
               speedup4);
 
+  // --- compile/execute split: cold vs warm serve ------------------------
+  // Cold = NetworkProgram::compile + the first (image-staging-included)
+  // request; warm = per-request latency once the program and its weight
+  // image are resident.  Warm must be strictly below cold: compilation left
+  // the request path.
+  std::printf("\ncompile/execute split: cold vs warm serve (1 worker)\n");
+  t0 = std::chrono::steady_clock::now();
+  const driver::NetworkProgram program =
+      driver::NetworkProgram::compile(w.net, w.model, serve_cfg);
+  const double compile_ms = seconds_since(t0) * 1e3;
+
+  obs::MetricsRegistry warm_metrics;
+  driver::RuntimeOptions warm_options = options;
+  warm_options.metrics = &warm_metrics;
+  driver::AcceleratorPool warm_pool(serve_cfg, {.workers = 1});
+  driver::PoolRuntime warm_runtime(warm_pool, warm_options);
+
+  t0 = std::chrono::steady_clock::now();
+  const std::vector<driver::NetworkRun> first =
+      warm_runtime.serve(program, {w.inputs.front()});
+  const double cold_first_ms = compile_ms + seconds_since(t0) * 1e3;
+  if (first.front().logits != reference.front().logits) {
+    std::fprintf(stderr, "FAIL: cold program serve diverged from serial\n");
+    return 1;
+  }
+
+  const std::vector<driver::NetworkRun> warm_runs =
+      warm_runtime.serve(program, w.inputs);
+  for (std::size_t i = 0; i < warm_runs.size(); ++i) {
+    if (warm_runs[i].logits != reference[i].logits ||
+        total_cycles(warm_runs[i]) != total_cycles(reference[i])) {
+      std::fprintf(stderr, "FAIL: warm program serve diverged on image %zu\n",
+                   i);
+      return 1;
+    }
+  }
+  const obs::Histogram& warm_lat =
+      warm_metrics.histogram("serve.request_wall_us");
+  const double warm_p50_ms =
+      static_cast<double>(warm_lat.quantile(0.5)) / 1e3;
+  const double warm_p95_ms =
+      static_cast<double>(warm_lat.quantile(0.95)) / 1e3;
+  std::printf("  compile %8.2f ms\n", compile_ms);
+  std::printf("  cold    %8.2f ms (compile + first request)\n", cold_first_ms);
+  std::printf("  warm    %8.2f ms p50 / %8.2f ms p95 per request\n",
+              warm_p50_ms, warm_p95_ms);
+  if (warm_p50_ms >= cold_first_ms) {
+    std::fprintf(stderr,
+                 "FAIL: warm p50 (%.2f ms) not below cold first request "
+                 "(%.2f ms)\n",
+                 warm_p50_ms, cold_first_ms);
+    return 1;
+  }
+
   FILE* out = std::fopen("BENCH_sim_throughput.json", "w");
   if (out == nullptr) {
     std::fprintf(stderr, "FAIL: cannot write BENCH_sim_throughput.json\n");
@@ -221,6 +276,11 @@ int main() {
                  i + 1 < serve_rows.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n");
+  std::fprintf(out,
+               "  \"program\": {\"compile_ms\": %.3f, "
+               "\"cold_first_request_ms\": %.3f, "
+               "\"warm_request_ms\": {\"p50\": %.3f, \"p95\": %.3f}},\n",
+               compile_ms, cold_first_ms, warm_p50_ms, warm_p95_ms);
   std::fprintf(out, "  \"serial_stripe_s\": %.4f,\n", serial_stripe_s);
   std::fprintf(out, "  \"stripes\": [\n");
   for (std::size_t i = 0; i < stripe_rows.size(); ++i) {

@@ -56,6 +56,18 @@ int main(int argc, char** argv) {
   sim::DmaEngine dma(dram);
   driver::Runtime runtime(acc, dram, dma, {.mode = hls::Mode::kCycle});
 
+  // Compile every conv layer once up front — packing, weight image, stripe
+  // plan — so the batch loop below only stages data and fires instructions.
+  const std::vector<nn::LayerShape> shapes = net.infer_shapes();
+  std::vector<driver::ConvProgram> conv_programs(net.layers().size());
+  for (std::size_t i = 0; i < net.layers().size(); ++i) {
+    if (net.layers()[i].kind != nn::LayerKind::kConv) continue;
+    const nn::FmShape in = i == 0 ? net.input_shape() : shapes[i - 1].fm;
+    conv_programs[i] = driver::compile_conv(
+        acc.config(), in, pack::pack_filters(model.weights.conv[i]),
+        model.weights.conv_bias[i], model.weights.conv_requant[i]);
+  }
+
   // Layer-major batched execution: pads/pools per image, convs batched.
   std::vector<pack::TiledFm> fms;
   for (const nn::FeatureMapI8& image : images)
@@ -63,15 +75,12 @@ int main(int argc, char** argv) {
   std::uint64_t total_cycles = 0;
   bool ok = true;
   std::printf("%-14s %8s %12s\n", "layer", "kind", "cycles(batch)");
-  const std::vector<nn::LayerShape> shapes = net.infer_shapes();
   for (std::size_t i = 0; i < net.layers().size(); ++i) {
     const nn::LayerSpec& spec = net.layers()[i];
     if (spec.kind == nn::LayerKind::kFlatten) break;
     driver::LayerRun run;
     if (spec.kind == nn::LayerKind::kConv) {
-      fms = runtime.run_conv_batch(fms, pack::pack_filters(model.weights.conv[i]),
-                                   model.weights.conv_bias[i],
-                                   model.weights.conv_requant[i], run);
+      fms = runtime.run_conv_batch(fms, conv_programs[i], run);
     } else {
       const nn::FmShape out = shapes[i].fm;
       for (auto& fm : fms) {
@@ -126,12 +135,10 @@ int main(int argc, char** argv) {
         nn::forward_i8_all(net, model.weights, images[0]);
     const nn::FeatureMapI8& conv_in = ref[conv3 - 1].fm;
 
-    const pack::PackedFilters packed =
-        pack::pack_filters(model.weights.conv[conv3]);
-    const driver::WeightImage wimg(packed, 4, 4);
-    const driver::ConvPlan plan =
-        driver::plan_conv(acc.config(), conv_in.shape(),
-                          packed.shape().oc, 3, wimg);
+    // Reuse the precompiled program's weight image and stripe plan.
+    const driver::ConvProgram& cp = conv_programs[conv3];
+    const driver::WeightImage& wimg = cp.wimg;
+    const driver::ConvPlan& plan = cp.plan;
     const pack::TiledFm tiled_in = pack::to_tiled(conv_in);
     for (int lane = 0; lane < 4; ++lane) {
       const auto bytes = driver::bank_stripe_bytes(
@@ -148,9 +155,7 @@ int main(int argc, char** argv) {
     int base = plan.weight_base;
     for (int g = 0; g < wimg.groups(); ++g) {
       instrs.push_back(core::Instruction::make_conv(driver::make_conv_instr(
-          plan, plan.stripes[0], g, base, wimg,
-          model.weights.conv_bias[conv3], model.weights.conv_requant[conv3],
-          4)));
+          plan, plan.stripes[0], g, base, wimg, cp.bias, cp.rq, 4)));
       base += wimg.aligned_words(g);
     }
     hls::SystemOptions opts = core::Accelerator::default_options();

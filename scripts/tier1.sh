@@ -1,10 +1,13 @@
 #!/usr/bin/env sh
-# Tier-1 gate: build + full test suite, in the default configuration and
-# again instrumented with AddressSanitizer + UBSan.  Run from the repo root:
+# Tier-1 gate: build + full test suite, in the default configuration, again
+# instrumented with AddressSanitizer + UBSan, and again with ThreadSanitizer
+# over the concurrency-sensitive suites (worker pool + shared NetworkProgram).
+# Run from the repo root:
 #
-#   ./scripts/tier1.sh            # both configurations
+#   ./scripts/tier1.sh            # all configurations
 #   ./scripts/tier1.sh default    # just the plain build
 #   ./scripts/tier1.sh sanitize   # just the asan/ubsan build
+#   ./scripts/tier1.sh tsan      # just the tsan pool/program build
 #
 # Exits non-zero on the first failing build or test.
 set -eu
@@ -22,15 +25,29 @@ run_config() {
   ctest --test-dir "${root}/${build_dir}" --output-on-failure -j "${jobs}"
 }
 
+# ThreadSanitizer build, restricted to the suites that exercise cross-thread
+# sharing: the accelerator pool, the pooled runtime, and the shared
+# NetworkProgram serving tests.  (Full-suite TSan is tier 2 — too slow.)
+run_tsan() {
+  build_dir=build-tsan
+  echo "=== ${build_dir} (-DTSCA_SANITIZE=thread, Pool|Program tests) ==="
+  cmake -B "${root}/${build_dir}" -S "${root}" -DTSCA_SANITIZE=thread
+  cmake --build "${root}/${build_dir}" -j "${jobs}"
+  ctest --test-dir "${root}/${build_dir}" --output-on-failure -j "${jobs}" \
+    -R 'Pool|Program'
+}
+
 case "${which}" in
   default) run_config build ;;
   sanitize)
     run_config build-sanitize -DTSCA_SANITIZE=address,undefined ;;
+  tsan) run_tsan ;;
   all)
     run_config build
-    run_config build-sanitize -DTSCA_SANITIZE=address,undefined ;;
+    run_config build-sanitize -DTSCA_SANITIZE=address,undefined
+    run_tsan ;;
   *)
-    echo "usage: $0 [default|sanitize|all]" >&2
+    echo "usage: $0 [default|sanitize|tsan|all]" >&2
     exit 2 ;;
 esac
 echo "tier1: all green"

@@ -46,6 +46,11 @@ class AcceleratorPool {
     sim::Dram dram;
     sim::DmaEngine dma;
     std::uint64_t ddr_cursor = 0;  // staging bump allocator
+    // NetworkProgram residency (see driver/stripe_exec.hpp ExecCtx): stamp
+    // of the program whose weight image is resident at DDR address 0
+    // (0 = none) and the first byte past it (where staging may begin).
+    std::uint64_t staged_stamp = 0;
+    std::uint64_t ddr_floor = 0;
     int worker = 0;                // index of the owning worker thread
     // Serving timeline position (simulated cycles) for tracing: requests a
     // worker serves lay their spans end to end on the worker's tracks.

@@ -27,6 +27,10 @@ namespace tsca::driver {
 // Pre-serialized per-(group, lane) weight streams of one conv layer.
 class WeightImage {
  public:
+  // Empty image (no groups); placeholder until a real one is assigned
+  // (ConvProgram default-constructs one before compilation fills it in).
+  WeightImage() = default;
+
   // Automatically serializes in the dense 1-byte ternary format when every
   // weight is ±1 (pack::is_ternary).
   WeightImage(const pack::PackedFilters& packed, int lanes, int group);

@@ -39,7 +39,11 @@ struct PoolRuntime::ScopedMerge {
 namespace {
 
 ExecCtx make_exec_ctx(AcceleratorPool::Context& ctx, hls::Mode mode) {
-  return ExecCtx{ctx.acc, ctx.dram, ctx.dma, ctx.ddr_cursor, mode};
+  ExecCtx ec{ctx.acc, ctx.dram, ctx.dma, ctx.ddr_cursor, mode};
+  ec.resident_stamp = ctx.staged_stamp;
+  ec.program_base = 0;
+  ec.ddr_floor = ctx.ddr_floor;
+  return ec;
 }
 
 // Serial cycle accounting: unit u's cycles land in instance bucket
@@ -61,26 +65,20 @@ PoolRuntime::PoolRuntime(AcceleratorPool& pool, RuntimeOptions options)
       pool_(pool) {}
 
 pack::TiledFm PoolRuntime::run_conv(const pack::TiledFm& input,
-                                    const pack::PackedFilters& packed,
-                                    const std::vector<std::int32_t>& bias,
-                                    const nn::Requant& rq, LayerRun& run) {
+                                    const ConvProgram& conv, LayerRun& run) {
   const core::ArchConfig& cfg = pool_.config();
-  TSCA_CHECK(packed.shape().ic == input.channels(),
-             "filter ic " << packed.shape().ic << " != input channels "
-                          << input.channels());
-  TSCA_CHECK(packed.shape().kh == packed.shape().kw,
-             "square kernels only (paper uses 3x3)");
-
-  const WeightImage wimg(packed, cfg.lanes, cfg.group);
-  const ConvPlan plan = plan_conv(cfg, input.shape(), packed.shape().oc,
-                                  packed.shape().kh, wimg);
+  TSCA_CHECK(conv.plan.in_shape == input.shape(),
+             "program compiled for a different input shape");
+  TSCA_CHECK(!conv.plan.stripes.empty(),
+             "conv program has no striped plan (fused-only layer)");
+  const ConvPlan& plan = conv.plan;
   pack::TiledFm output(plan.out_shape);
 
   const ScopedMerge scope(pool_);
   run.reset_stats();
   run.on_accelerator = true;
   run.kind = nn::LayerKind::kConv;
-  run.macs = conv_macs(input.shape(), packed.shape().oc, packed.shape().kh);
+  run.macs = conv.macs;
   run.stripes = static_cast<int>(plan.stripes.size());
 
   // One unit per stripe.  Stripes read the shared input and write disjoint
@@ -100,8 +98,8 @@ pack::TiledFm PoolRuntime::run_conv(const pack::TiledFm& input,
           ec.trace = tracer.compute[static_cast<std::size_t>(ctx.worker)];
           ec.trace_kernels = trace_kernels;
         }
-        outcomes[si] = exec_conv_stripe(ec, plan, plan.stripes[si], wimg,
-                                        input, bias, rq, output);
+        outcomes[si] =
+            exec_conv_stripe(ec, conv, plan.stripes[si], input, output);
       });
   if (tracer)
     for (int i = 0; i < pool_.workers(); ++i)
@@ -119,20 +117,17 @@ pack::TiledFm PoolRuntime::run_conv(const pack::TiledFm& input,
 }
 
 pack::TiledFm PoolRuntime::run_pad_pool(const pack::TiledFm& input,
-                                        core::Opcode op,
-                                        const nn::FmShape& out_shape, int win,
-                                        int stride, int offset_y, int offset_x,
-                                        LayerRun& run) {
+                                        const PoolPlan& plan, LayerRun& run) {
   const core::ArchConfig& cfg = pool_.config();
-  const PoolPlan plan = plan_pool(cfg, input.shape(), out_shape, op, win,
-                                  stride, offset_y, offset_x);
-  pack::TiledFm output(out_shape);
+  TSCA_CHECK(plan.in_shape == input.shape(),
+             "plan compiled for a different input shape");
+  pack::TiledFm output(plan.out_shape);
 
   const ScopedMerge scope(pool_);
   run.reset_stats();
   run.on_accelerator = true;
-  run.kind = op == core::Opcode::kPad ? nn::LayerKind::kPad
-                                      : nn::LayerKind::kMaxPool;
+  run.kind = plan.op == core::Opcode::kPad ? nn::LayerKind::kPad
+                                           : nn::LayerKind::kMaxPool;
   run.stripes = static_cast<int>(plan.stripes.size());
 
   std::vector<StripeOutcome> outcomes(plan.stripes.size());
@@ -169,20 +164,17 @@ pack::TiledFm PoolRuntime::run_pad_pool(const pack::TiledFm& input,
 }
 
 std::vector<pack::TiledFm> PoolRuntime::run_conv_batch(
-    const std::vector<pack::TiledFm>& inputs,
-    const pack::PackedFilters& packed, const std::vector<std::int32_t>& bias,
-    const nn::Requant& rq, LayerRun& run) {
+    const std::vector<pack::TiledFm>& inputs, const ConvProgram& conv,
+    LayerRun& run) {
   TSCA_CHECK(!inputs.empty());
   const core::ArchConfig& cfg = pool_.config();
   for (const pack::TiledFm& input : inputs)
     TSCA_CHECK(input.shape() == inputs.front().shape(),
                "batch images must share a shape");
-  TSCA_CHECK(packed.shape().ic == inputs.front().channels());
-  TSCA_CHECK(packed.shape().kh == packed.shape().kw);
+  TSCA_CHECK(conv.plan.in_shape == inputs.front().shape(),
+             "program compiled for a different input shape");
 
-  const WeightImage wimg(packed, cfg.lanes, cfg.group);
-  const ConvPlan plan = plan_conv(cfg, inputs.front().shape(),
-                                  packed.shape().oc, packed.shape().kh, wimg);
+  const ConvPlan& plan = conv.plan;
   std::vector<pack::TiledFm> outputs(inputs.size(),
                                      pack::TiledFm(plan.out_shape));
 
@@ -190,9 +182,7 @@ std::vector<pack::TiledFm> PoolRuntime::run_conv_batch(
   run.reset_stats();
   run.on_accelerator = true;
   run.kind = nn::LayerKind::kConv;
-  run.macs = conv_macs(inputs.front().shape(), packed.shape().oc,
-                       packed.shape().kh) *
-             static_cast<std::int64_t>(inputs.size());
+  run.macs = conv.macs * static_cast<std::int64_t>(inputs.size());
   run.stripes = static_cast<int>(plan.stripes.size());
 
   const LayerTracer tracer = begin_layer_trace(pool_.workers(), "worker");
@@ -206,7 +196,7 @@ std::vector<pack::TiledFm> PoolRuntime::run_conv_batch(
   // replicate the streams into their own banks unaccounted.
   for (const ConvStripe& stripe : plan.stripes)
     for (const ConvStripe::Chunk& chunk : stripe.chunks)
-      account_chunk_weights(pool_.context(0).dma, chunk, wimg);
+      account_chunk_weights(pool_.context(0).dma, chunk, conv.wimg);
 
   // One unit per image: each image runs the full stripe/chunk schedule on a
   // private context.
@@ -225,10 +215,10 @@ std::vector<pack::TiledFm> PoolRuntime::run_conv_batch(
           const ConvStripe& stripe = plan.stripes[si];
           for (const ConvStripe::Chunk& chunk : stripe.chunks) {
             const std::vector<core::Instruction> instrs =
-                stage_chunk_weights(ec, plan, stripe, chunk, wimg, bias, rq,
+                stage_chunk_weights(ec, conv, stripe, chunk,
                                     /*count_stats=*/false);
             const StripeOutcome outcome = exec_batch_image_chunk(
-                ec, plan, stripe, chunk, instrs, inputs[img], outputs[img]);
+                ec, conv, stripe, chunk, instrs, inputs[img], outputs[img]);
             cycles_by_image_stripe[img][si] += outcome.cycles;
             batches_by_image[img] += outcome.batches;
           }
@@ -252,9 +242,31 @@ std::vector<pack::TiledFm> PoolRuntime::run_conv_batch(
   return outputs;
 }
 
+void PoolRuntime::ensure_program_staged(const NetworkProgram& program) {
+  // Context 0 backs the base runtime's acc_/dram_/dma_; the base call writes
+  // its DDR and fences the base-class bump allocator above the image.
+  Runtime::ensure_program_staged(program);
+  const std::vector<std::uint8_t>& image = program.ddr_image();
+  for (int i = 0; i < pool_.workers(); ++i) {
+    AcceleratorPool::Context& ctx = pool_.context(i);
+    if (ctx.staged_stamp == program.stamp()) continue;
+    TSCA_CHECK(image.size() <= ctx.dram.size(),
+               "program weight image (" << image.size()
+                                        << " bytes) larger than DDR");
+    if (i != 0 && !image.empty())
+      ctx.dram.write(0, image.data(), image.size());
+    ctx.staged_stamp = program.stamp();
+    ctx.ddr_floor = image.size();
+    ctx.ddr_cursor = image.size();
+  }
+}
+
 std::vector<NetworkRun> PoolRuntime::serve(
-    const nn::Network& net, const quant::QuantizedModel& model,
+    const NetworkProgram& program,
     const std::vector<nn::FeatureMapI8>& inputs) {
+  // Stage the shared weight image into every context before fanning out —
+  // part of compile/stage time, not of any request's latency.
+  ensure_program_staged(program);
   std::vector<NetworkRun> results(inputs.size());
   const RuntimeOptions base = options_;
   obs::MetricsRegistry* const metrics = options_.metrics;
@@ -263,15 +275,17 @@ std::vector<NetworkRun> PoolRuntime::serve(
         // A fresh serial Runtime per request: per-request statistics come
         // out exactly as a standalone serial run would report them.  Track
         // names are scoped per worker, and the worker's trace clock carries
-        // across requests so their spans lay end to end.
+        // across requests so their spans lay end to end.  The context's
+        // resident image is adopted, so no request re-writes it.
         RuntimeOptions options = base;
         if (options.trace != nullptr)
           options.trace_scope =
               base.trace_scope + "worker" + std::to_string(ctx.worker) + "/";
         Runtime runtime(ctx.acc, ctx.dram, ctx.dma, options);
+        runtime.adopt_staged_program(ctx.staged_stamp, ctx.ddr_floor);
         runtime.set_trace_clock(ctx.trace_clock);
         const auto wall0 = std::chrono::steady_clock::now();
-        results[i] = runtime.run_network(net, model, inputs[i]);
+        results[i] = runtime.run_network(program, inputs[i]);
         const std::int64_t wall_us =
             std::chrono::duration_cast<std::chrono::microseconds>(
                 std::chrono::steady_clock::now() - wall0)
@@ -294,6 +308,16 @@ std::vector<NetworkRun> PoolRuntime::serve(
         }
       });
   return results;
+}
+
+std::vector<NetworkRun> PoolRuntime::serve(
+    const nn::Network& net, const quant::QuantizedModel& model,
+    const std::vector<nn::FeatureMapI8>& inputs) {
+  ProgramOptions popts;
+  popts.fuse_pad_conv = options_.fuse_pad_conv;
+  const NetworkProgram program =
+      NetworkProgram::compile(net, model, pool_.config(), popts);
+  return serve(program, inputs);
 }
 
 }  // namespace tsca::driver

@@ -31,26 +31,36 @@ class PoolRuntime final : public Runtime {
   // lowering, host-side layers) run on context 0.
   explicit PoolRuntime(AcceleratorPool& pool, RuntimeOptions options = {});
 
-  pack::TiledFm run_conv(const pack::TiledFm& input,
-                         const pack::PackedFilters& packed,
-                         const std::vector<std::int32_t>& bias,
-                         const nn::Requant& rq, LayerRun& run) override;
+  // The compile-on-the-fly wrappers from Runtime stay visible alongside the
+  // program overloads overridden below.
+  using Runtime::run_conv;
+  using Runtime::run_pad_pool;
+  using Runtime::run_conv_batch;
 
-  pack::TiledFm run_pad_pool(const pack::TiledFm& input, core::Opcode op,
-                             const nn::FmShape& out_shape, int win, int stride,
-                             int offset_y, int offset_x,
+  pack::TiledFm run_conv(const pack::TiledFm& input, const ConvProgram& conv,
+                         LayerRun& run) override;
+
+  pack::TiledFm run_pad_pool(const pack::TiledFm& input, const PoolPlan& plan,
                              LayerRun& run) override;
 
   std::vector<pack::TiledFm> run_conv_batch(
-      const std::vector<pack::TiledFm>& inputs,
-      const pack::PackedFilters& packed,
-      const std::vector<std::int32_t>& bias, const nn::Requant& rq,
+      const std::vector<pack::TiledFm>& inputs, const ConvProgram& conv,
       LayerRun& run) override;
 
+  // Stages the program's weight image into every worker context's DDR (and
+  // the base runtime's, i.e. context 0), so pooled stripes and served
+  // requests all read weights from a resident image.
+  void ensure_program_staged(const NetworkProgram& program) override;
+
   // Whole-network request parallelism: each request runs a full serial
-  // network pass on a private context.  Results (including per-layer
-  // statistics) are bit-identical to running each request through a fresh
-  // serial Runtime.
+  // network pass on a private context, all sharing `program` by const
+  // reference.  Results (including per-layer statistics) are bit-identical
+  // to running each request through a fresh serial Runtime.
+  std::vector<NetworkRun> serve(const NetworkProgram& program,
+                                const std::vector<nn::FeatureMapI8>& inputs);
+
+  // Compile-on-the-fly serve: compiles the network once (honouring
+  // options_.fuse_pad_conv) and delegates to the program overload.
   std::vector<NetworkRun> serve(const nn::Network& net,
                                 const quant::QuantizedModel& model,
                                 const std::vector<nn::FeatureMapI8>& inputs);

@@ -1,0 +1,222 @@
+#include "driver/program.hpp"
+
+#include <atomic>
+#include <utility>
+
+#include "pack/tile.hpp"
+#include "pack/weight_pack.hpp"
+
+namespace tsca::driver {
+
+namespace {
+
+std::uint64_t next_stamp() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace
+
+ConvProgram compile_conv(const core::ArchConfig& cfg,
+                         const nn::FmShape& in_shape,
+                         const pack::PackedFilters& packed,
+                         std::vector<std::int32_t> bias,
+                         const nn::Requant& rq) {
+  TSCA_CHECK(packed.shape().ic == in_shape.c,
+             "filter ic " << packed.shape().ic << " != input channels "
+                          << in_shape.c);
+  TSCA_CHECK(packed.shape().kh == packed.shape().kw,
+             "square kernels only (paper uses 3x3)");
+  ConvProgram prog;
+  prog.wimg = WeightImage(packed, cfg.lanes, cfg.group);
+  prog.plan = plan_conv(cfg, in_shape, packed.shape().oc, packed.shape().kh,
+                        prog.wimg);
+  prog.bias = std::move(bias);
+  prog.rq = rq;
+  prog.macs = conv_macs(in_shape, packed.shape().oc, packed.shape().kh);
+  return prog;
+}
+
+ConvProgram compile_fc_conv(const core::ArchConfig& cfg, int in_dim,
+                            int out_dim,
+                            const std::vector<std::int8_t>& weights,
+                            const std::vector<std::int32_t>& bias,
+                            const nn::Requant& rq) {
+  TSCA_CHECK(in_dim > 0 && out_dim > 0);
+  TSCA_CHECK(weights.size() == static_cast<std::size_t>(in_dim) *
+                                   static_cast<std::size_t>(out_dim));
+  nn::FilterBankI8 bank({out_dim, in_dim, 1, 1});
+  for (int o = 0; o < out_dim; ++o)
+    for (int c = 0; c < in_dim; ++c)
+      bank.at(o, c, 0, 0) =
+          weights[static_cast<std::size_t>(o) *
+                      static_cast<std::size_t>(in_dim) +
+                  static_cast<std::size_t>(c)];
+  return compile_conv(cfg, {in_dim, 1, 1}, pack::pack_filters(bank), bias, rq);
+}
+
+std::optional<FusedPadConvLayout> plan_fused_pad_conv(
+    const core::ArchConfig& cfg, const nn::FmShape& raw,
+    const nn::Padding& pad, int kernel, int out_channels,
+    const WeightImage& wimg) {
+  FusedPadConvLayout layout;
+  layout.pad = pad;
+  layout.raw = raw;
+  layout.padded = {raw.c, raw.h + pad.top + pad.bottom,
+                   raw.w + pad.left + pad.right};
+  layout.kernel = kernel;
+  if (layout.padded.h < kernel || layout.padded.w < kernel) return std::nullopt;
+  layout.out = {out_channels, layout.padded.h - kernel + 1,
+                layout.padded.w - kernel + 1};
+
+  // On-chip layout: raw input | padded map | OFM | weight chunk.  Everything
+  // must fit unstriped, with all filter groups' weights resident at once.
+  const int lanes = cfg.lanes;
+  const int slots_in = (raw.c + lanes - 1) / lanes;
+  const int slots_out = (layout.out.c + lanes - 1) / lanes;
+  const int raw_words =
+      slots_in * pack::tiles_for(raw.h) * pack::tiles_for(raw.w);
+  const int padded_words = slots_in * pack::tiles_for(layout.padded.h) *
+                           pack::tiles_for(layout.padded.w);
+  const int out_words = slots_out * pack::tiles_for(layout.out.h) *
+                        pack::tiles_for(layout.out.w);
+  int weight_words = 0;
+  for (int g = 0; g < wimg.groups(); ++g)
+    weight_words += wimg.aligned_words(g);
+  if (raw_words + padded_words + out_words + weight_words > cfg.bank_words)
+    return std::nullopt;
+
+  layout.padded_base = raw_words;
+  layout.ofm_base = raw_words + padded_words;
+  layout.weight_base = layout.ofm_base + out_words;
+  return layout;
+}
+
+NetworkProgram NetworkProgram::compile(const nn::Network& net,
+                                       const quant::QuantizedModel& model,
+                                       const core::ArchConfig& cfg,
+                                       const ProgramOptions& options) {
+  NetworkProgram program;
+  program.net_ = net;
+  program.cfg_ = cfg;
+  program.options_ = options;
+  program.stamp_ = next_stamp();
+
+  nn::FmShape fm = net.input_shape();
+  bool is_flat = false;
+  for (std::size_t i = 0; i < net.layers().size(); ++i) {
+    const nn::LayerSpec& spec = net.layers()[i];
+    Step step;
+    step.layer = i;
+    switch (spec.kind) {
+      case nn::LayerKind::kPad: {
+        TSCA_CHECK(!is_flat, "pad after flatten");
+        // Fuse with a directly following conv when both fit on chip — the
+        // same fit predicate the per-call path evaluated, decided here once.
+        if (options.fuse_pad_conv && i + 1 < net.layers().size() &&
+            net.layers()[i + 1].kind == nn::LayerKind::kConv) {
+          const pack::PackedFilters packed =
+              pack::pack_filters(model.weights.conv[i + 1]);
+          TSCA_CHECK(packed.shape().ic == fm.c);
+          TSCA_CHECK(packed.shape().kh == packed.shape().kw);
+          ConvProgram conv;
+          conv.wimg = WeightImage(packed, cfg.lanes, cfg.group);
+          const std::optional<FusedPadConvLayout> layout = plan_fused_pad_conv(
+              cfg, fm, spec.pad, packed.shape().kh, packed.shape().oc,
+              conv.wimg);
+          if (layout.has_value()) {
+            conv.bias = model.weights.conv_bias[i + 1];
+            conv.rq = model.weights.conv_requant[i + 1];
+            conv.macs =
+                conv_macs(layout->padded, layout->out.c, layout->kernel);
+            step.exec = Step::Exec::kFusedPadConv;
+            step.conv = static_cast<int>(program.convs_.size());
+            step.fused = static_cast<int>(program.fused_.size());
+            program.convs_.push_back(std::move(conv));
+            program.fused_.push_back(*layout);
+            program.steps_.push_back(step);
+            fm = layout->out;
+            ++i;  // the conv layer was consumed
+            continue;
+          }
+          // Does not fit fused: fall through to a standalone pad step; the
+          // conv layer is compiled on its own iteration (its WeightImage is
+          // rebuilt there against the striped plan — compile-time only).
+        }
+        const nn::FmShape out{fm.c, fm.h + spec.pad.top + spec.pad.bottom,
+                              fm.w + spec.pad.left + spec.pad.right};
+        step.exec = Step::Exec::kPadPool;
+        step.pool = static_cast<int>(program.pools_.size());
+        program.pools_.push_back(plan_pool(cfg, fm, out, core::Opcode::kPad, 1,
+                                           1, -spec.pad.top, -spec.pad.left));
+        fm = out;
+        break;
+      }
+      case nn::LayerKind::kConv: {
+        TSCA_CHECK(!is_flat, "conv after flatten");
+        step.exec = Step::Exec::kConv;
+        step.conv = static_cast<int>(program.convs_.size());
+        program.convs_.push_back(
+            compile_conv(cfg, fm, pack::pack_filters(model.weights.conv[i]),
+                         model.weights.conv_bias[i],
+                         model.weights.conv_requant[i]));
+        fm = program.convs_.back().plan.out_shape;
+        break;
+      }
+      case nn::LayerKind::kMaxPool: {
+        TSCA_CHECK(!is_flat, "pool after flatten");
+        const nn::FmShape out{
+            fm.c, nn::conv_out_extent(fm.h, spec.pool.size, spec.pool.stride),
+            nn::conv_out_extent(fm.w, spec.pool.size, spec.pool.stride)};
+        step.exec = Step::Exec::kPadPool;
+        step.pool = static_cast<int>(program.pools_.size());
+        program.pools_.push_back(plan_pool(cfg, fm, out, core::Opcode::kPool,
+                                           spec.pool.size, spec.pool.stride, 0,
+                                           0));
+        fm = out;
+        break;
+      }
+      case nn::LayerKind::kFlatten:
+        step.exec = Step::Exec::kFlatten;
+        is_flat = true;
+        break;
+      case nn::LayerKind::kFullyConnected: {
+        TSCA_CHECK(is_flat, "fc before flatten");
+        step.exec = Step::Exec::kFc;
+        step.fc = static_cast<int>(program.fcs_.size());
+        program.fcs_.push_back(FcProgram{model.weights.fc[i],
+                                         model.weights.fc_bias[i],
+                                         model.weights.fc_requant[i],
+                                         spec.fc.out_dim});
+        break;
+      }
+      case nn::LayerKind::kSoftmax:
+        step.exec = Step::Exec::kSoftmax;
+        break;
+    }
+    program.steps_.push_back(step);
+  }
+
+  // Concatenate every conv layer's serialized streams into the DDR image.
+  // Offsets are recorded per (group, lane) so executors can DMA a chunk's
+  // streams straight from the resident image.
+  for (ConvProgram& conv : program.convs_) {
+    conv.owner = program.stamp_;
+    conv.ddr_offset.resize(static_cast<std::size_t>(conv.wimg.groups()) *
+                           static_cast<std::size_t>(conv.wimg.lanes()));
+    for (int g = 0; g < conv.wimg.groups(); ++g) {
+      for (int lane = 0; lane < conv.wimg.lanes(); ++lane) {
+        const std::vector<std::uint8_t>& bytes = conv.wimg.bytes(g, lane);
+        conv.ddr_offset[static_cast<std::size_t>(g) *
+                            static_cast<std::size_t>(conv.wimg.lanes()) +
+                        static_cast<std::size_t>(lane)] =
+            program.ddr_image_.size();
+        program.ddr_image_.insert(program.ddr_image_.end(), bytes.begin(),
+                                  bytes.end());
+      }
+    }
+  }
+  return program;
+}
+
+}  // namespace tsca::driver

@@ -73,6 +73,35 @@ Runtime::LayerTracer Runtime::begin_layer_trace(int units,
   return tracer;
 }
 
+ExecCtx Runtime::exec_ctx() {
+  ExecCtx ctx{acc_, dram_, dma_, ddr_cursor_, options_.mode};
+  ctx.trace_kernels = options_.trace_kernels;
+  ctx.resident_stamp = resident_stamp_;
+  ctx.program_base = program_base_;
+  ctx.ddr_floor = ddr_floor_;
+  return ctx;
+}
+
+void Runtime::ensure_program_staged(const NetworkProgram& program) {
+  if (resident_stamp_ == program.stamp()) return;
+  const std::vector<std::uint8_t>& image = program.ddr_image();
+  TSCA_CHECK(image.size() <= dram_.size(),
+             "program weight image (" << image.size()
+                                      << " bytes) larger than DDR");
+  // A host write into the modelled DDR — the paper's framework prepares the
+  // weight regions before inference starts, so no DMA statistics accrue.
+  if (!image.empty()) dram_.write(0, image.data(), image.size());
+  adopt_staged_program(program.stamp(), image.size());
+}
+
+void Runtime::adopt_staged_program(std::uint64_t stamp,
+                                   std::uint64_t ddr_floor) {
+  resident_stamp_ = stamp;
+  program_base_ = 0;
+  ddr_floor_ = ddr_floor;
+  ddr_cursor_ = ddr_floor;
+}
+
 void Runtime::finish_layer(const LayerRun& run) {
   if (options_.metrics != nullptr) {
     obs::MetricsRegistry& m = *options_.metrics;
@@ -105,20 +134,13 @@ void Runtime::finish_layer(const LayerRun& run) {
 }
 
 pack::TiledFm Runtime::run_conv(const pack::TiledFm& input,
-                                const pack::PackedFilters& packed,
-                                const std::vector<std::int32_t>& bias,
-                                const nn::Requant& rq, LayerRun& run) {
+                                const ConvProgram& conv, LayerRun& run) {
   const core::ArchConfig& cfg = acc_.config();
-  TSCA_CHECK(packed.shape().ic == input.channels(),
-             "filter ic " << packed.shape().ic << " != input channels "
-                          << input.channels());
-  TSCA_CHECK(packed.shape().kh == packed.shape().kw,
-             "square kernels only (paper uses 3x3)");
-
-  const WeightImage wimg(packed, cfg.lanes, cfg.group);
-  const ConvPlan plan = plan_conv(cfg, input.shape(), packed.shape().oc,
-                                  packed.shape().kh, wimg);
-  pack::TiledFm output(plan.out_shape);
+  TSCA_CHECK(conv.plan.in_shape == input.shape(),
+             "program compiled for a different input shape");
+  TSCA_CHECK(!conv.plan.stripes.empty(),
+             "conv program has no striped plan (fused-only layer)");
+  pack::TiledFm output(conv.plan.out_shape);
 
   const auto counters_before = core::snapshot(acc_.counters());
   const auto dma_before = dma_.stats();
@@ -128,20 +150,19 @@ pack::TiledFm Runtime::run_conv(const pack::TiledFm& input,
   run.reset_stats();
   run.on_accelerator = true;
   run.kind = nn::LayerKind::kConv;
-  run.macs = conv_macs(input.shape(), packed.shape().oc, packed.shape().kh);
-  run.stripes = static_cast<int>(plan.stripes.size());
+  run.macs = conv.macs;
+  run.stripes = static_cast<int>(conv.plan.stripes.size());
 
-  ExecCtx ctx{acc_, dram_, dma_, ddr_cursor_, options_.mode};
+  ExecCtx ctx = exec_ctx();
   const LayerTracer tracer = begin_layer_trace(cfg.instances, "inst");
-  ctx.trace_kernels = options_.trace_kernels;
-  for (std::size_t si = 0; si < plan.stripes.size(); ++si) {
+  for (std::size_t si = 0; si < conv.plan.stripes.size(); ++si) {
     const std::size_t inst = si % static_cast<std::size_t>(cfg.instances);
     if (tracer) {
       ctx.trace = tracer.compute[inst];
       dma_.set_trace(tracer.dma[inst]);
     }
-    const StripeOutcome outcome = exec_conv_stripe(
-        ctx, plan, plan.stripes[si], wimg, input, bias, rq, output);
+    const StripeOutcome outcome =
+        exec_conv_stripe(ctx, conv, conv.plan.stripes[si], input, output);
     instance_cycles[inst] += outcome.cycles;
     run.batches += outcome.batches;
   }
@@ -154,15 +175,21 @@ pack::TiledFm Runtime::run_conv(const pack::TiledFm& input,
   return output;
 }
 
+pack::TiledFm Runtime::run_conv(const pack::TiledFm& input,
+                                const pack::PackedFilters& packed,
+                                const std::vector<std::int32_t>& bias,
+                                const nn::Requant& rq, LayerRun& run) {
+  return run_conv(
+      input, compile_conv(acc_.config(), input.shape(), packed, bias, rq),
+      run);
+}
+
 pack::TiledFm Runtime::run_pad_pool(const pack::TiledFm& input,
-                                    core::Opcode op,
-                                    const nn::FmShape& out_shape, int win,
-                                    int stride, int offset_y, int offset_x,
-                                    LayerRun& run) {
+                                    const PoolPlan& plan, LayerRun& run) {
   const core::ArchConfig& cfg = acc_.config();
-  const PoolPlan plan = plan_pool(cfg, input.shape(), out_shape, op, win,
-                                  stride, offset_y, offset_x);
-  pack::TiledFm output(out_shape);
+  TSCA_CHECK(plan.in_shape == input.shape(),
+             "plan compiled for a different input shape");
+  pack::TiledFm output(plan.out_shape);
 
   const auto counters_before = core::snapshot(acc_.counters());
   const auto dma_before = dma_.stats();
@@ -171,13 +198,12 @@ pack::TiledFm Runtime::run_pad_pool(const pack::TiledFm& input,
 
   run.reset_stats();
   run.on_accelerator = true;
-  run.kind = op == core::Opcode::kPad ? nn::LayerKind::kPad
-                                      : nn::LayerKind::kMaxPool;
+  run.kind = plan.op == core::Opcode::kPad ? nn::LayerKind::kPad
+                                           : nn::LayerKind::kMaxPool;
   run.stripes = static_cast<int>(plan.stripes.size());
 
-  ExecCtx ctx{acc_, dram_, dma_, ddr_cursor_, options_.mode};
+  ExecCtx ctx = exec_ctx();
   const LayerTracer tracer = begin_layer_trace(cfg.instances, "inst");
-  ctx.trace_kernels = options_.trace_kernels;
   for (std::size_t si = 0; si < plan.stripes.size(); ++si) {
     const std::size_t inst = si % static_cast<std::size_t>(cfg.instances);
     if (tracer) {
@@ -198,23 +224,30 @@ pack::TiledFm Runtime::run_pad_pool(const pack::TiledFm& input,
   return output;
 }
 
+pack::TiledFm Runtime::run_pad_pool(const pack::TiledFm& input,
+                                    core::Opcode op,
+                                    const nn::FmShape& out_shape, int win,
+                                    int stride, int offset_y, int offset_x,
+                                    LayerRun& run) {
+  return run_pad_pool(input,
+                      plan_pool(acc_.config(), input.shape(), out_shape, op,
+                                win, stride, offset_y, offset_x),
+                      run);
+}
+
 std::vector<pack::TiledFm> Runtime::run_conv_batch(
-    const std::vector<pack::TiledFm>& inputs,
-    const pack::PackedFilters& packed, const std::vector<std::int32_t>& bias,
-    const nn::Requant& rq, LayerRun& run) {
+    const std::vector<pack::TiledFm>& inputs, const ConvProgram& conv,
+    LayerRun& run) {
   TSCA_CHECK(!inputs.empty());
   const core::ArchConfig& cfg = acc_.config();
   for (const pack::TiledFm& input : inputs)
     TSCA_CHECK(input.shape() == inputs.front().shape(),
                "batch images must share a shape");
-  TSCA_CHECK(packed.shape().ic == inputs.front().channels());
-  TSCA_CHECK(packed.shape().kh == packed.shape().kw);
+  TSCA_CHECK(conv.plan.in_shape == inputs.front().shape(),
+             "program compiled for a different input shape");
 
-  const WeightImage wimg(packed, cfg.lanes, cfg.group);
-  const ConvPlan plan = plan_conv(cfg, inputs.front().shape(),
-                                  packed.shape().oc, packed.shape().kh, wimg);
   std::vector<pack::TiledFm> outputs(inputs.size(),
-                                     pack::TiledFm(plan.out_shape));
+                                     pack::TiledFm(conv.plan.out_shape));
 
   const auto counters_before = core::snapshot(acc_.counters());
   const auto dma_before = dma_.stats();
@@ -224,16 +257,13 @@ std::vector<pack::TiledFm> Runtime::run_conv_batch(
   run.reset_stats();
   run.on_accelerator = true;
   run.kind = nn::LayerKind::kConv;
-  run.macs = conv_macs(inputs.front().shape(), packed.shape().oc,
-                       packed.shape().kh) *
-             static_cast<std::int64_t>(inputs.size());
-  run.stripes = static_cast<int>(plan.stripes.size());
+  run.macs = conv.macs * static_cast<std::int64_t>(inputs.size());
+  run.stripes = static_cast<int>(conv.plan.stripes.size());
 
-  ExecCtx ctx{acc_, dram_, dma_, ddr_cursor_, options_.mode};
+  ExecCtx ctx = exec_ctx();
   const LayerTracer tracer = begin_layer_trace(cfg.instances, "inst");
-  ctx.trace_kernels = options_.trace_kernels;
-  for (std::size_t si = 0; si < plan.stripes.size(); ++si) {
-    const ConvStripe& stripe = plan.stripes[si];
+  for (std::size_t si = 0; si < conv.plan.stripes.size(); ++si) {
+    const ConvStripe& stripe = conv.plan.stripes[si];
     const std::size_t instance = si % static_cast<std::size_t>(cfg.instances);
     if (tracer) {
       ctx.trace = tracer.compute[instance];
@@ -242,10 +272,10 @@ std::vector<pack::TiledFm> Runtime::run_conv_batch(
     for (const ConvStripe::Chunk& chunk : stripe.chunks) {
       // Weights once per chunk — the batch's whole point.
       const std::vector<core::Instruction> instrs =
-          stage_chunk_weights(ctx, plan, stripe, chunk, wimg, bias, rq);
+          stage_chunk_weights(ctx, conv, stripe, chunk);
       for (std::size_t img = 0; img < inputs.size(); ++img) {
         const StripeOutcome outcome = exec_batch_image_chunk(
-            ctx, plan, stripe, chunk, instrs, inputs[img], outputs[img]);
+            ctx, conv, stripe, chunk, instrs, inputs[img], outputs[img]);
         instance_cycles[instance] += outcome.cycles;
         run.batches += outcome.batches;
       }
@@ -260,6 +290,41 @@ std::vector<pack::TiledFm> Runtime::run_conv_batch(
   return outputs;
 }
 
+std::vector<pack::TiledFm> Runtime::run_conv_batch(
+    const std::vector<pack::TiledFm>& inputs,
+    const pack::PackedFilters& packed, const std::vector<std::int32_t>& bias,
+    const nn::Requant& rq, LayerRun& run) {
+  TSCA_CHECK(!inputs.empty());
+  return run_conv_batch(
+      inputs,
+      compile_conv(acc_.config(), inputs.front().shape(), packed, bias, rq),
+      run);
+}
+
+std::vector<std::int8_t> Runtime::run_fc_as_conv(
+    const std::vector<std::int8_t>& input, const ConvProgram& fc_conv,
+    LayerRun& run) {
+  TSCA_CHECK(!input.empty());
+  const int in_dim = static_cast<int>(input.size());
+  TSCA_CHECK(fc_conv.plan.in_shape == (nn::FmShape{in_dim, 1, 1}),
+             "fc program compiled for a different input width");
+  const int out_dim = fc_conv.plan.out_shape.c;
+
+  // 1x1 feature map with in_dim channels; filters are out_dim x in_dim x 1x1.
+  nn::FeatureMapI8 fm({in_dim, 1, 1});
+  for (int c = 0; c < in_dim; ++c)
+    fm.at(c, 0, 0) = input[static_cast<std::size_t>(c)];
+
+  run.name = "fc-as-conv";
+  const pack::TiledFm out = run_conv(pack::to_tiled(fm), fc_conv, run);
+  run.kind = nn::LayerKind::kFullyConnected;
+  const nn::FeatureMapI8 linear = pack::from_tiled(out);
+  std::vector<std::int8_t> logits(static_cast<std::size_t>(out_dim));
+  for (int o = 0; o < out_dim; ++o)
+    logits[static_cast<std::size_t>(o)] = linear.at(o, 0, 0);
+  return logits;
+}
+
 std::vector<std::int8_t> Runtime::run_fc_as_conv(
     const std::vector<std::int8_t>& input,
     const std::vector<std::int8_t>& weights,
@@ -269,77 +334,41 @@ std::vector<std::int8_t> Runtime::run_fc_as_conv(
   TSCA_CHECK(weights.size() ==
              input.size() * static_cast<std::size_t>(out_dim));
   const int in_dim = static_cast<int>(input.size());
-
-  // 1x1 feature map with in_dim channels; filters are out_dim x in_dim x 1x1.
-  nn::FeatureMapI8 fm({in_dim, 1, 1});
-  for (int c = 0; c < in_dim; ++c)
-    fm.at(c, 0, 0) = input[static_cast<std::size_t>(c)];
-  nn::FilterBankI8 bank({out_dim, in_dim, 1, 1});
-  for (int o = 0; o < out_dim; ++o)
-    for (int c = 0; c < in_dim; ++c)
-      bank.at(o, c, 0, 0) =
-          weights[static_cast<std::size_t>(o) * input.size() +
-                  static_cast<std::size_t>(c)];
-
-  run.name = "fc-as-conv";
-  const pack::TiledFm out =
-      run_conv(pack::to_tiled(fm), pack::pack_filters(bank), bias, rq, run);
-  run.kind = nn::LayerKind::kFullyConnected;
-  const nn::FeatureMapI8 linear = pack::from_tiled(out);
-  std::vector<std::int8_t> logits(static_cast<std::size_t>(out_dim));
-  for (int o = 0; o < out_dim; ++o)
-    logits[static_cast<std::size_t>(o)] = linear.at(o, 0, 0);
-  return logits;
+  return run_fc_as_conv(
+      input,
+      compile_fc_conv(acc_.config(), in_dim, out_dim, weights, bias, rq), run);
 }
 
-bool Runtime::run_fused_pad_conv(const pack::TiledFm& input,
-                                 const nn::Padding& pad,
-                                 const pack::PackedFilters& packed,
-                                 const std::vector<std::int32_t>& bias,
-                                 const nn::Requant& rq, pack::TiledFm& output,
-                                 LayerRun& pad_run, LayerRun& conv_run) {
+void Runtime::run_fused_pad_conv(const pack::TiledFm& input,
+                                 const ConvProgram& conv,
+                                 const FusedPadConvLayout& layout,
+                                 pack::TiledFm& output, LayerRun& pad_run,
+                                 LayerRun& conv_run) {
   const core::ArchConfig& cfg = acc_.config();
-  TSCA_CHECK(packed.shape().ic == input.channels());
-  TSCA_CHECK(packed.shape().kh == packed.shape().kw);
-  const int kernel = packed.shape().kh;
-  const nn::FmShape raw = input.shape();
-  const nn::FmShape padded{raw.c, raw.h + pad.top + pad.bottom,
-                           raw.w + pad.left + pad.right};
-  if (padded.h < kernel || padded.w < kernel) return false;
-  const nn::FmShape out_shape{packed.shape().oc, padded.h - kernel + 1,
-                              padded.w - kernel + 1};
+  TSCA_CHECK(layout.raw == input.shape(),
+             "fused layout compiled for a different input shape");
+  const WeightImage& wimg = conv.wimg;
+  const int kernel = layout.kernel;
+  const nn::FmShape raw = layout.raw;
+  const nn::FmShape padded = layout.padded;
+  const nn::FmShape out_shape = layout.out;
+  const int padded_base = layout.padded_base;
+  const int ofm_base = layout.ofm_base;
+  const int weight_base = layout.weight_base;
+  const int lanes = cfg.lanes;
   pad_run.reset_stats();
   conv_run.reset_stats();
-
-  // On-chip layout: raw input | padded map | OFM | weight chunk.  Everything
-  // must fit unstriped, with all filter groups' weights resident at once.
-  const int lanes = cfg.lanes;
-  const int slots_in = (raw.c + lanes - 1) / lanes;
-  const int slots_out = (out_shape.c + lanes - 1) / lanes;
-  const int raw_words =
-      slots_in * pack::tiles_for(raw.h) * pack::tiles_for(raw.w);
-  const int padded_words =
-      slots_in * pack::tiles_for(padded.h) * pack::tiles_for(padded.w);
-  const int out_words =
-      slots_out * pack::tiles_for(out_shape.h) * pack::tiles_for(out_shape.w);
-  const WeightImage wimg(packed, lanes, cfg.group);
-  int weight_words = 0;
-  for (int g = 0; g < wimg.groups(); ++g)
-    weight_words += wimg.aligned_words(g);
-  if (raw_words + padded_words + out_words + weight_words > cfg.bank_words)
-    return false;
-
-  const int padded_base = raw_words;
-  const int ofm_base = raw_words + padded_words;
-  const int weight_base = ofm_base + out_words;
 
   const auto counters_before = core::snapshot(acc_.counters());
   const auto dma_before = dma_.stats();
 
-  // Stage the raw input and every weight stream once.
-  ExecCtx ctx{acc_, dram_, dma_, ddr_cursor_, options_.mode};
+  // Stage the raw input and every weight stream once (from the resident
+  // program image when this layer's owner is staged in DDR — identical
+  // transfers either way).
+  ExecCtx ctx = exec_ctx();
+  const bool resident =
+      conv.owner != 0 && conv.owner == ctx.resident_stamp;
   const LayerTracer tracer = begin_layer_trace(1, "inst");
-  ctx.trace_kernels = options_.trace_kernels;
   if (tracer) {
     ctx.trace = tracer.compute[0];
     dma_.set_trace(tracer.dma[0]);
@@ -350,7 +379,14 @@ bool Runtime::run_fused_pad_conv(const pack::TiledFm& input,
                                     pack::tiles_for(raw.h)));
     int base = weight_base;
     for (int g = 0; g < wimg.groups(); ++g) {
-      stage_to_bank(ctx, acc_.bank(lane), base, wimg.bytes(g, lane));
+      const std::vector<std::uint8_t>& bytes = wimg.bytes(g, lane);
+      if (resident && !bytes.empty()) {
+        dma_.to_bank(acc_.bank(lane), base,
+                     ctx.program_base + conv.stream_ddr_offset(g, lane),
+                     bytes.size());
+      } else {
+        stage_to_bank(ctx, acc_.bank(lane), base, bytes);
+      }
       base += wimg.aligned_words(g);
     }
   }
@@ -373,8 +409,8 @@ bool Runtime::run_fused_pad_conv(const pack::TiledFm& input,
   pi.ofm_w = padded.w;
   pi.win = 1;
   pi.stride = 1;
-  pi.offset_y = -pad.top;
-  pi.offset_x = -pad.left;
+  pi.offset_y = -layout.pad.top;
+  pi.offset_x = -layout.pad.left;
   const core::BatchStats pad_stats =
       run_batch_traced(ctx, {core::Instruction::make_pad(pi)}, "fused pad");
   pad_run.on_accelerator = true;
@@ -402,10 +438,11 @@ bool Runtime::run_fused_pad_conv(const pack::TiledFm& input,
     ci.kernel_h = ci.kernel_w = kernel;
     for (int k = 0; k < ci.active_filters; ++k) {
       const std::size_t oc = static_cast<std::size_t>(ci.oc0 + k);
-      ci.bias[static_cast<std::size_t>(k)] = oc < bias.size() ? bias[oc] : 0;
+      ci.bias[static_cast<std::size_t>(k)] =
+          oc < conv.bias.size() ? conv.bias[oc] : 0;
     }
-    ci.shift = rq.shift;
-    ci.relu = rq.relu;
+    ci.shift = conv.rq.shift;
+    ci.relu = conv.rq.relu;
     ci.ternary_weights = wimg.ternary();
     instrs.push_back(core::Instruction::make_conv(ci));
     base += wimg.aligned_words(g);
@@ -415,7 +452,7 @@ bool Runtime::run_fused_pad_conv(const pack::TiledFm& input,
   conv_run.on_accelerator = true;
   conv_run.kind = nn::LayerKind::kConv;
   conv_run.cycles = conv_stats.cycles;
-  conv_run.macs = conv_macs(padded, out_shape.c, kernel);
+  conv_run.macs = conv.macs;
   conv_run.stripes = 1;
   conv_run.batches = 1;
 
@@ -435,96 +472,94 @@ bool Runtime::run_fused_pad_conv(const pack::TiledFm& input,
   conv_run.counters = core::snapshot(acc_.counters()) - counters_before;
   conv_run.dma = dma_.stats() - dma_before;
   finish_layer(conv_run);
+}
+
+bool Runtime::run_fused_pad_conv(const pack::TiledFm& input,
+                                 const nn::Padding& pad,
+                                 const pack::PackedFilters& packed,
+                                 const std::vector<std::int32_t>& bias,
+                                 const nn::Requant& rq, pack::TiledFm& output,
+                                 LayerRun& pad_run, LayerRun& conv_run) {
+  const core::ArchConfig& cfg = acc_.config();
+  TSCA_CHECK(packed.shape().ic == input.channels());
+  TSCA_CHECK(packed.shape().kh == packed.shape().kw);
+  const int kernel = packed.shape().kh;
+  const nn::FmShape raw = input.shape();
+  const nn::FmShape padded{raw.c, raw.h + pad.top + pad.bottom,
+                           raw.w + pad.left + pad.right};
+  if (padded.h < kernel || padded.w < kernel) return false;
+  pad_run.reset_stats();
+  conv_run.reset_stats();
+
+  ConvProgram conv;
+  conv.wimg = WeightImage(packed, cfg.lanes, cfg.group);
+  const std::optional<FusedPadConvLayout> layout = plan_fused_pad_conv(
+      cfg, raw, pad, kernel, packed.shape().oc, conv.wimg);
+  if (!layout.has_value()) return false;
+  conv.bias = bias;
+  conv.rq = rq;
+  conv.macs = conv_macs(layout->padded, layout->out.c, layout->kernel);
+  run_fused_pad_conv(input, conv, *layout, output, pad_run, conv_run);
   return true;
 }
 
-NetworkRun Runtime::run_network(const nn::Network& net,
-                                const quant::QuantizedModel& model,
+NetworkRun Runtime::run_network(const NetworkProgram& program,
                                 const nn::FeatureMapI8& input) {
-  TSCA_CHECK(input.shape() == net.input_shape(), "input shape mismatch");
+  TSCA_CHECK(input.shape() == program.net().input_shape(),
+             "input shape mismatch");
+  ensure_program_staged(program);
+  const std::vector<nn::LayerSpec>& layers = program.net().layers();
   NetworkRun result;
   pack::TiledFm fm = pack::to_tiled(input);
   std::vector<std::int8_t> flat;
   bool is_flat = false;
 
-  for (std::size_t i = 0; i < net.layers().size(); ++i) {
-    const nn::LayerSpec& spec = net.layers()[i];
+  for (const NetworkProgram::Step& step : program.steps()) {
+    const nn::LayerSpec& spec = layers[step.layer];
     LayerRun run;
     run.name = spec.name;
     run.kind = spec.kind;
-    switch (spec.kind) {
-      case nn::LayerKind::kPad: {
-        TSCA_CHECK(!is_flat, "pad after flatten");
-        // Fuse with a directly following conv when both fit on chip.
-        if (options_.fuse_pad_conv && i + 1 < net.layers().size() &&
-            net.layers()[i + 1].kind == nn::LayerKind::kConv) {
-          LayerRun conv_run;
-          conv_run.name = net.layers()[i + 1].name;
-          const pack::PackedFilters packed =
-              pack::pack_filters(model.weights.conv[i + 1]);
-          pack::TiledFm fused_out;
-          if (run_fused_pad_conv(fm, spec.pad, packed,
-                                 model.weights.conv_bias[i + 1],
-                                 model.weights.conv_requant[i + 1], fused_out,
-                                 run, conv_run)) {
-            if (options_.keep_activations) {
-              // The padded intermediate never left the chip; reconstruct it
-              // for callers that asked for every activation.
-              const nn::FmShape padded{
-                  fm.shape().c, fm.shape().h + spec.pad.top + spec.pad.bottom,
-                  fm.shape().w + spec.pad.left + spec.pad.right};
-              result.activations.push_back(
-                  nn::pad_i8(pack::from_tiled(fm), spec.pad));
-              (void)padded;
-            }
-            fm = std::move(fused_out);
-            result.layers.push_back(std::move(run));
-            if (options_.keep_activations)
-              result.activations.push_back(pack::from_tiled(fm));
-            result.layers.push_back(std::move(conv_run));
-            ++i;  // the conv layer was consumed
-            continue;
-          }
+    switch (step.exec) {
+      case NetworkProgram::Step::Exec::kFusedPadConv: {
+        // PAD + following CONV as one on-chip fusion (decided at compile
+        // time); the step covers both layers.
+        LayerRun conv_run;
+        conv_run.name = layers[step.layer + 1].name;
+        pack::TiledFm fused_out;
+        run_fused_pad_conv(fm, program.conv(step.conv),
+                           program.fused(step.fused), fused_out, run,
+                           conv_run);
+        if (options_.keep_activations) {
+          // The padded intermediate never left the chip; reconstruct it for
+          // callers that asked for every activation.
+          result.activations.push_back(
+              nn::pad_i8(pack::from_tiled(fm), spec.pad));
         }
-        const nn::FmShape out{fm.shape().c,
-                              fm.shape().h + spec.pad.top + spec.pad.bottom,
-                              fm.shape().w + spec.pad.left + spec.pad.right};
-        fm = run_pad_pool(fm, core::Opcode::kPad, out, 1, 1, -spec.pad.top,
-                          -spec.pad.left, run);
-        break;
+        fm = std::move(fused_out);
+        result.layers.push_back(std::move(run));
+        if (options_.keep_activations)
+          result.activations.push_back(pack::from_tiled(fm));
+        result.layers.push_back(std::move(conv_run));
+        continue;
       }
-      case nn::LayerKind::kConv: {
-        TSCA_CHECK(!is_flat, "conv after flatten");
-        const pack::PackedFilters packed =
-            pack::pack_filters(model.weights.conv[i]);
-        fm = run_conv(fm, packed, model.weights.conv_bias[i],
-                      model.weights.conv_requant[i], run);
+      case NetworkProgram::Step::Exec::kPadPool:
+        fm = run_pad_pool(fm, program.pool(step.pool), run);
         break;
-      }
-      case nn::LayerKind::kMaxPool: {
-        TSCA_CHECK(!is_flat, "pool after flatten");
-        const nn::FmShape out{
-            fm.shape().c,
-            nn::conv_out_extent(fm.shape().h, spec.pool.size,
-                                spec.pool.stride),
-            nn::conv_out_extent(fm.shape().w, spec.pool.size,
-                                spec.pool.stride)};
-        fm = run_pad_pool(fm, core::Opcode::kPool, out, spec.pool.size,
-                          spec.pool.stride, 0, 0, run);
+      case NetworkProgram::Step::Exec::kConv:
+        fm = run_conv(fm, program.conv(step.conv), run);
         break;
-      }
-      case nn::LayerKind::kFlatten: {
+      case NetworkProgram::Step::Exec::kFlatten: {
         const nn::FeatureMapI8 linear = pack::from_tiled(fm);
         flat.assign(linear.data(), linear.data() + linear.size());
         is_flat = true;
         break;
       }
-      case nn::LayerKind::kFullyConnected:
-        TSCA_CHECK(is_flat, "fc before flatten");
-        flat = nn::fc_i8(flat, model.weights.fc[i], model.weights.fc_bias[i],
-                         spec.fc.out_dim, model.weights.fc_requant[i]);
+      case NetworkProgram::Step::Exec::kFc: {
+        const FcProgram& fc = program.fc(step.fc);
+        flat = nn::fc_i8(flat, fc.weights, fc.bias, fc.out_dim, fc.rq);
         break;
-      case nn::LayerKind::kSoftmax:
+      }
+      case NetworkProgram::Step::Exec::kSoftmax:
         break;  // host-side, float domain; logits pass through
     }
     if (options_.keep_activations && !is_flat)
@@ -537,6 +572,16 @@ NetworkRun Runtime::run_network(const nn::Network& net,
   else
     result.final_fm = pack::from_tiled(fm);
   return result;
+}
+
+NetworkRun Runtime::run_network(const nn::Network& net,
+                                const quant::QuantizedModel& model,
+                                const nn::FeatureMapI8& input) {
+  ProgramOptions popts;
+  popts.fuse_pad_conv = options_.fuse_pad_conv;
+  const NetworkProgram program =
+      NetworkProgram::compile(net, model, acc_.config(), popts);
+  return run_network(program, input);
 }
 
 }  // namespace tsca::driver

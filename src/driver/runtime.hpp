@@ -18,12 +18,17 @@
 
 #include "core/accelerator.hpp"
 #include "driver/compiler.hpp"
+#include "driver/program.hpp"
 #include "nn/network.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "pack/tile.hpp"
 #include "quant/quantize.hpp"
 #include "sim/dma.hpp"
+
+namespace tsca::driver {
+struct ExecCtx;
+}
 
 namespace tsca::driver {
 
@@ -89,21 +94,84 @@ class Runtime {
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
 
-  // Executes one convolution over an already-padded input feature map.
-  // Returns the output map; fills `run` with statistics.  Virtual: the
-  // pool runtime (pool_runtime.hpp) dispatches the stripes onto worker
-  // threads instead of the serial loop here.
+  // --- Program execution (primary path) -------------------------------
+  //
+  // These entry points consume precompiled artifacts (driver/program.hpp):
+  // no packing, planning, or fusion decisions happen on the request path.
+  // Virtual: the pool runtime (pool_runtime.hpp) dispatches the stripes
+  // onto worker threads instead of the serial loops here.
+
+  // Executes one compiled convolution over an already-padded input feature
+  // map.  Returns the output map; fills `run` with statistics.
   virtual pack::TiledFm run_conv(const pack::TiledFm& input,
-                                 const pack::PackedFilters& packed,
-                                 const std::vector<std::int32_t>& bias,
-                                 const nn::Requant& rq, LayerRun& run);
+                                 const ConvProgram& conv, LayerRun& run);
+
+  // Executes a planned PAD or POOL layer.
+  virtual pack::TiledFm run_pad_pool(const pack::TiledFm& input,
+                                     const PoolPlan& plan, LayerRun& run);
+
+  // Batched convolution: one striping/chunking plan, weights staged once per
+  // chunk and reused across all images (the embedded-inference batching the
+  // paper's driver would do for throughput workloads).  Statistics in `run`
+  // cover the whole batch.
+  virtual std::vector<pack::TiledFm> run_conv_batch(
+      const std::vector<pack::TiledFm>& inputs, const ConvProgram& conv,
+      LayerRun& run);
+
+  // Executes a compiled FC-as-1x1-conv layer (compile_fc_conv) and returns
+  // the logits.
+  std::vector<std::int8_t> run_fc_as_conv(const std::vector<std::int8_t>& input,
+                                          const ConvProgram& fc_conv,
+                                          LayerRun& run);
+
+  // Executes PAD and the following convolution as one instruction batch with
+  // the padded map living only on chip, against a layout proved to fit by
+  // plan_fused_pad_conv (`conv.plan` is unused — fused layers are unstriped).
+  void run_fused_pad_conv(const pack::TiledFm& input, const ConvProgram& conv,
+                          const FusedPadConvLayout& layout,
+                          pack::TiledFm& output, LayerRun& pad_run,
+                          LayerRun& conv_run);
+
+  // Executes a compiled network: pad/conv/pool on the accelerator, flatten/
+  // FC/softmax on the host.  Stages the program's weight image into DDR on
+  // first use (ensure_program_staged); any number of executions share the
+  // same const program.
+  NetworkRun run_network(const NetworkProgram& program,
+                         const nn::FeatureMapI8& input);
+
+  // Makes `program`'s weight image resident in this runtime's DDR (a host
+  // write — no DMA statistics), so weight chunks DMA straight from it.
+  // No-op when already resident.  The pool runtime stages every worker
+  // context.
+  virtual void ensure_program_staged(const NetworkProgram& program);
+
+  // Marks a program image some other runtime already wrote to this DDR as
+  // resident (PoolRuntime::serve hands staged contexts to per-request serial
+  // runtimes this way, so requests never re-write the image).
+  void adopt_staged_program(std::uint64_t stamp, std::uint64_t ddr_floor);
+
+  // --- Compile-on-the-fly wrappers (back compat) ----------------------
+  //
+  // Same signatures the runtime exposed before the compile/execute split;
+  // each compiles the per-layer artifact and delegates to the program
+  // overloads above (so pool dispatch still applies).  Bit-identical
+  // statistics: compilation performs no simulated work.
+
+  pack::TiledFm run_conv(const pack::TiledFm& input,
+                         const pack::PackedFilters& packed,
+                         const std::vector<std::int32_t>& bias,
+                         const nn::Requant& rq, LayerRun& run);
 
   // Executes a PAD (win=1, stride=1, offset=−pad) or POOL layer.
-  virtual pack::TiledFm run_pad_pool(const pack::TiledFm& input,
-                                     core::Opcode op,
-                                     const nn::FmShape& out_shape, int win,
-                                     int stride, int offset_y, int offset_x,
-                                     LayerRun& run);
+  pack::TiledFm run_pad_pool(const pack::TiledFm& input, core::Opcode op,
+                             const nn::FmShape& out_shape, int win, int stride,
+                             int offset_y, int offset_x, LayerRun& run);
+
+  std::vector<pack::TiledFm> run_conv_batch(
+      const std::vector<pack::TiledFm>& inputs,
+      const pack::PackedFilters& packed,
+      const std::vector<std::int32_t>& bias, const nn::Requant& rq,
+      LayerRun& run);
 
   // Lowers a fully-connected layer to a 1x1 convolution over a 1x1 feature
   // map (in_dim channels -> out_dim channels) and runs it on the
@@ -117,30 +185,19 @@ class Runtime {
       const std::vector<std::int32_t>& bias, int out_dim,
       const nn::Requant& rq, LayerRun& run);
 
-  // Executes PAD and the following convolution as one instruction batch with
-  // the padded map living only on chip.  Requires everything to fit without
-  // striping; returns false (doing nothing) otherwise.
+  // Fit-checks the fusion and executes it; returns false (doing nothing)
+  // when PAD + CONV do not fit on chip unstriped.
   bool run_fused_pad_conv(const pack::TiledFm& input, const nn::Padding& pad,
                           const pack::PackedFilters& packed,
                           const std::vector<std::int32_t>& bias,
                           const nn::Requant& rq, pack::TiledFm& output,
                           LayerRun& pad_run, LayerRun& conv_run);
 
-  // Executes a whole network: pad/conv/pool on the accelerator, flatten/FC/
-  // softmax on the host.
+  // Compiles the network (NetworkProgram::compile, honouring
+  // options_.fuse_pad_conv) and executes it once.
   NetworkRun run_network(const nn::Network& net,
                          const quant::QuantizedModel& model,
                          const nn::FeatureMapI8& input);
-
-  // Batched convolution: one striping/chunking plan, weights staged once per
-  // chunk and reused across all images (the embedded-inference batching the
-  // paper's driver would do for throughput workloads).  Statistics in `run`
-  // cover the whole batch.
-  virtual std::vector<pack::TiledFm> run_conv_batch(
-      const std::vector<pack::TiledFm>& inputs,
-      const pack::PackedFilters& packed,
-      const std::vector<std::int32_t>& bias, const nn::Requant& rq,
-      LayerRun& run);
 
   // Simulated-cycle timeline position for tracing: each accelerator layer
   // advances it by the layer's cycles, so successive layer spans lay end to
@@ -162,12 +219,21 @@ class Runtime {
   // "<scope>layers" track, bumps the metrics registry, and advances the
   // trace clock.  Called by every accelerator-layer entry point.
   void finish_layer(const LayerRun& run);
+  // Execution context over this runtime's accelerator/DDR/DMA, residency
+  // fields included.
+  ExecCtx exec_ctx();
   core::Accelerator& acc_;
   sim::Dram& dram_;
   sim::DmaEngine& dma_;
   RuntimeOptions options_;
   std::uint64_t ddr_cursor_ = 0;  // bump allocator for staging buffers
   std::uint64_t trace_clock_ = 0;
+  // Program residency in dram_ (see ExecCtx): stamp of the resident
+  // NetworkProgram image (0 = none), its base address, and the first byte
+  // the bump allocator may use.
+  std::uint64_t resident_stamp_ = 0;
+  std::uint64_t program_base_ = 0;
+  std::uint64_t ddr_floor_ = 0;
 };
 
 // Stripe (de)serialization between tiled feature maps and bank images:

@@ -65,8 +65,10 @@ core::BatchStats run_batch_traced(ExecCtx& ctx,
 void stage_to_bank(ExecCtx& ctx, sim::SramBank& bank, int word_addr,
                    const std::vector<std::uint8_t>& bytes, bool count_stats) {
   if (bytes.empty()) return;
-  if (ctx.ddr_cursor + bytes.size() > ctx.dram.size()) ctx.ddr_cursor = 0;
-  TSCA_CHECK(bytes.size() <= ctx.dram.size(), "stripe larger than DDR");
+  if (ctx.ddr_cursor + bytes.size() > ctx.dram.size())
+    ctx.ddr_cursor = ctx.ddr_floor;
+  TSCA_CHECK(ctx.ddr_floor + bytes.size() <= ctx.dram.size(),
+             "stripe larger than DDR");
   ctx.dram.write(ctx.ddr_cursor, bytes.data(), bytes.size());
   ctx.dma.to_bank(bank, word_addr, ctx.ddr_cursor, bytes.size(), count_stats);
   ctx.ddr_cursor += bytes.size();
@@ -78,7 +80,10 @@ std::vector<std::uint8_t> stage_from_bank(ExecCtx& ctx,
   std::vector<std::uint8_t> bytes(
       static_cast<std::size_t>(words) * sim::kWordBytes);
   if (bytes.empty()) return bytes;
-  if (ctx.ddr_cursor + bytes.size() > ctx.dram.size()) ctx.ddr_cursor = 0;
+  if (ctx.ddr_cursor + bytes.size() > ctx.dram.size())
+    ctx.ddr_cursor = ctx.ddr_floor;
+  TSCA_CHECK(ctx.ddr_floor + bytes.size() <= ctx.dram.size(),
+             "stripe larger than DDR");
   ctx.dma.to_dram(bank, word_addr, ctx.ddr_cursor, bytes.size());
   ctx.dram.read(ctx.ddr_cursor, bytes.data(), bytes.size());
   ctx.ddr_cursor += bytes.size();
@@ -86,20 +91,31 @@ std::vector<std::uint8_t> stage_from_bank(ExecCtx& ctx,
 }
 
 std::vector<core::Instruction> stage_chunk_weights(
-    ExecCtx& ctx, const ConvPlan& plan, const ConvStripe& stripe,
-    const ConvStripe::Chunk& chunk, const WeightImage& wimg,
-    const std::vector<std::int32_t>& bias, const nn::Requant& rq,
-    bool count_stats) {
+    ExecCtx& ctx, const ConvProgram& conv, const ConvStripe& stripe,
+    const ConvStripe::Chunk& chunk, bool count_stats) {
   const core::ArchConfig& cfg = ctx.acc.config();
+  const WeightImage& wimg = conv.wimg;
+  // A resident program image serves the streams in place: the same transfer
+  // (same byte count) as the staged path, minus the per-call DDR rewrite.
+  const bool resident =
+      conv.owner != 0 && conv.owner == ctx.resident_stamp;
   std::vector<core::Instruction> instrs;
-  int base = plan.weight_base;
+  int base = conv.plan.weight_base;
   for (int k = 0; k < chunk.count; ++k) {
     const int g = chunk.g0 + k;
-    for (int lane = 0; lane < cfg.lanes; ++lane)
-      stage_to_bank(ctx, ctx.acc.bank(lane), base, wimg.bytes(g, lane),
-                    count_stats);
-    instrs.push_back(core::Instruction::make_conv(
-        make_conv_instr(plan, stripe, g, base, wimg, bias, rq, cfg.group)));
+    for (int lane = 0; lane < cfg.lanes; ++lane) {
+      const std::vector<std::uint8_t>& bytes = wimg.bytes(g, lane);
+      if (bytes.empty()) continue;
+      if (resident) {
+        ctx.dma.to_bank(ctx.acc.bank(lane), base,
+                        ctx.program_base + conv.stream_ddr_offset(g, lane),
+                        bytes.size(), count_stats);
+      } else {
+        stage_to_bank(ctx, ctx.acc.bank(lane), base, bytes, count_stats);
+      }
+    }
+    instrs.push_back(core::Instruction::make_conv(make_conv_instr(
+        conv.plan, stripe, g, base, wimg, conv.bias, conv.rq, cfg.group)));
     base += wimg.aligned_words(g);
   }
   return instrs;
@@ -114,13 +130,12 @@ void account_chunk_weights(sim::DmaEngine& dma, const ConvStripe::Chunk& chunk,
   }
 }
 
-StripeOutcome exec_conv_stripe(ExecCtx& ctx, const ConvPlan& plan,
+StripeOutcome exec_conv_stripe(ExecCtx& ctx, const ConvProgram& conv,
                                const ConvStripe& stripe,
-                               const WeightImage& wimg,
                                const pack::TiledFm& input,
-                               const std::vector<std::int32_t>& bias,
-                               const nn::Requant& rq, pack::TiledFm& output) {
+                               pack::TiledFm& output) {
   const core::ArchConfig& cfg = ctx.acc.config();
+  const ConvPlan& plan = conv.plan;
   StripeOutcome out;
   const std::uint64_t trace_begin =
       ctx.trace != nullptr ? ctx.trace->now() : 0;
@@ -131,7 +146,7 @@ StripeOutcome exec_conv_stripe(ExecCtx& ctx, const ConvPlan& plan,
                                     stripe.in_tile_row0, stripe.in_tile_rows));
   for (const ConvStripe::Chunk& chunk : stripe.chunks) {
     const std::vector<core::Instruction> instrs =
-        stage_chunk_weights(ctx, plan, stripe, chunk, wimg, bias, rq);
+        stage_chunk_weights(ctx, conv, stripe, chunk);
     const core::BatchStats stats = run_batch_traced(ctx, instrs, "conv chunk");
     out.cycles += stats.cycles;
     ++out.batches;
@@ -187,11 +202,12 @@ StripeOutcome exec_pool_stripe(ExecCtx& ctx, const PoolPlan& plan,
 }
 
 StripeOutcome exec_batch_image_chunk(
-    ExecCtx& ctx, const ConvPlan& plan, const ConvStripe& stripe,
+    ExecCtx& ctx, const ConvProgram& conv, const ConvStripe& stripe,
     const ConvStripe::Chunk& chunk,
     const std::vector<core::Instruction>& instrs, const pack::TiledFm& input,
     pack::TiledFm& output) {
   const core::ArchConfig& cfg = ctx.acc.config();
+  const ConvPlan& plan = conv.plan;
   StripeOutcome out;
   for (int lane = 0; lane < cfg.lanes; ++lane)
     stage_to_bank(ctx, ctx.acc.bank(lane), plan.ifm_base,

@@ -14,6 +14,7 @@
 
 #include "core/accelerator.hpp"
 #include "driver/compiler.hpp"
+#include "driver/program.hpp"
 #include "obs/trace.hpp"
 #include "pack/tile.hpp"
 #include "sim/dma.hpp"
@@ -34,6 +35,15 @@ struct ExecCtx {
   // "<track name>/<kernel>".
   obs::Track* trace = nullptr;
   bool trace_kernels = false;
+  // DDR residency of a NetworkProgram's weight image in this context:
+  // `resident_stamp` names the program (0 = none) whose image lives at
+  // [program_base, program_base + image size); stage_chunk_weights DMAs a
+  // matching layer's streams straight from it instead of re-writing DDR.
+  // The staging bump allocator wraps to `ddr_floor` (the first byte past the
+  // resident image) instead of 0 so staging never clobbers the image.
+  std::uint64_t resident_stamp = 0;
+  std::uint64_t program_base = 0;
+  std::uint64_t ddr_floor = 0;
 };
 
 // DMA helpers: stage bytes through DDR into a bank region and back.
@@ -58,14 +68,15 @@ core::BatchStats run_batch_traced(ExecCtx& ctx,
                                   const char* label);
 
 // Stages one weight chunk's per-(group, lane) streams at lane-aligned bases
-// and builds the chunk's CONV instructions.  `count_stats = false` replicates
-// weights without DMA accounting (pooled batch path: the modelled hardware
-// stages each chunk once, see account_chunk_weights).
+// and builds the chunk's CONV instructions.  When the conv layer's owning
+// program image is resident in the context's DDR the streams are DMA'd from
+// it in place (same transfers, same bytes — identical statistics); otherwise
+// they are staged through the bump allocator.  `count_stats = false`
+// replicates weights without DMA accounting (pooled batch path: the modelled
+// hardware stages each chunk once, see account_chunk_weights).
 std::vector<core::Instruction> stage_chunk_weights(
-    ExecCtx& ctx, const ConvPlan& plan, const ConvStripe& stripe,
-    const ConvStripe::Chunk& chunk, const WeightImage& wimg,
-    const std::vector<std::int32_t>& bias, const nn::Requant& rq,
-    bool count_stats = true);
+    ExecCtx& ctx, const ConvProgram& conv, const ConvStripe& stripe,
+    const ConvStripe::Chunk& chunk, bool count_stats = true);
 
 // Stats-only twin of stage_chunk_weights(count_stats = true): accounts the
 // chunk's weight-staging DMA exactly once, with the same per-stream transfer
@@ -77,12 +88,10 @@ void account_chunk_weights(sim::DmaEngine& dma, const ConvStripe::Chunk& chunk,
 // into every bank, runs every weight chunk as an instruction batch, and reads
 // the OFM stripe back into `output` (disjoint tile rows per stripe, so
 // concurrent stripes never touch the same tiles).
-StripeOutcome exec_conv_stripe(ExecCtx& ctx, const ConvPlan& plan,
+StripeOutcome exec_conv_stripe(ExecCtx& ctx, const ConvProgram& conv,
                                const ConvStripe& stripe,
-                               const WeightImage& wimg,
                                const pack::TiledFm& input,
-                               const std::vector<std::int32_t>& bias,
-                               const nn::Requant& rq, pack::TiledFm& output);
+                               pack::TiledFm& output);
 
 // Executes one PAD/POOL stripe end to end.
 StripeOutcome exec_pool_stripe(ExecCtx& ctx, const PoolPlan& plan,
@@ -93,7 +102,7 @@ StripeOutcome exec_pool_stripe(ExecCtx& ctx, const PoolPlan& plan,
 // Batched convolution: runs one image through one (stripe, chunk) whose
 // weights are already staged (instrs from stage_chunk_weights), reading back
 // only the chunk's output-channel slots.
-StripeOutcome exec_batch_image_chunk(ExecCtx& ctx, const ConvPlan& plan,
+StripeOutcome exec_batch_image_chunk(ExecCtx& ctx, const ConvProgram& conv,
                                      const ConvStripe& stripe,
                                      const ConvStripe::Chunk& chunk,
                                      const std::vector<core::Instruction>& instrs,

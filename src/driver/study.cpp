@@ -73,6 +73,14 @@ StudyNetwork build_study_network(const StudyOptions& options) {
   return study;
 }
 
+ConvProgram compile_study_conv(const core::ArchConfig& cfg,
+                               const StudyLayer& layer) {
+  const std::vector<std::int32_t> bias(
+      static_cast<std::size_t>(layer.packed.shape().oc), 0);
+  return compile_conv(cfg, layer.padded_in, layer.packed, bias,
+                      nn::Requant{.shift = 7, .relu = true});
+}
+
 VariantResult evaluate_variant(const core::ArchConfig& cfg,
                                const StudyNetwork& network) {
   const PerfModel model(cfg);

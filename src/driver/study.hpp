@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "driver/perf_model.hpp"
+#include "driver/program.hpp"
 #include "nn/vgg16.hpp"
 #include "pack/weight_pack.hpp"
 #include "quant/prune.hpp"
@@ -59,6 +60,12 @@ struct StudyOptions {
 // Builds VGG-16 with deterministic synthetic weights, optionally pruned,
 // quantized and packed.
 StudyNetwork build_study_network(const StudyOptions& options);
+
+// Compiles one study layer into an executable ConvProgram (zero bias,
+// shift-7 ReLU requant — the study's synthetic epilogue), reusing the same
+// weight image / stripe plan machinery as full-network programs.
+ConvProgram compile_study_conv(const core::ArchConfig& cfg,
+                               const StudyLayer& layer);
 
 // Per-layer evaluation of one architecture variant.
 struct LayerResult {

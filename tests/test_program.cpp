@@ -1,0 +1,406 @@
+// NetworkProgram compile/execute split: compiling once and executing many
+// times — serially or across pool workers sharing one const program — must be
+// bit-identical to the seed's compile-per-request path in outputs, cycle
+// counts, hardware counters, and DMA statistics.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/accelerator.hpp"
+#include "driver/accelerator_pool.hpp"
+#include "driver/pool_runtime.hpp"
+#include "driver/program.hpp"
+#include "driver/runtime.hpp"
+#include "nn/vgg16.hpp"
+#include "pack/weight_pack.hpp"
+#include "quant/prune.hpp"
+#include "quant/quantize.hpp"
+#include "util/rng.hpp"
+
+namespace tsca {
+namespace {
+
+nn::FeatureMapI8 random_fm(nn::FmShape shape, Rng& rng) {
+  nn::FeatureMapI8 fm(shape);
+  for (std::size_t i = 0; i < fm.size(); ++i)
+    fm.data()[i] = static_cast<std::int8_t>(rng.next_int(-40, 40));
+  return fm;
+}
+
+nn::FilterBankI8 random_filters(nn::FilterShape shape, double density,
+                                Rng& rng) {
+  nn::FilterBankI8 bank(shape);
+  for (std::size_t i = 0; i < bank.size(); ++i)
+    if (rng.next_double() < density)
+      bank.data()[i] = static_cast<std::int8_t>(rng.next_int(-15, 15));
+  return bank;
+}
+
+void expect_same_run(const driver::LayerRun& a, const driver::LayerRun& b) {
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.stripes, b.stripes);
+  EXPECT_EQ(a.batches, b.batches);
+  EXPECT_EQ(a.macs, b.macs);
+  EXPECT_EQ(a.counters, b.counters);
+  EXPECT_EQ(a.dma, b.dma);
+}
+
+void expect_same_network_run(const driver::NetworkRun& a,
+                             const driver::NetworkRun& b) {
+  EXPECT_EQ(a.flat_output, b.flat_output);
+  EXPECT_EQ(a.logits, b.logits);
+  ASSERT_EQ(a.layers.size(), b.layers.size());
+  for (std::size_t l = 0; l < a.layers.size(); ++l) {
+    SCOPED_TRACE("layer " + a.layers[l].name);
+    EXPECT_EQ(a.layers[l].name, b.layers[l].name);
+    EXPECT_EQ(a.layers[l].kind, b.layers[l].kind);
+    expect_same_run(a.layers[l], b.layers[l]);
+  }
+}
+
+core::ArchConfig striped_config(int instances = 1) {
+  core::ArchConfig cfg = core::ArchConfig::k256_opt();
+  cfg.bank_words = 128;  // small banks force stripes + weight chunks
+  cfg.instances = instances;
+  return cfg;
+}
+
+struct Vgg16Fixture {
+  explicit Vgg16Fixture(std::uint64_t seed) : rng(seed) {
+    net = nn::build_vgg16(
+        {.input_extent = 32, .channel_divisor = 16, .num_classes = 10});
+    nn::WeightsF weights = nn::init_random_weights(net, rng);
+    quant::prune_weights(net, weights, quant::vgg16_han_profile());
+    nn::FeatureMapF calib(net.input_shape());
+    for (std::size_t i = 0; i < calib.size(); ++i)
+      calib.data()[i] = static_cast<float>(rng.next_gaussian() * 0.4);
+    model = quant::quantize_network(net, weights, {calib});
+  }
+
+  Rng rng;
+  nn::Network net{nn::FmShape{}};
+  quant::QuantizedModel model;
+};
+
+// The compiled step list mirrors the network: every layer is covered exactly
+// once, fused steps consume the pad and the following conv, and disabling
+// fusion removes every fused step.
+TEST(Program, CompileResolvesStepsAndFusion) {
+  Vgg16Fixture fx(301);
+  const core::ArchConfig cfg = core::ArchConfig::k256_opt();
+
+  const driver::NetworkProgram fused =
+      driver::NetworkProgram::compile(fx.net, fx.model, cfg);
+  std::size_t covered = 0;
+  bool any_fused = false;
+  for (const driver::NetworkProgram::Step& step : fused.steps()) {
+    EXPECT_EQ(step.layer, covered);
+    if (step.exec == driver::NetworkProgram::Step::Exec::kFusedPadConv) {
+      any_fused = true;
+      EXPECT_GE(step.conv, 0);
+      EXPECT_GE(step.fused, 0);
+      // Fused layers carry no striped plan; striped layers always do.
+      EXPECT_TRUE(fused.conv(step.conv).plan.stripes.empty());
+      covered += 2;
+    } else {
+      if (step.exec == driver::NetworkProgram::Step::Exec::kConv)
+        EXPECT_FALSE(fused.conv(step.conv).plan.stripes.empty());
+      covered += 1;
+    }
+  }
+  EXPECT_EQ(covered, fx.net.layers().size());
+  EXPECT_TRUE(any_fused) << "VGG16 pad+conv layers should fuse on 256-opt";
+  EXPECT_FALSE(fused.ddr_image().empty());
+  EXPECT_NE(fused.stamp(), 0u);
+
+  const driver::NetworkProgram unfused = driver::NetworkProgram::compile(
+      fx.net, fx.model, cfg, {.fuse_pad_conv = false});
+  for (const driver::NetworkProgram::Step& step : unfused.steps())
+    EXPECT_NE(step.exec, driver::NetworkProgram::Step::Exec::kFusedPadConv);
+  EXPECT_NE(unfused.stamp(), fused.stamp());
+}
+
+// Compile once, execute N requests on one runtime: every request is
+// bit-identical to a fresh-compile-per-request run on a fresh runtime (the
+// seed's only path).
+TEST(Program, CompileOnceExecuteManyMatchesFreshCompile) {
+  Vgg16Fixture fx(302);
+  const core::ArchConfig cfg = core::ArchConfig::k256_opt();
+  const driver::RuntimeOptions options{.mode = hls::Mode::kCycle};
+
+  constexpr int kRequests = 3;
+  std::vector<nn::FeatureMapI8> inputs;
+  for (int i = 0; i < kRequests; ++i)
+    inputs.push_back(random_fm(fx.net.input_shape(), fx.rng));
+
+  std::vector<driver::NetworkRun> baseline;
+  for (const nn::FeatureMapI8& input : inputs) {
+    core::Accelerator acc(cfg);
+    sim::Dram dram(64u << 20);
+    sim::DmaEngine dma(dram);
+    driver::Runtime runtime(acc, dram, dma, options);
+    baseline.push_back(runtime.run_network(fx.net, fx.model, input));
+  }
+
+  const driver::NetworkProgram program =
+      driver::NetworkProgram::compile(fx.net, fx.model, cfg);
+  core::Accelerator acc(cfg);
+  sim::Dram dram(64u << 20);
+  sim::DmaEngine dma(dram);
+  driver::Runtime runtime(acc, dram, dma, options);
+  for (int i = 0; i < kRequests; ++i) {
+    SCOPED_TRACE("request " + std::to_string(i));
+    const driver::NetworkRun run = runtime.run_network(program, inputs[i]);
+    expect_same_network_run(baseline[static_cast<std::size_t>(i)], run);
+  }
+}
+
+// Alternating two programs on one runtime re-stages the weight image each
+// switch and still matches fresh-runtime baselines for both networks.
+TEST(Program, RestagesWhenProgramsAlternate) {
+  Vgg16Fixture fx(303);
+  const core::ArchConfig cfg = core::ArchConfig::k256_opt();
+  const driver::RuntimeOptions options{.mode = hls::Mode::kCycle};
+  const nn::FeatureMapI8 input = random_fm(fx.net.input_shape(), fx.rng);
+
+  const driver::NetworkProgram fused =
+      driver::NetworkProgram::compile(fx.net, fx.model, cfg);
+  const driver::NetworkProgram unfused = driver::NetworkProgram::compile(
+      fx.net, fx.model, cfg, {.fuse_pad_conv = false});
+
+  driver::NetworkRun base_fused, base_unfused;
+  {
+    core::Accelerator acc(cfg);
+    sim::Dram dram(64u << 20);
+    sim::DmaEngine dma(dram);
+    driver::Runtime runtime(acc, dram, dma, options);
+    base_fused = runtime.run_network(fused, input);
+  }
+  {
+    core::Accelerator acc(cfg);
+    sim::Dram dram(64u << 20);
+    sim::DmaEngine dma(dram);
+    driver::Runtime runtime(acc, dram, dma, options);
+    base_unfused = runtime.run_network(unfused, input);
+  }
+
+  core::Accelerator acc(cfg);
+  sim::Dram dram(64u << 20);
+  sim::DmaEngine dma(dram);
+  driver::Runtime runtime(acc, dram, dma, options);
+  expect_same_network_run(base_fused, runtime.run_network(fused, input));
+  expect_same_network_run(base_unfused, runtime.run_network(unfused, input));
+  expect_same_network_run(base_fused, runtime.run_network(fused, input));
+}
+
+// The packed-filters wrapper and a precompiled ConvProgram produce identical
+// results — including on a striped plan with weight chunks.
+TEST(Program, ConvOverloadsMatch) {
+  Rng rng(304);
+  const pack::TiledFm input = pack::to_tiled(random_fm({16, 28, 28}, rng));
+  const pack::PackedFilters packed =
+      pack::pack_filters(random_filters({16, 16, 3, 3}, 0.5, rng));
+  const std::vector<std::int32_t> bias(16, -4);
+  const nn::Requant rq{.shift = 6, .relu = true};
+  const core::ArchConfig cfg = striped_config();
+
+  driver::LayerRun legacy_run;
+  pack::TiledFm legacy_out;
+  {
+    core::Accelerator acc(cfg);
+    sim::Dram dram(32u << 20);
+    sim::DmaEngine dma(dram);
+    driver::Runtime runtime(acc, dram, dma, {.mode = hls::Mode::kCycle});
+    legacy_out = runtime.run_conv(input, packed, bias, rq, legacy_run);
+  }
+
+  const driver::ConvProgram conv =
+      driver::compile_conv(cfg, input.shape(), packed, bias, rq);
+  core::Accelerator acc(cfg);
+  sim::Dram dram(32u << 20);
+  sim::DmaEngine dma(dram);
+  driver::Runtime runtime(acc, dram, dma, {.mode = hls::Mode::kCycle});
+  for (int rep = 0; rep < 2; ++rep) {
+    SCOPED_TRACE("rep " + std::to_string(rep));
+    driver::LayerRun run;
+    EXPECT_EQ(legacy_out, runtime.run_conv(input, conv, run));
+    expect_same_run(legacy_run, run);
+  }
+}
+
+// Batched convolution through a precompiled program matches the wrapper.
+TEST(Program, ConvBatchOverloadsMatch) {
+  Rng rng(305);
+  std::vector<pack::TiledFm> images;
+  for (int i = 0; i < 4; ++i)
+    images.push_back(pack::to_tiled(random_fm({16, 28, 28}, rng)));
+  const pack::PackedFilters packed =
+      pack::pack_filters(random_filters({16, 16, 3, 3}, 0.5, rng));
+  const std::vector<std::int32_t> bias(16, 3);
+  const nn::Requant rq{.shift = 6, .relu = true};
+  const core::ArchConfig cfg = striped_config();
+
+  driver::LayerRun legacy_run;
+  std::vector<pack::TiledFm> legacy_out;
+  {
+    core::Accelerator acc(cfg);
+    sim::Dram dram(32u << 20);
+    sim::DmaEngine dma(dram);
+    driver::Runtime runtime(acc, dram, dma, {.mode = hls::Mode::kCycle});
+    legacy_out = runtime.run_conv_batch(images, packed, bias, rq, legacy_run);
+  }
+
+  const driver::ConvProgram conv =
+      driver::compile_conv(cfg, images.front().shape(), packed, bias, rq);
+  core::Accelerator acc(cfg);
+  sim::Dram dram(32u << 20);
+  sim::DmaEngine dma(dram);
+  driver::Runtime runtime(acc, dram, dma, {.mode = hls::Mode::kCycle});
+  driver::LayerRun run;
+  EXPECT_EQ(legacy_out, runtime.run_conv_batch(images, conv, run));
+  expect_same_run(legacy_run, run);
+}
+
+// FC lowering through compile_fc_conv matches the raw-weights wrapper.
+TEST(Program, FcAsConvOverloadsMatch) {
+  Rng rng(306);
+  constexpr int kIn = 64, kOut = 10;
+  std::vector<std::int8_t> input(kIn), weights(kIn * kOut);
+  for (auto& v : input) v = static_cast<std::int8_t>(rng.next_int(-40, 40));
+  for (auto& v : weights) v = static_cast<std::int8_t>(rng.next_int(-15, 15));
+  const std::vector<std::int32_t> bias(kOut, 2);
+  const nn::Requant rq{.shift = 7, .relu = false};
+  const core::ArchConfig cfg = core::ArchConfig::k256_opt();
+
+  driver::LayerRun legacy_run;
+  std::vector<std::int8_t> legacy_logits;
+  {
+    core::Accelerator acc(cfg);
+    sim::Dram dram(32u << 20);
+    sim::DmaEngine dma(dram);
+    driver::Runtime runtime(acc, dram, dma, {.mode = hls::Mode::kCycle});
+    legacy_logits =
+        runtime.run_fc_as_conv(input, weights, bias, kOut, rq, legacy_run);
+  }
+
+  const driver::ConvProgram fc_conv =
+      driver::compile_fc_conv(cfg, kIn, kOut, weights, bias, rq);
+  core::Accelerator acc(cfg);
+  sim::Dram dram(32u << 20);
+  sim::DmaEngine dma(dram);
+  driver::Runtime runtime(acc, dram, dma, {.mode = hls::Mode::kCycle});
+  driver::LayerRun run;
+  EXPECT_EQ(legacy_logits, runtime.run_fc_as_conv(input, fc_conv, run));
+  expect_same_run(legacy_run, run);
+}
+
+// The compile-time fusion decision matches what the run-time fit check
+// decides for the same shapes and config.
+TEST(Program, FusionDecisionMatchesRuntimeCheck) {
+  Rng rng(307);
+  const core::ArchConfig big = core::ArchConfig::k256_opt();
+  core::ArchConfig small = big;
+  small.bank_words = 128;
+
+  const pack::TiledFm input = pack::to_tiled(random_fm({16, 14, 14}, rng));
+  const pack::PackedFilters packed =
+      pack::pack_filters(random_filters({16, 16, 3, 3}, 0.5, rng));
+  const nn::Padding pad{1, 1, 1, 1};
+
+  for (const core::ArchConfig& cfg : {big, small}) {
+    const driver::WeightImage wimg(packed, cfg.lanes, cfg.group);
+    const bool planned =
+        driver::plan_fused_pad_conv(cfg, input.shape(), pad, 3, 16, wimg)
+            .has_value();
+
+    core::Accelerator acc(cfg);
+    sim::Dram dram(32u << 20);
+    sim::DmaEngine dma(dram);
+    driver::Runtime runtime(acc, dram, dma, {.mode = hls::Mode::kCycle});
+    driver::LayerRun pad_run, conv_run;
+    pack::TiledFm output;
+    const bool ran = runtime.run_fused_pad_conv(
+        input, pad, packed, std::vector<std::int32_t>(16, 0),
+        nn::Requant{.shift = 6, .relu = true}, output, pad_run, conv_run);
+    EXPECT_EQ(planned, ran) << "bank_words=" << cfg.bank_words;
+  }
+}
+
+// Pool workers share one const NetworkProgram.  Exercised under TSan by the
+// sanitize-thread tier-1 configuration; results stay bit-identical to fresh
+// serial runtimes for every worker count.
+class ProgramPoolWorkers : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProgramPoolWorkers, ServeSharedProgramMatchesSerial) {
+  Vgg16Fixture fx(308);
+  const core::ArchConfig cfg = core::ArchConfig::k256_opt();
+  const driver::RuntimeOptions options{.mode = hls::Mode::kCycle};
+
+  constexpr int kRequests = 6;
+  std::vector<nn::FeatureMapI8> inputs;
+  for (int i = 0; i < kRequests; ++i)
+    inputs.push_back(random_fm(fx.net.input_shape(), fx.rng));
+
+  std::vector<driver::NetworkRun> baseline;
+  for (const nn::FeatureMapI8& input : inputs) {
+    core::Accelerator acc(cfg);
+    sim::Dram dram(64u << 20);
+    sim::DmaEngine dma(dram);
+    driver::Runtime runtime(acc, dram, dma, options);
+    baseline.push_back(runtime.run_network(fx.net, fx.model, input));
+  }
+
+  const driver::NetworkProgram program =
+      driver::NetworkProgram::compile(fx.net, fx.model, cfg);
+  driver::AcceleratorPool pool(cfg, {.workers = GetParam()});
+  driver::PoolRuntime pooled(pool, options);
+  const std::vector<driver::NetworkRun> served = pooled.serve(program, inputs);
+
+  ASSERT_EQ(served.size(), baseline.size());
+  for (int i = 0; i < kRequests; ++i) {
+    SCOPED_TRACE("request " + std::to_string(i));
+    expect_same_network_run(baseline[static_cast<std::size_t>(i)],
+                            served[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST_P(ProgramPoolWorkers, PooledStripedLayersShareProgram) {
+  Rng rng(309);
+  const pack::TiledFm input = pack::to_tiled(random_fm({16, 28, 28}, rng));
+  const pack::PackedFilters packed =
+      pack::pack_filters(random_filters({16, 16, 3, 3}, 0.5, rng));
+  const std::vector<std::int32_t> bias(16, -4);
+  const nn::Requant rq{.shift = 6, .relu = true};
+  const core::ArchConfig cfg = striped_config();
+
+  const driver::ConvProgram conv =
+      driver::compile_conv(cfg, input.shape(), packed, bias, rq);
+
+  driver::LayerRun serial_run;
+  pack::TiledFm serial_out;
+  {
+    core::Accelerator acc(cfg);
+    sim::Dram dram(32u << 20);
+    sim::DmaEngine dma(dram);
+    driver::Runtime runtime(acc, dram, dma, {.mode = hls::Mode::kCycle});
+    serial_out = runtime.run_conv(input, conv, serial_run);
+  }
+
+  driver::AcceleratorPool pool(cfg, {.workers = GetParam()});
+  driver::PoolRuntime pooled(pool, {.mode = hls::Mode::kCycle});
+  driver::LayerRun pooled_run;
+  const pack::TiledFm pooled_out = pooled.run_conv(input, conv, pooled_run);
+
+  EXPECT_GT(serial_run.stripes, 1);
+  EXPECT_EQ(serial_out, pooled_out);
+  expect_same_run(serial_run, pooled_run);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, ProgramPoolWorkers,
+                         ::testing::Values(1, 2, 8), [](const auto& info) {
+                           return "w" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace tsca
