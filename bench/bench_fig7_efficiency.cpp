@@ -29,7 +29,7 @@ void spot_check_cycle_engine(const driver::StudyNetwork& net) {
     core::Accelerator acc(cfg);
     sim::Dram dram(256u << 20);
     sim::DmaEngine dma(dram);
-    driver::Runtime runtime(acc, dram, dma, {.mode = hls::Mode::kCycle});
+    driver::Runtime runtime(acc, dram, dma, {.mode = driver::ExecMode::kCycle});
     Rng rng(5);
     nn::FeatureMapI8 input(layer.padded_in);
     for (std::size_t i = 0; i < input.size(); ++i)

@@ -75,7 +75,7 @@ void BM_CycleEngineConvLayer(benchmark::State& state) {
     core::Accelerator acc(cfg);
     sim::Dram dram(16u << 20);
     sim::DmaEngine dma(dram);
-    driver::Runtime runtime(acc, dram, dma, {.mode = hls::Mode::kCycle});
+    driver::Runtime runtime(acc, dram, dma, {.mode = driver::ExecMode::kCycle});
     driver::LayerRun run;
     auto out = runtime.run_conv(pack::to_tiled(input), packed, bias,
                                 nn::Requant{.shift = 6, .relu = true}, run);

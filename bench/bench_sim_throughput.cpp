@@ -6,15 +6,22 @@
 //             throughput serving scenario); reports images/sec.
 //   stripes — a single network pass with small banks, so each layer's
 //             stripe loop fans out over the workers.
+//   fast    — warm single-worker serving, ExecMode::kFast (the SIMD
+//             functional fast path) vs cycle mode: bit-identical logits
+//             required, reports the per-request latency speedup.
 //
 // Every configuration must simulate the exact same cycles and produce the
 // exact same logits as the serial runtime — the pool buys wall-clock only.
-// Emits BENCH_sim_throughput.json next to the binary.
+// Emits BENCH_sim_throughput.json into the working directory (run it from
+// the repo root).  With --fast, runs only the fast-vs-cycle section.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <thread>
 #include <vector>
+
+#include "core/simd.hpp"
 
 #include "core/accelerator.hpp"
 #include "driver/pool_runtime.hpp"
@@ -79,18 +86,138 @@ struct Measurement {
   std::int64_t lat_max_us = 0;
 };
 
+// Fast-vs-cycle serving comparison: same compiled program, same requests,
+// warm single-worker PoolRuntime per mode.
+struct FastSection {
+  double cycle_p50_us = 0.0;
+  double cycle_p99_us = 0.0;
+  double fast_p50_us = 0.0;
+  double fast_p99_us = 0.0;
+  double speedup_p50 = 0.0;
+  bool ok = false;
+};
+
+FastSection run_fast_section(const Workload& w,
+                             const core::ArchConfig& cfg,
+                             const std::vector<driver::NetworkRun>* reference) {
+  FastSection f;
+  const driver::NetworkProgram program =
+      driver::NetworkProgram::compile(w.net, w.model, cfg);
+
+  auto serve_mode = [&](driver::ExecMode mode, obs::MetricsRegistry& metrics) {
+    driver::AcceleratorPool pool(cfg, {.workers = 1});
+    {
+      // Warm-up request outside the measured set: stages the weight image
+      // and touches every layer once.
+      driver::PoolRuntime warmup(pool, {.mode = mode});
+      warmup.serve(program, {w.inputs.front()});
+    }
+    driver::RuntimeOptions opts{.mode = mode};
+    opts.metrics = &metrics;
+    driver::PoolRuntime runtime(pool, opts);
+    return runtime.serve(program, w.inputs);
+  };
+
+  obs::MetricsRegistry cycle_metrics;
+  obs::MetricsRegistry fast_metrics;
+  const std::vector<driver::NetworkRun> cycle_runs =
+      serve_mode(driver::ExecMode::kCycle, cycle_metrics);
+  const std::vector<driver::NetworkRun> fast_runs =
+      serve_mode(driver::ExecMode::kFast, fast_metrics);
+
+  f.ok = true;
+  for (std::size_t i = 0; i < fast_runs.size(); ++i) {
+    if (fast_runs[i].logits != cycle_runs[i].logits) {
+      std::fprintf(stderr, "FAIL: fast logits diverged on image %zu\n", i);
+      f.ok = false;
+    }
+    if (reference != nullptr &&
+        cycle_runs[i].logits != (*reference)[i].logits) {
+      std::fprintf(stderr,
+                   "FAIL: fast-section cycle serve diverged on image %zu\n",
+                   i);
+      f.ok = false;
+    }
+  }
+  // Every accelerator layer of a fast run must carry a predicted cycle count.
+  for (const driver::LayerRun& lr : fast_runs.front().layers)
+    if (lr.on_accelerator && !lr.cycles_predicted) {
+      std::fprintf(stderr, "FAIL: fast layer %s lacks predicted cycles\n",
+                   lr.name.c_str());
+      f.ok = false;
+    }
+
+  const obs::Histogram& cyc = cycle_metrics.histogram("serve.request_wall_us");
+  const obs::Histogram& fst = fast_metrics.histogram("serve.request_wall_us");
+  f.cycle_p50_us = static_cast<double>(cyc.quantile(0.5));
+  f.cycle_p99_us = static_cast<double>(cyc.quantile(0.99));
+  f.fast_p50_us = static_cast<double>(fst.quantile(0.5));
+  f.fast_p99_us = static_cast<double>(fst.quantile(0.99));
+  f.speedup_p50 =
+      f.fast_p50_us > 0.0 ? f.cycle_p50_us / f.fast_p50_us : 0.0;
+  std::printf("  cycle  p50=%9.0f us  p99=%9.0f us\n", f.cycle_p50_us,
+              f.cycle_p99_us);
+  std::printf("  fast   p50=%9.0f us  p99=%9.0f us  (%s backend)\n",
+              f.fast_p50_us, f.fast_p99_us, core::simd::backend());
+  std::printf("  speedup (p50): %.1fx\n", f.speedup_p50);
+  return f;
+}
+
+void write_fast_json(FILE* out, const FastSection& f) {
+  std::fprintf(out,
+               "  \"fast\": {\"backend\": \"%s\", "
+               "\"cycle_request_us\": {\"p50\": %.1f, \"p99\": %.1f}, "
+               "\"fast_request_us\": {\"p50\": %.1f, \"p99\": %.1f}, "
+               "\"speedup_p50\": %.2f}",
+               core::simd::backend(), f.cycle_p50_us, f.cycle_p99_us,
+               f.fast_p50_us, f.fast_p99_us, f.speedup_p50);
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   constexpr int kImages = 16;
+  constexpr double kRequiredSpeedup = 5.0;
+  bool fast_only = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--fast") == 0) fast_only = true;
   const std::vector<int> kWorkers = {1, 2, 4};
   const unsigned cpus = std::thread::hardware_concurrency();
-  const driver::RuntimeOptions options{.mode = hls::Mode::kCycle};
+  const driver::RuntimeOptions options{.mode = driver::ExecMode::kCycle};
   const Workload w = make_workload(kImages);
   std::printf("host cpus: %u\n", cpus);
   if (cpus < 4)
     std::printf("NOTE: fewer than 4 CPUs; worker threads time-share one "
                 "core, so wall-clock speedup cannot appear here.\n");
+
+  if (fast_only) {
+    std::printf("fast: warm serve latency, fast path vs cycle engine "
+                "(1 worker, %d requests)\n",
+                kImages);
+    const FastSection f =
+        run_fast_section(w, core::ArchConfig::k256_opt(), nullptr);
+    FILE* out = std::fopen("BENCH_sim_throughput.json", "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "FAIL: cannot write BENCH_sim_throughput.json\n");
+      return 1;
+    }
+    std::fprintf(out, "{\n  \"bench\": \"sim_throughput\",\n");
+    std::fprintf(out, "  \"network\": \"vgg16_scaled_32px_div8\",\n");
+    std::fprintf(out, "  \"images\": %d,\n", kImages);
+    std::fprintf(out, "  \"host_cpus\": %u,\n", cpus);
+    std::fprintf(out, "  \"sections\": [\"fast\"],\n");
+    write_fast_json(out, f);
+    std::fprintf(out, "\n}\n");
+    std::fclose(out);
+    std::printf("wrote BENCH_sim_throughput.json\n");
+    if (!f.ok) return 1;
+    if (f.speedup_p50 < kRequiredSpeedup) {
+      std::fprintf(stderr, "FAIL: fast speedup %.1fx below %.0fx\n",
+                   f.speedup_p50, kRequiredSpeedup);
+      return 1;
+    }
+    return 0;
+  }
 
   // --- serve: whole-network request parallelism -------------------------
   std::printf("serve: %d scaled-VGG-16 requests, cycle mode\n", kImages);
@@ -192,6 +319,11 @@ int main() {
   std::printf("\nserve speedup, 4 workers vs 1: %.2fx (deterministic: yes)\n",
               speedup4);
 
+  // --- fast path vs cycle engine ----------------------------------------
+  std::printf("\nfast: warm serve latency, fast path vs cycle engine "
+              "(1 worker)\n");
+  const FastSection fast = run_fast_section(w, serve_cfg, &reference);
+
   // --- compile/execute split: cold vs warm serve ------------------------
   // Cold = NetworkProgram::compile + the first (image-staging-included)
   // request; warm = per-request latency once the program and its weight
@@ -281,6 +413,8 @@ int main() {
                "\"cold_first_request_ms\": %.3f, "
                "\"warm_request_ms\": {\"p50\": %.3f, \"p95\": %.3f}},\n",
                compile_ms, cold_first_ms, warm_p50_ms, warm_p95_ms);
+  write_fast_json(out, fast);
+  std::fprintf(out, ",\n");
   std::fprintf(out, "  \"serial_stripe_s\": %.4f,\n", serial_stripe_s);
   std::fprintf(out, "  \"stripes\": [\n");
   for (std::size_t i = 0; i < stripe_rows.size(); ++i) {
@@ -296,7 +430,13 @@ int main() {
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);
   std::printf("wrote BENCH_sim_throughput.json\n");
-  // Speedup is an environment property: it needs >= 4 cores to show up.
+  if (!fast.ok) return 1;
+  if (fast.speedup_p50 < kRequiredSpeedup) {
+    std::fprintf(stderr, "FAIL: fast speedup %.1fx below %.0fx\n",
+                 fast.speedup_p50, kRequiredSpeedup);
+    return 1;
+  }
+  // Pool speedup is an environment property: it needs >= 4 cores to show up.
   // Determinism failures returned 1 above; a missing speedup on a capable
   // host is the only other failure mode.
   return (cpus < 4 || speedup4 >= 2.0) ? 0 : 2;

@@ -54,7 +54,7 @@ int main(int argc, char** argv) {
   core::Accelerator acc(core::ArchConfig::k256_opt());
   sim::Dram dram(128u << 20);
   sim::DmaEngine dma(dram);
-  driver::Runtime runtime(acc, dram, dma, {.mode = hls::Mode::kCycle});
+  driver::Runtime runtime(acc, dram, dma, {.mode = driver::ExecMode::kCycle});
 
   // Compile every conv layer once up front — packing, weight image, stripe
   // plan — so the batch loop below only stages data and fires instructions.

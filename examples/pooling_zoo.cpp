@@ -27,7 +27,7 @@ int main() {
   core::Accelerator accelerator(core::ArchConfig::k256_opt());
   sim::Dram dram(32u << 20);
   sim::DmaEngine dma(dram);
-  driver::Runtime runtime(accelerator, dram, dma, {.mode = hls::Mode::kCycle});
+  driver::Runtime runtime(accelerator, dram, dma, {.mode = driver::ExecMode::kCycle});
 
   struct Geometry {
     const char* label;

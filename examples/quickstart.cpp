@@ -43,7 +43,7 @@ int main() {
   core::Accelerator accelerator(core::ArchConfig::k256_opt());
   sim::Dram dram(64u << 20);
   sim::DmaEngine dma(dram);
-  driver::Runtime runtime(accelerator, dram, dma, {.mode = hls::Mode::kCycle});
+  driver::Runtime runtime(accelerator, dram, dma, {.mode = driver::ExecMode::kCycle});
 
   driver::LayerRun run;
   const pack::TiledFm out_tiled = runtime.run_conv(

@@ -7,7 +7,10 @@
 // pass a divisor argument to change it (1 = the real network — minutes).
 //
 // Usage: ./build/examples/vgg16_inference [channel_divisor] [--thread]
-//            [--pool[=N]] [--trace FILE] [--metrics]
+//            [--fast] [--pool[=N]] [--trace FILE] [--metrics]
+//   --fast        run the SIMD functional fast path instead of a simulation
+//                 engine: bit-identical outputs, cycle counts predicted by
+//                 the performance model (flagged "predicted" below)
 //   --pool[=N]    run layers through the PoolRuntime with N workers
 //                 (default: hardware concurrency)
 //   --trace FILE  write a Chrome trace_event JSON (chrome://tracing,
@@ -37,13 +40,15 @@ using namespace tsca;
 
 int main(int argc, char** argv) {
   int divisor = 8;
-  hls::Mode mode = hls::Mode::kCycle;
+  driver::ExecMode mode = driver::ExecMode::kCycle;
   int pool_workers = 0;  // 0 = serial Runtime
   const char* trace_path = nullptr;
   bool dump_metrics = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--thread") == 0) {
-      mode = hls::Mode::kThread;
+      mode = driver::ExecMode::kThread;
+    } else if (std::strcmp(argv[i], "--fast") == 0) {
+      mode = driver::ExecMode::kFast;
     } else if (std::strcmp(argv[i], "--pool") == 0) {
       pool_workers = static_cast<int>(std::thread::hardware_concurrency());
       if (pool_workers < 1) pool_workers = 2;
@@ -124,22 +129,28 @@ int main(int argc, char** argv) {
                            .count();
 
   std::uint64_t total_cycles = 0;
+  bool any_predicted = false;
   std::printf("\n%-10s %6s %9s %12s %14s\n", "layer", "kind", "stripes",
               "cycles", "MACs");
   for (const driver::LayerRun& lr : run.layers) {
     if (!lr.on_accelerator) continue;
     total_cycles += lr.cycles;
-    std::printf("%-10s %6s %9d %12llu %14lld\n", lr.name.c_str(),
+    any_predicted = any_predicted || lr.cycles_predicted;
+    std::printf("%-10s %6s %9d %12llu%s %13lld\n", lr.name.c_str(),
                 nn::layer_kind_name(lr.kind), lr.stripes,
                 static_cast<unsigned long long>(lr.cycles),
+                lr.cycles_predicted ? "*" : " ",
                 static_cast<long long>(lr.macs));
   }
+  if (any_predicted)
+    std::printf("(* cycles predicted by the performance model — the fast "
+                "path runs no simulation)\n");
   const double mhz = cfg.clock_mhz;
   std::printf("\naccelerator total: %llu cycles = %.2f ms at %.0f MHz "
               "(simulated in %.1f s, %s mode)\n",
               static_cast<unsigned long long>(total_cycles),
               static_cast<double>(total_cycles) / (mhz * 1e3), mhz, elapsed,
-              mode == hls::Mode::kCycle ? "cycle" : "thread");
+              driver::exec_mode_name(mode));
 
   // Host-side classifier result.
   if (run.flat_output) {

@@ -1,13 +1,16 @@
 #!/usr/bin/env sh
 # Tier-1 gate: build + full test suite, in the default configuration, again
-# instrumented with AddressSanitizer + UBSan, and again with ThreadSanitizer
-# over the concurrency-sensitive suites (worker pool + shared NetworkProgram).
+# instrumented with AddressSanitizer + UBSan, again with ThreadSanitizer
+# over the concurrency-sensitive suites (worker pool + shared NetworkProgram),
+# and again with -DTSCA_SIMD=OFF so the scalar fallback of the fast path is
+# held to the same bit-exactness as the vectorized build.
 # Run from the repo root:
 #
 #   ./scripts/tier1.sh            # all configurations
 #   ./scripts/tier1.sh default    # just the plain build
 #   ./scripts/tier1.sh sanitize   # just the asan/ubsan build
 #   ./scripts/tier1.sh tsan      # just the tsan pool/program build
+#   ./scripts/tier1.sh scalar     # just the TSCA_SIMD=OFF equivalence build
 #
 # Exits non-zero on the first failing build or test.
 set -eu
@@ -37,17 +40,32 @@ run_tsan() {
     -R 'Pool|Program'
 }
 
+# Scalar fast path: the SIMD wrapper compiled with its portable fallback
+# (-DTSCA_SIMD=OFF), run over the suites that compare the fast path against
+# the cycle engine and the int8 reference bit-for-bit.  Catches any case
+# where the vector lanes and the scalar loop could disagree.
+run_scalar() {
+  build_dir=build-scalar
+  echo "=== ${build_dir} (-DTSCA_SIMD=OFF, equivalence suites) ==="
+  cmake -B "${root}/${build_dir}" -S "${root}" -DTSCA_SIMD=OFF
+  cmake --build "${root}/${build_dir}" -j "${jobs}"
+  ctest --test-dir "${root}/${build_dir}" --output-on-failure -j "${jobs}" \
+    -R 'EngineEquivalence|PerfModelDrift|ConvMatrix|Ternary|NetworkE2E|Fastpath'
+}
+
 case "${which}" in
   default) run_config build ;;
   sanitize)
     run_config build-sanitize -DTSCA_SANITIZE=address,undefined ;;
   tsan) run_tsan ;;
+  scalar) run_scalar ;;
   all)
     run_config build
     run_config build-sanitize -DTSCA_SANITIZE=address,undefined
-    run_tsan ;;
+    run_tsan
+    run_scalar ;;
   *)
-    echo "usage: $0 [default|sanitize|tsan|all]" >&2
+    echo "usage: $0 [default|sanitize|tsan|scalar|all]" >&2
     exit 2 ;;
 esac
 echo "tier1: all green"

@@ -1,0 +1,246 @@
+#include "core/fastpath.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "core/poolgen.hpp"
+#include "core/simd.hpp"
+#include "pack/lane_stream.hpp"
+#include "quant/sm8.hpp"
+
+namespace tsca::core {
+
+FastWeightsBuilder::FastWeightsBuilder(int in_channels, int wtiles_y,
+                                       int wtiles_x, int out_channels) {
+  TSCA_CHECK(in_channels > 0 && wtiles_y > 0 && wtiles_x > 0 &&
+             out_channels > 0);
+  fw_.channels = in_channels;
+  fw_.wtiles_y = wtiles_y;
+  fw_.wtiles_x = wtiles_x;
+  fw_.out_channels = out_channels;
+  buckets_.resize(static_cast<std::size_t>(in_channels) * fw_.wtiles());
+}
+
+void FastWeightsBuilder::add_stream(const std::vector<std::uint8_t>& bytes,
+                                    int oc0, int active, int lane, int lanes,
+                                    bool ternary) {
+  TSCA_CHECK(lanes > 0 && lane >= 0 && lane < lanes);
+  TSCA_CHECK(active > 0 && oc0 >= 0 && oc0 + active <= fw_.out_channels);
+  const int my_channels =
+      fw_.channels <= lane ? 0 : (fw_.channels - lane + lanes - 1) / lanes;
+  if (my_channels == 0) {
+    TSCA_CHECK(bytes.empty(), "stream bytes for a channel-less lane");
+    return;
+  }
+  const pack::LaneStream stream = pack::parse_lane_stream(
+      bytes, my_channels, fw_.wtiles(), active, ternary);
+  TSCA_CHECK(stream.total_bytes == static_cast<std::int64_t>(bytes.size()),
+             "trailing bytes after lane stream");
+  for (int ci = 0; ci < my_channels; ++ci) {
+    const int c = lane + ci * lanes;
+    for (int wt = 0; wt < fw_.wtiles(); ++wt) {
+      const pack::LaneTileGroup& group = stream.group(ci, wt);
+      auto& bucket = buckets_[static_cast<std::size_t>(c) * fw_.wtiles() + wt];
+      for (int g = 0; g < active; ++g) {
+        const std::vector<pack::PackedEntry>& list =
+            group.lists[static_cast<std::size_t>(g)];
+        int prev = -1;
+        for (const pack::PackedEntry& e : list) {
+          // The fast path walks these lists with no framing to resynchronize
+          // on — a corrupt pack must die here, not misread silently.
+          TSCA_CHECK(e.offset < pack::kTileSize,
+                     "packed offset " << int{e.offset} << " out of tile");
+          TSCA_CHECK(static_cast<int>(e.offset) > prev,
+                     "packed offsets not sorted");
+          prev = e.offset;
+          const std::int32_t w = quant::sm8_decode(e.value);
+          TSCA_CHECK(w != 0, "zero weight in packed stream");
+          bucket.push_back({static_cast<std::uint16_t>(oc0 + g),
+                            static_cast<std::int8_t>(w), e.offset});
+        }
+      }
+    }
+  }
+}
+
+FastConvWeights FastWeightsBuilder::finish() {
+  fw_.begin.assign(buckets_.size() + 1, 0);
+  std::size_t total = 0;
+  for (const auto& b : buckets_) total += b.size();
+  fw_.entries.reserve(total);
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    auto& bucket = buckets_[i];
+    std::sort(bucket.begin(), bucket.end(),
+              [](const FastConvWeights::Entry& a,
+                 const FastConvWeights::Entry& b) {
+                return a.offset != b.offset ? a.offset < b.offset
+                                            : a.oc < b.oc;
+              });
+    fw_.begin[i] = static_cast<std::uint32_t>(fw_.entries.size());
+    fw_.entries.insert(fw_.entries.end(), bucket.begin(), bucket.end());
+  }
+  fw_.begin[buckets_.size()] = static_cast<std::uint32_t>(fw_.entries.size());
+  buckets_.clear();
+  return std::move(fw_);
+}
+
+namespace {
+
+// Copies the four window tiles (Fig. 4(a)) whose top-left tile is
+// (ity0, itx0) into a flat 8×8 row-major buffer; out-of-grid tiles are zero.
+void load_window(const pack::TiledFm& fm, int c, int ity0, int itx0,
+                 std::int8_t* win) {
+  for (int t = 0; t < 4; ++t) {
+    const int ity = ity0 + t / 2;
+    const int itx = itx0 + t % 2;
+    const int row0 = (t / 2) * pack::kTileDim;
+    const int col0 = (t % 2) * pack::kTileDim;
+    if (ity < fm.tiles_y() && itx < fm.tiles_x()) {
+      const pack::Tile& tile = fm.tile(c, ity, itx);
+      for (int r = 0; r < pack::kTileDim; ++r)
+        std::memcpy(win + (row0 + r) * 8 + col0,
+                    tile.v.data() + r * pack::kTileDim, pack::kTileDim);
+    } else {
+      for (int r = 0; r < pack::kTileDim; ++r)
+        std::memset(win + (row0 + r) * 8 + col0, 0, pack::kTileDim);
+    }
+  }
+}
+
+}  // namespace
+
+void fast_conv(const pack::TiledFm& input, const FastConvWeights& fw,
+               const std::vector<std::int32_t>& bias, const nn::Requant& rq,
+               pack::TiledFm& output) {
+  TSCA_CHECK(fw.decoded(), "fast conv weights not decoded");
+  TSCA_CHECK(input.channels() == fw.channels &&
+                 output.channels() == fw.out_channels,
+             "fast conv shape mismatch");
+  const int oc_count = fw.out_channels;
+  std::vector<std::int32_t> bias_of(static_cast<std::size_t>(oc_count));
+  for (int oc = 0; oc < oc_count; ++oc)
+    bias_of[static_cast<std::size_t>(oc)] =
+        oc < static_cast<int>(bias.size())
+            ? bias[static_cast<std::size_t>(oc)]
+            : 0;
+  // One accumulator tile per output channel, reused at every position.
+  std::vector<std::int32_t> acc(static_cast<std::size_t>(oc_count) *
+                                pack::kTileSize);
+  alignas(16) std::int8_t win[64];
+  alignas(16) std::int8_t region[pack::kTileSize];
+
+  for (int oty = 0; oty < output.tiles_y(); ++oty) {
+    for (int otx = 0; otx < output.tiles_x(); ++otx) {
+      for (int oc = 0; oc < oc_count; ++oc)
+        std::fill_n(acc.begin() +
+                        static_cast<std::ptrdiff_t>(oc) * pack::kTileSize,
+                    pack::kTileSize, bias_of[static_cast<std::size_t>(oc)]);
+      for (int c = 0; c < fw.channels; ++c) {
+        for (int wty = 0; wty < fw.wtiles_y; ++wty) {
+          for (int wtx = 0; wtx < fw.wtiles_x; ++wtx) {
+            const std::size_t b =
+                (static_cast<std::size_t>(c) * fw.wtiles_y + wty) *
+                    fw.wtiles_x +
+                wtx;
+            const std::uint32_t e0 = fw.begin[b];
+            const std::uint32_t e1 = fw.begin[b + 1];
+            if (e0 == e1) continue;
+            load_window(input, c, oty + wty, otx + wtx, win);
+            int cached_offset = -1;
+            for (std::uint32_t e = e0; e < e1; ++e) {
+              const FastConvWeights::Entry& entry = fw.entries[e];
+              if (entry.offset != cached_offset) {
+                cached_offset = entry.offset;
+                const int oy = cached_offset / pack::kTileDim;
+                const int ox = cached_offset % pack::kTileDim;
+                for (int r = 0; r < pack::kTileDim; ++r)
+                  std::memcpy(region + r * pack::kTileDim,
+                              win + (oy + r) * 8 + ox, pack::kTileDim);
+              }
+              simd::mac16(acc.data() + static_cast<std::size_t>(entry.oc) *
+                                           pack::kTileSize,
+                          region, entry.w);
+            }
+          }
+        }
+      }
+      for (int oc = 0; oc < oc_count; ++oc)
+        simd::requantize16(acc.data() + static_cast<std::size_t>(oc) *
+                                            pack::kTileSize,
+                           output.tile(oc, oty, otx).v.data(), rq.shift,
+                           rq.relu);
+    }
+  }
+}
+
+namespace {
+
+// make_pool_steps output with the MAX-unit masks expanded to byte masks for
+// simd::masked_max16; steps are channel-independent, so one expansion per
+// output tile serves every channel.
+struct FastPoolStep {
+  PoolStep step;
+  std::array<std::array<std::uint8_t, pack::kTileSize>, kNumMaxUnits> masks;
+};
+
+}  // namespace
+
+void fast_pad_pool(const pack::TiledFm& input, const PadPoolInstr& instr,
+                   int in_tile_row0, int otile_row0, pack::TiledFm& output) {
+  TSCA_CHECK(instr.channels <= input.channels() &&
+                 instr.channels <= output.channels(),
+             "fast pool channel mismatch");
+  TSCA_CHECK(in_tile_row0 + instr.ifm_tiles_y <= input.tiles_y() &&
+                 otile_row0 + instr.ofm_tiles_y <= output.tiles_y(),
+             "fast pool stripe outside feature map");
+  std::vector<FastPoolStep> steps;
+  static const pack::Tile kZeroTile{};
+  for (int oty = 0; oty < instr.ofm_tiles_y; ++oty) {
+    for (int otx = 0; otx < instr.ofm_tiles_x; ++otx) {
+      steps.clear();
+      for (const PoolStep& st : make_pool_steps(instr, oty, otx)) {
+        FastPoolStep fs{st, {}};
+        for (int m = 0; m < kNumMaxUnits; ++m)
+          for (int i = 0; i < pack::kTileSize; ++i)
+            fs.masks[static_cast<std::size_t>(m)]
+                    [static_cast<std::size_t>(i)] =
+                (st.op.max_mask[static_cast<std::size_t>(m)] >> i) & 1
+                    ? 0xff
+                    : 0x00;
+        steps.push_back(fs);
+      }
+      for (int c = 0; c < instr.channels; ++c) {
+        const pack::Tile* held = &kZeroTile;
+        pack::Tile out{};
+        for (const FastPoolStep& fs : steps) {
+          const PoolStep& st = fs.step;
+          if (st.load) {
+            held = (st.in_ty >= 0 && st.in_ty < instr.ifm_tiles_y &&
+                    st.in_tx >= 0 && st.in_tx < instr.ifm_tiles_x)
+                       ? &input.tile(c, in_tile_row0 + st.in_ty, st.in_tx)
+                       : &kZeroTile;
+          }
+          if (st.first) out = pack::Tile{};
+          std::array<std::int8_t, kNumMaxUnits> max_out;
+          for (int m = 0; m < kNumMaxUnits; ++m)
+            max_out[static_cast<std::size_t>(m)] = simd::masked_max16(
+                held->v.data(), fs.masks[static_cast<std::size_t>(m)].data());
+          for (int i = 0; i < pack::kTileSize; ++i) {
+            const std::uint8_t sel = st.op.out_sel[static_cast<std::size_t>(i)];
+            if (sel < kSelCombine0) {
+              out.v[static_cast<std::size_t>(i)] =
+                  max_out[static_cast<std::size_t>(sel)];
+            } else if (sel < kSelKeep) {
+              out.v[static_cast<std::size_t>(i)] =
+                  std::max(out.v[static_cast<std::size_t>(i)],
+                           max_out[static_cast<std::size_t>(sel - kSelCombine0)]);
+            }
+          }
+          if (st.last) output.tile(c, otile_row0 + oty, otx) = out;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace tsca::core

@@ -1,0 +1,90 @@
+// Functional fast-path executor (serving mode).
+//
+// The cycle engine exists to model *time*; callers that only want outputs
+// (a serving process, batch scoring) pay for FIFO messages, kernel threads
+// and barriers they never look at.  This module evaluates the same packed
+// (value, offset) weight streams with the same arithmetic — steered 16-value
+// tile MACs, rounded-shift requantization, the pool/pad MAX network — as
+// tight fused loops over whole feature maps: no FIFOs, no barrier, no
+// per-message allocation.  Outputs are bit-identical to the engines by
+// construction (tests/test_engine_equivalence.cpp sweeps all three); cycle
+// counts for fast runs come from driver::PerfModel instead (flagged as
+// predicted in LayerRun).
+//
+// The 16-wide tile operations vectorize through core/simd.hpp (SSE/AVX2 with
+// a scalar fallback, gated by the TSCA_SIMD CMake option).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/isa.hpp"
+#include "nn/layers.hpp"
+#include "pack/tile.hpp"
+
+namespace tsca::core {
+
+// One conv layer's packed weights decoded into a flat, position-reusable
+// form: entries bucketed by (input channel, weight tile), each entry naming
+// its output channel, decoded weight and intra-tile offset.  Buckets are
+// sorted by (offset, oc) so the steered 16-byte region is extracted once per
+// distinct offset; int32 accumulation is commutative, so reordering within a
+// bucket cannot change the result.
+struct FastConvWeights {
+  struct Entry {
+    std::uint16_t oc = 0;
+    std::int8_t w = 0;
+    std::uint8_t offset = 0;  // 0..15, y*4+x within the weight tile
+  };
+
+  int channels = 0;  // IFM channels (padded input)
+  int wtiles_y = 0;
+  int wtiles_x = 0;
+  int out_channels = 0;
+  std::vector<Entry> entries;
+  // Bucket extents: entries of (c, wt) live in
+  // [begin[c*wtiles+wt], begin[c*wtiles+wt+1]).  Empty when not decoded.
+  std::vector<std::uint32_t> begin;
+
+  int wtiles() const { return wtiles_y * wtiles_x; }
+  bool decoded() const { return !begin.empty(); }
+};
+
+// Decodes serialized per-lane streams (pack::serialize_lane_stream format)
+// into a FastConvWeights.  Feed every (group, lane) stream of the layer, then
+// finish().  Each stream is parsed with the validating pack parser and
+// additionally TSCA_CHECKed — offsets sorted, < 16, stream fully consumed —
+// so a corrupt pack can never be silently misread.
+class FastWeightsBuilder {
+ public:
+  FastWeightsBuilder(int in_channels, int wtiles_y, int wtiles_x,
+                     int out_channels);
+
+  // `bytes` is the serialized stream of lane `lane` for output channels
+  // [oc0, oc0 + active).
+  void add_stream(const std::vector<std::uint8_t>& bytes, int oc0, int active,
+                  int lane, int lanes, bool ternary);
+
+  FastConvWeights finish();
+
+ private:
+  FastConvWeights fw_;
+  std::vector<std::vector<FastConvWeights::Entry>> buckets_;
+};
+
+// Convolves `input` (already padded) into `output` — every output channel,
+// every tile position, matching the conv unit bit-for-bit: out-of-grid
+// window tiles read zero, bias[oc] (0 past the end) seeds the accumulator,
+// nn::requantize writes back.  `output` must be sized to the layer's OFM.
+void fast_conv(const pack::TiledFm& input, const FastConvWeights& fw,
+               const std::vector<std::int32_t>& bias, const nn::Requant& rq,
+               pack::TiledFm& output);
+
+// Replays one PAD/POOL instruction functionally.  `instr` is stripe-local
+// exactly as built by driver::make_pool_instr; `in_tile_row0` / `otile_row0`
+// relocate its tile reads/writes into the global feature maps, so a striped
+// plan replayed stripe by stripe reproduces the engine's output bit-for-bit.
+void fast_pad_pool(const pack::TiledFm& input, const PadPoolInstr& instr,
+                   int in_tile_row0, int otile_row0, pack::TiledFm& output);
+
+}  // namespace tsca::core

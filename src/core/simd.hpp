@@ -1,0 +1,142 @@
+// Portable 16-lane SIMD primitives for the functional fast path.
+//
+// The datapath applies one non-zero weight to a 16-value IFM tile per cycle
+// (§III-B) — exactly one host SIMD multiply-accumulate.  This header wraps
+// the three tile-wide operations the fast path needs:
+//
+//   mac16          acc[i] += region[i] * w          (int8 × int8 → int32)
+//   requantize16   nn::requantize over a 16-int32 accumulator tile
+//   masked_max16   max over the selected bytes of a tile (pool max unit)
+//
+// Backend selection is purely compile-time: AVX2 when the compiler already
+// targets it, else SSE2 (baseline on x86-64), else portable scalar.  The
+// TSCA_SIMD CMake option (default ON) gates the intrinsic paths so
+// -DTSCA_SIMD=OFF exercises the scalar fallback with identical results —
+// every backend must be bit-exact against nn::requantize / the cycle engine.
+// No -mavx2 style flags are ever added: we only use what the ambient
+// compiler flags provide, so the library can't fault on older hosts.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/layers.hpp"
+
+#if defined(TSCA_SIMD) && (defined(__SSE2__) || defined(__AVX2__))
+#define TSCA_SIMD_X86 1
+#include <immintrin.h>
+#endif
+
+namespace tsca::core::simd {
+
+inline const char* backend() {
+#if defined(TSCA_SIMD_X86) && defined(__AVX2__)
+  return "avx2";
+#elif defined(TSCA_SIMD_X86)
+  return "sse2";
+#else
+  return "scalar";
+#endif
+}
+
+// acc[i] += region[i] * w for one 16-value tile.
+inline void mac16(std::int32_t* acc, const std::int8_t* region,
+                  std::int8_t w) {
+#if defined(TSCA_SIMD_X86)
+  const __m128i r =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(region));
+  const __m128i zero = _mm_setzero_si128();
+  // Sign-extend i8 → i16 (shift trick keeps this SSE2-only).
+  const __m128i lo16 = _mm_srai_epi16(_mm_unpacklo_epi8(zero, r), 8);
+  const __m128i hi16 = _mm_srai_epi16(_mm_unpackhi_epi8(zero, r), 8);
+  const __m128i wv = _mm_set1_epi16(static_cast<short>(w));
+  // i8 × i8 fits in i16 exactly.
+  const __m128i mlo = _mm_mullo_epi16(lo16, wv);
+  const __m128i mhi = _mm_mullo_epi16(hi16, wv);
+  __m128i* a = reinterpret_cast<__m128i*>(acc);
+  const __m128i p0 = _mm_srai_epi32(_mm_unpacklo_epi16(zero, mlo), 16);
+  const __m128i p1 = _mm_srai_epi32(_mm_unpackhi_epi16(zero, mlo), 16);
+  const __m128i p2 = _mm_srai_epi32(_mm_unpacklo_epi16(zero, mhi), 16);
+  const __m128i p3 = _mm_srai_epi32(_mm_unpackhi_epi16(zero, mhi), 16);
+  _mm_storeu_si128(a + 0, _mm_add_epi32(_mm_loadu_si128(a + 0), p0));
+  _mm_storeu_si128(a + 1, _mm_add_epi32(_mm_loadu_si128(a + 1), p1));
+  _mm_storeu_si128(a + 2, _mm_add_epi32(_mm_loadu_si128(a + 2), p2));
+  _mm_storeu_si128(a + 3, _mm_add_epi32(_mm_loadu_si128(a + 3), p3));
+#else
+  for (int i = 0; i < 16; ++i)
+    acc[i] += static_cast<std::int32_t>(region[i]) * w;
+#endif
+}
+
+// nn::requantize over a 16-int32 tile: round-half-away-from-zero shift,
+// optional ReLU, clamp to [-127, 127].
+inline void requantize16(const std::int32_t* acc, std::int8_t* out, int shift,
+                         bool relu) {
+#if defined(TSCA_SIMD_X86)
+  if (shift >= 0 && shift <= 30) {
+    const __m128i* a = reinterpret_cast<const __m128i*>(acc);
+    const __m128i half =
+        _mm_set1_epi32(shift > 0 ? (1 << (shift - 1)) : 0);
+    const __m128i count = _mm_cvtsi32_si128(shift);
+    const __m128i lo = _mm_set1_epi32(nn::kInt8Min);
+    const __m128i hi = _mm_set1_epi32(nn::kInt8Max);
+    const __m128i zero = _mm_setzero_si128();
+    __m128i q[4];
+    for (int k = 0; k < 4; ++k) {
+      const __m128i v = _mm_loadu_si128(a + k);
+      // Round half away from zero: |v|, add half, logical shift, re-sign.
+      // |v| + half < 2^32 and the shifted result < 2^31 for shift >= 1, so
+      // the unsigned arithmetic is exact (including v == INT32_MIN).
+      const __m128i s = _mm_srai_epi32(v, 31);
+      const __m128i absv = _mm_sub_epi32(_mm_xor_si128(v, s), s);
+      const __m128i t = _mm_srl_epi32(_mm_add_epi32(absv, half), count);
+      __m128i r = _mm_sub_epi32(_mm_xor_si128(t, s), s);
+      if (relu) r = _mm_and_si128(r, _mm_cmpgt_epi32(r, zero));
+      // clamp(r, lo, hi) without SSE4.1 min/max_epi32.
+      __m128i gt = _mm_cmpgt_epi32(r, hi);
+      r = _mm_or_si128(_mm_and_si128(gt, hi), _mm_andnot_si128(gt, r));
+      gt = _mm_cmpgt_epi32(lo, r);
+      r = _mm_or_si128(_mm_and_si128(gt, lo), _mm_andnot_si128(gt, r));
+      q[k] = r;
+    }
+    // Values are already in [-127, 127]; the saturating packs are lossless.
+    const __m128i p16a = _mm_packs_epi32(q[0], q[1]);
+    const __m128i p16b = _mm_packs_epi32(q[2], q[3]);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out),
+                     _mm_packs_epi16(p16a, p16b));
+    return;
+  }
+#endif
+  const nn::Requant rq{.shift = shift, .relu = relu};
+  for (int i = 0; i < 16; ++i) out[i] = nn::requantize(acc[i], rq);
+}
+
+// Max over the bytes of `v` selected by `mask` (0xFF take / 0x00 skip),
+// starting from the datapath's fill value kInt8Min (-127) — NOT -128, so a
+// fully-masked unit bit-matches the hardware max tree.
+inline std::int8_t masked_max16(const std::int8_t* v,
+                                const std::uint8_t* mask) {
+#if defined(TSCA_SIMD_X86)
+  const __m128i val = _mm_loadu_si128(reinterpret_cast<const __m128i*>(v));
+  const __m128i m = _mm_loadu_si128(reinterpret_cast<const __m128i*>(mask));
+  const __m128i fill = _mm_set1_epi8(static_cast<char>(nn::kInt8Min));
+  const __m128i sel =
+      _mm_or_si128(_mm_and_si128(m, val), _mm_andnot_si128(m, fill));
+  // Signed byte max via the unsigned max after an XOR 0x80 bias (SSE2 has
+  // only _mm_max_epu8).
+  const __m128i bias = _mm_set1_epi8(static_cast<char>(0x80));
+  __m128i x = _mm_xor_si128(sel, bias);
+  x = _mm_max_epu8(x, _mm_srli_si128(x, 8));
+  x = _mm_max_epu8(x, _mm_srli_si128(x, 4));
+  x = _mm_max_epu8(x, _mm_srli_si128(x, 2));
+  x = _mm_max_epu8(x, _mm_srli_si128(x, 1));
+  return static_cast<std::int8_t>(
+      static_cast<std::uint8_t>(_mm_cvtsi128_si32(x) & 0xff) ^ 0x80u);
+#else
+  std::int8_t best = nn::kInt8Min;
+  for (int i = 0; i < 16; ++i)
+    if (mask[i] != 0 && v[i] > best) best = v[i];
+  return best;
+#endif
+}
+
+}  // namespace tsca::core::simd

@@ -39,6 +39,7 @@ class WeightImage {
 
   int groups() const { return groups_; }
   int lanes() const { return lanes_; }
+  int group_size() const { return group_size_; }
   int active_filters(int g) const;
 
   const std::vector<std::uint8_t>& bytes(int g, int lane) const {

@@ -1,6 +1,7 @@
 #include "driver/perf_model.hpp"
 
 #include <algorithm>
+#include <functional>
 
 #include "core/kernels.hpp"
 #include "core/poolgen.hpp"
@@ -8,12 +9,44 @@
 
 namespace tsca::driver {
 
+namespace {
+
+// Parses the serialized stream of (group, lane) back out of a WeightImage —
+// roundtrip-exact against the build_lane_stream the image was made from.
+pack::LaneStream image_lane_stream(const WeightImage& wimg, int g, int lane,
+                                   int in_channels, int wtiles) {
+  const int my_channels =
+      core::lane_channel_count(in_channels, lane, wimg.lanes());
+  return pack::parse_lane_stream(wimg.bytes(g, lane), my_channels, wtiles,
+                                 wimg.active_filters(g), wimg.ternary());
+}
+
+}  // namespace
+
 PerfModel::PerfModel(core::ArchConfig cfg) : cfg_(std::move(cfg)) {
   cfg_.validate();
 }
 
 std::int64_t PerfModel::conv_instr_cycles(
     const core::ConvInstr& instr, const pack::PackedFilters& packed) const {
+  return conv_instr_cycles_streams(instr, [&](int lane) {
+    return pack::build_lane_stream(packed, instr.oc0, instr.active_filters,
+                                   lane, cfg_.lanes, instr.ternary_weights);
+  });
+}
+
+std::int64_t PerfModel::conv_instr_cycles(const core::ConvInstr& instr,
+                                          const WeightImage& wimg,
+                                          int g) const {
+  const int wtiles = instr.wtiles_y() * instr.wtiles_x();
+  return conv_instr_cycles_streams(instr, [&](int lane) {
+    return image_lane_stream(wimg, g, lane, instr.ifm_channels, wtiles);
+  });
+}
+
+std::int64_t PerfModel::conv_instr_cycles_streams(
+    const core::ConvInstr& instr,
+    const std::function<pack::LaneStream(int)>& stream_for) const {
   const std::int64_t scratch_bytes =
       static_cast<std::int64_t>(cfg_.weight_scratch_words) * 16;
 
@@ -26,9 +59,7 @@ std::int64_t PerfModel::conv_instr_cycles(
       max_lane_position = std::max<std::int64_t>(max_lane_position, 1);
       continue;
     }
-    const pack::LaneStream stream =
-        pack::build_lane_stream(packed, instr.oc0, instr.active_filters, lane,
-                                cfg_.lanes, instr.ternary_weights);
+    const pack::LaneStream stream = stream_for(lane);
     max_preload = std::max<std::int64_t>(
         max_preload,
         std::min<std::int64_t>(stream.total_words(),
@@ -73,11 +104,14 @@ ConvPerf PerfModel::conv_layer(const nn::FmShape& padded_in,
   const nn::FilterShape& fs = packed.shape();
   TSCA_CHECK(fs.ic == padded_in.c);
   const WeightImage wimg(packed, cfg_.lanes, cfg_.group);
-  const bool ternary = wimg.ternary();
   const ConvPlan plan = plan_conv(cfg_, padded_in, fs.oc, fs.kh, wimg);
+  return conv_plan_perf(plan, wimg);
+}
 
+ConvPerf PerfModel::conv_plan_perf(const ConvPlan& plan,
+                                   const WeightImage& wimg) const {
   ConvPerf perf;
-  perf.macs_dense = conv_macs(padded_in, fs.oc, fs.kh);
+  perf.macs_dense = conv_macs(plan.in_shape, plan.out_shape.c, plan.kernel);
   perf.stripes = static_cast<int>(plan.stripes.size());
   perf.ideal_cycles =
       (perf.macs_dense + cfg_.macs_per_cycle() - 1) / cfg_.macs_per_cycle();
@@ -90,11 +124,12 @@ ConvPerf PerfModel::conv_layer(const nn::FmShape& padded_in,
     for (const ConvStripe::Chunk& chunk : stripe.chunks) {
       for (int k = 0; k < chunk.count; ++k) {
         const int g = chunk.g0 + k;
-        core::ConvInstr instr = make_conv_instr(
+        const core::ConvInstr instr = make_conv_instr(
             plan, stripe, g, plan.weight_base, wimg, {},
             nn::Requant{}, cfg_.group);
-        stripe_cycles += conv_instr_cycles(instr, packed);
+        stripe_cycles += conv_instr_cycles(instr, wimg, g);
         ++perf.instructions;
+        perf.positions += instr.positions();
       }
     }
     stripe_cycles += static_cast<std::int64_t>(stripe.chunks.size()) *
@@ -103,10 +138,10 @@ ConvPerf PerfModel::conv_layer(const nn::FmShape& padded_in,
         stripe_cycles;
     // DMA traffic of this stripe: IFM in, OFM out, weight chunks.
     perf.dma_bytes +=
-        16LL * (static_cast<std::int64_t>(padded_in.c) *
+        16LL * (static_cast<std::int64_t>(plan.in_shape.c) *
                     stripe.in_tile_rows * plan.in_tiles_x +
-                static_cast<std::int64_t>(fs.oc) * stripe.otile_rows *
-                    plan.out_tiles_x);
+                static_cast<std::int64_t>(plan.out_shape.c) *
+                    stripe.otile_rows * plan.out_tiles_x);
     for (const ConvStripe::Chunk& chunk : stripe.chunks)
       for (int k = 0; k < chunk.count; ++k)
         for (int lane = 0; lane < cfg_.lanes; ++lane)
@@ -115,28 +150,38 @@ ConvPerf PerfModel::conv_layer(const nn::FmShape& padded_in,
   perf.cycles = *std::max_element(instance_cycles.begin(),
                                   instance_cycles.end());
 
-  // Zero-skip accounting (independent of striping): per (group, lane,
-  // channel, weight tile), the concurrent filters inject max nnz commands.
-  // Kept in 64 bits end to end: large feature maps overflow an int position
-  // count (tiles_y × tiles_x alone can exceed 2^31).
+  // Zero-skip accounting (independent of striping).  Kept in 64 bits end to
+  // end: large feature maps overflow an int position count (tiles_y ×
+  // tiles_x alone can exceed 2^31).
   const std::int64_t positions_total = [&] {
     std::int64_t p = 0;
     for (const ConvStripe& s : plan.stripes)
       p += static_cast<std::int64_t>(s.otile_rows) * plan.out_tiles_x;
     return p;
   }();
+  const int wt_extent = (plan.kernel + pack::kTileDim - 1) / pack::kTileDim;
+  zero_skip_counters(wimg, plan.in_shape.c, wt_extent * wt_extent,
+                     positions_total, perf);
+  return perf;
+}
+
+void PerfModel::zero_skip_counters(const WeightImage& wimg, int in_channels,
+                                   int wtiles, std::int64_t positions_total,
+                                   ConvPerf& perf) const {
+  // Per (group, lane, channel, weight tile), the concurrent filters inject
+  // max-nnz commands; slots without an entry are bubbles.
   for (int g = 0; g < wimg.groups(); ++g) {
     const int active = wimg.active_filters(g);
     for (int lane = 0; lane < cfg_.lanes; ++lane) {
-      if (core::lane_channel_count(fs.ic, lane, cfg_.lanes) == 0) {
+      if (core::lane_channel_count(in_channels, lane, cfg_.lanes) == 0) {
         // Channel-less lanes emit one all-bubble end-of-position marker.
         perf.weight_cmds += positions_total;
         perf.weight_bubbles += static_cast<std::int64_t>(active) *
                                positions_total;
         continue;
       }
-      const pack::LaneStream stream = pack::build_lane_stream(
-          packed, g * cfg_.group, active, lane, cfg_.lanes, ternary);
+      const pack::LaneStream stream =
+          image_lane_stream(wimg, g, lane, in_channels, wtiles);
       std::int64_t steps = 0;
       for (const pack::LaneTileGroup& group : stream.groups) {
         if (cfg_.skip_empty_tile_groups && group.total_nnz(active) == 0)
@@ -157,16 +202,32 @@ ConvPerf PerfModel::conv_layer(const nn::FmShape& padded_in,
       }
     }
   }
-  return perf;
+}
+
+std::int64_t PerfModel::pool_instr_cycles(
+    const core::PadPoolInstr& instr) const {
+  // Steps per output tile are channel-independent; lanes run their channel
+  // slots in parallel.
+  const std::int64_t steps_per_channel = core::count_pool_steps(instr);
+  std::int64_t worst_lane = 0;
+  for (int lane = 0; lane < cfg_.lanes; ++lane)
+    worst_lane = std::max<std::int64_t>(
+        worst_lane,
+        static_cast<std::int64_t>(
+            core::lane_channel_count(instr.channels, lane, cfg_.lanes)) *
+            steps_per_channel);
+  return constants_.instr_dispatch + worst_lane;
 }
 
 PoolPerf PerfModel::pool_layer(const nn::FmShape& in_shape,
                                const nn::FmShape& out_shape, core::Opcode op,
                                int win, int stride, int offset_y,
                                int offset_x) const {
-  const PoolPlan plan =
-      plan_pool(cfg_, in_shape, out_shape, op, win, stride, offset_y,
-                offset_x);
+  return pool_plan_perf(plan_pool(cfg_, in_shape, out_shape, op, win, stride,
+                                  offset_y, offset_x));
+}
+
+PoolPerf PerfModel::pool_plan_perf(const PoolPlan& plan) const {
   PoolPerf perf;
   perf.stripes = static_cast<int>(plan.stripes.size());
   std::vector<std::int64_t> instance_cycles(
@@ -174,19 +235,9 @@ PoolPerf PerfModel::pool_layer(const nn::FmShape& in_shape,
   for (std::size_t si = 0; si < plan.stripes.size(); ++si) {
     const core::PadPoolInstr instr =
         make_pool_instr(plan, plan.stripes[si]);
-    // Steps per output tile are channel-independent; lanes run their
-    // channel slots in parallel.
-    const std::int64_t steps_per_channel = core::count_pool_steps(instr);
-    std::int64_t worst_lane = 0;
-    for (int lane = 0; lane < cfg_.lanes; ++lane)
-      worst_lane = std::max<std::int64_t>(
-          worst_lane,
-          static_cast<std::int64_t>(
-              core::lane_channel_count(instr.channels, lane, cfg_.lanes)) *
-              steps_per_channel);
-    perf.ops += steps_per_channel * instr.channels;
+    perf.ops += core::count_pool_steps(instr) * instr.channels;
     instance_cycles[si % static_cast<std::size_t>(cfg_.instances)] +=
-        constants_.instr_dispatch + worst_lane + constants_.batch_overhead;
+        pool_instr_cycles(instr) + constants_.batch_overhead;
   }
   perf.cycles = *std::max_element(instance_cycles.begin(),
                                   instance_cycles.end());

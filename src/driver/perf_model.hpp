@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "core/config.hpp"
 #include "driver/compiler.hpp"
@@ -32,6 +33,7 @@ struct ConvPerf {
   std::int64_t weight_cmds = 0;
   std::int64_t weight_bubbles = 0;
   std::int64_t dma_bytes = 0;  // stripe FM traffic + per-chunk weight streams
+  std::int64_t positions = 0;  // engine `positions` counter (per instruction)
   int stripes = 0;
   int instructions = 0;
 
@@ -74,15 +76,39 @@ class PerfModel {
   std::int64_t conv_instr_cycles(const core::ConvInstr& instr,
                                  const pack::PackedFilters& packed) const;
 
+  // Same, reading group g's serialized per-lane streams from a WeightImage
+  // (parse_lane_stream reproduces build_lane_stream exactly, so both
+  // overloads agree bit-for-bit).
+  std::int64_t conv_instr_cycles(const core::ConvInstr& instr,
+                                 const WeightImage& wimg, int g) const;
+
+  // One PAD or POOL instruction: dispatch plus the worst lane's micro-op
+  // steps (batch_overhead is per run_batch, added by the layer models).
+  std::int64_t pool_instr_cycles(const core::PadPoolInstr& instr) const;
+
   // A whole convolution layer: plans stripes/chunks exactly like the driver
   // and sums instruction costs, distributing stripes over instances.
   ConvPerf conv_layer(const nn::FmShape& padded_in,
                       const pack::PackedFilters& packed) const;
 
+  // Same, consuming the driver's own plan + weight image instead of
+  // replanning — this is what NetworkProgram::compile stores per ConvProgram
+  // so ExecMode::kFast can report statistics without touching the model.
+  ConvPerf conv_plan_perf(const ConvPlan& plan, const WeightImage& wimg) const;
+
   // A whole PAD or POOL layer.
   PoolPerf pool_layer(const nn::FmShape& in_shape,
                       const nn::FmShape& out_shape, core::Opcode op, int win,
                       int stride, int offset_y, int offset_x) const;
+
+  PoolPerf pool_plan_perf(const PoolPlan& plan) const;
+
+  // Zero-skip work counters (weight_cmds / weight_bubbles / macs_performed)
+  // over `positions_total` output-tile positions, accumulated into `perf`.
+  // These reproduce the engine's counters exactly (not approximately);
+  // `wtiles` = weight tiles per channel.
+  void zero_skip_counters(const WeightImage& wimg, int in_channels, int wtiles,
+                          std::int64_t positions_total, ConvPerf& perf) const;
 
   // Calibration constants (cycles), held to the cycle engine by
   // test_perf_model.cpp.
@@ -93,6 +119,10 @@ class PerfModel {
   const Constants& constants() const { return constants_; }
 
  private:
+  std::int64_t conv_instr_cycles_streams(
+      const core::ConvInstr& instr,
+      const std::function<pack::LaneStream(int)>& stream_for) const;
+
   core::ArchConfig cfg_;
   Constants constants_;
 };

@@ -66,6 +66,10 @@ PoolRuntime::PoolRuntime(AcceleratorPool& pool, RuntimeOptions options)
 
 pack::TiledFm PoolRuntime::run_conv(const pack::TiledFm& input,
                                     const ConvProgram& conv, LayerRun& run) {
+  // The fast path is already just host loops over one shared output — worker
+  // dispatch would only add overhead.  The base class runs it serially.
+  if (options_.mode == ExecMode::kFast)
+    return Runtime::run_conv(input, conv, run);
   const core::ArchConfig& cfg = pool_.config();
   TSCA_CHECK(conv.plan.in_shape == input.shape(),
              "program compiled for a different input shape");
@@ -84,7 +88,7 @@ pack::TiledFm PoolRuntime::run_conv(const pack::TiledFm& input,
   // One unit per stripe.  Stripes read the shared input and write disjoint
   // tile rows of the shared output, so no unit touches another's data.
   std::vector<StripeOutcome> outcomes(plan.stripes.size());
-  const hls::Mode mode = options_.mode;
+  const hls::Mode mode = engine_mode(options_.mode);
   const LayerTracer tracer = begin_layer_trace(pool_.workers(), "worker");
   const bool trace_kernels = options_.trace_kernels;
   if (tracer)
@@ -118,6 +122,8 @@ pack::TiledFm PoolRuntime::run_conv(const pack::TiledFm& input,
 
 pack::TiledFm PoolRuntime::run_pad_pool(const pack::TiledFm& input,
                                         const PoolPlan& plan, LayerRun& run) {
+  if (options_.mode == ExecMode::kFast)
+    return Runtime::run_pad_pool(input, plan, run);
   const core::ArchConfig& cfg = pool_.config();
   TSCA_CHECK(plan.in_shape == input.shape(),
              "plan compiled for a different input shape");
@@ -131,7 +137,7 @@ pack::TiledFm PoolRuntime::run_pad_pool(const pack::TiledFm& input,
   run.stripes = static_cast<int>(plan.stripes.size());
 
   std::vector<StripeOutcome> outcomes(plan.stripes.size());
-  const hls::Mode mode = options_.mode;
+  const hls::Mode mode = engine_mode(options_.mode);
   const LayerTracer tracer = begin_layer_trace(pool_.workers(), "worker");
   const bool trace_kernels = options_.trace_kernels;
   if (tracer)
@@ -166,6 +172,8 @@ pack::TiledFm PoolRuntime::run_pad_pool(const pack::TiledFm& input,
 std::vector<pack::TiledFm> PoolRuntime::run_conv_batch(
     const std::vector<pack::TiledFm>& inputs, const ConvProgram& conv,
     LayerRun& run) {
+  if (options_.mode == ExecMode::kFast)
+    return Runtime::run_conv_batch(inputs, conv, run);
   TSCA_CHECK(!inputs.empty());
   const core::ArchConfig& cfg = pool_.config();
   for (const pack::TiledFm& input : inputs)
@@ -203,7 +211,7 @@ std::vector<pack::TiledFm> PoolRuntime::run_conv_batch(
   std::vector<std::vector<std::uint64_t>> cycles_by_image_stripe(
       inputs.size(), std::vector<std::uint64_t>(plan.stripes.size(), 0));
   std::vector<int> batches_by_image(inputs.size(), 0);
-  const hls::Mode mode = options_.mode;
+  const hls::Mode mode = engine_mode(options_.mode);
   pool_.parallel_for(
       inputs.size(), [&](AcceleratorPool::Context& ctx, std::size_t img) {
         ExecCtx ec = make_exec_ctx(ctx, mode);

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <utility>
 
+#include "core/poolgen.hpp"
+#include "driver/perf_model.hpp"
 #include "pack/tile.hpp"
 #include "pack/weight_pack.hpp"
 
@@ -16,6 +18,110 @@ std::uint64_t next_stamp() {
 }
 
 }  // namespace
+
+core::FastConvWeights decode_fast_weights(const WeightImage& wimg,
+                                          int in_channels, int kernel) {
+  const int wt_extent = (kernel + pack::kTileDim - 1) / pack::kTileDim;
+  int out_channels = 0;
+  for (int g = 0; g < wimg.groups(); ++g)
+    out_channels += wimg.active_filters(g);
+  core::FastWeightsBuilder builder(in_channels, wt_extent, wt_extent,
+                                   out_channels);
+  int oc0 = 0;
+  for (int g = 0; g < wimg.groups(); ++g) {
+    const int active = wimg.active_filters(g);
+    for (int lane = 0; lane < wimg.lanes(); ++lane)
+      builder.add_stream(wimg.bytes(g, lane), oc0, active, lane, wimg.lanes(),
+                         wimg.ternary());
+    oc0 += active;
+  }
+  return builder.finish();
+}
+
+core::PadPoolInstr make_fused_pad_instr(const FusedPadConvLayout& layout) {
+  core::PadPoolInstr pi;
+  pi.ifm_base = 0;
+  pi.ifm_tiles_x = pack::tiles_for(layout.raw.w);
+  pi.ifm_tiles_y = pack::tiles_for(layout.raw.h);
+  pi.ifm_h = layout.raw.h;
+  pi.ifm_w = layout.raw.w;
+  pi.channels = layout.raw.c;
+  pi.ofm_base = layout.padded_base;
+  pi.ofm_tiles_x = pack::tiles_for(layout.padded.w);
+  pi.ofm_tiles_y = pack::tiles_for(layout.padded.h);
+  pi.ofm_h = layout.padded.h;
+  pi.ofm_w = layout.padded.w;
+  pi.win = 1;
+  pi.stride = 1;
+  pi.offset_y = -layout.pad.top;
+  pi.offset_x = -layout.pad.left;
+  return pi;
+}
+
+core::ConvInstr make_fused_conv_instr(const ConvProgram& conv,
+                                      const FusedPadConvLayout& layout, int g,
+                                      int weight_base_for_group) {
+  const WeightImage& wimg = conv.wimg;
+  core::ConvInstr ci;
+  ci.ifm_base = layout.padded_base;
+  ci.ifm_tiles_x = pack::tiles_for(layout.padded.w);
+  ci.ifm_tiles_y = pack::tiles_for(layout.padded.h);
+  ci.ifm_channels = layout.padded.c;
+  ci.weight_base = weight_base_for_group;
+  ci.ofm_base = layout.ofm_base;
+  ci.ofm_tiles_x = pack::tiles_for(layout.out.w);
+  ci.ofm_tiles_y = pack::tiles_for(layout.out.h);
+  ci.oc0 = g * wimg.group_size();
+  ci.active_filters = wimg.active_filters(g);
+  ci.kernel_h = ci.kernel_w = layout.kernel;
+  for (int k = 0; k < ci.active_filters; ++k) {
+    const std::size_t oc = static_cast<std::size_t>(ci.oc0 + k);
+    ci.bias[static_cast<std::size_t>(k)] =
+        oc < conv.bias.size() ? conv.bias[oc] : 0;
+  }
+  ci.shift = conv.rq.shift;
+  ci.relu = conv.rq.relu;
+  ci.ternary_weights = wimg.ternary();
+  return ci;
+}
+
+void fill_fused_predictions(const core::ArchConfig& cfg, ConvProgram& conv,
+                            FusedPadConvLayout& layout) {
+  conv.fastw = decode_fast_weights(conv.wimg, layout.padded.c, layout.kernel);
+  const PerfModel model(cfg);
+  const core::PadPoolInstr pi = make_fused_pad_instr(layout);
+  layout.predicted_pad_cycles = static_cast<std::uint64_t>(
+      model.pool_instr_cycles(pi) + model.constants().batch_overhead);
+
+  core::CounterSnapshot& p = layout.predicted;
+  p = core::CounterSnapshot{};
+  std::int64_t conv_cycles = model.constants().batch_overhead;
+  int base = layout.weight_base;
+  for (int g = 0; g < conv.wimg.groups(); ++g) {
+    const core::ConvInstr ci = make_fused_conv_instr(conv, layout, g, base);
+    conv_cycles += model.conv_instr_cycles(ci, conv.wimg, g);
+    p.conv_instrs += 1;
+    p.positions += ci.positions();
+    base += conv.wimg.aligned_words(g);
+  }
+  layout.predicted_conv_cycles = static_cast<std::uint64_t>(conv_cycles);
+
+  // Counter attribution matches the engine: the whole fusion's work lands on
+  // the conv LayerRun (the pad run reports zero counters there too).
+  p.pad_instrs = 1;
+  p.pool_ops = core::count_pool_steps(pi) * pi.channels;
+  const int wt_extent =
+      (layout.kernel + pack::kTileDim - 1) / pack::kTileDim;
+  const std::int64_t positions_total =
+      static_cast<std::int64_t>(pack::tiles_for(layout.out.h)) *
+      pack::tiles_for(layout.out.w);
+  ConvPerf work;
+  model.zero_skip_counters(conv.wimg, layout.padded.c, wt_extent * wt_extent,
+                           positions_total, work);
+  p.macs_performed = work.macs_performed;
+  p.weight_cmds = work.weight_cmds;
+  p.weight_bubbles = work.weight_bubbles;
+}
 
 ConvProgram compile_conv(const core::ArchConfig& cfg,
                          const nn::FmShape& in_shape,
@@ -34,6 +140,14 @@ ConvProgram compile_conv(const core::ArchConfig& cfg,
   prog.bias = std::move(bias);
   prog.rq = rq;
   prog.macs = conv_macs(in_shape, packed.shape().oc, packed.shape().kh);
+  prog.fastw = decode_fast_weights(prog.wimg, in_shape.c, packed.shape().kh);
+  const ConvPerf perf = PerfModel(cfg).conv_plan_perf(prog.plan, prog.wimg);
+  prog.predicted_cycles = static_cast<std::uint64_t>(perf.cycles);
+  prog.predicted.macs_performed = perf.macs_performed;
+  prog.predicted.weight_cmds = perf.weight_cmds;
+  prog.predicted.weight_bubbles = perf.weight_bubbles;
+  prog.predicted.conv_instrs = perf.instructions;
+  prog.predicted.positions = perf.positions;
   return prog;
 }
 
@@ -129,11 +243,13 @@ NetworkProgram NetworkProgram::compile(const nn::Network& net,
             conv.rq = model.weights.conv_requant[i + 1];
             conv.macs =
                 conv_macs(layout->padded, layout->out.c, layout->kernel);
+            FusedPadConvLayout fused_layout = *layout;
+            fill_fused_predictions(cfg, conv, fused_layout);
             step.exec = Step::Exec::kFusedPadConv;
             step.conv = static_cast<int>(program.convs_.size());
             step.fused = static_cast<int>(program.fused_.size());
             program.convs_.push_back(std::move(conv));
-            program.fused_.push_back(*layout);
+            program.fused_.push_back(fused_layout);
             program.steps_.push_back(step);
             fm = layout->out;
             ++i;  // the conv layer was consumed

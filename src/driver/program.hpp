@@ -31,6 +31,8 @@
 #include <optional>
 #include <vector>
 
+#include "core/counters.hpp"
+#include "core/fastpath.hpp"
 #include "driver/compiler.hpp"
 #include "nn/network.hpp"
 #include "quant/quantize.hpp"
@@ -53,6 +55,15 @@ struct ConvProgram {
   // (owner == 0) stage weights through the bump allocator instead.
   std::uint64_t owner = 0;
   std::vector<std::uint64_t> ddr_offset;
+
+  // ExecMode::kFast artifacts, filled at compile time: the weight streams
+  // decoded into the fast executor's flat form, and the PerfModel prediction
+  // that stands in for measured cycles/counters (LayerRun.cycles_predicted).
+  // Only meaningful for layers with a striped plan (fused-only layers carry
+  // their predictions on the FusedPadConvLayout instead).
+  core::FastConvWeights fastw;
+  std::uint64_t predicted_cycles = 0;
+  core::CounterSnapshot predicted;
 
   std::uint64_t stream_ddr_offset(int g, int lane) const {
     const std::size_t i =
@@ -93,7 +104,34 @@ struct FusedPadConvLayout {
   int padded_base = 0;
   int ofm_base = 0;
   int weight_base = 0;
+
+  // ExecMode::kFast predictions, mirroring the engine's split: the pad
+  // batch's cycles vs the conv batch's, with every work counter attributed
+  // to the conv side (the engine snapshots counters across the whole
+  // fusion, so the pad LayerRun reports zero counters there too).
+  std::uint64_t predicted_pad_cycles = 0;
+  std::uint64_t predicted_conv_cycles = 0;
+  core::CounterSnapshot predicted;
 };
+
+// The PAD instruction of a fused pad+conv batch — shared by the engine
+// executor, the fast path and the prediction model, so all three agree on
+// the exact geometry.
+core::PadPoolInstr make_fused_pad_instr(const FusedPadConvLayout& layout);
+
+// The CONV instruction of filter group g in a fused batch.
+core::ConvInstr make_fused_conv_instr(const ConvProgram& conv,
+                                      const FusedPadConvLayout& layout, int g,
+                                      int weight_base_for_group);
+
+// Decodes a WeightImage into the fast executor's flat (value, offset) form,
+// validating every stream (offsets sorted and < 16, streams fully consumed).
+core::FastConvWeights decode_fast_weights(const WeightImage& wimg,
+                                          int in_channels, int kernel);
+
+// Fills conv.fastw and layout.predicted_* for a fused pad+conv layer.
+void fill_fused_predictions(const core::ArchConfig& cfg, ConvProgram& conv,
+                            FusedPadConvLayout& layout);
 
 // Fit check + layout.  Returns nullopt when the fused form does not fit on
 // chip (the caller falls back to a separate pad layer + striped conv).  Pure

@@ -4,9 +4,74 @@
 #include <utility>
 
 #include "core/kernels.hpp"
+#include "driver/perf_model.hpp"
 #include "driver/stripe_exec.hpp"
 
 namespace tsca::driver {
+
+const char* exec_mode_name(ExecMode mode) {
+  switch (mode) {
+    case ExecMode::kCycle:
+      return "cycle";
+    case ExecMode::kThread:
+      return "thread";
+    case ExecMode::kFast:
+      return "fast";
+  }
+  return "?";
+}
+
+namespace {
+
+// Fast-path artifacts of a striped conv layer.  compile_conv fills them at
+// compile time; hand-built ConvPrograms (tests) fall back to decoding and
+// predicting here.
+struct FastConvArtifacts {
+  core::FastConvWeights local;  // only filled when conv.fastw is empty
+  std::uint64_t cycles = 0;
+  core::CounterSnapshot counters;
+};
+
+FastConvArtifacts fast_conv_artifacts(const core::ArchConfig& cfg,
+                                      const ConvProgram& conv) {
+  FastConvArtifacts art;
+  if (!conv.fastw.decoded())
+    art.local =
+        decode_fast_weights(conv.wimg, conv.plan.in_shape.c, conv.plan.kernel);
+  if (conv.predicted_cycles != 0) {
+    art.cycles = conv.predicted_cycles;
+    art.counters = conv.predicted;
+  } else {
+    const ConvPerf perf = PerfModel(cfg).conv_plan_perf(conv.plan, conv.wimg);
+    art.cycles = static_cast<std::uint64_t>(perf.cycles);
+    art.counters.macs_performed = perf.macs_performed;
+    art.counters.weight_cmds = perf.weight_cmds;
+    art.counters.weight_bubbles = perf.weight_bubbles;
+    art.counters.conv_instrs = perf.instructions;
+    art.counters.positions = perf.positions;
+  }
+  return art;
+}
+
+// The fast conv executor runs the whole layer as one output-stationary pass;
+// that is exact only because every stripe's halo is precisely the rows a
+// global pass would read (so stripe-local out-of-grid zeros coincide with
+// global out-of-grid zeros).  Assert the planner invariant that guarantees it.
+void check_fast_stripe_invariant(const ConvPlan& plan) {
+  const int in_rows_total = pack::tiles_for(plan.in_shape.h);
+  const int halo =
+      (plan.kernel + pack::kTileDim - 1) / pack::kTileDim;  // weight tile rows
+  for (const ConvStripe& stripe : plan.stripes) {
+    TSCA_CHECK(stripe.in_tile_row0 == stripe.otile_row0,
+               "stripe halo starts above its output rows");
+    TSCA_CHECK(stripe.in_tile_rows ==
+                   std::min(stripe.otile_rows + halo,
+                            in_rows_total - stripe.in_tile_row0),
+               "stripe halo differs from the global window footprint");
+  }
+}
+
+}  // namespace
 
 std::vector<std::uint8_t> bank_stripe_bytes(const pack::TiledFm& fm, int lane,
                                             int lanes, int row0, int rows) {
@@ -74,7 +139,7 @@ Runtime::LayerTracer Runtime::begin_layer_trace(int units,
 }
 
 ExecCtx Runtime::exec_ctx() {
-  ExecCtx ctx{acc_, dram_, dma_, ddr_cursor_, options_.mode};
+  ExecCtx ctx{acc_, dram_, dma_, ddr_cursor_, engine_mode(options_.mode)};
   ctx.trace_kernels = options_.trace_kernels;
   ctx.resident_stamp = resident_stamp_;
   ctx.program_base = program_base_;
@@ -116,6 +181,7 @@ void Runtime::finish_layer(const LayerRun& run) {
         .add(static_cast<std::int64_t>(run.dma.bytes_to_dram));
     m.histogram("runtime.layer_cycles")
         .observe(static_cast<std::int64_t>(run.cycles));
+    if (run.cycles_predicted) m.counter("runtime.predicted_layers").add(1);
   }
   if (options_.trace != nullptr) {
     const std::string label =
@@ -126,6 +192,7 @@ void Runtime::finish_layer(const LayerRun& run) {
                   {{"macs", run.macs},
                    {"stripes", run.stripes},
                    {"batches", run.batches},
+                   {"predicted", run.cycles_predicted ? 1 : 0},
                    {"dma_bytes",
                     static_cast<std::int64_t>(run.dma.bytes_to_fpga +
                                               run.dma.bytes_to_dram)}});
@@ -135,6 +202,8 @@ void Runtime::finish_layer(const LayerRun& run) {
 
 pack::TiledFm Runtime::run_conv(const pack::TiledFm& input,
                                 const ConvProgram& conv, LayerRun& run) {
+  if (options_.mode == ExecMode::kFast)
+    return fast_conv_layer(input, conv, run);
   const core::ArchConfig& cfg = acc_.config();
   TSCA_CHECK(conv.plan.in_shape == input.shape(),
              "program compiled for a different input shape");
@@ -186,6 +255,8 @@ pack::TiledFm Runtime::run_conv(const pack::TiledFm& input,
 
 pack::TiledFm Runtime::run_pad_pool(const pack::TiledFm& input,
                                     const PoolPlan& plan, LayerRun& run) {
+  if (options_.mode == ExecMode::kFast)
+    return fast_pad_pool_layer(input, plan, run);
   const core::ArchConfig& cfg = acc_.config();
   TSCA_CHECK(plan.in_shape == input.shape(),
              "plan compiled for a different input shape");
@@ -238,6 +309,8 @@ pack::TiledFm Runtime::run_pad_pool(const pack::TiledFm& input,
 std::vector<pack::TiledFm> Runtime::run_conv_batch(
     const std::vector<pack::TiledFm>& inputs, const ConvProgram& conv,
     LayerRun& run) {
+  if (options_.mode == ExecMode::kFast)
+    return fast_conv_batch(inputs, conv, run);
   TSCA_CHECK(!inputs.empty());
   const core::ArchConfig& cfg = acc_.config();
   for (const pack::TiledFm& input : inputs)
@@ -344,15 +417,16 @@ void Runtime::run_fused_pad_conv(const pack::TiledFm& input,
                                  const FusedPadConvLayout& layout,
                                  pack::TiledFm& output, LayerRun& pad_run,
                                  LayerRun& conv_run) {
+  if (options_.mode == ExecMode::kFast) {
+    fast_fused_pad_conv(input, conv, layout, output, pad_run, conv_run);
+    return;
+  }
   const core::ArchConfig& cfg = acc_.config();
   TSCA_CHECK(layout.raw == input.shape(),
              "fused layout compiled for a different input shape");
   const WeightImage& wimg = conv.wimg;
-  const int kernel = layout.kernel;
   const nn::FmShape raw = layout.raw;
-  const nn::FmShape padded = layout.padded;
   const nn::FmShape out_shape = layout.out;
-  const int padded_base = layout.padded_base;
   const int ofm_base = layout.ofm_base;
   const int weight_base = layout.weight_base;
   const int lanes = cfg.lanes;
@@ -395,22 +469,7 @@ void Runtime::run_fused_pad_conv(const pack::TiledFm& input,
   // dependent CONV may only start once the pad's writes have landed, which
   // the host guarantees by polling completion — exactly what the paper's
   // driver does between dependent instructions.)
-  core::PadPoolInstr pi;
-  pi.ifm_base = 0;
-  pi.ifm_tiles_x = pack::tiles_for(raw.w);
-  pi.ifm_tiles_y = pack::tiles_for(raw.h);
-  pi.ifm_h = raw.h;
-  pi.ifm_w = raw.w;
-  pi.channels = raw.c;
-  pi.ofm_base = padded_base;
-  pi.ofm_tiles_x = pack::tiles_for(padded.w);
-  pi.ofm_tiles_y = pack::tiles_for(padded.h);
-  pi.ofm_h = padded.h;
-  pi.ofm_w = padded.w;
-  pi.win = 1;
-  pi.stride = 1;
-  pi.offset_y = -layout.pad.top;
-  pi.offset_x = -layout.pad.left;
+  const core::PadPoolInstr pi = make_fused_pad_instr(layout);
   const core::BatchStats pad_stats =
       run_batch_traced(ctx, {core::Instruction::make_pad(pi)}, "fused pad");
   pad_run.on_accelerator = true;
@@ -424,27 +483,9 @@ void Runtime::run_fused_pad_conv(const pack::TiledFm& input,
   std::vector<core::Instruction> instrs;
   int base = weight_base;
   for (int g = 0; g < wimg.groups(); ++g) {
-    core::ConvInstr ci;
-    ci.ifm_base = padded_base;
-    ci.ifm_tiles_x = pi.ofm_tiles_x;
-    ci.ifm_tiles_y = pi.ofm_tiles_y;
-    ci.ifm_channels = padded.c;
-    ci.weight_base = base;
-    ci.ofm_base = ofm_base;
-    ci.ofm_tiles_x = pack::tiles_for(out_shape.w);
-    ci.ofm_tiles_y = pack::tiles_for(out_shape.h);
-    ci.oc0 = g * cfg.group;
-    ci.active_filters = wimg.active_filters(g);
-    ci.kernel_h = ci.kernel_w = kernel;
-    for (int k = 0; k < ci.active_filters; ++k) {
-      const std::size_t oc = static_cast<std::size_t>(ci.oc0 + k);
-      ci.bias[static_cast<std::size_t>(k)] =
-          oc < conv.bias.size() ? conv.bias[oc] : 0;
-    }
-    ci.shift = conv.rq.shift;
-    ci.relu = conv.rq.relu;
-    ci.ternary_weights = wimg.ternary();
-    instrs.push_back(core::Instruction::make_conv(ci));
+    instrs.push_back(
+        core::Instruction::make_conv(make_fused_conv_instr(conv, layout, g,
+                                                           base)));
     base += wimg.aligned_words(g);
   }
   const core::BatchStats conv_stats =
@@ -501,6 +542,151 @@ bool Runtime::run_fused_pad_conv(const pack::TiledFm& input,
   conv.macs = conv_macs(layout->padded, layout->out.c, layout->kernel);
   run_fused_pad_conv(input, conv, *layout, output, pad_run, conv_run);
   return true;
+}
+
+pack::TiledFm Runtime::fast_conv_layer(const pack::TiledFm& input,
+                                       const ConvProgram& conv,
+                                       LayerRun& run) {
+  const ConvPlan& plan = conv.plan;
+  TSCA_CHECK(plan.in_shape == input.shape(),
+             "program compiled for a different input shape");
+  TSCA_CHECK(!plan.stripes.empty(),
+             "conv program has no striped plan (fused-only layer)");
+  check_fast_stripe_invariant(plan);
+
+  const FastConvArtifacts art = fast_conv_artifacts(acc_.config(), conv);
+  const core::FastConvWeights& fw =
+      conv.fastw.decoded() ? conv.fastw : art.local;
+
+  run.reset_stats();
+  run.on_accelerator = true;
+  run.kind = nn::LayerKind::kConv;
+  run.macs = conv.macs;
+  run.stripes = static_cast<int>(plan.stripes.size());
+  for (const ConvStripe& stripe : plan.stripes)
+    run.batches += static_cast<int>(stripe.chunks.size());
+  run.cycles = art.cycles;
+  run.cycles_predicted = true;
+  run.counters = art.counters;
+
+  pack::TiledFm output(plan.out_shape);
+  core::fast_conv(input, fw, conv.bias, conv.rq, output);
+  finish_layer(run);
+  return output;
+}
+
+pack::TiledFm Runtime::fast_pad_pool_layer(const pack::TiledFm& input,
+                                           const PoolPlan& plan,
+                                           LayerRun& run) {
+  TSCA_CHECK(plan.in_shape == input.shape(),
+             "plan compiled for a different input shape");
+  pack::TiledFm output(plan.out_shape);
+
+  run.reset_stats();
+  run.on_accelerator = true;
+  run.kind = plan.op == core::Opcode::kPad ? nn::LayerKind::kPad
+                                           : nn::LayerKind::kMaxPool;
+  run.stripes = static_cast<int>(plan.stripes.size());
+  run.batches = run.stripes;  // one batch per stripe, like the engine
+  for (const PoolStripe& stripe : plan.stripes)
+    core::fast_pad_pool(input, make_pool_instr(plan, stripe),
+                        stripe.in_tile_row0, stripe.otile_row0, output);
+
+  const PoolPerf perf = PerfModel(acc_.config()).pool_plan_perf(plan);
+  run.cycles = static_cast<std::uint64_t>(perf.cycles);
+  run.cycles_predicted = true;
+  run.counters.pool_ops = perf.ops;
+  if (plan.op == core::Opcode::kPad)
+    run.counters.pad_instrs = run.stripes;
+  else
+    run.counters.pool_instrs = run.stripes;
+  finish_layer(run);
+  return output;
+}
+
+std::vector<pack::TiledFm> Runtime::fast_conv_batch(
+    const std::vector<pack::TiledFm>& inputs, const ConvProgram& conv,
+    LayerRun& run) {
+  TSCA_CHECK(!inputs.empty());
+  for (const pack::TiledFm& input : inputs)
+    TSCA_CHECK(input.shape() == inputs.front().shape(),
+               "batch images must share a shape");
+  const ConvPlan& plan = conv.plan;
+  TSCA_CHECK(plan.in_shape == inputs.front().shape(),
+             "program compiled for a different input shape");
+  check_fast_stripe_invariant(plan);
+
+  const FastConvArtifacts art = fast_conv_artifacts(acc_.config(), conv);
+  const core::FastConvWeights& fw =
+      conv.fastw.decoded() ? conv.fastw : art.local;
+  const auto images = static_cast<std::int64_t>(inputs.size());
+
+  run.reset_stats();
+  run.on_accelerator = true;
+  run.kind = nn::LayerKind::kConv;
+  run.macs = conv.macs * images;
+  run.stripes = static_cast<int>(plan.stripes.size());
+  for (const ConvStripe& stripe : plan.stripes)
+    run.batches += static_cast<int>(stripe.chunks.size() * inputs.size());
+  // The engine re-runs every chunk's instructions once per image (weights
+  // stay staged), so both cycles and work counters scale linearly.
+  run.cycles = art.cycles * static_cast<std::uint64_t>(images);
+  run.cycles_predicted = true;
+  for (std::int64_t img = 0; img < images; ++img) run.counters += art.counters;
+
+  std::vector<pack::TiledFm> outputs(inputs.size(),
+                                     pack::TiledFm(plan.out_shape));
+  for (std::size_t img = 0; img < inputs.size(); ++img)
+    core::fast_conv(inputs[img], fw, conv.bias, conv.rq, outputs[img]);
+  finish_layer(run);
+  return outputs;
+}
+
+void Runtime::fast_fused_pad_conv(const pack::TiledFm& input,
+                                  const ConvProgram& conv,
+                                  const FusedPadConvLayout& layout,
+                                  pack::TiledFm& output, LayerRun& pad_run,
+                                  LayerRun& conv_run) {
+  TSCA_CHECK(layout.raw == input.shape(),
+             "fused layout compiled for a different input shape");
+  // Compile-time callers (NetworkProgram) arrive with decoded weights and
+  // predictions; the compile-per-call wrapper builds both here.
+  ConvProgram conv_local;
+  FusedPadConvLayout layout_local;
+  const ConvProgram* cp = &conv;
+  const FusedPadConvLayout* lp = &layout;
+  if (!conv.fastw.decoded() || layout.predicted_conv_cycles == 0) {
+    conv_local = conv;
+    layout_local = layout;
+    fill_fused_predictions(acc_.config(), conv_local, layout_local);
+    cp = &conv_local;
+    lp = &layout_local;
+  }
+
+  pack::TiledFm padded(lp->padded);
+  core::fast_pad_pool(input, make_fused_pad_instr(*lp), 0, 0, padded);
+  output = pack::TiledFm(lp->out);
+  core::fast_conv(padded, cp->fastw, cp->bias, cp->rq, output);
+
+  pad_run.reset_stats();
+  pad_run.on_accelerator = true;
+  pad_run.kind = nn::LayerKind::kPad;
+  pad_run.cycles = lp->predicted_pad_cycles;
+  pad_run.cycles_predicted = true;
+  pad_run.stripes = 1;
+  pad_run.batches = 1;
+  finish_layer(pad_run);
+
+  conv_run.reset_stats();
+  conv_run.on_accelerator = true;
+  conv_run.kind = nn::LayerKind::kConv;
+  conv_run.cycles = lp->predicted_conv_cycles;
+  conv_run.cycles_predicted = true;
+  conv_run.macs = cp->macs;
+  conv_run.stripes = 1;
+  conv_run.batches = 1;
+  conv_run.counters = lp->predicted;
+  finish_layer(conv_run);
 }
 
 NetworkRun Runtime::run_network(const NetworkProgram& program,

@@ -32,8 +32,22 @@ struct ExecCtx;
 
 namespace tsca::driver {
 
+// How the runtime executes accelerator layers.  kCycle / kThread run the
+// simulation engines (hls::Mode); kFast runs the functional fast path
+// (core/fastpath.hpp): bit-identical outputs, with cycle counts *predicted*
+// by PerfModel instead of measured (LayerRun::cycles_predicted).
+enum class ExecMode { kCycle, kThread, kFast };
+
+const char* exec_mode_name(ExecMode mode);
+
+// The simulation engine backing an execution mode (fast-path layers never
+// reach an engine; anything that does falls back to the cycle engine).
+inline hls::Mode engine_mode(ExecMode mode) {
+  return mode == ExecMode::kThread ? hls::Mode::kThread : hls::Mode::kCycle;
+}
+
 struct RuntimeOptions {
-  hls::Mode mode = hls::Mode::kCycle;
+  ExecMode mode = ExecMode::kCycle;
   bool keep_activations = false;  // return every layer's feature map
   // Fuse PAD directly into the following CONV batch when both fit on chip
   // unstriped: the padded map never round-trips through DDR (the banks
@@ -58,6 +72,9 @@ struct LayerRun {
   nn::LayerKind kind = nn::LayerKind::kPad;
   bool on_accelerator = false;
   std::uint64_t cycles = 0;  // accelerator cycles (max over instances)
+  // True when `cycles` (and the work counters) came from PerfModel rather
+  // than a simulation engine — i.e. the layer ran in ExecMode::kFast.
+  bool cycles_predicted = false;
   std::int64_t macs = 0;     // dense MACs (conv layers)
   int stripes = 0;
   int batches = 0;
@@ -70,6 +87,7 @@ struct LayerRun {
   void reset_stats() {
     on_accelerator = false;
     cycles = 0;
+    cycles_predicted = false;
     macs = 0;
     stripes = 0;
     batches = 0;
@@ -222,6 +240,21 @@ class Runtime {
   // Execution context over this runtime's accelerator/DDR/DMA, residency
   // fields included.
   ExecCtx exec_ctx();
+  // ExecMode::kFast layer bodies (core/fastpath.hpp executors + PerfModel
+  // statistics).  The program entry points branch here before touching the
+  // simulator; PoolRuntime delegates back to these too — the fast path is
+  // already just host loops, worker dispatch would only add overhead.
+  pack::TiledFm fast_conv_layer(const pack::TiledFm& input,
+                                const ConvProgram& conv, LayerRun& run);
+  pack::TiledFm fast_pad_pool_layer(const pack::TiledFm& input,
+                                    const PoolPlan& plan, LayerRun& run);
+  std::vector<pack::TiledFm> fast_conv_batch(
+      const std::vector<pack::TiledFm>& inputs, const ConvProgram& conv,
+      LayerRun& run);
+  void fast_fused_pad_conv(const pack::TiledFm& input, const ConvProgram& conv,
+                           const FusedPadConvLayout& layout,
+                           pack::TiledFm& output, LayerRun& pad_run,
+                           LayerRun& conv_run);
   core::Accelerator& acc_;
   sim::Dram& dram_;
   sim::DmaEngine& dma_;

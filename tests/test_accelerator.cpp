@@ -47,7 +47,7 @@ struct ConvCase {
 };
 
 class ConvMatrix
-    : public ::testing::TestWithParam<std::tuple<ConvCase, int, hls::Mode>> {};
+    : public ::testing::TestWithParam<std::tuple<ConvCase, int, driver::ExecMode>> {};
 
 TEST_P(ConvMatrix, MatchesInt8Reference) {
   const auto& [case_, lanes, mode] = GetParam();
@@ -74,7 +74,7 @@ TEST_P(ConvMatrix, MatchesInt8Reference) {
 
   ASSERT_EQ(actual.shape(), expected.shape());
   EXPECT_EQ(actual, expected) << "conv mismatch (lanes=" << lanes << ")";
-  if (mode == hls::Mode::kCycle) {
+  if (mode == driver::ExecMode::kCycle) {
     EXPECT_GT(run.cycles, 0u);
   }
   if (case_.density > 0.0) {
@@ -95,16 +95,17 @@ INSTANTIATE_TEST_SUITE_P(
             ConvCase{{4, 11, 11}, 4, 5, 0.4},    // 5x5: multiple weight tiles
             ConvCase{{2, 6, 6}, 3, 3, 0.0}),     // all-zero weights
         ::testing::Values(1, 4),
-        ::testing::Values(hls::Mode::kThread, hls::Mode::kCycle)),
+        ::testing::Values(driver::ExecMode::kThread, driver::ExecMode::kCycle,
+                          driver::ExecMode::kFast)),
     [](const auto& info) {
       const ConvCase& c = std::get<0>(info.param);
       const int lanes = std::get<1>(info.param);
-      const hls::Mode mode = std::get<2>(info.param);
+      const driver::ExecMode mode = std::get<2>(info.param);
       return "c" + std::to_string(c.in.c) + "x" + std::to_string(c.in.h) +
              "_oc" + std::to_string(c.oc) + "_k" + std::to_string(c.kernel) +
              "_d" + std::to_string(static_cast<int>(c.density * 100)) +
              "_l" + std::to_string(lanes) +
-             (mode == hls::Mode::kThread ? "_thread" : "_cycle");
+             "_" + driver::exec_mode_name(mode);
     });
 
 struct PoolCase {
@@ -114,7 +115,7 @@ struct PoolCase {
 };
 
 class PoolMatrix
-    : public ::testing::TestWithParam<std::tuple<PoolCase, int, hls::Mode>> {};
+    : public ::testing::TestWithParam<std::tuple<PoolCase, int, driver::ExecMode>> {};
 
 TEST_P(PoolMatrix, MatchesInt8Reference) {
   const auto& [case_, lanes, mode] = GetParam();
@@ -147,18 +148,19 @@ INSTANTIATE_TEST_SUITE_P(
                           PoolCase{{5, 9, 9}, 5, 2},    // window > tile
                           PoolCase{{1, 7, 7}, 2, 1}),   // stride 1
         ::testing::Values(1, 4),
-        ::testing::Values(hls::Mode::kThread, hls::Mode::kCycle)),
+        ::testing::Values(driver::ExecMode::kThread, driver::ExecMode::kCycle,
+                          driver::ExecMode::kFast)),
     [](const auto& info) {
       const PoolCase& c = std::get<0>(info.param);
       const int lanes = std::get<1>(info.param);
-      const hls::Mode mode = std::get<2>(info.param);
+      const driver::ExecMode mode = std::get<2>(info.param);
       return "h" + std::to_string(c.in.h) + "_w" + std::to_string(c.win) +
              "_s" + std::to_string(c.stride) + "_l" + std::to_string(lanes) +
-             (mode == hls::Mode::kThread ? "_thread" : "_cycle");
+             "_" + driver::exec_mode_name(mode);
     });
 
 class PadMatrix
-    : public ::testing::TestWithParam<std::tuple<nn::Padding, int, hls::Mode>> {
+    : public ::testing::TestWithParam<std::tuple<nn::Padding, int, driver::ExecMode>> {
 };
 
 TEST_P(PadMatrix, MatchesInt8Reference) {
@@ -187,16 +189,17 @@ INSTANTIATE_TEST_SUITE_P(
                                          nn::Padding::uniform(2),
                                          nn::Padding{2, 0, 1, 3}),
                        ::testing::Values(1, 4),
-                       ::testing::Values(hls::Mode::kThread,
-                                         hls::Mode::kCycle)),
+                       ::testing::Values(driver::ExecMode::kThread,
+                                         driver::ExecMode::kCycle,
+                                         driver::ExecMode::kFast)),
     [](const auto& info) {
       const nn::Padding& pad = std::get<0>(info.param);
       const int lanes = std::get<1>(info.param);
-      const hls::Mode mode = std::get<2>(info.param);
+      const driver::ExecMode mode = std::get<2>(info.param);
       return "t" + std::to_string(pad.top) + "l" + std::to_string(pad.left) +
              "b" + std::to_string(pad.bottom) + "r" +
              std::to_string(pad.right) + "_l" + std::to_string(lanes) +
-             (mode == hls::Mode::kThread ? "_thread" : "_cycle");
+             "_" + driver::exec_mode_name(mode);
     });
 
 // Striping: a config with tiny banks forces multi-stripe, multi-chunk
@@ -215,7 +218,7 @@ TEST(ConvStriping, TinyBanksForceStripesAndChunksExactResult) {
   core::Accelerator acc(cfg);
   sim::Dram dram(8u << 20);
   sim::DmaEngine dma(dram);
-  driver::Runtime runtime(acc, dram, dma, {.mode = hls::Mode::kCycle});
+  driver::Runtime runtime(acc, dram, dma, {.mode = driver::ExecMode::kCycle});
   driver::LayerRun run;
   const pack::TiledFm out = runtime.run_conv(
       pack::to_tiled(input), pack::pack_filters(filters), bias, rq, run);
@@ -240,7 +243,7 @@ TEST(ZeroSkip, SparseLayerRunsFasterThanDense) {
     core::Accelerator acc(small_config(4));
     sim::Dram dram(8u << 20);
     sim::DmaEngine dma(dram);
-    driver::Runtime runtime(acc, dram, dma, {.mode = hls::Mode::kCycle});
+    driver::Runtime runtime(acc, dram, dma, {.mode = driver::ExecMode::kCycle});
     driver::LayerRun run;
     const pack::TiledFm out = runtime.run_conv(
         pack::to_tiled(input), pack::pack_filters(filters), bias, rq, run);

@@ -46,7 +46,7 @@ TEST_P(BatchedConv, EveryImageMatchesReference) {
   core::Accelerator acc(cfg);
   sim::Dram dram(32u << 20);
   sim::DmaEngine dma(dram);
-  driver::Runtime runtime(acc, dram, dma, {.mode = hls::Mode::kCycle});
+  driver::Runtime runtime(acc, dram, dma, {.mode = driver::ExecMode::kCycle});
   driver::LayerRun run;
   const std::vector<pack::TiledFm> outputs = runtime.run_conv_batch(
       tiled, pack::pack_filters(filters), bias, rq, run);
@@ -84,7 +84,7 @@ TEST(BatchedConv, AmortizesWeightDmaAcrossImages) {
     core::Accelerator acc(cfg);
     sim::Dram dram(64u << 20);
     sim::DmaEngine dma(dram);
-    driver::Runtime runtime(acc, dram, dma, {.mode = hls::Mode::kCycle});
+    driver::Runtime runtime(acc, dram, dma, {.mode = driver::ExecMode::kCycle});
     if (batched) {
       driver::LayerRun run;
       runtime.run_conv_batch(tiled, packed, bias, rq, run);

@@ -2,10 +2,19 @@
 //
 // The paper's methodology rests on the multi-threaded software behaving like
 // the synthesized hardware.  Here randomized layer stacks (pad/conv/pool in
-// random geometries and sparsities) run under both engines and must agree
-// bit-exactly with each other and with the int8 reference — a property sweep
-// on top of the targeted cases in test_accelerator.cpp.
+// random geometries and sparsities) run under the cycle engine, the thread
+// engine, and the functional fast path, and all three must agree bit-exactly
+// with each other and with the int8 reference — a property sweep on top of
+// the targeted cases in test_accelerator.cpp.
+//
+// The fast path additionally reports PerfModel *predictions* instead of
+// measured statistics; the sweep pins the work counters (MACs, weight
+// commands/bubbles, pool ops, instruction counts) to the cycle engine's
+// measurements exactly, and the drift test bounds how far predicted cycle
+// counts may wander from simulated ones.
 #include <gtest/gtest.h>
+
+#include <cstdlib>
 
 #include "core/accelerator.hpp"
 #include "driver/runtime.hpp"
@@ -74,6 +83,17 @@ RandomStack make_stack(std::uint64_t seed) {
   return {std::move(net), std::move(model), std::move(input)};
 }
 
+driver::NetworkRun run_stack(const RandomStack& stack, driver::ExecMode mode) {
+  core::ArchConfig cfg = core::ArchConfig::k256_opt();
+  cfg.bank_words = 2048;  // small: stripes on bigger stacks
+  core::Accelerator acc(cfg);
+  sim::Dram dram(32u << 20);
+  sim::DmaEngine dma(dram);
+  driver::Runtime runtime(acc, dram, dma,
+                          {.mode = mode, .keep_activations = true});
+  return runtime.run_network(stack.net, stack.model, stack.input);
+}
+
 class EngineEquivalence : public ::testing::TestWithParam<int> {};
 
 TEST_P(EngineEquivalence, RandomStackAgreesAcrossEnginesAndReference) {
@@ -83,30 +103,77 @@ TEST_P(EngineEquivalence, RandomStackAgreesAcrossEnginesAndReference) {
   const std::vector<nn::ActivationI8> ref =
       nn::forward_i8_all(stack.net, stack.model.weights, stack.input);
 
-  auto run_mode = [&](hls::Mode mode) {
-    core::ArchConfig cfg = core::ArchConfig::k256_opt();
-    cfg.bank_words = 2048;  // small: stripes on bigger stacks
-    core::Accelerator acc(cfg);
-    sim::Dram dram(32u << 20);
-    sim::DmaEngine dma(dram);
-    driver::Runtime runtime(acc, dram, dma,
-                            {.mode = mode, .keep_activations = true});
-    return runtime.run_network(stack.net, stack.model, stack.input);
-  };
-  const driver::NetworkRun cycle = run_mode(hls::Mode::kCycle);
-  const driver::NetworkRun thread = run_mode(hls::Mode::kThread);
+  const driver::NetworkRun cycle = run_stack(stack, driver::ExecMode::kCycle);
+  const driver::NetworkRun thread = run_stack(stack, driver::ExecMode::kThread);
+  const driver::NetworkRun fast = run_stack(stack, driver::ExecMode::kFast);
 
   ASSERT_EQ(cycle.activations.size(), thread.activations.size());
+  ASSERT_EQ(cycle.activations.size(), fast.activations.size());
   for (std::size_t i = 0; i < cycle.activations.size(); ++i) {
     EXPECT_EQ(cycle.activations[i], thread.activations[i])
-        << "engine divergence after layer " << i;
+        << "thread engine divergence after layer " << i;
+    EXPECT_EQ(cycle.activations[i], fast.activations[i])
+        << "fast path divergence after layer " << i;
     EXPECT_EQ(cycle.activations[i], ref[i].fm)
         << "reference mismatch after layer " << stack.net.layers()[i].name;
   }
   EXPECT_EQ(cycle.final_fm, ref.back().fm);
+  EXPECT_EQ(fast.final_fm, cycle.final_fm);
+
+  // The fast path reports PerfModel predictions: cycles are flagged, and the
+  // predicted work counters must equal the cycle engine's measurements —
+  // the performance model counts the same zero-skip schedule the hardware
+  // executes.  (DMA/bank-traffic counters stay zero in fast mode: no
+  // simulation ran, so none are claimed.)
+  ASSERT_EQ(cycle.layers.size(), fast.layers.size());
+  for (std::size_t i = 0; i < cycle.layers.size(); ++i) {
+    const driver::LayerRun& c = cycle.layers[i];
+    const driver::LayerRun& f = fast.layers[i];
+    if (!c.on_accelerator) {
+      EXPECT_FALSE(f.cycles_predicted) << c.name;
+      continue;
+    }
+    EXPECT_FALSE(c.cycles_predicted) << c.name;
+    EXPECT_TRUE(f.cycles_predicted) << c.name;
+    EXPECT_GT(f.cycles, 0u) << c.name;
+    EXPECT_EQ(f.macs, c.macs) << c.name;
+    EXPECT_EQ(f.counters.macs_performed, c.counters.macs_performed) << c.name;
+    EXPECT_EQ(f.counters.weight_cmds, c.counters.weight_cmds) << c.name;
+    EXPECT_EQ(f.counters.weight_bubbles, c.counters.weight_bubbles) << c.name;
+    EXPECT_EQ(f.counters.pool_ops, c.counters.pool_ops) << c.name;
+    EXPECT_EQ(f.counters.conv_instrs, c.counters.conv_instrs) << c.name;
+    EXPECT_EQ(f.counters.pad_instrs, c.counters.pad_instrs) << c.name;
+    EXPECT_EQ(f.counters.pool_instrs, c.counters.pool_instrs) << c.name;
+    EXPECT_EQ(f.counters.positions, c.counters.positions) << c.name;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EngineEquivalence, ::testing::Range(0, 12));
+
+// Predicted cycle counts are a model, not a replay: the cycle engine resolves
+// lane overlap dynamically while PerfModel bounds it per position.  The
+// prediction must stay within 10% (or 128 cycles for tiny layers) of the
+// simulated count, layer by layer — close enough to rank layers and size
+// batches, and a tripwire for either side drifting.
+TEST(PerfModelDrift, FastPredictionsTrackCycleEngine) {
+  for (const std::uint64_t seed :
+       {0x5EEDull, 0xD41F7ull, 0xE0E0ull + 3 * 7919, 0xE0E0ull + 9 * 7919}) {
+    const RandomStack stack = make_stack(seed);
+    const driver::NetworkRun cycle = run_stack(stack, driver::ExecMode::kCycle);
+    const driver::NetworkRun fast = run_stack(stack, driver::ExecMode::kFast);
+    ASSERT_EQ(cycle.layers.size(), fast.layers.size());
+    for (std::size_t i = 0; i < cycle.layers.size(); ++i) {
+      if (!cycle.layers[i].on_accelerator) continue;
+      const auto measured = static_cast<std::int64_t>(cycle.layers[i].cycles);
+      const auto predicted = static_cast<std::int64_t>(fast.layers[i].cycles);
+      const std::int64_t band =
+          std::max<std::int64_t>(128, measured / 10);
+      EXPECT_LE(std::abs(predicted - measured), band)
+          << "seed " << seed << " layer " << cycle.layers[i].name
+          << ": predicted " << predicted << " vs measured " << measured;
+    }
+  }
+}
 
 TEST(EngineEquivalence, SixteenUnoptVariantAlsoAgrees) {
   const RandomStack stack = make_stack(0xABCD);
@@ -114,13 +181,17 @@ TEST(EngineEquivalence, SixteenUnoptVariantAlsoAgrees) {
       nn::forward_i8_all(stack.net, stack.model.weights, stack.input);
   core::ArchConfig cfg = core::ArchConfig::k16_unopt();
   cfg.bank_words = 4096;
-  core::Accelerator acc(cfg);
-  sim::Dram dram(32u << 20);
-  sim::DmaEngine dma(dram);
-  driver::Runtime runtime(acc, dram, dma, {.mode = hls::Mode::kCycle});
-  const driver::NetworkRun run =
-      runtime.run_network(stack.net, stack.model, stack.input);
-  EXPECT_EQ(run.final_fm, ref.back().fm);
+  for (const driver::ExecMode mode :
+       {driver::ExecMode::kCycle, driver::ExecMode::kFast}) {
+    core::Accelerator acc(cfg);
+    sim::Dram dram(32u << 20);
+    sim::DmaEngine dma(dram);
+    driver::Runtime runtime(acc, dram, dma, {.mode = mode});
+    const driver::NetworkRun run =
+        runtime.run_network(stack.net, stack.model, stack.input);
+    EXPECT_EQ(run.final_fm, ref.back().fm)
+        << driver::exec_mode_name(mode) << " mode";
+  }
 }
 
 }  // namespace

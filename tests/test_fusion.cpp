@@ -42,7 +42,7 @@ TEST(FusedPadConv, MatchesUnfusedResultBitExactly) {
   core::Accelerator acc(cfg);
   sim::Dram dram(32u << 20);
   sim::DmaEngine dma(dram);
-  driver::Runtime runtime(acc, dram, dma, {.mode = hls::Mode::kCycle});
+  driver::Runtime runtime(acc, dram, dma, {.mode = driver::ExecMode::kCycle});
   driver::LayerRun pad_run;
   driver::LayerRun conv_run;
   pack::TiledFm out;
@@ -68,7 +68,7 @@ TEST(FusedPadConv, SavesDmaTrafficVersusSeparateExecution) {
     core::Accelerator acc(cfg);
     sim::Dram dram(32u << 20);
     sim::DmaEngine dma(dram);
-    driver::Runtime runtime(acc, dram, dma, {.mode = hls::Mode::kCycle});
+    driver::Runtime runtime(acc, dram, dma, {.mode = driver::ExecMode::kCycle});
     if (fused) {
       driver::LayerRun pad_run;
       driver::LayerRun conv_run;
@@ -103,7 +103,7 @@ TEST(FusedPadConv, RefusesWhenItDoesNotFitOnChip) {
   core::Accelerator acc(cfg);
   sim::Dram dram(32u << 20);
   sim::DmaEngine dma(dram);
-  driver::Runtime runtime(acc, dram, dma, {.mode = hls::Mode::kCycle});
+  driver::Runtime runtime(acc, dram, dma, {.mode = driver::ExecMode::kCycle});
   driver::LayerRun a;
   driver::LayerRun b;
   pack::TiledFm out;
@@ -132,7 +132,7 @@ TEST(FusedPadConv, NetworkRunFusionMatchesUnfusedNetworkRun) {
     sim::DmaEngine dma(dram);
     driver::Runtime runtime(
         acc, dram, dma,
-        {.mode = hls::Mode::kCycle, .keep_activations = true,
+        {.mode = driver::ExecMode::kCycle, .keep_activations = true,
          .fuse_pad_conv = fuse});
     return runtime.run_network(net, model, input);
   };

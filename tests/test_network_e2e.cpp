@@ -64,7 +64,7 @@ TEST(NetworkE2E, ScaledVgg16MatchesInt8ReferenceCycleMode) {
   sim::Dram dram(64u << 20);
   sim::DmaEngine dma(dram);
   driver::Runtime runtime(acc, dram, dma,
-                          {.mode = hls::Mode::kCycle,
+                          {.mode = driver::ExecMode::kCycle,
                            .keep_activations = true});
   const driver::NetworkRun run = runtime.run_network(s.net, s.model, input);
 
@@ -96,16 +96,18 @@ TEST(NetworkE2E, ThreadAndCycleEnginesAgreeBitExactly) {
   const Scenario s = make_scenario(/*pruned=*/true, 7);
   const nn::FeatureMapI8 input = quantized_input(s);
 
-  auto run_mode = [&](hls::Mode mode) {
+  auto run_mode = [&](driver::ExecMode mode) {
     core::Accelerator acc(test_config());
     sim::Dram dram(64u << 20);
     sim::DmaEngine dma(dram);
     driver::Runtime runtime(acc, dram, dma, {.mode = mode});
     return runtime.run_network(s.net, s.model, input);
   };
-  const driver::NetworkRun cycle = run_mode(hls::Mode::kCycle);
-  const driver::NetworkRun thread = run_mode(hls::Mode::kThread);
+  const driver::NetworkRun cycle = run_mode(driver::ExecMode::kCycle);
+  const driver::NetworkRun thread = run_mode(driver::ExecMode::kThread);
+  const driver::NetworkRun fast = run_mode(driver::ExecMode::kFast);
   EXPECT_EQ(cycle.logits, thread.logits);
+  EXPECT_EQ(cycle.logits, fast.logits);
 }
 
 TEST(NetworkE2E, QuantizedPipelineTracksFloatOracle) {
@@ -115,7 +117,7 @@ TEST(NetworkE2E, QuantizedPipelineTracksFloatOracle) {
   core::Accelerator acc(test_config());
   sim::Dram dram(64u << 20);
   sim::DmaEngine dma(dram);
-  driver::Runtime runtime(acc, dram, dma, {.mode = hls::Mode::kCycle});
+  driver::Runtime runtime(acc, dram, dma, {.mode = driver::ExecMode::kCycle});
   const driver::NetworkRun run = runtime.run_network(s.net, s.model, input);
 
   // Float oracle logits (last FC output, before softmax).

@@ -216,7 +216,7 @@ TEST(ObsEndToEnd, Vgg16PoolRuntimeLayerSpansMatchLayerRuns) {
 
   driver::AcceleratorPool pool(core::ArchConfig::k256_opt(), {.workers = 4});
   driver::PoolRuntime runtime(
-      pool, {.mode = hls::Mode::kCycle, .trace = &rec, .metrics = &metrics});
+      pool, {.mode = driver::ExecMode::kCycle, .trace = &rec, .metrics = &metrics});
   const driver::NetworkRun run = runtime.run_network(f.net, f.model, f.input);
 
   // Per-layer spans, in record order, must mirror the accelerator layers:
@@ -273,7 +273,7 @@ TEST(ObsEndToEnd, TracingDoesNotChangeResults) {
   const Vgg16Fixture f;
   driver::AcceleratorPool plain_pool(core::ArchConfig::k256_opt(),
                                      {.workers = 2});
-  driver::PoolRuntime plain(plain_pool, {.mode = hls::Mode::kCycle});
+  driver::PoolRuntime plain(plain_pool, {.mode = driver::ExecMode::kCycle});
   const driver::NetworkRun base = plain.run_network(f.net, f.model, f.input);
 
   obs::Recorder rec;
@@ -281,7 +281,7 @@ TEST(ObsEndToEnd, TracingDoesNotChangeResults) {
                                       {.workers = 2});
   driver::PoolRuntime traced(
       traced_pool,
-      {.mode = hls::Mode::kCycle, .trace = &rec, .trace_kernels = true});
+      {.mode = driver::ExecMode::kCycle, .trace = &rec, .trace_kernels = true});
   const driver::NetworkRun with = traced.run_network(f.net, f.model, f.input);
 
   EXPECT_EQ(base.logits, with.logits);
@@ -304,7 +304,7 @@ TEST(ObsEndToEnd, ServeRecordsPerRequestLatency) {
   obs::MetricsRegistry metrics;
   driver::AcceleratorPool pool(core::ArchConfig::k256_opt(), {.workers = 2});
   driver::PoolRuntime runtime(
-      pool, {.mode = hls::Mode::kCycle, .trace = &rec, .metrics = &metrics});
+      pool, {.mode = driver::ExecMode::kCycle, .trace = &rec, .metrics = &metrics});
   const std::vector<driver::NetworkRun> served =
       runtime.serve(f.net, f.model, inputs);
   ASSERT_EQ(served.size(), inputs.size());
@@ -350,7 +350,7 @@ TEST(ObsEndToEnd, KernelSpansAccountBusyAndStall) {
   sim::Dram dram(32u << 20);
   sim::DmaEngine dma(dram);
   driver::Runtime rt(acc, dram, dma,
-                     {.mode = hls::Mode::kCycle, .trace = &rec,
+                     {.mode = driver::ExecMode::kCycle, .trace = &rec,
                       .trace_kernels = true});
   driver::LayerRun run;
   rt.run_conv(pack::to_tiled(fm), pack::pack_filters(filters),

@@ -56,7 +56,7 @@ TEST_P(PerfModelGrid, TracksCycleEngineWithinTolerance) {
   core::Accelerator acc(cfg);
   sim::Dram dram(16u << 20);
   sim::DmaEngine dma(dram);
-  driver::Runtime runtime(acc, dram, dma, {.mode = hls::Mode::kCycle});
+  driver::Runtime runtime(acc, dram, dma, {.mode = driver::ExecMode::kCycle});
   driver::LayerRun run;
   runtime.run_conv(pack::to_tiled(input), packed, bias,
                    nn::Requant{.shift = 6, .relu = true}, run);
@@ -102,7 +102,7 @@ TEST(PerfModelPool, TracksCycleEngineForPoolAndPad) {
   core::Accelerator acc(cfg);
   sim::Dram dram(16u << 20);
   sim::DmaEngine dma(dram);
-  driver::Runtime runtime(acc, dram, dma, {.mode = hls::Mode::kCycle});
+  driver::Runtime runtime(acc, dram, dma, {.mode = driver::ExecMode::kCycle});
   const driver::PerfModel model(cfg);
 
   {

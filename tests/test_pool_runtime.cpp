@@ -71,13 +71,13 @@ TEST_P(PoolWorkers, ConvMatchesSerial) {
     core::Accelerator acc(cfg);
     sim::Dram dram(32u << 20);
     sim::DmaEngine dma(dram);
-    driver::Runtime serial(acc, dram, dma, {.mode = hls::Mode::kCycle});
+    driver::Runtime serial(acc, dram, dma, {.mode = driver::ExecMode::kCycle});
     driver::LayerRun serial_run;
     const pack::TiledFm serial_out =
         serial.run_conv(input, packed, bias, rq, serial_run);
 
     driver::AcceleratorPool pool(cfg, {.workers = GetParam()});
-    driver::PoolRuntime pooled(pool, {.mode = hls::Mode::kCycle});
+    driver::PoolRuntime pooled(pool, {.mode = driver::ExecMode::kCycle});
     driver::LayerRun pooled_run;
     const pack::TiledFm pooled_out =
         pooled.run_conv(input, packed, bias, rq, pooled_run);
@@ -97,14 +97,14 @@ TEST_P(PoolWorkers, MaxPoolMatchesSerial) {
   core::Accelerator acc(cfg);
   sim::Dram dram(32u << 20);
   sim::DmaEngine dma(dram);
-  driver::Runtime serial(acc, dram, dma, {.mode = hls::Mode::kCycle});
+  driver::Runtime serial(acc, dram, dma, {.mode = driver::ExecMode::kCycle});
   driver::LayerRun serial_run;
   const pack::TiledFm serial_out =
       serial.run_pad_pool(pack::to_tiled(image), core::Opcode::kPool,
                           out_shape, 2, 2, 0, 0, serial_run);
 
   driver::AcceleratorPool pool(cfg, {.workers = GetParam()});
-  driver::PoolRuntime pooled(pool, {.mode = hls::Mode::kCycle});
+  driver::PoolRuntime pooled(pool, {.mode = driver::ExecMode::kCycle});
   driver::LayerRun pooled_run;
   const pack::TiledFm pooled_out =
       pooled.run_pad_pool(pack::to_tiled(image), core::Opcode::kPool,
@@ -129,13 +129,13 @@ TEST_P(PoolWorkers, ConvBatchMatchesSerial) {
   core::Accelerator acc(cfg);
   sim::Dram dram(32u << 20);
   sim::DmaEngine dma(dram);
-  driver::Runtime serial(acc, dram, dma, {.mode = hls::Mode::kCycle});
+  driver::Runtime serial(acc, dram, dma, {.mode = driver::ExecMode::kCycle});
   driver::LayerRun serial_run;
   const std::vector<pack::TiledFm> serial_out =
       serial.run_conv_batch(images, packed, bias, rq, serial_run);
 
   driver::AcceleratorPool pool(cfg, {.workers = GetParam()});
-  driver::PoolRuntime pooled(pool, {.mode = hls::Mode::kCycle});
+  driver::PoolRuntime pooled(pool, {.mode = driver::ExecMode::kCycle});
   driver::LayerRun pooled_run;
   const std::vector<pack::TiledFm> pooled_out =
       pooled.run_conv_batch(images, packed, bias, rq, pooled_run);
@@ -166,7 +166,7 @@ TEST_P(PoolWorkers, ServeMatchesSerialPerRequest) {
     inputs.push_back(random_fm(net.input_shape(), rng));
 
   const core::ArchConfig cfg = core::ArchConfig::k256_opt();
-  const driver::RuntimeOptions options{.mode = hls::Mode::kCycle};
+  const driver::RuntimeOptions options{.mode = driver::ExecMode::kCycle};
   std::vector<driver::NetworkRun> serial;
   for (const nn::FeatureMapI8& input : inputs) {
     core::Accelerator acc(cfg);

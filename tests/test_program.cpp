@@ -127,7 +127,7 @@ TEST(Program, CompileResolvesStepsAndFusion) {
 TEST(Program, CompileOnceExecuteManyMatchesFreshCompile) {
   Vgg16Fixture fx(302);
   const core::ArchConfig cfg = core::ArchConfig::k256_opt();
-  const driver::RuntimeOptions options{.mode = hls::Mode::kCycle};
+  const driver::RuntimeOptions options{.mode = driver::ExecMode::kCycle};
 
   constexpr int kRequests = 3;
   std::vector<nn::FeatureMapI8> inputs;
@@ -161,7 +161,7 @@ TEST(Program, CompileOnceExecuteManyMatchesFreshCompile) {
 TEST(Program, RestagesWhenProgramsAlternate) {
   Vgg16Fixture fx(303);
   const core::ArchConfig cfg = core::ArchConfig::k256_opt();
-  const driver::RuntimeOptions options{.mode = hls::Mode::kCycle};
+  const driver::RuntimeOptions options{.mode = driver::ExecMode::kCycle};
   const nn::FeatureMapI8 input = random_fm(fx.net.input_shape(), fx.rng);
 
   const driver::NetworkProgram fused =
@@ -211,7 +211,7 @@ TEST(Program, ConvOverloadsMatch) {
     core::Accelerator acc(cfg);
     sim::Dram dram(32u << 20);
     sim::DmaEngine dma(dram);
-    driver::Runtime runtime(acc, dram, dma, {.mode = hls::Mode::kCycle});
+    driver::Runtime runtime(acc, dram, dma, {.mode = driver::ExecMode::kCycle});
     legacy_out = runtime.run_conv(input, packed, bias, rq, legacy_run);
   }
 
@@ -220,7 +220,7 @@ TEST(Program, ConvOverloadsMatch) {
   core::Accelerator acc(cfg);
   sim::Dram dram(32u << 20);
   sim::DmaEngine dma(dram);
-  driver::Runtime runtime(acc, dram, dma, {.mode = hls::Mode::kCycle});
+  driver::Runtime runtime(acc, dram, dma, {.mode = driver::ExecMode::kCycle});
   for (int rep = 0; rep < 2; ++rep) {
     SCOPED_TRACE("rep " + std::to_string(rep));
     driver::LayerRun run;
@@ -247,7 +247,7 @@ TEST(Program, ConvBatchOverloadsMatch) {
     core::Accelerator acc(cfg);
     sim::Dram dram(32u << 20);
     sim::DmaEngine dma(dram);
-    driver::Runtime runtime(acc, dram, dma, {.mode = hls::Mode::kCycle});
+    driver::Runtime runtime(acc, dram, dma, {.mode = driver::ExecMode::kCycle});
     legacy_out = runtime.run_conv_batch(images, packed, bias, rq, legacy_run);
   }
 
@@ -256,7 +256,7 @@ TEST(Program, ConvBatchOverloadsMatch) {
   core::Accelerator acc(cfg);
   sim::Dram dram(32u << 20);
   sim::DmaEngine dma(dram);
-  driver::Runtime runtime(acc, dram, dma, {.mode = hls::Mode::kCycle});
+  driver::Runtime runtime(acc, dram, dma, {.mode = driver::ExecMode::kCycle});
   driver::LayerRun run;
   EXPECT_EQ(legacy_out, runtime.run_conv_batch(images, conv, run));
   expect_same_run(legacy_run, run);
@@ -279,7 +279,7 @@ TEST(Program, FcAsConvOverloadsMatch) {
     core::Accelerator acc(cfg);
     sim::Dram dram(32u << 20);
     sim::DmaEngine dma(dram);
-    driver::Runtime runtime(acc, dram, dma, {.mode = hls::Mode::kCycle});
+    driver::Runtime runtime(acc, dram, dma, {.mode = driver::ExecMode::kCycle});
     legacy_logits =
         runtime.run_fc_as_conv(input, weights, bias, kOut, rq, legacy_run);
   }
@@ -289,7 +289,7 @@ TEST(Program, FcAsConvOverloadsMatch) {
   core::Accelerator acc(cfg);
   sim::Dram dram(32u << 20);
   sim::DmaEngine dma(dram);
-  driver::Runtime runtime(acc, dram, dma, {.mode = hls::Mode::kCycle});
+  driver::Runtime runtime(acc, dram, dma, {.mode = driver::ExecMode::kCycle});
   driver::LayerRun run;
   EXPECT_EQ(legacy_logits, runtime.run_fc_as_conv(input, fc_conv, run));
   expect_same_run(legacy_run, run);
@@ -317,7 +317,7 @@ TEST(Program, FusionDecisionMatchesRuntimeCheck) {
     core::Accelerator acc(cfg);
     sim::Dram dram(32u << 20);
     sim::DmaEngine dma(dram);
-    driver::Runtime runtime(acc, dram, dma, {.mode = hls::Mode::kCycle});
+    driver::Runtime runtime(acc, dram, dma, {.mode = driver::ExecMode::kCycle});
     driver::LayerRun pad_run, conv_run;
     pack::TiledFm output;
     const bool ran = runtime.run_fused_pad_conv(
@@ -335,7 +335,7 @@ class ProgramPoolWorkers : public ::testing::TestWithParam<int> {};
 TEST_P(ProgramPoolWorkers, ServeSharedProgramMatchesSerial) {
   Vgg16Fixture fx(308);
   const core::ArchConfig cfg = core::ArchConfig::k256_opt();
-  const driver::RuntimeOptions options{.mode = hls::Mode::kCycle};
+  const driver::RuntimeOptions options{.mode = driver::ExecMode::kCycle};
 
   constexpr int kRequests = 6;
   std::vector<nn::FeatureMapI8> inputs;
@@ -383,12 +383,12 @@ TEST_P(ProgramPoolWorkers, PooledStripedLayersShareProgram) {
     core::Accelerator acc(cfg);
     sim::Dram dram(32u << 20);
     sim::DmaEngine dma(dram);
-    driver::Runtime runtime(acc, dram, dma, {.mode = hls::Mode::kCycle});
+    driver::Runtime runtime(acc, dram, dma, {.mode = driver::ExecMode::kCycle});
     serial_out = runtime.run_conv(input, conv, serial_run);
   }
 
   driver::AcceleratorPool pool(cfg, {.workers = GetParam()});
-  driver::PoolRuntime pooled(pool, {.mode = hls::Mode::kCycle});
+  driver::PoolRuntime pooled(pool, {.mode = driver::ExecMode::kCycle});
   driver::LayerRun pooled_run;
   const pack::TiledFm pooled_out = pooled.run_conv(input, conv, pooled_run);
 

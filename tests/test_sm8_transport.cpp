@@ -115,7 +115,7 @@ TEST(Sm8Transport, BankContentsCanonicalAfterConvAndPool) {
     core::Accelerator acc(cfg);
     sim::Dram dram(32u << 20);
     sim::DmaEngine dma(dram);
-    driver::Runtime rt(acc, dram, dma, {.mode = hls::Mode::kCycle});
+    driver::Runtime rt(acc, dram, dma, {.mode = driver::ExecMode::kCycle});
 
     const pack::TiledFm input = pack::to_tiled(random_fm({c, h, w}, rng));
     const pack::PackedFilters packed =

@@ -71,7 +71,7 @@ TEST(LayerRunReuse, ConvSecondCallMatchesFirst) {
   core::Accelerator acc(striped_config());
   sim::Dram dram(32u << 20);
   sim::DmaEngine dma(dram);
-  driver::Runtime rt(acc, dram, dma, {.mode = hls::Mode::kCycle});
+  driver::Runtime rt(acc, dram, dma, {.mode = driver::ExecMode::kCycle});
 
   driver::LayerRun run;
   rt.run_conv(input, packed, bias, rq, run);
@@ -89,7 +89,7 @@ TEST(LayerRunReuse, PadPoolSecondCallMatchesFirst) {
   core::Accelerator acc(striped_config());
   sim::Dram dram(32u << 20);
   sim::DmaEngine dma(dram);
-  driver::Runtime rt(acc, dram, dma, {.mode = hls::Mode::kCycle});
+  driver::Runtime rt(acc, dram, dma, {.mode = driver::ExecMode::kCycle});
 
   driver::LayerRun run;
   rt.run_pad_pool(input, core::Opcode::kPool, {8, 7, 7}, 2, 2, 0, 0, run);
@@ -111,7 +111,7 @@ TEST(LayerRunReuse, ConvBatchSecondCallMatchesFirst) {
   core::Accelerator acc(striped_config());
   sim::Dram dram(32u << 20);
   sim::DmaEngine dma(dram);
-  driver::Runtime rt(acc, dram, dma, {.mode = hls::Mode::kCycle});
+  driver::Runtime rt(acc, dram, dma, {.mode = driver::ExecMode::kCycle});
 
   driver::LayerRun run;
   rt.run_conv_batch(images, packed, bias, rq, run);
@@ -131,7 +131,7 @@ TEST(LayerRunReuse, PoolRuntimeResetsDirtyRun) {
   const nn::Requant rq{.shift = 6, .relu = true};
 
   driver::AcceleratorPool pool(striped_config(), {.workers = 2});
-  driver::PoolRuntime rt(pool, {.mode = hls::Mode::kCycle});
+  driver::PoolRuntime rt(pool, {.mode = driver::ExecMode::kCycle});
 
   driver::LayerRun run;
   rt.run_conv(input, packed, bias, rq, run);

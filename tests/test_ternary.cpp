@@ -89,7 +89,9 @@ TEST(TernaryAccelerator, ConvMatchesReferenceBothEngines) {
   const nn::FeatureMapI8 expected =
       nn::conv2d_i8(input, tl.weights, bias, 1, rq);
 
-  for (const hls::Mode mode : {hls::Mode::kCycle, hls::Mode::kThread}) {
+  for (const driver::ExecMode mode :
+       {driver::ExecMode::kCycle, driver::ExecMode::kThread,
+        driver::ExecMode::kFast}) {
     core::ArchConfig cfg = core::ArchConfig::k256_opt();
     cfg.bank_words = 2048;
     core::Accelerator acc(cfg);
@@ -133,7 +135,7 @@ TEST(TernaryNetwork, EndToEndThroughAcceleratorMatchesInt8Reference) {
   core::Accelerator acc(cfg);
   sim::Dram dram(64u << 20);
   sim::DmaEngine dma(dram);
-  driver::Runtime runtime(acc, dram, dma, {.mode = hls::Mode::kCycle});
+  driver::Runtime runtime(acc, dram, dma, {.mode = driver::ExecMode::kCycle});
   const driver::NetworkRun run = runtime.run_network(net, model, input);
   ASSERT_TRUE(run.flat_output);
   EXPECT_EQ(run.logits, ref.back().flat);

@@ -86,7 +86,7 @@ TEST(FcAsConv, MatchesHostFcButWastesTheDatapath) {
   core::Accelerator acc(cfg);
   sim::Dram dram(32u << 20);
   sim::DmaEngine dma(dram);
-  driver::Runtime runtime(acc, dram, dma, {.mode = hls::Mode::kCycle});
+  driver::Runtime runtime(acc, dram, dma, {.mode = driver::ExecMode::kCycle});
   driver::LayerRun run;
   const std::vector<std::int8_t> logits =
       runtime.run_fc_as_conv(input, weights, bias, out_dim, rq, run);
