@@ -147,12 +147,14 @@ FastSection run_fast_section(const Workload& w,
       f.ok = false;
     }
 
-  const obs::Histogram& cyc = cycle_metrics.histogram("serve.request_wall_us");
-  const obs::Histogram& fst = fast_metrics.histogram("serve.request_wall_us");
-  f.cycle_p50_us = static_cast<double>(cyc.quantile(0.5));
-  f.cycle_p99_us = static_cast<double>(cyc.quantile(0.99));
-  f.fast_p50_us = static_cast<double>(fst.quantile(0.5));
-  f.fast_p99_us = static_cast<double>(fst.quantile(0.99));
+  const obs::HistogramSnapshot cyc =
+      cycle_metrics.histogram("serve.request_wall_us").snapshot();
+  const obs::HistogramSnapshot fst =
+      fast_metrics.histogram("serve.request_wall_us").snapshot();
+  f.cycle_p50_us = static_cast<double>(cyc.p50);
+  f.cycle_p99_us = static_cast<double>(cyc.p99);
+  f.fast_p50_us = static_cast<double>(fst.p50);
+  f.fast_p99_us = static_cast<double>(fst.p99);
   f.speedup_p50 =
       f.fast_p50_us > 0.0 ? f.cycle_p50_us / f.fast_p50_us : 0.0;
   std::printf("  cycle  p50=%9.0f us  p99=%9.0f us\n", f.cycle_p50_us,
@@ -265,10 +267,11 @@ int main(int argc, char** argv) {
       }
     }
     Measurement m{workers, wall, cycles, double(kImages)};
-    const obs::Histogram& lat = metrics.histogram("serve.request_wall_us");
-    m.lat_p50_us = lat.quantile(0.5);
-    m.lat_p95_us = lat.quantile(0.95);
-    m.lat_max_us = lat.max();
+    const obs::HistogramSnapshot lat =
+        metrics.histogram("serve.request_wall_us").snapshot();
+    m.lat_p50_us = lat.p50;
+    m.lat_p95_us = lat.p95;
+    m.lat_max_us = lat.max;
     serve_rows.push_back(m);
     std::printf("  workers=%-3d %8.2f s %10.2f img/s %12.0f cyc/s "
                 "(req p50=%lld us p95=%lld us)\n",
@@ -360,12 +363,10 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  const obs::Histogram& warm_lat =
-      warm_metrics.histogram("serve.request_wall_us");
-  const double warm_p50_ms =
-      static_cast<double>(warm_lat.quantile(0.5)) / 1e3;
-  const double warm_p95_ms =
-      static_cast<double>(warm_lat.quantile(0.95)) / 1e3;
+  const obs::HistogramSnapshot warm_lat =
+      warm_metrics.histogram("serve.request_wall_us").snapshot();
+  const double warm_p50_ms = static_cast<double>(warm_lat.p50) / 1e3;
+  const double warm_p95_ms = static_cast<double>(warm_lat.p95) / 1e3;
   std::printf("  compile %8.2f ms\n", compile_ms);
   std::printf("  cold    %8.2f ms (compile + first request)\n", cold_first_ms);
   std::printf("  warm    %8.2f ms p50 / %8.2f ms p95 per request\n",

@@ -7,22 +7,32 @@
 // pass a divisor argument to change it (1 = the real network — minutes).
 //
 // Usage: ./build/examples/vgg16_inference [channel_divisor] [--thread]
-//            [--fast] [--pool[=N]] [--trace FILE] [--metrics]
+//            [--fast] [--pool[=N]] [--serve N] [--trace FILE] [--metrics]
 //   --fast        run the SIMD functional fast path instead of a simulation
 //                 engine: bit-identical outputs, cycle counts predicted by
 //                 the performance model (flagged "predicted" below)
 //   --pool[=N]    run layers through the PoolRuntime with N workers
 //                 (default: hardware concurrency)
+//   --serve N     serve N requests through the serving subsystem (queue +
+//                 dynamic batching + worker threads) instead of one bare
+//                 run; composes with --fast/--thread (execution mode),
+//                 --pool (worker count), --trace and --metrics
 //   --trace FILE  write a Chrome trace_event JSON (chrome://tracing,
 //                 Perfetto) of the run to FILE
 //   --metrics     dump the metrics registry (counters + latency
 //                 histograms) after the run
+//
+// Every flag composes with every other; conflicting or unknown flags are an
+// error, not a silent override (picking exactly one execution engine is the
+// only exclusivity: --thread vs --fast).
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <future>
 #include <thread>
+#include <vector>
 
 #include "core/accelerator.hpp"
 #include "driver/accelerator_pool.hpp"
@@ -34,36 +44,71 @@
 #include "obs/trace.hpp"
 #include "quant/prune.hpp"
 #include "quant/quantize.hpp"
+#include "serve/load_generator.hpp"
+#include "serve/server.hpp"
 #include "util/rng.hpp"
 
 using namespace tsca;
 
+namespace {
+
+[[noreturn]] void usage_error(const char* msg, const char* arg) {
+  std::fprintf(stderr, "error: %s%s%s\n", msg, arg != nullptr ? ": " : "",
+               arg != nullptr ? arg : "");
+  std::fprintf(stderr,
+               "usage: vgg16_inference [channel_divisor] [--thread|--fast] "
+               "[--pool[=N]] [--serve N] [--trace FILE] [--metrics]\n");
+  std::exit(2);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   int divisor = 8;
+  bool divisor_set = false;
   driver::ExecMode mode = driver::ExecMode::kCycle;
+  bool mode_set = false;
   int pool_workers = 0;  // 0 = serial Runtime
+  int serve_requests = 0;  // 0 = single inference, no server
   const char* trace_path = nullptr;
   bool dump_metrics = false;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--thread") == 0) {
-      mode = driver::ExecMode::kThread;
-    } else if (std::strcmp(argv[i], "--fast") == 0) {
-      mode = driver::ExecMode::kFast;
+    if (std::strcmp(argv[i], "--thread") == 0 ||
+        std::strcmp(argv[i], "--fast") == 0) {
+      const driver::ExecMode wanted = std::strcmp(argv[i], "--fast") == 0
+                                          ? driver::ExecMode::kFast
+                                          : driver::ExecMode::kThread;
+      if (mode_set && mode != wanted)
+        usage_error("--thread and --fast are mutually exclusive", nullptr);
+      mode = wanted;
+      mode_set = true;
     } else if (std::strcmp(argv[i], "--pool") == 0) {
       pool_workers = static_cast<int>(std::thread::hardware_concurrency());
       if (pool_workers < 1) pool_workers = 2;
     } else if (std::strncmp(argv[i], "--pool=", 7) == 0) {
       pool_workers = std::atoi(argv[i] + 7);
-      if (pool_workers < 1) pool_workers = 1;
+      if (pool_workers < 1)
+        usage_error("--pool=N needs a positive worker count", argv[i]);
+    } else if (std::strcmp(argv[i], "--serve") == 0 && i + 1 < argc) {
+      serve_requests = std::atoi(argv[++i]);
+      if (serve_requests < 1)
+        usage_error("--serve N needs a positive request count", argv[i]);
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       dump_metrics = true;
+    } else if (argv[i][0] == '-') {
+      // An unrecognized flag used to fall through to atoi() and silently
+      // reconfigure the network size; make it a hard error instead.
+      usage_error("unknown flag", argv[i]);
     } else {
+      if (divisor_set) usage_error("more than one channel divisor", argv[i]);
       divisor = std::atoi(argv[i]);
+      if (divisor < 1)
+        usage_error("channel divisor must be a positive integer", argv[i]);
+      divisor_set = true;
     }
   }
-  if (divisor < 1) divisor = 1;
 
   Rng rng(2017);
   const nn::Network net = nn::build_vgg16(
@@ -112,6 +157,52 @@ int main(int argc, char** argv) {
               program.steps().size(),
               static_cast<double>(program.ddr_image().size()) / 1024.0,
               compile_s * 1e3);
+
+  if (serve_requests > 0) {
+    // Serving mode: the compiled program behind a queue + dynamic batching +
+    // worker threads, driven by a deterministic closed-loop load.
+    serve::ServerOptions sopts;
+    sopts.workers = pool_workers > 0 ? pool_workers : 1;
+    sopts.mode = mode;
+    if (trace_path != nullptr) sopts.trace = &recorder;
+    if (dump_metrics) sopts.metrics = &metrics;
+    serve::Server server(program, sopts);
+    std::printf("serving %d requests: %d worker%s, %s mode, max batch %d\n",
+                serve_requests, sopts.workers, sopts.workers == 1 ? "" : "s",
+                driver::exec_mode_name(mode), sopts.batch.max_batch);
+
+    serve::LoadOptions load;
+    load.requests = serve_requests;
+    load.concurrency = 2 * sopts.workers;
+    load.seed = 2017;
+    const serve::LoadReport report = serve::run_load(server, load);
+    server.stop();
+
+    std::printf("  ok %d  rejected %d  deadline-missed %d  cancelled %d\n",
+                report.ok, report.rejected, report.deadline_missed,
+                report.cancelled);
+    std::printf("  latency p50=%lld us  p90=%lld us  p99=%lld us  "
+                "(max batch %d)\n",
+                static_cast<long long>(report.latency_us.p50),
+                static_cast<long long>(report.latency_us.p90),
+                static_cast<long long>(report.latency_us.p99),
+                report.max_batch_seen);
+    std::printf("  goodput %.1f req/s over %.2f s\n", report.goodput_rps,
+                static_cast<double>(report.wall_us) * 1e-6);
+
+    if (trace_path != nullptr) {
+      std::ofstream out(trace_path);
+      if (!out) {
+        std::fprintf(stderr, "cannot open %s for writing\n", trace_path);
+        return 1;
+      }
+      obs::write_chrome_trace(recorder, out);
+      std::printf("wrote %zu trace events to %s\n", recorder.event_count(),
+                  trace_path);
+    }
+    if (dump_metrics) std::printf("\nmetrics:\n%s", metrics.text().c_str());
+    return 0;
+  }
 
   driver::NetworkRun run;
   const auto t0 = std::chrono::steady_clock::now();

@@ -26,18 +26,23 @@ run_config() {
   cmake -B "${root}/${build_dir}" -S "${root}" "$@"
   cmake --build "${root}/${build_dir}" -j "${jobs}"
   ctest --test-dir "${root}/${build_dir}" --output-on-failure -j "${jobs}"
+  # Serving-scheduler smoke: quick offered-load point; its overload gate
+  # (batched beats batch-1 FIFO on p99 and goodput) must hold.
+  echo "=== ${build_dir} bench_serve_scheduler --quick ==="
+  (cd "${root}/${build_dir}" && ./bench/bench_serve_scheduler --quick)
 }
 
 # ThreadSanitizer build, restricted to the suites that exercise cross-thread
-# sharing: the accelerator pool, the pooled runtime, and the shared
-# NetworkProgram serving tests.  (Full-suite TSan is tier 2 — too slow.)
+# sharing: the accelerator pool, the pooled runtime, the shared
+# NetworkProgram serving tests, and the serving subsystem (queue, scheduler,
+# server, load generator).  (Full-suite TSan is tier 2 — too slow.)
 run_tsan() {
   build_dir=build-tsan
-  echo "=== ${build_dir} (-DTSCA_SANITIZE=thread, Pool|Program tests) ==="
+  echo "=== ${build_dir} (-DTSCA_SANITIZE=thread, Pool|Program|Serve tests) ==="
   cmake -B "${root}/${build_dir}" -S "${root}" -DTSCA_SANITIZE=thread
   cmake --build "${root}/${build_dir}" -j "${jobs}"
   ctest --test-dir "${root}/${build_dir}" --output-on-failure -j "${jobs}" \
-    -R 'Pool|Program'
+    -R 'Pool|Program|Serve'
 }
 
 # Scalar fast path: the SIMD wrapper compiled with its portable fallback

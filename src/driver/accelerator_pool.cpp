@@ -1,5 +1,6 @@
 #include "driver/accelerator_pool.hpp"
 
+#include "driver/program.hpp"
 #include "util/check.hpp"
 
 namespace tsca::driver {
@@ -82,6 +83,19 @@ void AcceleratorPool::parallel_for(std::size_t n, const Task& fn) {
     error = error_;
   }
   if (error) std::rethrow_exception(error);
+}
+
+void stage_program_in_context(AcceleratorPool::Context& ctx,
+                              const NetworkProgram& program) {
+  if (ctx.staged_stamp == program.stamp()) return;
+  const std::vector<std::uint8_t>& image = program.ddr_image();
+  TSCA_CHECK(image.size() <= ctx.dram.size(),
+             "program weight image (" << image.size()
+                                      << " bytes) larger than DDR");
+  if (!image.empty()) ctx.dram.write(0, image.data(), image.size());
+  ctx.staged_stamp = program.stamp();
+  ctx.ddr_floor = image.size();
+  ctx.ddr_cursor = image.size();
 }
 
 }  // namespace tsca::driver

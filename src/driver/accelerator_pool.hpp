@@ -30,6 +30,8 @@
 
 namespace tsca::driver {
 
+class NetworkProgram;
+
 struct PoolOptions {
   int workers = 1;                       // worker threads == contexts
   std::size_t dram_bytes = 64u << 20;    // per-context staging DDR
@@ -94,5 +96,12 @@ class AcceleratorPool {
   std::exception_ptr error_;
   bool shutdown_ = false;
 };
+
+// Makes `program`'s weight image resident in `ctx`'s DDR (a host write — no
+// DMA statistics) and fences the context's bump allocator above it; no-op
+// when the image is already staged.  Shared by PoolRuntime (every pool
+// context) and the serving layer (every Server worker context).
+void stage_program_in_context(AcceleratorPool::Context& ctx,
+                              const NetworkProgram& program);
 
 }  // namespace tsca::driver

@@ -251,22 +251,11 @@ std::vector<pack::TiledFm> PoolRuntime::run_conv_batch(
 }
 
 void PoolRuntime::ensure_program_staged(const NetworkProgram& program) {
-  // Context 0 backs the base runtime's acc_/dram_/dma_; the base call writes
-  // its DDR and fences the base-class bump allocator above the image.
-  Runtime::ensure_program_staged(program);
-  const std::vector<std::uint8_t>& image = program.ddr_image();
-  for (int i = 0; i < pool_.workers(); ++i) {
-    AcceleratorPool::Context& ctx = pool_.context(i);
-    if (ctx.staged_stamp == program.stamp()) continue;
-    TSCA_CHECK(image.size() <= ctx.dram.size(),
-               "program weight image (" << image.size()
-                                        << " bytes) larger than DDR");
-    if (i != 0 && !image.empty())
-      ctx.dram.write(0, image.data(), image.size());
-    ctx.staged_stamp = program.stamp();
-    ctx.ddr_floor = image.size();
-    ctx.ddr_cursor = image.size();
-  }
+  for (int i = 0; i < pool_.workers(); ++i)
+    stage_program_in_context(pool_.context(i), program);
+  // Context 0 backs the base runtime's acc_/dram_/dma_: adopt the residency
+  // it just received so the base-class bump allocator fences above the image.
+  adopt_staged_program(program.stamp(), program.ddr_image().size());
 }
 
 std::vector<NetworkRun> PoolRuntime::serve(

@@ -689,6 +689,31 @@ void Runtime::fast_fused_pad_conv(const pack::TiledFm& input,
   finish_layer(conv_run);
 }
 
+namespace {
+
+// Polls the cooperative cancellation flag between network steps.
+void check_cancel(const RuntimeOptions& options) {
+  if (options.cancel != nullptr &&
+      options.cancel->load(std::memory_order_relaxed))
+    throw RequestCancelled{};
+}
+
+// Folds one image's layer statistics into the batch-aggregate LayerRun:
+// additive fields sum (matching run_conv_batch's per-image linear scaling),
+// per-plan fields (stripes) are identical across images and copied through.
+void fold_layer_run(LayerRun& agg, const LayerRun& one) {
+  agg.on_accelerator = agg.on_accelerator || one.on_accelerator;
+  agg.cycles += one.cycles;
+  agg.cycles_predicted = agg.cycles_predicted || one.cycles_predicted;
+  agg.macs += one.macs;
+  agg.stripes = one.stripes;
+  agg.batches += one.batches;
+  agg.counters += one.counters;
+  agg.dma += one.dma;
+}
+
+}  // namespace
+
 NetworkRun Runtime::run_network(const NetworkProgram& program,
                                 const nn::FeatureMapI8& input) {
   TSCA_CHECK(input.shape() == program.net().input_shape(),
@@ -701,6 +726,7 @@ NetworkRun Runtime::run_network(const NetworkProgram& program,
   bool is_flat = false;
 
   for (const NetworkProgram::Step& step : program.steps()) {
+    check_cancel(options_);
     const nn::LayerSpec& spec = layers[step.layer];
     LayerRun run;
     run.name = spec.name;
@@ -757,6 +783,92 @@ NetworkRun Runtime::run_network(const NetworkProgram& program,
     result.logits = std::move(flat);
   else
     result.final_fm = pack::from_tiled(fm);
+  return result;
+}
+
+BatchNetworkRun Runtime::run_network_batch(
+    const NetworkProgram& program,
+    const std::vector<nn::FeatureMapI8>& inputs) {
+  TSCA_CHECK(!inputs.empty());
+  for (const nn::FeatureMapI8& input : inputs)
+    TSCA_CHECK(input.shape() == program.net().input_shape(),
+               "input shape mismatch");
+  ensure_program_staged(program);
+  const std::vector<nn::LayerSpec>& layers = program.net().layers();
+  const std::size_t n = inputs.size();
+
+  BatchNetworkRun result;
+  result.requests.resize(n);
+  std::vector<pack::TiledFm> fms;
+  fms.reserve(n);
+  for (const nn::FeatureMapI8& input : inputs)
+    fms.push_back(pack::to_tiled(input));
+  std::vector<std::vector<std::int8_t>> flats(n);
+  bool is_flat = false;
+
+  for (const NetworkProgram::Step& step : program.steps()) {
+    check_cancel(options_);
+    const nn::LayerSpec& spec = layers[step.layer];
+    LayerRun agg;
+    agg.name = spec.name;
+    agg.kind = spec.kind;
+    switch (step.exec) {
+      case NetworkProgram::Step::Exec::kFusedPadConv: {
+        LayerRun conv_agg;
+        conv_agg.name = layers[step.layer + 1].name;
+        conv_agg.kind = layers[step.layer + 1].kind;
+        for (std::size_t i = 0; i < n; ++i) {
+          LayerRun pad_one, conv_one;
+          pack::TiledFm fused_out;
+          run_fused_pad_conv(fms[i], program.conv(step.conv),
+                             program.fused(step.fused), fused_out, pad_one,
+                             conv_one);
+          fms[i] = std::move(fused_out);
+          fold_layer_run(agg, pad_one);
+          fold_layer_run(conv_agg, conv_one);
+        }
+        result.layers.push_back(std::move(agg));
+        result.layers.push_back(std::move(conv_agg));
+        continue;  // two layers pushed
+      }
+      case NetworkProgram::Step::Exec::kPadPool:
+        for (std::size_t i = 0; i < n; ++i) {
+          LayerRun one;
+          fms[i] = run_pad_pool(fms[i], program.pool(step.pool), one);
+          fold_layer_run(agg, one);
+        }
+        break;
+      case NetworkProgram::Step::Exec::kConv:
+        // The batched path: every weight chunk staged once for all images.
+        fms = run_conv_batch(fms, program.conv(step.conv), agg);
+        break;
+      case NetworkProgram::Step::Exec::kFlatten:
+        for (std::size_t i = 0; i < n; ++i) {
+          const nn::FeatureMapI8 linear = pack::from_tiled(fms[i]);
+          flats[i].assign(linear.data(), linear.data() + linear.size());
+        }
+        is_flat = true;
+        break;
+      case NetworkProgram::Step::Exec::kFc: {
+        const FcProgram& fc = program.fc(step.fc);
+        for (std::size_t i = 0; i < n; ++i)
+          flats[i] = nn::fc_i8(flats[i], fc.weights, fc.bias, fc.out_dim,
+                               fc.rq);
+        break;
+      }
+      case NetworkProgram::Step::Exec::kSoftmax:
+        break;  // host-side, float domain; logits pass through
+    }
+    result.layers.push_back(std::move(agg));
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    result.requests[i].flat_output = is_flat;
+    if (is_flat)
+      result.requests[i].logits = std::move(flats[i]);
+    else
+      result.requests[i].final_fm = pack::from_tiled(fms[i]);
+  }
   return result;
 }
 

@@ -13,6 +13,8 @@
 // concurrently on separate stripes, §IV-D).
 #pragma once
 
+#include <atomic>
+#include <exception>
 #include <string>
 #include <vector>
 
@@ -64,6 +66,20 @@ struct RuntimeOptions {
   obs::MetricsRegistry* metrics = nullptr;
   std::string trace_scope = {};  // NSDMI: keeps designated inits warning-free
   bool trace_kernels = false;
+  // Cooperative cancellation: when non-null, run_network / run_network_batch
+  // poll the flag between steps and abort by throwing RequestCancelled.  The
+  // serving layer uses this to stop in-flight requests without waiting for a
+  // whole network pass to drain.
+  const std::atomic<bool>* cancel = nullptr;
+};
+
+// Thrown by run_network / run_network_batch when RuntimeOptions::cancel was
+// raised mid-execution.  Completed layers' side effects (counters, DMA
+// statistics in the context) remain — the request's outputs are simply never
+// produced.
+class RequestCancelled : public std::exception {
+ public:
+  const char* what() const noexcept override { return "request cancelled"; }
 };
 
 // Per-layer execution record.
@@ -102,6 +118,17 @@ struct NetworkRun {
   nn::FeatureMapI8 final_fm;             // final feature map (if not flat)
   bool flat_output = false;
   std::vector<nn::FeatureMapI8> activations;  // per layer, if requested
+};
+
+// One batched execution of a compiled network over same-shaped inputs.
+// Outputs are bit-identical to running each input through run_network alone;
+// statistics are aggregated per layer over the whole batch (a conv layer's
+// cycles/counters/DMA cover all images, with each weight chunk staged once —
+// the amortization dynamic batching buys).  The per-request NetworkRuns carry
+// outputs only; their `layers` vectors stay empty.
+struct BatchNetworkRun {
+  std::vector<LayerRun> layers;
+  std::vector<NetworkRun> requests;
 };
 
 class Runtime {
@@ -156,6 +183,14 @@ class Runtime {
   // same const program.
   NetworkRun run_network(const NetworkProgram& program,
                          const nn::FeatureMapI8& input);
+
+  // Executes a compiled network over a batch of same-shaped inputs in one
+  // pass: conv layers go through run_conv_batch (weights staged once per
+  // chunk for the whole batch), everything else loops per image.  Outputs
+  // are bit-identical to per-input run_network; see BatchNetworkRun for the
+  // statistics contract.
+  BatchNetworkRun run_network_batch(const NetworkProgram& program,
+                                    const std::vector<nn::FeatureMapI8>& inputs);
 
   // Makes `program`'s weight image resident in this runtime's DDR (a host
   // write — no DMA statistics), so weight chunks DMA straight from it.

@@ -70,6 +70,20 @@ std::int64_t Histogram::quantile(double q) const {
   return max();
 }
 
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  s.count = count();
+  s.sum = sum();
+  s.min = min();
+  s.max = max();
+  s.mean = mean();
+  s.p50 = quantile(0.5);
+  s.p90 = quantile(0.9);
+  s.p95 = quantile(0.95);
+  s.p99 = quantile(0.99);
+  return s;
+}
+
 Counter& MetricsRegistry::counter(const std::string& name) {
   const std::lock_guard<std::mutex> lock(m_);
   for (Counter& c : counters_)
@@ -90,10 +104,12 @@ void MetricsRegistry::write_text(std::ostream& os) const {
   const std::lock_guard<std::mutex> lock(m_);
   for (const Counter& c : counters_)
     os << c.name() << " " << c.value() << "\n";
-  for (const Histogram& h : histograms_)
-    os << h.name() << " count=" << h.count() << " mean=" << h.mean()
-       << " min=" << h.min() << " p50=" << h.quantile(0.5)
-       << " p95=" << h.quantile(0.95) << " max=" << h.max() << "\n";
+  for (const Histogram& h : histograms_) {
+    const HistogramSnapshot s = h.snapshot();
+    os << h.name() << " count=" << s.count << " mean=" << s.mean
+       << " min=" << s.min << " p50=" << s.p50 << " p95=" << s.p95
+       << " p99=" << s.p99 << " max=" << s.max << "\n";
+  }
 }
 
 void MetricsRegistry::write_json(std::ostream& os) const {
@@ -110,10 +126,12 @@ void MetricsRegistry::write_json(std::ostream& os) const {
   for (const Histogram& h : histograms_) {
     if (!first) os << ",";
     first = false;
-    os << "\"" << h.name() << "\":{\"count\":" << h.count()
-       << ",\"sum\":" << h.sum() << ",\"mean\":" << h.mean()
-       << ",\"min\":" << h.min() << ",\"p50\":" << h.quantile(0.5)
-       << ",\"p95\":" << h.quantile(0.95) << ",\"max\":" << h.max() << "}";
+    const HistogramSnapshot s = h.snapshot();
+    os << "\"" << h.name() << "\":{\"count\":" << s.count
+       << ",\"sum\":" << s.sum << ",\"mean\":" << s.mean
+       << ",\"min\":" << s.min << ",\"p50\":" << s.p50
+       << ",\"p90\":" << s.p90 << ",\"p95\":" << s.p95
+       << ",\"p99\":" << s.p99 << ",\"max\":" << s.max << "}";
   }
   os << "}}";
 }

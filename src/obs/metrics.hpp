@@ -34,6 +34,21 @@ class Counter {
   std::atomic<std::int64_t> value_{0};
 };
 
+// One consistent-enough read of a Histogram: summary statistics plus the
+// standard percentile ladder, so consumers (benches, the serving report)
+// never re-derive percentiles from raw buckets themselves.
+struct HistogramSnapshot {
+  std::int64_t count = 0;
+  std::int64_t sum = 0;
+  std::int64_t min = 0;
+  std::int64_t max = 0;
+  double mean = 0.0;
+  std::int64_t p50 = 0;
+  std::int64_t p90 = 0;
+  std::int64_t p95 = 0;
+  std::int64_t p99 = 0;
+};
+
 // Histogram over non-negative values with power-of-two buckets: bucket b
 // counts observations in [2^(b-1), 2^b) (bucket 0 counts zeros and ones).
 // Quantiles are upper bounds read off the bucket boundaries — coarse (×2),
@@ -54,6 +69,8 @@ class Histogram {
   double mean() const;
   // Upper bound of the bucket holding quantile q (q in [0, 1]).
   std::int64_t quantile(double q) const;
+  // Everything above in one call (count/sum/min/max/mean + p50/p90/p95/p99).
+  HistogramSnapshot snapshot() const;
   std::int64_t bucket_count(int b) const {
     return buckets_[static_cast<std::size_t>(b)].load(
         std::memory_order_relaxed);

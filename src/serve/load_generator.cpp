@@ -1,0 +1,136 @@
+#include "serve/load_generator.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace tsca::serve {
+
+std::vector<std::int64_t> poisson_arrivals_us(std::uint64_t seed, int n,
+                                              double rate_rps) {
+  TSCA_CHECK(rate_rps > 0.0, "rate_rps=" << rate_rps);
+  Rng rng(seed);
+  std::vector<std::int64_t> arrivals;
+  arrivals.reserve(static_cast<std::size_t>(n));
+  double t_us = 0.0;
+  for (int i = 0; i < n; ++i) {
+    // Exponential inter-arrival gap via inverse transform; next_double() is
+    // in [0, 1) so 1-u is in (0, 1] and the log is finite.
+    const double gap_s = -std::log(1.0 - rng.next_double()) / rate_rps;
+    t_us += gap_s * 1e6;
+    arrivals.push_back(static_cast<std::int64_t>(t_us));
+  }
+  return arrivals;
+}
+
+namespace {
+
+std::vector<nn::FeatureMapI8> random_inputs(const nn::FmShape& shape, int n,
+                                            std::uint64_t seed) {
+  Rng rng(seed ^ 0xa5a5a5a5a5a5a5a5ull);
+  std::vector<nn::FeatureMapI8> inputs;
+  inputs.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    nn::FeatureMapI8 fm(shape);
+    for (std::size_t j = 0; j < fm.size(); ++j)
+      fm.data()[j] = static_cast<std::int8_t>(rng.next_int(-40, 40));
+    inputs.push_back(std::move(fm));
+  }
+  return inputs;
+}
+
+void fold_response(const Response& r, LoadReport& report, obs::Histogram& lat,
+                   obs::Histogram& queued) {
+  switch (r.status) {
+    case Status::kOk:
+      ++report.ok;
+      break;
+    case Status::kRejectedQueueFull:
+    case Status::kRejectedShutdown:
+      ++report.rejected;
+      break;
+    case Status::kDeadlineMissed:
+      ++report.deadline_missed;
+      if (r.executed) ++report.executed_late;
+      break;
+    case Status::kCancelled:
+      ++report.cancelled;
+      break;
+  }
+  if (r.executed) {
+    lat.observe(r.latency.total_us());
+    queued.observe(r.latency.queued_us);
+    report.max_batch_seen = std::max(report.max_batch_seen, r.batch_size);
+  }
+}
+
+}  // namespace
+
+LoadReport run_load(Server& server, const LoadOptions& options) {
+  TSCA_CHECK(options.requests >= 1, "requests=" << options.requests);
+  const std::vector<nn::FeatureMapI8> inputs = random_inputs(
+      server.program().net().input_shape(), options.requests, options.seed);
+
+  LoadReport report;
+  report.submitted = options.requests;
+  obs::Histogram lat("latency_us");
+  obs::Histogram queued("queued_us");
+  const TimePoint t0 = Clock::now();
+
+  if (options.rate_rps > 0.0) {
+    // Open loop: submit on the precomputed Poisson schedule regardless of
+    // how the server keeps up, then wait for everything.
+    const std::vector<std::int64_t> arrivals =
+        poisson_arrivals_us(options.seed, options.requests, options.rate_rps);
+    std::vector<std::future<Response>> futures;
+    futures.reserve(inputs.size());
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      std::this_thread::sleep_until(t0 + std::chrono::microseconds(arrivals[i]));
+      futures.push_back(server.submit(inputs[i], options.deadline_us));
+    }
+    for (std::future<Response>& f : futures)
+      fold_response(f.get(), report, lat, queued);
+  } else {
+    // Closed loop: `concurrency` clients, each with one request in flight.
+    TSCA_CHECK(options.concurrency >= 1,
+               "concurrency=" << options.concurrency);
+    std::atomic<int> next{0};
+    std::mutex fold_m;
+    std::vector<std::thread> clients;
+    const int nclients = std::min(options.concurrency, options.requests);
+    clients.reserve(static_cast<std::size_t>(nclients));
+    for (int c = 0; c < nclients; ++c)
+      clients.emplace_back([&] {
+        for (;;) {
+          const int i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= options.requests) return;
+          const Response r =
+              server.submit(inputs[static_cast<std::size_t>(i)],
+                            options.deadline_us)
+                  .get();
+          const std::lock_guard<std::mutex> lock(fold_m);
+          fold_response(r, report, lat, queued);
+        }
+      });
+    for (std::thread& t : clients) t.join();
+  }
+
+  report.wall_us = us_between(t0, Clock::now());
+  const double wall_s = static_cast<double>(report.wall_us) * 1e-6;
+  if (wall_s > 0.0) {
+    report.offered_rps = static_cast<double>(report.submitted) / wall_s;
+    report.goodput_rps = static_cast<double>(report.ok) / wall_s;
+  }
+  report.latency_us = lat.snapshot();
+  report.queued_us = queued.snapshot();
+  return report;
+}
+
+}  // namespace tsca::serve

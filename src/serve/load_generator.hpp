@@ -1,0 +1,65 @@
+// Deterministic load generation against a Server.
+//
+// Two standard workload shapes:
+//
+//   * open loop — arrivals are a Poisson process at `rate_rps`, generated
+//     from a seeded Rng before the clock starts, so the offered load is
+//     independent of how the server keeps up (the shape that exposes
+//     queueing collapse under overload);
+//   * closed loop — `concurrency` logical clients, each submitting its next
+//     request the moment the previous one completes (offered load adapts to
+//     capacity; no overload by construction).
+//
+// Determinism contract: every stochastic input (arrival gaps, input images)
+// is derived from LoadOptions::seed, and the report carries no ambient
+// clocks — wall_us is measured between two steady_clock reads inside run(),
+// and every latency statistic comes from the responses themselves.  Same
+// seed + same server configuration ⇒ the same request sequence; only the
+// measured timings vary run to run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "serve/server.hpp"
+
+namespace tsca::serve {
+
+struct LoadOptions {
+  int requests = 64;
+  double rate_rps = 0.0;    // open loop: mean arrival rate; <= 0 ⇒ closed loop
+  int concurrency = 4;      // closed loop: in-flight clients
+  std::int64_t deadline_us = -1;  // per request, relative; < 0 ⇒ none
+  std::uint64_t seed = 1;
+};
+
+// Everything the load run measured, derived only from the responses.
+struct LoadReport {
+  int submitted = 0;
+  int ok = 0;
+  int rejected = 0;        // admission (queue full / shutdown)
+  int deadline_missed = 0; // shed before execution or finished late
+  int executed_late = 0;   // subset of deadline_missed that did execute
+  int cancelled = 0;
+  std::int64_t wall_us = 0;
+  double offered_rps = 0.0;  // submitted / wall
+  double goodput_rps = 0.0;  // ok / wall — the serving figure of merit
+  // Distribution over *executed* requests (ok + late): a baseline that burns
+  // capacity executing expired requests pays for it right here in the tail.
+  obs::HistogramSnapshot latency_us;
+  obs::HistogramSnapshot queued_us;
+  int max_batch_seen = 1;
+};
+
+// Deterministic Poisson inter-arrival schedule: n cumulative arrival offsets
+// in microseconds for mean rate `rate_rps`, from `seed` alone.
+std::vector<std::int64_t> poisson_arrivals_us(std::uint64_t seed, int n,
+                                              double rate_rps);
+
+// Runs the configured workload against the server: same-shaped random inputs
+// (from the server's program), submission per LoadOptions, then waits for
+// every future and folds the responses into a LoadReport.
+LoadReport run_load(Server& server, const LoadOptions& options);
+
+}  // namespace tsca::serve

@@ -1,0 +1,21 @@
+#include "serve/request.hpp"
+
+namespace tsca::serve {
+
+const char* status_name(Status status) {
+  switch (status) {
+    case Status::kOk:
+      return "ok";
+    case Status::kRejectedQueueFull:
+      return "rejected-queue-full";
+    case Status::kRejectedShutdown:
+      return "rejected-shutdown";
+    case Status::kDeadlineMissed:
+      return "deadline-missed";
+    case Status::kCancelled:
+      return "cancelled";
+  }
+  return "?";
+}
+
+}  // namespace tsca::serve

@@ -1,0 +1,73 @@
+// Serving-layer request/response types.
+//
+// The serving subsystem (queue → scheduler → workers, see server.hpp) deals
+// in whole-network inference requests against one compiled NetworkProgram.
+// Time here is *host* wall-clock (std::chrono::steady_clock): the serving
+// layer schedules real concurrent work, unlike the simulated-cycle domain
+// the runtime's traces live in.  Deadlines are absolute steady_clock points;
+// a request without one carries kNoDeadline and never expires.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace tsca::serve {
+
+using Clock = std::chrono::steady_clock;
+using TimePoint = Clock::time_point;
+
+inline constexpr TimePoint kNoDeadline = TimePoint::max();
+
+inline std::int64_t us_between(TimePoint a, TimePoint b) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(b - a).count();
+}
+
+// Terminal state of a request.  Exactly one Response per submitted request,
+// always — rejected and cancelled requests complete too.
+enum class Status {
+  kOk,                 // executed, finished within its deadline
+  kRejectedQueueFull,  // admission control: queue at capacity
+  kRejectedShutdown,   // submitted after stop()
+  kDeadlineMissed,     // expired before execution (shed) or finished late
+  kCancelled,          // server stopped while queued or in flight
+};
+
+const char* status_name(Status status);
+
+struct Request {
+  std::uint64_t id = 0;
+  nn::FeatureMapI8 input;
+  TimePoint deadline = kNoDeadline;
+  TimePoint submitted{};  // stamped by Server::submit at admission
+};
+
+// Where a request's latency went, in microseconds: waiting in the queue for
+// the scheduler to pick it, waiting for its batch to reach a worker, and
+// executing.  Shed or rejected requests only accrue the phases they reached.
+struct PhaseLatency {
+  std::int64_t queued_us = 0;   // submit → scheduler dispatched it
+  std::int64_t batch_us = 0;    // dispatched → worker began executing
+  std::int64_t exec_us = 0;     // execution
+  std::int64_t total_us() const { return queued_us + batch_us + exec_us; }
+};
+
+struct Response {
+  std::uint64_t id = 0;
+  Status status = Status::kCancelled;
+  // Network outputs — filled for executed requests (kOk, and kDeadlineMissed
+  // responses that finished late; shed requests never execute).
+  std::vector<std::int8_t> logits;
+  nn::FeatureMapI8 final_fm;
+  bool flat_output = false;
+  bool executed = false;  // the network actually ran for this request
+  int batch_size = 0;     // size of the dynamic batch it was grouped into
+  PhaseLatency latency;
+
+  bool ok() const { return status == Status::kOk; }
+};
+
+}  // namespace tsca::serve

@@ -1,0 +1,108 @@
+#include "serve/request_queue.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "util/check.hpp"
+
+namespace tsca::serve {
+
+const char* admit_name(Admit admit) {
+  switch (admit) {
+    case Admit::kAdmitted:
+      return "admitted";
+    case Admit::kQueueFull:
+      return "queue-full";
+    case Admit::kShutdown:
+      return "shutdown";
+  }
+  return "?";
+}
+
+RequestQueue::RequestQueue(std::size_t capacity) : capacity_(capacity) {
+  TSCA_CHECK(capacity >= 1, "queue capacity=" << capacity);
+}
+
+Admit RequestQueue::push(Pending&& p) {
+  {
+    const std::lock_guard<std::mutex> lock(m_);
+    if (closed_) return Admit::kShutdown;
+    if (entries_.size() >= capacity_) return Admit::kQueueFull;
+    entries_.push_back(std::move(p));
+  }
+  cv_.notify_one();
+  return Admit::kAdmitted;
+}
+
+std::vector<Pending> RequestQueue::pop_wait(std::size_t max_batch,
+                                            std::int64_t max_delay_us,
+                                            bool edf) {
+  TSCA_CHECK(max_batch >= 1);
+  std::unique_lock<std::mutex> lock(m_);
+  for (;;) {
+    cv_.wait(lock, [&] { return closed_ || !entries_.empty(); });
+    if (closed_) return {};
+    // Batch formation: the first request opens a window that closes when the
+    // batch fills or when that request has waited max_delay_us.  Concurrent
+    // poppers may steal the entries while we wait — loop back if so.
+    if (entries_.size() < max_batch && max_delay_us > 0) {
+      const TimePoint flush_at =
+          entries_.front().request.submitted +
+          std::chrono::microseconds(max_delay_us);
+      cv_.wait_until(lock, flush_at, [&] {
+        return closed_ || entries_.size() >= max_batch || entries_.empty();
+      });
+      if (closed_) return {};
+      if (entries_.empty()) continue;
+    }
+    return pop_locked(max_batch, edf);
+  }
+}
+
+std::vector<Pending> RequestQueue::pop_locked(std::size_t max_batch,
+                                              bool edf) {
+  std::vector<Pending> out;
+  out.reserve(std::min(max_batch, entries_.size()));
+  while (out.size() < max_batch && !entries_.empty()) {
+    auto it = entries_.begin();
+    if (edf)
+      it = std::min_element(
+          entries_.begin(), entries_.end(), [](const Pending& a,
+                                               const Pending& b) {
+            return std::make_tuple(a.request.deadline, a.request.id) <
+                   std::make_tuple(b.request.deadline, b.request.id);
+          });
+    out.push_back(std::move(*it));
+    entries_.erase(it);
+  }
+  return out;
+}
+
+void RequestQueue::close() {
+  {
+    const std::lock_guard<std::mutex> lock(m_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool RequestQueue::closed() const {
+  const std::lock_guard<std::mutex> lock(m_);
+  return closed_;
+}
+
+std::vector<Pending> RequestQueue::drain() {
+  const std::lock_guard<std::mutex> lock(m_);
+  std::vector<Pending> out;
+  out.reserve(entries_.size());
+  for (Pending& p : entries_) out.push_back(std::move(p));
+  entries_.clear();
+  return out;
+}
+
+std::size_t RequestQueue::size() const {
+  const std::lock_guard<std::mutex> lock(m_);
+  return entries_.size();
+}
+
+}  // namespace tsca::serve

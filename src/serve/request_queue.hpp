@@ -1,0 +1,81 @@
+// Bounded, thread-safe request queue with admission control.
+//
+// The first stage of the serving pipeline (queue → scheduler → workers): any
+// number of submitters push, any number of scheduler threads pop.  Capacity
+// is a hard bound — a full queue *rejects* at admission (push returns
+// Admit::kQueueFull and the caller completes the request immediately) rather
+// than blocking the submitter, which is the backpressure contract a serving
+// frontend needs: latency is bounded by queue depth, never by a hidden wait.
+//
+// pop_wait implements the batch-formation wait under the queue's own lock so
+// concurrent scheduler threads race safely: block until a request arrives,
+// then linger until either `max_batch` requests are queued or the oldest has
+// waited `max_delay_us`, then pop up to max_batch entries in EDF order
+// (earliest deadline first, submission order among ties — deadline-less
+// requests sort last) or FIFO order.  close() wakes everyone; a closed queue
+// rejects pushes with Admit::kShutdown and pop_wait returns empty.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace tsca::serve {
+
+// A queued request with its completion promise.  Whoever removes a Pending
+// from the queue owns completing its promise — exactly once, always.
+struct Pending {
+  Request request;
+  std::promise<Response> promise;
+  TimePoint dispatched{};  // stamped when the scheduler pops it into a batch
+};
+
+enum class Admit { kAdmitted, kQueueFull, kShutdown };
+
+const char* admit_name(Admit admit);
+
+class RequestQueue {
+ public:
+  explicit RequestQueue(std::size_t capacity);
+  RequestQueue(const RequestQueue&) = delete;
+  RequestQueue& operator=(const RequestQueue&) = delete;
+
+  // Admission: moves from `p` only when admitted — on rejection the caller
+  // still owns the Pending (and its promise) to complete with the reason.
+  Admit push(Pending&& p);
+
+  // Blocks until a batch is ready per the formation policy (see file
+  // comment), then pops it.  Returns empty exactly when the queue is closed
+  // — remaining entries are left for drain().
+  std::vector<Pending> pop_wait(std::size_t max_batch,
+                                std::int64_t max_delay_us, bool edf);
+
+  // Closes the queue: subsequent pushes are rejected kShutdown, blocked
+  // pop_wait calls return empty.
+  void close();
+  bool closed() const;
+
+  // Removes and returns everything still queued (stop-path: the server
+  // completes these as cancelled).
+  std::vector<Pending> drain();
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  // Pops up to max_batch entries; m_ held.
+  std::vector<Pending> pop_locked(std::size_t max_batch, bool edf);
+
+  const std::size_t capacity_;
+  mutable std::mutex m_;
+  std::condition_variable cv_;
+  std::deque<Pending> entries_;  // submission order (front is oldest)
+  bool closed_ = false;
+};
+
+}  // namespace tsca::serve

@@ -1,0 +1,198 @@
+#include "serve/server.hpp"
+
+#include <exception>
+#include <string>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace tsca::serve {
+
+Server::Server(const driver::NetworkProgram& program, ServerOptions options)
+    : program_(program),
+      options_(options),
+      metrics_(options.metrics != nullptr ? options.metrics : &own_metrics_),
+      epoch_(Clock::now()),
+      queue_(options.queue_capacity),
+      scheduler_(queue_, options.batch, *metrics_, options.trace, epoch_) {
+  TSCA_CHECK(options_.workers >= 1, "workers=" << options_.workers);
+  // Stage the weight image into every worker context up front: part of
+  // server startup, never of any request's latency.
+  contexts_.reserve(static_cast<std::size_t>(options_.workers));
+  for (int w = 0; w < options_.workers; ++w) {
+    contexts_.push_back(std::make_unique<driver::AcceleratorPool::Context>(
+        program.config(), options_.dram_bytes));
+    contexts_.back()->worker = w;
+    stage_program_in_context(*contexts_.back(), program);
+  }
+  threads_.reserve(contexts_.size());
+  for (int w = 0; w < options_.workers; ++w)
+    threads_.emplace_back([this, w] { worker_loop(w); });
+}
+
+Server::~Server() { stop(); }
+
+std::future<Response> Server::submit(nn::FeatureMapI8 input,
+                                     std::int64_t deadline_us) {
+  Pending p;
+  p.request.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  p.request.input = std::move(input);
+  p.request.submitted = Clock::now();
+  if (deadline_us >= 0)
+    p.request.deadline =
+        p.request.submitted + std::chrono::microseconds(deadline_us);
+  std::future<Response> future = p.promise.get_future();
+  metrics_->counter("serve.submitted").add(1);
+
+  const Admit admit = queue_.push(std::move(p));
+  if (admit == Admit::kAdmitted) {
+    metrics_->counter("serve.admitted").add(1);
+    return future;
+  }
+  // Rejected: `p` was not consumed — complete it here, with the reason.
+  Response r;
+  r.id = p.request.id;
+  r.status = admit == Admit::kQueueFull ? Status::kRejectedQueueFull
+                                        : Status::kRejectedShutdown;
+  metrics_->counter(admit == Admit::kQueueFull ? "serve.rejected_queue_full"
+                                               : "serve.rejected_shutdown")
+      .add(1);
+  if (options_.trace != nullptr)
+    options_.trace->track("serve/requests")
+        .complete("req " + std::to_string(r.id), "rejected",
+                  static_cast<std::uint64_t>(
+                      us_between(epoch_, p.request.submitted)),
+                  0, {{"queue_full", admit == Admit::kQueueFull ? 1 : 0}});
+  p.promise.set_value(std::move(r));
+  return future;
+}
+
+void Server::worker_loop(int w) {
+  driver::AcceleratorPool::Context& ctx =
+      *contexts_[static_cast<std::size_t>(w)];
+  for (;;) {
+    std::vector<Pending> batch = scheduler_.next_batch();
+    if (batch.empty()) return;  // queue closed
+    execute_batch(w, ctx, std::move(batch));
+  }
+}
+
+void Server::execute_batch(int w, driver::AcceleratorPool::Context& ctx,
+                           std::vector<Pending> batch) {
+  const TimePoint exec_start = Clock::now();
+  // Last-chance shed: a deadline can expire between the scheduler's check
+  // and the batch reaching this worker.
+  if (options_.batch.cancel_expired) {
+    const TimePoint horizon =
+        exec_start + std::chrono::microseconds(options_.batch.min_slack_us);
+    std::vector<Pending> live;
+    live.reserve(batch.size());
+    for (Pending& p : batch) {
+      if (p.request.deadline < horizon) {
+        complete_expired(p, exec_start, *metrics_, options_.trace, epoch_);
+        continue;
+      }
+      live.push_back(std::move(p));
+    }
+    batch = std::move(live);
+    if (batch.empty()) return;
+  }
+
+  // A fresh serial Runtime per batch over this worker's private context,
+  // exactly like PoolRuntime::serve — adopted residency, worker-scoped
+  // trace tracks, the worker's simulated-cycle clock carried across batches.
+  driver::RuntimeOptions ropts;
+  ropts.mode = options_.mode;
+  ropts.trace = options_.trace;
+  ropts.metrics = metrics_;
+  ropts.trace_scope = "serve/worker" + std::to_string(w) + "/";
+  ropts.cancel = &cancel_;
+  driver::Runtime runtime(ctx.acc, ctx.dram, ctx.dma, ropts);
+  runtime.adopt_staged_program(ctx.staged_stamp, ctx.ddr_floor);
+  runtime.set_trace_clock(ctx.trace_clock);
+
+  std::vector<nn::FeatureMapI8> inputs;
+  inputs.reserve(batch.size());
+  for (const Pending& p : batch) inputs.push_back(p.request.input);
+
+  driver::BatchNetworkRun result;
+  try {
+    result = runtime.run_network_batch(program_, inputs);
+  } catch (const driver::RequestCancelled&) {
+    ctx.trace_clock = runtime.trace_clock();
+    for (Pending& p : batch) {
+      Response r;
+      r.id = p.request.id;
+      r.status = Status::kCancelled;
+      r.latency.queued_us = us_between(p.request.submitted, p.dispatched);
+      r.latency.batch_us = us_between(p.dispatched, exec_start);
+      r.latency.exec_us = us_between(exec_start, Clock::now());
+      metrics_->counter("serve.cancelled").add(1);
+      p.promise.set_value(std::move(r));
+    }
+    return;
+  } catch (...) {
+    // Execution failed some other way (bad input shape, ...): the error
+    // belongs to the submitters, through their futures.
+    for (Pending& p : batch) p.promise.set_exception(std::current_exception());
+    return;
+  }
+  ctx.trace_clock = runtime.trace_clock();
+
+  const TimePoint exec_end = Clock::now();
+  const int batch_size = static_cast<int>(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    Pending& p = batch[i];
+    Response r;
+    r.id = p.request.id;
+    r.executed = true;
+    r.batch_size = batch_size;
+    r.logits = std::move(result.requests[i].logits);
+    r.final_fm = std::move(result.requests[i].final_fm);
+    r.flat_output = result.requests[i].flat_output;
+    r.latency.queued_us = us_between(p.request.submitted, p.dispatched);
+    r.latency.batch_us = us_between(p.dispatched, exec_start);
+    r.latency.exec_us = us_between(exec_start, exec_end);
+    const bool late = exec_end > p.request.deadline;
+    r.status = late ? Status::kDeadlineMissed : Status::kOk;
+    metrics_->counter(late ? "serve.deadline_missed" : "serve.completed")
+        .add(1);
+    if (late) metrics_->counter("serve.late_executions").add(1);
+    metrics_->counter("serve.executed").add(1);
+    metrics_->histogram("serve.latency_us").observe(r.latency.total_us());
+    metrics_->histogram("serve.queued_us").observe(r.latency.queued_us);
+    metrics_->histogram("serve.exec_us").observe(r.latency.exec_us);
+    if (options_.trace != nullptr)
+      options_.trace->track("serve/requests")
+          .complete("req " + std::to_string(r.id), late ? "late" : "request",
+                    static_cast<std::uint64_t>(
+                        us_between(epoch_, p.request.submitted)),
+                    static_cast<std::uint64_t>(r.latency.total_us()),
+                    {{"batch", batch_size}, {"worker", w}});
+    p.promise.set_value(std::move(r));
+  }
+  if (options_.trace != nullptr)
+    options_.trace->track("serve/worker" + std::to_string(w) + "/batches")
+        .complete("batch x" + std::to_string(batch_size), "batch",
+                  static_cast<std::uint64_t>(us_between(epoch_, exec_start)),
+                  static_cast<std::uint64_t>(us_between(exec_start, exec_end)),
+                  {{"batch", batch_size}});
+}
+
+void Server::stop() {
+  if (stopped_.exchange(true)) return;
+  cancel_.store(true, std::memory_order_relaxed);
+  queue_.close();
+  for (std::thread& t : threads_) t.join();
+  // The backlog never reached a worker; cancel it.
+  for (Pending& p : queue_.drain()) {
+    Response r;
+    r.id = p.request.id;
+    r.status = Status::kCancelled;
+    r.latency.queued_us = us_between(p.request.submitted, Clock::now());
+    metrics_->counter("serve.cancelled").add(1);
+    p.promise.set_value(std::move(r));
+  }
+}
+
+}  // namespace tsca::serve

@@ -1,0 +1,101 @@
+// Inference server over one compiled NetworkProgram.
+//
+// The serving pipeline end to end: submit() admits a request into the
+// bounded RequestQueue (or rejects it immediately — queue full / shutdown —
+// with the reason in the Response), a BatchScheduler coalesces queued
+// requests into dynamic batches (EDF order, expired requests shed before
+// execution), and N worker threads each own a private accelerator context
+// (AcceleratorPool::Context with the program's weight image staged once at
+// startup) and execute batches through Runtime::run_network_batch —
+// ExecMode::kFast by default, the cycle engine selectable for
+// statistics-grade serving.
+//
+// Every submitted request completes its std::future<Response> exactly once,
+// whatever happens: executed (kOk, or kDeadlineMissed when it finished
+// late), shed (kDeadlineMissed, never executed), rejected at admission, or
+// cancelled by stop().  stop() is cooperative and prompt: it raises the
+// cancel flag (in-flight batches abort between network steps), closes the
+// queue, joins the workers, and completes the backlog as kCancelled.
+//
+// Time domains: serving spans on the "serve/..." tracks are host wall-clock
+// microseconds since the server's epoch; the workers' runtime-layer tracks
+// ("serve/worker<w>/...") stay in simulated cycles like every other runtime
+// trace.  The two share a Recorder but never a track.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "driver/accelerator_pool.hpp"
+#include "driver/program.hpp"
+#include "driver/runtime.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "serve/batch_scheduler.hpp"
+#include "serve/request_queue.hpp"
+
+namespace tsca::serve {
+
+struct ServerOptions {
+  int workers = 1;
+  std::size_t queue_capacity = 64;  // admission bound (reject when full)
+  BatchPolicy batch;
+  driver::ExecMode mode = driver::ExecMode::kFast;
+  std::size_t dram_bytes = 64u << 20;  // per-worker context DDR
+  // Optional observability.  Metrics are always collected: when `metrics` is
+  // null the server records into a registry it owns (metrics() returns
+  // whichever is in use).
+  obs::Recorder* trace = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+class Server {
+ public:
+  // Compiles nothing: the program must outlive the server.  Stages its
+  // weight image into every worker context before any worker starts.
+  Server(const driver::NetworkProgram& program, ServerOptions options = {});
+  ~Server();  // stop()
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Submits one inference request.  `deadline_us` is relative to now;
+  // negative means no deadline.  Always returns a future that will be
+  // completed — rejections complete it before submit() returns.
+  std::future<Response> submit(nn::FeatureMapI8 input,
+                               std::int64_t deadline_us = -1);
+
+  // Stops serving: aborts in-flight batches between network steps, rejects
+  // new submissions (kRejectedShutdown), completes the queued backlog as
+  // kCancelled, joins the workers.  Idempotent.
+  void stop();
+
+  obs::MetricsRegistry& metrics() { return *metrics_; }
+  const driver::NetworkProgram& program() const { return program_; }
+  const ServerOptions& options() const { return options_; }
+  TimePoint epoch() const { return epoch_; }
+
+ private:
+  void worker_loop(int w);
+  // Runs one batch on worker w's context; completes every promise in it.
+  void execute_batch(int w, driver::AcceleratorPool::Context& ctx,
+                     std::vector<Pending> batch);
+
+  const driver::NetworkProgram& program_;
+  ServerOptions options_;
+  obs::MetricsRegistry own_metrics_;
+  obs::MetricsRegistry* metrics_;  // options_.metrics or &own_metrics_
+  TimePoint epoch_;
+  RequestQueue queue_;
+  BatchScheduler scheduler_;
+  std::vector<std::unique_ptr<driver::AcceleratorPool::Context>> contexts_;
+  std::vector<std::thread> threads_;
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<bool> cancel_{false};
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace tsca::serve

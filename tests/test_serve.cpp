@@ -1,0 +1,480 @@
+// Serving subsystem: queue admission, dynamic batching, deadline handling,
+// stop semantics, and bit-exactness of served outputs vs the serial runtime.
+//
+// Every suite here is named Serve* so tier1.sh's TSan configuration picks
+// the whole file up (-R 'Pool|Program|Serve') — the server, scheduler and
+// queue are exactly the kind of concurrent machinery TSan exists for.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/accelerator.hpp"
+#include "driver/program.hpp"
+#include "driver/runtime.hpp"
+#include "nn/vgg16.hpp"
+#include "obs/trace.hpp"
+#include "quant/prune.hpp"
+#include "quant/quantize.hpp"
+#include "serve/load_generator.hpp"
+#include "serve/request_queue.hpp"
+#include "serve/server.hpp"
+#include "sim/dma.hpp"
+#include "sim/dram.hpp"
+#include "util/rng.hpp"
+
+namespace tsca {
+namespace {
+
+nn::FeatureMapI8 random_fm(nn::FmShape shape, Rng& rng) {
+  nn::FeatureMapI8 fm(shape);
+  for (std::size_t i = 0; i < fm.size(); ++i)
+    fm.data()[i] = static_cast<std::int8_t>(rng.next_int(-40, 40));
+  return fm;
+}
+
+// One tiny VGG-16 compiled once and shared by every test (compilation is the
+// expensive part; the program is immutable, sharing is the whole point).
+struct SharedModel {
+  SharedModel() {
+    Rng rng(501);
+    net = nn::build_vgg16(
+        {.input_extent = 32, .channel_divisor = 16, .num_classes = 10});
+    nn::WeightsF weights = nn::init_random_weights(net, rng);
+    quant::prune_weights(net, weights, quant::vgg16_han_profile());
+    nn::FeatureMapF calib(net.input_shape());
+    for (std::size_t i = 0; i < calib.size(); ++i)
+      calib.data()[i] = static_cast<float>(rng.next_gaussian() * 0.4);
+    model = quant::quantize_network(net, weights, {calib});
+    program.emplace(driver::NetworkProgram::compile(
+        net, model, core::ArchConfig::k256_opt()));
+  }
+
+  nn::Network net{nn::FmShape{}};
+  quant::QuantizedModel model;
+  std::optional<driver::NetworkProgram> program;
+};
+
+const SharedModel& shared_model() {
+  static SharedModel* m = new SharedModel();
+  return *m;
+}
+
+std::vector<std::int8_t> direct_logits(const nn::FeatureMapI8& input) {
+  const SharedModel& m = shared_model();
+  core::Accelerator acc(m.program->config());
+  sim::Dram dram(64u << 20);
+  sim::DmaEngine dma(dram);
+  driver::Runtime runtime(acc, dram, dma,
+                          {.mode = driver::ExecMode::kFast});
+  return runtime.run_network(*m.program, input).logits;
+}
+
+// --- run_network_batch (driver layer) ---------------------------------
+
+// Batched execution is bit-identical per request to serial run_network, and
+// the batch's aggregate weight traffic is amortized: weight chunks DMA once
+// per chunk, not once per image.  Small banks force striping + weight
+// chunking (and defeat pad+conv fusion), so the convs actually take the
+// run_conv_batch path where the amortization lives — on the full-size config
+// this net's convs all fuse and execute per image.
+TEST(ServeBatchRun, BitExactAndWeightAmortized) {
+  const SharedModel& m = shared_model();
+  Rng rng(502);
+  constexpr int kBatch = 3;
+  std::vector<nn::FeatureMapI8> inputs;
+  for (int i = 0; i < kBatch; ++i)
+    inputs.push_back(random_fm(m.net.input_shape(), rng));
+
+  core::ArchConfig striped_cfg = core::ArchConfig::k256_opt();
+  striped_cfg.bank_words = 128;
+  const driver::NetworkProgram striped =
+      driver::NetworkProgram::compile(m.net, m.model, striped_cfg);
+
+  auto make_runtime = [&](core::Accelerator& acc, sim::Dram& dram,
+                          sim::DmaEngine& dma) {
+    return driver::Runtime(acc, dram, dma,
+                           {.mode = driver::ExecMode::kCycle});
+  };
+
+  std::vector<driver::NetworkRun> serial;
+  std::uint64_t serial_to_fpga = 0;
+  for (const nn::FeatureMapI8& input : inputs) {
+    core::Accelerator acc(striped.config());
+    sim::Dram dram(64u << 20);
+    sim::DmaEngine dma(dram);
+    driver::Runtime runtime = make_runtime(acc, dram, dma);
+    serial.push_back(runtime.run_network(striped, input));
+    for (const driver::LayerRun& lr : serial.back().layers)
+      serial_to_fpga += lr.dma.bytes_to_fpga;
+  }
+
+  core::Accelerator acc(striped.config());
+  sim::Dram dram(64u << 20);
+  sim::DmaEngine dma(dram);
+  driver::Runtime runtime = make_runtime(acc, dram, dma);
+  const driver::BatchNetworkRun batch =
+      runtime.run_network_batch(striped, inputs);
+
+  ASSERT_EQ(batch.requests.size(), inputs.size());
+  for (int i = 0; i < kBatch; ++i) {
+    EXPECT_EQ(batch.requests[static_cast<std::size_t>(i)].logits,
+              serial[static_cast<std::size_t>(i)].logits)
+        << "request " << i;
+    EXPECT_TRUE(batch.requests[static_cast<std::size_t>(i)].flat_output);
+  }
+  // Aggregate layer stats cover the whole batch...
+  ASSERT_EQ(batch.layers.size(), serial[0].layers.size());
+  std::uint64_t batch_to_fpga = 0;
+  for (const driver::LayerRun& lr : batch.layers)
+    batch_to_fpga += lr.dma.bytes_to_fpga;
+  // ...and move strictly fewer bytes FPGA-ward than three serial passes:
+  // per-image stripes are paid three times, weight chunks only once.
+  EXPECT_LT(batch_to_fpga, serial_to_fpga);
+  EXPECT_GT(batch_to_fpga, serial_to_fpga / kBatch);
+}
+
+// Cooperative cancellation: a raised flag aborts run_network between steps.
+TEST(ServeBatchRun, CancelFlagAbortsExecution) {
+  const SharedModel& m = shared_model();
+  Rng rng(503);
+  const nn::FeatureMapI8 input = random_fm(m.net.input_shape(), rng);
+
+  core::Accelerator acc(m.program->config());
+  sim::Dram dram(64u << 20);
+  sim::DmaEngine dma(dram);
+  std::atomic<bool> cancel{true};  // pre-raised: aborts at the first step
+  driver::Runtime runtime(
+      acc, dram, dma,
+      {.mode = driver::ExecMode::kFast, .cancel = &cancel});
+  EXPECT_THROW(runtime.run_network(*m.program, input),
+               driver::RequestCancelled);
+}
+
+// --- RequestQueue ------------------------------------------------------
+
+serve::Pending make_pending(std::uint64_t id, serve::TimePoint deadline) {
+  serve::Pending p;
+  p.request.id = id;
+  p.request.deadline = deadline;
+  p.request.submitted = serve::Clock::now();
+  return p;
+}
+
+TEST(ServeQueue, EdfPopsEarliestDeadlineFirstAndNoDeadlineLast) {
+  serve::RequestQueue q(8);
+  const serve::TimePoint now = serve::Clock::now();
+  ASSERT_EQ(q.push(make_pending(1, now + std::chrono::milliseconds(30))),
+            serve::Admit::kAdmitted);
+  ASSERT_EQ(q.push(make_pending(2, serve::kNoDeadline)),
+            serve::Admit::kAdmitted);
+  ASSERT_EQ(q.push(make_pending(3, now + std::chrono::milliseconds(10))),
+            serve::Admit::kAdmitted);
+
+  std::vector<serve::Pending> batch = q.pop_wait(3, 0, /*edf=*/true);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[0].request.id, 3u);
+  EXPECT_EQ(batch[1].request.id, 1u);
+  EXPECT_EQ(batch[2].request.id, 2u);
+}
+
+TEST(ServeQueue, FifoPreservesSubmissionOrder) {
+  serve::RequestQueue q(8);
+  const serve::TimePoint now = serve::Clock::now();
+  ASSERT_EQ(q.push(make_pending(1, now + std::chrono::milliseconds(30))),
+            serve::Admit::kAdmitted);
+  ASSERT_EQ(q.push(make_pending(2, now + std::chrono::milliseconds(10))),
+            serve::Admit::kAdmitted);
+  std::vector<serve::Pending> batch = q.pop_wait(2, 0, /*edf=*/false);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].request.id, 1u);
+  EXPECT_EQ(batch[1].request.id, 2u);
+}
+
+TEST(ServeQueue, RejectsWhenFullAndWhenClosed) {
+  serve::RequestQueue q(2);
+  EXPECT_EQ(q.push(make_pending(1, serve::kNoDeadline)),
+            serve::Admit::kAdmitted);
+  EXPECT_EQ(q.push(make_pending(2, serve::kNoDeadline)),
+            serve::Admit::kAdmitted);
+  EXPECT_EQ(q.push(make_pending(3, serve::kNoDeadline)),
+            serve::Admit::kQueueFull);
+  q.close();
+  EXPECT_EQ(q.push(make_pending(4, serve::kNoDeadline)),
+            serve::Admit::kShutdown);
+  // Closed: pop_wait returns empty without blocking; the backlog drains.
+  EXPECT_TRUE(q.pop_wait(4, 1000, true).empty());
+  EXPECT_EQ(q.drain().size(), 2u);
+}
+
+TEST(ServeQueue, PopWaitFlushesPartialBatchAfterDelay) {
+  serve::RequestQueue q(8);
+  ASSERT_EQ(q.push(make_pending(1, serve::kNoDeadline)),
+            serve::Admit::kAdmitted);
+  // max_batch of 4 never arrives; the 2ms formation window must flush the
+  // partial batch instead of blocking forever.
+  std::vector<serve::Pending> batch = q.pop_wait(4, 2000, true);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].request.id, 1u);
+}
+
+// --- Server ------------------------------------------------------------
+
+TEST(ServeServer, ExecutesBitExactAgainstSerialRuntime) {
+  const SharedModel& m = shared_model();
+  Rng rng(504);
+  constexpr int kRequests = 4;
+  std::vector<nn::FeatureMapI8> inputs;
+  for (int i = 0; i < kRequests; ++i)
+    inputs.push_back(random_fm(m.net.input_shape(), rng));
+
+  serve::ServerOptions opts;
+  opts.workers = 2;
+  serve::Server server(*m.program, opts);
+  std::vector<std::future<serve::Response>> futures;
+  for (const nn::FeatureMapI8& input : inputs)
+    futures.push_back(server.submit(input));
+
+  for (int i = 0; i < kRequests; ++i) {
+    serve::Response r = futures[static_cast<std::size_t>(i)].get();
+    EXPECT_EQ(r.status, serve::Status::kOk);
+    EXPECT_TRUE(r.executed);
+    EXPECT_GE(r.batch_size, 1);
+    EXPECT_EQ(r.logits, direct_logits(inputs[static_cast<std::size_t>(i)]))
+        << "request " << i;
+    EXPECT_GE(r.latency.exec_us, 0);
+    EXPECT_EQ(r.latency.total_us(),
+              r.latency.queued_us + r.latency.batch_us + r.latency.exec_us);
+  }
+  server.stop();
+  EXPECT_EQ(server.metrics().counter("serve.completed").value(), kRequests);
+  EXPECT_EQ(server.metrics().counter("serve.admitted").value(), kRequests);
+}
+
+TEST(ServeServer, CoalescesBurstsIntoDynamicBatches) {
+  const SharedModel& m = shared_model();
+  Rng rng(505);
+  constexpr int kRequests = 8;
+
+  serve::ServerOptions opts;
+  opts.workers = 1;
+  opts.batch.max_batch = 4;
+  opts.batch.max_queue_delay_us = 20000;  // long window: the burst coalesces
+  serve::Server server(*m.program, opts);
+
+  std::vector<std::future<serve::Response>> futures;
+  for (int i = 0; i < kRequests; ++i)
+    futures.push_back(server.submit(random_fm(m.net.input_shape(), rng)));
+
+  int max_batch_seen = 0;
+  for (auto& f : futures) {
+    const serve::Response r = f.get();
+    EXPECT_EQ(r.status, serve::Status::kOk);
+    max_batch_seen = std::max(max_batch_seen, r.batch_size);
+  }
+  EXPECT_GT(max_batch_seen, 1) << "a burst against one worker must coalesce";
+  EXPECT_LE(max_batch_seen, opts.batch.max_batch);
+  EXPECT_LT(server.metrics().counter("serve.batches").value(), kRequests);
+  EXPECT_GT(server.metrics().histogram("serve.batch_size").max(), 1);
+}
+
+TEST(ServeServer, QueueFullRejectsWithReasonUnderOverload) {
+  const SharedModel& m = shared_model();
+  Rng rng(506);
+
+  serve::ServerOptions opts;
+  opts.workers = 1;
+  opts.queue_capacity = 2;
+  opts.batch.max_batch = 4;
+  // The formation window out-waits the submission burst below, so the queue
+  // is deterministically still full when the extra submissions arrive.
+  opts.batch.max_queue_delay_us = 200000;
+  serve::Server server(*m.program, opts);
+
+  constexpr int kRequests = 8;
+  std::vector<std::future<serve::Response>> futures;
+  for (int i = 0; i < kRequests; ++i)
+    futures.push_back(server.submit(random_fm(m.net.input_shape(), rng)));
+
+  int ok = 0, rejected = 0;
+  for (auto& f : futures) {
+    const serve::Response r = f.get();
+    if (r.status == serve::Status::kOk) ++ok;
+    if (r.status == serve::Status::kRejectedQueueFull) {
+      ++rejected;
+      EXPECT_FALSE(r.executed);
+    }
+  }
+  EXPECT_EQ(ok + rejected, kRequests);
+  EXPECT_GE(rejected, kRequests - static_cast<int>(opts.queue_capacity) - 1);
+  EXPECT_EQ(server.metrics().counter("serve.rejected_queue_full").value(),
+            rejected);
+  EXPECT_GT(server.metrics().counter("serve.rejected_queue_full").value(), 0);
+}
+
+TEST(ServeServer, ExpiredRequestsAreShedBeforeExecution) {
+  const SharedModel& m = shared_model();
+  Rng rng(507);
+
+  serve::ServerOptions opts;
+  opts.workers = 1;
+  opts.mode = driver::ExecMode::kCycle;  // slow on purpose: requests pile up
+  opts.batch.max_batch = 1;
+  opts.batch.max_queue_delay_us = 0;
+  serve::Server server(*m.program, opts);
+
+  // Request 0 occupies the worker for a full cycle-accurate network pass
+  // (tens of ms); the 1ms-deadline requests submitted *while it executes*
+  // expire long before the worker frees up and must be shed, not executed.
+  // Poll the batch counter so the doomed requests are provably queued behind
+  // an in-flight execution — submitting them against an idle worker would
+  // let EDF hand one over while still live.
+  auto head = server.submit(random_fm(m.net.input_shape(), rng));
+  while (server.metrics().counter("serve.batches").value() < 1)
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  std::vector<std::future<serve::Response>> doomed;
+  for (int i = 0; i < 4; ++i)
+    doomed.push_back(
+        server.submit(random_fm(m.net.input_shape(), rng), 1000));
+
+  EXPECT_EQ(head.get().status, serve::Status::kOk);
+  for (auto& f : doomed) {
+    const serve::Response r = f.get();
+    EXPECT_EQ(r.status, serve::Status::kDeadlineMissed);
+    EXPECT_FALSE(r.executed) << "expired request must be shed, not run";
+    EXPECT_EQ(r.latency.exec_us, 0);
+  }
+  EXPECT_EQ(server.metrics().counter("serve.deadline_missed").value(), 4);
+  EXPECT_EQ(server.metrics().counter("serve.expired_shed").value(), 4);
+  EXPECT_GT(server.metrics().counter("serve.deadline_missed").value(), 0);
+}
+
+// A deadline that is already expired at submit time exercises the
+// shed-races-execution-start path with max_queue_delay 0: the scheduler and
+// the worker's last-chance check both see an expired request immediately.
+TEST(ServeServer, AlreadyExpiredDeadlineNeverExecutes) {
+  const SharedModel& m = shared_model();
+  Rng rng(508);
+
+  serve::ServerOptions opts;
+  opts.workers = 1;
+  opts.batch.max_queue_delay_us = 0;
+  serve::Server server(*m.program, opts);
+
+  const serve::Response r =
+      server.submit(random_fm(m.net.input_shape(), rng), 0).get();
+  EXPECT_EQ(r.status, serve::Status::kDeadlineMissed);
+  EXPECT_FALSE(r.executed);
+}
+
+TEST(ServeServer, StopCompletesEveryInFlightAndQueuedRequest) {
+  const SharedModel& m = shared_model();
+  Rng rng(509);
+
+  serve::ServerOptions opts;
+  opts.workers = 1;
+  opts.mode = driver::ExecMode::kCycle;  // slow: stop lands mid-execution
+  opts.batch.max_batch = 2;
+  opts.batch.max_queue_delay_us = 0;
+  serve::Server server(*m.program, opts);
+
+  constexpr int kRequests = 6;
+  std::vector<std::future<serve::Response>> futures;
+  for (int i = 0; i < kRequests; ++i)
+    futures.push_back(server.submit(random_fm(m.net.input_shape(), rng)));
+  // Give the worker a moment to take a batch in-flight, then pull the plug.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  server.stop();
+
+  int ok = 0, cancelled = 0;
+  for (auto& f : futures) {
+    const serve::Response r = f.get();  // must complete — no deadlock
+    if (r.status == serve::Status::kOk) ++ok;
+    if (r.status == serve::Status::kCancelled) ++cancelled;
+  }
+  EXPECT_EQ(ok + cancelled, kRequests);
+  EXPECT_GT(cancelled, 0) << "stop() must cancel the backlog";
+
+  // After stop: rejected as shutdown, promptly.
+  const serve::Response after =
+      server.submit(random_fm(m.net.input_shape(), rng)).get();
+  EXPECT_EQ(after.status, serve::Status::kRejectedShutdown);
+  server.stop();  // idempotent
+}
+
+TEST(ServeServer, RecordsServeSpansForEveryRequest) {
+  const SharedModel& m = shared_model();
+  Rng rng(510);
+
+  obs::Recorder recorder;
+  serve::ServerOptions opts;
+  opts.workers = 1;
+  opts.trace = &recorder;
+  serve::Server server(*m.program, opts);
+  constexpr int kRequests = 3;
+  std::vector<std::future<serve::Response>> futures;
+  for (int i = 0; i < kRequests; ++i)
+    futures.push_back(server.submit(random_fm(m.net.input_shape(), rng)));
+  for (auto& f : futures) EXPECT_EQ(f.get().status, serve::Status::kOk);
+  server.stop();
+
+  int request_spans = 0;
+  const std::vector<std::string> tracks = recorder.track_names();
+  for (const obs::TraceEvent& e : recorder.events())
+    if (tracks[static_cast<std::size_t>(e.track)] == "serve/requests")
+      ++request_spans;
+  EXPECT_EQ(request_spans, kRequests);
+  // Worker-scoped runtime tracks (simulated-cycle domain) exist alongside.
+  bool has_worker_track = false;
+  for (const std::string& name : tracks)
+    if (name.rfind("serve/worker0/", 0) == 0) has_worker_track = true;
+  EXPECT_TRUE(has_worker_track);
+}
+
+// --- Load generator ----------------------------------------------------
+
+TEST(ServeLoadGen, PoissonScheduleIsDeterministicAndRateAccurate) {
+  const std::vector<std::int64_t> a = serve::poisson_arrivals_us(42, 500, 200);
+  const std::vector<std::int64_t> b = serve::poisson_arrivals_us(42, 500, 200);
+  EXPECT_EQ(a, b) << "same seed ⇒ same schedule";
+  const std::vector<std::int64_t> c = serve::poisson_arrivals_us(43, 500, 200);
+  EXPECT_NE(a, c) << "different seed ⇒ different schedule";
+  // Mean inter-arrival of a 200 rps process is 5000µs; 500 samples land
+  // within a generous ±30%.
+  const double mean_gap =
+      static_cast<double>(a.back()) / static_cast<double>(a.size());
+  EXPECT_GT(mean_gap, 3500.0);
+  EXPECT_LT(mean_gap, 6500.0);
+  for (std::size_t i = 1; i < a.size(); ++i) EXPECT_GE(a[i], a[i - 1]);
+}
+
+TEST(ServeLoadGen, ClosedLoopReportAccountsEveryRequest) {
+  const SharedModel& m = shared_model();
+  serve::ServerOptions opts;
+  opts.workers = 2;
+  serve::Server server(*m.program, opts);
+
+  serve::LoadOptions load;
+  load.requests = 12;
+  load.concurrency = 3;
+  load.rate_rps = 0.0;  // closed loop
+  load.seed = 7;
+  const serve::LoadReport report = serve::run_load(server, load);
+  server.stop();
+
+  EXPECT_EQ(report.submitted, 12);
+  EXPECT_EQ(report.ok, 12);
+  EXPECT_EQ(report.rejected + report.deadline_missed + report.cancelled, 0);
+  EXPECT_EQ(report.latency_us.count, 12);
+  EXPECT_GT(report.goodput_rps, 0.0);
+  EXPECT_GE(report.latency_us.p99, report.latency_us.p50);
+}
+
+}  // namespace
+}  // namespace tsca
