@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "core/accelerator.hpp"
+#include "core/simd.hpp"
 #include "driver/accelerator_pool.hpp"
 #include "driver/pool_runtime.hpp"
 #include "driver/runtime.hpp"
@@ -219,23 +220,41 @@ int main(int argc, char** argv) {
                            std::chrono::steady_clock::now() - t0)
                            .count();
 
+  const bool fast_mode = mode == driver::ExecMode::kFast;
+  if (fast_mode)
+    std::printf("\nSIMD backend: %s (%d int8 lanes per vector op)\n",
+                core::simd::backend_name(), core::simd::backend().width);
+
   std::uint64_t total_cycles = 0;
   bool any_predicted = false;
-  std::printf("\n%-10s %6s %9s %12s %14s\n", "layer", "kind", "stripes",
-              "cycles", "MACs");
+  std::printf("\n%-10s %6s %9s %12s %14s%s\n", "layer", "kind", "stripes",
+              "cycles", "MACs", fast_mode ? "   skip%" : "");
   for (const driver::LayerRun& lr : run.layers) {
     if (!lr.on_accelerator) continue;
     total_cycles += lr.cycles;
     any_predicted = any_predicted || lr.cycles_predicted;
-    std::printf("%-10s %6s %9d %12llu%s %13lld\n", lr.name.c_str(),
+    std::printf("%-10s %6s %9d %12llu%s %13lld", lr.name.c_str(),
                 nn::layer_kind_name(lr.kind), lr.stripes,
                 static_cast<unsigned long long>(lr.cycles),
                 lr.cycles_predicted ? "*" : " ",
                 static_cast<long long>(lr.macs));
+    if (fast_mode) {
+      // Activation-sparsity skip: share of MAC tile-ops the host fast path
+      // elided because the gathered region was all zero (conv layers only).
+      const std::uint64_t tiles = lr.fast.mac_tiles + lr.fast.mac_tiles_skipped;
+      if (tiles > 0)
+        std::printf("   %5.1f",
+                    100.0 * static_cast<double>(lr.fast.mac_tiles_skipped) /
+                        static_cast<double>(tiles));
+      else
+        std::printf("   %5s", "-");
+    }
+    std::printf("\n");
   }
   if (any_predicted)
     std::printf("(* cycles predicted by the performance model — the fast "
-                "path runs no simulation)\n");
+                "path runs no simulation; skip%% = host MAC tile-ops elided "
+                "by the activation zero-skip)\n");
   const double mhz = cfg.clock_mhz;
   std::printf("\naccelerator total: %llu cycles = %.2f ms at %.0f MHz "
               "(simulated in %.1f s, %s mode)\n",

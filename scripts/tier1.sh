@@ -9,8 +9,9 @@
 #   ./scripts/tier1.sh            # all configurations
 #   ./scripts/tier1.sh default    # just the plain build
 #   ./scripts/tier1.sh sanitize   # just the asan/ubsan build
-#   ./scripts/tier1.sh tsan      # just the tsan pool/program build
+#   ./scripts/tier1.sh tsan       # just the tsan pool/program build
 #   ./scripts/tier1.sh scalar     # just the TSCA_SIMD=OFF equivalence build
+#   ./scripts/tier1.sh backends   # TSCA_FORCE_BACKEND equivalence matrix
 #
 # Exits non-zero on the first failing build or test.
 set -eu
@@ -34,15 +35,42 @@ run_config() {
 
 # ThreadSanitizer build, restricted to the suites that exercise cross-thread
 # sharing: the accelerator pool, the pooled runtime, the shared
-# NetworkProgram serving tests, and the serving subsystem (queue, scheduler,
-# server, load generator).  (Full-suite TSan is tier 2 — too slow.)
+# NetworkProgram serving tests, the serving subsystem (queue, scheduler,
+# server, load generator), and the stripe-parallel fast path
+# (FastStripeWorkers fans conv/pool stripes out across pool workers).
+# (Full-suite TSan is tier 2 — too slow.)
 run_tsan() {
   build_dir=build-tsan
-  echo "=== ${build_dir} (-DTSCA_SANITIZE=thread, Pool|Program|Serve tests) ==="
+  echo "=== ${build_dir} (-DTSCA_SANITIZE=thread, Pool|Program|Serve|FastStripe tests) ==="
   cmake -B "${root}/${build_dir}" -S "${root}" -DTSCA_SANITIZE=thread
   cmake --build "${root}/${build_dir}" -j "${jobs}"
   ctest --test-dir "${root}/${build_dir}" --output-on-failure -j "${jobs}" \
-    -R 'Pool|Program|Serve'
+    -R 'Pool|Program|Serve|FastStripe'
+}
+
+# Forced-backend matrix: the equivalence suites re-run with
+# TSCA_FORCE_BACKEND pinning each SIMD backend in turn — scalar and sse2
+# unconditionally, avx2/avx512 when the host CPU advertises them (the forced
+# selection fails hard on an unsupported host, so the matrix only asks for
+# what can actually run).  Uses the default build.
+run_backends() {
+  build_dir=build
+  cmake -B "${root}/${build_dir}" -S "${root}"
+  cmake --build "${root}/${build_dir}" -j "${jobs}"
+  backends="scalar sse2"
+  cpuflags=$(grep -m1 '^flags' /proc/cpuinfo 2>/dev/null || echo "")
+  case " ${cpuflags} " in *" avx2 "*) backends="${backends} avx2" ;; esac
+  case " ${cpuflags} " in
+    *" avx512f "*)
+      case " ${cpuflags} " in *" avx512bw "*) backends="${backends} avx512" ;;
+      esac ;;
+  esac
+  for be in ${backends}; do
+    echo "=== ${build_dir} (TSCA_FORCE_BACKEND=${be}, equivalence suites) ==="
+    TSCA_FORCE_BACKEND="${be}" \
+      ctest --test-dir "${root}/${build_dir}" --output-on-failure \
+      -j "${jobs}" -R 'EngineEquivalence|SimdBackends|FastStripe|NetworkE2E'
+  done
 }
 
 # Scalar fast path: the SIMD wrapper compiled with its portable fallback
@@ -64,13 +92,15 @@ case "${which}" in
     run_config build-sanitize -DTSCA_SANITIZE=address,undefined ;;
   tsan) run_tsan ;;
   scalar) run_scalar ;;
+  backends) run_backends ;;
   all)
     run_config build
     run_config build-sanitize -DTSCA_SANITIZE=address,undefined
     run_tsan
-    run_scalar ;;
+    run_scalar
+    run_backends ;;
   *)
-    echo "usage: $0 [default|sanitize|tsan|scalar|all]" >&2
+    echo "usage: $0 [default|sanitize|tsan|scalar|backends|all]" >&2
     exit 2 ;;
 esac
 echo "tier1: all green"

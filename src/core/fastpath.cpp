@@ -1,6 +1,7 @@
 #include "core/fastpath.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cstring>
 
 #include "core/poolgen.hpp"
@@ -55,13 +56,58 @@ void FastWeightsBuilder::add_stream(const std::vector<std::uint8_t>& bytes,
           prev = e.offset;
           const std::int32_t w = quant::sm8_decode(e.value);
           TSCA_CHECK(w != 0, "zero weight in packed stream");
-          bucket.push_back({static_cast<std::uint16_t>(oc0 + g),
-                            static_cast<std::int8_t>(w), e.offset});
+          bucket.push_back({.row = static_cast<std::uint16_t>(oc0 + g),
+                            .w = static_cast<std::int8_t>(w),
+                            .tag = e.offset});
         }
       }
     }
   }
 }
+
+namespace {
+
+// Builds the conv_win quad pack (see FastConvWeights) for a decoded
+// single-weight-tile layer: per channel, the bucket's entries regrouped by
+// accumulator row (rows ascending, taps in offset order within a row) and
+// cut into quads of ≤ 4.  Deterministic: derived from the sorted entries.
+void build_vnni_pack(FastConvWeights& fw) {
+  fw.vnni_begin.assign(static_cast<std::size_t>(fw.channels) + 1, 0);
+  std::vector<std::vector<FastConvWeights::Entry>> rows(
+      static_cast<std::size_t>(fw.out_channels));
+  for (int c = 0; c < fw.channels; ++c) {
+    for (auto& r : rows) r.clear();
+    for (std::uint32_t e = fw.begin[static_cast<std::size_t>(c)];
+         e < fw.begin[static_cast<std::size_t>(c) + 1]; ++e)
+      rows[fw.entries[e].row].push_back(fw.entries[e]);
+    for (const std::vector<FastConvWeights::Entry>& taps : rows) {
+      for (std::size_t t0 = 0; t0 < taps.size(); t0 += 4) {
+        std::uint32_t wq = 0;
+        std::int32_t corr = 0;
+        std::uint8_t idx[64] = {};
+        for (std::size_t j = 0; j + t0 < taps.size() && j < 4; ++j) {
+          const FastConvWeights::Entry& e = taps[t0 + j];
+          wq |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(e.w))
+                << (8 * j);
+          corr += 128 * e.w;
+          const int oy = e.tag / pack::kTileDim;
+          const int ox = e.tag % pack::kTileDim;
+          for (int p = 0; p < pack::kTileSize; ++p)
+            idx[4 * p + j] = static_cast<std::uint8_t>(
+                (oy + p / pack::kTileDim) * 8 + ox + p % pack::kTileDim);
+        }
+        fw.vnni_idx.insert(fw.vnni_idx.end(), idx, idx + 64);
+        fw.vnni_w.push_back(wq);
+        fw.vnni_corr.push_back(corr);
+        fw.vnni_row.push_back(taps[t0].row);
+      }
+    }
+    fw.vnni_begin[static_cast<std::size_t>(c) + 1] =
+        static_cast<std::uint32_t>(fw.vnni_w.size());
+  }
+}
+
+}  // namespace
 
 FastConvWeights FastWeightsBuilder::finish() {
   fw_.begin.assign(buckets_.size() + 1, 0);
@@ -73,69 +119,223 @@ FastConvWeights FastWeightsBuilder::finish() {
     std::sort(bucket.begin(), bucket.end(),
               [](const FastConvWeights::Entry& a,
                  const FastConvWeights::Entry& b) {
-                return a.offset != b.offset ? a.offset < b.offset
-                                            : a.oc < b.oc;
+                return a.tag != b.tag ? a.tag < b.tag : a.row < b.row;
               });
     fw_.begin[i] = static_cast<std::uint32_t>(fw_.entries.size());
     fw_.entries.insert(fw_.entries.end(), bucket.begin(), bucket.end());
   }
   fw_.begin[buckets_.size()] = static_cast<std::uint32_t>(fw_.entries.size());
+  if (fw_.wtiles_y == 1 && fw_.wtiles_x == 1) build_vnni_pack(fw_);
   buckets_.clear();
   return std::move(fw_);
 }
 
 namespace {
 
-// Copies the four window tiles (Fig. 4(a)) whose top-left tile is
-// (ity0, itx0) into a flat 8×8 row-major buffer; out-of-grid tiles are zero.
-void load_window(const pack::TiledFm& fm, int c, int ity0, int itx0,
-                 std::int8_t* win) {
-  for (int t = 0; t < 4; ++t) {
-    const int ity = ity0 + t / 2;
-    const int itx = itx0 + t % 2;
-    const int row0 = (t / 2) * pack::kTileDim;
-    const int col0 = (t % 2) * pack::kTileDim;
-    if (ity < fm.tiles_y() && itx < fm.tiles_x()) {
-      const pack::Tile& tile = fm.tile(c, ity, itx);
+// Expands the tile rows [row0, row0 + rows) of one channel of a TiledFm into
+// a zero-padded row-major pixel plane of `cols` tile columns.  The plane is
+// the flat image the per-position window loads used to re-copy out of the
+// tile grid over and over; building it once per fast_conv call turns every
+// window access into plain pointer arithmetic.  Out-of-grid tiles stay zero
+// (the caller value-initializes the buffer), which reproduces the zero
+// window tiles of the tiled path exactly.
+void expand_plane(const pack::TiledFm& fm, int c, int row0, int rows, int cols,
+                  std::int8_t* plane) {
+  const int pw = cols * pack::kTileDim;
+  const int gcols = std::min(cols, fm.tiles_x());
+  for (int ty = 0; ty < rows; ++ty) {
+    const int gy = row0 + ty;
+    if (gy >= fm.tiles_y()) break;
+    for (int tx = 0; tx < gcols; ++tx) {
+      const pack::Tile& tile = fm.tile(c, gy, tx);
+      std::int8_t* dst =
+          plane + static_cast<std::ptrdiff_t>(ty) * pack::kTileDim * pw +
+          tx * pack::kTileDim;
       for (int r = 0; r < pack::kTileDim; ++r)
-        std::memcpy(win + (row0 + r) * 8 + col0,
-                    tile.v.data() + r * pack::kTileDim, pack::kTileDim);
-    } else {
-      for (int r = 0; r < pack::kTileDim; ++r)
-        std::memset(win + (row0 + r) * 8 + col0, 0, pack::kTileDim);
+        std::memcpy(dst + r * pw, tile.v.data() + r * pack::kTileDim,
+                    pack::kTileDim);
     }
   }
 }
 
-}  // namespace
+// Fused-pad expansion: lays the LOGICAL pixels of one raw channel into the
+// plane shifted by (top, left), clipped exactly like the PAD window clip —
+// pixels past the logical extents (including a raw tile's own padding bytes)
+// never reach the plane, so the result is byte-identical to expanding a
+// materialized zero-padded TiledFm.  prow0_px is the plane's first pixel row
+// in padded-image coordinates (otile_row0 * kTileDim).
+void expand_plane_padded(const pack::TiledFm& fm, int c, int top, int left,
+                         int prow0_px, int ph, int pw, std::int8_t* plane) {
+  const nn::FmShape s = fm.shape();
+  TSCA_CHECK(left >= 0 && left + s.w <= pw, "fused pad outside conv plane");
+  for (int y = 0; y < s.h; ++y) {
+    const int py = y + top - prow0_px;
+    if (py < 0) continue;
+    if (py >= ph) break;
+    const int ty = y / pack::kTileDim;
+    const int r = y % pack::kTileDim;
+    std::int8_t* dst = plane + static_cast<std::ptrdiff_t>(py) * pw + left;
+    for (int tx = 0; tx * pack::kTileDim < s.w; ++tx) {
+      const int nbytes = std::min(pack::kTileDim, s.w - tx * pack::kTileDim);
+      std::memcpy(dst + tx * pack::kTileDim,
+                  fm.tile(c, ty, tx).v.data() + r * pack::kTileDim,
+                  static_cast<std::size_t>(nbytes));
+    }
+  }
+}
 
-void fast_conv(const pack::TiledFm& input, const FastConvWeights& fw,
-               const std::vector<std::int32_t>& bias, const nn::Requant& rq,
-               pack::TiledFm& output) {
+// Shift of the raw input inside the conv's input planes; null = inputs are
+// already padded and expand whole tiles verbatim.
+struct PadSpec {
+  int top = 0;
+  int left = 0;
+};
+
+// Nonzero-byte bitmask of tap `tag`'s 16-value region within an 8×8 window
+// mask (bit r*8 + x): masks[i] & kRegionMask[tag] == 0 is exactly conv_run's
+// per-image zero probe, reconstructed from conv_win's whole-window mask.
+constexpr std::array<std::uint64_t, pack::kTileSize> make_region_masks() {
+  std::array<std::uint64_t, pack::kTileSize> m{};
+  for (int t = 0; t < pack::kTileSize; ++t)
+    for (int r = 0; r < pack::kTileDim; ++r)
+      for (int x = 0; x < pack::kTileDim; ++x)
+        m[static_cast<std::size_t>(t)] |=
+            1ull << ((t / pack::kTileDim + r) * 8 + t % pack::kTileDim + x);
+  return m;
+}
+constexpr std::array<std::uint64_t, pack::kTileSize> kRegionMask =
+    make_region_masks();
+
+void fast_conv_impl(const pack::TiledFm* const* inputs, int batch,
+                    const FastConvWeights& fw,
+                    const std::vector<std::int32_t>& bias,
+                    const nn::Requant& rq, pack::TiledFm* const* outputs,
+                    int otile_row0, int otile_rows, const PadSpec* pad,
+                    FastConvStats* stats) {
   TSCA_CHECK(fw.decoded(), "fast conv weights not decoded");
-  TSCA_CHECK(input.channels() == fw.channels &&
-                 output.channels() == fw.out_channels,
-             "fast conv shape mismatch");
+  TSCA_CHECK(batch > 0, "fast conv empty batch");
+  const pack::TiledFm& in0 = *inputs[0];
+  const pack::TiledFm& out0 = *outputs[0];
+  for (int i = 0; i < batch; ++i) {
+    TSCA_CHECK(inputs[i]->channels() == fw.channels &&
+                   outputs[i]->channels() == fw.out_channels,
+               "fast conv shape mismatch");
+    TSCA_CHECK(inputs[i]->tiles_y() == in0.tiles_y() &&
+                   inputs[i]->tiles_x() == in0.tiles_x() &&
+                   outputs[i]->tiles_y() == out0.tiles_y() &&
+                   outputs[i]->tiles_x() == out0.tiles_x(),
+               "fast conv ragged batch");
+  }
+  TSCA_CHECK(otile_row0 >= 0 && otile_rows >= 0 &&
+                 otile_row0 + otile_rows <= out0.tiles_y(),
+             "fast conv row range outside OFM");
   const int oc_count = fw.out_channels;
+  const std::size_t lane_bytes =
+      static_cast<std::size_t>(batch) * pack::kTileSize;
   std::vector<std::int32_t> bias_of(static_cast<std::size_t>(oc_count));
   for (int oc = 0; oc < oc_count; ++oc)
     bias_of[static_cast<std::size_t>(oc)] =
         oc < static_cast<int>(bias.size())
             ? bias[static_cast<std::size_t>(oc)]
             : 0;
-  // One accumulator tile per output channel, reused at every position.
-  std::vector<std::int32_t> acc(static_cast<std::size_t>(oc_count) *
-                                pack::kTileSize);
-  alignas(16) std::int8_t win[64];
-  alignas(16) std::int8_t region[pack::kTileSize];
+  const simd::SimdBackend& be = simd::backend();
+  FastConvStats st;
+  // Flat zero-padded pixel planes, one per (image, channel), covering every
+  // tile row this call's window loads can touch: rows [otile_row0,
+  // otile_row0 + otile_rows + wtiles_y) and wtiles_x columns beyond the
+  // grid.  Built once up front so the per-position inner loop gathers
+  // regions with pure pointer arithmetic instead of re-copying 8×8 windows
+  // out of the tile grid at every (position, channel, weight tile).
+  const int prows = otile_rows + fw.wtiles_y;
+  const int pcols = out0.tiles_x() + fw.wtiles_x;
+  const int pw = pcols * pack::kTileDim;
+  const std::size_t plane_sz =
+      static_cast<std::size_t>(prows) * pack::kTileDim * pw;
+  // Channel-major, image-minor: the batch's planes for one channel sit
+  // back to back, so a region gather's per-image hops span one plane_sz
+  // instead of the whole (channels × images) buffer — the gather's working
+  // set per (position, channel) is a few cache lines, not the full batch.
+  std::vector<std::int8_t> planes(static_cast<std::size_t>(batch) *
+                                  fw.channels * plane_sz);
+  for (int i = 0; i < batch; ++i)
+    for (int c = 0; c < fw.channels; ++c) {
+      std::int8_t* plane =
+          planes.data() +
+          (static_cast<std::size_t>(c) * batch + i) * plane_sz;
+      if (pad == nullptr)
+        expand_plane(*inputs[i], c, otile_row0, prows, pcols, plane);
+      else
+        expand_plane_padded(*inputs[i], c, pad->top, pad->left,
+                            otile_row0 * pack::kTileDim,
+                            prows * pack::kTileDim, pw, plane);
+    }
 
-  for (int oty = 0; oty < output.tiles_y(); ++oty) {
-    for (int otx = 0; otx < output.tiles_x(); ++otx) {
+  // Batch-major working set, reused at every position: acc is [oc][img][pos]
+  // so one conv_run call per region run covers all images.
+  const std::ptrdiff_t img_stride = static_cast<std::ptrdiff_t>(plane_sz);
+  std::vector<std::int32_t> acc(static_cast<std::size_t>(oc_count) *
+                                lane_bytes);
+  std::vector<std::int8_t> rqout(lane_bytes);
+
+  // Whole-window path: one window load + one permute/dot-accumulate per tap
+  // quad replaces a conv_run per offset run.  The per-image window masks
+  // reproduce conv_run's per-region zero probes, so the work counters below
+  // are bit-equal to the run path's.
+  const bool use_win =
+      fw.vnni() && be.conv_win != nullptr && simd::conv_win_host_ok();
+  std::vector<std::uint64_t> masks(use_win ? static_cast<std::size_t>(batch)
+                                           : 0);
+
+  for (int oty = otile_row0; oty < otile_row0 + otile_rows; ++oty) {
+    for (int otx = 0; otx < out0.tiles_x(); ++otx) {
       for (int oc = 0; oc < oc_count; ++oc)
-        std::fill_n(acc.begin() +
-                        static_cast<std::ptrdiff_t>(oc) * pack::kTileSize,
-                    pack::kTileSize, bias_of[static_cast<std::size_t>(oc)]);
+        std::fill_n(acc.begin() + static_cast<std::ptrdiff_t>(oc) *
+                                      static_cast<std::ptrdiff_t>(lane_bytes),
+                    lane_bytes, bias_of[static_cast<std::size_t>(oc)]);
       for (int c = 0; c < fw.channels; ++c) {
+        // Pixel origin of this position's windows within the channel's
+        // image-minor plane block.
+        const std::int8_t* plane0 =
+            planes.data() + static_cast<std::size_t>(c) * batch * plane_sz;
+        const std::ptrdiff_t pos0 =
+            static_cast<std::ptrdiff_t>(oty - otile_row0) * pack::kTileDim *
+                pw +
+            static_cast<std::ptrdiff_t>(otx) * pack::kTileDim;
+        if (use_win) {
+          const std::uint32_t e0 = fw.begin[static_cast<std::size_t>(c)];
+          const std::uint32_t e1 = fw.begin[static_cast<std::size_t>(c) + 1];
+          if (e0 == e1) continue;
+          const std::uint32_t q0 = fw.vnni_begin[static_cast<std::size_t>(c)];
+          const std::uint32_t q1 =
+              fw.vnni_begin[static_cast<std::size_t>(c) + 1];
+          be.conv_win(acc.data(), lane_bytes,
+                      fw.vnni_idx.data() + static_cast<std::size_t>(q0) * 64,
+                      fw.vnni_w.data() + q0, fw.vnni_corr.data() + q0,
+                      fw.vnni_row.data() + q0, static_cast<int>(q1 - q0),
+                      plane0 + pos0, img_stride, pw, batch, masks.data());
+          // Same run walk as the conv_run path, counted from the window
+          // masks instead of re-gathered regions.
+          std::uint32_t e = e0;
+          while (e < e1) {
+            const std::uint8_t off = fw.entries[e].tag;
+            std::uint32_t re = e + 1;
+            while (re < e1 && fw.entries[re].tag == off) ++re;
+            const std::uint64_t run = re - e;
+            const std::uint64_t rm = kRegionMask[off];
+            int nz_images = 0;
+            for (int i = 0; i < batch; ++i)
+              nz_images += (masks[static_cast<std::size_t>(i)] & rm) != 0;
+            ++st.regions;
+            if (nz_images == 0) {
+              ++st.regions_zero;
+              st.mac_tiles_skipped += run;
+            } else {
+              st.mac_tiles += run;
+            }
+            e = re;
+          }
+          continue;
+        }
         for (int wty = 0; wty < fw.wtiles_y; ++wty) {
           for (int wtx = 0; wtx < fw.wtiles_x; ++wtx) {
             const std::size_t b =
@@ -145,102 +345,166 @@ void fast_conv(const pack::TiledFm& input, const FastConvWeights& fw,
             const std::uint32_t e0 = fw.begin[b];
             const std::uint32_t e1 = fw.begin[b + 1];
             if (e0 == e1) continue;
-            load_window(input, c, oty + wty, otx + wtx, win);
-            int cached_offset = -1;
-            for (std::uint32_t e = e0; e < e1; ++e) {
-              const FastConvWeights::Entry& entry = fw.entries[e];
-              if (entry.offset != cached_offset) {
-                cached_offset = entry.offset;
-                const int oy = cached_offset / pack::kTileDim;
-                const int ox = cached_offset % pack::kTileDim;
-                for (int r = 0; r < pack::kTileDim; ++r)
-                  std::memcpy(region + r * pack::kTileDim,
-                              win + (oy + r) * 8 + ox, pack::kTileDim);
+            const std::ptrdiff_t wbase =
+                pos0 + static_cast<std::ptrdiff_t>(wty) * pack::kTileDim * pw +
+                static_cast<std::ptrdiff_t>(wtx) * pack::kTileDim;
+            // Entries are (offset, oc)-sorted: each distinct offset is a
+            // contiguous run sharing one gathered region, executed as a
+            // single backend conv_run call (gather + zero probe + MACs
+            // fused, one dispatch per run).
+            std::uint32_t e = e0;
+            while (e < e1) {
+              const std::uint8_t off = fw.entries[e].tag;
+              std::uint32_t re = e + 1;
+              while (re < e1 && fw.entries[re].tag == off) ++re;
+              const std::uint64_t run = re - e;
+              const int oy = off / pack::kTileDim;
+              const int ox = off % pack::kTileDim;
+              const std::ptrdiff_t src0 =
+                  wbase + static_cast<std::ptrdiff_t>(oy) * pw + ox;
+              ++st.regions;
+              // The backend gathers the region straight from the planes,
+              // probes it for zero per image (acc += 0 * w is a no-op, so
+              // skipping a zero image is exact) and applies the run; a
+              // region zero across every image elides the runs entirely.
+              const int nz_images = be.conv_run(
+                  acc.data(), lane_bytes, &fw.entries[e],
+                  static_cast<int>(run), plane0 + src0, img_stride, pw, batch);
+              if (nz_images == 0) {
+                ++st.regions_zero;
+                st.mac_tiles_skipped += run;
+              } else {
+                st.mac_tiles += run;
               }
-              simd::mac16(acc.data() + static_cast<std::size_t>(entry.oc) *
-                                           pack::kTileSize,
-                          region, entry.w);
+              e = re;
             }
           }
         }
       }
-      for (int oc = 0; oc < oc_count; ++oc)
-        simd::requantize16(acc.data() + static_cast<std::size_t>(oc) *
-                                            pack::kTileSize,
-                           output.tile(oc, oty, otx).v.data(), rq.shift,
-                           rq.relu);
+      for (int oc = 0; oc < oc_count; ++oc) {
+        be.requantize(
+            acc.data() + static_cast<std::size_t>(oc) * lane_bytes,
+            rqout.data(), rq.shift, rq.relu, batch);
+        for (int i = 0; i < batch; ++i)
+          std::memcpy(outputs[i]->tile(oc, oty, otx).v.data(),
+                      rqout.data() +
+                          static_cast<std::ptrdiff_t>(i) * pack::kTileSize,
+                      pack::kTileSize);
+      }
+    }
+  }
+  if (stats != nullptr) *stats += st;
+}
+
+}  // namespace
+
+void fast_conv(const pack::TiledFm* const* inputs, int batch,
+               const FastConvWeights& fw, const std::vector<std::int32_t>& bias,
+               const nn::Requant& rq, pack::TiledFm* const* outputs,
+               int otile_row0, int otile_rows, FastConvStats* stats) {
+  fast_conv_impl(inputs, batch, fw, bias, rq, outputs, otile_row0, otile_rows,
+                 nullptr, stats);
+}
+
+void fast_conv_padded(const pack::TiledFm* const* inputs, int batch,
+                      const FastConvWeights& fw,
+                      const std::vector<std::int32_t>& bias,
+                      const nn::Requant& rq, int pad_top, int pad_left,
+                      pack::TiledFm* const* outputs, int otile_row0,
+                      int otile_rows, FastConvStats* stats) {
+  const PadSpec pad{pad_top, pad_left};
+  fast_conv_impl(inputs, batch, fw, bias, rq, outputs, otile_row0, otile_rows,
+                 &pad, stats);
+}
+
+void fast_conv(const pack::TiledFm& input, const FastConvWeights& fw,
+               const std::vector<std::int32_t>& bias, const nn::Requant& rq,
+               pack::TiledFm& output, FastConvStats* stats) {
+  const pack::TiledFm* in = &input;
+  pack::TiledFm* out = &output;
+  fast_conv(&in, 1, fw, bias, rq, &out, 0, output.tiles_y(), stats);
+}
+
+FastPoolPlan make_fast_pool_plan(const PadPoolInstr& instr) {
+  FastPoolPlan plan;
+  plan.channels = instr.channels;
+  plan.ifm_tiles_y = instr.ifm_tiles_y;
+  plan.ifm_tiles_x = instr.ifm_tiles_x;
+  plan.ofm_tiles_y = instr.ofm_tiles_y;
+  plan.ofm_tiles_x = instr.ofm_tiles_x;
+  plan.begin.reserve(
+      static_cast<std::size_t>(instr.ofm_tiles_y) * instr.ofm_tiles_x + 1);
+  for (int oty = 0; oty < instr.ofm_tiles_y; ++oty) {
+    for (int otx = 0; otx < instr.ofm_tiles_x; ++otx) {
+      plan.begin.push_back(static_cast<std::uint32_t>(plan.steps.size()));
+      for (const PoolStep& st : make_pool_steps(instr, oty, otx)) {
+        FastPoolPlan::Step fs;
+        fs.in_ty = static_cast<std::int16_t>(st.in_ty);
+        fs.in_tx = static_cast<std::int16_t>(st.in_tx);
+        fs.load = st.load;
+        fs.first = st.first;
+        fs.last = st.last;
+        for (int m = 0; m < kNumMaxUnits; ++m)
+          for (int i = 0; i < pack::kTileSize; ++i)
+            fs.ctl.max_mask[m][i] =
+                (st.op.max_mask[static_cast<std::size_t>(m)] >> i) & 1 ? 0xff
+                                                                       : 0x00;
+        for (int i = 0; i < pack::kTileSize; ++i) {
+          const std::uint8_t sel = st.op.out_sel[static_cast<std::size_t>(i)];
+          fs.ctl.unit4[i] =
+              sel < kSelKeep ? static_cast<std::uint8_t>((sel & 3) * 4) : 0;
+          fs.ctl.take[i] = sel < kSelCombine0 ? 0xff : 0x00;
+          fs.ctl.comb[i] =
+              sel >= kSelCombine0 && sel < kSelKeep ? 0xff : 0x00;
+        }
+        plan.steps.push_back(fs);
+      }
+    }
+  }
+  plan.begin.push_back(static_cast<std::uint32_t>(plan.steps.size()));
+  return plan;
+}
+
+void fast_pad_pool(const pack::TiledFm& input, const FastPoolPlan& plan,
+                   int in_tile_row0, int otile_row0, pack::TiledFm& output) {
+  TSCA_CHECK(plan.decoded(), "fast pool plan not decoded");
+  TSCA_CHECK(plan.channels <= input.channels() &&
+                 plan.channels <= output.channels(),
+             "fast pool channel mismatch");
+  TSCA_CHECK(in_tile_row0 + plan.ifm_tiles_y <= input.tiles_y() &&
+                 otile_row0 + plan.ofm_tiles_y <= output.tiles_y(),
+             "fast pool stripe outside feature map");
+  const simd::SimdBackend& be = simd::backend();
+  static const pack::Tile kZeroTile{};
+  std::size_t p = 0;
+  for (int oty = 0; oty < plan.ofm_tiles_y; ++oty) {
+    for (int otx = 0; otx < plan.ofm_tiles_x; ++otx, ++p) {
+      const std::uint32_t s0 = plan.begin[p];
+      const std::uint32_t s1 = plan.begin[p + 1];
+      for (int c = 0; c < plan.channels; ++c) {
+        const pack::Tile* held = &kZeroTile;
+        pack::Tile out{};
+        for (std::uint32_t s = s0; s < s1; ++s) {
+          const FastPoolPlan::Step& fs = plan.steps[s];
+          if (fs.load) {
+            held = (fs.in_ty >= 0 && fs.in_ty < plan.ifm_tiles_y &&
+                    fs.in_tx >= 0 && fs.in_tx < plan.ifm_tiles_x)
+                       ? &input.tile(c, in_tile_row0 + fs.in_ty, fs.in_tx)
+                       : &kZeroTile;
+          }
+          if (fs.first) out = pack::Tile{};
+          be.pool_step(held->v.data(), fs.ctl, out.v.data());
+          if (fs.last) output.tile(c, otile_row0 + oty, otx) = out;
+        }
+      }
     }
   }
 }
 
-namespace {
-
-// make_pool_steps output with the MAX-unit masks expanded to byte masks for
-// simd::masked_max16; steps are channel-independent, so one expansion per
-// output tile serves every channel.
-struct FastPoolStep {
-  PoolStep step;
-  std::array<std::array<std::uint8_t, pack::kTileSize>, kNumMaxUnits> masks;
-};
-
-}  // namespace
-
 void fast_pad_pool(const pack::TiledFm& input, const PadPoolInstr& instr,
                    int in_tile_row0, int otile_row0, pack::TiledFm& output) {
-  TSCA_CHECK(instr.channels <= input.channels() &&
-                 instr.channels <= output.channels(),
-             "fast pool channel mismatch");
-  TSCA_CHECK(in_tile_row0 + instr.ifm_tiles_y <= input.tiles_y() &&
-                 otile_row0 + instr.ofm_tiles_y <= output.tiles_y(),
-             "fast pool stripe outside feature map");
-  std::vector<FastPoolStep> steps;
-  static const pack::Tile kZeroTile{};
-  for (int oty = 0; oty < instr.ofm_tiles_y; ++oty) {
-    for (int otx = 0; otx < instr.ofm_tiles_x; ++otx) {
-      steps.clear();
-      for (const PoolStep& st : make_pool_steps(instr, oty, otx)) {
-        FastPoolStep fs{st, {}};
-        for (int m = 0; m < kNumMaxUnits; ++m)
-          for (int i = 0; i < pack::kTileSize; ++i)
-            fs.masks[static_cast<std::size_t>(m)]
-                    [static_cast<std::size_t>(i)] =
-                (st.op.max_mask[static_cast<std::size_t>(m)] >> i) & 1
-                    ? 0xff
-                    : 0x00;
-        steps.push_back(fs);
-      }
-      for (int c = 0; c < instr.channels; ++c) {
-        const pack::Tile* held = &kZeroTile;
-        pack::Tile out{};
-        for (const FastPoolStep& fs : steps) {
-          const PoolStep& st = fs.step;
-          if (st.load) {
-            held = (st.in_ty >= 0 && st.in_ty < instr.ifm_tiles_y &&
-                    st.in_tx >= 0 && st.in_tx < instr.ifm_tiles_x)
-                       ? &input.tile(c, in_tile_row0 + st.in_ty, st.in_tx)
-                       : &kZeroTile;
-          }
-          if (st.first) out = pack::Tile{};
-          std::array<std::int8_t, kNumMaxUnits> max_out;
-          for (int m = 0; m < kNumMaxUnits; ++m)
-            max_out[static_cast<std::size_t>(m)] = simd::masked_max16(
-                held->v.data(), fs.masks[static_cast<std::size_t>(m)].data());
-          for (int i = 0; i < pack::kTileSize; ++i) {
-            const std::uint8_t sel = st.op.out_sel[static_cast<std::size_t>(i)];
-            if (sel < kSelCombine0) {
-              out.v[static_cast<std::size_t>(i)] =
-                  max_out[static_cast<std::size_t>(sel)];
-            } else if (sel < kSelKeep) {
-              out.v[static_cast<std::size_t>(i)] =
-                  std::max(out.v[static_cast<std::size_t>(i)],
-                           max_out[static_cast<std::size_t>(sel - kSelCombine0)]);
-            }
-          }
-          if (st.last) output.tile(c, otile_row0 + oty, otx) = out;
-        }
-      }
-    }
-  }
+  fast_pad_pool(input, make_fast_pool_plan(instr), in_tile_row0, otile_row0,
+                output);
 }
 
 }  // namespace tsca::core

@@ -11,14 +11,31 @@
 // counts for fast runs come from driver::PerfModel instead (flagged as
 // predicted in LayerRun).
 //
-// The 16-wide tile operations vectorize through core/simd.hpp (SSE/AVX2 with
-// a scalar fallback, gated by the TSCA_SIMD CMake option).
+// The tile operations vectorize through the runtime-dispatched backends in
+// core/simd.hpp (scalar/SSE2/AVX2/AVX-512, gated by the TSCA_SIMD CMake
+// option).  fast_conv is batch-major: it convolves N images at once with the
+// weight stream walked a single time, each gathered region holding the same
+// 16 positions of all N images back to back ([img][pos], 16·N int8) so one
+// backend mac call covers the whole batch.  N = 1 is the plain serving case.
+//
+// Two levers on top of the layout:
+//   - a row range (otile_row0, otile_rows) restricts execution to a band of
+//     output tile rows, which is how ConvPlan stripes are fanned out across
+//     pool workers — bands write disjoint output tiles, so parallel
+//     execution is bit-exact with no reduction order to pin down;
+//   - an activation-sparsity probe inside SimdBackend::conv_run tests each
+//     gathered region per image and skips every MAC against an all-zero
+//     region — the feature-map-side mirror of the paper's weight zero-skip.
+//     Regions zero across the whole batch are counted in FastConvStats,
+//     never in the PerfModel work counters: the modeled hardware still
+//     executes those MACs.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "core/isa.hpp"
+#include "core/simd.hpp"
 #include "nn/layers.hpp"
 #include "pack/tile.hpp"
 
@@ -26,28 +43,44 @@ namespace tsca::core {
 
 // One conv layer's packed weights decoded into a flat, position-reusable
 // form: entries bucketed by (input channel, weight tile), each entry naming
-// its output channel, decoded weight and intra-tile offset.  Buckets are
-// sorted by (offset, oc) so the steered 16-byte region is extracted once per
-// distinct offset; int32 accumulation is commutative, so reordering within a
-// bucket cannot change the result.
+// its output channel (`row` — the accumulator row a conv_run scatters into),
+// decoded weight and intra-tile offset (`tag`, 0..15 = y*4+x).  Buckets are
+// sorted by (offset, oc), so entries sharing a steered 16-byte region form a
+// contiguous run handed to SimdBackend::conv_run as-is; int32 accumulation is
+// commutative, so reordering within a bucket cannot change the result.
 struct FastConvWeights {
-  struct Entry {
-    std::uint16_t oc = 0;
-    std::int8_t w = 0;
-    std::uint8_t offset = 0;  // 0..15, y*4+x within the weight tile
-  };
+  using Entry = simd::MacRunEntry;  // row = output channel, tag = offset
 
   int channels = 0;  // IFM channels (padded input)
   int wtiles_y = 0;
   int wtiles_x = 0;
   int out_channels = 0;
   std::vector<Entry> entries;
+  // Whole-window quad pack, built at decode time for single-weight-tile
+  // layers (every 3×3 kernel): per channel, each accumulator row's taps are
+  // grouped into quads of ≤ 4 entries for SimdBackend::conv_win.  Per quad q
+  // in [vnni_begin[c], vnni_begin[c+1]):
+  //   vnni_idx [q*64..)  byte-gather pattern pulling the four taps' 16-value
+  //                      regions, interleaved per lane, out of the 8×8 pixel
+  //                      window (lane 4p+j reads tap j's region byte p)
+  //   vnni_w   [q]       the four int8 weights packed little-endian
+  //   vnni_corr[q]       128 * (sum of the four weights) — the exact bias
+  //                      removal for the kernel's unsigned-operand form
+  //   vnni_row [q]       the accumulator row all four taps scatter into
+  // Unused slots of a short quad carry weight 0 (region · 0 adds nothing).
+  // Empty when the layer has several weight tiles; conv_run runs those.
+  std::vector<std::uint8_t> vnni_idx;
+  std::vector<std::uint32_t> vnni_w;
+  std::vector<std::int32_t> vnni_corr;
+  std::vector<std::uint16_t> vnni_row;
+  std::vector<std::uint32_t> vnni_begin;
   // Bucket extents: entries of (c, wt) live in
   // [begin[c*wtiles+wt], begin[c*wtiles+wt+1]).  Empty when not decoded.
   std::vector<std::uint32_t> begin;
 
   int wtiles() const { return wtiles_y * wtiles_x; }
   bool decoded() const { return !begin.empty(); }
+  bool vnni() const { return !vnni_begin.empty(); }
 };
 
 // Decodes serialized per-lane streams (pack::serialize_lane_stream format)
@@ -72,18 +105,97 @@ class FastWeightsBuilder {
   std::vector<std::vector<FastConvWeights::Entry>> buckets_;
 };
 
-// Convolves `input` (already padded) into `output` — every output channel,
-// every tile position, matching the conv unit bit-for-bit: out-of-grid
-// window tiles read zero, bias[oc] (0 past the end) seeds the accumulator,
-// nn::requantize writes back.  `output` must be sized to the layer's OFM.
+// Host-execution statistics for one fast_conv call.  These describe what the
+// *host* skipped, not what the modeled hardware would do — PerfModel work
+// counters are untouched by the activation skip.
+struct FastConvStats {
+  std::uint64_t regions = 0;          // distinct steered regions gathered
+  std::uint64_t regions_zero = 0;     // regions probed all-zero (all images)
+  std::uint64_t mac_tiles = 0;        // backend mac tile-group calls issued
+  std::uint64_t mac_tiles_skipped = 0;  // elided by the zero-region skip
+
+  FastConvStats& operator+=(const FastConvStats& o) {
+    regions += o.regions;
+    regions_zero += o.regions_zero;
+    mac_tiles += o.mac_tiles;
+    mac_tiles_skipped += o.mac_tiles_skipped;
+    return *this;
+  }
+};
+
+// Convolves `batch` images (already padded) into their outputs — every output
+// channel, every tile position in rows [otile_row0, otile_row0 + otile_rows),
+// matching the conv unit bit-for-bit: out-of-grid window tiles read zero,
+// bias[oc] (0 past the end) seeds the accumulator, nn::requantize writes
+// back.  All inputs share one shape, all outputs share one shape sized to
+// the layer's OFM.  Per-image results are identical to `batch` separate
+// calls (the batch-major layout only changes which values sit in one vector
+// register together, never the per-image arithmetic).  `stats`, when
+// non-null, is accumulated into (callers sum stripes in index order).
+void fast_conv(const pack::TiledFm* const* inputs, int batch,
+               const FastConvWeights& fw, const std::vector<std::int32_t>& bias,
+               const nn::Requant& rq, pack::TiledFm* const* outputs,
+               int otile_row0, int otile_rows, FastConvStats* stats = nullptr);
+
+// Single-image, full-height convenience form (the original PR 4 interface).
 void fast_conv(const pack::TiledFm& input, const FastConvWeights& fw,
                const std::vector<std::int32_t>& bias, const nn::Requant& rq,
-               pack::TiledFm& output);
+               pack::TiledFm& output, FastConvStats* stats = nullptr);
 
-// Replays one PAD/POOL instruction functionally.  `instr` is stripe-local
-// exactly as built by driver::make_pool_instr; `in_tile_row0` / `otile_row0`
-// relocate its tile reads/writes into the global feature maps, so a striped
-// plan replayed stripe by stripe reproduces the engine's output bit-for-bit.
+// Fused-pad form: convolves `batch` UNPADDED images as if each had first been
+// zero-padded by `pad_top` rows / `pad_left` columns (the fused PAD batch,
+// make_fused_pad_instr's pure shift/copy).  The pad never materializes: the
+// raw pixels — clipped to each input's logical extents, exactly like the PAD
+// window clip — land shifted inside the conv's zero-initialized input planes,
+// which is bit-identical to padding into a TiledFm and convolving that,
+// including the FastConvStats (the gathered regions are the same bytes).
+void fast_conv_padded(const pack::TiledFm* const* inputs, int batch,
+                      const FastConvWeights& fw,
+                      const std::vector<std::int32_t>& bias,
+                      const nn::Requant& rq, int pad_top, int pad_left,
+                      pack::TiledFm* const* outputs, int otile_row0,
+                      int otile_rows, FastConvStats* stats = nullptr);
+
+// One PAD/POOL instruction decoded into replayable form: every output tile
+// position's micro-op steps generated once (core::make_pool_steps) with the
+// MAX-unit masks and output mux expanded into simd::PoolStepCtl blocks.  The
+// steps are channel-independent, so a plan decoded at program-compile time
+// amortizes all generation and mask-expansion work across every channel,
+// image and request that replays the instruction.
+struct FastPoolPlan {
+  struct Step {
+    std::int16_t in_ty = 0;  // input tile coordinates; out-of-grid ⇒ zero
+    std::int16_t in_tx = 0;
+    bool load = false;   // first step touching this tile: (re)fetch it
+    bool first = false;  // reset the output register before applying
+    bool last = false;   // emit the output tile afterwards
+    simd::PoolStepCtl ctl;
+  };
+
+  int channels = 0;
+  int ifm_tiles_y = 0;
+  int ifm_tiles_x = 0;
+  int ofm_tiles_y = 0;
+  int ofm_tiles_x = 0;
+  std::vector<Step> steps;
+  // Steps of output position (oty, otx) live in
+  // [begin[oty*ofm_tiles_x + otx], begin[.. + 1]).  Empty when not decoded.
+  std::vector<std::uint32_t> begin;
+
+  bool decoded() const { return !begin.empty(); }
+};
+
+FastPoolPlan make_fast_pool_plan(const PadPoolInstr& instr);
+
+// Replays one decoded PAD/POOL instruction functionally.  The plan is
+// stripe-local exactly like the instruction it was decoded from;
+// `in_tile_row0` / `otile_row0` relocate its tile reads/writes into the
+// global feature maps, so a striped plan replayed stripe by stripe
+// reproduces the engine's output bit-for-bit.
+void fast_pad_pool(const pack::TiledFm& input, const FastPoolPlan& plan,
+                   int in_tile_row0, int otile_row0, pack::TiledFm& output);
+
+// Convenience form decoding `instr` on the fly (tests, ad-hoc callers).
 void fast_pad_pool(const pack::TiledFm& input, const PadPoolInstr& instr,
                    int in_tile_row0, int otile_row0, pack::TiledFm& output);
 

@@ -1,0 +1,952 @@
+// SimdBackend implementations: scalar, SSE2, AVX2, AVX-512.
+//
+// Every implementation computes exactly the same integers — the scalar loops
+// are the specification, the vector bodies are transcriptions of them.  The
+// AVX2/AVX-512 functions carry per-function target attributes, so this file
+// compiles with the ambient (baseline) flags and the wider code is only ever
+// reached through the dispatch table after a CPUID check.
+#include "core/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "nn/layers.hpp"
+#include "util/check.hpp"
+
+#if defined(TSCA_SIMD) && (defined(__x86_64__) || defined(__i386__)) && \
+    defined(__SSE2__) && (defined(__GNUC__) || defined(__clang__))
+#define TSCA_SIMD_X86 1
+#include <immintrin.h>
+#endif
+
+namespace tsca::core::simd {
+
+namespace {
+
+// --- scalar (specification) ----------------------------------------------
+
+void mac_scalar(std::int32_t* acc, const std::int8_t* x, std::int8_t w,
+                int n) {
+  for (int i = 0; i < n * 16; ++i)
+    acc[i] += static_cast<std::int32_t>(x[i]) * w;
+}
+
+int conv_run_scalar(std::int32_t* acc, std::size_t stride,
+                    const MacRunEntry* e, int count, const std::int8_t* src,
+                    std::ptrdiff_t img_stride, std::ptrdiff_t row_stride,
+                    int n) {
+  int nz_images = 0;
+  for (int i = 0; i < n; ++i) {
+    const std::int8_t* s = src + i * img_stride;
+    std::int8_t region[16];
+    std::uint32_t nz = 0;
+    for (int r = 0; r < 4; ++r) {
+      std::uint32_t w32;
+      std::memcpy(&w32, s + r * row_stride, sizeof(w32));
+      nz |= w32;
+      std::memcpy(region + r * 4, &w32, sizeof(w32));
+    }
+    if (nz == 0) continue;
+    ++nz_images;
+    for (int k = 0; k < count; ++k)
+      mac_scalar(acc + e[k].row * stride + i * 16, region, e[k].w, 1);
+  }
+  return nz_images;
+}
+
+std::int32_t dot_scalar(const std::int8_t* a, const std::int8_t* b, int n) {
+  // Unsigned accumulation: wraps mod 2^32 without UB, matching the vector
+  // backends' wrapping adds for any summation order.
+  std::uint32_t s = 0;
+  for (int i = 0; i < n * 16; ++i)
+    s += static_cast<std::uint32_t>(static_cast<std::int32_t>(a[i]) * b[i]);
+  return static_cast<std::int32_t>(s);
+}
+
+void dot4_scalar(const std::int8_t* a, const std::int8_t* const b[4], int n,
+                 std::int32_t out[4]) {
+  for (int k = 0; k < 4; ++k) out[k] = dot_scalar(a, b[k], n);
+}
+
+void requantize_scalar(const std::int32_t* acc, std::int8_t* out, int shift,
+                       bool relu, int n) {
+  const nn::Requant rq{.shift = shift, .relu = relu};
+  for (int i = 0; i < n * 16; ++i) out[i] = nn::requantize(acc[i], rq);
+}
+
+std::int8_t masked_max16_scalar(const std::int8_t* v,
+                                const std::uint8_t* mask) {
+  std::int8_t best = nn::kInt8Min;
+  for (int i = 0; i < 16; ++i)
+    if (mask[i] != 0 && v[i] > best) best = v[i];
+  return best;
+}
+
+// The pool_step specification: four masked horizontal maxes, then the
+// take / running-max-combine / keep output mux.
+void pool_step_scalar(const std::int8_t* tile, const PoolStepCtl& ctl,
+                      std::int8_t* out) {
+  std::int8_t mx[4];
+  for (int m = 0; m < 4; ++m)
+    mx[m] = masked_max16_scalar(tile, ctl.max_mask[m]);
+  for (int i = 0; i < 16; ++i) {
+    const std::int8_t u = mx[ctl.unit4[i] / 4];
+    if (ctl.take[i] != 0)
+      out[i] = u;
+    else if (ctl.comb[i] != 0 && u > out[i])
+      out[i] = u;
+  }
+}
+
+bool is_zero_scalar(const std::int8_t* x, int n) {
+  for (int i = 0; i < n * 16; ++i)
+    if (x[i] != 0) return false;
+  return true;
+}
+
+constexpr SimdBackend kScalar{"scalar",        16,
+                              mac_scalar,      conv_run_scalar,
+                              nullptr,
+                              dot_scalar,      dot4_scalar,
+                              requantize_scalar,
+                              masked_max16_scalar, pool_step_scalar,
+                              is_zero_scalar};
+
+#if defined(TSCA_SIMD_X86)
+
+// 4-byte region row loaded through memcpy: the planes are byte buffers with
+// no alignment promise.
+inline std::int32_t load_row32(const std::int8_t* p) {
+  std::int32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline std::int64_t load_row64(const std::int8_t* p) {
+  std::int64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+// --- SSE2 (x86-64 baseline, 16 int8 lanes) -------------------------------
+
+void mac_sse2(std::int32_t* acc, const std::int8_t* x, std::int8_t w, int n) {
+  const __m128i zero = _mm_setzero_si128();
+  const __m128i wv = _mm_set1_epi16(static_cast<short>(w));
+  for (int g = 0; g < n; ++g) {
+    const __m128i r =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(x + g * 16));
+    // Sign-extend i8 → i16 (shift trick keeps this SSE2-only); i8 × i8 fits
+    // in i16 exactly, then widen the products to i32 the same way.
+    const __m128i lo16 = _mm_srai_epi16(_mm_unpacklo_epi8(zero, r), 8);
+    const __m128i hi16 = _mm_srai_epi16(_mm_unpackhi_epi8(zero, r), 8);
+    const __m128i mlo = _mm_mullo_epi16(lo16, wv);
+    const __m128i mhi = _mm_mullo_epi16(hi16, wv);
+    __m128i* a = reinterpret_cast<__m128i*>(acc + g * 16);
+    const __m128i p0 = _mm_srai_epi32(_mm_unpacklo_epi16(zero, mlo), 16);
+    const __m128i p1 = _mm_srai_epi32(_mm_unpackhi_epi16(zero, mlo), 16);
+    const __m128i p2 = _mm_srai_epi32(_mm_unpacklo_epi16(zero, mhi), 16);
+    const __m128i p3 = _mm_srai_epi32(_mm_unpackhi_epi16(zero, mhi), 16);
+    _mm_storeu_si128(a + 0, _mm_add_epi32(_mm_loadu_si128(a + 0), p0));
+    _mm_storeu_si128(a + 1, _mm_add_epi32(_mm_loadu_si128(a + 1), p1));
+    _mm_storeu_si128(a + 2, _mm_add_epi32(_mm_loadu_si128(a + 2), p2));
+    _mm_storeu_si128(a + 3, _mm_add_epi32(_mm_loadu_si128(a + 3), p3));
+  }
+}
+
+// Images gathered per chunk by the vector conv_run bodies: the widened
+// regions of one chunk live in a stack array so the entry loop can hoist the
+// weight broadcast out of the per-image work.
+constexpr int kConvRunChunk = 16;
+
+int conv_run_sse2(std::int32_t* acc, std::size_t stride, const MacRunEntry* e,
+                  int count, const std::int8_t* src, std::ptrdiff_t img_stride,
+                  std::ptrdiff_t row_stride, int n) {
+  const __m128i zero = _mm_setzero_si128();
+  int nz_images = 0;
+  for (int i0 = 0; i0 < n; i0 += kConvRunChunk) {
+    const int chunk = n - i0 < kConvRunChunk ? n - i0 : kConvRunChunk;
+    // Gather + zero-probe + widen each image once; the entry loop below
+    // touches only the images that gathered non-zero.
+    __m128i x16[2 * kConvRunChunk];
+    std::int32_t aoff[kConvRunChunk];
+    int m = 0;
+    for (int i = 0; i < chunk; ++i) {
+      const std::int8_t* s = src + (i0 + i) * img_stride;
+      // The whole 4×4 region is one xmm: four strided 32-bit row loads.
+      const __m128i r =
+          _mm_setr_epi32(load_row32(s), load_row32(s + row_stride),
+                         load_row32(s + 2 * row_stride),
+                         load_row32(s + 3 * row_stride));
+      if (_mm_movemask_epi8(_mm_cmpeq_epi8(r, zero)) == 0xffff) continue;
+      x16[2 * m + 0] = _mm_srai_epi16(_mm_unpacklo_epi8(zero, r), 8);
+      x16[2 * m + 1] = _mm_srai_epi16(_mm_unpackhi_epi8(zero, r), 8);
+      aoff[m] = (i0 + i) * 16;
+      ++m;
+    }
+    nz_images += m;
+    if (m == 0) continue;
+    for (int k = 0; k < count; ++k) {
+      const __m128i wv = _mm_set1_epi16(static_cast<short>(e[k].w));
+      std::int32_t* const base = acc + e[k].row * stride;
+      for (int j = 0; j < m; ++j) {
+        __m128i* a = reinterpret_cast<__m128i*>(base + aoff[j]);
+        const __m128i mlo = _mm_mullo_epi16(x16[2 * j + 0], wv);
+        const __m128i mhi = _mm_mullo_epi16(x16[2 * j + 1], wv);
+        const __m128i p0 = _mm_srai_epi32(_mm_unpacklo_epi16(zero, mlo), 16);
+        const __m128i p1 = _mm_srai_epi32(_mm_unpackhi_epi16(zero, mlo), 16);
+        const __m128i p2 = _mm_srai_epi32(_mm_unpacklo_epi16(zero, mhi), 16);
+        const __m128i p3 = _mm_srai_epi32(_mm_unpackhi_epi16(zero, mhi), 16);
+        _mm_storeu_si128(a + 0, _mm_add_epi32(_mm_loadu_si128(a + 0), p0));
+        _mm_storeu_si128(a + 1, _mm_add_epi32(_mm_loadu_si128(a + 1), p1));
+        _mm_storeu_si128(a + 2, _mm_add_epi32(_mm_loadu_si128(a + 2), p2));
+        _mm_storeu_si128(a + 3, _mm_add_epi32(_mm_loadu_si128(a + 3), p3));
+      }
+    }
+  }
+  return nz_images;
+}
+
+std::int32_t dot_sse2(const std::int8_t* a, const std::int8_t* b, int n) {
+  const __m128i zero = _mm_setzero_si128();
+  __m128i acc = zero;
+  for (int g = 0; g < n; ++g) {
+    const __m128i av =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + g * 16));
+    const __m128i bv =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + g * 16));
+    const __m128i alo = _mm_srai_epi16(_mm_unpacklo_epi8(zero, av), 8);
+    const __m128i ahi = _mm_srai_epi16(_mm_unpackhi_epi8(zero, av), 8);
+    const __m128i blo = _mm_srai_epi16(_mm_unpacklo_epi8(zero, bv), 8);
+    const __m128i bhi = _mm_srai_epi16(_mm_unpackhi_epi8(zero, bv), 8);
+    acc = _mm_add_epi32(acc, _mm_madd_epi16(alo, blo));
+    acc = _mm_add_epi32(acc, _mm_madd_epi16(ahi, bhi));
+  }
+  acc = _mm_add_epi32(acc, _mm_srli_si128(acc, 8));
+  acc = _mm_add_epi32(acc, _mm_srli_si128(acc, 4));
+  return _mm_cvtsi128_si32(acc);
+}
+
+void dot4_sse2(const std::int8_t* a, const std::int8_t* const b[4], int n,
+               std::int32_t out[4]) {
+  const __m128i zero = _mm_setzero_si128();
+  __m128i acc[4] = {zero, zero, zero, zero};
+  for (int g = 0; g < n; ++g) {
+    const __m128i av =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + g * 16));
+    const __m128i alo = _mm_srai_epi16(_mm_unpacklo_epi8(zero, av), 8);
+    const __m128i ahi = _mm_srai_epi16(_mm_unpackhi_epi8(zero, av), 8);
+    for (int k = 0; k < 4; ++k) {
+      const __m128i bv =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(b[k] + g * 16));
+      const __m128i blo = _mm_srai_epi16(_mm_unpacklo_epi8(zero, bv), 8);
+      const __m128i bhi = _mm_srai_epi16(_mm_unpackhi_epi8(zero, bv), 8);
+      acc[k] = _mm_add_epi32(acc[k], _mm_madd_epi16(alo, blo));
+      acc[k] = _mm_add_epi32(acc[k], _mm_madd_epi16(ahi, bhi));
+    }
+  }
+  for (int k = 0; k < 4; ++k) {
+    __m128i s = acc[k];
+    s = _mm_add_epi32(s, _mm_srli_si128(s, 8));
+    s = _mm_add_epi32(s, _mm_srli_si128(s, 4));
+    out[k] = _mm_cvtsi128_si32(s);
+  }
+}
+
+void requantize_sse2(const std::int32_t* acc, std::int8_t* out, int shift,
+                     bool relu, int n) {
+  if (shift < 0 || shift > 30) {
+    requantize_scalar(acc, out, shift, relu, n);
+    return;
+  }
+  const __m128i half = _mm_set1_epi32(shift > 0 ? (1 << (shift - 1)) : 0);
+  const __m128i count = _mm_cvtsi32_si128(shift);
+  const __m128i lo = _mm_set1_epi32(nn::kInt8Min);
+  const __m128i hi = _mm_set1_epi32(nn::kInt8Max);
+  const __m128i zero = _mm_setzero_si128();
+  for (int g = 0; g < n; ++g) {
+    const __m128i* a = reinterpret_cast<const __m128i*>(acc + g * 16);
+    __m128i q[4];
+    for (int k = 0; k < 4; ++k) {
+      const __m128i v = _mm_loadu_si128(a + k);
+      // Round half away from zero: |v|, add half, logical shift, re-sign.
+      // |v| + half < 2^32 and the shifted result < 2^31 for shift >= 1, so
+      // the unsigned arithmetic is exact (including v == INT32_MIN).
+      const __m128i s = _mm_srai_epi32(v, 31);
+      const __m128i absv = _mm_sub_epi32(_mm_xor_si128(v, s), s);
+      const __m128i t = _mm_srl_epi32(_mm_add_epi32(absv, half), count);
+      __m128i r = _mm_sub_epi32(_mm_xor_si128(t, s), s);
+      if (relu) r = _mm_and_si128(r, _mm_cmpgt_epi32(r, zero));
+      // clamp(r, lo, hi) without SSE4.1 min/max_epi32.
+      __m128i gt = _mm_cmpgt_epi32(r, hi);
+      r = _mm_or_si128(_mm_and_si128(gt, hi), _mm_andnot_si128(gt, r));
+      gt = _mm_cmpgt_epi32(lo, r);
+      r = _mm_or_si128(_mm_and_si128(gt, lo), _mm_andnot_si128(gt, r));
+      q[k] = r;
+    }
+    // Values are already in [-127, 127]; the saturating packs are lossless.
+    const __m128i p16a = _mm_packs_epi32(q[0], q[1]);
+    const __m128i p16b = _mm_packs_epi32(q[2], q[3]);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + g * 16),
+                     _mm_packs_epi16(p16a, p16b));
+  }
+}
+
+std::int8_t masked_max16_sse2(const std::int8_t* v, const std::uint8_t* mask) {
+  const __m128i val = _mm_loadu_si128(reinterpret_cast<const __m128i*>(v));
+  const __m128i m = _mm_loadu_si128(reinterpret_cast<const __m128i*>(mask));
+  const __m128i fill = _mm_set1_epi8(static_cast<char>(nn::kInt8Min));
+  const __m128i sel =
+      _mm_or_si128(_mm_and_si128(m, val), _mm_andnot_si128(m, fill));
+  // Signed byte max via the unsigned max after an XOR 0x80 bias (SSE2 has
+  // only _mm_max_epu8).
+  const __m128i bias = _mm_set1_epi8(static_cast<char>(0x80));
+  __m128i x = _mm_xor_si128(sel, bias);
+  x = _mm_max_epu8(x, _mm_srli_si128(x, 8));
+  x = _mm_max_epu8(x, _mm_srli_si128(x, 4));
+  x = _mm_max_epu8(x, _mm_srli_si128(x, 2));
+  x = _mm_max_epu8(x, _mm_srli_si128(x, 1));
+  return static_cast<std::int8_t>(
+      static_cast<std::uint8_t>(_mm_cvtsi128_si32(x) & 0xff) ^ 0x80u);
+}
+
+// SSE2 has neither pshufb nor pmaxsb: horizontal maxes run in the unsigned
+// domain after an XOR 0x80 bias (like masked_max16_sse2) and the unit-pick
+// shuffle becomes four compare-and-mask broadcasts.  All masks come straight
+// from the precompiled ctl block.
+void pool_step_sse2(const std::int8_t* tile, const PoolStepCtl& ctl,
+                    std::int8_t* out) {
+  const __m128i val = _mm_loadu_si128(reinterpret_cast<const __m128i*>(tile));
+  const __m128i fill = _mm_set1_epi8(static_cast<char>(nn::kInt8Min));
+  const __m128i bias = _mm_set1_epi8(static_cast<char>(0x80));
+  __m128i hmax[4];  // each unit's max, biased unsigned, broadcast to 16 bytes
+  for (int m = 0; m < 4; ++m) {
+    const __m128i mk =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(ctl.max_mask[m]));
+    const __m128i sel =
+        _mm_or_si128(_mm_and_si128(mk, val), _mm_andnot_si128(mk, fill));
+    __m128i x = _mm_xor_si128(sel, bias);
+    x = _mm_max_epu8(x, _mm_srli_si128(x, 8));
+    x = _mm_max_epu8(x, _mm_srli_si128(x, 4));
+    x = _mm_max_epu8(x, _mm_srli_si128(x, 2));
+    x = _mm_max_epu8(x, _mm_srli_si128(x, 1));
+    hmax[m] = _mm_set1_epi8(static_cast<char>(_mm_cvtsi128_si32(x) & 0xff));
+  }
+  // u[i] = the (biased) max of the unit byte i selects; unit4 values are
+  // {0, 4, 8, 12}, so exactly one compare matches per byte.
+  const __m128i unit4 =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(ctl.unit4));
+  __m128i u = _mm_setzero_si128();
+  for (int m = 0; m < 4; ++m) {
+    const __m128i pick =
+        _mm_cmpeq_epi8(unit4, _mm_set1_epi8(static_cast<char>(4 * m)));
+    u = _mm_or_si128(u, _mm_and_si128(pick, hmax[m]));
+  }
+  const __m128i oldv = _mm_loadu_si128(reinterpret_cast<const __m128i*>(out));
+  const __m128i comb =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(ctl.comb));
+  const __m128i take =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(ctl.take));
+  // candidate = max(comb ? old : fill, u), computed in the biased domain;
+  // take bytes see fill (the identity of the max tree), so they get u.
+  const __m128i oldb = _mm_xor_si128(oldv, bias);
+  const __m128i fillb = _mm_xor_si128(fill, bias);
+  const __m128i base =
+      _mm_or_si128(_mm_and_si128(comb, oldb), _mm_andnot_si128(comb, fillb));
+  const __m128i cand = _mm_xor_si128(_mm_max_epu8(base, u), bias);
+  const __m128i wr = _mm_or_si128(take, comb);
+  _mm_storeu_si128(
+      reinterpret_cast<__m128i*>(out),
+      _mm_or_si128(_mm_and_si128(wr, cand), _mm_andnot_si128(wr, oldv)));
+}
+
+bool is_zero_sse2(const std::int8_t* x, int n) {
+  __m128i any = _mm_setzero_si128();
+  for (int g = 0; g < n; ++g)
+    any = _mm_or_si128(
+        any, _mm_loadu_si128(reinterpret_cast<const __m128i*>(x + g * 16)));
+  return _mm_movemask_epi8(_mm_cmpeq_epi8(any, _mm_setzero_si128())) == 0xffff;
+}
+
+constexpr SimdBackend kSse2{"sse2",        16,
+                            mac_sse2,      conv_run_sse2,
+                            nullptr,
+                            dot_sse2,      dot4_sse2,
+                            requantize_sse2,
+                            masked_max16_sse2, pool_step_sse2,
+                            is_zero_sse2};
+
+// --- AVX2 (32 int8 lanes per iteration) ----------------------------------
+
+__attribute__((target("avx2"))) void mac_avx2(std::int32_t* acc,
+                                              const std::int8_t* x,
+                                              std::int8_t w, int n) {
+  const __m256i wv = _mm256_set1_epi32(w);
+  for (int g = 0; g < n; ++g) {
+    const __m128i b =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(x + g * 16));
+    const __m256i v0 = _mm256_cvtepi8_epi32(b);
+    const __m256i v1 = _mm256_cvtepi8_epi32(_mm_srli_si128(b, 8));
+    std::int32_t* a = acc + g * 16;
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(a),
+        _mm256_add_epi32(
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a)),
+            _mm256_mullo_epi32(v0, wv)));
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(a + 8),
+        _mm256_add_epi32(
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + 8)),
+            _mm256_mullo_epi32(v1, wv)));
+  }
+}
+
+__attribute__((target("avx2"))) int conv_run_avx2(
+    std::int32_t* acc, std::size_t stride, const MacRunEntry* e, int count,
+    const std::int8_t* src, std::ptrdiff_t img_stride,
+    std::ptrdiff_t row_stride, int n) {
+  int nz_images = 0;
+  for (int i0 = 0; i0 < n; i0 += kConvRunChunk) {
+    const int chunk = n - i0 < kConvRunChunk ? n - i0 : kConvRunChunk;
+    __m256i xi[2 * kConvRunChunk];
+    std::int32_t aoff[kConvRunChunk];
+    int m = 0;
+    for (int i = 0; i < chunk; ++i) {
+      const std::int8_t* s = src + (i0 + i) * img_stride;
+      const __m128i r =
+          _mm_setr_epi32(load_row32(s), load_row32(s + row_stride),
+                         load_row32(s + 2 * row_stride),
+                         load_row32(s + 3 * row_stride));
+      if (_mm_testz_si128(r, r) != 0) continue;
+      xi[2 * m + 0] = _mm256_cvtepi8_epi32(r);
+      xi[2 * m + 1] = _mm256_cvtepi8_epi32(_mm_srli_si128(r, 8));
+      aoff[m] = (i0 + i) * 16;
+      ++m;
+    }
+    nz_images += m;
+    if (m == 0) continue;
+    for (int k = 0; k < count; ++k) {
+      const __m256i wv = _mm256_set1_epi32(e[k].w);
+      std::int32_t* const base = acc + e[k].row * stride;
+      for (int j = 0; j < m; ++j) {
+        std::int32_t* a = base + aoff[j];
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i*>(a),
+            _mm256_add_epi32(
+                _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a)),
+                _mm256_mullo_epi32(xi[2 * j + 0], wv)));
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i*>(a + 8),
+            _mm256_add_epi32(
+                _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + 8)),
+                _mm256_mullo_epi32(xi[2 * j + 1], wv)));
+      }
+    }
+  }
+  return nz_images;
+}
+
+__attribute__((target("avx2"))) std::int32_t dot_avx2(const std::int8_t* a,
+                                                      const std::int8_t* b,
+                                                      int n) {
+  __m256i acc = _mm256_setzero_si256();
+  for (int g = 0; g < n; ++g) {
+    const __m256i av = _mm256_cvtepi8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + g * 16)));
+    const __m256i bv = _mm256_cvtepi8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + g * 16)));
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(av, bv));
+  }
+  __m128i s = _mm_add_epi32(_mm256_castsi256_si128(acc),
+                            _mm256_extracti128_si256(acc, 1));
+  s = _mm_add_epi32(s, _mm_srli_si128(s, 8));
+  s = _mm_add_epi32(s, _mm_srli_si128(s, 4));
+  return _mm_cvtsi128_si32(s);
+}
+
+__attribute__((target("avx2"))) void dot4_avx2(const std::int8_t* a,
+                                               const std::int8_t* const b[4],
+                                               int n, std::int32_t out[4]) {
+  __m256i acc[4] = {_mm256_setzero_si256(), _mm256_setzero_si256(),
+                    _mm256_setzero_si256(), _mm256_setzero_si256()};
+  for (int g = 0; g < n; ++g) {
+    const __m256i av = _mm256_cvtepi8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + g * 16)));
+    for (int k = 0; k < 4; ++k) {
+      const __m256i bv = _mm256_cvtepi8_epi16(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(b[k] + g * 16)));
+      acc[k] = _mm256_add_epi32(acc[k], _mm256_madd_epi16(av, bv));
+    }
+  }
+  for (int k = 0; k < 4; ++k) {
+    __m128i s = _mm_add_epi32(_mm256_castsi256_si128(acc[k]),
+                              _mm256_extracti128_si256(acc[k], 1));
+    s = _mm_add_epi32(s, _mm_srli_si128(s, 8));
+    s = _mm_add_epi32(s, _mm_srli_si128(s, 4));
+    out[k] = _mm_cvtsi128_si32(s);
+  }
+}
+
+__attribute__((target("avx2"))) void requantize_avx2(const std::int32_t* acc,
+                                                     std::int8_t* out,
+                                                     int shift, bool relu,
+                                                     int n) {
+  if (shift < 0 || shift > 30) {
+    requantize_scalar(acc, out, shift, relu, n);
+    return;
+  }
+  const __m256i half = _mm256_set1_epi32(shift > 0 ? (1 << (shift - 1)) : 0);
+  const __m128i count = _mm_cvtsi32_si128(shift);
+  const __m256i lo = _mm256_set1_epi32(nn::kInt8Min);
+  const __m256i hi = _mm256_set1_epi32(nn::kInt8Max);
+  const __m256i zero = _mm256_setzero_si256();
+  for (int g = 0; g < n; ++g) {
+    __m256i q[2];
+    for (int k = 0; k < 2; ++k) {
+      const __m256i v = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(acc + g * 16 + k * 8));
+      const __m256i s = _mm256_srai_epi32(v, 31);
+      const __m256i absv = _mm256_abs_epi32(v);
+      const __m256i t = _mm256_srl_epi32(_mm256_add_epi32(absv, half), count);
+      __m256i r = _mm256_sub_epi32(_mm256_xor_si256(t, s), s);
+      if (relu) r = _mm256_max_epi32(r, zero);
+      r = _mm256_min_epi32(_mm256_max_epi32(r, lo), hi);
+      q[k] = r;
+    }
+    // packs_epi32 interleaves 128-bit lanes; permute the qwords back into
+    // order before the final 16-bit pack.
+    __m256i p16 = _mm256_packs_epi32(q[0], q[1]);
+    p16 = _mm256_permute4x64_epi64(p16, _MM_SHUFFLE(3, 1, 2, 0));
+    const __m128i lo16 = _mm256_castsi256_si128(p16);
+    const __m128i hi16 = _mm256_extracti128_si256(p16, 1);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + g * 16),
+                     _mm_packs_epi16(lo16, hi16));
+  }
+}
+
+__attribute__((target("avx2"))) bool is_zero_avx2(const std::int8_t* x,
+                                                  int n) {
+  __m256i any = _mm256_setzero_si256();
+  int g = 0;
+  for (; g + 1 < n; g += 2)
+    any = _mm256_or_si256(
+        any, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + g * 16)));
+  if (g < n) {
+    const __m128i tail =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(x + g * 16));
+    any = _mm256_or_si256(any, _mm256_castsi128_si256(tail));
+  }
+  return _mm256_testz_si256(any, any) != 0;
+}
+
+// With pmaxsb/pshufb/pblendvb in reach the maxes run signed directly and the
+// whole mux is three instructions: pack the four unit maxes at bytes
+// {0, 4, 8, 12} (matching ctl.unit4), pshufb-route, blend.
+__attribute__((target("avx2"))) void pool_step_avx2(const std::int8_t* tile,
+                                                    const PoolStepCtl& ctl,
+                                                    std::int8_t* out) {
+  const __m128i val = _mm_loadu_si128(reinterpret_cast<const __m128i*>(tile));
+  const __m128i fill = _mm_set1_epi8(static_cast<char>(nn::kInt8Min));
+  __m128i h[4];  // byte 0 = unit m's masked max
+  for (int m = 0; m < 4; ++m) {
+    const __m128i mk =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(ctl.max_mask[m]));
+    __m128i x = _mm_blendv_epi8(fill, val, mk);
+    x = _mm_max_epi8(x, _mm_srli_si128(x, 8));
+    x = _mm_max_epi8(x, _mm_srli_si128(x, 4));
+    x = _mm_max_epi8(x, _mm_srli_si128(x, 2));
+    x = _mm_max_epi8(x, _mm_srli_si128(x, 1));
+    h[m] = x;
+  }
+  const __m128i t0 = _mm_unpacklo_epi32(h[0], h[1]);
+  const __m128i t1 = _mm_unpacklo_epi32(h[2], h[3]);
+  const __m128i packed = _mm_unpacklo_epi64(t0, t1);  // unit m max at byte 4m
+  const __m128i u = _mm_shuffle_epi8(
+      packed, _mm_loadu_si128(reinterpret_cast<const __m128i*>(ctl.unit4)));
+  const __m128i oldv = _mm_loadu_si128(reinterpret_cast<const __m128i*>(out));
+  const __m128i comb =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(ctl.comb));
+  const __m128i take =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(ctl.take));
+  const __m128i cand = _mm_max_epi8(_mm_blendv_epi8(fill, oldv, comb), u);
+  _mm_storeu_si128(
+      reinterpret_cast<__m128i*>(out),
+      _mm_blendv_epi8(oldv, cand, _mm_or_si128(take, comb)));
+}
+
+constexpr SimdBackend kAvx2{"avx2",        32,
+                            mac_avx2,      conv_run_avx2,
+                            nullptr,
+                            dot_avx2,      dot4_avx2,
+                            requantize_avx2,
+                            masked_max16_sse2, pool_step_avx2,
+                            is_zero_avx2};
+
+// --- AVX-512 (64 int8 lanes per iteration) -------------------------------
+
+#define TSCA_AVX512_TARGET __attribute__((target("avx512f,avx512bw")))
+
+TSCA_AVX512_TARGET void mac_avx512(std::int32_t* acc, const std::int8_t* x,
+                                   std::int8_t w, int n) {
+  const __m512i wv = _mm512_set1_epi32(w);
+  int g = 0;
+  // Four 16-value groups (one whole 64-byte vector of int8) per iteration.
+  for (; g + 3 < n; g += 4) {
+    const __m512i b =
+        _mm512_loadu_si512(reinterpret_cast<const void*>(x + g * 16));
+    std::int32_t* a = acc + g * 16;
+    const __m512i v0 = _mm512_cvtepi8_epi32(_mm512_castsi512_si128(b));
+    const __m512i v1 = _mm512_cvtepi8_epi32(_mm512_extracti32x4_epi32(b, 1));
+    const __m512i v2 = _mm512_cvtepi8_epi32(_mm512_extracti32x4_epi32(b, 2));
+    const __m512i v3 = _mm512_cvtepi8_epi32(_mm512_extracti32x4_epi32(b, 3));
+    _mm512_storeu_si512(a, _mm512_add_epi32(_mm512_loadu_si512(a),
+                                            _mm512_mullo_epi32(v0, wv)));
+    _mm512_storeu_si512(
+        a + 16, _mm512_add_epi32(_mm512_loadu_si512(a + 16),
+                                 _mm512_mullo_epi32(v1, wv)));
+    _mm512_storeu_si512(
+        a + 32, _mm512_add_epi32(_mm512_loadu_si512(a + 32),
+                                 _mm512_mullo_epi32(v2, wv)));
+    _mm512_storeu_si512(
+        a + 48, _mm512_add_epi32(_mm512_loadu_si512(a + 48),
+                                 _mm512_mullo_epi32(v3, wv)));
+  }
+  for (; g < n; ++g) {
+    const __m128i b =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(x + g * 16));
+    std::int32_t* a = acc + g * 16;
+    _mm512_storeu_si512(
+        a, _mm512_add_epi32(_mm512_loadu_si512(a),
+                            _mm512_mullo_epi32(_mm512_cvtepi8_epi32(b), wv)));
+  }
+}
+
+TSCA_AVX512_TARGET int conv_run_avx512(std::int32_t* acc, std::size_t stride,
+                                       const MacRunEntry* e, int count,
+                                       const std::int8_t* src,
+                                       std::ptrdiff_t img_stride,
+                                       std::ptrdiff_t row_stride, int n) {
+  int nz_images = 0;
+  for (int i0 = 0; i0 < n; i0 += kConvRunChunk) {
+    const int chunk = n - i0 < kConvRunChunk ? n - i0 : kConvRunChunk;
+    // One image's widened region is exactly one int32 vector.
+    __m512i xi[kConvRunChunk];
+    std::int32_t aoff[kConvRunChunk];
+    int m = 0;
+    for (int i = 0; i < chunk; ++i) {
+      const std::int8_t* s = src + (i0 + i) * img_stride;
+      const __m128i r =
+          _mm_setr_epi32(load_row32(s), load_row32(s + row_stride),
+                         load_row32(s + 2 * row_stride),
+                         load_row32(s + 3 * row_stride));
+      // Branchless compaction: always write the slot, bump m only when the
+      // region is live.  Skip-heavy layers mispredict the obvious `continue`
+      // on nearly every image; the unconditional store is cheaper.
+      xi[m] = _mm512_cvtepi8_epi32(r);
+      aoff[m] = (i0 + i) * 16;
+      m += _mm_testz_si128(r, r) == 0 ? 1 : 0;
+    }
+    nz_images += m;
+    if (m == 0) continue;
+    if (m == chunk) {
+      // No image skipped: accumulator rows are contiguous, walk them with a
+      // bumped pointer instead of the aoff indirection.
+      for (int k = 0; k < count; ++k) {
+        const __m512i wv = _mm512_set1_epi32(e[k].w);
+        std::int32_t* a = acc + e[k].row * stride + i0 * 16;
+        for (int j = 0; j < m; ++j, a += 16)
+          _mm512_storeu_si512(
+              a, _mm512_add_epi32(_mm512_loadu_si512(a),
+                                  _mm512_mullo_epi32(xi[j], wv)));
+      }
+      continue;
+    }
+    for (int k = 0; k < count; ++k) {
+      const __m512i wv = _mm512_set1_epi32(e[k].w);
+      std::int32_t* const base = acc + e[k].row * stride;
+      for (int j = 0; j < m; ++j) {
+        std::int32_t* a = base + aoff[j];
+        _mm512_storeu_si512(
+            a, _mm512_add_epi32(_mm512_loadu_si512(a),
+                                _mm512_mullo_epi32(xi[j], wv)));
+      }
+    }
+  }
+  return nz_images;
+}
+
+// The whole-window kernel needs byte permutes (VBMI) and int8 dot-accumulate
+// (VNNI) on top of the backend's baseline; conv_win_host_ok() gates calls.
+#define TSCA_AVX512_WIN_TARGET \
+  __attribute__((target("avx512f,avx512bw,avx512dq,avx512vbmi,avx512vnni")))
+
+TSCA_AVX512_WIN_TARGET void conv_win_avx512(
+    std::int32_t* acc, std::size_t stride, const std::uint8_t* idx,
+    const std::uint32_t* w, const std::int32_t* corr,
+    const std::uint16_t* qrow, int quads, const std::int8_t* src,
+    std::ptrdiff_t img_stride, std::ptrdiff_t row_stride, int n,
+    std::uint64_t* masks) {
+  const __m512i bias = _mm512_set1_epi8(static_cast<char>(0x80));
+  for (int i0 = 0; i0 < n; i0 += kConvRunChunk) {
+    const int chunk = n - i0 < kConvRunChunk ? n - i0 : kConvRunChunk;
+    // One image's 8×8 window is exactly one byte vector, biased to the
+    // unsigned domain for vpdpbusd (corr removes the bias exactly).
+    __m512i win[kConvRunChunk];
+    std::int32_t aoff[kConvRunChunk];
+    int m = 0;
+    for (int i = 0; i < chunk; ++i) {
+      const std::int8_t* s = src + (i0 + i) * img_stride;
+      const __m128i r01 =
+          _mm_set_epi64x(load_row64(s + row_stride), load_row64(s));
+      const __m128i r23 = _mm_set_epi64x(load_row64(s + 3 * row_stride),
+                                         load_row64(s + 2 * row_stride));
+      const __m128i r45 = _mm_set_epi64x(load_row64(s + 5 * row_stride),
+                                         load_row64(s + 4 * row_stride));
+      const __m128i r67 = _mm_set_epi64x(load_row64(s + 7 * row_stride),
+                                         load_row64(s + 6 * row_stride));
+      __m512i wv = _mm512_castsi128_si512(r01);
+      wv = _mm512_inserti64x2(wv, r23, 1);
+      wv = _mm512_inserti64x2(wv, r45, 2);
+      wv = _mm512_inserti64x2(wv, r67, 3);
+      const std::uint64_t mk =
+          _cvtmask64_u64(_mm512_test_epi8_mask(wv, wv));
+      masks[i0 + i] = mk;
+      win[m] = _mm512_xor_si512(wv, bias);
+      aoff[m] = (i0 + i) * 16;
+      m += mk != 0 ? 1 : 0;
+    }
+    if (m == 0) continue;
+    for (int q = 0; q < quads; ++q) {
+      const __m512i ix =
+          _mm512_loadu_si512(idx + static_cast<std::size_t>(q) * 64);
+      const __m512i wv = _mm512_set1_epi32(static_cast<int>(w[q]));
+      const __m512i cv = _mm512_set1_epi32(corr[q]);
+      std::int32_t* const base = acc + qrow[q] * stride;
+      for (int j = 0; j < m; ++j) {
+        std::int32_t* a = base + aoff[j];
+        const __m512i quadv = _mm512_permutexvar_epi8(ix, win[j]);
+        __m512i av = _mm512_loadu_si512(a);
+        av = _mm512_dpbusd_epi32(av, quadv, wv);
+        av = _mm512_sub_epi32(av, cv);
+        _mm512_storeu_si512(a, av);
+      }
+    }
+  }
+}
+
+TSCA_AVX512_TARGET std::int32_t dot_avx512(const std::int8_t* a,
+                                           const std::int8_t* b, int n) {
+  __m512i acc = _mm512_setzero_si512();
+  int g = 0;
+  // Two 16-value groups (32 int8 → 32 int16 → madd) per iteration.
+  for (; g + 1 < n; g += 2) {
+    const __m512i av = _mm512_cvtepi8_epi16(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + g * 16)));
+    const __m512i bv = _mm512_cvtepi8_epi16(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + g * 16)));
+    acc = _mm512_add_epi32(acc, _mm512_madd_epi16(av, bv));
+  }
+  std::uint32_t total =
+      static_cast<std::uint32_t>(_mm512_reduce_add_epi32(acc));
+  if (g < n)
+    total += static_cast<std::uint32_t>(dot_sse2(a + g * 16, b + g * 16, 1));
+  return static_cast<std::int32_t>(total);
+}
+
+TSCA_AVX512_TARGET void dot4_avx512(const std::int8_t* a,
+                                    const std::int8_t* const b[4], int n,
+                                    std::int32_t out[4]) {
+  // Same group order and reduction as dot_avx512, with the shared stream's
+  // widened groups loaded once for all four dot products.
+  __m512i acc[4] = {_mm512_setzero_si512(), _mm512_setzero_si512(),
+                    _mm512_setzero_si512(), _mm512_setzero_si512()};
+  int g = 0;
+  for (; g + 1 < n; g += 2) {
+    const __m512i av = _mm512_cvtepi8_epi16(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + g * 16)));
+    for (int k = 0; k < 4; ++k) {
+      const __m512i bv = _mm512_cvtepi8_epi16(
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b[k] + g * 16)));
+      acc[k] = _mm512_add_epi32(acc[k], _mm512_madd_epi16(av, bv));
+    }
+  }
+  for (int k = 0; k < 4; ++k) {
+    std::uint32_t total =
+        static_cast<std::uint32_t>(_mm512_reduce_add_epi32(acc[k]));
+    if (g < n)
+      total +=
+          static_cast<std::uint32_t>(dot_sse2(a + g * 16, b[k] + g * 16, 1));
+    out[k] = static_cast<std::int32_t>(total);
+  }
+}
+
+TSCA_AVX512_TARGET void requantize_avx512(const std::int32_t* acc,
+                                          std::int8_t* out, int shift,
+                                          bool relu, int n) {
+  if (shift < 0 || shift > 30) {
+    requantize_scalar(acc, out, shift, relu, n);
+    return;
+  }
+  const __m512i half = _mm512_set1_epi32(shift > 0 ? (1 << (shift - 1)) : 0);
+  const __m128i count = _mm_cvtsi32_si128(shift);
+  const __m512i lo = _mm512_set1_epi32(nn::kInt8Min);
+  const __m512i hi = _mm512_set1_epi32(nn::kInt8Max);
+  const __m512i zero = _mm512_setzero_si512();
+  for (int g = 0; g < n; ++g) {
+    const __m512i v = _mm512_loadu_si512(acc + g * 16);
+    const __m512i s = _mm512_srai_epi32(v, 31);
+    const __m512i absv = _mm512_abs_epi32(v);
+    const __m512i t = _mm512_srl_epi32(_mm512_add_epi32(absv, half), count);
+    __m512i r = _mm512_sub_epi32(_mm512_xor_si512(t, s), s);
+    if (relu) r = _mm512_max_epi32(r, zero);
+    r = _mm512_min_epi32(_mm512_max_epi32(r, lo), hi);
+    // Values are in [-127, 127]: the saturating narrow is lossless.
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + g * 16),
+                     _mm512_cvtsepi32_epi8(r));
+  }
+}
+
+TSCA_AVX512_TARGET bool is_zero_avx512(const std::int8_t* x, int n) {
+  int g = 0;
+  __mmask64 any = 0;
+  for (; g + 3 < n; g += 4)
+    any |= _mm512_test_epi8_mask(
+        _mm512_loadu_si512(reinterpret_cast<const void*>(x + g * 16)),
+        _mm512_set1_epi8(-1));
+  __m128i tail = _mm_setzero_si128();
+  for (; g < n; ++g)
+    tail = _mm_or_si128(
+        tail, _mm_loadu_si128(reinterpret_cast<const __m128i*>(x + g * 16)));
+  return any == 0 &&
+         _mm_movemask_epi8(_mm_cmpeq_epi8(tail, _mm_setzero_si128())) ==
+             0xffff;
+}
+
+// All four MAX units reduce in parallel: the tile broadcast into the four
+// 128-bit lanes of one zmm, the contiguous ctl.max_mask block selecting each
+// lane's bytes in a single ternlog, and vpsrldq (which shifts per 128-bit
+// lane) running the four horizontal maxes at once.
+TSCA_AVX512_TARGET void pool_step_avx512(const std::int8_t* tile,
+                                         const PoolStepCtl& ctl,
+                                         std::int8_t* out) {
+  const __m128i val = _mm_loadu_si128(reinterpret_cast<const __m128i*>(tile));
+  const __m512i t = _mm512_broadcast_i32x4(val);
+  const __m512i mk = _mm512_loadu_si512(ctl.max_mask);  // unit m in lane m
+  const __m512i fill512 = _mm512_set1_epi8(static_cast<char>(nn::kInt8Min));
+  // 0xCA: bitwise mk ? t : fill.
+  __m512i x = _mm512_ternarylogic_epi32(mk, t, fill512, 0xCA);
+  x = _mm512_max_epi8(x, _mm512_bsrli_epi128(x, 8));
+  x = _mm512_max_epi8(x, _mm512_bsrli_epi128(x, 4));
+  x = _mm512_max_epi8(x, _mm512_bsrli_epi128(x, 2));
+  x = _mm512_max_epi8(x, _mm512_bsrli_epi128(x, 1));
+  // Byte 0 of lane m = unit m's max; collect the lane-leading dwords so unit
+  // m sits at byte 4m (ctl.unit4's layout), then route and blend as in AVX2.
+  const __m512i idx =
+      _mm512_setr_epi32(0, 4, 8, 12, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0);
+  const __m128i packed =
+      _mm512_castsi512_si128(_mm512_permutexvar_epi32(idx, x));
+  const __m128i u = _mm_shuffle_epi8(
+      packed, _mm_loadu_si128(reinterpret_cast<const __m128i*>(ctl.unit4)));
+  const __m128i fill = _mm_set1_epi8(static_cast<char>(nn::kInt8Min));
+  const __m128i oldv = _mm_loadu_si128(reinterpret_cast<const __m128i*>(out));
+  const __m128i comb =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(ctl.comb));
+  const __m128i take =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(ctl.take));
+  const __m128i cand = _mm_max_epi8(_mm_blendv_epi8(fill, oldv, comb), u);
+  _mm_storeu_si128(
+      reinterpret_cast<__m128i*>(out),
+      _mm_blendv_epi8(oldv, cand, _mm_or_si128(take, comb)));
+}
+
+constexpr SimdBackend kAvx512{"avx512",      64,
+                              mac_avx512,    conv_run_avx512,
+                              conv_win_avx512,
+                              dot_avx512,    dot4_avx512,
+                              requantize_avx512,
+                              masked_max16_sse2, pool_step_avx512,
+                              is_zero_avx512};
+
+#endif  // TSCA_SIMD_X86
+
+bool host_supports(const SimdBackend& b) {
+#if defined(TSCA_SIMD_X86)
+  if (&b == &kAvx2) return __builtin_cpu_supports("avx2") != 0;
+  if (&b == &kAvx512)
+    return __builtin_cpu_supports("avx512f") != 0 &&
+           __builtin_cpu_supports("avx512bw") != 0;
+#endif
+  (void)b;
+  return true;  // scalar and the compile-time baseline (SSE2)
+}
+
+const SimdBackend* const kAll[] = {
+    &kScalar,
+#if defined(TSCA_SIMD_X86)
+    &kSse2,
+    &kAvx2,
+    &kAvx512,
+#endif
+};
+
+const SimdBackend* find(const char* name) {
+  for (const SimdBackend* b : kAll)
+    if (std::strcmp(b->name, name) == 0 && host_supports(*b)) return b;
+  return nullptr;
+}
+
+const SimdBackend* pick_default() {
+  // Widest supported wins; TSCA_FORCE_BACKEND overrides, and a name that
+  // does not resolve is a hard error — a forced test matrix must never
+  // silently measure the wrong kernels.
+  if (const char* forced = std::getenv("TSCA_FORCE_BACKEND")) {
+    const SimdBackend* b = find(forced);
+    TSCA_CHECK(b != nullptr, "TSCA_FORCE_BACKEND=" << forced
+                                                   << " is unknown, compiled "
+                                                      "out, or unsupported "
+                                                      "by this CPU");
+    return b;
+  }
+  const SimdBackend* best = &kScalar;
+  for (const SimdBackend* b : kAll)
+    if (host_supports(*b) && b->width >= best->width) best = b;
+  return best;
+}
+
+std::atomic<const SimdBackend*>& active() {
+  static std::atomic<const SimdBackend*> a{pick_default()};
+  return a;
+}
+
+}  // namespace
+
+const SimdBackend& backend() {
+  return *active().load(std::memory_order_acquire);
+}
+
+bool conv_win_host_ok() {
+#if defined(TSCA_SIMD_X86)
+  static const bool ok = __builtin_cpu_supports("avx512vbmi") != 0 &&
+                         __builtin_cpu_supports("avx512vnni") != 0;
+  return ok;
+#else
+  return false;
+#endif
+}
+
+std::vector<const SimdBackend*> available_backends() {
+  std::vector<const SimdBackend*> out;
+  for (const SimdBackend* b : kAll)
+    if (host_supports(*b)) out.push_back(b);
+  return out;
+}
+
+bool select_backend(const char* name) {
+  const SimdBackend* b = find(name);
+  if (b == nullptr) return false;
+  active().store(b, std::memory_order_release);
+  return true;
+}
+
+}  // namespace tsca::core::simd

@@ -1,142 +1,192 @@
-// Portable 16-lane SIMD primitives for the functional fast path.
+// Runtime-dispatched SIMD kernel backends for the functional fast path.
 //
 // The datapath applies one non-zero weight to a 16-value IFM tile per cycle
-// (§III-B) — exactly one host SIMD multiply-accumulate.  This header wraps
-// the three tile-wide operations the fast path needs:
+// (§III-B) — one host SIMD multiply-accumulate per tile.  The paper widens
+// its dot-product datapath from 16 to 512 MACs across variants; this layer
+// widens the host kernels the same way: a SimdBackend is a small vtable of
+// tile-group operations —
 //
-//   mac16          acc[i] += region[i] * w          (int8 × int8 → int32)
-//   requantize16   nn::requantize over a 16-int32 accumulator tile
-//   masked_max16   max over the selected bytes of a tile (pool max unit)
+//   mac          acc[i] += x[i] * w over n groups of 16 (int8 × int8 → int32)
+//   conv_run     the fast path's inner loop: gather one 4×4 region per image
+//                straight from a strided pixel plane, probe it for zero, and
+//                apply a run of (accumulator row, weight) entries to every
+//                non-zero image — gather, widen, sparsity test and MACs fused
+//                into one dispatch per run, images that gathered all-zero
+//                skipped entirely (acc += 0·w is a no-op, so the skip is
+//                bit-exact)
+//   conv_win     optional whole-window kernel (3×3-kernel layers): one 8×8
+//                pixel window load per (channel, image), then each quad of
+//                ≤ 4 taps lands with a single byte-permute + int8
+//                dot-accumulate — the widest backend's replacement for a
+//                conv_run per offset run
+//   dot          sum of a[i] * b[i] over n groups of 16, wrapped mod 2^32
+//                (int32 addition is commutative/associative under wrapping,
+//                so every backend returns the identical value)
+//   dot4         four dot products against one shared stream in a single
+//                dispatch — the batch-major FC path's op, streaming each
+//                weight row's bytes through the registers once for four
+//                images instead of once per image
+//   requantize   nn::requantize over n groups of 16 int32 accumulators
+//   masked_max16 max over the selected bytes of one tile (pool max unit)
+//   pool_step    one whole pool/pad micro-op: all four masked MAX units plus
+//                the take/combine/keep output mux applied to a 16-byte output
+//                register in a single dispatch (controls precompiled into a
+//                PoolStepCtl once per step, reused across channels/images)
+//   is_zero      all-zero probe over n groups of 16 (activation zero-skip)
 //
-// Backend selection is purely compile-time: AVX2 when the compiler already
-// targets it, else SSE2 (baseline on x86-64), else portable scalar.  The
-// TSCA_SIMD CMake option (default ON) gates the intrinsic paths so
-// -DTSCA_SIMD=OFF exercises the scalar fallback with identical results —
-// every backend must be bit-exact against nn::requantize / the cycle engine.
-// No -mavx2 style flags are ever added: we only use what the ambient
-// compiler flags provide, so the library can't fault on older hosts.
+// implemented at 16 (scalar, SSE2), 32 (AVX2) and 64 (AVX-512) int8 lanes
+// per native vector op.  The group-count form is what lets batch-major
+// execution put several images' tiles into one call: n images × 16 values
+// is a single contiguous mac regardless of the backend's native width.
+//
+// Backend selection happens once, at first use, via CPUID
+// (__builtin_cpu_supports): the widest supported implementation wins.
+// TSCA_FORCE_BACKEND=<scalar|sse2|avx2|avx512> overrides the choice (and
+// fails hard when the named backend is missing or unsupported — a typo'd
+// test matrix must not silently measure the wrong kernels).  Tests may also
+// switch backends in-process with select_backend().  Every backend is
+// bit-exact against nn::requantize and the cycle engine; the wider
+// implementations are compiled with per-function target attributes, so no
+// global -mavx2 style flags are ever added and the library cannot fault on
+// older hosts.  The TSCA_SIMD CMake option (default ON) gates every
+// intrinsic path; -DTSCA_SIMD=OFF leaves only the scalar backend.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-
-#include "nn/layers.hpp"
-
-#if defined(TSCA_SIMD) && (defined(__SSE2__) || defined(__AVX2__))
-#define TSCA_SIMD_X86 1
-#include <immintrin.h>
-#endif
+#include <vector>
 
 namespace tsca::core::simd {
 
-inline const char* backend() {
-#if defined(TSCA_SIMD_X86) && defined(__AVX2__)
-  return "avx2";
-#elif defined(TSCA_SIMD_X86)
-  return "sse2";
-#else
-  return "scalar";
-#endif
-}
+// One step of a conv_run: accumulate `w` times the shared region into
+// accumulator row `row` (rows are `stride` int32s apart).  The layout matches
+// the fast path's packed weight entries so a sorted entry run can be handed
+// to the backend without repacking; `tag` is carried, never read.
+struct MacRunEntry {
+  std::uint16_t row;
+  std::int8_t w;
+  std::uint8_t tag;
+};
 
-// acc[i] += region[i] * w for one 16-value tile.
+// One pool/pad micro-op (core::PoolPadOp) precompiled into the byte-vector
+// controls the SIMD mux needs, so a step decoded once can be replayed for
+// every channel (and image) with zero per-call expansion work.  Built by the
+// fast path from the op's bit masks / select codes:
+//
+//   max_mask[m][i]  0xff when input value i feeds MAX unit m (else 0x00)
+//   unit4[i]        4 * (out_sel[i] & 3) — the byte index of output i's MAX
+//                   unit in a vector that packs unit m's result at byte 4m
+//                   (0 when out_sel keeps the old value; never read then)
+//   take[i]         0xff when out_sel takes a fresh MAX output (sel < 4)
+//   comb[i]         0xff when out_sel running-max combines with the old value
+//
+// take and comb are disjoint; a byte with neither keeps the old value.
+struct PoolStepCtl {
+  alignas(16) std::uint8_t max_mask[4][16];
+  alignas(16) std::uint8_t unit4[16];
+  alignas(16) std::uint8_t take[16];
+  alignas(16) std::uint8_t comb[16];
+};
+
+struct SimdBackend {
+  const char* name;  // "scalar", "sse2", "avx2", "avx512"
+  int width;         // int8 lanes per native vector op: 16, 32 or 64
+
+  // acc[i] += x[i] * w for i in [0, n*16).
+  void (*mac)(std::int32_t* acc, const std::int8_t* x, std::int8_t w, int n);
+  // The fast conv inner loop over one region run.  For each image i in
+  // [0, n) the 16-value region is the four 4-byte rows at
+  //   src + i*img_stride + r*row_stride        (r in 0..3, row-major),
+  // gathered directly from the caller's pixel plane.  An image whose region
+  // is entirely zero is skipped; otherwise every entry e applies
+  //   acc[e.row*stride + i*16 + p] += region[p] * e.w    (p in 0..15)
+  // in entry order.  Returns how many images gathered non-zero (0 lets the
+  // caller count the whole run as activation-skipped).  Bit-exact across
+  // backends and with the unskipped loop: the elided MACs all add 0·w.
+  int (*conv_run)(std::int32_t* acc, std::size_t stride, const MacRunEntry* e,
+                  int count, const std::int8_t* src, std::ptrdiff_t img_stride,
+                  std::ptrdiff_t row_stride, int n);
+  // Optional whole-window kernel (nullptr when the backend has none; callers
+  // must also check conv_win_host_ok()).  For each image i in [0, n) the 8×8
+  // pixel window at src + i*img_stride (8-byte rows, row_stride apart) is
+  // loaded once and masks[i] receives its nonzero-byte bitmask (bit r*8 + x,
+  // the per-region zero probe's raw material).  Each quad q then applies up
+  // to four taps to accumulator row qrow[q]: idx + q*64 byte-gathers the
+  // taps' 16-value regions interleaved per lane, w[q] packs their four int8
+  // weights little-endian, and corr[q] = 128 * (their sum) removes the
+  // kernel's unsigned-operand bias exactly.  Images whose window is all zero
+  // are skipped (their true contribution is zero).  Bit-exact with the
+  // equivalent conv_run runs: int32 accumulation wraps, so regrouping taps
+  // cannot change the result.
+  void (*conv_win)(std::int32_t* acc, std::size_t stride,
+                   const std::uint8_t* idx, const std::uint32_t* w,
+                   const std::int32_t* corr, const std::uint16_t* qrow,
+                   int quads, const std::int8_t* src,
+                   std::ptrdiff_t img_stride, std::ptrdiff_t row_stride, int n,
+                   std::uint64_t* masks);
+  // Sum of a[i] * b[i] over [0, n*16), accumulated mod 2^32 (identical
+  // across backends for any summation order, overflow included).
+  std::int32_t (*dot)(const std::int8_t* a, const std::int8_t* b, int n);
+  // out[k] = dot(a, b[k], n) for k in 0..3, loading each group of `a` once
+  // for all four streams.  Exactly equal to four dot calls on every backend.
+  void (*dot4)(const std::int8_t* a, const std::int8_t* const b[4], int n,
+               std::int32_t out[4]);
+  // nn::requantize (round half away from zero, optional ReLU, clamp to
+  // [-127, 127]) over [0, n*16).  Any shift; backends fall back to the
+  // scalar formula outside their fast range.
+  void (*requantize)(const std::int32_t* acc, std::int8_t* out, int shift,
+                     bool relu, int n);
+  // Max over the bytes of one 16-value tile selected by `mask` (0xFF take /
+  // 0x00 skip), starting from the datapath's fill value kInt8Min (-127) —
+  // NOT -128, so a fully-masked unit bit-matches the hardware max tree.
+  std::int8_t (*masked_max16)(const std::int8_t* v, const std::uint8_t* mask);
+  // Applies one precompiled pool/pad micro-op to the 16-byte output register
+  // `out`: every MAX unit reduces the bytes of `tile` its mask selects
+  // (starting from kInt8Min, like masked_max16), then each output byte takes
+  // its unit's max, running-max combines with it, or keeps its old value per
+  // the ctl select masks.  Bit-exact with four masked_max16 calls plus the
+  // scalar mux across all backends.
+  void (*pool_step)(const std::int8_t* tile, const PoolStepCtl& ctl,
+                    std::int8_t* out);
+  // True when x[0 .. n*16) is entirely zero — the activation-sparsity probe
+  // mirroring the paper's weight zero-skip on the feature-map side.
+  bool (*is_zero)(const std::int8_t* x, int n);
+};
+
+// The active backend: chosen on first call (CPUID, overridable with the
+// TSCA_FORCE_BACKEND environment variable) and stable until select_backend.
+const SimdBackend& backend();
+inline const char* backend_name() { return backend().name; }
+
+// Every backend this build supports on this host, widest last.
+std::vector<const SimdBackend*> available_backends();
+
+// True when the host CPU can execute the active backend's conv_win
+// specialization (AVX-512 VBMI + VNNI for the avx512 backend).  A non-null
+// conv_win may still be unusable on narrower hosts the backend itself runs
+// on, so callers check both.
+bool conv_win_host_ok();
+
+// Forces `name` as the active backend (tests; the equivalence matrix).
+// Returns false — leaving the active backend unchanged — when the name is
+// unknown, compiled out, or unsupported by the host CPU.
+bool select_backend(const char* name);
+
+// --- Convenience single-tile wrappers (legacy call sites) -----------------
+
 inline void mac16(std::int32_t* acc, const std::int8_t* region,
                   std::int8_t w) {
-#if defined(TSCA_SIMD_X86)
-  const __m128i r =
-      _mm_loadu_si128(reinterpret_cast<const __m128i*>(region));
-  const __m128i zero = _mm_setzero_si128();
-  // Sign-extend i8 → i16 (shift trick keeps this SSE2-only).
-  const __m128i lo16 = _mm_srai_epi16(_mm_unpacklo_epi8(zero, r), 8);
-  const __m128i hi16 = _mm_srai_epi16(_mm_unpackhi_epi8(zero, r), 8);
-  const __m128i wv = _mm_set1_epi16(static_cast<short>(w));
-  // i8 × i8 fits in i16 exactly.
-  const __m128i mlo = _mm_mullo_epi16(lo16, wv);
-  const __m128i mhi = _mm_mullo_epi16(hi16, wv);
-  __m128i* a = reinterpret_cast<__m128i*>(acc);
-  const __m128i p0 = _mm_srai_epi32(_mm_unpacklo_epi16(zero, mlo), 16);
-  const __m128i p1 = _mm_srai_epi32(_mm_unpackhi_epi16(zero, mlo), 16);
-  const __m128i p2 = _mm_srai_epi32(_mm_unpacklo_epi16(zero, mhi), 16);
-  const __m128i p3 = _mm_srai_epi32(_mm_unpackhi_epi16(zero, mhi), 16);
-  _mm_storeu_si128(a + 0, _mm_add_epi32(_mm_loadu_si128(a + 0), p0));
-  _mm_storeu_si128(a + 1, _mm_add_epi32(_mm_loadu_si128(a + 1), p1));
-  _mm_storeu_si128(a + 2, _mm_add_epi32(_mm_loadu_si128(a + 2), p2));
-  _mm_storeu_si128(a + 3, _mm_add_epi32(_mm_loadu_si128(a + 3), p3));
-#else
-  for (int i = 0; i < 16; ++i)
-    acc[i] += static_cast<std::int32_t>(region[i]) * w;
-#endif
+  backend().mac(acc, region, w, 1);
 }
 
-// nn::requantize over a 16-int32 tile: round-half-away-from-zero shift,
-// optional ReLU, clamp to [-127, 127].
 inline void requantize16(const std::int32_t* acc, std::int8_t* out, int shift,
                          bool relu) {
-#if defined(TSCA_SIMD_X86)
-  if (shift >= 0 && shift <= 30) {
-    const __m128i* a = reinterpret_cast<const __m128i*>(acc);
-    const __m128i half =
-        _mm_set1_epi32(shift > 0 ? (1 << (shift - 1)) : 0);
-    const __m128i count = _mm_cvtsi32_si128(shift);
-    const __m128i lo = _mm_set1_epi32(nn::kInt8Min);
-    const __m128i hi = _mm_set1_epi32(nn::kInt8Max);
-    const __m128i zero = _mm_setzero_si128();
-    __m128i q[4];
-    for (int k = 0; k < 4; ++k) {
-      const __m128i v = _mm_loadu_si128(a + k);
-      // Round half away from zero: |v|, add half, logical shift, re-sign.
-      // |v| + half < 2^32 and the shifted result < 2^31 for shift >= 1, so
-      // the unsigned arithmetic is exact (including v == INT32_MIN).
-      const __m128i s = _mm_srai_epi32(v, 31);
-      const __m128i absv = _mm_sub_epi32(_mm_xor_si128(v, s), s);
-      const __m128i t = _mm_srl_epi32(_mm_add_epi32(absv, half), count);
-      __m128i r = _mm_sub_epi32(_mm_xor_si128(t, s), s);
-      if (relu) r = _mm_and_si128(r, _mm_cmpgt_epi32(r, zero));
-      // clamp(r, lo, hi) without SSE4.1 min/max_epi32.
-      __m128i gt = _mm_cmpgt_epi32(r, hi);
-      r = _mm_or_si128(_mm_and_si128(gt, hi), _mm_andnot_si128(gt, r));
-      gt = _mm_cmpgt_epi32(lo, r);
-      r = _mm_or_si128(_mm_and_si128(gt, lo), _mm_andnot_si128(gt, r));
-      q[k] = r;
-    }
-    // Values are already in [-127, 127]; the saturating packs are lossless.
-    const __m128i p16a = _mm_packs_epi32(q[0], q[1]);
-    const __m128i p16b = _mm_packs_epi32(q[2], q[3]);
-    _mm_storeu_si128(reinterpret_cast<__m128i*>(out),
-                     _mm_packs_epi16(p16a, p16b));
-    return;
-  }
-#endif
-  const nn::Requant rq{.shift = shift, .relu = relu};
-  for (int i = 0; i < 16; ++i) out[i] = nn::requantize(acc[i], rq);
+  backend().requantize(acc, out, shift, relu, 1);
 }
 
-// Max over the bytes of `v` selected by `mask` (0xFF take / 0x00 skip),
-// starting from the datapath's fill value kInt8Min (-127) — NOT -128, so a
-// fully-masked unit bit-matches the hardware max tree.
 inline std::int8_t masked_max16(const std::int8_t* v,
                                 const std::uint8_t* mask) {
-#if defined(TSCA_SIMD_X86)
-  const __m128i val = _mm_loadu_si128(reinterpret_cast<const __m128i*>(v));
-  const __m128i m = _mm_loadu_si128(reinterpret_cast<const __m128i*>(mask));
-  const __m128i fill = _mm_set1_epi8(static_cast<char>(nn::kInt8Min));
-  const __m128i sel =
-      _mm_or_si128(_mm_and_si128(m, val), _mm_andnot_si128(m, fill));
-  // Signed byte max via the unsigned max after an XOR 0x80 bias (SSE2 has
-  // only _mm_max_epu8).
-  const __m128i bias = _mm_set1_epi8(static_cast<char>(0x80));
-  __m128i x = _mm_xor_si128(sel, bias);
-  x = _mm_max_epu8(x, _mm_srli_si128(x, 8));
-  x = _mm_max_epu8(x, _mm_srli_si128(x, 4));
-  x = _mm_max_epu8(x, _mm_srli_si128(x, 2));
-  x = _mm_max_epu8(x, _mm_srli_si128(x, 1));
-  return static_cast<std::int8_t>(
-      static_cast<std::uint8_t>(_mm_cvtsi128_si32(x) & 0xff) ^ 0x80u);
-#else
-  std::int8_t best = nn::kInt8Min;
-  for (int i = 0; i < 16; ++i)
-    if (mask[i] != 0 && v[i] > best) best = v[i];
-  return best;
-#endif
+  return backend().masked_max16(v, mask);
 }
 
 }  // namespace tsca::core::simd

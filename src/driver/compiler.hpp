@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "core/fastpath.hpp"
 #include "nn/layers.hpp"
 #include "core/isa.hpp"
 #include "nn/tensor.hpp"
@@ -128,6 +129,13 @@ struct PoolPlan {
   int ifm_base = 0;
   int ofm_base = 0;
   std::vector<PoolStripe> stripes;
+
+  // Filled by NetworkProgram::compile (empty for ad-hoc plans, which decode
+  // on the fly): one decoded fast-path plan per stripe, plus the PerfModel
+  // prediction for the whole layer so fast executions skip re-deriving it.
+  std::vector<core::FastPoolPlan> fastp;
+  std::uint64_t predicted_cycles = 0;
+  std::int64_t predicted_ops = 0;
 };
 
 PoolPlan plan_pool(const core::ArchConfig& cfg, const nn::FmShape& in_shape,

@@ -66,8 +66,8 @@ PoolRuntime::PoolRuntime(AcceleratorPool& pool, RuntimeOptions options)
 
 pack::TiledFm PoolRuntime::run_conv(const pack::TiledFm& input,
                                     const ConvProgram& conv, LayerRun& run) {
-  // The fast path is already just host loops over one shared output — worker
-  // dispatch would only add overhead.  The base class runs it serially.
+  // The base-class fast body handles statistics/predictions and reaches our
+  // fast_exec_conv override for the stripe fan-out.
   if (options_.mode == ExecMode::kFast)
     return Runtime::run_conv(input, conv, run);
   const core::ArchConfig& cfg = pool_.config();
@@ -248,6 +248,58 @@ std::vector<pack::TiledFm> PoolRuntime::run_conv_batch(
   scope.merge(run);
   finish_layer(run);
   return outputs;
+}
+
+void PoolRuntime::fast_exec_conv(const pack::TiledFm* const* inputs, int batch,
+                                 const core::FastConvWeights& fw,
+                                 const ConvProgram& conv,
+                                 pack::TiledFm* const* outputs,
+                                 core::FastConvStats& stats) {
+  const ConvPlan& plan = conv.plan;
+  if (pool_.workers() <= 1 || plan.stripes.size() <= 1) {
+    Runtime::fast_exec_conv(inputs, batch, fw, conv, outputs, stats);
+    return;
+  }
+  // The stripes must tile the output rows contiguously for the bands to be
+  // a partition of the serial full-height pass.
+  int row = 0;
+  for (const ConvStripe& stripe : plan.stripes) {
+    TSCA_CHECK(stripe.otile_row0 == row, "stripe bands not contiguous");
+    row += stripe.otile_rows;
+  }
+  TSCA_CHECK(row == outputs[0]->tiles_y(), "stripe bands do not cover OFM");
+  std::vector<core::FastConvStats> per_stripe(plan.stripes.size());
+  pool_.parallel_for(
+      plan.stripes.size(),
+      [&](AcceleratorPool::Context& /*ctx*/, std::size_t si) {
+        const ConvStripe& stripe = plan.stripes[si];
+        core::fast_conv(inputs, batch, fw, conv.bias, conv.rq, outputs,
+                        stripe.otile_row0, stripe.otile_rows,
+                        &per_stripe[si]);
+      });
+  // Index-ordered sum: identical to the serial pass, whatever the worker
+  // interleaving (each position's regions/MACs are independent of banding).
+  for (const core::FastConvStats& s : per_stripe) stats += s;
+}
+
+void PoolRuntime::fast_exec_pool(const pack::TiledFm& input,
+                                 const PoolPlan& plan, pack::TiledFm& output) {
+  if (pool_.workers() <= 1 || plan.stripes.size() <= 1) {
+    Runtime::fast_exec_pool(input, plan, output);
+    return;
+  }
+  const bool cached = plan.fastp.size() == plan.stripes.size();
+  pool_.parallel_for(
+      plan.stripes.size(),
+      [&](AcceleratorPool::Context& /*ctx*/, std::size_t si) {
+        const PoolStripe& stripe = plan.stripes[si];
+        if (cached)
+          core::fast_pad_pool(input, plan.fastp[si], stripe.in_tile_row0,
+                              stripe.otile_row0, output);
+        else
+          core::fast_pad_pool(input, make_pool_instr(plan, stripe),
+                              stripe.in_tile_row0, stripe.otile_row0, output);
+      });
 }
 
 void PoolRuntime::ensure_program_staged(const NetworkProgram& program) {

@@ -65,6 +65,18 @@ class PoolRuntime final : public Runtime {
                                 const quant::QuantizedModel& model,
                                 const std::vector<nn::FeatureMapI8>& inputs);
 
+ protected:
+  // Fast-path stripe parallelism: the plan's stripe row-bands fan out across
+  // the pool's workers (bands write disjoint output tiles — nothing to
+  // reduce), with per-band FastConvStats summed in stripe index order.
+  // Outputs and statistics are bit-identical to the serial bodies.
+  void fast_exec_conv(const pack::TiledFm* const* inputs, int batch,
+                      const core::FastConvWeights& fw, const ConvProgram& conv,
+                      pack::TiledFm* const* outputs,
+                      core::FastConvStats& stats) override;
+  void fast_exec_pool(const pack::TiledFm& input, const PoolPlan& plan,
+                      pack::TiledFm& output) override;
+
  private:
   // Captures per-context counter/DMA snapshots around a parallel region and
   // merges the deltas into `run`.

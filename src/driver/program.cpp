@@ -123,6 +123,18 @@ void fill_fused_predictions(const core::ArchConfig& cfg, ConvProgram& conv,
   p.weight_bubbles = work.weight_bubbles;
 }
 
+// Decodes every stripe's fast-path pool plan and caches the PerfModel
+// prediction, so neither executor derives them again per request/image.
+void finalize_pool_plan(const core::ArchConfig& cfg, PoolPlan& plan) {
+  plan.fastp.reserve(plan.stripes.size());
+  for (const PoolStripe& stripe : plan.stripes)
+    plan.fastp.push_back(
+        core::make_fast_pool_plan(make_pool_instr(plan, stripe)));
+  const PoolPerf perf = PerfModel(cfg).pool_plan_perf(plan);
+  plan.predicted_cycles = static_cast<std::uint64_t>(perf.cycles);
+  plan.predicted_ops = perf.ops;
+}
+
 ConvProgram compile_conv(const core::ArchConfig& cfg,
                          const nn::FmShape& in_shape,
                          const pack::PackedFilters& packed,
@@ -265,6 +277,7 @@ NetworkProgram NetworkProgram::compile(const nn::Network& net,
         step.pool = static_cast<int>(program.pools_.size());
         program.pools_.push_back(plan_pool(cfg, fm, out, core::Opcode::kPad, 1,
                                            1, -spec.pad.top, -spec.pad.left));
+        finalize_pool_plan(cfg, program.pools_.back());
         fm = out;
         break;
       }
@@ -289,6 +302,7 @@ NetworkProgram NetworkProgram::compile(const nn::Network& net,
         program.pools_.push_back(plan_pool(cfg, fm, out, core::Opcode::kPool,
                                            spec.pool.size, spec.pool.stride, 0,
                                            0));
+        finalize_pool_plan(cfg, program.pools_.back());
         fm = out;
         break;
       }

@@ -1,6 +1,7 @@
 #include "driver/runtime.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "core/kernels.hpp"
@@ -182,6 +183,16 @@ void Runtime::finish_layer(const LayerRun& run) {
     m.histogram("runtime.layer_cycles")
         .observe(static_cast<std::int64_t>(run.cycles));
     if (run.cycles_predicted) m.counter("runtime.predicted_layers").add(1);
+    if (run.fast.regions != 0) {
+      m.counter("fastpath.regions")
+          .add(static_cast<std::int64_t>(run.fast.regions));
+      m.counter("fastpath.regions_zero")
+          .add(static_cast<std::int64_t>(run.fast.regions_zero));
+      m.counter("fastpath.mac_tiles")
+          .add(static_cast<std::int64_t>(run.fast.mac_tiles));
+      m.counter("fastpath.mac_tiles_skipped")
+          .add(static_cast<std::int64_t>(run.fast.mac_tiles_skipped));
+    }
   }
   if (options_.trace != nullptr) {
     const std::string label =
@@ -570,9 +581,34 @@ pack::TiledFm Runtime::fast_conv_layer(const pack::TiledFm& input,
   run.counters = art.counters;
 
   pack::TiledFm output(plan.out_shape);
-  core::fast_conv(input, fw, conv.bias, conv.rq, output);
+  const pack::TiledFm* in = &input;
+  pack::TiledFm* out = &output;
+  fast_exec_conv(&in, 1, fw, conv, &out, run.fast);
   finish_layer(run);
   return output;
+}
+
+void Runtime::fast_exec_conv(const pack::TiledFm* const* inputs, int batch,
+                             const core::FastConvWeights& fw,
+                             const ConvProgram& conv,
+                             pack::TiledFm* const* outputs,
+                             core::FastConvStats& stats) {
+  core::fast_conv(inputs, batch, fw, conv.bias, conv.rq, outputs, 0,
+                  outputs[0]->tiles_y(), &stats);
+}
+
+void Runtime::fast_exec_pool(const pack::TiledFm& input, const PoolPlan& plan,
+                             pack::TiledFm& output) {
+  const bool cached = plan.fastp.size() == plan.stripes.size();
+  for (std::size_t si = 0; si < plan.stripes.size(); ++si) {
+    const PoolStripe& stripe = plan.stripes[si];
+    if (cached)
+      core::fast_pad_pool(input, plan.fastp[si], stripe.in_tile_row0,
+                          stripe.otile_row0, output);
+    else
+      core::fast_pad_pool(input, make_pool_instr(plan, stripe),
+                          stripe.in_tile_row0, stripe.otile_row0, output);
+  }
 }
 
 pack::TiledFm Runtime::fast_pad_pool_layer(const pack::TiledFm& input,
@@ -588,14 +624,17 @@ pack::TiledFm Runtime::fast_pad_pool_layer(const pack::TiledFm& input,
                                            : nn::LayerKind::kMaxPool;
   run.stripes = static_cast<int>(plan.stripes.size());
   run.batches = run.stripes;  // one batch per stripe, like the engine
-  for (const PoolStripe& stripe : plan.stripes)
-    core::fast_pad_pool(input, make_pool_instr(plan, stripe),
-                        stripe.in_tile_row0, stripe.otile_row0, output);
+  fast_exec_pool(input, plan, output);
 
-  const PoolPerf perf = PerfModel(acc_.config()).pool_plan_perf(plan);
-  run.cycles = static_cast<std::uint64_t>(perf.cycles);
+  if (plan.predicted_cycles != 0) {
+    run.cycles = plan.predicted_cycles;
+    run.counters.pool_ops = plan.predicted_ops;
+  } else {
+    const PoolPerf perf = PerfModel(acc_.config()).pool_plan_perf(plan);
+    run.cycles = static_cast<std::uint64_t>(perf.cycles);
+    run.counters.pool_ops = perf.ops;
+  }
   run.cycles_predicted = true;
-  run.counters.pool_ops = perf.ops;
   if (plan.op == core::Opcode::kPad)
     run.counters.pad_instrs = run.stripes;
   else
@@ -636,8 +675,24 @@ std::vector<pack::TiledFm> Runtime::fast_conv_batch(
 
   std::vector<pack::TiledFm> outputs(inputs.size(),
                                      pack::TiledFm(plan.out_shape));
-  for (std::size_t img = 0; img < inputs.size(); ++img)
-    core::fast_conv(inputs[img], fw, conv.bias, conv.rq, outputs[img]);
+  // Batch-major lane groups: up to kFastBatchLanes images share each weight
+  // walk and gathered region.  Per-image outputs are identical to serial
+  // single-image runs (the layout only packs more values per vector op).
+  std::vector<const pack::TiledFm*> ins;
+  std::vector<pack::TiledFm*> outs;
+  for (std::size_t i0 = 0; i0 < inputs.size();
+       i0 += static_cast<std::size_t>(kFastBatchLanes)) {
+    const std::size_t n = std::min(static_cast<std::size_t>(kFastBatchLanes),
+                                   inputs.size() - i0);
+    ins.clear();
+    outs.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      ins.push_back(&inputs[i0 + i]);
+      outs.push_back(&outputs[i0 + i]);
+    }
+    fast_exec_conv(ins.data(), static_cast<int>(n), fw, conv, outs.data(),
+                   run.fast);
+  }
   finish_layer(run);
   return outputs;
 }
@@ -663,12 +718,19 @@ void Runtime::fast_fused_pad_conv(const pack::TiledFm& input,
     lp = &layout_local;
   }
 
-  pack::TiledFm padded(lp->padded);
-  core::fast_pad_pool(input, make_fused_pad_instr(*lp), 0, 0, padded);
-  output = pack::TiledFm(lp->out);
-  core::fast_conv(padded, cp->fastw, cp->bias, cp->rq, output);
-
   pad_run.reset_stats();
+  conv_run.reset_stats();
+  output = pack::TiledFm(lp->out);
+  // The PAD batch never materializes on the host: fast_conv_padded lays the
+  // raw pixels shifted into its input planes, bit-identical to padding a
+  // TiledFm first.  Fused layers are unstriped by construction — no row
+  // bands to fan out — so this stays a direct serial call.
+  const pack::TiledFm* in = &input;
+  pack::TiledFm* out = &output;
+  core::fast_conv_padded(&in, 1, cp->fastw, cp->bias, cp->rq, lp->pad.top,
+                         lp->pad.left, &out, 0, output.tiles_y(),
+                         &conv_run.fast);
+
   pad_run.on_accelerator = true;
   pad_run.kind = nn::LayerKind::kPad;
   pad_run.cycles = lp->predicted_pad_cycles;
@@ -677,7 +739,6 @@ void Runtime::fast_fused_pad_conv(const pack::TiledFm& input,
   pad_run.batches = 1;
   finish_layer(pad_run);
 
-  conv_run.reset_stats();
   conv_run.on_accelerator = true;
   conv_run.kind = nn::LayerKind::kConv;
   conv_run.cycles = lp->predicted_conv_cycles;
@@ -689,7 +750,153 @@ void Runtime::fast_fused_pad_conv(const pack::TiledFm& input,
   finish_layer(conv_run);
 }
 
+void Runtime::fast_fused_pad_conv_batch(std::vector<pack::TiledFm>& fms,
+                                        const ConvProgram& conv,
+                                        const FusedPadConvLayout& layout,
+                                        LayerRun& pad_run, LayerRun& conv_run) {
+  TSCA_CHECK(conv.fastw.decoded() && layout.predicted_conv_cycles != 0,
+             "batched fused fast path needs a compiled program");
+  const auto images = static_cast<std::int64_t>(fms.size());
+  for (const pack::TiledFm& fm : fms)
+    TSCA_CHECK(layout.raw == fm.shape(),
+               "fused layout compiled for a different input shape");
+
+  // The engine replays the whole fusion once per image; predictions and
+  // counters fold linearly, exactly like the serial per-image loop.
+  pad_run.reset_stats();
+  pad_run.on_accelerator = true;
+  pad_run.kind = nn::LayerKind::kPad;
+  pad_run.cycles = layout.predicted_pad_cycles * static_cast<std::uint64_t>(images);
+  pad_run.cycles_predicted = true;
+  pad_run.stripes = 1;
+  pad_run.batches = static_cast<int>(images);
+
+  conv_run.reset_stats();
+  conv_run.on_accelerator = true;
+  conv_run.kind = nn::LayerKind::kConv;
+  conv_run.cycles =
+      layout.predicted_conv_cycles * static_cast<std::uint64_t>(images);
+  conv_run.cycles_predicted = true;
+  conv_run.macs = conv.macs * images;
+  conv_run.stripes = 1;
+  conv_run.batches = static_cast<int>(images);
+  for (std::int64_t img = 0; img < images; ++img)
+    conv_run.counters += layout.predicted;
+
+  std::vector<pack::TiledFm> outputs(fms.size(), pack::TiledFm(layout.out));
+  std::vector<const pack::TiledFm*> ins;
+  std::vector<pack::TiledFm*> outs;
+  for (std::size_t i0 = 0; i0 < fms.size();
+       i0 += static_cast<std::size_t>(kFastBatchLanes)) {
+    const std::size_t n = std::min(static_cast<std::size_t>(kFastBatchLanes),
+                                   fms.size() - i0);
+    ins.clear();
+    outs.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      ins.push_back(&fms[i0 + i]);
+      outs.push_back(&outputs[i0 + i]);
+    }
+    core::fast_conv_padded(ins.data(), static_cast<int>(n), conv.fastw,
+                           conv.bias, conv.rq, layout.pad.top, layout.pad.left,
+                           outs.data(), 0, outputs[i0].tiles_y(),
+                           &conv_run.fast);
+  }
+  fms = std::move(outputs);
+  finish_layer(pad_run);
+  finish_layer(conv_run);
+}
+
+std::vector<std::int8_t> Runtime::fast_fc(const std::vector<std::int8_t>& in,
+                                          const FcProgram& fc) {
+  TSCA_CHECK(fc.out_dim > 0);
+  TSCA_CHECK(fc.weights.size() ==
+             in.size() * static_cast<std::size_t>(fc.out_dim));
+  TSCA_CHECK(fc.bias.empty() ||
+             static_cast<int>(fc.bias.size()) == fc.out_dim);
+  const core::simd::SimdBackend& be = core::simd::backend();
+  const int groups = static_cast<int>(in.size()) / 16;
+  const std::size_t head = static_cast<std::size_t>(groups) * 16;
+  std::vector<std::int8_t> out(static_cast<std::size_t>(fc.out_dim));
+  for (int o = 0; o < fc.out_dim; ++o) {
+    const std::int8_t* row =
+        &fc.weights[static_cast<std::size_t>(o) * in.size()];
+    // Wrapping int32 accumulation is order-independent, so the vector dot
+    // plus a scalar tail equals nn::fc_i8's sequential sum bit-for-bit.
+    std::uint32_t acc = static_cast<std::uint32_t>(
+        fc.bias.empty() ? 0 : fc.bias[static_cast<std::size_t>(o)]);
+    acc += static_cast<std::uint32_t>(be.dot(in.data(), row, groups));
+    for (std::size_t i = head; i < in.size(); ++i)
+      acc += static_cast<std::uint32_t>(static_cast<std::int32_t>(row[i]) *
+                                        in[i]);
+    out[static_cast<std::size_t>(o)] =
+        nn::requantize(static_cast<std::int32_t>(acc), fc.rq);
+  }
+  return out;
+}
+
+std::vector<std::vector<std::int8_t>> Runtime::fast_fc_batch(
+    const std::vector<std::vector<std::int8_t>>& ins, const FcProgram& fc) {
+  TSCA_CHECK(!ins.empty());
+  TSCA_CHECK(fc.out_dim > 0);
+  const std::size_t in_size = ins.front().size();
+  for (const std::vector<std::int8_t>& in : ins)
+    TSCA_CHECK(in.size() == in_size, "batch FC inputs must share a size");
+  TSCA_CHECK(fc.weights.size() ==
+             in_size * static_cast<std::size_t>(fc.out_dim));
+  TSCA_CHECK(fc.bias.empty() ||
+             static_cast<int>(fc.bias.size()) == fc.out_dim);
+  const core::simd::SimdBackend& be = core::simd::backend();
+  const int groups = static_cast<int>(in_size) / 16;
+  const std::size_t head = static_cast<std::size_t>(groups) * 16;
+  std::vector<std::vector<std::int8_t>> outs(ins.size());
+  for (std::vector<std::int8_t>& out : outs)
+    out.resize(static_cast<std::size_t>(fc.out_dim));
+  for (int o = 0; o < fc.out_dim; ++o) {
+    const std::int8_t* row =
+        &fc.weights[static_cast<std::size_t>(o) * in_size];
+    const std::uint32_t bias0 = static_cast<std::uint32_t>(
+        fc.bias.empty() ? 0 : fc.bias[static_cast<std::size_t>(o)]);
+    // Image-inner: the row stays cache-hot across the whole batch, and four
+    // images at a time share each of the row's register loads (dot4).  The
+    // per-image arithmetic is exactly fast_fc's, so outputs are bit-equal.
+    std::size_t i = 0;
+    for (; i + 4 <= ins.size(); i += 4) {
+      const std::int8_t* quad[4] = {ins[i].data(), ins[i + 1].data(),
+                                    ins[i + 2].data(), ins[i + 3].data()};
+      std::int32_t d4[4];
+      be.dot4(row, quad, groups, d4);
+      for (int q = 0; q < 4; ++q) {
+        const std::vector<std::int8_t>& in = ins[i + q];
+        std::uint32_t acc = bias0 + static_cast<std::uint32_t>(d4[q]);
+        for (std::size_t k = head; k < in_size; ++k)
+          acc += static_cast<std::uint32_t>(static_cast<std::int32_t>(row[k]) *
+                                            in[k]);
+        outs[i + q][static_cast<std::size_t>(o)] =
+            nn::requantize(static_cast<std::int32_t>(acc), fc.rq);
+      }
+    }
+    for (; i < ins.size(); ++i) {
+      const std::vector<std::int8_t>& in = ins[i];
+      std::uint32_t acc = bias0;
+      acc += static_cast<std::uint32_t>(be.dot(in.data(), row, groups));
+      for (std::size_t k = head; k < in_size; ++k)
+        acc += static_cast<std::uint32_t>(static_cast<std::int32_t>(row[k]) *
+                                          in[k]);
+      outs[i][static_cast<std::size_t>(o)] =
+          nn::requantize(static_cast<std::int32_t>(acc), fc.rq);
+    }
+  }
+  return outs;
+}
+
 namespace {
+
+// Microseconds elapsed since `t0` (host wall clock, LayerRun::host_wall_us).
+std::int64_t us_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
 
 // Polls the cooperative cancellation flag between network steps.
 void check_cancel(const RuntimeOptions& options) {
@@ -710,6 +917,8 @@ void fold_layer_run(LayerRun& agg, const LayerRun& one) {
   agg.batches += one.batches;
   agg.counters += one.counters;
   agg.dma += one.dma;
+  agg.fast += one.fast;
+  agg.host_wall_us += one.host_wall_us;
 }
 
 }  // namespace
@@ -728,6 +937,7 @@ NetworkRun Runtime::run_network(const NetworkProgram& program,
   for (const NetworkProgram::Step& step : program.steps()) {
     check_cancel(options_);
     const nn::LayerSpec& spec = layers[step.layer];
+    const auto step_t0 = std::chrono::steady_clock::now();
     LayerRun run;
     run.name = spec.name;
     run.kind = spec.kind;
@@ -741,6 +951,7 @@ NetworkRun Runtime::run_network(const NetworkProgram& program,
         run_fused_pad_conv(fm, program.conv(step.conv),
                            program.fused(step.fused), fused_out, run,
                            conv_run);
+        conv_run.host_wall_us = us_since(step_t0);
         if (options_.keep_activations) {
           // The padded intermediate never left the chip; reconstruct it for
           // callers that asked for every activation.
@@ -768,12 +979,15 @@ NetworkRun Runtime::run_network(const NetworkProgram& program,
       }
       case NetworkProgram::Step::Exec::kFc: {
         const FcProgram& fc = program.fc(step.fc);
-        flat = nn::fc_i8(flat, fc.weights, fc.bias, fc.out_dim, fc.rq);
+        flat = options_.mode == ExecMode::kFast
+                   ? fast_fc(flat, fc)
+                   : nn::fc_i8(flat, fc.weights, fc.bias, fc.out_dim, fc.rq);
         break;
       }
       case NetworkProgram::Step::Exec::kSoftmax:
         break;  // host-side, float domain; logits pass through
     }
+    run.host_wall_us = us_since(step_t0);
     if (options_.keep_activations && !is_flat)
       result.activations.push_back(pack::from_tiled(fm));
     result.layers.push_back(std::move(run));
@@ -809,6 +1023,7 @@ BatchNetworkRun Runtime::run_network_batch(
   for (const NetworkProgram::Step& step : program.steps()) {
     check_cancel(options_);
     const nn::LayerSpec& spec = layers[step.layer];
+    const auto step_t0 = std::chrono::steady_clock::now();
     LayerRun agg;
     agg.name = spec.name;
     agg.kind = spec.kind;
@@ -817,15 +1032,23 @@ BatchNetworkRun Runtime::run_network_batch(
         LayerRun conv_agg;
         conv_agg.name = layers[step.layer + 1].name;
         conv_agg.kind = layers[step.layer + 1].kind;
-        for (std::size_t i = 0; i < n; ++i) {
-          LayerRun pad_one, conv_one;
-          pack::TiledFm fused_out;
-          run_fused_pad_conv(fms[i], program.conv(step.conv),
-                             program.fused(step.fused), fused_out, pad_one,
-                             conv_one);
-          fms[i] = std::move(fused_out);
-          fold_layer_run(agg, pad_one);
-          fold_layer_run(conv_agg, conv_one);
+        if (options_.mode == ExecMode::kFast) {
+          // Batch-major: every lane group shares the fused layer's weight
+          // walk; aggregate predictions match the per-image loop exactly.
+          fast_fused_pad_conv_batch(fms, program.conv(step.conv),
+                                    program.fused(step.fused), agg, conv_agg);
+          conv_agg.host_wall_us = us_since(step_t0);
+        } else {
+          for (std::size_t i = 0; i < n; ++i) {
+            LayerRun pad_one, conv_one;
+            pack::TiledFm fused_out;
+            run_fused_pad_conv(fms[i], program.conv(step.conv),
+                               program.fused(step.fused), fused_out, pad_one,
+                               conv_one);
+            fms[i] = std::move(fused_out);
+            fold_layer_run(agg, pad_one);
+            fold_layer_run(conv_agg, conv_one);
+          }
         }
         result.layers.push_back(std::move(agg));
         result.layers.push_back(std::move(conv_agg));
@@ -851,14 +1074,19 @@ BatchNetworkRun Runtime::run_network_batch(
         break;
       case NetworkProgram::Step::Exec::kFc: {
         const FcProgram& fc = program.fc(step.fc);
-        for (std::size_t i = 0; i < n; ++i)
-          flats[i] = nn::fc_i8(flats[i], fc.weights, fc.bias, fc.out_dim,
-                               fc.rq);
+        if (options_.mode == ExecMode::kFast) {
+          flats = fast_fc_batch(flats, fc);
+        } else {
+          for (std::size_t i = 0; i < n; ++i)
+            flats[i] = nn::fc_i8(flats[i], fc.weights, fc.bias, fc.out_dim,
+                                 fc.rq);
+        }
         break;
       }
       case NetworkProgram::Step::Exec::kSoftmax:
         break;  // host-side, float domain; logits pass through
     }
+    agg.host_wall_us = us_since(step_t0);
     result.layers.push_back(std::move(agg));
   }
 

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/accelerator.hpp"
+#include "core/fastpath.hpp"
 #include "driver/compiler.hpp"
 #include "driver/program.hpp"
 #include "nn/network.hpp"
@@ -96,6 +97,16 @@ struct LayerRun {
   int batches = 0;
   core::CounterSnapshot counters;  // deltas for this layer
   sim::DmaStats dma;
+  // Host fast-path execution statistics (kFast conv layers only): gathered
+  // regions and MAC tile-ops elided by the activation zero-skip.  Purely a
+  // host-side account — the PerfModel counters above still charge the
+  // modeled hardware for every MAC.
+  core::FastConvStats fast;
+  // Host wall-clock spent executing this step (microseconds; for fused
+  // PAD+CONV steps the whole fusion is charged to the CONV record).  Unlike
+  // `cycles` this measures the simulator/fast-path itself, not the modeled
+  // hardware — it is what the fast-path perf work optimizes.
+  std::int64_t host_wall_us = 0;
 
   // Clears every statistics field, keeping the caller-assigned name/kind.
   // Runtime entry points call this on entry so a LayerRun reused across
@@ -109,6 +120,8 @@ struct LayerRun {
     batches = 0;
     counters = core::CounterSnapshot{};
     dma = sim::DmaStats{};
+    fast = core::FastConvStats{};
+    host_wall_us = 0;
   }
 };
 
@@ -133,6 +146,13 @@ struct BatchNetworkRun {
 
 class Runtime {
  public:
+  // How many images one batch-major core::fast_conv call carries
+  // (run_conv_batch in ExecMode::kFast): each gathered region then feeds
+  // kFastBatchLanes·16 int8 lanes, so the weight walk, window loads and
+  // dispatch amortize across the group while the accumulator working set
+  // (out_c · lanes · 64 B) stays cache-resident.
+  static constexpr int kFastBatchLanes = 8;
+
   Runtime(core::Accelerator& accelerator, sim::Dram& dram,
           sim::DmaEngine& dma, RuntimeOptions options = {});
   virtual ~Runtime() = default;
@@ -277,8 +297,8 @@ class Runtime {
   ExecCtx exec_ctx();
   // ExecMode::kFast layer bodies (core/fastpath.hpp executors + PerfModel
   // statistics).  The program entry points branch here before touching the
-  // simulator; PoolRuntime delegates back to these too — the fast path is
-  // already just host loops, worker dispatch would only add overhead.
+  // simulator; PoolRuntime delegates back to these too, and parallelism
+  // enters through the fast_exec_* hooks below.
   pack::TiledFm fast_conv_layer(const pack::TiledFm& input,
                                 const ConvProgram& conv, LayerRun& run);
   pack::TiledFm fast_pad_pool_layer(const pack::TiledFm& input,
@@ -286,10 +306,43 @@ class Runtime {
   std::vector<pack::TiledFm> fast_conv_batch(
       const std::vector<pack::TiledFm>& inputs, const ConvProgram& conv,
       LayerRun& run);
+  // Fast executor hooks.  The serial bodies below run one full-height
+  // batch-major call (conv) / a serial stripe loop (pad-pool); PoolRuntime
+  // overrides them to fan the plan's stripe row-bands out across its
+  // workers.  Bands write disjoint output tiles and per-band stats are
+  // summed in stripe index order, so outputs *and* statistics are
+  // bit-identical to the serial bodies for any worker count.
+  virtual void fast_exec_conv(const pack::TiledFm* const* inputs, int batch,
+                              const core::FastConvWeights& fw,
+                              const ConvProgram& conv,
+                              pack::TiledFm* const* outputs,
+                              core::FastConvStats& stats);
+  virtual void fast_exec_pool(const pack::TiledFm& input, const PoolPlan& plan,
+                              pack::TiledFm& output);
   void fast_fused_pad_conv(const pack::TiledFm& input, const ConvProgram& conv,
                            const FusedPadConvLayout& layout,
                            pack::TiledFm& output, LayerRun& pad_run,
                            LayerRun& conv_run);
+  // Batch-major fused pad+conv: all images share each weight walk in lane
+  // groups of kFastBatchLanes (per-image outputs identical to serial runs);
+  // pad_run/conv_run aggregate the per-image predictions exactly like the
+  // serial per-image fold.  Requires a compile-time program (decoded fast
+  // weights and filled predictions).
+  void fast_fused_pad_conv_batch(std::vector<pack::TiledFm>& fms,
+                                 const ConvProgram& conv,
+                                 const FusedPadConvLayout& layout,
+                                 LayerRun& pad_run, LayerRun& conv_run);
+  // ExecMode::kFast host FC: SimdBackend::dot per output row.  Bit-identical
+  // to nn::fc_i8 — int32 accumulation wraps mod 2^32 in any order — just
+  // vectorized through the dispatched backend.
+  std::vector<std::int8_t> fast_fc(const std::vector<std::int8_t>& in,
+                                   const FcProgram& fc);
+  // Batch-major FC: output-row outer, image inner, so each weight row is
+  // streamed from memory once per batch instead of once per image (the FC
+  // layers are memory-bound — the weight matrix dwarfs every activation).
+  // Per-image results are bit-identical to fast_fc.
+  std::vector<std::vector<std::int8_t>> fast_fc_batch(
+      const std::vector<std::vector<std::int8_t>>& ins, const FcProgram& fc);
   core::Accelerator& acc_;
   sim::Dram& dram_;
   sim::DmaEngine& dma_;

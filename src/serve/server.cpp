@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "core/simd.hpp"
 #include "util/check.hpp"
 
 namespace tsca::serve {
@@ -16,6 +17,12 @@ Server::Server(const driver::NetworkProgram& program, ServerOptions options)
       queue_(options.queue_capacity),
       scheduler_(queue_, options.batch, *metrics_, options.trace, epoch_) {
   TSCA_CHECK(options_.workers >= 1, "workers=" << options_.workers);
+  // Pin the kernel backend the fast path will serve with into the metrics
+  // (as "serve.simd.<name>" = lane width), so a metrics dump names the
+  // dispatch outcome next to the latency numbers it produced.
+  metrics_
+      ->counter(std::string("serve.simd.") + core::simd::backend_name())
+      .add(core::simd::backend().width);
   // Stage the weight image into every worker context up front: part of
   // server startup, never of any request's latency.
   contexts_.reserve(static_cast<std::size_t>(options_.workers));

@@ -15,8 +15,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <string>
 
 #include "core/accelerator.hpp"
+#include "core/simd.hpp"
+#include "driver/program.hpp"
 #include "driver/runtime.hpp"
 #include "nn/network.hpp"
 #include "quant/quantize.hpp"
@@ -149,6 +152,119 @@ TEST_P(EngineEquivalence, RandomStackAgreesAcrossEnginesAndReference) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EngineEquivalence, ::testing::Range(0, 12));
+
+// Restores the entry SIMD backend (the CPUID / TSCA_FORCE_BACKEND choice) no
+// matter how a backend-switching test exits.
+struct BackendGuard {
+  std::string entry{core::simd::backend_name()};
+  ~BackendGuard() { core::simd::select_backend(entry.c_str()); }
+};
+
+// Every compiled-in backend this host can run — scalar, SSE2, and (when
+// supported) AVX2/AVX-512, the AVX-512 one taking the conv_win whole-window
+// kernel on 3x3 layers — must reproduce the cycle engine bit-exactly: same
+// activations, same predicted work counters, and the same host-side
+// FastConvStats as the scalar backend (the conv_win mask-reconstructed skip
+// accounting is pinned to the conv_run path's, not merely close to it).
+// tier1.sh additionally runs the whole suite under TSCA_FORCE_BACKEND for
+// each backend; this in-process matrix keeps the property one `ctest` away.
+TEST(EngineEquivalence, EveryBackendMatchesCycleEngineExactly) {
+  BackendGuard guard;
+  for (const int param : {1, 5, 9}) {
+    const RandomStack stack =
+        make_stack(0xE0E0 + static_cast<std::uint64_t>(param) * 7919);
+    const driver::NetworkRun cycle = run_stack(stack, driver::ExecMode::kCycle);
+
+    ASSERT_TRUE(core::simd::select_backend("scalar"));
+    const driver::NetworkRun scalar = run_stack(stack, driver::ExecMode::kFast);
+
+    for (const core::simd::SimdBackend* be : core::simd::available_backends()) {
+      ASSERT_TRUE(core::simd::select_backend(be->name)) << be->name;
+      const driver::NetworkRun fast = run_stack(stack, driver::ExecMode::kFast);
+      SCOPED_TRACE(std::string("backend ") + be->name + " seed " +
+                   std::to_string(param));
+
+      ASSERT_EQ(cycle.activations.size(), fast.activations.size());
+      for (std::size_t i = 0; i < cycle.activations.size(); ++i)
+        EXPECT_EQ(cycle.activations[i], fast.activations[i])
+            << "divergence after layer " << i;
+      EXPECT_EQ(cycle.final_fm, fast.final_fm);
+      EXPECT_EQ(cycle.logits, fast.logits);
+
+      ASSERT_EQ(cycle.layers.size(), fast.layers.size());
+      for (std::size_t i = 0; i < cycle.layers.size(); ++i) {
+        const driver::LayerRun& c = cycle.layers[i];
+        const driver::LayerRun& f = fast.layers[i];
+        if (!c.on_accelerator) continue;
+        EXPECT_EQ(f.counters.macs_performed, c.counters.macs_performed)
+            << c.name;
+        EXPECT_EQ(f.counters.weight_cmds, c.counters.weight_cmds) << c.name;
+        EXPECT_EQ(f.counters.weight_bubbles, c.counters.weight_bubbles)
+            << c.name;
+        EXPECT_EQ(f.counters.pool_ops, c.counters.pool_ops) << c.name;
+        EXPECT_EQ(f.counters.positions, c.counters.positions) << c.name;
+        // Host-side activation-skip accounting must also be backend-exact:
+        // the AVX-512 conv_win path reconstructs per-region skip counts from
+        // window masks and has to land on the very numbers the conv_run walk
+        // counts directly.
+        const core::FastConvStats& sf = scalar.layers[i].fast;
+        EXPECT_EQ(f.fast.regions, sf.regions) << c.name;
+        EXPECT_EQ(f.fast.regions_zero, sf.regions_zero) << c.name;
+        EXPECT_EQ(f.fast.mac_tiles, sf.mac_tiles) << c.name;
+        EXPECT_EQ(f.fast.mac_tiles_skipped, sf.mac_tiles_skipped) << c.name;
+      }
+    }
+  }
+}
+
+// Batch-major execution packs several images' tiles into one SIMD register
+// group; per-image results must still be bit-identical to serial runs —
+// including a batch larger than Runtime::kFastBatchLanes, so the lane
+// remainder path is exercised — on every backend.
+TEST(EngineEquivalence, BatchMajorMatchesSerialPerImage) {
+  BackendGuard guard;
+  const RandomStack stack = make_stack(0xE0E0 + 4 * 7919);
+  core::ArchConfig cfg = core::ArchConfig::k256_opt();
+  cfg.bank_words = 2048;
+  const driver::NetworkProgram program =
+      driver::NetworkProgram::compile(stack.net, stack.model, cfg);
+
+  const int batch = driver::Runtime::kFastBatchLanes + 3;
+  Rng rng(0xBA7C);
+  std::vector<nn::FeatureMapI8> inputs;
+  inputs.push_back(stack.input);
+  for (int i = 1; i < batch; ++i) {
+    nn::FeatureMapI8 fm(stack.net.input_shape());
+    for (std::size_t j = 0; j < fm.size(); ++j)
+      fm.data()[j] = static_cast<std::int8_t>(rng.next_int(-64, 64));
+    inputs.push_back(std::move(fm));
+  }
+
+  for (const core::simd::SimdBackend* be : core::simd::available_backends()) {
+    ASSERT_TRUE(core::simd::select_backend(be->name)) << be->name;
+    SCOPED_TRACE(std::string("backend ") + be->name);
+
+    core::Accelerator acc(cfg);
+    sim::Dram dram(64u << 20);
+    sim::DmaEngine dma(dram);
+    driver::Runtime runtime(acc, dram, dma,
+                            {.mode = driver::ExecMode::kFast});
+    std::vector<driver::NetworkRun> serial;
+    for (const nn::FeatureMapI8& input : inputs)
+      serial.push_back(runtime.run_network(program, input));
+    const driver::BatchNetworkRun batched =
+        runtime.run_network_batch(program, inputs);
+
+    ASSERT_EQ(batched.requests.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(batched.requests[i].flat_output, serial[i].flat_output)
+          << "image " << i;
+      EXPECT_EQ(batched.requests[i].logits, serial[i].logits) << "image " << i;
+      EXPECT_EQ(batched.requests[i].final_fm, serial[i].final_fm)
+          << "image " << i;
+    }
+  }
+}
 
 // Predicted cycle counts are a model, not a replay: the cycle engine resolves
 // lane overlap dynamically while PerfModel bounds it per position.  The
