@@ -18,14 +18,27 @@
 // on any host.  Latency percentiles come from the responses themselves
 // (LoadReport), measured over executed requests — late executions count.
 //
+// Second experiment: SLO classes over the socket front-end.  Two TCP
+// clients share one server — a high-priority class offered a fixed 0.4x
+// capacity, and a low-priority class that scales the TOTAL offered load to
+// 1x and then 3x.  Strict priority + EDF + fair-share admission must
+// insulate the high class: under 3x overload its p99 and goodput stay
+// within 1.5x of their 1x values, while the low class absorbs the shedding
+// and evictions.  This runs the full wire path (encode, TCP, decode,
+// callback completion), not the in-process futures.
+//
 // Emits BENCH_serve.json into the working directory.  Exit code 1 when the
 // overload gate fails: at the highest offered load the batched policy must
-// beat the FIFO baseline on BOTH p99 latency and goodput.  --quick shrinks
-// the sweep for the tier-1 smoke run.
+// beat the FIFO baseline on BOTH p99 latency and goodput — or when the
+// mixed-priority gate fails.  --quick shrinks the sweep for the tier-1
+// smoke run.
+#include <algorithm>
+#include <bit>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/accelerator.hpp"
@@ -34,7 +47,9 @@
 #include "nn/vgg16.hpp"
 #include "quant/prune.hpp"
 #include "quant/quantize.hpp"
+#include "serve/client.hpp"
 #include "serve/load_generator.hpp"
+#include "serve/net_server.hpp"
 #include "serve/server.hpp"
 #include "sim/dma.hpp"
 #include "sim/dram.hpp"
@@ -48,6 +63,7 @@ constexpr int kWorkers = 2;
 constexpr std::size_t kQueueCapacity = 64;
 constexpr int kMaxBatch = 8;
 constexpr double kDeadlineInT = 30.0;  // deadline = 30 x per-image service time
+constexpr double kHighShareX = 0.4;    // high class offered load, x capacity
 
 struct Workload {
   nn::Network net;
@@ -183,6 +199,126 @@ void write_row_json(FILE* out, const Row& r, bool last) {
       r.report.max_batch_seen, last ? "" : ",");
 }
 
+// --- Mixed-priority SLO classes over the socket front-end ---------------
+
+struct ClassRow {
+  const char* cls;
+  double offered_x = 0.0;
+  serve::LoadReport report;
+  int shed() const { return report.deadline_missed - report.executed_late; }
+};
+
+struct MixedPoint {
+  double total_x = 0.0;
+  ClassRow high;
+  ClassRow low;
+};
+
+// Effective capacity of the full socket path — encode, TCP, decode,
+// admission, batching, execution, response — measured as closed-loop
+// goodput against a warm server.  On small hosts this sits far below
+// workers/exec_us (the load generator, the per-connection threads, and the
+// workers all time-share the cores), and it is the honest scale for the
+// mixed experiment's offered-load multiples: "3x" should mean three times
+// what this path can actually sustain, not three times an idealized
+// runtime-only number that already starves the CPU at "1x".
+double calibrate_socket_capacity_rps(const driver::NetworkProgram& program,
+                                     std::int64_t batch_delay_us,
+                                     std::int64_t min_slack_us) {
+  serve::ServerOptions opts = make_options(true);
+  opts.batch.max_queue_delay_us = batch_delay_us;
+  opts.batch.min_slack_us = min_slack_us;
+  serve::Server server(program, opts);
+  serve::NetServer net(server);
+  serve::NetClient client("127.0.0.1", net.port());
+  serve::LoadOptions load;
+  load.requests = 192;
+  load.concurrency = 2 * kWorkers;
+  load.seed = 5;
+  const serve::LoadReport r =
+      serve::run_load(client, program.net().input_shape(), load);
+  client.close();
+  net.stop();
+  server.stop();
+  return r.goodput_rps > 1.0 ? r.goodput_rps : 1.0;
+}
+
+// One total-offered-load point: the high class holds kHighShareX x capacity,
+// the low class supplies the rest, both as open-loop Poisson streams over
+// their own TCP connections to one NetServer.  All timing knobs (deadline,
+// batching window, feasibility horizon) come in pre-scaled to the socket
+// path's per-image service time.
+MixedPoint run_mixed_point(const driver::NetworkProgram& program,
+                           double total_x, double capacity_rps,
+                           double window_s, std::int64_t deadline_us,
+                           std::int64_t batch_delay_us,
+                           std::int64_t min_slack_us) {
+  serve::ServerOptions opts = make_options(true);
+  opts.batch.max_queue_delay_us = batch_delay_us;
+  opts.batch.min_slack_us = min_slack_us;
+  serve::Server server(program, opts);
+  serve::NetServer net(server);
+  serve::NetClient high_client("127.0.0.1", net.port());
+  serve::NetClient low_client("127.0.0.1", net.port());
+  const nn::FmShape shape = program.net().input_shape();
+
+  const auto make_load = [&](double x, int priority, std::uint64_t seed) {
+    serve::LoadOptions load;
+    load.rate_rps = x * capacity_rps;
+    load.requests = std::max(16, static_cast<int>(load.rate_rps * window_s));
+    load.deadline_us = deadline_us;
+    load.priority = priority;
+    load.seed = seed;
+    return load;
+  };
+  const double low_x = std::max(0.0, total_x - kHighShareX);
+  const serve::LoadOptions high_load = make_load(kHighShareX, 0, 21);
+  const serve::LoadOptions low_load = make_load(low_x, 1, 22);
+
+  MixedPoint point;
+  point.total_x = total_x;
+  point.high.cls = "high";
+  point.high.offered_x = kHighShareX;
+  point.low.cls = "low";
+  point.low.offered_x = low_x;
+  std::thread high_thread([&] {
+    point.high.report = serve::run_load(high_client, shape, high_load);
+  });
+  point.low.report = serve::run_load(low_client, shape, low_load);
+  high_thread.join();
+  high_client.close();
+  low_client.close();
+  net.stop();
+  server.stop();
+  return point;
+}
+
+void print_class_row(double total_x, const ClassRow& r) {
+  std::printf(
+      "  total x%.1f %-4s x%.1f  goodput=%7.0f rps  ok=%4d  late=%3d  "
+      "shed=%4d  quota=%3d  p50=%6lld us  p99=%6lld us\n",
+      total_x, r.cls, r.offered_x, r.report.goodput_rps, r.report.ok,
+      r.report.executed_late, r.shed(), r.report.rejected_quota,
+      static_cast<long long>(r.report.latency_us.p50),
+      static_cast<long long>(r.report.latency_us.p99));
+}
+
+void write_class_json(FILE* out, const ClassRow& r, bool last) {
+  std::fprintf(
+      out,
+      "      {\"class\": \"%s\", \"offered_x\": %.2f, \"submitted\": %d, "
+      "\"ok\": %d, \"rejected\": %d, \"rejected_quota\": %d, "
+      "\"deadline_missed\": %d, \"executed_late\": %d, \"shed\": %d, "
+      "\"errors\": %d, \"goodput_rps\": %.2f, "
+      "\"latency_us\": {\"p50\": %lld, \"p99\": %lld}}%s\n",
+      r.cls, r.offered_x, r.report.submitted, r.report.ok, r.report.rejected,
+      r.report.rejected_quota, r.report.deadline_missed,
+      r.report.executed_late, r.shed(), r.report.errors,
+      r.report.goodput_rps,
+      static_cast<long long>(r.report.latency_us.p50),
+      static_cast<long long>(r.report.latency_us.p99), last ? "" : ",");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -237,6 +373,58 @@ int main(int argc, char** argv) {
   const bool gate_goodput =
       batched.report.goodput_rps > fifo.report.goodput_rps;
 
+  // Mixed-priority sweep over the socket front-end: the same high-class
+  // offered load at 1x and 3x total, with every knob rescaled to the
+  // socket path's measured capacity and per-image service time.
+  const double socket_capacity_rps =
+      calibrate_socket_capacity_rps(program, batch_delay_us, min_slack_us);
+  const std::int64_t sock_t_us = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(static_cast<double>(kWorkers) * 1e6 /
+                                   socket_capacity_rps));
+  const std::int64_t mixed_deadline_us =
+      static_cast<std::int64_t>(kDeadlineInT * static_cast<double>(sock_t_us));
+  const std::int64_t mixed_delay_us = 2 * sock_t_us;
+  const std::int64_t mixed_slack_us = (kMaxBatch + 4) * sock_t_us;
+  std::printf("mixed-priority over socket: capacity ~%.0f rps "
+              "(T=%lld us/image on the wire path), high class fixed at "
+              "x%.1f, deadline %lld us\n",
+              socket_capacity_rps, static_cast<long long>(sock_t_us),
+              kHighShareX, static_cast<long long>(mixed_deadline_us));
+  std::vector<MixedPoint> mixed;
+  for (const double total_x : {1.0, 3.0}) {
+    mixed.push_back(run_mixed_point(program, total_x, socket_capacity_rps,
+                                    window_s, mixed_deadline_us,
+                                    mixed_delay_us, mixed_slack_us));
+    print_class_row(total_x, mixed.back().high);
+    print_class_row(total_x, mixed.back().low);
+  }
+
+  // SLO insulation gate: tripling the total load must not degrade the high
+  // class beyond 1.5x of its uncontended numbers.  The p99 comparison gets
+  // an absolute floor of one batching window plus two service times —
+  // below that, the difference is scheduling jitter, not queueing — and
+  // the 1.5x bound is rounded up to the metrics histogram's power-of-two
+  // bucket resolution: reported p99s are bucket bounds (clipped to the
+  // observed max), so a difference inside one bucket is quantization, not
+  // queueing.
+  const MixedPoint& at1 = mixed.front();
+  const MixedPoint& at3 = mixed.back();
+  const std::int64_t p99_floor_us = mixed_delay_us + 2 * sock_t_us;
+  const std::int64_t high_p99_ref =
+      std::max(at1.high.report.latency_us.p99, p99_floor_us);
+  const std::int64_t p99_bound_us =
+      static_cast<std::int64_t>(std::bit_ceil(
+          static_cast<std::uint64_t>(high_p99_ref + high_p99_ref / 2)));
+  const bool gate_high_p99 = at3.high.report.latency_us.p99 <= p99_bound_us;
+  const bool gate_high_goodput =
+      at3.high.report.goodput_rps >= at1.high.report.goodput_rps / 1.5;
+  const bool gate_low_absorbs =
+      at3.low.shed() + at3.low.report.rejected_quota +
+          at3.low.report.rejected >
+      0;
+  const bool gate_mixed = gate_high_p99 && gate_high_goodput &&
+                          gate_low_absorbs;
+
   FILE* out = std::fopen("BENCH_serve.json", "w");
   if (out == nullptr) {
     std::fprintf(stderr, "FAIL: cannot write BENCH_serve.json\n");
@@ -262,16 +450,50 @@ int main(int argc, char** argv) {
                "  \"overload_gate\": {\"offered_x\": %.1f, "
                "\"fifo_p99_us\": %lld, \"batched_p99_us\": %lld, "
                "\"fifo_goodput_rps\": %.2f, \"batched_goodput_rps\": %.2f, "
-               "\"pass\": %s}\n",
+               "\"pass\": %s},\n",
                fifo.offered_x,
                static_cast<long long>(fifo.report.latency_us.p99),
                static_cast<long long>(batched.report.latency_us.p99),
                fifo.report.goodput_rps, batched.report.goodput_rps,
                gate_p99 && gate_goodput ? "true" : "false");
+  std::fprintf(out, "  \"mixed_priority\": {\n");
+  std::fprintf(out, "    \"transport\": \"socket\",\n");
+  std::fprintf(out, "    \"high_share_x\": %.2f,\n", kHighShareX);
+  std::fprintf(out, "    \"socket_capacity_rps\": %.1f,\n",
+               socket_capacity_rps);
+  std::fprintf(out, "    \"socket_t_us\": %lld,\n",
+               static_cast<long long>(sock_t_us));
+  std::fprintf(out, "    \"deadline_us\": %lld,\n",
+               static_cast<long long>(mixed_deadline_us));
+  std::fprintf(out, "    \"points\": [\n");
+  for (std::size_t i = 0; i < mixed.size(); ++i) {
+    std::fprintf(out, "      {\"total_x\": %.1f, \"classes\": [\n",
+                 mixed[i].total_x);
+    write_class_json(out, mixed[i].high, false);
+    write_class_json(out, mixed[i].low, true);
+    std::fprintf(out, "      ]}%s\n", i + 1 == mixed.size() ? "" : ",");
+  }
+  std::fprintf(out, "    ],\n");
+  std::fprintf(out,
+               "    \"gate\": {\"high_p99_1x_us\": %lld, "
+               "\"high_p99_3x_us\": %lld, \"p99_floor_us\": %lld, "
+               "\"p99_bound_us\": %lld, "
+               "\"high_goodput_1x_rps\": %.2f, \"high_goodput_3x_rps\": %.2f, "
+               "\"low_absorbed_3x\": %d, \"pass\": %s}\n",
+               static_cast<long long>(at1.high.report.latency_us.p99),
+               static_cast<long long>(at3.high.report.latency_us.p99),
+               static_cast<long long>(p99_floor_us),
+               static_cast<long long>(p99_bound_us),
+               at1.high.report.goodput_rps, at3.high.report.goodput_rps,
+               at3.low.shed() + at3.low.report.rejected_quota +
+                   at3.low.report.rejected,
+               gate_mixed ? "true" : "false");
+  std::fprintf(out, "  }\n");
   std::fprintf(out, "}\n");
   std::fclose(out);
   std::printf("wrote BENCH_serve.json\n");
 
+  bool failed = false;
   if (!gate_p99 || !gate_goodput) {
     std::fprintf(stderr,
                  "FAIL: overload gate: batched p99=%lld us goodput=%.0f rps "
@@ -280,8 +502,24 @@ int main(int argc, char** argv) {
                  batched.report.goodput_rps,
                  static_cast<long long>(fifo.report.latency_us.p99),
                  fifo.report.goodput_rps);
-    return 1;
+    failed = true;
+  } else {
+    std::printf("overload gate: batched beats fifo1 on p99 and goodput\n");
   }
-  std::printf("overload gate: batched beats fifo1 on p99 and goodput\n");
-  return 0;
+  if (!gate_mixed) {
+    std::fprintf(stderr,
+                 "FAIL: mixed-priority gate: high p99 %lld -> %lld us "
+                 "(bound %lld), goodput %.0f -> %.0f rps, low absorbed %d\n",
+                 static_cast<long long>(at1.high.report.latency_us.p99),
+                 static_cast<long long>(at3.high.report.latency_us.p99),
+                 static_cast<long long>(p99_bound_us),
+                 at1.high.report.goodput_rps, at3.high.report.goodput_rps,
+                 at3.low.shed() + at3.low.report.rejected_quota +
+                     at3.low.report.rejected);
+    failed = true;
+  } else {
+    std::printf(
+        "mixed-priority gate: high class insulated at 3x total load\n");
+  }
+  return failed ? 1 : 0;
 }

@@ -17,6 +17,11 @@
 //                 dynamic batching + worker threads) instead of one bare
 //                 run; composes with --fast/--thread (execution mode),
 //                 --pool (worker count), --trace and --metrics
+//   --listen[=P]  serve over TCP on 127.0.0.1:P (default: an ephemeral
+//                 port, printed once bound) until stdin reaches EOF —
+//                 the wire protocol of serve/protocol.hpp; NetClient or
+//                 serve::run_load drive it from another process.  Same
+//                 composition as --serve, with which it conflicts
 //   --trace FILE  write a Chrome trace_event JSON (chrome://tracing,
 //                 Perfetto) of the run to FILE
 //   --metrics     dump the metrics registry (counters + latency
@@ -26,6 +31,7 @@
 // error, not a silent override (picking exactly one execution engine is the
 // only exclusivity: --thread vs --fast).
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -46,6 +52,7 @@
 #include "quant/prune.hpp"
 #include "quant/quantize.hpp"
 #include "serve/load_generator.hpp"
+#include "serve/net_server.hpp"
 #include "serve/server.hpp"
 #include "util/rng.hpp"
 
@@ -58,7 +65,8 @@ namespace {
                arg != nullptr ? arg : "");
   std::fprintf(stderr,
                "usage: vgg16_inference [channel_divisor] [--thread|--fast] "
-               "[--pool[=N]] [--serve N] [--trace FILE] [--metrics]\n");
+               "[--pool[=N]] [--serve N] [--listen[=PORT]] [--trace FILE] "
+               "[--metrics]\n");
   std::exit(2);
 }
 
@@ -71,6 +79,8 @@ int main(int argc, char** argv) {
   bool mode_set = false;
   int pool_workers = 0;  // 0 = serial Runtime
   int serve_requests = 0;  // 0 = single inference, no server
+  bool listen = false;
+  std::uint16_t listen_port = 0;  // 0 = ephemeral
   const char* trace_path = nullptr;
   bool dump_metrics = false;
   for (int i = 1; i < argc; ++i) {
@@ -94,6 +104,14 @@ int main(int argc, char** argv) {
       serve_requests = std::atoi(argv[++i]);
       if (serve_requests < 1)
         usage_error("--serve N needs a positive request count", argv[i]);
+    } else if (std::strcmp(argv[i], "--listen") == 0) {
+      listen = true;
+    } else if (std::strncmp(argv[i], "--listen=", 9) == 0) {
+      listen = true;
+      const int port = std::atoi(argv[i] + 9);
+      if (port < 0 || port > 65535)
+        usage_error("--listen=PORT needs a port in [0, 65535]", argv[i]);
+      listen_port = static_cast<std::uint16_t>(port);
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
@@ -110,6 +128,8 @@ int main(int argc, char** argv) {
       divisor_set = true;
     }
   }
+  if (listen && serve_requests > 0)
+    usage_error("--serve and --listen are mutually exclusive", nullptr);
 
   Rng rng(2017);
   const nn::Network net = nn::build_vgg16(
@@ -158,6 +178,50 @@ int main(int argc, char** argv) {
               program.steps().size(),
               static_cast<double>(program.ddr_image().size()) / 1024.0,
               compile_s * 1e3);
+
+  if (listen) {
+    // Socket serving mode: the compiled program behind the full serving
+    // pipeline, fronted by the TCP wire protocol.  Runs until stdin closes
+    // (Ctrl-D, or the parent process closing the pipe) — the shape a
+    // supervisor expects from a foreground service.
+    serve::ServerOptions sopts;
+    sopts.workers = pool_workers > 0 ? pool_workers : 1;
+    sopts.mode = mode;
+    if (trace_path != nullptr) sopts.trace = &recorder;
+    if (dump_metrics) sopts.metrics = &metrics;
+    serve::Server server(program, sopts);
+    serve::NetServer net(server, {.port = listen_port});
+    std::printf("listening on 127.0.0.1:%u  (%d worker%s, %s mode, "
+                "max batch %d) — EOF on stdin stops\n",
+                net.port(), sopts.workers, sopts.workers == 1 ? "" : "s",
+                driver::exec_mode_name(mode), sopts.batch.max_batch);
+    std::fflush(stdout);
+    int ch;
+    while ((ch = std::getchar()) != EOF) {
+    }
+    net.stop();
+    server.stop();
+    std::printf(
+        "served: %lld completed, %lld deadline-missed, %lld rejected\n",
+        static_cast<long long>(
+            server.metrics().counter("serve.completed").value()),
+        static_cast<long long>(
+            server.metrics().counter("serve.deadline_missed").value()),
+        static_cast<long long>(
+            server.metrics().counter("serve.rejected_queue_full").value()));
+    if (trace_path != nullptr) {
+      std::ofstream out(trace_path);
+      if (!out) {
+        std::fprintf(stderr, "cannot open %s for writing\n", trace_path);
+        return 1;
+      }
+      obs::write_chrome_trace(recorder, out);
+      std::printf("wrote %zu trace events to %s\n", recorder.event_count(),
+                  trace_path);
+    }
+    if (dump_metrics) std::printf("\nmetrics:\n%s", metrics.text().c_str());
+    return 0;
+  }
 
   if (serve_requests > 0) {
     // Serving mode: the compiled program behind a queue + dynamic batching +

@@ -28,7 +28,9 @@ run_config() {
   cmake --build "${root}/${build_dir}" -j "${jobs}"
   ctest --test-dir "${root}/${build_dir}" --output-on-failure -j "${jobs}"
   # Serving-scheduler smoke: quick offered-load point; its overload gate
-  # (batched beats batch-1 FIFO on p99 and goodput) must hold.
+  # (batched beats batch-1 FIFO on p99 and goodput) and mixed-priority gate
+  # (the high SLO class stays insulated at 3x load over the socket path)
+  # must both hold.
   echo "=== ${build_dir} bench_serve_scheduler --quick ==="
   (cd "${root}/${build_dir}" && ./bench/bench_serve_scheduler --quick)
 }
@@ -36,16 +38,18 @@ run_config() {
 # ThreadSanitizer build, restricted to the suites that exercise cross-thread
 # sharing: the accelerator pool, the pooled runtime, the shared
 # NetworkProgram serving tests, the serving subsystem (queue, scheduler,
-# server, load generator), and the stripe-parallel fast path
-# (FastStripeWorkers fans conv/pool stripes out across pool workers).
+# server, load generator), the socket front-end (per-connection
+# reader/writer threads against the admission queue, on ephemeral loopback
+# ports), and the stripe-parallel fast path (FastStripeWorkers fans
+# conv/pool stripes out across pool workers).
 # (Full-suite TSan is tier 2 — too slow.)
 run_tsan() {
   build_dir=build-tsan
-  echo "=== ${build_dir} (-DTSCA_SANITIZE=thread, Pool|Program|Serve|FastStripe tests) ==="
+  echo "=== ${build_dir} (-DTSCA_SANITIZE=thread, Pool|Program|Serve|FastStripe|Net tests) ==="
   cmake -B "${root}/${build_dir}" -S "${root}" -DTSCA_SANITIZE=thread
   cmake --build "${root}/${build_dir}" -j "${jobs}"
   ctest --test-dir "${root}/${build_dir}" --output-on-failure -j "${jobs}" \
-    -R 'Pool|Program|Serve|FastStripe'
+    -R 'Pool|Program|Serve|FastStripe|NetProtocol|NetServe'
 }
 
 # Forced-backend matrix: the equivalence suites re-run with

@@ -905,6 +905,14 @@ void check_cancel(const RuntimeOptions& options) {
     throw RequestCancelled{};
 }
 
+// Enforces the per-run cycle budget between network steps.  `spent` is the
+// trace-clock advance since the run started (the clock itself persists
+// across a serving worker's batches, so the budget is relative).
+void check_budget(const RuntimeOptions& options, std::uint64_t spent) {
+  if (options.cycle_budget != 0 && spent > options.cycle_budget)
+    throw BudgetExceeded{};
+}
+
 // Folds one image's layer statistics into the batch-aggregate LayerRun:
 // additive fields sum (matching run_conv_batch's per-image linear scaling),
 // per-plan fields (stripes) are identical across images and copied through.
@@ -934,8 +942,10 @@ NetworkRun Runtime::run_network(const NetworkProgram& program,
   std::vector<std::int8_t> flat;
   bool is_flat = false;
 
+  const std::uint64_t clock0 = trace_clock_;
   for (const NetworkProgram::Step& step : program.steps()) {
     check_cancel(options_);
+    check_budget(options_, trace_clock_ - clock0);
     const nn::LayerSpec& spec = layers[step.layer];
     const auto step_t0 = std::chrono::steady_clock::now();
     LayerRun run;
@@ -1020,8 +1030,10 @@ BatchNetworkRun Runtime::run_network_batch(
   std::vector<std::vector<std::int8_t>> flats(n);
   bool is_flat = false;
 
+  const std::uint64_t clock0 = trace_clock_;
   for (const NetworkProgram::Step& step : program.steps()) {
     check_cancel(options_);
+    check_budget(options_, trace_clock_ - clock0);
     const nn::LayerSpec& spec = layers[step.layer];
     const auto step_t0 = std::chrono::steady_clock::now();
     LayerRun agg;

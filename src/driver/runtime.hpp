@@ -72,6 +72,12 @@ struct RuntimeOptions {
   // serving layer uses this to stop in-flight requests without waiting for a
   // whole network pass to drain.
   const std::atomic<bool>* cancel = nullptr;
+  // Per-run simulated-cycle budget: when non-zero, run_network /
+  // run_network_batch throw BudgetExceeded once the run has advanced more
+  // than this many cycles past its starting trace clock (checked between
+  // steps, like `cancel`).  The serving layer derives it from per-request
+  // execution budgets so a pathological request cannot hog a worker.
+  std::uint64_t cycle_budget = 0;
 };
 
 // Thrown by run_network / run_network_batch when RuntimeOptions::cancel was
@@ -81,6 +87,14 @@ struct RuntimeOptions {
 class RequestCancelled : public std::exception {
  public:
   const char* what() const noexcept override { return "request cancelled"; }
+};
+
+// Thrown between steps once a run has spent more simulated cycles than
+// RuntimeOptions::cycle_budget.  Like RequestCancelled, completed layers'
+// side effects (trace spans, counters, the advanced trace clock) remain.
+class BudgetExceeded : public Error {
+ public:
+  BudgetExceeded() : Error("cycle budget exceeded") {}
 };
 
 // Per-layer execution record.

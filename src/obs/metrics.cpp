@@ -136,6 +136,49 @@ void MetricsRegistry::write_json(std::ostream& os) const {
   os << "}}";
 }
 
+namespace {
+
+// Prometheus metric names admit [a-zA-Z0-9_:] only; our dotted paths don't.
+std::string prom_name(const std::string& name) {
+  std::string out = "tsca_";
+  out.reserve(out.size() + name.size());
+  for (const char ch : name) {
+    const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                    (ch >= '0' && ch <= '9') || ch == '_' || ch == ':';
+    out.push_back(ok ? ch : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+void MetricsRegistry::write_prometheus(std::ostream& os) const {
+  const std::lock_guard<std::mutex> lock(m_);
+  for (const Counter& c : counters_) {
+    const std::string name = prom_name(c.name());
+    os << "# TYPE " << name << " counter\n";
+    os << name << " " << c.value() << "\n";
+  }
+  for (const Histogram& h : histograms_) {
+    const std::string name = prom_name(h.name());
+    os << "# TYPE " << name << " histogram\n";
+    // Cumulative ladder over the power-of-two bounds, truncated after the
+    // last occupied bucket (the +Inf sample always carries the total).
+    int top = -1;
+    for (int b = 0; b < Histogram::kBuckets; ++b)
+      if (h.bucket_count(b) > 0) top = b;
+    std::int64_t cumulative = 0;
+    for (int b = 0; b <= top; ++b) {
+      cumulative += h.bucket_count(b);
+      const std::uint64_t bound = b == 0 ? 1 : std::uint64_t(1) << b;
+      os << name << "_bucket{le=\"" << bound << "\"} " << cumulative << "\n";
+    }
+    os << name << "_bucket{le=\"+Inf\"} " << h.count() << "\n";
+    os << name << "_sum " << h.sum() << "\n";
+    os << name << "_count " << h.count() << "\n";
+  }
+}
+
 std::string MetricsRegistry::text() const {
   std::ostringstream os;
   write_text(os);
@@ -145,6 +188,12 @@ std::string MetricsRegistry::text() const {
 std::string MetricsRegistry::json() const {
   std::ostringstream os;
   write_json(os);
+  return os.str();
+}
+
+std::string MetricsRegistry::prometheus() const {
+  std::ostringstream os;
+  write_prometheus(os);
   return os.str();
 }
 

@@ -99,8 +99,16 @@ class MetricsRegistry {
   void write_text(std::ostream& os) const;
   // Machine-readable dump: {"counters": {...}, "histograms": {...}}.
   void write_json(std::ostream& os) const;
+  // Prometheus text exposition (format 0.0.4), served by the socket
+  // front-end's metrics endpoint: every metric under a `tsca_` prefix with
+  // illegal name characters (the dots) mapped to underscores, counters as
+  // `# TYPE ... counter` samples, histograms as the cumulative
+  // `_bucket{le="..."}` ladder over the power-of-two bucket bounds plus
+  // `_sum`/`_count`.
+  void write_prometheus(std::ostream& os) const;
   std::string text() const;
   std::string json() const;
+  std::string prometheus() const;
 
  private:
   mutable std::mutex m_;

@@ -31,6 +31,8 @@ void complete_expired(Pending& p, TimePoint now, obs::MetricsRegistry& metrics,
   if (dispatched) r.latency.batch_us = us_between(p.dispatched, now);
   metrics.counter("serve.deadline_missed").add(1);
   metrics.counter("serve.expired_shed").add(1);
+  metrics.counter("serve.class" + std::to_string(p.request.priority) + ".shed")
+      .add(1);
   metrics.histogram("serve.queued_us").observe(r.latency.queued_us);
   if (trace != nullptr)
     trace->track("serve/requests")
@@ -38,7 +40,7 @@ void complete_expired(Pending& p, TimePoint now, obs::MetricsRegistry& metrics,
                   static_cast<std::uint64_t>(
                       us_between(epoch, p.request.submitted)),
                   static_cast<std::uint64_t>(r.latency.total_us()));
-  p.promise.set_value(std::move(r));
+  complete(p, std::move(r));
 }
 
 std::vector<Pending> BatchScheduler::next_batch() {

@@ -1,0 +1,156 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace tsca::serve {
+
+NetClient::NetClient(const std::string& host, std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0)
+    throw ProtocolError(std::string("socket failed: ") +
+                        std::strerror(errno));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    throw ProtocolError("bad server address: " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const int err = errno;
+    ::close(fd_);
+    throw ProtocolError(std::string("connect failed: ") + std::strerror(err));
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  reader_ = std::thread([this] { reader_loop(); });
+}
+
+NetClient::~NetClient() { close(); }
+
+std::future<Response> NetClient::submit(nn::FeatureMapI8 input,
+                                        const SubmitOptions& opts,
+                                        std::uint64_t* id_out) {
+  std::vector<std::uint8_t> payload;
+  std::promise<Response> promise;
+  std::future<Response> future = promise.get_future();
+  {
+    const std::lock_guard<std::mutex> lock(m_);
+    if (closed_) throw ProtocolError("client closed");
+    const std::uint64_t wire_id = next_id_++;
+    if (id_out != nullptr) *id_out = wire_id;
+    payload = encode_request(wire_id, opts, input);
+    pending_.emplace(wire_id, std::move(promise));
+    try {
+      write_frame(fd_, MsgType::kRequest, payload);
+    } catch (...) {
+      pending_.erase(wire_id);
+      throw;
+    }
+  }
+  return future;
+}
+
+bool NetClient::cancel(std::uint64_t wire_id) {
+  const std::lock_guard<std::mutex> lock(m_);
+  if (closed_) return false;
+  try {
+    write_frame(fd_, MsgType::kCancel, encode_cancel(wire_id));
+  } catch (const ProtocolError&) {
+    return false;
+  }
+  return true;
+}
+
+std::string NetClient::metrics_text() {
+  std::future<std::string> future;
+  {
+    const std::lock_guard<std::mutex> lock(m_);
+    if (closed_) throw ProtocolError("client closed");
+    metrics_waiters_.emplace_back();
+    future = metrics_waiters_.back().get_future();
+    write_frame(fd_, MsgType::kMetricsRequest, {});
+  }
+  return future.get();
+}
+
+void NetClient::fail_all_locked(const std::string& why) {
+  for (auto& [id, promise] : pending_)
+    promise.set_exception(std::make_exception_ptr(ProtocolError(why)));
+  pending_.clear();
+  for (std::promise<std::string>& p : metrics_waiters_)
+    p.set_exception(std::make_exception_ptr(ProtocolError(why)));
+  metrics_waiters_.clear();
+}
+
+void NetClient::reader_loop() {
+  std::string why = "connection closed";
+  try {
+    for (;;) {
+      std::optional<Frame> frame = read_frame(fd_);
+      if (!frame) break;
+      if (frame->type == MsgType::kResponse) {
+        WireResponse wr = decode_response(frame->payload);
+        std::promise<Response> promise;
+        bool found = false;
+        {
+          const std::lock_guard<std::mutex> lock(m_);
+          const auto it = pending_.find(wr.wire_id);
+          if (it != pending_.end()) {
+            promise = std::move(it->second);
+            pending_.erase(it);
+            found = true;
+          }
+        }
+        // An unmatched id is a server bug, not a client crash; drop it.
+        if (found) promise.set_value(std::move(wr.response));
+        continue;
+      }
+      if (frame->type == MsgType::kMetricsResponse) {
+        std::string text = decode_metrics_response(frame->payload);
+        std::promise<std::string> promise;
+        bool found = false;
+        {
+          const std::lock_guard<std::mutex> lock(m_);
+          if (!metrics_waiters_.empty()) {
+            promise = std::move(metrics_waiters_.front());
+            metrics_waiters_.erase(metrics_waiters_.begin());
+            found = true;
+          }
+        }
+        if (found) promise.set_value(std::move(text));
+        continue;
+      }
+      throw ProtocolError("client-bound frame of client-to-server type " +
+                          std::to_string(static_cast<int>(frame->type)));
+    }
+  } catch (const ProtocolError& e) {
+    why = e.what();
+  }
+  const std::lock_guard<std::mutex> lock(m_);
+  fail_all_locked(why);
+}
+
+void NetClient::close() {
+  {
+    const std::lock_guard<std::mutex> lock(m_);
+    if (closed_) return;
+    closed_ = true;
+  }
+  // Wake the reader (it fails any survivors), then reclaim the fd.
+  ::shutdown(fd_, SHUT_RDWR);
+  if (reader_.joinable()) reader_.join();
+  ::close(fd_);
+  fd_ = -1;
+}
+
+}  // namespace tsca::serve

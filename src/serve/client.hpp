@@ -1,0 +1,71 @@
+// Blocking client for the socket front-end (net_server.hpp).
+//
+// One TCP connection, one background reader thread.  submit() assigns a
+// wire id, sends the kRequest frame, and returns a future the reader
+// completes when the matching kResponse arrives — so any number of
+// submissions can be in flight and responses are matched by id, not order.
+// cancel() sends a best-effort kCancel for an in-flight wire id; the
+// request still completes exactly once (kCancelled when the cancel won the
+// race, its normal status otherwise).  metrics_text() is a blocking
+// round-trip for the server's Prometheus exposition.
+//
+// Error model: the wire cannot carry C++ exceptions, so server-side
+// failures arrive as Status::kError responses with the error text.  A dead
+// connection fails every outstanding and future submission with a
+// ProtocolError through the future.  The client is thread-safe; frame
+// writes are serialized internally.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace tsca::serve {
+
+class NetClient {
+ public:
+  // Connects (blocking) to host:port; throws ProtocolError on failure.
+  NetClient(const std::string& host, std::uint16_t port);
+  ~NetClient();  // close()
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  // Sends one inference request; the future completes when its response
+  // frame arrives.  `id_out`, when given, receives the wire id for
+  // cancel().
+  std::future<Response> submit(nn::FeatureMapI8 input,
+                               const SubmitOptions& opts = {},
+                               std::uint64_t* id_out = nullptr);
+
+  // Best-effort cancellation of an in-flight submission by wire id.
+  // Returns false when the connection is already closed.
+  bool cancel(std::uint64_t wire_id);
+
+  // Blocking metrics round-trip: the server's Prometheus text exposition.
+  std::string metrics_text();
+
+  // Closes the connection: every outstanding future fails with
+  // ProtocolError, subsequent calls throw.  Idempotent.
+  void close();
+
+ private:
+  void reader_loop();
+  void fail_all_locked(const std::string& why);
+
+  int fd_ = -1;
+  std::thread reader_;
+  std::mutex m_;  // guards fd writes, the pending maps, and closed_
+  bool closed_ = false;
+  std::uint64_t next_id_ = 1;
+  std::unordered_map<std::uint64_t, std::promise<Response>> pending_;
+  // Metrics responses carry no id; the protocol answers them in order.
+  std::vector<std::promise<std::string>> metrics_waiters_;
+};
+
+}  // namespace tsca::serve

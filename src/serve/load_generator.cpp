@@ -8,6 +8,7 @@
 #include <thread>
 #include <utility>
 
+#include "serve/client.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -56,12 +57,18 @@ void fold_response(const Response& r, LoadReport& report, obs::Histogram& lat,
     case Status::kRejectedShutdown:
       ++report.rejected;
       break;
+    case Status::kRejectedQuota:
+      ++report.rejected_quota;
+      break;
     case Status::kDeadlineMissed:
       ++report.deadline_missed;
       if (r.executed) ++report.executed_late;
       break;
     case Status::kCancelled:
       ++report.cancelled;
+      break;
+    case Status::kError:
+      ++report.errors;
       break;
   }
   if (r.executed) {
@@ -71,12 +78,24 @@ void fold_response(const Response& r, LoadReport& report, obs::Histogram& lat,
   }
 }
 
+// future.get() with the error path folded in: an in-process future rethrows
+// the worker's exception; the workload counts it and keeps going.
+void fold_future(std::future<Response>& f, LoadReport& report,
+                 obs::Histogram& lat, obs::Histogram& queued) {
+  try {
+    fold_response(f.get(), report, lat, queued);
+  } catch (...) {
+    ++report.errors;
+  }
+}
+
 }  // namespace
 
-LoadReport run_load(Server& server, const LoadOptions& options) {
+LoadReport run_load_with(const SubmitFn& submit, const nn::FmShape& shape,
+                         const LoadOptions& options) {
   TSCA_CHECK(options.requests >= 1, "requests=" << options.requests);
-  const std::vector<nn::FeatureMapI8> inputs = random_inputs(
-      server.program().net().input_shape(), options.requests, options.seed);
+  std::vector<nn::FeatureMapI8> inputs =
+      random_inputs(shape, options.requests, options.seed);
 
   LoadReport report;
   report.submitted = options.requests;
@@ -92,11 +111,12 @@ LoadReport run_load(Server& server, const LoadOptions& options) {
     std::vector<std::future<Response>> futures;
     futures.reserve(inputs.size());
     for (std::size_t i = 0; i < inputs.size(); ++i) {
-      std::this_thread::sleep_until(t0 + std::chrono::microseconds(arrivals[i]));
-      futures.push_back(server.submit(inputs[i], options.deadline_us));
+      std::this_thread::sleep_until(t0 +
+                                    std::chrono::microseconds(arrivals[i]));
+      futures.push_back(submit(std::move(inputs[i])));
     }
     for (std::future<Response>& f : futures)
-      fold_response(f.get(), report, lat, queued);
+      fold_future(f, report, lat, queued);
   } else {
     // Closed loop: `concurrency` clients, each with one request in flight.
     TSCA_CHECK(options.concurrency >= 1,
@@ -111,12 +131,22 @@ LoadReport run_load(Server& server, const LoadOptions& options) {
         for (;;) {
           const int i = next.fetch_add(1, std::memory_order_relaxed);
           if (i >= options.requests) return;
-          const Response r =
-              server.submit(inputs[static_cast<std::size_t>(i)],
-                            options.deadline_us)
-                  .get();
+          std::future<Response> f =
+              submit(std::move(inputs[static_cast<std::size_t>(i)]));
+          // Wait outside the fold lock — holding it across get() would
+          // serialize the clients.
+          Response r;
+          bool errored = false;
+          try {
+            r = f.get();
+          } catch (...) {
+            errored = true;
+          }
           const std::lock_guard<std::mutex> lock(fold_m);
-          fold_response(r, report, lat, queued);
+          if (errored)
+            ++report.errors;
+          else
+            fold_response(r, report, lat, queued);
         }
       });
     for (std::thread& t : clients) t.join();
@@ -131,6 +161,30 @@ LoadReport run_load(Server& server, const LoadOptions& options) {
   report.latency_us = lat.snapshot();
   report.queued_us = queued.snapshot();
   return report;
+}
+
+LoadReport run_load(Server& server, const LoadOptions& options) {
+  SubmitOptions sopts;
+  sopts.deadline_us = options.deadline_us;
+  sopts.priority = options.priority;
+  sopts.client_id = options.client_id;
+  return run_load_with(
+      [&server, &sopts](nn::FeatureMapI8&& input) {
+        return server.submit(std::move(input), sopts);
+      },
+      server.program().net().input_shape(), options);
+}
+
+LoadReport run_load(NetClient& client, const nn::FmShape& shape,
+                    const LoadOptions& options) {
+  SubmitOptions sopts;
+  sopts.deadline_us = options.deadline_us;
+  sopts.priority = options.priority;
+  return run_load_with(
+      [&client, &sopts](nn::FeatureMapI8&& input) {
+        return client.submit(std::move(input), sopts);
+      },
+      shape, options);
 }
 
 }  // namespace tsca::serve

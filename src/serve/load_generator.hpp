@@ -1,4 +1,4 @@
-// Deterministic load generation against a Server.
+// Deterministic load generation against a Server (or a NetClient).
 //
 // Two standard workload shapes:
 //
@@ -16,9 +16,18 @@
 // and every latency statistic comes from the responses themselves.  Same
 // seed + same server configuration ⇒ the same request sequence; only the
 // measured timings vary run to run.
+//
+// The generator is submission-path agnostic: run_load(Server&) submits
+// in-process, run_load(NetClient&) drives the same workload over the wire —
+// both delegate to run_load_with, which takes any submit functor.  Inputs
+// are generated once and *moved* into submission (a FeatureMapI8 is a whole
+// image; copying one per request would bill the generator's own allocator
+// traffic to the server's measured latency).
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <future>
 #include <vector>
 
 #include "obs/metrics.hpp"
@@ -26,11 +35,15 @@
 
 namespace tsca::serve {
 
+class NetClient;
+
 struct LoadOptions {
   int requests = 64;
   double rate_rps = 0.0;    // open loop: mean arrival rate; <= 0 ⇒ closed loop
   int concurrency = 4;      // closed loop: in-flight clients
   std::int64_t deadline_us = -1;  // per request, relative; < 0 ⇒ none
+  int priority = kPriorityHigh;   // SLO class for every request in the run
+  std::uint64_t client_id = 0;    // fair-share identity (in-process path)
   std::uint64_t seed = 1;
 };
 
@@ -39,9 +52,11 @@ struct LoadReport {
   int submitted = 0;
   int ok = 0;
   int rejected = 0;        // admission (queue full / shutdown)
+  int rejected_quota = 0;  // fair-share eviction (kRejectedQuota)
   int deadline_missed = 0; // shed before execution or finished late
   int executed_late = 0;   // subset of deadline_missed that did execute
   int cancelled = 0;
+  int errors = 0;          // kError responses (wire) / thrown futures
   std::int64_t wall_us = 0;
   double offered_rps = 0.0;  // submitted / wall
   double goodput_rps = 0.0;  // ok / wall — the serving figure of merit
@@ -57,9 +72,22 @@ struct LoadReport {
 std::vector<std::int64_t> poisson_arrivals_us(std::uint64_t seed, int n,
                                               double rate_rps);
 
-// Runs the configured workload against the server: same-shaped random inputs
-// (from the server's program), submission per LoadOptions, then waits for
-// every future and folds the responses into a LoadReport.
+// One submission: consumes the input, returns the future the workload waits
+// on.  Per-request knobs (deadline, priority, ...) are already bound.
+using SubmitFn = std::function<std::future<Response>(nn::FeatureMapI8&&)>;
+
+// Core: runs the configured workload through `submit` with same-shaped
+// random inputs, then waits for every future and folds the responses into a
+// LoadReport.  A future that throws counts as an error.
+LoadReport run_load_with(const SubmitFn& submit, const nn::FmShape& shape,
+                         const LoadOptions& options);
+
+// In-process submission against the server's admission queue.
 LoadReport run_load(Server& server, const LoadOptions& options);
+
+// The same workload over the socket front-end.  The client's connection
+// identity is its fair-share identity — LoadOptions::client_id is ignored.
+LoadReport run_load(NetClient& client, const nn::FmShape& shape,
+                    const LoadOptions& options);
 
 }  // namespace tsca::serve

@@ -1,0 +1,238 @@
+#include "serve/net_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace tsca::serve {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw ProtocolError(std::string(what) + ": " + std::strerror(errno));
+}
+
+void set_nodelay(int fd) {
+  // One whole frame per send(); Nagle only adds latency to the
+  // request-response exchange.
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+NetServer::NetServer(Server& server, NetServerOptions options)
+    : server_(server), options_(std::move(options)) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw_errno("socket failed");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    throw ProtocolError("bad listen address: " + options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0 ||
+      ::listen(listen_fd_, options_.backlog) < 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    throw ProtocolError(std::string("bind/listen failed: ") +
+                        std::strerror(err));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) <
+      0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    throw ProtocolError(std::string("getsockname failed: ") +
+                        std::strerror(err));
+  }
+  port_ = ntohs(bound.sin_port);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+NetServer::~NetServer() { stop(); }
+
+void NetServer::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener shut down (stop()) or fatal
+    }
+    if (stopped_.load(std::memory_order_relaxed)) {
+      ::close(fd);
+      return;
+    }
+    set_nodelay(fd);
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    conn->client_id = next_client_id_.fetch_add(1, std::memory_order_relaxed);
+    {
+      const std::lock_guard<std::mutex> lock(conns_m_);
+      conns_.push_back(conn);
+    }
+    conn->reader = std::thread([this, conn] { reader_loop(conn); });
+    conn->writer = std::thread([this, conn] { writer_loop(conn); });
+  }
+}
+
+void NetServer::enqueue(const std::shared_ptr<Connection>& conn, MsgType type,
+                        std::vector<std::uint8_t> payload) {
+  {
+    const std::lock_guard<std::mutex> lock(conn->m);
+    conn->outbox.push_back(std::move(payload));
+    conn->outbox_types.push_back(type);
+  }
+  conn->cv.notify_one();
+}
+
+void NetServer::handle_frame(const std::shared_ptr<Connection>& conn,
+                             const Frame& frame) {
+  switch (frame.type) {
+    case MsgType::kRequest: {
+      WireRequest req = decode_request(frame.payload);
+      const std::uint64_t wire_id = req.wire_id;
+      SubmitOptions opts = req.opts;
+      // The connection is the fair-share identity; whatever client_id the
+      // peer encoded never reaches admission.
+      opts.client_id = conn->client_id;
+      {
+        const std::lock_guard<std::mutex> lock(conn->m);
+        conn->open.insert(wire_id);
+      }
+      const std::shared_ptr<Connection> c = conn;
+      const std::uint64_t sid = server_.submit_with(
+          std::move(req.input), opts, [c, wire_id](Response&& r) {
+            std::vector<std::uint8_t> payload = encode_response(wire_id, r);
+            {
+              const std::lock_guard<std::mutex> lock(c->m);
+              c->open.erase(wire_id);
+              c->wire_to_server.erase(wire_id);
+              c->outbox.push_back(std::move(payload));
+              c->outbox_types.push_back(MsgType::kResponse);
+            }
+            c->cv.notify_one();
+          });
+      {
+        // Map for kCancel — unless the callback already fired (synchronous
+        // rejection completes inside submit_with).
+        const std::lock_guard<std::mutex> lock(conn->m);
+        if (conn->open.count(wire_id) != 0)
+          conn->wire_to_server[wire_id] = sid;
+      }
+      return;
+    }
+    case MsgType::kCancel: {
+      const std::uint64_t wire_id = decode_cancel(frame.payload);
+      std::uint64_t sid = 0;
+      bool known = false;
+      {
+        const std::lock_guard<std::mutex> lock(conn->m);
+        const auto it = conn->wire_to_server.find(wire_id);
+        if (it != conn->wire_to_server.end()) {
+          sid = it->second;
+          known = true;
+        }
+      }
+      // Unknown ⇒ already completed (its response is on the way or
+      // delivered) — nothing to do.  A successful cancel completes the
+      // request through the normal callback; no separate ack.
+      if (known) server_.cancel(sid);
+      return;
+    }
+    case MsgType::kMetricsRequest:
+      enqueue(conn, MsgType::kMetricsResponse,
+              encode_metrics_response(server_.metrics().prometheus()));
+      return;
+    case MsgType::kResponse:
+    case MsgType::kMetricsResponse:
+      throw ProtocolError("server-bound frame of server-to-client type " +
+                          std::to_string(static_cast<int>(frame.type)));
+  }
+  throw ProtocolError("unhandled frame type");
+}
+
+void NetServer::reader_loop(const std::shared_ptr<Connection>& conn) {
+  try {
+    for (;;) {
+      std::optional<Frame> frame = read_frame(conn->fd);
+      if (!frame) break;  // clean close
+      handle_frame(conn, *frame);
+    }
+  } catch (const ProtocolError&) {
+    // Malformed traffic or a mid-frame disconnect: drop the connection.
+    // Requests already admitted keep running; their responses have nowhere
+    // to go and are parked in the dead outbox.
+  }
+  {
+    const std::lock_guard<std::mutex> lock(conn->m);
+    conn->closing = true;
+  }
+  conn->cv.notify_all();
+}
+
+void NetServer::writer_loop(const std::shared_ptr<Connection>& conn) {
+  for (;;) {
+    std::vector<std::uint8_t> payload;
+    MsgType type;
+    {
+      std::unique_lock<std::mutex> lock(conn->m);
+      conn->cv.wait(lock,
+                    [&] { return conn->closing || !conn->outbox.empty(); });
+      if (conn->outbox.empty()) break;  // closing, fully drained
+      payload = std::move(conn->outbox.front());
+      conn->outbox.pop_front();
+      type = conn->outbox_types.front();
+      conn->outbox_types.pop_front();
+    }
+    try {
+      write_frame(conn->fd, type, payload);
+    } catch (const ProtocolError&) {
+      break;  // peer gone
+    }
+  }
+  // The connection is finished either way.  The shutdown sends the FIN the
+  // peer is waiting on (reader bailed on malformed traffic) and unblocks the
+  // reader when the *writer* failed first (peer stopped reading but never
+  // closed).  The fd itself is reclaimed in stop().
+  ::shutdown(conn->fd, SHUT_RDWR);
+}
+
+void NetServer::stop() {
+  if (stopped_.exchange(true)) return;
+  // Wake the accept loop (accept() fails once the listener is shut down),
+  // then tear down every connection.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::shared_ptr<Connection>> conns;
+  {
+    const std::lock_guard<std::mutex> lock(conns_m_);
+    conns.swap(conns_);
+  }
+  for (const std::shared_ptr<Connection>& conn : conns) {
+    ::shutdown(conn->fd, SHUT_RDWR);
+    if (conn->reader.joinable()) conn->reader.join();
+    {
+      const std::lock_guard<std::mutex> lock(conn->m);
+      conn->closing = true;
+    }
+    conn->cv.notify_all();
+    if (conn->writer.joinable()) conn->writer.join();
+    ::close(conn->fd);
+  }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+}  // namespace tsca::serve

@@ -1,0 +1,119 @@
+// Socket front-end: serves the wire protocol (protocol.hpp) over TCP,
+// feeding the in-process Server's admission queue.
+//
+// Thread model — per connection, two threads plus the shared accept thread:
+//
+//   accept ──► reader ──► Server::submit_with ──► worker callback ─┐
+//                 ▲                                                │
+//                 │            outbox (encoded frames)  ◄──────────┘
+//                 │                     │
+//              socket  ◄──── writer ◄───┘
+//
+// The reader decodes frames and submits; completion callbacks (which fire on
+// whatever thread completes the request — a worker, the scheduler, or the
+// submitting reader itself for synchronous rejections) encode the response
+// and push it to the connection's outbox; the writer drains the outbox to
+// the socket.  Responses therefore never block the request path and arrive
+// in *completion* order, not submission order — the wire_id correlates.
+//
+// Trust boundary: the server stamps each connection with its own client_id
+// for fair-share admission; nothing a client sends can impersonate another
+// client's quota.  Priorities and deadlines ARE client-claimed — SLO class
+// is cooperative by design (the bench's point is observing the scheduler
+// honour it), not an authentication feature.
+//
+// A kCancel frame cancels by wire_id: the reader resolves it to the server
+// id through the connection's private map (ids from other connections are
+// unreachable) and calls Server::cancel.  The cancelled request's response
+// (kCancelled — or its normal completion when the cancel lost the race)
+// still arrives as a kResponse frame; cancel frames themselves have no ack.
+//
+// kMetricsRequest answers with the Prometheus text exposition of the
+// server's registry — the metrics endpoint rides the same port and protocol
+// instead of a separate HTTP listener.
+//
+// Lifetime: the NetServer must be destroyed before the Server it fronts
+// (declare it after).  stop() closes the listener, shuts every connection
+// down, and joins all threads; late completion callbacks after stop() park
+// their frames in a dead outbox and the connection state is freed with the
+// last shared_ptr.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+
+namespace tsca::serve {
+
+struct NetServerOptions {
+  std::string host = "127.0.0.1";  // loopback by default — not a public bind
+  std::uint16_t port = 0;          // 0 = ephemeral (read back via port())
+  int backlog = 16;
+};
+
+class NetServer {
+ public:
+  // Binds and starts accepting immediately; throws ProtocolError when the
+  // bind/listen fails.  `server` must outlive the NetServer.
+  NetServer(Server& server, NetServerOptions options = {});
+  ~NetServer();  // stop()
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  // The bound port (the ephemeral one the OS picked when options.port == 0).
+  std::uint16_t port() const { return port_; }
+
+  // Stops accepting, tears down every connection, joins all threads.
+  // Idempotent.  In-flight requests keep running in the Server; their
+  // responses are dropped.
+  void stop();
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::uint64_t client_id = 0;
+    std::mutex m;
+    std::condition_variable cv;
+    std::deque<std::vector<std::uint8_t>> outbox;  // whole encoded payloads
+    std::deque<MsgType> outbox_types;
+    bool closing = false;  // reader gone or stop(): writer drains and exits
+    // wire_id → server id for kCancel; entries live from submit to
+    // completion.  `open` guards the insert against a callback that already
+    // fired (synchronous rejection) before submit_with returned.
+    std::unordered_map<std::uint64_t, std::uint64_t> wire_to_server;
+    std::unordered_set<std::uint64_t> open;
+    std::thread reader;
+    std::thread writer;
+  };
+
+  void accept_loop();
+  void reader_loop(const std::shared_ptr<Connection>& conn);
+  void writer_loop(const std::shared_ptr<Connection>& conn);
+  void handle_frame(const std::shared_ptr<Connection>& conn,
+                    const Frame& frame);
+  static void enqueue(const std::shared_ptr<Connection>& conn, MsgType type,
+                      std::vector<std::uint8_t> payload);
+
+  Server& server_;
+  NetServerOptions options_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> stopped_{false};
+  std::atomic<std::uint64_t> next_client_id_{1};
+  std::mutex conns_m_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+};
+
+}  // namespace tsca::serve

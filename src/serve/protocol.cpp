@@ -1,0 +1,293 @@
+#include "serve/protocol.hpp"
+
+#include <sys/socket.h>
+#include <sys/types.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace tsca::serve {
+
+namespace {
+
+// Little-endian, bounds-checked payload builder/parser.  Serialization is
+// byte-at-a-time on purpose: no dependence on host endianness or struct
+// layout, and the decoder can never read past the buffer.
+class Writer {
+ public:
+  explicit Writer(std::vector<std::uint8_t>& out) : out_(out) {}
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) {
+    for (int i = 0; i < 2; ++i) out_.push_back(std::uint8_t(v >> (8 * i)));
+  }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out_.push_back(std::uint8_t(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out_.push_back(std::uint8_t(v >> (8 * i)));
+  }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    out_.insert(out_.end(), p, p + n);
+  }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::uint8_t>& in) : in_(in) {}
+  std::uint8_t u8() { return take(1)[0]; }
+  std::uint16_t u16() { return static_cast<std::uint16_t>(le(2)); }
+  std::uint32_t u32() { return static_cast<std::uint32_t>(le(4)); }
+  std::uint64_t u64() { return le(8); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  const std::uint8_t* take(std::size_t n) {
+    if (in_.size() - pos_ < n)
+      throw ProtocolError("truncated payload: need " + std::to_string(n) +
+                          " bytes at offset " + std::to_string(pos_) +
+                          " of " + std::to_string(in_.size()));
+    const std::uint8_t* p = in_.data() + pos_;
+    pos_ += n;
+    return p;
+  }
+  // Decoding must consume the payload exactly — trailing garbage means the
+  // peer and we disagree about the layout, which is never safe to ignore.
+  void done() const {
+    if (pos_ != in_.size())
+      throw ProtocolError("trailing bytes in payload: consumed " +
+                          std::to_string(pos_) + " of " +
+                          std::to_string(in_.size()));
+  }
+
+ private:
+  std::uint64_t le(int n) {
+    const std::uint8_t* p = take(static_cast<std::size_t>(n));
+    std::uint64_t v = 0;
+    for (int i = 0; i < n; ++i) v |= std::uint64_t(p[i]) << (8 * i);
+    return v;
+  }
+  const std::vector<std::uint8_t>& in_;
+  std::size_t pos_ = 0;
+};
+
+void put_fm(Writer& w, const nn::FeatureMapI8& fm) {
+  const nn::FmShape& s = fm.shape();
+  TSCA_CHECK(s.c >= 0 && s.c <= 0xffff && s.h >= 0 && s.h <= 0xffff &&
+                 s.w >= 0 && s.w <= 0xffff,
+             "feature map dims exceed wire format: " << s.c << "x" << s.h
+                                                     << "x" << s.w);
+  w.u16(static_cast<std::uint16_t>(s.c));
+  w.u16(static_cast<std::uint16_t>(s.h));
+  w.u16(static_cast<std::uint16_t>(s.w));
+  w.bytes(fm.data(), fm.size());
+}
+
+nn::FeatureMapI8 get_fm(Reader& r) {
+  nn::FmShape s;
+  s.c = r.u16();
+  s.h = r.u16();
+  s.w = r.u16();
+  const std::size_t count = static_cast<std::size_t>(s.count());
+  nn::FeatureMapI8 fm;
+  if (count == 0) return fm;
+  fm = nn::FeatureMapI8(s);
+  std::memcpy(fm.data(), r.take(count), count);
+  return fm;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_request(std::uint64_t wire_id,
+                                         const SubmitOptions& opts,
+                                         const nn::FeatureMapI8& input) {
+  TSCA_CHECK(opts.priority >= 0 && opts.priority <= 0xff,
+             "priority=" << opts.priority);
+  std::vector<std::uint8_t> out;
+  out.reserve(35 + input.size());
+  Writer w(out);
+  w.u64(wire_id);
+  w.i64(opts.deadline_us);
+  w.u8(static_cast<std::uint8_t>(opts.priority));
+  w.u64(opts.cycle_budget);
+  put_fm(w, input);
+  return out;
+}
+
+WireRequest decode_request(const std::vector<std::uint8_t>& payload) {
+  Reader r(payload);
+  WireRequest req;
+  req.wire_id = r.u64();
+  req.opts.deadline_us = r.i64();
+  req.opts.priority = r.u8();
+  req.opts.cycle_budget = r.u64();
+  req.input = get_fm(r);
+  r.done();
+  return req;
+}
+
+std::vector<std::uint8_t> encode_response(std::uint64_t wire_id,
+                                          const Response& response) {
+  std::vector<std::uint8_t> out;
+  out.reserve(64 + response.logits.size() + response.final_fm.size() +
+              response.error.size());
+  Writer w(out);
+  w.u64(wire_id);
+  w.u8(static_cast<std::uint8_t>(response.status));
+  w.u8(response.executed ? 1 : 0);
+  w.u8(response.flat_output ? 1 : 0);
+  w.i32(response.batch_size);
+  w.i64(response.latency.queued_us);
+  w.i64(response.latency.batch_us);
+  w.i64(response.latency.exec_us);
+  w.u32(static_cast<std::uint32_t>(response.logits.size()));
+  w.bytes(response.logits.data(), response.logits.size());
+  put_fm(w, response.final_fm);
+  w.u32(static_cast<std::uint32_t>(response.error.size()));
+  w.bytes(response.error.data(), response.error.size());
+  return out;
+}
+
+WireResponse decode_response(const std::vector<std::uint8_t>& payload) {
+  Reader r(payload);
+  WireResponse out;
+  out.wire_id = r.u64();
+  Response& resp = out.response;
+  resp.id = out.wire_id;
+  const std::uint8_t status = r.u8();
+  if (status > static_cast<std::uint8_t>(Status::kError))
+    throw ProtocolError("unknown status code " + std::to_string(status));
+  resp.status = static_cast<Status>(status);
+  resp.executed = r.u8() != 0;
+  resp.flat_output = r.u8() != 0;
+  resp.batch_size = r.i32();
+  resp.latency.queued_us = r.i64();
+  resp.latency.batch_us = r.i64();
+  resp.latency.exec_us = r.i64();
+  const std::uint32_t nlogits = r.u32();
+  const std::uint8_t* logits = r.take(nlogits);
+  resp.logits.assign(reinterpret_cast<const std::int8_t*>(logits),
+                     reinterpret_cast<const std::int8_t*>(logits) + nlogits);
+  resp.final_fm = get_fm(r);
+  const std::uint32_t nerr = r.u32();
+  const std::uint8_t* err = r.take(nerr);
+  resp.error.assign(reinterpret_cast<const char*>(err), nerr);
+  r.done();
+  return out;
+}
+
+std::vector<std::uint8_t> encode_cancel(std::uint64_t wire_id) {
+  std::vector<std::uint8_t> out;
+  Writer w(out);
+  w.u64(wire_id);
+  return out;
+}
+
+std::uint64_t decode_cancel(const std::vector<std::uint8_t>& payload) {
+  Reader r(payload);
+  const std::uint64_t id = r.u64();
+  r.done();
+  return id;
+}
+
+std::vector<std::uint8_t> encode_metrics_response(const std::string& text) {
+  std::vector<std::uint8_t> out;
+  out.reserve(4 + text.size());
+  Writer w(out);
+  w.u32(static_cast<std::uint32_t>(text.size()));
+  w.bytes(text.data(), text.size());
+  return out;
+}
+
+std::string decode_metrics_response(const std::vector<std::uint8_t>& payload) {
+  Reader r(payload);
+  const std::uint32_t n = r.u32();
+  const std::uint8_t* p = r.take(n);
+  std::string text(reinterpret_cast<const char*>(p), n);
+  r.done();
+  return text;
+}
+
+namespace {
+
+// recv() exactly n bytes.  Returns false only on clean EOF before the first
+// byte when `eof_ok`; every other short read is a ProtocolError.
+bool read_exact(int fd, void* buf, std::size_t n, bool eof_ok) {
+  auto* p = static_cast<std::uint8_t*>(buf);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd, p + got, n - got, 0);
+    if (r > 0) {
+      got += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r == 0) {
+      if (got == 0 && eof_ok) return false;
+      throw ProtocolError("connection closed mid-frame (" +
+                          std::to_string(got) + "/" + std::to_string(n) +
+                          " bytes)");
+    }
+    if (errno == EINTR) continue;
+    throw ProtocolError(std::string("recv failed: ") + std::strerror(errno));
+  }
+  return true;
+}
+
+void write_all(int fd, const void* buf, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(buf);
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t r = ::send(fd, p + sent, n - sent, MSG_NOSIGNAL);
+    if (r >= 0) {
+      sent += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    throw ProtocolError(std::string("send failed: ") + std::strerror(errno));
+  }
+}
+
+}  // namespace
+
+std::optional<Frame> read_frame(int fd) {
+  std::uint8_t header[4];
+  if (!read_exact(fd, header, sizeof(header), /*eof_ok=*/true))
+    return std::nullopt;
+  std::uint32_t length = 0;
+  for (int i = 0; i < 4; ++i) length |= std::uint32_t(header[i]) << (8 * i);
+  if (length < 1) throw ProtocolError("empty frame (no type octet)");
+  if (length > kMaxFrameBytes)
+    throw ProtocolError("oversized frame: " + std::to_string(length) +
+                        " bytes (cap " + std::to_string(kMaxFrameBytes) + ")");
+  std::uint8_t type = 0;
+  read_exact(fd, &type, 1, /*eof_ok=*/false);
+  if (type < 1 || type > static_cast<std::uint8_t>(MsgType::kMetricsResponse))
+    throw ProtocolError("unknown message type " + std::to_string(type));
+  Frame frame;
+  frame.type = static_cast<MsgType>(type);
+  frame.payload.resize(length - 1);
+  if (!frame.payload.empty())
+    read_exact(fd, frame.payload.data(), frame.payload.size(),
+               /*eof_ok=*/false);
+  return frame;
+}
+
+void write_frame(int fd, MsgType type,
+                 const std::vector<std::uint8_t>& payload) {
+  TSCA_CHECK(payload.size() + 1 <= kMaxFrameBytes,
+             "frame too large: " << payload.size());
+  const std::uint32_t length = static_cast<std::uint32_t>(payload.size() + 1);
+  std::vector<std::uint8_t> buf;
+  buf.reserve(5 + payload.size());
+  for (int i = 0; i < 4; ++i) buf.push_back(std::uint8_t(length >> (8 * i)));
+  buf.push_back(static_cast<std::uint8_t>(type));
+  buf.insert(buf.end(), payload.begin(), payload.end());
+  write_all(fd, buf.data(), buf.size());
+}
+
+}  // namespace tsca::serve

@@ -1,0 +1,110 @@
+// Wire protocol for the socket front-end: length-prefixed binary frames.
+//
+// Frame layout (all integers little-endian, fixed width):
+//
+//   u32  length     // bytes that follow: 1 (type) + payload
+//   u8   type       // MsgType
+//   ...  payload    // per-type layout below
+//
+// Payloads:
+//
+//   kRequest    u64 wire_id | i64 deadline_us (relative; <0 ⇒ none) |
+//               u8 priority | u64 cycle_budget |
+//               u16 c | u16 h | u16 w | c*h*w bytes (i8 feature map, CHW)
+//   kResponse   u64 wire_id | u8 status | u8 executed | u8 flat_output |
+//               i32 batch_size | i64 queued_us | i64 batch_us | i64 exec_us |
+//               u32 nlogits | nlogits bytes |
+//               u16 c | u16 h | u16 w | c*h*w bytes (final fm; 0×0×0 ⇒ none) |
+//               u32 nerr | nerr bytes (UTF-8 error text, kError only)
+//   kCancel     u64 wire_id
+//   kMetricsRequest   (empty)
+//   kMetricsResponse  u32 n | n bytes (Prometheus text exposition)
+//
+// The wire_id is the *client's* correlation id — chosen by the client,
+// echoed verbatim in the response, the handle for kCancel.  The server's
+// internal request ids never cross the wire.
+//
+// Decoding is strict: every read is bounds-checked and trailing bytes are an
+// error — a malformed frame throws ProtocolError (a tsca::Error), never
+// reads out of bounds, and never aborts the process.  Frames are capped at
+// kMaxFrameBytes so a corrupt length prefix cannot trigger a giant
+// allocation.
+//
+// read_frame/write_frame do the fd I/O (POSIX sockets): write_frame sends
+// one whole frame (looping over short writes, MSG_NOSIGNAL so a closed peer
+// surfaces as an error, not SIGPIPE); read_frame blocks for one whole frame
+// and distinguishes clean EOF at a frame boundary (nullopt) from a
+// mid-frame disconnect (ProtocolError).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/request.hpp"
+#include "util/check.hpp"
+
+namespace tsca::serve {
+
+enum class MsgType : std::uint8_t {
+  kRequest = 1,
+  kResponse = 2,
+  kCancel = 3,
+  kMetricsRequest = 4,
+  kMetricsResponse = 5,
+};
+
+// Frames above this are rejected at the length prefix (both directions).
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+class ProtocolError : public Error {
+ public:
+  explicit ProtocolError(const std::string& what) : Error(what) {}
+};
+
+// A decoded kRequest.  SubmitOptions::client_id is *not* on the wire — the
+// server stamps the connection's identity (fairness is a trust boundary).
+struct WireRequest {
+  std::uint64_t wire_id = 0;
+  SubmitOptions opts;
+  nn::FeatureMapI8 input;
+};
+
+struct WireResponse {
+  std::uint64_t wire_id = 0;
+  Response response;  // response.id is set to wire_id on decode
+};
+
+// Payload encoders/decoders (payload = frame bytes after the type octet).
+std::vector<std::uint8_t> encode_request(std::uint64_t wire_id,
+                                         const SubmitOptions& opts,
+                                         const nn::FeatureMapI8& input);
+WireRequest decode_request(const std::vector<std::uint8_t>& payload);
+
+std::vector<std::uint8_t> encode_response(std::uint64_t wire_id,
+                                          const Response& response);
+WireResponse decode_response(const std::vector<std::uint8_t>& payload);
+
+std::vector<std::uint8_t> encode_cancel(std::uint64_t wire_id);
+std::uint64_t decode_cancel(const std::vector<std::uint8_t>& payload);
+
+std::vector<std::uint8_t> encode_metrics_response(const std::string& text);
+std::string decode_metrics_response(const std::vector<std::uint8_t>& payload);
+
+// One whole frame in/out of a connected socket.
+struct Frame {
+  MsgType type{};
+  std::vector<std::uint8_t> payload;
+};
+
+// Blocks until a full frame arrives.  nullopt = peer closed cleanly at a
+// frame boundary; ProtocolError = mid-frame EOF, I/O error, oversized or
+// unknown-type frame.
+std::optional<Frame> read_frame(int fd);
+
+// Sends one whole frame; ProtocolError on any send failure.
+void write_frame(int fd, MsgType type,
+                 const std::vector<std::uint8_t>& payload);
+
+}  // namespace tsca::serve

@@ -14,6 +14,10 @@ const char* status_name(Status status) {
       return "deadline-missed";
     case Status::kCancelled:
       return "cancelled";
+    case Status::kRejectedQuota:
+      return "rejected-quota";
+    case Status::kError:
+      return "error";
   }
   return "?";
 }

@@ -33,16 +33,45 @@ enum class Status {
   kRejectedQueueFull,  // admission control: queue at capacity
   kRejectedShutdown,   // submitted after stop()
   kDeadlineMissed,     // expired before execution (shed) or finished late
-  kCancelled,          // server stopped while queued or in flight
+  kCancelled,          // server stopped, or the client cancelled it
+  kRejectedQuota,      // fair-share admission: evicted for an under-share
+                       // client while its own client was over its share
+  kError,              // execution failed (bad input shape, budget exceeded);
+                       // Response::error carries the reason.  Wire-path
+                       // requests always terminate in a Status — in-process
+                       // futures receive the original exception instead.
 };
 
 const char* status_name(Status status);
+
+// SLO classes: small non-negative integers, 0 is the *highest* priority.
+// The scheduler pops strictly by class (a class-1 request never runs while
+// a class-0 request is queued), EDF within a class.
+inline constexpr int kPriorityHigh = 0;
 
 struct Request {
   std::uint64_t id = 0;
   nn::FeatureMapI8 input;
   TimePoint deadline = kNoDeadline;
   TimePoint submitted{};  // stamped by Server::submit at admission
+  int priority = kPriorityHigh;  // SLO class (0 = highest)
+  // Fair-share admission identity.  In-process callers pick any stable id;
+  // the socket front-end stamps the connection's id (never a client-claimed
+  // one — admission fairness is a trust boundary).
+  std::uint64_t client_id = 0;
+  // Per-request simulated-cycle execution budget (0 = unlimited): the
+  // worker aborts the batch with driver::BudgetExceeded once it has run
+  // this many cycles, so a pathological request cannot hog a worker.
+  std::uint64_t cycle_budget = 0;
+};
+
+// Per-submit knobs, shared by the in-process API (Server::submit), the wire
+// protocol and the load generator.
+struct SubmitOptions {
+  std::int64_t deadline_us = -1;  // relative to submit; < 0 ⇒ no deadline
+  int priority = kPriorityHigh;
+  std::uint64_t client_id = 0;
+  std::uint64_t cycle_budget = 0;
 };
 
 // Where a request's latency went, in microseconds: waiting in the queue for
@@ -66,6 +95,7 @@ struct Response {
   bool executed = false;  // the network actually ran for this request
   int batch_size = 0;     // size of the dynamic batch it was grouped into
   PhaseLatency latency;
+  std::string error;  // kError only: what() of the execution failure
 
   bool ok() const { return status == Status::kOk; }
 };

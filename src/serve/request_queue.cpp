@@ -2,10 +2,37 @@
 
 #include <algorithm>
 #include <tuple>
+#include <utility>
 
 #include "util/check.hpp"
 
 namespace tsca::serve {
+
+void complete(Pending& p, Response&& r) {
+  if (p.on_complete) {
+    p.on_complete(std::move(r));
+    return;
+  }
+  p.promise.set_value(std::move(r));
+}
+
+void complete_error(Pending& p, std::exception_ptr error) {
+  if (!p.on_complete) {
+    p.promise.set_exception(std::move(error));
+    return;
+  }
+  Response r;
+  r.id = p.request.id;
+  r.status = Status::kError;
+  try {
+    std::rethrow_exception(std::move(error));
+  } catch (const std::exception& e) {
+    r.error = e.what();
+  } catch (...) {
+    r.error = "unknown execution error";
+  }
+  p.on_complete(std::move(r));
+}
 
 const char* admit_name(Admit admit) {
   switch (admit) {
@@ -19,15 +46,56 @@ const char* admit_name(Admit admit) {
   return "?";
 }
 
-RequestQueue::RequestQueue(std::size_t capacity) : capacity_(capacity) {
+RequestQueue::RequestQueue(std::size_t capacity, bool fair_share)
+    : capacity_(capacity), fair_share_(fair_share) {
   TSCA_CHECK(capacity >= 1, "queue capacity=" << capacity);
 }
 
-Admit RequestQueue::push(Pending&& p) {
+void RequestQueue::note_removed_locked(const Pending& p) {
+  const auto it = client_counts_.find(p.request.client_id);
+  TSCA_CHECK(it != client_counts_.end() && it->second > 0,
+             "client count underflow");
+  if (--it->second == 0) client_counts_.erase(it);
+}
+
+std::deque<Pending>::iterator RequestQueue::pick_victim_locked(
+    std::uint64_t pusher) {
+  // Fair share with the pusher counted as active: it is about to hold an
+  // entry.  A pusher at or over its own share never evicts.
+  const std::size_t active =
+      client_counts_.size() + (client_counts_.count(pusher) != 0 ? 0 : 1);
+  const std::size_t share = std::max<std::size_t>(1, capacity_ / active);
+  const auto mine = client_counts_.find(pusher);
+  if (mine != client_counts_.end() && mine->second >= share)
+    return entries_.end();
+  // Victim: an entry of a client holding more than its share — the most
+  // expendable one (lowest class first, then latest deadline, then newest).
+  auto victim = entries_.end();
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (client_counts_.at(it->request.client_id) <= share) continue;
+    if (victim == entries_.end() ||
+        std::make_tuple(it->request.priority, it->request.deadline,
+                        it->request.id) >
+            std::make_tuple(victim->request.priority,
+                            victim->request.deadline, victim->request.id))
+      victim = it;
+  }
+  return victim;
+}
+
+Admit RequestQueue::push(Pending&& p, std::optional<Pending>* evicted) {
   {
     const std::lock_guard<std::mutex> lock(m_);
     if (closed_) return Admit::kShutdown;
-    if (entries_.size() >= capacity_) return Admit::kQueueFull;
+    if (entries_.size() >= capacity_) {
+      if (!fair_share_) return Admit::kQueueFull;
+      const auto victim = pick_victim_locked(p.request.client_id);
+      if (victim == entries_.end()) return Admit::kQueueFull;
+      note_removed_locked(*victim);
+      if (evicted != nullptr) evicted->emplace(std::move(*victim));
+      entries_.erase(victim);
+    }
+    ++client_counts_[p.request.client_id];
     entries_.push_back(std::move(p));
   }
   cv_.notify_one();
@@ -42,20 +110,26 @@ std::vector<Pending> RequestQueue::pop_wait(std::size_t max_batch,
   for (;;) {
     cv_.wait(lock, [&] { return closed_ || !entries_.empty(); });
     if (closed_) return {};
-    // Batch formation: the first request opens a window that closes when the
-    // batch fills or when that request has waited max_delay_us.  Concurrent
-    // poppers may steal the entries while we wait — loop back if so.
-    if (entries_.size() < max_batch && max_delay_us > 0) {
+    // Batch formation: wait until the batch fills or the oldest *live*
+    // request has waited max_delay_us.  The anchor is recomputed from the
+    // current front after every wake: a concurrent popper may steal the
+    // entries the window was opened for, and a request that arrives after
+    // the steal must open a fresh window, not inherit the expired one.
+    while (!closed_ && !entries_.empty() && entries_.size() < max_batch &&
+           max_delay_us > 0) {
       const TimePoint flush_at =
           entries_.front().request.submitted +
           std::chrono::microseconds(max_delay_us);
-      cv_.wait_until(lock, flush_at, [&] {
-        return closed_ || entries_.size() >= max_batch || entries_.empty();
-      });
-      if (closed_) return {};
-      if (entries_.empty()) continue;
+      if (Clock::now() >= flush_at) break;
+      cv_.wait_until(lock, flush_at);
     }
-    return pop_locked(max_batch, edf);
+    if (closed_) return {};
+    if (entries_.empty()) continue;
+    std::vector<Pending> out = pop_locked(max_batch, edf);
+    // Hand off a remaining backlog: push() only ever notified one waiter,
+    // and this pop may not have emptied the queue.
+    if (!entries_.empty()) cv_.notify_one();
+    return out;
   }
 }
 
@@ -66,16 +140,33 @@ std::vector<Pending> RequestQueue::pop_locked(std::size_t max_batch,
   while (out.size() < max_batch && !entries_.empty()) {
     auto it = entries_.begin();
     if (edf)
+      // Strict priority across SLO classes, EDF within a class (submission
+      // order among ties; kNoDeadline sorts last within its class).
       it = std::min_element(
           entries_.begin(), entries_.end(), [](const Pending& a,
                                                const Pending& b) {
-            return std::make_tuple(a.request.deadline, a.request.id) <
-                   std::make_tuple(b.request.deadline, b.request.id);
+            return std::make_tuple(a.request.priority, a.request.deadline,
+                                   a.request.id) <
+                   std::make_tuple(b.request.priority, b.request.deadline,
+                                   b.request.id);
           });
+    note_removed_locked(*it);
     out.push_back(std::move(*it));
     entries_.erase(it);
   }
   return out;
+}
+
+std::optional<Pending> RequestQueue::take(std::uint64_t id) {
+  const std::lock_guard<std::mutex> lock(m_);
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->request.id != id) continue;
+    note_removed_locked(*it);
+    std::optional<Pending> out(std::move(*it));
+    entries_.erase(it);
+    return out;
+  }
+  return std::nullopt;
 }
 
 void RequestQueue::close() {
@@ -97,6 +188,7 @@ std::vector<Pending> RequestQueue::drain() {
   out.reserve(entries_.size());
   for (Pending& p : entries_) out.push_back(std::move(p));
   entries_.clear();
+  client_counts_.clear();
   return out;
 }
 

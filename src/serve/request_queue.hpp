@@ -7,33 +7,63 @@
 // than blocking the submitter, which is the backpressure contract a serving
 // frontend needs: latency is bounded by queue depth, never by a hidden wait.
 //
+// Fair-share admission (on by default): a client may use the whole queue
+// while it is uncontended, but when the queue is full and another client is
+// still under its fair share (capacity / active clients), one entry of an
+// over-share client is *evicted* to admit the newcomer — push returns the
+// victim so the caller can complete it as kRejectedQuota.  Work-conserving:
+// with a single client this is exactly the plain bounded queue.
+//
 // pop_wait implements the batch-formation wait under the queue's own lock so
 // concurrent scheduler threads race safely: block until a request arrives,
-// then linger until either `max_batch` requests are queued or the oldest has
-// waited `max_delay_us`, then pop up to max_batch entries in EDF order
-// (earliest deadline first, submission order among ties — deadline-less
-// requests sort last) or FIFO order.  close() wakes everyone; a closed queue
-// rejects pushes with Admit::kShutdown and pop_wait returns empty.
+// then linger until either `max_batch` requests are queued or the oldest
+// *live* request has waited `max_delay_us` (the anchor is recomputed from
+// the current front after every wake — entries stolen by a concurrent popper
+// must not leave their expired window behind for later arrivals), then pop
+// up to max_batch entries.  EDF order is strict priority across SLO classes
+// and earliest-deadline-first within a class (submission order among ties —
+// deadline-less requests sort last); FIFO ignores both.  close() wakes
+// everyone; a closed queue rejects pushes with Admit::kShutdown and pop_wait
+// returns empty.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
+#include <functional>
 #include <future>
 #include <mutex>
+#include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "serve/request.hpp"
 
 namespace tsca::serve {
 
-// A queued request with its completion promise.  Whoever removes a Pending
-// from the queue owns completing its promise — exactly once, always.
+// A queued request with its completion path.  Whoever removes a Pending from
+// the queue owns completing it — exactly once, always.  Completion goes
+// through the promise (in-process submitters hold the future) unless
+// `on_complete` is set (the socket front-end routes responses to the
+// connection's writer instead); use complete()/complete_error(), never the
+// promise directly.
 struct Pending {
   Request request;
   std::promise<Response> promise;
+  std::function<void(Response&&)> on_complete;
   TimePoint dispatched{};  // stamped when the scheduler pops it into a batch
 };
+
+// Completes a Pending exactly once: through on_complete when set, else the
+// promise.
+void complete(Pending& p, Response&& r);
+
+// Error-path completion: a promise holder gets the original exception
+// (future.get() rethrows); an on_complete holder gets a Status::kError
+// Response with the exception's what() — the wire cannot carry C++
+// exceptions.
+void complete_error(Pending& p, std::exception_ptr error);
 
 enum class Admit { kAdmitted, kQueueFull, kShutdown };
 
@@ -41,19 +71,27 @@ const char* admit_name(Admit admit);
 
 class RequestQueue {
  public:
-  explicit RequestQueue(std::size_t capacity);
+  explicit RequestQueue(std::size_t capacity, bool fair_share = true);
   RequestQueue(const RequestQueue&) = delete;
   RequestQueue& operator=(const RequestQueue&) = delete;
 
   // Admission: moves from `p` only when admitted — on rejection the caller
   // still owns the Pending (and its promise) to complete with the reason.
-  Admit push(Pending&& p);
+  // When admission evicted another client's entry to make room (fair share),
+  // the victim is returned through `evicted` and the caller owns completing
+  // it as kRejectedQuota.
+  Admit push(Pending&& p, std::optional<Pending>* evicted = nullptr);
 
   // Blocks until a batch is ready per the formation policy (see file
   // comment), then pops it.  Returns empty exactly when the queue is closed
   // — remaining entries are left for drain().
   std::vector<Pending> pop_wait(std::size_t max_batch,
                                 std::int64_t max_delay_us, bool edf);
+
+  // Removes a still-queued request by id; the caller owns completing it
+  // (client-initiated cancellation).  Empty when the id is not queued —
+  // already dispatched, completed, or never admitted.
+  std::optional<Pending> take(std::uint64_t id);
 
   // Closes the queue: subsequent pushes are rejected kShutdown, blocked
   // pop_wait calls return empty.
@@ -70,11 +108,21 @@ class RequestQueue {
  private:
   // Pops up to max_batch entries; m_ held.
   std::vector<Pending> pop_locked(std::size_t max_batch, bool edf);
+  // Bookkeeping for any removal path; m_ held.
+  void note_removed_locked(const Pending& p);
+  // Fair-share eviction: picks a victim entry of an over-share client for a
+  // pusher still under its own share; m_ held.  Returns entries_.end() when
+  // no client is over its share (the push stays rejected kQueueFull).
+  std::deque<Pending>::iterator pick_victim_locked(std::uint64_t pusher);
 
   const std::size_t capacity_;
+  const bool fair_share_;
   mutable std::mutex m_;
   std::condition_variable cv_;
   std::deque<Pending> entries_;  // submission order (front is oldest)
+  // Queued-entry count per client (entries only — clients with zero queued
+  // requests are erased, so size() is the active-client count).
+  std::unordered_map<std::uint64_t, std::size_t> client_counts_;
   bool closed_ = false;
 };
 

@@ -1,5 +1,6 @@
 #include "serve/server.hpp"
 
+#include <algorithm>
 #include <exception>
 #include <string>
 #include <utility>
@@ -14,7 +15,7 @@ Server::Server(const driver::NetworkProgram& program, ServerOptions options)
       options_(options),
       metrics_(options.metrics != nullptr ? options.metrics : &own_metrics_),
       epoch_(Clock::now()),
-      queue_(options.queue_capacity),
+      queue_(options.queue_capacity, options.fair_share),
       scheduler_(queue_, options.batch, *metrics_, options.trace, epoch_) {
   TSCA_CHECK(options_.workers >= 1, "workers=" << options_.workers);
   // Pin the kernel backend the fast path will serve with into the metrics
@@ -39,26 +40,55 @@ Server::Server(const driver::NetworkProgram& program, ServerOptions options)
 
 Server::~Server() { stop(); }
 
-std::future<Response> Server::submit(nn::FeatureMapI8 input,
-                                     std::int64_t deadline_us) {
+std::uint64_t Server::admit(nn::FeatureMapI8 input, const SubmitOptions& opts,
+                            std::function<void(Response&&)> on_complete,
+                            std::future<Response>* future_out) {
+  TSCA_CHECK(opts.priority >= 0, "priority=" << opts.priority);
   Pending p;
   p.request.id = next_id_.fetch_add(1, std::memory_order_relaxed);
   p.request.input = std::move(input);
   p.request.submitted = Clock::now();
-  if (deadline_us >= 0)
+  if (opts.deadline_us >= 0)
     p.request.deadline =
-        p.request.submitted + std::chrono::microseconds(deadline_us);
-  std::future<Response> future = p.promise.get_future();
+        p.request.submitted + std::chrono::microseconds(opts.deadline_us);
+  p.request.priority = opts.priority;
+  p.request.client_id = opts.client_id;
+  p.request.cycle_budget = opts.cycle_budget;
+  p.on_complete = std::move(on_complete);
+  if (future_out != nullptr) *future_out = p.promise.get_future();
+  const std::uint64_t id = p.request.id;
   metrics_->counter("serve.submitted").add(1);
 
-  const Admit admit = queue_.push(std::move(p));
+  std::optional<Pending> evicted;
+  const Admit admit = queue_.push(std::move(p), &evicted);
+  if (evicted) {
+    // Fair share made room by evicting an over-share client's entry; the
+    // victim completes here, on the pusher's thread, as kRejectedQuota.
+    Response r;
+    r.id = evicted->request.id;
+    r.status = Status::kRejectedQuota;
+    r.latency.queued_us = us_between(evicted->request.submitted, Clock::now());
+    metrics_->counter("serve.rejected_quota").add(1);
+    if (options_.trace != nullptr)
+      options_.trace->track("serve/requests")
+          .complete("req " + std::to_string(r.id), "evicted",
+                    static_cast<std::uint64_t>(
+                        us_between(epoch_, evicted->request.submitted)),
+                    static_cast<std::uint64_t>(r.latency.queued_us),
+                    {{"client", static_cast<std::int64_t>(
+                                    evicted->request.client_id)}});
+    complete(*evicted, std::move(r));
+  }
   if (admit == Admit::kAdmitted) {
     metrics_->counter("serve.admitted").add(1);
-    return future;
+    metrics_
+        ->counter("serve.class" + std::to_string(opts.priority) + ".admitted")
+        .add(1);
+    return id;
   }
   // Rejected: `p` was not consumed — complete it here, with the reason.
   Response r;
-  r.id = p.request.id;
+  r.id = id;
   r.status = admit == Admit::kQueueFull ? Status::kRejectedQueueFull
                                         : Status::kRejectedShutdown;
   metrics_->counter(admit == Admit::kQueueFull ? "serve.rejected_queue_full"
@@ -70,8 +100,65 @@ std::future<Response> Server::submit(nn::FeatureMapI8 input,
                   static_cast<std::uint64_t>(
                       us_between(epoch_, p.request.submitted)),
                   0, {{"queue_full", admit == Admit::kQueueFull ? 1 : 0}});
-  p.promise.set_value(std::move(r));
+  complete(p, std::move(r));
+  return id;
+}
+
+std::future<Response> Server::submit(nn::FeatureMapI8 input,
+                                     std::int64_t deadline_us) {
+  SubmitOptions opts;
+  opts.deadline_us = deadline_us;
+  return submit(std::move(input), opts);
+}
+
+std::future<Response> Server::submit(nn::FeatureMapI8 input,
+                                     const SubmitOptions& opts) {
+  std::future<Response> future;
+  admit(std::move(input), opts, nullptr, &future);
   return future;
+}
+
+std::uint64_t Server::submit_with(nn::FeatureMapI8 input,
+                                  const SubmitOptions& opts,
+                                  std::function<void(Response&&)> on_complete) {
+  TSCA_CHECK(on_complete != nullptr, "submit_with requires a callback");
+  return admit(std::move(input), opts, std::move(on_complete), nullptr);
+}
+
+bool Server::take_cancel_mark(std::uint64_t id) {
+  const std::lock_guard<std::mutex> lock(cancel_m_);
+  if (cancel_marks_.erase(id) == 0) return false;
+  cancel_mark_count_.store(static_cast<int>(cancel_marks_.size()),
+                           std::memory_order_relaxed);
+  return true;
+}
+
+bool Server::cancel(std::uint64_t id) {
+  if (std::optional<Pending> p = queue_.take(id)) {
+    Response r;
+    r.id = id;
+    r.status = Status::kCancelled;
+    r.latency.queued_us = us_between(p->request.submitted, Clock::now());
+    metrics_->counter("serve.cancelled").add(1);
+    metrics_->counter("serve.cancelled_by_client").add(1);
+    if (options_.trace != nullptr)
+      options_.trace->track("serve/requests")
+          .complete("req " + std::to_string(id), "cancelled",
+                    static_cast<std::uint64_t>(
+                        us_between(epoch_, p->request.submitted)),
+                    static_cast<std::uint64_t>(r.latency.queued_us));
+    complete(*p, std::move(r));
+    return true;
+  }
+  // Already dispatched (or unknown): leave a mark for the worker's
+  // last-chance check.  Best effort — a request already executing runs to
+  // completion, and its stale mark is dropped after the batch (ids are
+  // never reused, so a stale mark can't hit a future request).
+  const std::lock_guard<std::mutex> lock(cancel_m_);
+  cancel_marks_.insert(id);
+  cancel_mark_count_.store(static_cast<int>(cancel_marks_.size()),
+                           std::memory_order_relaxed);
+  return false;
 }
 
 void Server::worker_loop(int w) {
@@ -87,15 +174,28 @@ void Server::worker_loop(int w) {
 void Server::execute_batch(int w, driver::AcceleratorPool::Context& ctx,
                            std::vector<Pending> batch) {
   const TimePoint exec_start = Clock::now();
-  // Last-chance shed: a deadline can expire between the scheduler's check
-  // and the batch reaching this worker.
-  if (options_.batch.cancel_expired) {
+  // Last-chance pass: a deadline can expire — and a client cancel can land —
+  // between the scheduler's check and the batch reaching this worker.
+  const bool client_cancels =
+      cancel_mark_count_.load(std::memory_order_relaxed) > 0;
+  if (options_.batch.cancel_expired || client_cancels) {
     const TimePoint horizon =
         exec_start + std::chrono::microseconds(options_.batch.min_slack_us);
     std::vector<Pending> live;
     live.reserve(batch.size());
     for (Pending& p : batch) {
-      if (p.request.deadline < horizon) {
+      if (client_cancels && take_cancel_mark(p.request.id)) {
+        Response r;
+        r.id = p.request.id;
+        r.status = Status::kCancelled;
+        r.latency.queued_us = us_between(p.request.submitted, p.dispatched);
+        r.latency.batch_us = us_between(p.dispatched, exec_start);
+        metrics_->counter("serve.cancelled").add(1);
+        metrics_->counter("serve.cancelled_by_client").add(1);
+        complete(p, std::move(r));
+        continue;
+      }
+      if (options_.batch.cancel_expired && p.request.deadline < horizon) {
         complete_expired(p, exec_start, *metrics_, options_.trace, epoch_);
         continue;
       }
@@ -114,9 +214,27 @@ void Server::execute_batch(int w, driver::AcceleratorPool::Context& ctx,
   ropts.metrics = metrics_;
   ropts.trace_scope = "serve/worker" + std::to_string(w) + "/";
   ropts.cancel = &cancel_;
+  // The batch is the execution unit, so its strictest member's cycle budget
+  // governs the whole run.
+  std::uint64_t budget = 0;
+  for (const Pending& p : batch)
+    if (p.request.cycle_budget != 0)
+      budget = budget == 0 ? p.request.cycle_budget
+                           : std::min(budget, p.request.cycle_budget);
+  ropts.cycle_budget = budget;
   driver::Runtime runtime(ctx.acc, ctx.dram, ctx.dma, ropts);
   runtime.adopt_staged_program(ctx.staged_stamp, ctx.ddr_floor);
   runtime.set_trace_clock(ctx.trace_clock);
+
+  // Whatever happens below — success, stop()-cancellation, a budget abort, a
+  // typed validation error — the context must absorb the simulated cycles
+  // the runtime burned before the throw, or the next batch on this worker
+  // rewinds the clock and its trace spans overlap this batch's.
+  struct ClockGuard {
+    driver::AcceleratorPool::Context& ctx;
+    driver::Runtime& runtime;
+    ~ClockGuard() { ctx.trace_clock = runtime.trace_clock(); }
+  } clock_guard{ctx, runtime};
 
   std::vector<nn::FeatureMapI8> inputs;
   inputs.reserve(batch.size());
@@ -126,7 +244,6 @@ void Server::execute_batch(int w, driver::AcceleratorPool::Context& ctx,
   try {
     result = runtime.run_network_batch(program_, inputs);
   } catch (const driver::RequestCancelled&) {
-    ctx.trace_clock = runtime.trace_clock();
     for (Pending& p : batch) {
       Response r;
       r.id = p.request.id;
@@ -135,16 +252,17 @@ void Server::execute_batch(int w, driver::AcceleratorPool::Context& ctx,
       r.latency.batch_us = us_between(p.dispatched, exec_start);
       r.latency.exec_us = us_between(exec_start, Clock::now());
       metrics_->counter("serve.cancelled").add(1);
-      p.promise.set_value(std::move(r));
+      complete(p, std::move(r));
     }
     return;
   } catch (...) {
-    // Execution failed some other way (bad input shape, ...): the error
-    // belongs to the submitters, through their futures.
-    for (Pending& p : batch) p.promise.set_exception(std::current_exception());
+    // Execution failed some other way (bad input shape, budget exceeded,
+    // ...): the error belongs to the submitters — the original exception
+    // through in-process futures, a kError Response on the callback path.
+    metrics_->counter("serve.exec_errors").add(1);
+    for (Pending& p : batch) complete_error(p, std::current_exception());
     return;
   }
-  ctx.trace_clock = runtime.trace_clock();
 
   const TimePoint exec_end = Clock::now();
   const int batch_size = static_cast<int>(batch.size());
@@ -162,11 +280,15 @@ void Server::execute_batch(int w, driver::AcceleratorPool::Context& ctx,
     r.latency.exec_us = us_between(exec_start, exec_end);
     const bool late = exec_end > p.request.deadline;
     r.status = late ? Status::kDeadlineMissed : Status::kOk;
+    const std::string cls =
+        "serve.class" + std::to_string(p.request.priority);
     metrics_->counter(late ? "serve.deadline_missed" : "serve.completed")
         .add(1);
+    metrics_->counter(cls + (late ? ".deadline_missed" : ".completed")).add(1);
     if (late) metrics_->counter("serve.late_executions").add(1);
     metrics_->counter("serve.executed").add(1);
     metrics_->histogram("serve.latency_us").observe(r.latency.total_us());
+    metrics_->histogram(cls + ".latency_us").observe(r.latency.total_us());
     metrics_->histogram("serve.queued_us").observe(r.latency.queued_us);
     metrics_->histogram("serve.exec_us").observe(r.latency.exec_us);
     if (options_.trace != nullptr)
@@ -176,7 +298,7 @@ void Server::execute_batch(int w, driver::AcceleratorPool::Context& ctx,
                         us_between(epoch_, p.request.submitted)),
                     static_cast<std::uint64_t>(r.latency.total_us()),
                     {{"batch", batch_size}, {"worker", w}});
-    p.promise.set_value(std::move(r));
+    complete(p, std::move(r));
   }
   if (options_.trace != nullptr)
     options_.trace->track("serve/worker" + std::to_string(w) + "/batches")
@@ -184,6 +306,14 @@ void Server::execute_batch(int w, driver::AcceleratorPool::Context& ctx,
                   static_cast<std::uint64_t>(us_between(epoch_, exec_start)),
                   static_cast<std::uint64_t>(us_between(exec_start, exec_end)),
                   {{"batch", batch_size}});
+  // A cancel that raced with execution left its mark unconsumed; drop the
+  // marks of everything this batch completed so the set stays bounded.
+  if (cancel_mark_count_.load(std::memory_order_relaxed) > 0) {
+    const std::lock_guard<std::mutex> lock(cancel_m_);
+    for (const Pending& p : batch) cancel_marks_.erase(p.request.id);
+    cancel_mark_count_.store(static_cast<int>(cancel_marks_.size()),
+                             std::memory_order_relaxed);
+  }
 }
 
 void Server::stop() {
@@ -198,7 +328,12 @@ void Server::stop() {
     r.status = Status::kCancelled;
     r.latency.queued_us = us_between(p.request.submitted, Clock::now());
     metrics_->counter("serve.cancelled").add(1);
-    p.promise.set_value(std::move(r));
+    complete(p, std::move(r));
+  }
+  {
+    const std::lock_guard<std::mutex> lock(cancel_m_);
+    cancel_marks_.clear();
+    cancel_mark_count_.store(0, std::memory_order_relaxed);
   }
 }
 

@@ -1,21 +1,27 @@
 // Inference server over one compiled NetworkProgram.
 //
 // The serving pipeline end to end: submit() admits a request into the
-// bounded RequestQueue (or rejects it immediately — queue full / shutdown —
-// with the reason in the Response), a BatchScheduler coalesces queued
-// requests into dynamic batches (EDF order, expired requests shed before
-// execution), and N worker threads each own a private accelerator context
+// bounded RequestQueue (or rejects it immediately — queue full / shutdown /
+// fair-share eviction — with the reason in the Response), a BatchScheduler
+// coalesces queued requests into dynamic batches (strict priority across
+// SLO classes, EDF within a class, expired requests shed before execution),
+// and N worker threads each own a private accelerator context
 // (AcceleratorPool::Context with the program's weight image staged once at
 // startup) and execute batches through Runtime::run_network_batch —
 // ExecMode::kFast by default, the cycle engine selectable for
 // statistics-grade serving.
 //
-// Every submitted request completes its std::future<Response> exactly once,
-// whatever happens: executed (kOk, or kDeadlineMissed when it finished
-// late), shed (kDeadlineMissed, never executed), rejected at admission, or
-// cancelled by stop().  stop() is cooperative and prompt: it raises the
-// cancel flag (in-flight batches abort between network steps), closes the
-// queue, joins the workers, and completes the backlog as kCancelled.
+// Every submitted request completes exactly once, whatever happens:
+// executed (kOk, or kDeadlineMissed when it finished late), shed
+// (kDeadlineMissed, never executed), rejected at admission, evicted for
+// fair share (kRejectedQuota), cancelled by the client (cancel()) or by
+// stop(), or failed (the execution exception through the future, or a
+// kError Response on the callback path).  In-process submitters hold a
+// std::future<Response>; the socket front-end uses submit_with() and gets
+// the Response through a completion callback instead (invoked on a worker
+// thread).  stop() is cooperative and prompt: it raises the cancel flag
+// (in-flight batches abort between network steps), closes the queue, joins
+// the workers, and completes the backlog as kCancelled.
 //
 // Time domains: serving spans on the "serve/..." tracks are host wall-clock
 // microseconds since the server's epoch; the workers' runtime-layer tracks
@@ -25,9 +31,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "driver/accelerator_pool.hpp"
@@ -43,6 +52,12 @@ namespace tsca::serve {
 struct ServerOptions {
   int workers = 1;
   std::size_t queue_capacity = 64;  // admission bound (reject when full)
+  // Fair-share admission: when the queue is full, an under-share client's
+  // push evicts an over-share client's entry (kRejectedQuota) instead of
+  // bouncing off kQueueFull.  Identity is Request::client_id (the socket
+  // front-end stamps the connection).  Single-client behaviour is identical
+  // to a plain bounded queue.
+  bool fair_share = true;
   BatchPolicy batch;
   driver::ExecMode mode = driver::ExecMode::kFast;
   std::size_t dram_bytes = 64u << 20;  // per-worker context DDR
@@ -67,6 +82,22 @@ class Server {
   // completed — rejections complete it before submit() returns.
   std::future<Response> submit(nn::FeatureMapI8 input,
                                std::int64_t deadline_us = -1);
+  std::future<Response> submit(nn::FeatureMapI8 input,
+                               const SubmitOptions& opts);
+
+  // Callback-path submission (the socket front-end): `on_complete` receives
+  // the Response exactly once — possibly before submit_with returns
+  // (rejection), possibly on a worker thread.  Returns the request id,
+  // usable with cancel().
+  std::uint64_t submit_with(nn::FeatureMapI8 input, const SubmitOptions& opts,
+                            std::function<void(Response&&)> on_complete);
+
+  // Client-initiated cancellation.  A still-queued request completes as
+  // kCancelled immediately (returns true).  A dispatched request is
+  // cancelled best-effort at the worker's last-chance check (returns
+  // false); one already executing runs to completion — its batch cannot be
+  // unwound per request.
+  bool cancel(std::uint64_t id);
 
   // Stops serving: aborts in-flight batches between network steps, rejects
   // new submissions (kRejectedShutdown), completes the queued backlog as
@@ -80,9 +111,16 @@ class Server {
 
  private:
   void worker_loop(int w);
-  // Runs one batch on worker w's context; completes every promise in it.
+  // Builds the Pending, stamps id/times, admits it into the queue and
+  // completes it on the spot when rejected/evicting.
+  std::uint64_t admit(nn::FeatureMapI8 input, const SubmitOptions& opts,
+                      std::function<void(Response&&)> on_complete,
+                      std::future<Response>* future_out);
+  // Runs one batch on worker w's context; completes every request in it.
   void execute_batch(int w, driver::AcceleratorPool::Context& ctx,
                      std::vector<Pending> batch);
+  // Consumes a pending client-cancel mark for `id`.
+  bool take_cancel_mark(std::uint64_t id);
 
   const driver::NetworkProgram& program_;
   ServerOptions options_;
@@ -96,6 +134,12 @@ class Server {
   std::atomic<std::uint64_t> next_id_{1};
   std::atomic<bool> cancel_{false};
   std::atomic<bool> stopped_{false};
+  // Client-cancel marks for requests already dispatched to a worker,
+  // consumed at the last-chance check.  The atomic count gates the lock so
+  // the common no-cancellation path never takes it.
+  std::mutex cancel_m_;
+  std::unordered_set<std::uint64_t> cancel_marks_;
+  std::atomic<int> cancel_mark_count_{0};
 };
 
 }  // namespace tsca::serve

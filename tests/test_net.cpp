@@ -1,0 +1,385 @@
+// Socket front-end: wire-protocol codecs, the TCP server/client pair, wire
+// cancellation, and the Prometheus metrics endpoint.
+//
+// Every suite here is named Net* so tier1.sh's TSan configuration picks the
+// file up (-R '...|Net...') — two threads per connection plus the serving
+// pipeline is exactly the machinery TSan exists for.  All sockets are
+// loopback with OS-assigned ephemeral ports (port 0), so tests are hermetic
+// and parallel-safe.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <future>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/accelerator.hpp"
+#include "driver/program.hpp"
+#include "driver/runtime.hpp"
+#include "nn/vgg16.hpp"
+#include "quant/prune.hpp"
+#include "quant/quantize.hpp"
+#include "serve/client.hpp"
+#include "serve/load_generator.hpp"
+#include "serve/net_server.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "sim/dma.hpp"
+#include "sim/dram.hpp"
+#include "util/rng.hpp"
+
+namespace tsca {
+namespace {
+
+nn::FeatureMapI8 random_fm(nn::FmShape shape, Rng& rng) {
+  nn::FeatureMapI8 fm(shape);
+  for (std::size_t i = 0; i < fm.size(); ++i)
+    fm.data()[i] = static_cast<std::int8_t>(rng.next_int(-40, 40));
+  return fm;
+}
+
+// One tiny VGG-16 compiled once and shared by every test in this binary.
+struct SharedModel {
+  SharedModel() {
+    Rng rng(601);
+    net = nn::build_vgg16(
+        {.input_extent = 32, .channel_divisor = 16, .num_classes = 10});
+    nn::WeightsF weights = nn::init_random_weights(net, rng);
+    quant::prune_weights(net, weights, quant::vgg16_han_profile());
+    nn::FeatureMapF calib(net.input_shape());
+    for (std::size_t i = 0; i < calib.size(); ++i)
+      calib.data()[i] = static_cast<float>(rng.next_gaussian() * 0.4);
+    model = quant::quantize_network(net, weights, {calib});
+    program.emplace(driver::NetworkProgram::compile(
+        net, model, core::ArchConfig::k256_opt()));
+  }
+
+  nn::Network net{nn::FmShape{}};
+  quant::QuantizedModel model;
+  std::optional<driver::NetworkProgram> program;
+};
+
+const SharedModel& shared_model() {
+  static SharedModel* m = new SharedModel();
+  return *m;
+}
+
+std::vector<std::int8_t> direct_logits(const nn::FeatureMapI8& input) {
+  const SharedModel& m = shared_model();
+  core::Accelerator acc(m.program->config());
+  sim::Dram dram(64u << 20);
+  sim::DmaEngine dma(dram);
+  driver::Runtime runtime(acc, dram, dma,
+                          {.mode = driver::ExecMode::kFast});
+  return runtime.run_network(*m.program, input).logits;
+}
+
+// --- Wire protocol codecs ---------------------------------------------
+
+TEST(NetProtocol, RequestRoundTripsAllFields) {
+  Rng rng(602);
+  nn::FeatureMapI8 fm = random_fm({3, 5, 7}, rng);
+  serve::SubmitOptions opts;
+  opts.deadline_us = 123456;
+  opts.priority = 2;
+  opts.cycle_budget = 987654321;
+
+  const std::vector<std::uint8_t> payload =
+      serve::encode_request(42, opts, fm);
+  const serve::WireRequest back = serve::decode_request(payload);
+  EXPECT_EQ(back.wire_id, 42u);
+  EXPECT_EQ(back.opts.deadline_us, 123456);
+  EXPECT_EQ(back.opts.priority, 2);
+  EXPECT_EQ(back.opts.cycle_budget, 987654321u);
+  ASSERT_EQ(back.input.shape(), fm.shape());
+  EXPECT_EQ(std::memcmp(back.input.data(), fm.data(), fm.size()), 0);
+
+  // No deadline survives the trip as a negative sentinel.
+  serve::SubmitOptions nodl;
+  nodl.deadline_us = -1;
+  const serve::WireRequest back2 =
+      serve::decode_request(serve::encode_request(7, nodl, fm));
+  EXPECT_LT(back2.opts.deadline_us, 0);
+}
+
+TEST(NetProtocol, ResponseRoundTripsAllFields) {
+  serve::Response r;
+  r.status = serve::Status::kDeadlineMissed;
+  r.executed = true;
+  r.flat_output = true;
+  r.batch_size = 5;
+  r.latency.queued_us = 11;
+  r.latency.batch_us = 22;
+  r.latency.exec_us = 33;
+  r.logits = {1, -2, 3, -4};
+  r.error = "";
+
+  const serve::WireResponse back =
+      serve::decode_response(serve::encode_response(99, r));
+  EXPECT_EQ(back.wire_id, 99u);
+  EXPECT_EQ(back.response.id, 99u);
+  EXPECT_EQ(back.response.status, serve::Status::kDeadlineMissed);
+  EXPECT_TRUE(back.response.executed);
+  EXPECT_TRUE(back.response.flat_output);
+  EXPECT_EQ(back.response.batch_size, 5);
+  EXPECT_EQ(back.response.latency.queued_us, 11);
+  EXPECT_EQ(back.response.latency.batch_us, 22);
+  EXPECT_EQ(back.response.latency.exec_us, 33);
+  EXPECT_EQ(back.response.logits, (std::vector<std::int8_t>{1, -2, 3, -4}));
+
+  serve::Response err;
+  err.status = serve::Status::kError;
+  err.error = "input shape mismatch";
+  const serve::WireResponse back2 =
+      serve::decode_response(serve::encode_response(100, err));
+  EXPECT_EQ(back2.response.status, serve::Status::kError);
+  EXPECT_EQ(back2.response.error, "input shape mismatch");
+}
+
+TEST(NetProtocol, MalformedPayloadsThrowInsteadOfMisparse) {
+  Rng rng(603);
+  const nn::FeatureMapI8 fm = random_fm({2, 3, 3}, rng);
+  std::vector<std::uint8_t> payload = serve::encode_request(1, {}, fm);
+
+  // Truncation anywhere in the payload is detected, never read past.
+  std::vector<std::uint8_t> cut(payload.begin(), payload.end() - 5);
+  EXPECT_THROW(serve::decode_request(cut), serve::ProtocolError);
+  cut.assign(payload.begin(), payload.begin() + 3);
+  EXPECT_THROW(serve::decode_request(cut), serve::ProtocolError);
+
+  // Trailing bytes mean a layout disagreement — also an error.
+  std::vector<std::uint8_t> padded = payload;
+  padded.push_back(0);
+  EXPECT_THROW(serve::decode_request(padded), serve::ProtocolError);
+
+  // A response with an out-of-range status byte is rejected.
+  serve::Response r;
+  std::vector<std::uint8_t> resp = serve::encode_response(5, r);
+  resp[8] = 250;  // status octet follows the u64 wire id
+  EXPECT_THROW(serve::decode_response(resp), serve::ProtocolError);
+
+  EXPECT_THROW(serve::decode_cancel({1, 2, 3}), serve::ProtocolError);
+}
+
+// --- Socket end-to-end -------------------------------------------------
+
+TEST(NetServe, EndToEndBitExactOverSocket) {
+  const SharedModel& m = shared_model();
+  Rng rng(604);
+  serve::ServerOptions opts;
+  opts.workers = 2;
+  serve::Server server(*m.program, opts);
+  serve::NetServer net(server);
+  ASSERT_GT(net.port(), 0);
+  serve::NetClient client("127.0.0.1", net.port());
+
+  constexpr int kRequests = 4;
+  std::vector<nn::FeatureMapI8> inputs;
+  std::vector<std::future<serve::Response>> futures;
+  for (int i = 0; i < kRequests; ++i) {
+    inputs.push_back(random_fm(m.net.input_shape(), rng));
+    futures.push_back(client.submit(inputs.back()));
+  }
+  for (int i = 0; i < kRequests; ++i) {
+    const serve::Response r = futures[static_cast<std::size_t>(i)].get();
+    EXPECT_EQ(r.status, serve::Status::kOk);
+    EXPECT_TRUE(r.executed);
+    EXPECT_EQ(r.logits, direct_logits(inputs[static_cast<std::size_t>(i)]))
+        << "request " << i;
+    EXPECT_GE(r.latency.exec_us, 0);
+  }
+  client.close();
+  net.stop();
+  server.stop();
+  EXPECT_EQ(server.metrics().counter("serve.completed").value(), kRequests);
+}
+
+TEST(NetServe, LoadGeneratorDrivesTheSocketPath) {
+  const SharedModel& m = shared_model();
+  serve::ServerOptions opts;
+  opts.workers = 2;
+  serve::Server server(*m.program, opts);
+  serve::NetServer net(server);
+  serve::NetClient client("127.0.0.1", net.port());
+
+  serve::LoadOptions load;
+  load.requests = 8;
+  load.concurrency = 2;
+  load.seed = 11;
+  const serve::LoadReport report =
+      serve::run_load(client, m.net.input_shape(), load);
+  EXPECT_EQ(report.submitted, 8);
+  EXPECT_EQ(report.ok, 8);
+  EXPECT_EQ(report.errors, 0);
+  EXPECT_GT(report.goodput_rps, 0.0);
+}
+
+TEST(NetServe, BadShapeComesBackAsErrorResponse) {
+  const SharedModel& m = shared_model();
+  Rng rng(605);
+  nn::FmShape bad = m.net.input_shape();
+  bad.c += 1;
+  serve::Server server(*m.program, {});
+  serve::NetServer net(server);
+  serve::NetClient client("127.0.0.1", net.port());
+
+  const serve::Response r = client.submit(random_fm(bad, rng)).get();
+  EXPECT_EQ(r.status, serve::Status::kError);
+  EXPECT_FALSE(r.executed);
+  EXPECT_FALSE(r.error.empty());
+
+  // The connection survives an execution error; a well-formed request on
+  // the same client still completes.
+  const nn::FeatureMapI8 good = random_fm(m.net.input_shape(), rng);
+  const serve::Response ok = client.submit(good).get();
+  EXPECT_EQ(ok.status, serve::Status::kOk);
+  EXPECT_EQ(ok.logits, direct_logits(good));
+}
+
+TEST(NetServe, WireCancelRemovesQueuedRequest) {
+  const SharedModel& m = shared_model();
+  Rng rng(606);
+  serve::ServerOptions opts;
+  opts.workers = 1;
+  opts.mode = driver::ExecMode::kCycle;  // slow head pins the worker
+  opts.batch.max_batch = 1;
+  opts.batch.max_queue_delay_us = 0;
+  serve::Server server(*m.program, opts);
+  serve::NetServer net(server);
+  serve::NetClient client("127.0.0.1", net.port());
+
+  std::future<serve::Response> head =
+      client.submit(random_fm(m.net.input_shape(), rng));
+  while (server.metrics().counter("serve.batches").value() < 1)
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+
+  std::uint64_t wire_id = 0;
+  std::future<serve::Response> doomed =
+      client.submit(random_fm(m.net.input_shape(), rng), {}, &wire_id);
+  // The request is queued behind the in-flight head; make sure the server
+  // has actually admitted it (its id is mapped once submit_with returned)
+  // before cancelling.
+  while (server.metrics().counter("serve.admitted").value() < 2)
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  ASSERT_TRUE(client.cancel(wire_id));
+
+  const serve::Response r = doomed.get();
+  EXPECT_EQ(r.status, serve::Status::kCancelled);
+  EXPECT_FALSE(r.executed);
+  EXPECT_EQ(head.get().status, serve::Status::kOk);
+  EXPECT_EQ(server.metrics().counter("serve.cancelled_by_client").value(), 1);
+}
+
+TEST(NetServe, MetricsEndpointServesPrometheusMatchingRegistry) {
+  const SharedModel& m = shared_model();
+  Rng rng(607);
+  serve::Server server(*m.program, {});
+  serve::NetServer net(server);
+  serve::NetClient client("127.0.0.1", net.port());
+
+  constexpr int kRequests = 3;
+  for (int i = 0; i < kRequests; ++i)
+    EXPECT_EQ(client.submit(random_fm(m.net.input_shape(), rng)).get().status,
+              serve::Status::kOk);
+
+  const std::string text = client.metrics_text();
+  // The exposition matches the live registry value-for-value.
+  EXPECT_NE(text.find("# TYPE tsca_serve_completed counter\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("tsca_serve_completed " + std::to_string(kRequests) +
+                      "\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE tsca_serve_latency_us histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("tsca_serve_latency_us_count " +
+                      std::to_string(kRequests) + "\n"),
+            std::string::npos);
+  const std::string sum_line =
+      "tsca_serve_latency_us_sum " +
+      std::to_string(server.metrics().histogram("serve.latency_us").sum());
+  EXPECT_NE(text.find(sum_line), std::string::npos) << text;
+  EXPECT_NE(text.find("_bucket{le=\"+Inf\"} " + std::to_string(kRequests)),
+            std::string::npos);
+}
+
+TEST(NetServe, MalformedFrameDropsConnectionNotServer) {
+  const SharedModel& m = shared_model();
+  Rng rng(608);
+  serve::Server server(*m.program, {});
+  serve::NetServer net(server);
+
+  // Raw socket speaking garbage: a frame with an unknown type octet.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(net.port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  const std::uint8_t garbage[] = {3, 0, 0, 0, 99, 1, 2};  // len=3, type=99
+  ASSERT_EQ(::send(fd, garbage, sizeof(garbage), 0),
+            static_cast<ssize_t>(sizeof(garbage)));
+  // The server drops the connection: recv sees EOF, not a hang.
+  char buf[8];
+  EXPECT_EQ(::recv(fd, buf, sizeof(buf), 0), 0);
+  ::close(fd);
+
+  // And keeps serving well-formed clients.
+  serve::NetClient client("127.0.0.1", net.port());
+  const nn::FeatureMapI8 good = random_fm(m.net.input_shape(), rng);
+  EXPECT_EQ(client.submit(good).get().status, serve::Status::kOk);
+}
+
+TEST(NetServe, ConnectionsAreDistinctFairShareClients) {
+  const SharedModel& m = shared_model();
+  Rng rng(609);
+  serve::ServerOptions opts;
+  opts.workers = 1;
+  opts.mode = driver::ExecMode::kCycle;  // slow head pins the worker
+  opts.queue_capacity = 2;
+  opts.batch.max_batch = 1;
+  opts.batch.max_queue_delay_us = 0;
+  serve::Server server(*m.program, opts);
+  serve::NetServer net(server);
+  serve::NetClient flooder("127.0.0.1", net.port());
+  serve::NetClient newcomer("127.0.0.1", net.port());
+
+  std::future<serve::Response> head =
+      flooder.submit(random_fm(m.net.input_shape(), rng));
+  while (server.metrics().counter("serve.batches").value() < 1)
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  // The flooding connection fills the queue; the second connection's push
+  // evicts one of its entries (share = 2/2 = 1 each).
+  std::vector<std::future<serve::Response>> flood;
+  for (int i = 0; i < 2; ++i)
+    flood.push_back(flooder.submit(random_fm(m.net.input_shape(), rng)));
+  while (server.metrics().counter("serve.admitted").value() < 3)
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  std::future<serve::Response> in =
+      newcomer.submit(random_fm(m.net.input_shape(), rng));
+
+  int quota = 0, ok = 0;
+  for (auto& f : flood) {
+    const serve::Response r = f.get();
+    if (r.status == serve::Status::kRejectedQuota) ++quota;
+    if (r.status == serve::Status::kOk) ++ok;
+  }
+  EXPECT_EQ(quota, 1) << "one flooder entry must yield to the newcomer";
+  EXPECT_EQ(ok, 1);
+  EXPECT_EQ(in.get().status, serve::Status::kOk);
+  EXPECT_EQ(head.get().status, serve::Status::kOk);
+}
+
+}  // namespace
+}  // namespace tsca

@@ -186,6 +186,69 @@ TEST(Metrics, HistogramQuantilesAndJson) {
   EXPECT_NE(reg.text().find("lat count=5"), std::string::npos);
 }
 
+// The Prometheus exposition (served by the socket front-end's metrics
+// endpoint) must parse line by line and agree with the registry: sanitized
+// tsca_-prefixed names, typed counters, and histograms as a cumulative
+// non-decreasing le-ladder with consistent _sum/_count.
+TEST(Metrics, PrometheusExpositionParsesAndMatchesRegistry) {
+  obs::MetricsRegistry reg;
+  reg.counter("serve.completed").add(7);
+  obs::Histogram& h = reg.histogram("serve.latency_us");
+  std::int64_t expect_sum = 0;
+  for (const std::int64_t v : {0, 1, 3, 500, 1000}) {
+    h.observe(v);
+    expect_sum += v;
+  }
+
+  const std::string text = reg.prometheus();
+  EXPECT_NE(text.find("# TYPE tsca_serve_completed counter\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("tsca_serve_completed 7\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE tsca_serve_latency_us histogram\n"),
+            std::string::npos);
+
+  // Parse every line: TYPE comments name a known type; every sample line is
+  // `name[{le="bound"}] value`; the histogram's ladder is cumulative.
+  std::istringstream is(text);
+  std::string line;
+  std::vector<std::pair<std::string, std::int64_t>> buckets;  // le → count
+  std::int64_t sum = -1, count = -1;
+  while (std::getline(is, line)) {
+    ASSERT_FALSE(line.empty());
+    if (line.rfind("# TYPE tsca_", 0) == 0) {
+      const bool typed = line.ends_with(" counter") ||
+                         line.ends_with(" histogram");
+      EXPECT_TRUE(typed) << line;
+      continue;
+    }
+    EXPECT_EQ(line.rfind("tsca_", 0), 0u) << line;
+    const std::size_t sp = line.rfind(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    const std::string name = line.substr(0, sp);
+    const std::int64_t value = std::stoll(line.substr(sp + 1));
+    if (name.rfind("tsca_serve_latency_us_bucket{le=\"", 0) == 0) {
+      std::string le = name.substr(name.find('"') + 1);
+      le = le.substr(0, le.find('"'));
+      buckets.emplace_back(le, value);
+    } else if (name == "tsca_serve_latency_us_sum") {
+      sum = value;
+    } else if (name == "tsca_serve_latency_us_count") {
+      count = value;
+    }
+  }
+  ASSERT_GE(buckets.size(), 2u);
+  EXPECT_EQ(buckets.front().first, "1");
+  EXPECT_EQ(buckets.front().second, 2) << "zeros and ones share bucket 0";
+  for (std::size_t i = 1; i < buckets.size(); ++i)
+    EXPECT_GE(buckets[i].second, buckets[i - 1].second)
+        << "bucket ladder must be cumulative";
+  EXPECT_EQ(buckets.back().first, "+Inf");
+  EXPECT_EQ(buckets.back().second, 5);
+  EXPECT_EQ(sum, expect_sum);
+  EXPECT_EQ(count, 5);
+}
+
 // --- End-to-end: scaled VGG-16 through the PoolRuntime ---------------------
 
 struct Vgg16Fixture {

@@ -159,11 +159,15 @@ TEST(ServeBatchRun, CancelFlagAbortsExecution) {
 
 // --- RequestQueue ------------------------------------------------------
 
-serve::Pending make_pending(std::uint64_t id, serve::TimePoint deadline) {
+serve::Pending make_pending(std::uint64_t id, serve::TimePoint deadline,
+                            int priority = serve::kPriorityHigh,
+                            std::uint64_t client = 0) {
   serve::Pending p;
   p.request.id = id;
   p.request.deadline = deadline;
   p.request.submitted = serve::Clock::now();
+  p.request.priority = priority;
+  p.request.client_id = client;
   return p;
 }
 
@@ -222,6 +226,147 @@ TEST(ServeQueue, PopWaitFlushesPartialBatchAfterDelay) {
   std::vector<serve::Pending> batch = q.pop_wait(4, 2000, true);
   ASSERT_EQ(batch.size(), 1u);
   EXPECT_EQ(batch[0].request.id, 1u);
+}
+
+TEST(ServeQueue, StrictPriorityAcrossClassesEdfWithinClass) {
+  serve::RequestQueue q(8);
+  const serve::TimePoint now = serve::Clock::now();
+  ASSERT_EQ(q.push(make_pending(1, now + std::chrono::milliseconds(30),
+                                /*priority=*/1)),
+            serve::Admit::kAdmitted);
+  ASSERT_EQ(q.push(make_pending(2, now + std::chrono::milliseconds(10),
+                                /*priority=*/1)),
+            serve::Admit::kAdmitted);
+  ASSERT_EQ(q.push(make_pending(3, serve::kNoDeadline, /*priority=*/0)),
+            serve::Admit::kAdmitted);
+  ASSERT_EQ(q.push(make_pending(4, now + std::chrono::milliseconds(50),
+                                /*priority=*/0)),
+            serve::Admit::kAdmitted);
+
+  // Class 0 drains completely (EDF inside it, no-deadline last) before any
+  // class-1 entry is touched, even though class 1 holds the two earliest
+  // deadlines overall.
+  std::vector<serve::Pending> batch = q.pop_wait(4, 0, /*edf=*/true);
+  ASSERT_EQ(batch.size(), 4u);
+  EXPECT_EQ(batch[0].request.id, 4u);
+  EXPECT_EQ(batch[1].request.id, 3u);
+  EXPECT_EQ(batch[2].request.id, 2u);
+  EXPECT_EQ(batch[3].request.id, 1u);
+}
+
+TEST(ServeQueue, FairShareEvictsOverShareClientForUnderShareClient) {
+  serve::RequestQueue q(4);
+  const serve::TimePoint now = serve::Clock::now();
+  // Client 1 alone may use the whole queue (work-conserving).
+  ASSERT_EQ(q.push(make_pending(1, now + std::chrono::milliseconds(10), 0, 1)),
+            serve::Admit::kAdmitted);
+  ASSERT_EQ(q.push(make_pending(2, serve::kNoDeadline, 0, 1)),
+            serve::Admit::kAdmitted);
+  ASSERT_EQ(q.push(make_pending(3, now + std::chrono::milliseconds(20), 0, 1)),
+            serve::Admit::kAdmitted);
+  ASSERT_EQ(q.push(make_pending(4, now + std::chrono::milliseconds(30), 0, 1)),
+            serve::Admit::kAdmitted);
+
+  // Client 2 arrives under its share (4/2 = 2): client 1's most expendable
+  // entry — latest deadline, and kNoDeadline sorts after every real one —
+  // is evicted to admit it.
+  std::optional<serve::Pending> evicted;
+  EXPECT_EQ(q.push(make_pending(5, now + std::chrono::milliseconds(5), 0, 2),
+                   &evicted),
+            serve::Admit::kAdmitted);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->request.id, 2u);
+  EXPECT_EQ(q.size(), 4u);
+
+  // Still under share: evicts again (latest real deadline now: id 4).
+  evicted.reset();
+  EXPECT_EQ(q.push(make_pending(6, now + std::chrono::milliseconds(5), 0, 2),
+                   &evicted),
+            serve::Admit::kAdmitted);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->request.id, 4u);
+
+  // Both clients at their share: the full queue rejects either of them.
+  evicted.reset();
+  EXPECT_EQ(q.push(make_pending(7, now + std::chrono::milliseconds(1), 0, 2),
+                   &evicted),
+            serve::Admit::kQueueFull);
+  EXPECT_FALSE(evicted.has_value());
+  EXPECT_EQ(q.push(make_pending(8, now + std::chrono::milliseconds(1), 0, 1),
+                   &evicted),
+            serve::Admit::kQueueFull);
+  EXPECT_FALSE(evicted.has_value());
+
+  // A third client shrinks the share to max(1, 4/3) = 1; both incumbents are
+  // over it, and the globally most expendable entry (latest deadline: id 3)
+  // goes.
+  EXPECT_EQ(q.push(make_pending(9, now + std::chrono::milliseconds(1), 0, 3),
+                   &evicted),
+            serve::Admit::kAdmitted);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->request.id, 3u);
+}
+
+TEST(ServeQueue, FairShareVictimPrefersLowestClass) {
+  serve::RequestQueue q(2);
+  const serve::TimePoint now = serve::Clock::now();
+  // Client 1 holds a high-class no-deadline entry and a low-class one with a
+  // tight deadline.  Class dominates the victim choice: the low-class entry
+  // goes even though the high-class one has the later (infinite) deadline.
+  ASSERT_EQ(q.push(make_pending(1, serve::kNoDeadline, /*priority=*/0, 1)),
+            serve::Admit::kAdmitted);
+  ASSERT_EQ(q.push(make_pending(2, now + std::chrono::milliseconds(1),
+                                /*priority=*/2, 1)),
+            serve::Admit::kAdmitted);
+  std::optional<serve::Pending> evicted;
+  EXPECT_EQ(q.push(make_pending(3, serve::kNoDeadline, 0, 2), &evicted),
+            serve::Admit::kAdmitted);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->request.id, 2u);
+}
+
+// Regression test for the stale batch-formation anchor: with the old code,
+// pop_wait computed flush_at from the queue front once per outer iteration;
+// a concurrent popper could then steal that entry, and a *later* arrival
+// inherited the expired window instead of opening its own.
+//
+// Timeline: A is pushed at t0 and a popper (window 400ms, batch 2) anchors
+// on it; a second popper steals A at ~t0+50ms; B arrives at ~t0+100ms.  The
+// fixed code re-anchors on B and holds it until ~t0+500ms; the stale-anchor
+// code flushed B at t0+400ms, only ~300ms after its arrival.  The 350ms
+// assertion threshold sits between the two, and the fixed behaviour can
+// only ever wait *longer* (wait_until never returns early), so the test is
+// timing-robust in the passing direction.
+TEST(ServeQueue, PopWaitReanchorsFlushWindowAfterConcurrentSteal) {
+  serve::RequestQueue q(8);
+  constexpr std::int64_t kWindowUs = 400000;
+  ASSERT_EQ(q.push(make_pending(1, serve::kNoDeadline)),
+            serve::Admit::kAdmitted);
+
+  std::vector<serve::Pending> got;
+  serve::TimePoint popped_at{};
+  std::thread popper([&] {
+    got = q.pop_wait(2, kWindowUs, /*edf=*/true);
+    popped_at = serve::Clock::now();
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // Steal A out from under the waiting popper (zero-delay pop).
+  std::vector<serve::Pending> stolen = q.pop_wait(1, 0, /*edf=*/true);
+  ASSERT_EQ(stolen.size(), 1u);
+  EXPECT_EQ(stolen[0].request.id, 1u);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const serve::TimePoint b_pushed = serve::Clock::now();
+  ASSERT_EQ(q.push(make_pending(2, serve::kNoDeadline)),
+            serve::Admit::kAdmitted);
+  popper.join();
+
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].request.id, 2u);
+  // B must get its own full formation window, not the tail of A's.
+  EXPECT_GE(serve::us_between(b_pushed, popped_at), 350000)
+      << "flush window was anchored on a stolen entry";
 }
 
 // --- Server ------------------------------------------------------------
@@ -435,6 +580,210 @@ TEST(ServeServer, RecordsServeSpansForEveryRequest) {
   for (const std::string& name : tracks)
     if (name.rfind("serve/worker0/", 0) == 0) has_worker_track = true;
   EXPECT_TRUE(has_worker_track);
+}
+
+// Regression test for the lost-clock bug: execute_batch persisted the
+// worker's simulated-cycle clock on the success and cancellation paths but
+// not when run_network_batch threw any other exception, so the next batch
+// on that worker rewound the clock and its layer spans overlapped the
+// failed batch's.  A per-request cycle budget gives a deterministic
+// mid-run failure (the batch aborts after at least one layer has advanced
+// the clock); the spans on the worker's layer track must stay disjoint and
+// monotonic across the failure.
+TEST(ServeServer, WorkerClockPersistsWhenBatchThrowsMidRun) {
+  const SharedModel& m = shared_model();
+  Rng rng(511);
+  obs::Recorder recorder;
+  serve::ServerOptions opts;
+  opts.workers = 1;
+  opts.trace = &recorder;
+  opts.batch.max_queue_delay_us = 0;
+  serve::Server server(*m.program, opts);
+
+  EXPECT_EQ(server.submit(random_fm(m.net.input_shape(), rng)).get().status,
+            serve::Status::kOk);
+  serve::SubmitOptions budgeted;
+  budgeted.cycle_budget = 1;  // exceeded after the first layer's cycles
+  std::future<serve::Response> doomed =
+      server.submit(random_fm(m.net.input_shape(), rng), budgeted);
+  EXPECT_THROW(doomed.get(), driver::BudgetExceeded);
+  EXPECT_EQ(server.submit(random_fm(m.net.input_shape(), rng)).get().status,
+            serve::Status::kOk);
+  server.stop();
+  EXPECT_EQ(server.metrics().counter("serve.exec_errors").value(), 1);
+
+  const std::vector<std::string> tracks = recorder.track_names();
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> spans;  // [begin, end)
+  for (const obs::TraceEvent& e : recorder.events())
+    if (tracks[static_cast<std::size_t>(e.track)] == "serve/worker0/layers")
+      spans.emplace_back(e.begin, e.begin + e.duration);
+  // Three batches ran (the middle one partially); the single worker records
+  // its spans in execution order, and they must never rewind or overlap.
+  ASSERT_GT(spans.size(), 2u);
+  for (std::size_t i = 1; i < spans.size(); ++i)
+    EXPECT_GE(spans[i].first, spans[i - 1].second)
+        << "layer span " << i << " overlaps its predecessor: the failed "
+        << "batch's clock was not persisted";
+}
+
+// A batch that fails validation delivers the exception to every submitter
+// exactly once — futures rethrow the original error, callbacks get a
+// kError response with the reason.
+TEST(ServeServer, ExecutionErrorReachesEverySubmitterExactlyOnce) {
+  const SharedModel& m = shared_model();
+  Rng rng(512);
+  nn::FmShape bad = m.net.input_shape();
+  bad.c += 1;  // shape validation rejects the whole batch up front
+
+  serve::ServerOptions opts;
+  opts.workers = 1;
+  opts.batch.max_batch = 4;
+  opts.batch.max_queue_delay_us = 50000;  // the burst coalesces
+  serve::Server server(*m.program, opts);
+
+  std::vector<std::future<serve::Response>> futures;
+  for (int i = 0; i < 3; ++i)
+    futures.push_back(server.submit(random_fm(bad, rng)));
+  for (auto& f : futures) {
+    EXPECT_THROW(f.get(), tsca::Error);
+    // Exactly once: the future is consumed; a second get() is invalid by
+    // std::future contract, and the promise was never set twice (that
+    // would have thrown promise_already_satisfied inside the server).
+    EXPECT_FALSE(f.valid());
+  }
+
+  // Callback path: the wire cannot carry exceptions, so the same failure
+  // arrives as a kError response with the validation message.
+  std::promise<serve::Response> done;
+  server.submit_with(random_fm(bad, rng), {},
+                     [&done](serve::Response&& r) {
+                       done.set_value(std::move(r));
+                     });
+  const serve::Response r = done.get_future().get();
+  EXPECT_EQ(r.status, serve::Status::kError);
+  EXPECT_FALSE(r.executed);
+  EXPECT_FALSE(r.error.empty());
+  server.stop();
+  EXPECT_GE(server.metrics().counter("serve.exec_errors").value(), 1);
+}
+
+// kNoDeadline requests must never be shed or marked late, even under a
+// feasibility horizon that sheds every finite deadline on sight.
+TEST(ServeServer, NoDeadlineRequestsAreNeverShed) {
+  const SharedModel& m = shared_model();
+  Rng rng(513);
+  serve::ServerOptions opts;
+  opts.workers = 1;
+  opts.batch.max_queue_delay_us = 0;
+  opts.batch.cancel_expired = true;
+  opts.batch.min_slack_us = 3600LL * 1000 * 1000;  // 1h horizon
+  serve::Server server(*m.program, opts);
+
+  // Sanity: a generous finite deadline is still inside the 1h horizon, so
+  // the feasibility shed fires for it...
+  const serve::Response shed =
+      server.submit(random_fm(m.net.input_shape(), rng), 1000000).get();
+  EXPECT_EQ(shed.status, serve::Status::kDeadlineMissed);
+  EXPECT_FALSE(shed.executed);
+
+  // ...but deadline-less requests sail through and complete kOk.
+  for (int i = 0; i < 3; ++i) {
+    const serve::Response r =
+        server.submit(random_fm(m.net.input_shape(), rng)).get();
+    EXPECT_EQ(r.status, serve::Status::kOk);
+    EXPECT_TRUE(r.executed);
+  }
+  server.stop();
+  EXPECT_EQ(server.metrics().counter("serve.expired_shed").value(), 1);
+}
+
+// Client-initiated cancellation: a still-queued request completes as
+// kCancelled without executing; cancelling a finished request is a no-op.
+TEST(ServeServer, CancelRemovesQueuedRequest) {
+  const SharedModel& m = shared_model();
+  Rng rng(514);
+  serve::ServerOptions opts;
+  opts.workers = 1;
+  opts.mode = driver::ExecMode::kCycle;  // slow head pins the worker
+  opts.batch.max_batch = 1;
+  opts.batch.max_queue_delay_us = 0;
+  serve::Server server(*m.program, opts);
+
+  std::future<serve::Response> head =
+      server.submit(random_fm(m.net.input_shape(), rng));
+  while (server.metrics().counter("serve.batches").value() < 1)
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+
+  std::promise<serve::Response> done;
+  const std::uint64_t id = server.submit_with(
+      random_fm(m.net.input_shape(), rng), {},
+      [&done](serve::Response&& r) { done.set_value(std::move(r)); });
+  EXPECT_TRUE(server.cancel(id)) << "request was queued behind the head";
+  const serve::Response r = done.get_future().get();
+  EXPECT_EQ(r.status, serve::Status::kCancelled);
+  EXPECT_FALSE(r.executed);
+
+  EXPECT_EQ(head.get().status, serve::Status::kOk);
+  EXPECT_FALSE(server.cancel(id)) << "already completed: mark path only";
+  server.stop();
+  EXPECT_EQ(server.metrics().counter("serve.cancelled_by_client").value(), 1);
+}
+
+// Fair-share admission end to end: a flooding client cannot lock a second
+// client out of a full queue — the newcomer evicts the flooder's most
+// expendable entry, which completes as kRejectedQuota.
+TEST(ServeServer, FairShareAdmitsSecondClientUnderFlood) {
+  const SharedModel& m = shared_model();
+  Rng rng(515);
+  serve::ServerOptions opts;
+  opts.workers = 1;
+  opts.mode = driver::ExecMode::kCycle;  // slow head pins the worker
+  opts.queue_capacity = 4;
+  opts.batch.max_batch = 1;
+  opts.batch.max_queue_delay_us = 0;
+  serve::Server server(*m.program, opts);
+
+  serve::SubmitOptions flooder;
+  flooder.client_id = 1;
+  serve::SubmitOptions newcomer;
+  newcomer.client_id = 2;
+
+  std::future<serve::Response> head =
+      server.submit(random_fm(m.net.input_shape(), rng), flooder);
+  while (server.metrics().counter("serve.batches").value() < 1)
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+
+  // The flooder fills the whole queue (work-conserving while uncontended).
+  std::vector<std::future<serve::Response>> flood;
+  for (int i = 0; i < 4; ++i)
+    flood.push_back(server.submit(random_fm(m.net.input_shape(), rng),
+                                  flooder));
+  // The newcomer (share 4/2 = 2) evicts two flood entries, then hits its
+  // own share and bounces off kQueueFull like anyone else.
+  std::future<serve::Response> n1 =
+      server.submit(random_fm(m.net.input_shape(), rng), newcomer);
+  std::future<serve::Response> n2 =
+      server.submit(random_fm(m.net.input_shape(), rng), newcomer);
+  const serve::Response n3 =
+      server.submit(random_fm(m.net.input_shape(), rng), newcomer).get();
+  EXPECT_EQ(n3.status, serve::Status::kRejectedQueueFull);
+
+  int quota_rejected = 0;
+  for (auto& f : flood) {
+    const serve::Response r = f.get();
+    if (r.status == serve::Status::kRejectedQuota) {
+      ++quota_rejected;
+      EXPECT_FALSE(r.executed);
+    } else {
+      EXPECT_EQ(r.status, serve::Status::kOk);
+    }
+  }
+  EXPECT_EQ(quota_rejected, 2);
+  EXPECT_EQ(head.get().status, serve::Status::kOk);
+  EXPECT_EQ(n1.get().status, serve::Status::kOk);
+  EXPECT_EQ(n2.get().status, serve::Status::kOk);
+  server.stop();
+  EXPECT_EQ(server.metrics().counter("serve.rejected_quota").value(), 2);
 }
 
 // --- Load generator ----------------------------------------------------
