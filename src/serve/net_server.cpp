@@ -75,6 +75,10 @@ void NetServer::accept_loop() {
       return;
     }
     set_nodelay(fd);
+    // Every accept reclaims the connections that finished since the last
+    // one, so held fds/threads are bounded by the live set, not by the
+    // connection history (think one metrics scrape per connection, forever).
+    reap_finished_connections();
     auto conn = std::make_shared<Connection>();
     conn->fd = fd;
     conn->client_id = next_client_id_.fetch_add(1, std::memory_order_relaxed);
@@ -85,6 +89,36 @@ void NetServer::accept_loop() {
     conn->reader = std::thread([this, conn] { reader_loop(conn); });
     conn->writer = std::thread([this, conn] { writer_loop(conn); });
   }
+}
+
+void NetServer::reap_finished_connections() {
+  std::vector<std::shared_ptr<Connection>> dead;
+  {
+    const std::lock_guard<std::mutex> lock(conns_m_);
+    auto it = conns_.begin();
+    while (it != conns_.end()) {
+      if ((*it)->reader_done.load(std::memory_order_acquire) &&
+          (*it)->writer_done.load(std::memory_order_acquire)) {
+        dead.push_back(std::move(*it));
+        it = conns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  // Joins return immediately (both loops already ran their last statement).
+  // Late completion callbacks may still hold the shared_ptr and park frames
+  // in the outbox; they never touch the fd, so closing it here is safe.
+  for (const std::shared_ptr<Connection>& conn : dead) {
+    conn->reader.join();
+    conn->writer.join();
+    ::close(conn->fd);
+  }
+}
+
+std::size_t NetServer::tracked_connections() {
+  const std::lock_guard<std::mutex> lock(conns_m_);
+  return conns_.size();
 }
 
 void NetServer::enqueue(const std::shared_ptr<Connection>& conn, MsgType type,
@@ -109,7 +143,12 @@ void NetServer::handle_frame(const std::shared_ptr<Connection>& conn,
       opts.client_id = conn->client_id;
       {
         const std::lock_guard<std::mutex> lock(conn->m);
-        conn->open.insert(wire_id);
+        // A wire_id may be reused only after its response: two in-flight
+        // requests sharing one id would cross their cancel/response routing,
+        // so reject the frame like any other malformed traffic.
+        if (!conn->open.insert(wire_id).second)
+          throw ProtocolError("wire_id " + std::to_string(wire_id) +
+                              " is already in flight on this connection");
       }
       const std::shared_ptr<Connection> c = conn;
       const std::uint64_t sid = server_.submit_with(
@@ -180,6 +219,7 @@ void NetServer::reader_loop(const std::shared_ptr<Connection>& conn) {
     conn->closing = true;
   }
   conn->cv.notify_all();
+  conn->reader_done.store(true, std::memory_order_release);
 }
 
 void NetServer::writer_loop(const std::shared_ptr<Connection>& conn) {
@@ -205,8 +245,11 @@ void NetServer::writer_loop(const std::shared_ptr<Connection>& conn) {
   // The connection is finished either way.  The shutdown sends the FIN the
   // peer is waiting on (reader bailed on malformed traffic) and unblocks the
   // reader when the *writer* failed first (peer stopped reading but never
-  // closed).  The fd itself is reclaimed in stop().
+  // closed).  The fd itself is reclaimed by the accept loop's reap pass (or
+  // by stop()) once the reader is done too — never here, so a racing stop()
+  // cannot shutdown() a recycled descriptor.
   ::shutdown(conn->fd, SHUT_RDWR);
+  conn->writer_done.store(true, std::memory_order_release);
 }
 
 void NetServer::stop() {

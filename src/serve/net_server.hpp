@@ -33,10 +33,13 @@
 // instead of a separate HTTP listener.
 //
 // Lifetime: the NetServer must be destroyed before the Server it fronts
-// (declare it after).  stop() closes the listener, shuts every connection
-// down, and joins all threads; late completion callbacks after stop() park
-// their frames in a dead outbox and the connection state is freed with the
-// last shared_ptr.
+// (declare it after).  A finished connection (peer gone, both loops exited)
+// is reaped — threads joined, fd closed, entry dropped — by the accept loop
+// as new connections arrive, so resources track the live set, not the
+// connection history.  stop() closes the listener, shuts every remaining
+// connection down, and joins all threads; late completion callbacks after
+// either park their frames in a dead outbox and the connection state is
+// freed with the last shared_ptr.
 #pragma once
 
 #include <atomic>
@@ -79,6 +82,12 @@ class NetServer {
   // responses are dropped.
   void stop();
 
+  // Connections currently tracked (live, plus finished ones not yet reaped).
+  // Finished connections are reaped — threads joined, fd closed, entry
+  // erased — by the accept loop on the next accept, so a long-lived server
+  // does not accumulate an fd and two dead threads per disconnect.
+  std::size_t tracked_connections();
+
  private:
   struct Connection {
     int fd = -1;
@@ -95,9 +104,14 @@ class NetServer {
     std::unordered_set<std::uint64_t> open;
     std::thread reader;
     std::thread writer;
+    // Set as each loop's last act; once both are up the threads are join()
+    // -able without blocking and the connection is reapable.
+    std::atomic<bool> reader_done{false};
+    std::atomic<bool> writer_done{false};
   };
 
   void accept_loop();
+  void reap_finished_connections();
   void reader_loop(const std::shared_ptr<Connection>& conn);
   void writer_loop(const std::shared_ptr<Connection>& conn);
   void handle_frame(const std::shared_ptr<Connection>& conn,

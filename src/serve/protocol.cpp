@@ -96,8 +96,12 @@ nn::FeatureMapI8 get_fm(Reader& r) {
   const std::size_t count = static_cast<std::size_t>(s.count());
   nn::FeatureMapI8 fm;
   if (count == 0) return fm;
+  // Bounds-check the wire-claimed element count against the payload BEFORE
+  // sizing the allocation from it: a corrupt 65535³ header must throw
+  // ProtocolError, not zero-fill terabytes or escape as bad_alloc.
+  const std::uint8_t* p = r.take(count);
   fm = nn::FeatureMapI8(s);
-  std::memcpy(fm.data(), r.take(count), count);
+  std::memcpy(fm.data(), p, count);
   return fm;
 }
 

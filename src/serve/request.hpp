@@ -60,8 +60,9 @@ struct Request {
   // one — admission fairness is a trust boundary).
   std::uint64_t client_id = 0;
   // Per-request simulated-cycle execution budget (0 = unlimited): the
-  // worker aborts the batch with driver::BudgetExceeded once it has run
-  // this many cycles, so a pathological request cannot hog a worker.
+  // worker aborts the run with driver::BudgetExceeded once it has run this
+  // many cycles, so a pathological request cannot hog a worker.  Only the
+  // budget-setting request pays — co-batched neighbors re-run unharmed.
   std::uint64_t cycle_budget = 0;
 };
 

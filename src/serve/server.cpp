@@ -205,7 +205,7 @@ void Server::execute_batch(int w, driver::AcceleratorPool::Context& ctx,
     if (batch.empty()) return;
   }
 
-  // A fresh serial Runtime per batch over this worker's private context,
+  // A fresh serial Runtime per attempt over this worker's private context,
   // exactly like PoolRuntime::serve — adopted residency, worker-scoped
   // trace tracks, the worker's simulated-cycle clock carried across batches.
   driver::RuntimeOptions ropts;
@@ -214,54 +214,83 @@ void Server::execute_batch(int w, driver::AcceleratorPool::Context& ctx,
   ropts.metrics = metrics_;
   ropts.trace_scope = "serve/worker" + std::to_string(w) + "/";
   ropts.cancel = &cancel_;
-  // The batch is the execution unit, so its strictest member's cycle budget
-  // governs the whole run.
-  std::uint64_t budget = 0;
-  for (const Pending& p : batch)
-    if (p.request.cycle_budget != 0)
-      budget = budget == 0 ? p.request.cycle_budget
-                           : std::min(budget, p.request.cycle_budget);
-  ropts.cycle_budget = budget;
-  driver::Runtime runtime(ctx.acc, ctx.dram, ctx.dma, ropts);
-  runtime.adopt_staged_program(ctx.staged_stamp, ctx.ddr_floor);
-  runtime.set_trace_clock(ctx.trace_clock);
-
-  // Whatever happens below — success, stop()-cancellation, a budget abort, a
-  // typed validation error — the context must absorb the simulated cycles
-  // the runtime burned before the throw, or the next batch on this worker
-  // rewinds the clock and its trace spans overlap this batch's.
-  struct ClockGuard {
-    driver::AcceleratorPool::Context& ctx;
-    driver::Runtime& runtime;
-    ~ClockGuard() { ctx.trace_clock = runtime.trace_clock(); }
-  } clock_guard{ctx, runtime};
-
-  std::vector<nn::FeatureMapI8> inputs;
-  inputs.reserve(batch.size());
-  for (const Pending& p : batch) inputs.push_back(p.request.input);
 
   driver::BatchNetworkRun result;
-  try {
-    result = runtime.run_network_batch(program_, inputs);
-  } catch (const driver::RequestCancelled&) {
-    for (Pending& p : batch) {
-      Response r;
-      r.id = p.request.id;
-      r.status = Status::kCancelled;
-      r.latency.queued_us = us_between(p.request.submitted, p.dispatched);
-      r.latency.batch_us = us_between(p.dispatched, exec_start);
-      r.latency.exec_us = us_between(exec_start, Clock::now());
-      metrics_->counter("serve.cancelled").add(1);
-      complete(p, std::move(r));
+  for (;;) {
+    // The batch is the execution unit, so its strictest member's cycle
+    // budget governs the run — but only that member pays for a budget
+    // abort.  Batches form across clients and SLO classes, so on
+    // BudgetExceeded the requests that imposed the governing budget fail
+    // alone and the rest of the batch re-runs: one client submitting
+    // cycle_budget=1 requests cannot poison its co-batched neighbors.
+    std::uint64_t budget = 0;
+    for (const Pending& p : batch)
+      if (p.request.cycle_budget != 0)
+        budget = budget == 0 ? p.request.cycle_budget
+                             : std::min(budget, p.request.cycle_budget);
+    ropts.cycle_budget = budget;
+    driver::Runtime runtime(ctx.acc, ctx.dram, ctx.dma, ropts);
+    runtime.adopt_staged_program(ctx.staged_stamp, ctx.ddr_floor);
+    runtime.set_trace_clock(ctx.trace_clock);
+
+    // Whatever happens below — success, stop()-cancellation, a budget
+    // abort, a typed validation error — the context must absorb the
+    // simulated cycles the runtime burned before the throw, or the next
+    // run on this worker rewinds the clock and its trace spans overlap
+    // this batch's.
+    struct ClockGuard {
+      driver::AcceleratorPool::Context& ctx;
+      driver::Runtime& runtime;
+      ~ClockGuard() { ctx.trace_clock = runtime.trace_clock(); }
+    } clock_guard{ctx, runtime};
+
+    std::vector<nn::FeatureMapI8> inputs;
+    inputs.reserve(batch.size());
+    for (const Pending& p : batch) inputs.push_back(p.request.input);
+
+    try {
+      result = runtime.run_network_batch(program_, inputs);
+      break;
+    } catch (const driver::RequestCancelled&) {
+      for (Pending& p : batch) {
+        Response r;
+        r.id = p.request.id;
+        r.status = Status::kCancelled;
+        r.latency.queued_us = us_between(p.request.submitted, p.dispatched);
+        r.latency.batch_us = us_between(p.dispatched, exec_start);
+        r.latency.exec_us = us_between(exec_start, Clock::now());
+        metrics_->counter("serve.cancelled").add(1);
+        complete(p, std::move(r));
+      }
+      return;
+    } catch (const driver::BudgetExceeded&) {
+      metrics_->counter("serve.exec_errors").add(1);
+      metrics_->counter("serve.budget_exceeded").add(1);
+      const std::exception_ptr err = std::current_exception();
+      std::vector<Pending> survivors;
+      survivors.reserve(batch.size());
+      for (Pending& p : batch) {
+        if (p.request.cycle_budget != 0 && p.request.cycle_budget == budget)
+          complete_error(p, err);
+        else
+          survivors.push_back(std::move(p));
+      }
+      // budget == 0 never throws BudgetExceeded, so some request always
+      // matched above — but never risk re-running an unshrunk batch.
+      if (survivors.size() == batch.size()) {
+        for (Pending& p : survivors) complete_error(p, err);
+        return;
+      }
+      batch = std::move(survivors);
+      if (batch.empty()) return;
+    } catch (...) {
+      // Execution failed some other way (bad input shape, ...): the error
+      // belongs to the submitters — the original exception through
+      // in-process futures, a kError Response on the callback path.
+      metrics_->counter("serve.exec_errors").add(1);
+      for (Pending& p : batch) complete_error(p, std::current_exception());
+      return;
     }
-    return;
-  } catch (...) {
-    // Execution failed some other way (bad input shape, budget exceeded,
-    // ...): the error belongs to the submitters — the original exception
-    // through in-process futures, a kError Response on the callback path.
-    metrics_->counter("serve.exec_errors").add(1);
-    for (Pending& p : batch) complete_error(p, std::current_exception());
-    return;
   }
 
   const TimePoint exec_end = Clock::now();

@@ -82,6 +82,23 @@ std::vector<std::int8_t> direct_logits(const nn::FeatureMapI8& input) {
   return runtime.run_network(*m.program, input).logits;
 }
 
+// A raw loopback socket for speaking deliberately hostile bytes at the
+// server, bypassing NetClient's well-formedness.
+int connect_raw(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+          0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
 // --- Wire protocol codecs ---------------------------------------------
 
 TEST(NetProtocol, RequestRoundTripsAllFields) {
@@ -167,6 +184,26 @@ TEST(NetProtocol, MalformedPayloadsThrowInsteadOfMisparse) {
   EXPECT_THROW(serve::decode_response(resp), serve::ProtocolError);
 
   EXPECT_THROW(serve::decode_cancel({1, 2, 3}), serve::ProtocolError);
+}
+
+// Regression test for allocate-before-validate: get_fm sized the feature
+// map from the wire-claimed dims before bounds-checking them against the
+// payload, so a tiny frame claiming 65535³ elements (~280TB) escaped as
+// std::bad_alloc/length_error — not a ProtocolError, so it blew past the
+// reader's catch and std::terminate'd the process — while 1×65535×65535
+// (~4.3GB) quietly zero-filled real memory.  The claim must be checked
+// against the payload first and fail as ProtocolError.
+TEST(NetProtocol, HugeClaimedFmDimsThrowBeforeAllocating) {
+  Rng rng(610);
+  const nn::FeatureMapI8 fm = random_fm({1, 1, 1}, rng);
+  std::vector<std::uint8_t> payload = serve::encode_request(1, {}, fm);
+  // Dims sit after u64 id | i64 deadline | u8 priority | u64 budget.
+  ASSERT_EQ(payload.size(), 32u);
+  for (std::size_t i = 25; i < 31; ++i) payload[i] = 0xff;  // 65535³ claimed
+  EXPECT_THROW(serve::decode_request(payload), serve::ProtocolError);
+  payload[25] = 1;  // 1×65535×65535: an allocation that would succeed —
+  payload[26] = 0;  // and must not happen either
+  EXPECT_THROW(serve::decode_request(payload), serve::ProtocolError);
 }
 
 // --- Socket end-to-end -------------------------------------------------
@@ -339,6 +376,84 @@ TEST(NetServe, MalformedFrameDropsConnectionNotServer) {
   serve::NetClient client("127.0.0.1", net.port());
   const nn::FeatureMapI8 good = random_fm(m.net.input_shape(), rng);
   EXPECT_EQ(client.submit(good).get().status, serve::Status::kOk);
+}
+
+// The same hostile frame over the socket: a huge claimed feature map costs
+// the connection (ProtocolError → drop), never the process and never the
+// memory — pre-fix this test died with the server on std::terminate.
+TEST(NetServe, HugeClaimedRequestDropsConnectionNotServer) {
+  const SharedModel& m = shared_model();
+  Rng rng(611);
+  serve::Server server(*m.program, {});
+  serve::NetServer net(server);
+
+  std::vector<std::uint8_t> payload =
+      serve::encode_request(1, {}, random_fm({1, 1, 1}, rng));
+  for (std::size_t i = 25; i < 31; ++i) payload[i] = 0xff;
+  const int fd = connect_raw(net.port());
+  ASSERT_GE(fd, 0);
+  serve::write_frame(fd, serve::MsgType::kRequest, payload);
+  char buf[8];
+  EXPECT_EQ(::recv(fd, buf, sizeof(buf), 0), 0);  // dropped: EOF, no crash
+  ::close(fd);
+
+  // And keeps serving well-formed clients.
+  serve::NetClient client("127.0.0.1", net.port());
+  EXPECT_EQ(client.submit(random_fm(m.net.input_shape(), rng)).get().status,
+            serve::Status::kOk);
+}
+
+// Two in-flight requests sharing a wire_id would cross their response and
+// cancel routing (the first completion erases the second's cancel mapping);
+// the server rejects the duplicate like any other malformed traffic.
+TEST(NetServe, DuplicateInFlightWireIdDropsConnection) {
+  const SharedModel& m = shared_model();
+  Rng rng(612);
+  serve::ServerOptions opts;
+  opts.workers = 1;
+  opts.mode = driver::ExecMode::kCycle;  // slow: the first stays in flight
+  serve::Server server(*m.program, opts);
+  serve::NetServer net(server);
+
+  const int fd = connect_raw(net.port());
+  ASSERT_GE(fd, 0);
+  const std::vector<std::uint8_t> payload =
+      serve::encode_request(7, {}, random_fm(m.net.input_shape(), rng));
+  serve::write_frame(fd, serve::MsgType::kRequest, payload);
+  serve::write_frame(fd, serve::MsgType::kRequest, payload);
+  char buf[8];
+  EXPECT_EQ(::recv(fd, buf, sizeof(buf), 0), 0);  // duplicate costs the conn
+  ::close(fd);
+}
+
+// Regression test for the per-connection leak: close()d connections kept
+// their fd and two finished threads in conns_ until stop(), so a long-lived
+// server (one metrics scrape per connection, forever) ran out of fds.  The
+// accept loop now reaps finished connections, so churning clients must
+// drive the tracked set back down to the live probe itself.
+TEST(NetServe, FinishedConnectionsAreReaped) {
+  const SharedModel& m = shared_model();
+  Rng rng(613);
+  serve::Server server(*m.program, {});
+  serve::NetServer net(server);
+
+  for (int i = 0; i < 8; ++i) {
+    serve::NetClient c("127.0.0.1", net.port());
+    EXPECT_EQ(c.submit(random_fm(m.net.input_shape(), rng)).get().status,
+              serve::Status::kOk);
+    c.close();
+  }
+  // Reaping rides the accept path, and a just-closed connection's threads
+  // wind down asynchronously — so probe until the sweep has caught up: the
+  // tracked set must shrink to the probe plus at most one straggler.
+  std::size_t tracked = ~std::size_t{0};
+  for (int i = 0; i < 500 && tracked > 2; ++i) {
+    serve::NetClient probe("127.0.0.1", net.port());
+    tracked = net.tracked_connections();
+    probe.close();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_LE(tracked, 2u) << "closed connections were never reaped";
 }
 
 TEST(NetServe, ConnectionsAreDistinctFairShareClients) {

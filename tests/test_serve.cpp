@@ -626,6 +626,44 @@ TEST(ServeServer, WorkerClockPersistsWhenBatchThrowsMidRun) {
         << "batch's clock was not persisted";
 }
 
+// Regression test for batch budget poisoning: execute_batch applied the
+// strictest member's cycle budget to the whole run, and a BudgetExceeded
+// failed every co-batched request — one client submitting cycle_budget=1
+// requests poisoned its neighbors (other clients, other SLO classes) in
+// every batch it landed in.  Only the budget-setting request may fail; the
+// survivors re-run and complete with correct logits.
+TEST(ServeServer, BudgetAbortDoesNotPoisonCoBatchedNeighbors) {
+  const SharedModel& m = shared_model();
+  Rng rng(515);
+  serve::ServerOptions opts;
+  opts.workers = 1;
+  opts.batch.max_batch = 4;
+  opts.batch.max_queue_delay_us = 50000;  // the burst coalesces into a batch
+  serve::Server server(*m.program, opts);
+
+  const nn::FeatureMapI8 a = random_fm(m.net.input_shape(), rng);
+  const nn::FeatureMapI8 b = random_fm(m.net.input_shape(), rng);
+  serve::SubmitOptions budgeted;
+  budgeted.cycle_budget = 1;  // exceeded after the first layer's cycles
+  std::future<serve::Response> victim_a = server.submit(a);
+  std::future<serve::Response> doomed =
+      server.submit(random_fm(m.net.input_shape(), rng), budgeted);
+  std::future<serve::Response> victim_b = server.submit(b);
+
+  EXPECT_THROW(doomed.get(), driver::BudgetExceeded);
+  const serve::Response ra = victim_a.get();
+  EXPECT_EQ(ra.status, serve::Status::kOk);
+  EXPECT_EQ(ra.logits, direct_logits(a));
+  // All three coalesced; the survivors re-ran as a batch of two.
+  EXPECT_EQ(ra.batch_size, 2);
+  const serve::Response rb = victim_b.get();
+  EXPECT_EQ(rb.status, serve::Status::kOk);
+  EXPECT_EQ(rb.logits, direct_logits(b));
+  server.stop();
+  EXPECT_EQ(server.metrics().counter("serve.budget_exceeded").value(), 1);
+  EXPECT_EQ(server.metrics().counter("serve.completed").value(), 2);
+}
+
 // A batch that fails validation delivers the exception to every submitter
 // exactly once — futures rethrow the original error, callbacks get a
 // kError response with the reason.
