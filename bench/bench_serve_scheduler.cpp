@@ -27,11 +27,22 @@
 // and evictions.  This runs the full wire path (encode, TCP, decode,
 // callback completion), not the in-process futures.
 //
+// Third experiment: two-model mixed traffic through a ProgramRegistry.
+// The scaled VGG-16 and a MobileNet-style zoo net sit behind one server;
+// two TCP clients offer open-loop Poisson traffic, each tagged with its
+// own wire model_id.  The server forms single-model batches and restages
+// worker contexts when consecutive batches switch programs; the sweep
+// records per-model goodput/latency, the per-model serving counters, and
+// the restage count.  The gate is behavioral, not a speed bar: both
+// models make progress with zero errors and zero unknown-model
+// rejections, and at least one context restage occurred (i.e. the models
+// genuinely shared workers rather than one of them starving).
+//
 // Emits BENCH_serve.json into the working directory.  Exit code 1 when the
 // overload gate fails: at the highest offered load the batched policy must
 // beat the FIFO baseline on BOTH p99 latency and goodput — or when the
-// mixed-priority gate fails.  --quick shrinks the sweep for the tier-1
-// smoke run.
+// mixed-priority or multi-model gate fails.  --quick shrinks the sweep for
+// the tier-1 smoke run.
 #include <algorithm>
 #include <bit>
 #include <chrono>
@@ -43,8 +54,10 @@
 
 #include "core/accelerator.hpp"
 #include "driver/program.hpp"
+#include "driver/program_registry.hpp"
 #include "driver/runtime.hpp"
 #include "nn/vgg16.hpp"
+#include "nn/zoo.hpp"
 #include "quant/prune.hpp"
 #include "quant/quantize.hpp"
 #include "serve/client.hpp"
@@ -319,6 +332,118 @@ void write_class_json(FILE* out, const ClassRow& r, bool last) {
       static_cast<long long>(r.report.latency_us.p99), last ? "" : ",");
 }
 
+// --- Two-model mixed traffic through the ProgramRegistry ----------------
+
+struct ModelRow {
+  const char* id;
+  double offered_x = 0.0;
+  serve::LoadReport report;
+  std::uint64_t completed_metric = 0;
+  std::uint64_t missed_metric = 0;
+};
+
+struct MultiPoint {
+  double total_x = 0.0;
+  ModelRow vgg;
+  ModelRow mobile;
+  std::uint64_t restage = 0;
+  std::uint64_t unknown_rejected = 0;
+};
+
+// One total-offered-load point, split 50/50 between the two models, each
+// stream on its own TCP connection tagging requests with its model_id.
+MultiPoint run_multi_model_point(driver::ProgramRegistry& registry,
+                                 const nn::FmShape& vgg_shape,
+                                 const nn::FmShape& mobile_shape,
+                                 double total_x, double capacity_rps,
+                                 double window_s, std::int64_t deadline_us,
+                                 std::int64_t batch_delay_us,
+                                 std::int64_t min_slack_us) {
+  serve::ServerOptions opts = make_options(true);
+  opts.batch.max_queue_delay_us = batch_delay_us;
+  opts.batch.min_slack_us = min_slack_us;
+  serve::Server server(registry, "vgg", opts);
+  serve::NetServer net(server);
+  serve::NetClient vgg_client("127.0.0.1", net.port());
+  serve::NetClient mobile_client("127.0.0.1", net.port());
+
+  const auto make_load = [&](double x, std::uint64_t seed) {
+    serve::LoadOptions load;
+    load.rate_rps = x * capacity_rps;
+    load.requests = std::max(16, static_cast<int>(load.rate_rps * window_s));
+    load.deadline_us = deadline_us;
+    load.seed = seed;
+    return load;
+  };
+  const auto submit_as = [](serve::NetClient& client, const char* id) {
+    return [&client, id](nn::FeatureMapI8&& input) {
+      serve::SubmitOptions sopts;
+      sopts.model_id = id;
+      return client.submit(std::move(input), sopts);
+    };
+  };
+
+  const double half = total_x / 2.0;
+  MultiPoint point;
+  point.total_x = total_x;
+  point.vgg.id = "vgg";
+  point.vgg.offered_x = half;
+  point.mobile.id = "mobile";
+  point.mobile.offered_x = half;
+  std::thread vgg_thread([&] {
+    point.vgg.report = serve::run_load_with(submit_as(vgg_client, "vgg"),
+                                            vgg_shape, make_load(half, 31));
+  });
+  point.mobile.report = serve::run_load_with(
+      submit_as(mobile_client, "mobile"), mobile_shape, make_load(half, 32));
+  vgg_thread.join();
+  vgg_client.close();
+  mobile_client.close();
+  net.stop();
+  server.stop();
+  point.vgg.completed_metric =
+      server.metrics().counter("serve.model.vgg.completed").value();
+  point.vgg.missed_metric =
+      server.metrics().counter("serve.model.vgg.deadline_missed").value();
+  point.mobile.completed_metric =
+      server.metrics().counter("serve.model.mobile.completed").value();
+  point.mobile.missed_metric =
+      server.metrics().counter("serve.model.mobile.deadline_missed").value();
+  point.restage = server.metrics().counter("serve.model_restage").value();
+  point.unknown_rejected =
+      server.metrics().counter("serve.rejected_unknown_model").value();
+  return point;
+}
+
+void print_model_row(double total_x, const ModelRow& r) {
+  std::printf(
+      "  total x%.1f %-6s x%.1f  goodput=%7.0f rps  ok=%4d  late=%3d  "
+      "shed=%4d  rej=%4d  p50=%6lld us  p99=%6lld us  completed=%llu\n",
+      total_x, r.id, r.offered_x, r.report.goodput_rps, r.report.ok,
+      r.report.executed_late,
+      r.report.deadline_missed - r.report.executed_late, r.report.rejected,
+      static_cast<long long>(r.report.latency_us.p50),
+      static_cast<long long>(r.report.latency_us.p99),
+      static_cast<unsigned long long>(r.completed_metric));
+}
+
+void write_model_json(FILE* out, const ModelRow& r, bool last) {
+  std::fprintf(
+      out,
+      "      {\"model\": \"%s\", \"offered_x\": %.2f, \"submitted\": %d, "
+      "\"ok\": %d, \"rejected\": %d, \"deadline_missed\": %d, "
+      "\"executed_late\": %d, \"errors\": %d, \"goodput_rps\": %.2f, "
+      "\"latency_us\": {\"p50\": %lld, \"p99\": %lld}, "
+      "\"completed_metric\": %llu, \"deadline_missed_metric\": %llu}%s\n",
+      r.id, r.offered_x, r.report.submitted, r.report.ok, r.report.rejected,
+      r.report.deadline_missed, r.report.executed_late, r.report.errors,
+      r.report.goodput_rps,
+      static_cast<long long>(r.report.latency_us.p50),
+      static_cast<long long>(r.report.latency_us.p99),
+      static_cast<unsigned long long>(r.completed_metric),
+      static_cast<unsigned long long>(r.missed_metric), last ? "" : ",");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -425,6 +550,42 @@ int main(int argc, char** argv) {
   const bool gate_mixed = gate_high_p99 && gate_high_goodput &&
                           gate_low_absorbs;
 
+  // Two-model mixed traffic through the registry, 50/50 split per point.
+  // The offered-load multiples are relative to the VGG socket capacity —
+  // the MobileNet-style net has its own service time, so the multiples are
+  // nominal for that stream; the gate is behavioral (progress + restage),
+  // not a latency bar.
+  driver::ProgramRegistry registry(core::ArchConfig::k256_opt());
+  registry.add_model("vgg", w.net, w.model);
+  const zoo::ZooModel mobile_zoo = zoo::make_mobile_depthwise(11);
+  registry.add_model("mobile", mobile_zoo.net, mobile_zoo.model);
+  std::printf("multi-model over socket: vgg + mobile behind one registry, "
+              "single-model batches, context restage on model switch\n");
+  std::vector<MultiPoint> multi;
+  for (const double total_x :
+       quick ? std::vector<double>{1.0} : std::vector<double>{1.0, 2.0}) {
+    multi.push_back(run_multi_model_point(
+        registry, w.net.input_shape(), mobile_zoo.net.input_shape(), total_x,
+        socket_capacity_rps, window_s, mixed_deadline_us, mixed_delay_us,
+        mixed_slack_us));
+    print_model_row(total_x, multi.back().vgg);
+    print_model_row(total_x, multi.back().mobile);
+    std::printf("  total x%.1f restages=%llu unknown_rejected=%llu\n",
+                total_x,
+                static_cast<unsigned long long>(multi.back().restage),
+                static_cast<unsigned long long>(multi.back().unknown_rejected));
+  }
+  bool gate_multi = true;
+  std::uint64_t total_restages = 0;
+  for (const MultiPoint& p : multi) {
+    if (p.vgg.report.ok <= 0 || p.mobile.report.ok <= 0) gate_multi = false;
+    if (p.vgg.report.errors != 0 || p.mobile.report.errors != 0)
+      gate_multi = false;
+    if (p.unknown_rejected != 0) gate_multi = false;
+    total_restages += p.restage;
+  }
+  if (total_restages == 0) gate_multi = false;
+
   FILE* out = std::fopen("BENCH_serve.json", "w");
   if (out == nullptr) {
     std::fprintf(stderr, "FAIL: cannot write BENCH_serve.json\n");
@@ -488,6 +649,28 @@ int main(int argc, char** argv) {
                at3.low.shed() + at3.low.report.rejected_quota +
                    at3.low.report.rejected,
                gate_mixed ? "true" : "false");
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"multi_model\": {\n");
+  std::fprintf(out, "    \"transport\": \"socket\",\n");
+  std::fprintf(out, "    \"models\": [\"vgg\", \"mobile\"],\n");
+  std::fprintf(out, "    \"default_model\": \"vgg\",\n");
+  std::fprintf(out, "    \"points\": [\n");
+  for (std::size_t i = 0; i < multi.size(); ++i) {
+    std::fprintf(out,
+                 "      {\"total_x\": %.1f, \"restages\": %llu, "
+                 "\"unknown_rejected\": %llu, \"models\": [\n",
+                 multi[i].total_x,
+                 static_cast<unsigned long long>(multi[i].restage),
+                 static_cast<unsigned long long>(multi[i].unknown_rejected));
+    write_model_json(out, multi[i].vgg, false);
+    write_model_json(out, multi[i].mobile, true);
+    std::fprintf(out, "      ]}%s\n", i + 1 == multi.size() ? "" : ",");
+  }
+  std::fprintf(out, "    ],\n");
+  std::fprintf(out,
+               "    \"gate\": {\"total_restages\": %llu, \"pass\": %s}\n",
+               static_cast<unsigned long long>(total_restages),
+               gate_multi ? "true" : "false");
   std::fprintf(out, "  }\n");
   std::fprintf(out, "}\n");
   std::fclose(out);
@@ -520,6 +703,17 @@ int main(int argc, char** argv) {
   } else {
     std::printf(
         "mixed-priority gate: high class insulated at 3x total load\n");
+  }
+  if (!gate_multi) {
+    std::fprintf(stderr,
+                 "FAIL: multi-model gate: both models must make progress "
+                 "with zero errors and zero unknown-model rejections, and "
+                 "workers must restage between models (restages=%llu)\n",
+                 static_cast<unsigned long long>(total_restages));
+    failed = true;
+  } else {
+    std::printf("multi-model gate: both models served, %llu restages\n",
+                static_cast<unsigned long long>(total_restages));
   }
   return failed ? 1 : 0;
 }

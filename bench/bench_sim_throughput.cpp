@@ -19,6 +19,17 @@
 // Emits BENCH_sim_throughput.json into the working directory (run it from
 // the repo root; the JSON is tracked there so the perf trajectory survives
 // across PRs).  With --fast, runs only the fast-path sections.
+//
+// Reading the serve rows: `speedup_vs_1w` below 1.0 at 2/4 workers is a
+// host-capacity artifact, not simulator contention, whenever `host_cpus`
+// is smaller than the worker count — the worker threads time-share the
+// available cores, so extra workers only add scheduling/coordination
+// overhead, and per-request `request_wall_us` p50 inflates with queue
+// depth because all 16 images are dispatched at once and each request's
+// wall clock includes its wait for a core.  The JSON records the verdict
+// in `serve_scaling.verdict` ("host-capacity artifact" on starved hosts,
+// "contention" only when >= 4 real cores fail to reach 2x), and the exit
+// gate below only enforces the speedup when the host can express one.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -473,6 +484,16 @@ int main(int argc, char** argv) {
   const double speedup4 = serve_rows.front().wall_s / serve_rows.back().wall_s;
   std::printf("\nserve speedup, 4 workers vs 1: %.2fx (deterministic: yes)\n",
               speedup4);
+  // Classify sub-linear serve scaling so the tracked JSON says whether the
+  // numbers mean anything: on a host with fewer cores than workers the
+  // threads time-share and sub-1 speedups are expected (see file header).
+  const char* serve_verdict =
+      cpus >= 4 ? (speedup4 >= 2.0 ? "scales" : "contention")
+                : "host-capacity artifact: fewer host cpus than workers, so "
+                  "worker threads time-share cores; sub-1 speedup_vs_1w and "
+                  "queue-depth-inflated request p50 are expected and do not "
+                  "indicate simulator contention";
+  std::printf("serve scaling verdict: %s\n", serve_verdict);
 
   // --- fast path vs cycle engine ----------------------------------------
   std::printf("\nfast: warm serve latency, fast path vs cycle engine "
@@ -561,6 +582,10 @@ int main(int argc, char** argv) {
                  i + 1 < serve_rows.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n");
+  std::fprintf(out,
+               "  \"serve_scaling\": {\"speedup_4w_vs_1w\": %.3f, "
+               "\"verdict\": \"%s\"},\n",
+               speedup4, serve_verdict);
   std::fprintf(out,
                "  \"program\": {\"compile_ms\": %.3f, "
                "\"cold_first_request_ms\": %.3f, "

@@ -40,16 +40,18 @@ run_config() {
 # NetworkProgram serving tests, the serving subsystem (queue, scheduler,
 # server, load generator), the socket front-end (per-connection
 # reader/writer threads against the admission queue, on ephemeral loopback
-# ports), and the stripe-parallel fast path (FastStripeWorkers fans
-# conv/pool stripes out across pool workers).
+# ports), the stripe-parallel fast path (FastStripeWorkers fans
+# conv/pool stripes out across pool workers), the multi-model
+# ProgramRegistry (concurrent acquire/evict/recompile), and the zoo nets
+# (slot-threaded batch execution).
 # (Full-suite TSan is tier 2 — too slow.)
 run_tsan() {
   build_dir=build-tsan
-  echo "=== ${build_dir} (-DTSCA_SANITIZE=thread, Pool|Program|Serve|FastStripe|Net tests) ==="
+  echo "=== ${build_dir} (-DTSCA_SANITIZE=thread, Pool|Program|Serve|FastStripe|Net|Registry|Zoo tests) ==="
   cmake -B "${root}/${build_dir}" -S "${root}" -DTSCA_SANITIZE=thread
   cmake --build "${root}/${build_dir}" -j "${jobs}"
   ctest --test-dir "${root}/${build_dir}" --output-on-failure -j "${jobs}" \
-    -R 'Pool|Program|Serve|FastStripe|NetProtocol|NetServe'
+    -R 'Pool|Program|Serve|FastStripe|NetProtocol|NetServe|Registry|Zoo'
 }
 
 # Forced-backend matrix: the equivalence suites re-run with
@@ -87,7 +89,7 @@ run_scalar() {
   cmake -B "${root}/${build_dir}" -S "${root}" -DTSCA_SIMD=OFF
   cmake --build "${root}/${build_dir}" -j "${jobs}"
   ctest --test-dir "${root}/${build_dir}" --output-on-failure -j "${jobs}" \
-    -R 'EngineEquivalence|PerfModelDrift|ConvMatrix|Ternary|NetworkE2E|Fastpath'
+    -R 'EngineEquivalence|PerfModelDrift|ConvMatrix|Ternary|NetworkE2E|Fastpath|Registry|Zoo'
 }
 
 case "${which}" in

@@ -507,4 +507,16 @@ void fast_pad_pool(const pack::TiledFm& input, const PadPoolInstr& instr,
                 output);
 }
 
+void fast_eltwise_add(const pack::TiledFm& lhs, const pack::TiledFm& rhs,
+                      const nn::EltwiseQ& q, pack::TiledFm& out) {
+  TSCA_CHECK(lhs.shape() == rhs.shape(), "eltwise operand shape mismatch");
+  if (!(out.shape() == lhs.shape())) out = pack::TiledFm(lhs.shape());
+  const std::vector<pack::Tile>& a = lhs.tiles();
+  const std::vector<pack::Tile>& b = rhs.tiles();
+  std::vector<pack::Tile>& o = out.tiles();
+  for (std::size_t t = 0; t < a.size(); ++t)
+    for (std::size_t k = 0; k < static_cast<std::size_t>(pack::kTileSize); ++k)
+      o[t].v[k] = nn::eltwise_add_q(a[t].v[k], b[t].v[k], q);
+}
+
 }  // namespace tsca::core

@@ -199,4 +199,11 @@ void fast_pad_pool(const pack::TiledFm& input, const FastPoolPlan& plan,
 void fast_pad_pool(const pack::TiledFm& input, const PadPoolInstr& instr,
                    int in_tile_row0, int otile_row0, pack::TiledFm& output);
 
+// Residual skip add over tiled maps: out = requantize(lhs<<a + rhs<<b).
+// Shape-identical operands; tile padding stays zero (requantize(0) == 0).
+// This is the single eltwise kernel shared by every ExecMode — the operation
+// is host-side in all of them, so cycle/thread/fast agreement is structural.
+void fast_eltwise_add(const pack::TiledFm& lhs, const pack::TiledFm& rhs,
+                      const nn::EltwiseQ& q, pack::TiledFm& out);
+
 }  // namespace tsca::core

@@ -1,9 +1,11 @@
 #include "driver/program.hpp"
 
 #include <atomic>
+#include <map>
 #include <utility>
 
 #include "core/poolgen.hpp"
+#include "driver/lowering.hpp"
 #include "driver/perf_model.hpp"
 #include "pack/tile.hpp"
 #include "pack/weight_pack.hpp"
@@ -222,109 +224,56 @@ NetworkProgram NetworkProgram::compile(const nn::Network& net,
                                        const quant::QuantizedModel& model,
                                        const core::ArchConfig& cfg,
                                        const ProgramOptions& options) {
+  register_builtin_lowerings();
+
   NetworkProgram program;
   program.net_ = net;
   program.cfg_ = cfg;
   program.options_ = options;
   program.stamp_ = next_stamp();
 
+  // Pre-scan residual skips: each distinct skip source gets a tensor slot
+  // the execution keeps live from the source step to its consuming add.
+  std::map<std::size_t, int> slots;
+  for (const nn::LayerSpec& spec : net.layers()) {
+    if (spec.kind != nn::LayerKind::kEltwiseAdd) continue;
+    TSCA_CHECK(spec.eltwise.from >= 0, "eltwise skip source unset");
+    const std::size_t from = static_cast<std::size_t>(spec.eltwise.from);
+    if (slots.find(from) == slots.end())
+      slots.emplace(from, static_cast<int>(slots.size()));
+  }
+  program.slot_count_ = static_cast<int>(slots.size());
+
+  // Walk the layers, dispatching each to its registered lowering.  The
+  // lowering appends artifacts/steps through the context and reports how
+  // many layers it consumed (pad→conv fusion consumes two).
   nn::FmShape fm = net.input_shape();
   bool is_flat = false;
-  for (std::size_t i = 0; i < net.layers().size(); ++i) {
+  for (std::size_t i = 0; i < net.layers().size();) {
     const nn::LayerSpec& spec = net.layers()[i];
-    Step step;
-    step.layer = i;
-    switch (spec.kind) {
-      case nn::LayerKind::kPad: {
-        TSCA_CHECK(!is_flat, "pad after flatten");
-        // Fuse with a directly following conv when both fit on chip — the
-        // same fit predicate the per-call path evaluated, decided here once.
-        if (options.fuse_pad_conv && i + 1 < net.layers().size() &&
-            net.layers()[i + 1].kind == nn::LayerKind::kConv) {
-          const pack::PackedFilters packed =
-              pack::pack_filters(model.weights.conv[i + 1]);
-          TSCA_CHECK(packed.shape().ic == fm.c);
-          TSCA_CHECK(packed.shape().kh == packed.shape().kw);
-          ConvProgram conv;
-          conv.wimg = WeightImage(packed, cfg.lanes, cfg.group);
-          const std::optional<FusedPadConvLayout> layout = plan_fused_pad_conv(
-              cfg, fm, spec.pad, packed.shape().kh, packed.shape().oc,
-              conv.wimg);
-          if (layout.has_value()) {
-            conv.bias = model.weights.conv_bias[i + 1];
-            conv.rq = model.weights.conv_requant[i + 1];
-            conv.macs =
-                conv_macs(layout->padded, layout->out.c, layout->kernel);
-            FusedPadConvLayout fused_layout = *layout;
-            fill_fused_predictions(cfg, conv, fused_layout);
-            step.exec = Step::Exec::kFusedPadConv;
-            step.conv = static_cast<int>(program.convs_.size());
-            step.fused = static_cast<int>(program.fused_.size());
-            program.convs_.push_back(std::move(conv));
-            program.fused_.push_back(fused_layout);
-            program.steps_.push_back(step);
-            fm = layout->out;
-            ++i;  // the conv layer was consumed
-            continue;
-          }
-          // Does not fit fused: fall through to a standalone pad step; the
-          // conv layer is compiled on its own iteration (its WeightImage is
-          // rebuilt there against the striped plan — compile-time only).
-        }
-        const nn::FmShape out{fm.c, fm.h + spec.pad.top + spec.pad.bottom,
-                              fm.w + spec.pad.left + spec.pad.right};
-        step.exec = Step::Exec::kPadPool;
-        step.pool = static_cast<int>(program.pools_.size());
-        program.pools_.push_back(plan_pool(cfg, fm, out, core::Opcode::kPad, 1,
-                                           1, -spec.pad.top, -spec.pad.left));
-        finalize_pool_plan(cfg, program.pools_.back());
-        fm = out;
-        break;
-      }
-      case nn::LayerKind::kConv: {
-        TSCA_CHECK(!is_flat, "conv after flatten");
-        step.exec = Step::Exec::kConv;
-        step.conv = static_cast<int>(program.convs_.size());
-        program.convs_.push_back(
-            compile_conv(cfg, fm, pack::pack_filters(model.weights.conv[i]),
-                         model.weights.conv_bias[i],
-                         model.weights.conv_requant[i]));
-        fm = program.convs_.back().plan.out_shape;
-        break;
-      }
-      case nn::LayerKind::kMaxPool: {
-        TSCA_CHECK(!is_flat, "pool after flatten");
-        const nn::FmShape out{
-            fm.c, nn::conv_out_extent(fm.h, spec.pool.size, spec.pool.stride),
-            nn::conv_out_extent(fm.w, spec.pool.size, spec.pool.stride)};
-        step.exec = Step::Exec::kPadPool;
-        step.pool = static_cast<int>(program.pools_.size());
-        program.pools_.push_back(plan_pool(cfg, fm, out, core::Opcode::kPool,
-                                           spec.pool.size, spec.pool.stride, 0,
-                                           0));
-        finalize_pool_plan(cfg, program.pools_.back());
-        fm = out;
-        break;
-      }
-      case nn::LayerKind::kFlatten:
-        step.exec = Step::Exec::kFlatten;
-        is_flat = true;
-        break;
-      case nn::LayerKind::kFullyConnected: {
-        TSCA_CHECK(is_flat, "fc before flatten");
-        step.exec = Step::Exec::kFc;
-        step.fc = static_cast<int>(program.fcs_.size());
-        program.fcs_.push_back(FcProgram{model.weights.fc[i],
-                                         model.weights.fc_bias[i],
-                                         model.weights.fc_requant[i],
-                                         spec.fc.out_dim});
-        break;
-      }
-      case nn::LayerKind::kSoftmax:
-        step.exec = Step::Exec::kSoftmax;
-        break;
+    const LoweringFn lowering = LoweringRegistry::instance().find(spec.kind);
+    if (!lowering)
+      throw ConfigError(std::string("no lowering registered for layer kind ") +
+                        nn::layer_kind_name(spec.kind) + " (layer " +
+                        spec.name + ")");
+    LoweringContext ctx(program, model, i, slots);
+    ctx.fm = fm;
+    ctx.is_flat = is_flat;
+    const std::size_t steps_before = program.steps_.size();
+    lowering(ctx);
+    TSCA_CHECK(ctx.consumed >= 1, "lowering consumed no layers");
+    fm = ctx.fm;
+    is_flat = ctx.is_flat;
+    // The step carrying the output of the last consumed layer is the one a
+    // residual skip reads from; stamp its slot if anybody needs it.
+    const std::size_t last = i + static_cast<std::size_t>(ctx.consumed) - 1;
+    const auto slot = slots.find(last);
+    if (slot != slots.end()) {
+      TSCA_CHECK(program.steps_.size() > steps_before,
+                 "skip source layer " << last << " produced no step");
+      program.steps_.back().save_slot = slot->second;
     }
-    program.steps_.push_back(step);
+    i += static_cast<std::size_t>(ctx.consumed);
   }
 
   // Concatenate every conv layer's serialized streams into the DDR image.

@@ -171,14 +171,22 @@ class NetworkProgram {
       kFlatten,       // host
       kFc,            // host
       kSoftmax,       // host (logits pass through)
+      kEltwiseAdd,    // host residual add via an EltwiseQ + tensor slot
+      kGlobalPool,    // whole-map pool via a PoolPlan (kPadPool machinery)
     };
     Exec exec = Exec::kPadPool;
     std::size_t layer = 0;  // index into net().layers(); for kFusedPadConv
                             // this is the pad layer, layer + 1 the conv
     int conv = -1;          // conv() index (kConv, kFusedPadConv)
-    int pool = -1;          // pool() index (kPadPool)
+    int pool = -1;          // pool() index (kPadPool, kGlobalPool)
     int fused = -1;         // fused() index (kFusedPadConv)
     int fc = -1;            // fc() index (kFc)
+    int eltwise = -1;       // eltwise() index (kEltwiseAdd)
+    // Tensor-slot plumbing for residual skips: a step whose output is a
+    // later step's second operand writes it into slot `save_slot`;
+    // kEltwiseAdd reads its right-hand operand from slot `rhs_slot`.
+    int save_slot = -1;
+    int rhs_slot = -1;
   };
 
   // One-time compilation.  Throws ConfigError on inconsistent topology or a
@@ -204,6 +212,12 @@ class NetworkProgram {
     return fused_[static_cast<std::size_t>(i)];
   }
   const FcProgram& fc(int i) const { return fcs_[static_cast<std::size_t>(i)]; }
+  const nn::EltwiseQ& eltwise(int i) const {
+    return eltwise_[static_cast<std::size_t>(i)];
+  }
+
+  // Number of tensor slots an execution must hold live for residual skips.
+  int slot_count() const { return slot_count_; }
 
   // Concatenation of every conv layer's serialized weight streams.  Runtimes
   // write it into a context's DDR once (at address 0) and then DMA weight
@@ -217,6 +231,8 @@ class NetworkProgram {
  private:
   NetworkProgram() = default;
 
+  friend class LoweringContext;  // per-layer lowerings build these vectors
+
   nn::Network net_{nn::FmShape{}};
   core::ArchConfig cfg_;
   ProgramOptions options_;
@@ -225,8 +241,15 @@ class NetworkProgram {
   std::vector<PoolPlan> pools_;
   std::vector<FusedPadConvLayout> fused_;
   std::vector<FcProgram> fcs_;
+  std::vector<nn::EltwiseQ> eltwise_;
+  int slot_count_ = 0;
   std::vector<std::uint8_t> ddr_image_;
   std::uint64_t stamp_ = 0;
 };
+
+// Decodes every stripe's fast-path pool plan and caches the PerfModel
+// prediction, so neither executor derives them again per request/image.
+// Called by LoweringContext::add_pool on every plan a lowering emits.
+void finalize_pool_plan(const core::ArchConfig& cfg, PoolPlan& plan);
 
 }  // namespace tsca::driver

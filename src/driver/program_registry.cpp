@@ -1,0 +1,234 @@
+#include "driver/program_registry.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace tsca::driver {
+
+struct ProgramHandle::Entry {
+  std::string id;
+  nn::Network net;
+  quant::QuantizedModel model;
+  bool pinned = false;
+
+  // Materialized state (null program = recipe only; next acquire compiles).
+  std::shared_ptr<const NetworkProgram> program;
+  // (content hash, byte size) per conv WeightImage of the compiled program.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> images;
+  std::uint64_t last_use = 0;
+  int in_use = 0;
+};
+
+ProgramHandle::ProgramHandle(ProgramHandle&& other) noexcept
+    : registry_(std::exchange(other.registry_, nullptr)),
+      entry_(std::move(other.entry_)),
+      program_(std::move(other.program_)) {}
+
+ProgramHandle& ProgramHandle::operator=(ProgramHandle&& other) noexcept {
+  if (this != &other) {
+    if (registry_ != nullptr && entry_ != nullptr) registry_->release(entry_);
+    registry_ = std::exchange(other.registry_, nullptr);
+    entry_ = std::move(other.entry_);
+    program_ = std::move(other.program_);
+  }
+  return *this;
+}
+
+ProgramHandle::~ProgramHandle() {
+  if (registry_ != nullptr && entry_ != nullptr) registry_->release(entry_);
+}
+
+const std::string& ProgramHandle::model_id() const {
+  TSCA_CHECK(entry_ != nullptr, "empty program handle");
+  return entry_->id;
+}
+
+namespace {
+
+bool valid_model_id(const std::string& id) {
+  if (id.empty() || id.size() > 64) return false;
+  for (const char c : id) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+// FNV-1a over a WeightImage's serialized streams plus its geometry — two
+// images hash equal iff a runtime would DMA identical bytes from them.
+std::uint64_t hash_weight_image(const WeightImage& wimg) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix_byte = [&h](std::uint8_t b) {
+    h ^= b;
+    h *= 1099511628211ull;
+  };
+  const auto mix_u64 = [&](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) mix_byte(static_cast<std::uint8_t>(v >> (8 * i)));
+  };
+  mix_u64(static_cast<std::uint64_t>(wimg.groups()));
+  mix_u64(static_cast<std::uint64_t>(wimg.lanes()));
+  mix_u64(static_cast<std::uint64_t>(wimg.group_size()));
+  mix_byte(wimg.ternary() ? 1 : 0);
+  for (int g = 0; g < wimg.groups(); ++g) {
+    mix_u64(static_cast<std::uint64_t>(wimg.active_filters(g)));
+    for (int lane = 0; lane < wimg.lanes(); ++lane) {
+      const std::vector<std::uint8_t>& bytes = wimg.bytes(g, lane);
+      mix_u64(bytes.size());
+      for (const std::uint8_t b : bytes) mix_byte(b);
+    }
+  }
+  return h;
+}
+
+std::uint64_t image_bytes(const WeightImage& wimg) {
+  std::uint64_t total = 0;
+  for (int g = 0; g < wimg.groups(); ++g)
+    for (int lane = 0; lane < wimg.lanes(); ++lane)
+      total += wimg.bytes(g, lane).size();
+  return total;
+}
+
+}  // namespace
+
+ProgramRegistry::ProgramRegistry(const core::ArchConfig& cfg,
+                                 RegistryOptions options)
+    : cfg_(cfg), options_(std::move(options)) {}
+
+ProgramRegistry::~ProgramRegistry() = default;
+
+void ProgramRegistry::add_model(const std::string& id, const nn::Network& net,
+                                const quant::QuantizedModel& model,
+                                bool pinned) {
+  TSCA_CHECK(valid_model_id(id),
+             "model id must be 1-64 chars of [A-Za-z0-9_.-]: \"" << id << '"');
+  std::lock_guard<std::mutex> lock(mu_);
+  TSCA_CHECK(entries_.find(id) == entries_.end(),
+             "duplicate model id: " << id);
+  entries_.emplace(
+      id, std::make_shared<Entry>(Entry{id, net, model, pinned, {}, {}, 0, 0}));
+}
+
+bool ProgramRegistry::has_model(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.find(id) != entries_.end();
+}
+
+std::vector<std::string> ProgramRegistry::model_ids() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> ids;
+  ids.reserve(entries_.size());
+  for (const auto& [id, entry] : entries_) ids.push_back(id);
+  return ids;
+}
+
+bool ProgramRegistry::resident(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(id);
+  return it != entries_.end() && it->second->program != nullptr;
+}
+
+RegistryStats ProgramRegistry::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void ProgramRegistry::charge_locked(Entry& entry) {
+  for (const auto& [hash, bytes] : entry.images) {
+    auto& ref = stream_refs_[hash];
+    if (ref.second == 0) {
+      ref.first = bytes;
+      stats_.resident_bytes += bytes;
+    } else {
+      stats_.shared_bytes_saved += bytes;
+    }
+    ++ref.second;
+  }
+}
+
+void ProgramRegistry::discharge_locked(Entry& entry) {
+  for (const auto& [hash, bytes] : entry.images) {
+    const auto it = stream_refs_.find(hash);
+    TSCA_CHECK(it != stream_refs_.end() && it->second.second > 0,
+               "stream refcount underflow");
+    if (--it->second.second == 0) {
+      stats_.resident_bytes -= it->second.first;
+      stream_refs_.erase(it);
+    }
+  }
+}
+
+void ProgramRegistry::evict_for_headroom_locked(const Entry& keep) {
+  if (options_.ddr_budget_bytes == 0) return;
+  while (stats_.resident_bytes > options_.ddr_budget_bytes) {
+    Entry* victim = nullptr;
+    for (const auto& [id, entry] : entries_) {
+      if (entry.get() == &keep || entry->pinned || entry->in_use > 0 ||
+          entry->program == nullptr)
+        continue;
+      if (victim == nullptr || entry->last_use < victim->last_use)
+        victim = entry.get();
+    }
+    // Nothing evictable left: pinned/in-use programs may hold the total
+    // above budget (soft overage) — callers keep working, the next idle
+    // release creates headroom naturally.
+    if (victim == nullptr) return;
+    discharge_locked(*victim);
+    victim->program.reset();
+    victim->images.clear();
+    ++stats_.evictions;
+  }
+}
+
+ProgramHandle ProgramRegistry::acquire(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) throw UnknownModelError(id);
+  const std::shared_ptr<Entry>& entry = it->second;
+  entry->last_use = ++tick_;
+  if (entry->program == nullptr) {
+    // Compile under the lock: registry-level serialization keeps budget
+    // accounting simple, and compiles are rare (cold start / post-evict).
+    NetworkProgram compiled =
+        NetworkProgram::compile(entry->net, entry->model, cfg_,
+                                options_.program);
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> images;
+    std::uint64_t own_bytes = 0;  // distinct bytes of this program alone
+    {
+      std::map<std::uint64_t, std::uint64_t> distinct;
+      for (const NetworkProgram::Step& step : compiled.steps()) {
+        if (step.conv < 0) continue;
+        const WeightImage& wimg = compiled.conv(step.conv).wimg;
+        const std::uint64_t hash = hash_weight_image(wimg);
+        const std::uint64_t bytes = image_bytes(wimg);
+        images.emplace_back(hash, bytes);
+        distinct.emplace(hash, bytes);
+      }
+      for (const auto& [hash, bytes] : distinct) own_bytes += bytes;
+    }
+    if (options_.ddr_budget_bytes != 0 &&
+        own_bytes > options_.ddr_budget_bytes)
+      throw RegistryBudgetError(
+          "model \"" + id + "\" needs " + std::to_string(own_bytes) +
+          " weight bytes alone, budget is " +
+          std::to_string(options_.ddr_budget_bytes));
+    entry->images = std::move(images);
+    entry->program =
+        std::make_shared<const NetworkProgram>(std::move(compiled));
+    charge_locked(*entry);
+    ++stats_.compiles;
+    evict_for_headroom_locked(*entry);
+  } else {
+    ++stats_.cache_hits;
+  }
+  ++entry->in_use;
+  return ProgramHandle(this, entry, entry->program);
+}
+
+void ProgramRegistry::release(const std::shared_ptr<Entry>& entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TSCA_CHECK(entry->in_use > 0, "program handle double release");
+  --entry->in_use;
+}
+
+}  // namespace tsca::driver

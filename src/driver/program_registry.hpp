@@ -1,0 +1,153 @@
+// Multi-model program registry — many compiled networks, one DDR budget.
+//
+// A serving fleet holds more model recipes than the accelerator's DDR holds
+// weight images.  ProgramRegistry owns the recipes (Network + QuantizedModel
+// per model id) and materializes compiled NetworkPrograms on demand:
+//
+//   * acquire(id) returns a ProgramHandle pinning the compiled program in
+//     memory for the handle's lifetime (workers hold one per batch);
+//   * every compiled program's WeightImages are content-hashed, and streams
+//     shared between models (common backbones, tied weights) are charged to
+//     the DDR budget once;
+//   * when compiling a program would exceed the configured byte budget, the
+//     least-recently-acquired programs that are neither pinned nor in use
+//     are evicted — their compiled artifact is dropped, the recipe stays,
+//     and the next acquire recompiles (new stamp, so runtimes restage).
+//
+// Thread-safe: acquire/release/stats may race freely.  The registry must
+// outlive every handle it issued.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "driver/program.hpp"
+
+namespace tsca::driver {
+
+// acquire() of an id that was never added.
+class UnknownModelError : public Error {
+ public:
+  explicit UnknownModelError(const std::string& id)
+      : Error("unknown model id: " + id), model_id_(id) {}
+  const std::string& model_id() const { return model_id_; }
+
+ private:
+  std::string model_id_;
+};
+
+// The program's own weight bytes alone exceed the whole DDR budget — no
+// amount of eviction can make it fit.
+class RegistryBudgetError : public Error {
+ public:
+  using Error::Error;
+};
+
+struct RegistryOptions {
+  // Byte budget for resident weight images (0 = unlimited).  Shared streams
+  // are charged once; pinned and in-use programs can hold the total above
+  // the budget (soft overage), but a single program that alone exceeds it
+  // is rejected with RegistryBudgetError.
+  std::uint64_t ddr_budget_bytes = 0;
+  ProgramOptions program;
+};
+
+struct RegistryStats {
+  std::uint64_t compiles = 0;      // programs materialized (incl. recompiles)
+  std::uint64_t cache_hits = 0;    // acquires served without compiling
+  std::uint64_t evictions = 0;     // programs dropped for budget headroom
+  std::uint64_t resident_bytes = 0;    // unique weight bytes currently charged
+  std::uint64_t shared_bytes_saved = 0;  // bytes dedup avoided charging
+};
+
+class ProgramRegistry;
+
+// Movable RAII lease on a compiled program.  While any handle to a model is
+// alive the program cannot be evicted; destruction releases the lease.
+class ProgramHandle {
+ public:
+  ProgramHandle() = default;
+  ProgramHandle(ProgramHandle&& other) noexcept;
+  ProgramHandle& operator=(ProgramHandle&& other) noexcept;
+  ~ProgramHandle();
+  ProgramHandle(const ProgramHandle&) = delete;
+  ProgramHandle& operator=(const ProgramHandle&) = delete;
+
+  bool valid() const { return program_ != nullptr; }
+  const std::string& model_id() const;
+  const NetworkProgram& program() const {
+    TSCA_CHECK(program_ != nullptr, "empty program handle");
+    return *program_;
+  }
+
+ private:
+  friend class ProgramRegistry;
+  struct Entry;
+  ProgramHandle(ProgramRegistry* registry, std::shared_ptr<Entry> entry,
+                std::shared_ptr<const NetworkProgram> program)
+      : registry_(registry),
+        entry_(std::move(entry)),
+        program_(std::move(program)) {}
+
+  ProgramRegistry* registry_ = nullptr;
+  std::shared_ptr<Entry> entry_;
+  // The handle's own reference: even if the entry is evicted afterwards,
+  // this handle's program stays alive until the handle dies.
+  std::shared_ptr<const NetworkProgram> program_;
+};
+
+class ProgramRegistry {
+ public:
+  explicit ProgramRegistry(const core::ArchConfig& cfg,
+                           RegistryOptions options = {});
+  ~ProgramRegistry();
+  ProgramRegistry(const ProgramRegistry&) = delete;
+  ProgramRegistry& operator=(const ProgramRegistry&) = delete;
+
+  // Registers a model recipe.  Ids must be unique, non-empty, at most 64
+  // bytes, characters [A-Za-z0-9_.-] (they feed metric names and the wire
+  // protocol).  Pinned models are never evicted.  Compilation is deferred
+  // to the first acquire.
+  void add_model(const std::string& id, const nn::Network& net,
+                 const quant::QuantizedModel& model, bool pinned = false);
+
+  bool has_model(const std::string& id) const;
+  std::vector<std::string> model_ids() const;
+
+  // Returns a lease on the compiled program, compiling (and evicting LRU
+  // unpinned idle programs for budget headroom) as needed.  Throws
+  // UnknownModelError / RegistryBudgetError.
+  ProgramHandle acquire(const std::string& id);
+
+  const core::ArchConfig& config() const { return cfg_; }
+  const RegistryOptions& options() const { return options_; }
+  RegistryStats stats() const;
+
+  // True when `id`'s program is currently materialized (test/introspection).
+  bool resident(const std::string& id) const;
+
+ private:
+  friend class ProgramHandle;
+  using Entry = ProgramHandle::Entry;
+
+  void release(const std::shared_ptr<Entry>& entry);
+  void charge_locked(Entry& entry);
+  void discharge_locked(Entry& entry);
+  void evict_for_headroom_locked(const Entry& keep);
+
+  core::ArchConfig cfg_;
+  RegistryOptions options_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<Entry>> entries_;
+  // hash → {bytes, number of resident images sharing it}
+  std::map<std::uint64_t, std::pair<std::uint64_t, int>> stream_refs_;
+  std::uint64_t tick_ = 0;
+  RegistryStats stats_;
+};
+
+}  // namespace tsca::driver

@@ -941,6 +941,10 @@ NetworkRun Runtime::run_network(const NetworkProgram& program,
   pack::TiledFm fm = pack::to_tiled(input);
   std::vector<std::int8_t> flat;
   bool is_flat = false;
+  // Residual-skip tensor slots: a step stamped save_slot parks its output
+  // here; kEltwiseAdd steps read their right-hand operand back out.
+  std::vector<pack::TiledFm> slots(
+      static_cast<std::size_t>(program.slot_count()));
 
   const std::uint64_t clock0 = trace_clock_;
   for (const NetworkProgram::Step& step : program.steps()) {
@@ -969,6 +973,8 @@ NetworkRun Runtime::run_network(const NetworkProgram& program,
               nn::pad_i8(pack::from_tiled(fm), spec.pad));
         }
         fm = std::move(fused_out);
+        if (step.save_slot >= 0)
+          slots[static_cast<std::size_t>(step.save_slot)] = fm;
         result.layers.push_back(std::move(run));
         if (options_.keep_activations)
           result.activations.push_back(pack::from_tiled(fm));
@@ -976,6 +982,7 @@ NetworkRun Runtime::run_network(const NetworkProgram& program,
         continue;
       }
       case NetworkProgram::Step::Exec::kPadPool:
+      case NetworkProgram::Step::Exec::kGlobalPool:
         fm = run_pad_pool(fm, program.pool(step.pool), run);
         break;
       case NetworkProgram::Step::Exec::kConv:
@@ -996,7 +1003,19 @@ NetworkRun Runtime::run_network(const NetworkProgram& program,
       }
       case NetworkProgram::Step::Exec::kSoftmax:
         break;  // host-side, float domain; logits pass through
+      case NetworkProgram::Step::Exec::kEltwiseAdd: {
+        // Host-side in every ExecMode — one shared kernel, zero cycles,
+        // zero counters, so cycle/thread/fast agreement is structural.
+        pack::TiledFm out;
+        core::fast_eltwise_add(fm,
+                               slots[static_cast<std::size_t>(step.rhs_slot)],
+                               program.eltwise(step.eltwise), out);
+        fm = std::move(out);
+        break;
+      }
     }
+    if (step.save_slot >= 0)
+      slots[static_cast<std::size_t>(step.save_slot)] = fm;
     run.host_wall_us = us_since(step_t0);
     if (options_.keep_activations && !is_flat)
       result.activations.push_back(pack::from_tiled(fm));
@@ -1029,6 +1048,10 @@ BatchNetworkRun Runtime::run_network_batch(
     fms.push_back(pack::to_tiled(input));
   std::vector<std::vector<std::int8_t>> flats(n);
   bool is_flat = false;
+  // Residual-skip tensor slots, one map per slot per image.
+  std::vector<std::vector<pack::TiledFm>> slots(
+      static_cast<std::size_t>(program.slot_count()),
+      std::vector<pack::TiledFm>(n));
 
   const std::uint64_t clock0 = trace_clock_;
   for (const NetworkProgram::Step& step : program.steps()) {
@@ -1062,11 +1085,14 @@ BatchNetworkRun Runtime::run_network_batch(
             fold_layer_run(conv_agg, conv_one);
           }
         }
+        if (step.save_slot >= 0)
+          slots[static_cast<std::size_t>(step.save_slot)] = fms;
         result.layers.push_back(std::move(agg));
         result.layers.push_back(std::move(conv_agg));
         continue;  // two layers pushed
       }
       case NetworkProgram::Step::Exec::kPadPool:
+      case NetworkProgram::Step::Exec::kGlobalPool:
         for (std::size_t i = 0; i < n; ++i) {
           LayerRun one;
           fms[i] = run_pad_pool(fms[i], program.pool(step.pool), one);
@@ -1097,7 +1123,20 @@ BatchNetworkRun Runtime::run_network_batch(
       }
       case NetworkProgram::Step::Exec::kSoftmax:
         break;  // host-side, float domain; logits pass through
+      case NetworkProgram::Step::Exec::kEltwiseAdd: {
+        const std::vector<pack::TiledFm>& rhs =
+            slots[static_cast<std::size_t>(step.rhs_slot)];
+        for (std::size_t i = 0; i < n; ++i) {
+          pack::TiledFm out;
+          core::fast_eltwise_add(fms[i], rhs[i],
+                                 program.eltwise(step.eltwise), out);
+          fms[i] = std::move(out);
+        }
+        break;
+      }
     }
+    if (step.save_slot >= 0)
+      slots[static_cast<std::size_t>(step.save_slot)] = fms;
     agg.host_wall_us = us_since(step_t0);
     result.layers.push_back(std::move(agg));
   }

@@ -82,6 +82,18 @@ FeatureMapF maxpool_f(const FeatureMapF& in, const PoolParams& pool) {
   return out;
 }
 
+FeatureMapF eltwise_add_f(const FeatureMapF& lhs, const FeatureMapF& rhs,
+                          bool relu) {
+  TSCA_CHECK(lhs.shape() == rhs.shape(), "eltwise operand shape mismatch");
+  FeatureMapF out(lhs.shape());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    float v = lhs.data()[i] + rhs.data()[i];
+    if (relu && v < 0.0f) v = 0.0f;
+    out.data()[i] = v;
+  }
+  return out;
+}
+
 FeatureMapF relu_f(const FeatureMapF& in) {
   FeatureMapF out = in;
   for (std::size_t i = 0; i < out.size(); ++i)
@@ -186,6 +198,36 @@ FeatureMapI8 maxpool_i8(const FeatureMapI8& in, const PoolParams& pool) {
       }
     }
   }
+  return out;
+}
+
+std::int8_t eltwise_add_q(std::int8_t lhs, std::int8_t rhs,
+                          const EltwiseQ& q) {
+  // Align both operands to the finer exponent in a 64-bit accumulator, add,
+  // then requantize with the accelerator's rounder.  Identical arithmetic to
+  // requantize() but the accumulator enters already wide — the left shifts
+  // can overflow 32 bits even though each operand is int8.
+  std::int64_t v = (std::int64_t{lhs} << q.lhs_shift) +
+                   (std::int64_t{rhs} << q.rhs_shift);
+  if (q.rq.shift > 0) {
+    const std::int64_t half = std::int64_t{1} << (q.rq.shift - 1);
+    v = (v >= 0) ? ((v + half) >> q.rq.shift) : (-((-v + half) >> q.rq.shift));
+  }
+  if (q.rq.relu && v < 0) v = 0;
+  v = std::clamp<std::int64_t>(v, kInt8Min, kInt8Max);
+  return static_cast<std::int8_t>(v);
+}
+
+FeatureMapI8 eltwise_add_i8(const FeatureMapI8& lhs, const FeatureMapI8& rhs,
+                            const EltwiseQ& q) {
+  TSCA_CHECK(lhs.shape() == rhs.shape(), "eltwise operand shape mismatch");
+  TSCA_CHECK(q.lhs_shift >= 0 && q.rhs_shift >= 0 && q.lhs_shift < 56 &&
+                 q.rhs_shift < 56,
+             "eltwise shift out of range: " << q.lhs_shift << "/"
+                                            << q.rhs_shift);
+  FeatureMapI8 out(lhs.shape());
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out.data()[i] = eltwise_add_q(lhs.data()[i], rhs.data()[i], q);
   return out;
 }
 

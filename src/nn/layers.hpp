@@ -50,12 +50,28 @@ inline constexpr std::int32_t kInt8Max = 127;
 // Rounded arithmetic right shift, then optional ReLU, then saturation.
 std::int8_t requantize(std::int32_t acc, const Requant& rq);
 
+// Elementwise-add (residual skip) requantization.  Both operands live on
+// power-of-two exponents, so aligning them is a left shift into a wide
+// accumulator, then the usual rounded right shift back down:
+//   acc = (lhs << lhs_shift) + (rhs << rhs_shift);  out = requantize(acc).
+// The accumulator is 64-bit: shifts are bounded by the quantizer's exponent
+// span, which can exceed what 127 << shift fits in 32 bits.
+struct EltwiseQ {
+  int lhs_shift = 0;
+  int rhs_shift = 0;
+  Requant rq;
+
+  bool operator==(const EltwiseQ&) const = default;
+};
+
 // ---- float reference ----------------------------------------------------
 
 FeatureMapF pad_f(const FeatureMapF& in, const Padding& pad);
 FeatureMapF conv2d_f(const FeatureMapF& in, const FilterBankF& filters,
                      const std::vector<float>& bias, int stride, bool relu);
 FeatureMapF maxpool_f(const FeatureMapF& in, const PoolParams& pool);
+FeatureMapF eltwise_add_f(const FeatureMapF& lhs, const FeatureMapF& rhs,
+                          bool relu);
 FeatureMapF relu_f(const FeatureMapF& in);
 std::vector<float> fc_f(const std::vector<float>& in,
                         const std::vector<float>& weights,  // [out][in]
@@ -76,6 +92,13 @@ FeatureMapI8 conv2d_i8(const FeatureMapI8& in, const FilterBankI8& filters,
                        const Requant& rq);
 
 FeatureMapI8 maxpool_i8(const FeatureMapI8& in, const PoolParams& pool);
+
+// Residual add: shape-identical operands, EltwiseQ alignment + requantize.
+FeatureMapI8 eltwise_add_i8(const FeatureMapI8& lhs, const FeatureMapI8& rhs,
+                            const EltwiseQ& q);
+
+// Scalar form used by the tiled fast path (same arithmetic, no shape walk).
+std::int8_t eltwise_add_q(std::int8_t lhs, std::int8_t rhs, const EltwiseQ& q);
 
 std::vector<std::int8_t> fc_i8(const std::vector<std::int8_t>& in,
                                const std::vector<std::int8_t>& weights,

@@ -18,6 +18,10 @@ const char* layer_kind_name(LayerKind kind) {
       return "fc";
     case LayerKind::kSoftmax:
       return "softmax";
+    case LayerKind::kEltwiseAdd:
+      return "eltwise_add";
+    case LayerKind::kGlobalPool:
+      return "global_pool";
   }
   return "?";
 }
@@ -82,6 +86,31 @@ Network& Network::add_softmax(std::string name) {
   return *this;
 }
 
+Network& Network::add_eltwise_add(const EltwiseSpec& eltwise,
+                                  std::string name) {
+  LayerSpec spec;
+  spec.kind = LayerKind::kEltwiseAdd;
+  spec.eltwise = eltwise;
+  spec.name = name.empty() ? default_name("eltwise", layers_.size()) : name;
+  layers_.push_back(std::move(spec));
+  return *this;
+}
+
+Network& Network::add_global_pool(std::string name) {
+  LayerSpec spec;
+  spec.kind = LayerKind::kGlobalPool;
+  spec.name = name.empty() ? default_name("gpool", layers_.size()) : name;
+  layers_.push_back(std::move(spec));
+  return *this;
+}
+
+Network& Network::add_layer(LayerSpec spec) {
+  if (spec.name.empty())
+    spec.name = default_name(layer_kind_name(spec.kind), layers_.size());
+  layers_.push_back(std::move(spec));
+  return *this;
+}
+
 std::vector<LayerShape> Network::infer_shapes() const {
   std::vector<LayerShape> shapes;
   shapes.reserve(layers_.size());
@@ -106,6 +135,9 @@ std::vector<LayerShape> Network::infer_shapes() const {
           throw ConfigError("bad conv spec: " + spec.name);
         if (fm.h < spec.conv.kernel || fm.w < spec.conv.kernel)
           throw ConfigError("conv kernel larger than input: " + spec.name);
+        if (spec.conv.depthwise && spec.conv.out_c != fm.c)
+          throw ConfigError("depthwise conv must keep channel count: " +
+                            spec.name);
         fm = {spec.conv.out_c,
               conv_out_extent(fm.h, spec.conv.kernel, spec.conv.stride),
               conv_out_extent(fm.w, spec.conv.kernel, spec.conv.stride)};
@@ -138,6 +170,31 @@ std::vector<LayerShape> Network::infer_shapes() const {
           throw ConfigError("softmax before flatten: " + spec.name);
         out.flat_dim = flat_dim;
         break;
+      case LayerKind::kEltwiseAdd: {
+        if (flat)
+          throw ConfigError("eltwise layer after flatten: " + spec.name);
+        const int from = spec.eltwise.from;
+        if (from < 0 || from >= static_cast<int>(i))
+          throw ConfigError("eltwise skip source out of range: " + spec.name);
+        const LayerShape& src = shapes[static_cast<std::size_t>(from)];
+        if (src.flat_dim != 0)
+          throw ConfigError("eltwise skip source is flat: " + spec.name);
+        if (!(src.fm == fm))
+          throw ConfigError("eltwise skip shape mismatch: " + spec.name);
+        out.fm = fm;
+        break;
+      }
+      case LayerKind::kGlobalPool:
+        if (flat)
+          throw ConfigError("global pool after flatten: " + spec.name);
+        if (fm.h != fm.w)
+          throw ConfigError("global pool needs a square map: " + spec.name);
+        fm = {fm.c, 1, 1};
+        out.fm = fm;
+        break;
+      default:
+        throw ConfigError("unknown layer kind in shape inference: " +
+                          spec.name);
     }
     if (!flat) out.flat_dim = 0;
     shapes.push_back(out);
@@ -177,10 +234,23 @@ WeightsF init_random_weights(const Network& net, Rng& rng) {
       const FilterShape fs{spec.conv.out_c, in.c, spec.conv.kernel,
                            spec.conv.kernel};
       FilterBankF bank(fs);
-      const double scale =
-          std::sqrt(2.0 / (static_cast<double>(fs.ic) * fs.kh * fs.kw));
-      for (std::size_t k = 0; k < bank.size(); ++k)
-        bank.data()[k] = static_cast<float>(rng.next_gaussian() * scale);
+      if (spec.conv.depthwise) {
+        // One filter per channel: only the diagonal (oc == ic) taps are
+        // populated; the rest of the dense bank stays zero and the
+        // accelerator's weight zero-skip never streams it.
+        const double scale =
+            std::sqrt(2.0 / (static_cast<double>(fs.kh) * fs.kw));
+        for (int oc = 0; oc < fs.oc; ++oc)
+          for (int ky = 0; ky < fs.kh; ++ky)
+            for (int kx = 0; kx < fs.kw; ++kx)
+              bank.at(oc, oc, ky, kx) =
+                  static_cast<float>(rng.next_gaussian() * scale);
+      } else {
+        const double scale =
+            std::sqrt(2.0 / (static_cast<double>(fs.ic) * fs.kh * fs.kw));
+        for (std::size_t k = 0; k < bank.size(); ++k)
+          bank.data()[k] = static_cast<float>(rng.next_gaussian() * scale);
+      }
       w.conv[i] = std::move(bank);
       w.conv_bias[i].assign(static_cast<std::size_t>(fs.oc), 0.0f);
       for (auto& b : w.conv_bias[i])
@@ -237,6 +307,14 @@ std::vector<ActivationF> forward_f_all(const Network& net,
       case LayerKind::kSoftmax:
         flat = softmax_f(flat);
         break;
+      case LayerKind::kEltwiseAdd:
+        fm = eltwise_add_f(fm,
+                           acts[static_cast<std::size_t>(spec.eltwise.from)].fm,
+                           spec.eltwise.relu);
+        break;
+      case LayerKind::kGlobalPool:
+        fm = maxpool_f(fm, PoolParams{fm.height(), fm.height()});
+        break;
     }
     ActivationF act;
     act.is_flat = is_flat;
@@ -291,6 +369,14 @@ std::vector<ActivationI8> forward_i8_all(const Network& net,
       case LayerKind::kSoftmax:
         // Softmax stays in the float domain on the host; the int8 pipeline
         // passes logits through unchanged (argmax is shift-invariant).
+        break;
+      case LayerKind::kEltwiseAdd:
+        fm = eltwise_add_i8(
+            fm, acts[static_cast<std::size_t>(spec.eltwise.from)].fm,
+            weights.eltwise[i]);
+        break;
+      case LayerKind::kGlobalPool:
+        fm = maxpool_i8(fm, PoolParams{fm.height(), fm.height()});
         break;
     }
     ActivationI8 act;

@@ -25,6 +25,8 @@ enum class LayerKind {
   kFlatten,
   kFullyConnected,
   kSoftmax,
+  kEltwiseAdd,   // residual skip: current activation + an earlier layer's
+  kGlobalPool,   // whole-map max pool to 1x1 (square maps)
 };
 
 const char* layer_kind_name(LayerKind kind);
@@ -34,7 +36,21 @@ struct ConvSpec {
   int kernel = 3;
   int stride = 1;
   bool relu = true;
+  // Depthwise convolution: one filter per channel (out_c must equal the
+  // input channel count).  Represented as a dense filter bank whose
+  // cross-channel taps are zero — the accelerator's weight zero-skip makes
+  // the dense form cost only the diagonal taps, so depthwise needs no new
+  // datapath, only this spec bit for builders and shape checks.
+  bool depthwise = false;
   bool operator==(const ConvSpec&) const = default;
+};
+
+// Residual skip connection: adds the output of layer `from` (an earlier,
+// shape-identical feature map) to the current activation.
+struct EltwiseSpec {
+  int from = -1;  // absolute layer index of the skip source
+  bool relu = true;
+  bool operator==(const EltwiseSpec&) const = default;
 };
 
 struct FcSpec {
@@ -46,10 +62,11 @@ struct FcSpec {
 struct LayerSpec {
   LayerKind kind = LayerKind::kPad;
   std::string name;
-  Padding pad;      // kPad
-  ConvSpec conv;    // kConv
-  PoolParams pool;  // kMaxPool
-  FcSpec fc;        // kFullyConnected
+  Padding pad;          // kPad
+  ConvSpec conv;        // kConv
+  PoolParams pool;      // kMaxPool
+  FcSpec fc;            // kFullyConnected
+  EltwiseSpec eltwise;  // kEltwiseAdd
 };
 
 // Per-layer output shape after shape inference.  For kFlatten and later
@@ -74,6 +91,16 @@ class Network {
   Network& add_flatten(std::string name = "");
   Network& add_fc(const FcSpec& fc, std::string name = "");
   Network& add_softmax(std::string name = "");
+  // Residual skip: adds the output of earlier layer `from` to the current
+  // activation (shapes must match; see infer_shapes).
+  Network& add_eltwise_add(const EltwiseSpec& eltwise, std::string name = "");
+  // Whole-map max pool to 1x1 (the input map must be square).
+  Network& add_global_pool(std::string name = "");
+  // Escape hatch for custom layer kinds lowered through the driver's
+  // lowering registry.  The spec is appended verbatim; infer_shapes rejects
+  // kinds it does not know, but the driver compiles straight from the layer
+  // list, so registered custom lowerings work end to end.
+  Network& add_layer(LayerSpec spec);
 
   // Validates the topology and returns the output shape of every layer
   // (element i is the shape *after* layer i).  Throws ConfigError on
@@ -107,6 +134,7 @@ struct WeightsI8 {
   std::vector<std::vector<std::int8_t>> fc;
   std::vector<std::vector<std::int32_t>> fc_bias;
   std::vector<Requant> fc_requant;
+  std::vector<EltwiseQ> eltwise;  // eltwise[i] valid iff layer i is kEltwiseAdd
 };
 
 // Gaussian-initialised float weights (He-style scale), deterministic in rng.

@@ -1,0 +1,110 @@
+#include "nn/zoo.hpp"
+
+#include <utility>
+
+#include "quant/ternary.hpp"
+#include "util/rng.hpp"
+
+namespace tsca::zoo {
+
+namespace {
+
+// Uniform calibration samples in [-1, 1), deterministic in `rng`.
+std::vector<nn::FeatureMapF> calibration_samples(const nn::FmShape& shape,
+                                                 Rng& rng, int count = 3) {
+  std::vector<nn::FeatureMapF> samples;
+  samples.reserve(static_cast<std::size_t>(count));
+  for (int s = 0; s < count; ++s) {
+    nn::FeatureMapF fm(shape);
+    for (std::size_t i = 0; i < fm.size(); ++i)
+      fm.data()[i] = static_cast<float>(rng.next_double() * 2.0 - 1.0);
+    samples.push_back(std::move(fm));
+  }
+  return samples;
+}
+
+ZooModel quantize(nn::Network net, Rng& rng) {
+  const nn::WeightsF weights = nn::init_random_weights(net, rng);
+  const std::vector<nn::FeatureMapF> samples =
+      calibration_samples(net.input_shape(), rng);
+  quant::QuantizedModel model = quant::quantize_network(net, weights, samples);
+  return ZooModel{std::move(net), std::move(model)};
+}
+
+}  // namespace
+
+ZooModel make_residual_cifar(std::uint64_t seed) {
+  Rng rng(seed);
+  nn::Network net({3, 16, 16}, "residual_cifar");
+  // Block 1: stem, then a two-conv residual whose skip source is the stem's
+  // fused pad+conv step (slot saved off a kFusedPadConv step).
+  net.add_pad(nn::Padding::uniform(1), "pad0");
+  net.add_conv({.out_c = 16, .kernel = 3, .relu = true}, "conv0");  // layer 1
+  net.add_pad(nn::Padding::uniform(1), "pad1a");
+  net.add_conv({.out_c = 16, .kernel = 3, .relu = true}, "conv1a");
+  net.add_pad(nn::Padding::uniform(1), "pad1b");
+  net.add_conv({.out_c = 16, .kernel = 3, .relu = false}, "conv1b");
+  net.add_eltwise_add({.from = 1, .relu = true}, "add1");
+  // Block 2: pool (slot source is a kPadPool step), residual at 8x8.
+  net.add_maxpool({.size = 2, .stride = 2}, "pool1");  // layer 7
+  net.add_pad(nn::Padding::uniform(1), "pad2a");
+  net.add_conv({.out_c = 16, .kernel = 3, .relu = true}, "conv2a");
+  net.add_pad(nn::Padding::uniform(1), "pad2b");
+  net.add_conv({.out_c = 16, .kernel = 3, .relu = false}, "conv2b");
+  net.add_eltwise_add({.from = 7, .relu = true}, "add2");
+  // Head: pool to 4x4, global pool, classifier.
+  net.add_maxpool({.size = 2, .stride = 2}, "pool2");
+  net.add_global_pool("gpool");
+  net.add_flatten("flatten");
+  net.add_fc({.out_dim = 10, .relu = false}, "fc");
+  net.add_softmax("softmax");
+  return quantize(std::move(net), rng);
+}
+
+ZooModel make_mobile_depthwise(std::uint64_t seed) {
+  Rng rng(seed);
+  nn::Network net({3, 16, 16}, "mobile_dw");
+  // Stem: standard 3x3 conv to 8 channels.
+  net.add_pad(nn::Padding::uniform(1), "pad0");
+  net.add_conv({.out_c = 8, .kernel = 3, .relu = true}, "conv0");
+  // Stage 1: depthwise 3x3 + pointwise 1x1 to 16 channels.
+  net.add_pad(nn::Padding::uniform(1), "pad1");
+  net.add_conv({.out_c = 8, .kernel = 3, .relu = true, .depthwise = true},
+               "dw1");
+  net.add_conv({.out_c = 16, .kernel = 1, .relu = true}, "pw1");
+  net.add_maxpool({.size = 2, .stride = 2}, "pool1");
+  // Stage 2: depthwise 3x3 + pointwise 1x1 to 32 channels at 8x8.
+  net.add_pad(nn::Padding::uniform(1), "pad2");
+  net.add_conv({.out_c = 16, .kernel = 3, .relu = true, .depthwise = true},
+               "dw2");
+  net.add_conv({.out_c = 32, .kernel = 1, .relu = true}, "pw2");
+  // Head: global pool over the 8x8 map, classifier.
+  net.add_global_pool("gpool");
+  net.add_flatten("flatten");
+  net.add_fc({.out_dim = 10, .relu = false}, "fc");
+  net.add_softmax("softmax");
+  return quantize(std::move(net), rng);
+}
+
+ZooModel make_ternary_mlp(std::uint64_t seed) {
+  Rng rng(seed);
+  // An MLP expressed as 1x1 convs over a {16,1,1} "feature map": each layer
+  // is a dense matrix the ternary weight stream runs through the conv
+  // datapath, exactly like the FC-as-1x1-conv lowering.
+  nn::Network net({16, 1, 1}, "ternary_mlp");
+  net.add_conv({.out_c = 32, .kernel = 1, .relu = true}, "mlp0");
+  net.add_conv({.out_c = 32, .kernel = 1, .relu = true}, "mlp1");
+  net.add_conv({.out_c = 16, .kernel = 1, .relu = false}, "mlp2");
+  net.add_flatten("flatten");
+  net.add_fc({.out_dim = 10, .relu = false}, "fc");
+  net.add_softmax("softmax");
+
+  const nn::WeightsF weights = nn::init_random_weights(net, rng);
+  const std::vector<nn::FeatureMapF> samples =
+      calibration_samples(net.input_shape(), rng);
+  quant::QuantizedModel model =
+      quant::ternarize_network(net, weights, samples);
+  return ZooModel{std::move(net), std::move(model)};
+}
+
+}  // namespace tsca::zoo

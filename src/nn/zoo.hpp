@@ -1,0 +1,43 @@
+// The network zoo — small, architecturally diverse models exercising every
+// lowering the compiler offers, sized so even the cycle-accurate engine runs
+// them in test time.
+//
+// Three families beyond the VGG chain the paper compiles:
+//   * a residual CIFAR-style net (skip connections → tensor slots,
+//     kEltwiseAdd steps, global pooling);
+//   * a MobileNet-style depthwise/pointwise net (depthwise 3x3 banks whose
+//     off-diagonal taps the zero-skip datapath streams past, plus 1x1
+//     pointwise convs — the FC-as-1x1-conv path generalized);
+//   * a ternary MLP over quant/ternary.* (dense ternary weight streams).
+//
+// Every builder returns topology + calibrated quantized weights together,
+// deterministic in the seed, ready for NetworkProgram::compile or a
+// ProgramRegistry::add_model call.
+#pragma once
+
+#include "nn/network.hpp"
+#include "quant/quantize.hpp"
+
+namespace tsca::zoo {
+
+struct ZooModel {
+  nn::Network net;
+  quant::QuantizedModel model;
+};
+
+// Residual-block CIFAR-style net over a {3,16,16} input: two skip
+// connections (one sourced from a fused pad+conv step, one from a pool
+// step), then global pool → fc → softmax.
+ZooModel make_residual_cifar(std::uint64_t seed = 7);
+
+// MobileNet-style net over a {3,16,16} input: stem conv, then two
+// depthwise-3x3 + pointwise-1x1 stages with a pool between, global pool →
+// fc → softmax.
+ZooModel make_mobile_depthwise(std::uint64_t seed = 11);
+
+// Ternary MLP over a {16,1,1} input: three 1x1 conv layers ternarized via
+// quant::ternarize_network (dense ternary streams on the accelerator),
+// flatten → int8 fc → softmax.
+ZooModel make_ternary_mlp(std::uint64_t seed = 13);
+
+}  // namespace tsca::zoo

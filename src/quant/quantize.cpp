@@ -94,6 +94,7 @@ QuantizedModel quantize_network(const nn::Network& net,
   model.weights.fc.resize(n);
   model.weights.fc_bias.resize(n);
   model.weights.fc_requant.resize(n);
+  model.weights.eltwise.resize(n);
 
   int exp_in = model.input_exp;
   for (std::size_t i = 0; i < n; ++i) {
@@ -101,11 +102,30 @@ QuantizedModel quantize_network(const nn::Network& net,
     switch (spec.kind) {
       case nn::LayerKind::kPad:
       case nn::LayerKind::kMaxPool:
+      case nn::LayerKind::kGlobalPool:
       case nn::LayerKind::kFlatten:
       case nn::LayerKind::kSoftmax:
         // Value-preserving (or host-side) layers keep the exponent.
         model.act_exp[i] = exp_in;
         break;
+      case nn::LayerKind::kEltwiseAdd: {
+        // The two operands can sit on different exponents; align both to
+        // the finer one (larger exp) with left shifts, then requantize down
+        // to the calibrated output exponent.
+        const int from = spec.eltwise.from;
+        TSCA_CHECK(from >= 0 && from < static_cast<int>(i),
+                   "eltwise skip source for layer " << i);
+        const int rhs_exp = model.act_exp[static_cast<std::size_t>(from)];
+        const int acc_exp = std::max(exp_in, rhs_exp);
+        int out_exp = choose_exponent(act_max[i]);
+        out_exp = std::min(out_exp, acc_exp);  // shift must be >= 0
+        model.act_exp[i] = out_exp;
+        model.weights.eltwise[i] = {
+            .lhs_shift = acc_exp - exp_in,
+            .rhs_shift = acc_exp - rhs_exp,
+            .rq = {.shift = acc_exp - out_exp, .relu = spec.eltwise.relu}};
+        break;
+      }
       case nn::LayerKind::kConv: {
         const nn::FilterBankF& bank = weights.conv[i];
         TSCA_CHECK(bank.size() > 0, "missing conv weights for layer " << i);

@@ -82,6 +82,19 @@ QuantizedModel ternarize_network(const nn::Network& net,
             std::llround(static_cast<double>(b) * bias_scale)));
       model.weights.conv_requant[i] = {.shift = exp_in + w_exp - out_exp,
                                        .relu = spec.conv.relu};
+    } else if (spec.kind == nn::LayerKind::kEltwiseAdd) {
+      // Conv substitution above may have moved the chain's exponent, so the
+      // skip-add alignment must be recomputed against the substituted
+      // exponents of both operands.
+      const int rhs_exp =
+          model.act_exp[static_cast<std::size_t>(spec.eltwise.from)];
+      const int acc_exp = std::max(exp_in, rhs_exp);
+      const int out_exp = std::min(model.act_exp[i], acc_exp);
+      model.act_exp[i] = out_exp;
+      model.weights.eltwise[i] = {
+          .lhs_shift = acc_exp - exp_in,
+          .rhs_shift = acc_exp - rhs_exp,
+          .rq = {.shift = acc_exp - out_exp, .relu = spec.eltwise.relu}};
     }
     exp_in = model.act_exp[i];
   }

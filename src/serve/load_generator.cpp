@@ -55,6 +55,7 @@ void fold_response(const Response& r, LoadReport& report, obs::Histogram& lat,
       break;
     case Status::kRejectedQueueFull:
     case Status::kRejectedShutdown:
+    case Status::kRejectedUnknownModel:
       ++report.rejected;
       break;
     case Status::kRejectedQuota:

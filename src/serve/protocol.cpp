@@ -112,13 +112,18 @@ std::vector<std::uint8_t> encode_request(std::uint64_t wire_id,
                                          const nn::FeatureMapI8& input) {
   TSCA_CHECK(opts.priority >= 0 && opts.priority <= 0xff,
              "priority=" << opts.priority);
+  TSCA_CHECK(opts.model_id.size() <= kMaxModelIdBytes,
+             "model id too long for the wire: " << opts.model_id.size()
+                                                << " bytes");
   std::vector<std::uint8_t> out;
-  out.reserve(35 + input.size());
+  out.reserve(36 + opts.model_id.size() + input.size());
   Writer w(out);
   w.u64(wire_id);
   w.i64(opts.deadline_us);
   w.u8(static_cast<std::uint8_t>(opts.priority));
   w.u64(opts.cycle_budget);
+  w.u8(static_cast<std::uint8_t>(opts.model_id.size()));
+  w.bytes(opts.model_id.data(), opts.model_id.size());
   put_fm(w, input);
   return out;
 }
@@ -130,6 +135,13 @@ WireRequest decode_request(const std::vector<std::uint8_t>& payload) {
   req.opts.deadline_us = r.i64();
   req.opts.priority = r.u8();
   req.opts.cycle_budget = r.u64();
+  const std::uint8_t nmodel = r.u8();
+  if (nmodel > kMaxModelIdBytes)
+    throw ProtocolError("model id too long: " + std::to_string(nmodel) +
+                        " bytes (cap " + std::to_string(kMaxModelIdBytes) +
+                        ")");
+  const std::uint8_t* model = r.take(nmodel);
+  req.opts.model_id.assign(reinterpret_cast<const char*>(model), nmodel);
   req.input = get_fm(r);
   r.done();
   return req;
@@ -164,7 +176,7 @@ WireResponse decode_response(const std::vector<std::uint8_t>& payload) {
   Response& resp = out.response;
   resp.id = out.wire_id;
   const std::uint8_t status = r.u8();
-  if (status > static_cast<std::uint8_t>(Status::kError))
+  if (status > static_cast<std::uint8_t>(Status::kRejectedUnknownModel))
     throw ProtocolError("unknown status code " + std::to_string(status));
   resp.status = static_cast<Status>(status);
   resp.executed = r.u8() != 0;

@@ -10,6 +10,7 @@
 //
 //   kRequest    u64 wire_id | i64 deadline_us (relative; <0 ⇒ none) |
 //               u8 priority | u64 cycle_budget |
+//               u8 nmodel | nmodel bytes (model id; 0 ⇒ server default) |
 //               u16 c | u16 h | u16 w | c*h*w bytes (i8 feature map, CHW)
 //   kResponse   u64 wire_id | u8 status | u8 executed | u8 flat_output |
 //               i32 batch_size | i64 queued_us | i64 batch_us | i64 exec_us |
@@ -57,6 +58,11 @@ enum class MsgType : std::uint8_t {
 
 // Frames above this are rejected at the length prefix (both directions).
 inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+// Longest model id the wire carries (matches the registry's id validation).
+// The length rides in one octet, so the decoder rejects anything above this
+// before touching the bytes.
+inline constexpr std::size_t kMaxModelIdBytes = 64;
 
 class ProtocolError : public Error {
  public:

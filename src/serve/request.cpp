@@ -18,6 +18,8 @@ const char* status_name(Status status) {
       return "rejected-quota";
     case Status::kError:
       return "error";
+    case Status::kRejectedUnknownModel:
+      return "rejected-unknown-model";
   }
   return "?";
 }

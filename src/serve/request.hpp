@@ -40,6 +40,8 @@ enum class Status {
                        // Response::error carries the reason.  Wire-path
                        // requests always terminate in a Status — in-process
                        // futures receive the original exception instead.
+  kRejectedUnknownModel,  // model routing: the request named a model_id the
+                          // server's registry does not know
 };
 
 const char* status_name(Status status);
@@ -64,6 +66,10 @@ struct Request {
   // many cycles, so a pathological request cannot hog a worker.  Only the
   // budget-setting request pays — co-batched neighbors re-run unharmed.
   std::uint64_t cycle_budget = 0;
+  // Model routing: which registry model runs this request.  Resolved at
+  // admission (empty submits get the server's default model), so queued
+  // requests always carry a concrete id and batches stay single-model.
+  std::string model_id;
 };
 
 // Per-submit knobs, shared by the in-process API (Server::submit), the wire
@@ -73,6 +79,7 @@ struct SubmitOptions {
   int priority = kPriorityHigh;
   std::uint64_t client_id = 0;
   std::uint64_t cycle_budget = 0;
+  std::string model_id;  // empty = the server's default model
 };
 
 // Where a request's latency went, in microseconds: waiting in the queue for

@@ -137,19 +137,31 @@ std::vector<Pending> RequestQueue::pop_locked(std::size_t max_batch,
                                               bool edf) {
   std::vector<Pending> out;
   out.reserve(std::min(max_batch, entries_.size()));
+  // Batches are single-model: run_network_batch executes one program, so the
+  // first pick fixes the batch's model and later picks skip entries routed
+  // elsewhere (those stay queued for the next batch — a popper per model
+  // drains a mixed queue without ever mixing a batch).  model_id is resolved
+  // at admission, so string equality means "same registry program".
+  std::string model;
   while (out.size() < max_batch && !entries_.empty()) {
-    auto it = entries_.begin();
-    if (edf)
+    auto it = entries_.end();
+    for (auto cand = entries_.begin(); cand != entries_.end(); ++cand) {
+      if (!out.empty() && cand->request.model_id != model) continue;
+      if (it == entries_.end()) {
+        it = cand;
+        if (!edf) break;  // FIFO: the first eligible entry wins
+        continue;
+      }
       // Strict priority across SLO classes, EDF within a class (submission
       // order among ties; kNoDeadline sorts last within its class).
-      it = std::min_element(
-          entries_.begin(), entries_.end(), [](const Pending& a,
-                                               const Pending& b) {
-            return std::make_tuple(a.request.priority, a.request.deadline,
-                                   a.request.id) <
-                   std::make_tuple(b.request.priority, b.request.deadline,
-                                   b.request.id);
-          });
+      if (std::make_tuple(cand->request.priority, cand->request.deadline,
+                          cand->request.id) <
+          std::make_tuple(it->request.priority, it->request.deadline,
+                          it->request.id))
+        it = cand;
+    }
+    if (it == entries_.end()) break;  // only other-model entries remain
+    if (out.empty()) model = it->request.model_id;
     note_removed_locked(*it);
     out.push_back(std::move(*it));
     entries_.erase(it);

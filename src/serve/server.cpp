@@ -11,12 +11,33 @@
 namespace tsca::serve {
 
 Server::Server(const driver::NetworkProgram& program, ServerOptions options)
-    : program_(program),
+    : program_(&program),
       options_(options),
       metrics_(options.metrics != nullptr ? options.metrics : &own_metrics_),
       epoch_(Clock::now()),
       queue_(options.queue_capacity, options.fair_share),
       scheduler_(queue_, options.batch, *metrics_, options.trace, epoch_) {
+  start(program.config());
+}
+
+Server::Server(driver::ProgramRegistry& registry, std::string default_model,
+               ServerOptions options)
+    : registry_(&registry),
+      default_model_(std::move(default_model)),
+      // Lease the default model for the server's lifetime: it compiles here
+      // (startup, never request latency) and can never be evicted out from
+      // under program() or a default-routed batch.
+      default_handle_(registry.acquire(default_model_)),
+      options_(options),
+      metrics_(options.metrics != nullptr ? options.metrics : &own_metrics_),
+      epoch_(Clock::now()),
+      queue_(options.queue_capacity, options.fair_share),
+      scheduler_(queue_, options.batch, *metrics_, options.trace, epoch_) {
+  program_ = &default_handle_.program();
+  start(registry.config());
+}
+
+void Server::start(const core::ArchConfig& cfg) {
   TSCA_CHECK(options_.workers >= 1, "workers=" << options_.workers);
   // Pin the kernel backend the fast path will serve with into the metrics
   // (as "serve.simd.<name>" = lane width), so a metrics dump names the
@@ -24,14 +45,14 @@ Server::Server(const driver::NetworkProgram& program, ServerOptions options)
   metrics_
       ->counter(std::string("serve.simd.") + core::simd::backend_name())
       .add(core::simd::backend().width);
-  // Stage the weight image into every worker context up front: part of
-  // server startup, never of any request's latency.
+  // Stage the startup program's weight image into every worker context up
+  // front: part of server startup, never of any request's latency.
   contexts_.reserve(static_cast<std::size_t>(options_.workers));
   for (int w = 0; w < options_.workers; ++w) {
     contexts_.push_back(std::make_unique<driver::AcceleratorPool::Context>(
-        program.config(), options_.dram_bytes));
+        cfg, options_.dram_bytes));
     contexts_.back()->worker = w;
-    stage_program_in_context(*contexts_.back(), program);
+    stage_program_in_context(*contexts_.back(), *program_);
   }
   threads_.reserve(contexts_.size());
   for (int w = 0; w < options_.workers; ++w)
@@ -58,6 +79,29 @@ std::uint64_t Server::admit(nn::FeatureMapI8 input, const SubmitOptions& opts,
   if (future_out != nullptr) *future_out = p.promise.get_future();
   const std::uint64_t id = p.request.id;
   metrics_->counter("serve.submitted").add(1);
+
+  // Model routing, resolved here at admission so every queued request
+  // carries a concrete id and batches stay single-model.  A single-program
+  // server knows no model names at all — any non-empty id is unknown.
+  std::string model_id = opts.model_id;
+  if (registry_ != nullptr && model_id.empty()) model_id = default_model_;
+  const bool unknown = registry_ != nullptr ? !registry_->has_model(model_id)
+                                            : !model_id.empty();
+  if (unknown) {
+    Response r;
+    r.id = id;
+    r.status = Status::kRejectedUnknownModel;
+    metrics_->counter("serve.rejected_unknown_model").add(1);
+    if (options_.trace != nullptr)
+      options_.trace->track("serve/requests")
+          .complete("req " + std::to_string(r.id), "rejected",
+                    static_cast<std::uint64_t>(
+                        us_between(epoch_, p.request.submitted)),
+                    0, {{"unknown_model", 1}});
+    complete(p, std::move(r));
+    return id;
+  }
+  p.request.model_id = std::move(model_id);
 
   std::optional<Pending> evicted;
   const Admit admit = queue_.push(std::move(p), &evicted);
@@ -205,6 +249,29 @@ void Server::execute_batch(int w, driver::AcceleratorPool::Context& ctx,
     if (batch.empty()) return;
   }
 
+  // Registry mode: lease the batch's program (the queue guarantees the batch
+  // is single-model) and restage this worker's context when the staged stamp
+  // differs — first touch of the model on this worker, or a recompile after
+  // eviction invalidated what was resident.  An acquire failure (a model
+  // evicted from the registry's catalog is impossible today, but a budget
+  // infeasibility is not) fails the batch, never the server.
+  driver::ProgramHandle lease;
+  const driver::NetworkProgram* program = program_;
+  if (registry_ != nullptr) {
+    try {
+      lease = registry_->acquire(batch.front().request.model_id);
+    } catch (...) {
+      metrics_->counter("serve.exec_errors").add(1);
+      for (Pending& p : batch) complete_error(p, std::current_exception());
+      return;
+    }
+    program = &lease.program();
+    if (ctx.staged_stamp != program->stamp()) {
+      stage_program_in_context(ctx, *program);
+      metrics_->counter("serve.model_restage").add(1);
+    }
+  }
+
   // A fresh serial Runtime per attempt over this worker's private context,
   // exactly like PoolRuntime::serve — adopted residency, worker-scoped
   // trace tracks, the worker's simulated-cycle clock carried across batches.
@@ -249,7 +316,7 @@ void Server::execute_batch(int w, driver::AcceleratorPool::Context& ctx,
     for (const Pending& p : batch) inputs.push_back(p.request.input);
 
     try {
-      result = runtime.run_network_batch(program_, inputs);
+      result = runtime.run_network_batch(*program, inputs);
       break;
     } catch (const driver::RequestCancelled&) {
       for (Pending& p : batch) {
@@ -316,6 +383,14 @@ void Server::execute_batch(int w, driver::AcceleratorPool::Context& ctx,
     metrics_->counter(cls + (late ? ".deadline_missed" : ".completed")).add(1);
     if (late) metrics_->counter("serve.late_executions").add(1);
     metrics_->counter("serve.executed").add(1);
+    if (!p.request.model_id.empty()) {
+      // Per-model serving metrics: registry-mode requests always carry a
+      // concrete id (admission resolves empty submits to the default).
+      const std::string mdl = "serve.model." + p.request.model_id;
+      metrics_->counter(mdl + (late ? ".deadline_missed" : ".completed"))
+          .add(1);
+      metrics_->histogram(mdl + ".latency_us").observe(r.latency.total_us());
+    }
     metrics_->histogram("serve.latency_us").observe(r.latency.total_us());
     metrics_->histogram(cls + ".latency_us").observe(r.latency.total_us());
     metrics_->histogram("serve.queued_us").observe(r.latency.queued_us);

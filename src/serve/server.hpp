@@ -1,4 +1,5 @@
-// Inference server over one compiled NetworkProgram.
+// Inference server over one compiled NetworkProgram — or, in registry mode,
+// over a driver::ProgramRegistry of many models routed by request model_id.
 //
 // The serving pipeline end to end: submit() admits a request into the
 // bounded RequestQueue (or rejects it immediately — queue full / shutdown /
@@ -41,6 +42,7 @@
 
 #include "driver/accelerator_pool.hpp"
 #include "driver/program.hpp"
+#include "driver/program_registry.hpp"
 #include "driver/runtime.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -73,6 +75,19 @@ class Server {
   // Compiles nothing: the program must outlive the server.  Stages its
   // weight image into every worker context before any worker starts.
   Server(const driver::NetworkProgram& program, ServerOptions options = {});
+
+  // Registry mode — multi-model serving.  Requests are routed by
+  // SubmitOptions::model_id (empty picks `default_model`); unknown ids are
+  // rejected at admission with Status::kRejectedUnknownModel.  Batches are
+  // single-model (the queue never mixes models into one batch); a worker
+  // leases the batch's program from the registry and restages its context
+  // when the staged stamp differs (first touch, or a recompile after
+  // eviction).  The default model is acquired for the server's lifetime, so
+  // it can never be evicted out from under program().  The registry must
+  // outlive the server.  Throws UnknownModelError when `default_model` was
+  // never added.
+  Server(driver::ProgramRegistry& registry, std::string default_model,
+         ServerOptions options = {});
   ~Server();  // stop()
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
@@ -105,11 +120,19 @@ class Server {
   void stop();
 
   obs::MetricsRegistry& metrics() { return *metrics_; }
-  const driver::NetworkProgram& program() const { return program_; }
+  // Single-program mode: the construction program.  Registry mode: the
+  // default model's program (pinned by a held lease for the server's life).
+  const driver::NetworkProgram& program() const { return *program_; }
+  // Null in single-program mode.
+  driver::ProgramRegistry* registry() const { return registry_; }
+  const std::string& default_model() const { return default_model_; }
   const ServerOptions& options() const { return options_; }
   TimePoint epoch() const { return epoch_; }
 
  private:
+  // Shared constructor tail: builds the worker contexts (program_ must be
+  // set), stages the startup program into each, launches the workers.
+  void start(const core::ArchConfig& cfg);
   void worker_loop(int w);
   // Builds the Pending, stamps id/times, admits it into the queue and
   // completes it on the spot when rejected/evicting.
@@ -122,7 +145,13 @@ class Server {
   // Consumes a pending client-cancel mark for `id`.
   bool take_cancel_mark(std::uint64_t id);
 
-  const driver::NetworkProgram& program_;
+  // Exactly one mode: program_ always points at a live program (the legacy
+  // reference, or the default model's leased program); registry_ is null in
+  // single-program mode.
+  const driver::NetworkProgram* program_ = nullptr;
+  driver::ProgramRegistry* registry_ = nullptr;
+  std::string default_model_;
+  driver::ProgramHandle default_handle_;
   ServerOptions options_;
   obs::MetricsRegistry own_metrics_;
   obs::MetricsRegistry* metrics_;  // options_.metrics or &own_metrics_

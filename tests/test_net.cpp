@@ -23,8 +23,10 @@
 
 #include "core/accelerator.hpp"
 #include "driver/program.hpp"
+#include "driver/program_registry.hpp"
 #include "driver/runtime.hpp"
 #include "nn/vgg16.hpp"
+#include "nn/zoo.hpp"
 #include "quant/prune.hpp"
 #include "quant/quantize.hpp"
 #include "serve/client.hpp"
@@ -108,6 +110,7 @@ TEST(NetProtocol, RequestRoundTripsAllFields) {
   opts.deadline_us = 123456;
   opts.priority = 2;
   opts.cycle_budget = 987654321;
+  opts.model_id = "mobilenet_v1";
 
   const std::vector<std::uint8_t> payload =
       serve::encode_request(42, opts, fm);
@@ -116,8 +119,14 @@ TEST(NetProtocol, RequestRoundTripsAllFields) {
   EXPECT_EQ(back.opts.deadline_us, 123456);
   EXPECT_EQ(back.opts.priority, 2);
   EXPECT_EQ(back.opts.cycle_budget, 987654321u);
+  EXPECT_EQ(back.opts.model_id, "mobilenet_v1");
   ASSERT_EQ(back.input.shape(), fm.shape());
   EXPECT_EQ(std::memcmp(back.input.data(), fm.data(), fm.size()), 0);
+
+  // An empty model id (server default) survives the trip too.
+  const serve::WireRequest dflt =
+      serve::decode_request(serve::encode_request(43, {}, fm));
+  EXPECT_TRUE(dflt.opts.model_id.empty());
 
   // No deadline survives the trip as a negative sentinel.
   serve::SubmitOptions nodl;
@@ -197,13 +206,43 @@ TEST(NetProtocol, HugeClaimedFmDimsThrowBeforeAllocating) {
   Rng rng(610);
   const nn::FeatureMapI8 fm = random_fm({1, 1, 1}, rng);
   std::vector<std::uint8_t> payload = serve::encode_request(1, {}, fm);
-  // Dims sit after u64 id | i64 deadline | u8 priority | u64 budget.
-  ASSERT_EQ(payload.size(), 32u);
-  for (std::size_t i = 25; i < 31; ++i) payload[i] = 0xff;  // 65535³ claimed
+  // Dims sit after u64 id | i64 deadline | u8 priority | u64 budget |
+  // u8 nmodel (0 here).
+  ASSERT_EQ(payload.size(), 33u);
+  for (std::size_t i = 26; i < 32; ++i) payload[i] = 0xff;  // 65535³ claimed
   EXPECT_THROW(serve::decode_request(payload), serve::ProtocolError);
-  payload[25] = 1;  // 1×65535×65535: an allocation that would succeed —
-  payload[26] = 0;  // and must not happen either
+  payload[26] = 1;  // 1×65535×65535: an allocation that would succeed —
+  payload[27] = 0;  // and must not happen either
   EXPECT_THROW(serve::decode_request(payload), serve::ProtocolError);
+}
+
+// The model-id length octet is bounds-checked before the bytes are touched:
+// a wire-claimed length above kMaxModelIdBytes is a protocol error even when
+// the payload happens to be long enough, and the encoder refuses to build an
+// over-long id in the first place.
+TEST(NetProtocol, OversizeModelIdRejectedBothDirections) {
+  Rng rng(611);
+  const nn::FeatureMapI8 fm = random_fm({1, 1, 1}, rng);
+  std::vector<std::uint8_t> payload = serve::encode_request(1, {}, fm);
+  payload[25] = static_cast<std::uint8_t>(serve::kMaxModelIdBytes + 1);
+  EXPECT_THROW(serve::decode_request(payload), serve::ProtocolError);
+  payload[25] = 0xff;
+  EXPECT_THROW(serve::decode_request(payload), serve::ProtocolError);
+
+  serve::SubmitOptions opts;
+  opts.model_id.assign(serve::kMaxModelIdBytes + 1, 'a');
+  EXPECT_THROW(serve::encode_request(2, opts, fm), Error);
+
+  // Exactly at the cap round-trips.
+  opts.model_id.assign(serve::kMaxModelIdBytes, 'a');
+  const serve::WireRequest back =
+      serve::decode_request(serve::encode_request(3, opts, fm));
+  EXPECT_EQ(back.opts.model_id, opts.model_id);
+
+  // A claimed in-bounds length the payload cannot satisfy truncates.
+  std::vector<std::uint8_t> cut = serve::encode_request(4, {}, fm);
+  cut[25] = 32;  // claims 32 id bytes the 1x1x1 payload does not hold
+  EXPECT_THROW(serve::decode_request(cut), serve::ProtocolError);
 }
 
 // --- Socket end-to-end -------------------------------------------------
@@ -389,7 +428,7 @@ TEST(NetServe, HugeClaimedRequestDropsConnectionNotServer) {
 
   std::vector<std::uint8_t> payload =
       serve::encode_request(1, {}, random_fm({1, 1, 1}, rng));
-  for (std::size_t i = 25; i < 31; ++i) payload[i] = 0xff;
+  for (std::size_t i = 26; i < 32; ++i) payload[i] = 0xff;
   const int fd = connect_raw(net.port());
   ASSERT_GE(fd, 0);
   serve::write_frame(fd, serve::MsgType::kRequest, payload);
@@ -454,6 +493,98 @@ TEST(NetServe, FinishedConnectionsAreReaped) {
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
   EXPECT_LE(tracked, 2u) << "closed connections were never reaped";
+}
+
+// Reference logits for a registry-served model: acquire a lease and run the
+// compiled program on a private simulator instance.
+std::vector<std::int8_t> registry_logits(driver::ProgramRegistry& registry,
+                                         const std::string& id,
+                                         const nn::FeatureMapI8& input) {
+  const driver::ProgramHandle h = registry.acquire(id);
+  core::Accelerator acc(registry.config());
+  sim::Dram dram(64u << 20);
+  sim::DmaEngine dma(dram);
+  driver::Runtime runtime(acc, dram, dma, {.mode = driver::ExecMode::kFast});
+  return runtime.run_network(h.program(), input).logits;
+}
+
+// An unknown model id over the wire is a typed rejection — the request
+// fails with kRejectedUnknownModel, but the connection survives and the
+// next request (routed to the server default) completes normally.
+TEST(NetServe, UnknownModelRejectionKeepsConnectionAlive) {
+  const zoo::ZooModel mlp = zoo::make_ternary_mlp(13);
+  driver::ProgramRegistry registry(core::ArchConfig::k256_opt());
+  registry.add_model("mlp", mlp.net, mlp.model);
+  serve::Server server(registry, "mlp", {});
+  serve::NetServer net(server);
+  serve::NetClient client("127.0.0.1", net.port());
+
+  Rng rng(614);
+  serve::SubmitOptions unknown;
+  unknown.model_id = "resnet_900";  // well-formed id, never registered
+  const serve::Response r =
+      client.submit(random_fm(mlp.net.input_shape(), rng), unknown).get();
+  EXPECT_EQ(r.status, serve::Status::kRejectedUnknownModel);
+  EXPECT_FALSE(r.executed);
+
+  const nn::FeatureMapI8 good = random_fm(mlp.net.input_shape(), rng);
+  const serve::Response ok = client.submit(good).get();
+  EXPECT_EQ(ok.status, serve::Status::kOk);
+  EXPECT_EQ(ok.logits, registry_logits(registry, "mlp", good));
+  EXPECT_EQ(
+      server.metrics().counter("serve.rejected_unknown_model").value(), 1);
+}
+
+// Two models with different input shapes interleaved over one socket: the
+// model id routes each request to its own program, results stay bit-exact
+// per model, and per-model serving metrics attribute the traffic.
+TEST(NetServe, RoutesMixedModelsOverOneSocket) {
+  const zoo::ZooModel mlp = zoo::make_ternary_mlp(13);
+  const zoo::ZooModel mobile = zoo::make_mobile_depthwise(11);
+  driver::ProgramRegistry registry(core::ArchConfig::k256_opt());
+  registry.add_model("mlp", mlp.net, mlp.model);
+  registry.add_model("mobile", mobile.net, mobile.model);
+  serve::ServerOptions opts;
+  opts.workers = 2;
+  serve::Server server(registry, "mlp", opts);
+  serve::NetServer net(server);
+  serve::NetClient client("127.0.0.1", net.port());
+
+  Rng rng(615);
+  constexpr int kPerModel = 3;
+  std::vector<nn::FeatureMapI8> mlp_in, mobile_in;
+  std::vector<std::future<serve::Response>> mlp_f, mobile_f;
+  for (int i = 0; i < kPerModel; ++i) {
+    serve::SubmitOptions to_mlp;
+    to_mlp.model_id = "mlp";
+    mlp_in.push_back(random_fm(mlp.net.input_shape(), rng));
+    mlp_f.push_back(client.submit(mlp_in.back(), to_mlp));
+    serve::SubmitOptions to_mobile;
+    to_mobile.model_id = "mobile";
+    mobile_in.push_back(random_fm(mobile.net.input_shape(), rng));
+    mobile_f.push_back(client.submit(mobile_in.back(), to_mobile));
+  }
+  for (int i = 0; i < kPerModel; ++i) {
+    const serve::Response a = mlp_f[static_cast<std::size_t>(i)].get();
+    EXPECT_EQ(a.status, serve::Status::kOk);
+    EXPECT_EQ(a.logits,
+              registry_logits(registry, "mlp",
+                              mlp_in[static_cast<std::size_t>(i)]))
+        << "mlp request " << i;
+    const serve::Response b = mobile_f[static_cast<std::size_t>(i)].get();
+    EXPECT_EQ(b.status, serve::Status::kOk);
+    EXPECT_EQ(b.logits,
+              registry_logits(registry, "mobile",
+                              mobile_in[static_cast<std::size_t>(i)]))
+        << "mobile request " << i;
+  }
+  client.close();
+  net.stop();
+  server.stop();
+  EXPECT_EQ(server.metrics().counter("serve.model.mlp.completed").value(),
+            kPerModel);
+  EXPECT_EQ(server.metrics().counter("serve.model.mobile.completed").value(),
+            kPerModel);
 }
 
 TEST(NetServe, ConnectionsAreDistinctFairShareClients) {

@@ -17,8 +17,10 @@
 
 #include "core/accelerator.hpp"
 #include "driver/program.hpp"
+#include "driver/program_registry.hpp"
 #include "driver/runtime.hpp"
 #include "nn/vgg16.hpp"
+#include "nn/zoo.hpp"
 #include "obs/trace.hpp"
 #include "quant/prune.hpp"
 #include "quant/quantize.hpp"
@@ -825,6 +827,205 @@ TEST(ServeServer, FairShareAdmitsSecondClientUnderFlood) {
 }
 
 // --- Load generator ----------------------------------------------------
+
+// --- Registry-mode serving (multi-model routing) -----------------------
+
+// Reference logits for a registry model via a private simulator instance.
+std::vector<std::int8_t> registry_logits(driver::ProgramRegistry& registry,
+                                         const std::string& id,
+                                         const nn::FeatureMapI8& input) {
+  const driver::ProgramHandle h = registry.acquire(id);
+  core::Accelerator acc(registry.config());
+  sim::Dram dram(64u << 20);
+  sim::DmaEngine dma(dram);
+  driver::Runtime runtime(acc, dram, dma, {.mode = driver::ExecMode::kFast});
+  return runtime.run_network(h.program(), input).logits;
+}
+
+// Two zoo models with different input shapes behind one server: the model
+// id routes each request to its own compiled program, outputs stay
+// bit-exact per model, and per-model metrics attribute the traffic.
+TEST(ServeRegistry, RoutesRequestsByModelIdBitExact) {
+  const zoo::ZooModel mlp = zoo::make_ternary_mlp(13);
+  const zoo::ZooModel mobile = zoo::make_mobile_depthwise(11);
+  driver::ProgramRegistry registry(core::ArchConfig::k256_opt());
+  registry.add_model("mlp", mlp.net, mlp.model);
+  registry.add_model("mobile", mobile.net, mobile.model);
+
+  serve::ServerOptions opts;
+  opts.workers = 2;
+  serve::Server server(registry, "mlp", opts);
+  EXPECT_EQ(server.default_model(), "mlp");
+
+  Rng rng(520);
+  constexpr int kPerModel = 3;
+  std::vector<nn::FeatureMapI8> mlp_in, mobile_in;
+  std::vector<std::future<serve::Response>> mlp_f, mobile_f;
+  for (int i = 0; i < kPerModel; ++i) {
+    serve::SubmitOptions to_mlp;
+    to_mlp.model_id = "mlp";
+    mlp_in.push_back(random_fm(mlp.net.input_shape(), rng));
+    mlp_f.push_back(server.submit(mlp_in.back(), to_mlp));
+    serve::SubmitOptions to_mobile;
+    to_mobile.model_id = "mobile";
+    mobile_in.push_back(random_fm(mobile.net.input_shape(), rng));
+    mobile_f.push_back(server.submit(mobile_in.back(), to_mobile));
+  }
+  for (int i = 0; i < kPerModel; ++i) {
+    const serve::Response a = mlp_f[static_cast<std::size_t>(i)].get();
+    EXPECT_EQ(a.status, serve::Status::kOk);
+    EXPECT_EQ(a.logits, registry_logits(registry, "mlp",
+                                        mlp_in[static_cast<std::size_t>(i)]))
+        << "mlp request " << i;
+    const serve::Response b = mobile_f[static_cast<std::size_t>(i)].get();
+    EXPECT_EQ(b.status, serve::Status::kOk);
+    EXPECT_EQ(b.logits,
+              registry_logits(registry, "mobile",
+                              mobile_in[static_cast<std::size_t>(i)]))
+        << "mobile request " << i;
+  }
+  server.stop();
+  EXPECT_EQ(server.metrics().counter("serve.model.mlp.completed").value(),
+            kPerModel);
+  EXPECT_EQ(server.metrics().counter("serve.model.mobile.completed").value(),
+            kPerModel);
+  EXPECT_EQ(server.metrics()
+                .histogram("serve.model.mobile.latency_us")
+                .snapshot()
+                .count,
+            kPerModel);
+  EXPECT_EQ(server.metrics().counter("serve.completed").value(),
+            2 * kPerModel);
+}
+
+// A batch never mixes models: with one worker and a generous coalescing
+// window, a burst that alternates models still executes in single-model
+// batches (every response's batch peers share its program).
+TEST(ServeRegistry, BatchesNeverMixModels) {
+  const zoo::ZooModel a = zoo::make_ternary_mlp(13);
+  const zoo::ZooModel b = zoo::make_ternary_mlp(17);  // same shape, diff id
+  driver::ProgramRegistry registry(core::ArchConfig::k256_opt());
+  registry.add_model("a", a.net, a.model);
+  registry.add_model("b", b.net, b.model);
+
+  serve::ServerOptions opts;
+  opts.workers = 1;
+  opts.batch.max_batch = 8;
+  opts.batch.max_queue_delay_us = 20000;
+  serve::Server server(registry, "a", opts);
+
+  Rng rng(521);
+  constexpr int kPerModel = 4;
+  std::vector<std::future<serve::Response>> futures;
+  for (int i = 0; i < kPerModel; ++i)
+    for (const char* id : {"a", "b"}) {
+      serve::SubmitOptions so;
+      so.model_id = id;
+      futures.push_back(server.submit(random_fm(a.net.input_shape(), rng), so));
+    }
+  for (auto& f : futures) {
+    const serve::Response r = f.get();
+    EXPECT_EQ(r.status, serve::Status::kOk);
+    EXPECT_LE(r.batch_size, kPerModel)
+        << "a batch larger than one model's traffic must have mixed models";
+  }
+  server.stop();
+  EXPECT_EQ(server.metrics().counter("serve.model.a.completed").value(),
+            kPerModel);
+  EXPECT_EQ(server.metrics().counter("serve.model.b.completed").value(),
+            kPerModel);
+}
+
+// Unknown ids are a typed rejection in both modes: registry mode rejects
+// unregistered ids, and a legacy single-program server rejects any
+// explicit id at all (it has no registry to resolve one against).
+TEST(ServeRegistry, UnknownModelIsTypedRejection) {
+  const zoo::ZooModel mlp = zoo::make_ternary_mlp(13);
+  driver::ProgramRegistry registry(core::ArchConfig::k256_opt());
+  registry.add_model("mlp", mlp.net, mlp.model);
+  serve::Server server(registry, "mlp", {});
+
+  Rng rng(522);
+  serve::SubmitOptions unknown;
+  unknown.model_id = "not_a_model";
+  const serve::Response r =
+      server.submit(random_fm(mlp.net.input_shape(), rng), unknown).get();
+  EXPECT_EQ(r.status, serve::Status::kRejectedUnknownModel);
+  EXPECT_FALSE(r.executed);
+  EXPECT_EQ(
+      server.metrics().counter("serve.rejected_unknown_model").value(), 1);
+
+  // The server still serves known traffic after the rejection.
+  const nn::FeatureMapI8 good = random_fm(mlp.net.input_shape(), rng);
+  const serve::Response ok = server.submit(good).get();
+  EXPECT_EQ(ok.status, serve::Status::kOk);
+  EXPECT_EQ(ok.logits, registry_logits(registry, "mlp", good));
+  server.stop();
+
+  // Legacy mode: one program, no registry — any explicit id is unknown.
+  const SharedModel& m = shared_model();
+  serve::Server legacy(*m.program, {});
+  serve::SubmitOptions named;
+  named.model_id = "vgg";
+  const serve::Response lr =
+      legacy.submit(random_fm(m.net.input_shape(), rng), named).get();
+  EXPECT_EQ(lr.status, serve::Status::kRejectedUnknownModel);
+  EXPECT_EQ(
+      legacy.metrics().counter("serve.rejected_unknown_model").value(), 1);
+}
+
+// An empty model id resolves to the server default, and the default's
+// per-model metrics attribute that traffic.
+TEST(ServeRegistry, EmptyModelIdResolvesToDefault) {
+  const zoo::ZooModel mlp = zoo::make_ternary_mlp(13);
+  driver::ProgramRegistry registry(core::ArchConfig::k256_opt());
+  registry.add_model("mlp", mlp.net, mlp.model);
+  serve::Server server(registry, "mlp", {});
+
+  Rng rng(523);
+  const nn::FeatureMapI8 input = random_fm(mlp.net.input_shape(), rng);
+  const serve::Response r = server.submit(input).get();
+  EXPECT_EQ(r.status, serve::Status::kOk);
+  EXPECT_EQ(r.logits, registry_logits(registry, "mlp", input));
+  server.stop();
+  EXPECT_EQ(server.metrics().counter("serve.model.mlp.completed").value(), 1);
+}
+
+// Alternating models through one worker forces the shared accelerator
+// context to restage between programs; the restage counter proves the
+// worker actually swapped weight images rather than serving stale ones.
+TEST(ServeRegistry, MixedTrafficRestagesContexts) {
+  const zoo::ZooModel mlp = zoo::make_ternary_mlp(13);
+  const zoo::ZooModel mobile = zoo::make_mobile_depthwise(11);
+  driver::ProgramRegistry registry(core::ArchConfig::k256_opt());
+  registry.add_model("mlp", mlp.net, mlp.model);
+  registry.add_model("mobile", mobile.net, mobile.model);
+
+  serve::ServerOptions opts;
+  opts.workers = 1;
+  opts.batch.max_batch = 1;
+  opts.batch.max_queue_delay_us = 0;
+  serve::Server server(registry, "mlp", opts);
+
+  Rng rng(524);
+  for (int round = 0; round < 2; ++round) {
+    serve::SubmitOptions to_mlp;
+    to_mlp.model_id = "mlp";
+    EXPECT_EQ(server.submit(random_fm(mlp.net.input_shape(), rng), to_mlp)
+                  .get()
+                  .status,
+              serve::Status::kOk);
+    serve::SubmitOptions to_mobile;
+    to_mobile.model_id = "mobile";
+    EXPECT_EQ(server.submit(random_fm(mobile.net.input_shape(), rng), to_mobile)
+                  .get()
+                  .status,
+              serve::Status::kOk);
+  }
+  server.stop();
+  EXPECT_GE(server.metrics().counter("serve.model_restage").value(), 2)
+      << "alternating models on one worker must restage its context";
+}
 
 TEST(ServeLoadGen, PoissonScheduleIsDeterministicAndRateAccurate) {
   const std::vector<std::int64_t> a = serve::poisson_arrivals_us(42, 500, 200);
