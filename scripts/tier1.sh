@@ -12,6 +12,7 @@
 #   ./scripts/tier1.sh tsan       # just the tsan pool/program build
 #   ./scripts/tier1.sh scalar     # just the TSCA_SIMD=OFF equivalence build
 #   ./scripts/tier1.sh backends   # TSCA_FORCE_BACKEND equivalence matrix
+#   ./scripts/tier1.sh alloc      # TSCA_COUNT_ALLOCS warm-path alloc bound
 #
 # Exits non-zero on the first failing build or test.
 set -eu
@@ -79,6 +80,19 @@ run_backends() {
   done
 }
 
+# Allocation-counting build: operator new/delete hooked (TSCA_COUNT_ALLOCS)
+# so the zero-allocation warm path is measured, not assumed.  Runs the
+# warm-alloc bound test plus the compile-cache and serving suites under the
+# hooked allocator (the hooks themselves must not perturb correctness).
+run_alloc() {
+  build_dir=build-alloc
+  echo "=== ${build_dir} (-DTSCA_COUNT_ALLOCS=ON, WarmAlloc|CompileCache|Serve suites) ==="
+  cmake -B "${root}/${build_dir}" -S "${root}" -DTSCA_COUNT_ALLOCS=ON
+  cmake --build "${root}/${build_dir}" -j "${jobs}"
+  ctest --test-dir "${root}/${build_dir}" --output-on-failure -j "${jobs}" \
+    -R 'WarmAlloc|CompileCache|Serve|Registry'
+}
+
 # Scalar fast path: the SIMD wrapper compiled with its portable fallback
 # (-DTSCA_SIMD=OFF), run over the suites that compare the fast path against
 # the cycle engine and the int8 reference bit-for-bit.  Catches any case
@@ -99,14 +113,16 @@ case "${which}" in
   tsan) run_tsan ;;
   scalar) run_scalar ;;
   backends) run_backends ;;
+  alloc) run_alloc ;;
   all)
     run_config build
     run_config build-sanitize -DTSCA_SANITIZE=address,undefined
     run_tsan
     run_scalar
-    run_backends ;;
+    run_backends
+    run_alloc ;;
   *)
-    echo "usage: $0 [default|sanitize|tsan|scalar|backends|all]" >&2
+    echo "usage: $0 [default|sanitize|tsan|scalar|backends|alloc|all]" >&2
     exit 2 ;;
 esac
 echo "tier1: all green"

@@ -1,0 +1,150 @@
+// Bump-pointer arena for the warm serving path.
+//
+// The steady-state contract (DESIGN.md §15) is that a warm request touches
+// the system allocator zero times.  Persistent buffers (weight images,
+// FastScratch, frame buffers) get there by being owned and reused; the
+// *transient* per-batch storage — pointer tables, index lists, survivor
+// sets — gets there by drawing from an Arena that each worker resets at
+// batch end.  Allocation is a pointer bump; deallocation is a no-op; reset
+// rewinds the whole arena in O(1) once it has coalesced to a single block
+// sized to its high-water mark.  After the first few batches the arena
+// stops calling malloc entirely: reset() keeps the block, and every batch
+// replays into the same storage.
+//
+// Not thread-safe: one Arena per worker, by construction.  High-water and
+// block-allocation counts are exposed so tests and metrics can assert the
+// steady state was actually reached.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace tsca::core {
+
+class Arena {
+ public:
+  // `initial_bytes` pre-sizes the first block so a well-estimated arena
+  // never reallocates at all; 0 defers until first use.
+  explicit Arena(std::size_t initial_bytes = 0) {
+    if (initial_bytes > 0) add_block(initial_bytes);
+  }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Bump-allocates `bytes` aligned to `align` (a power of two).  Falls over
+  // to a fresh block — doubling, and at least the request — when the
+  // current block is exhausted.
+  void* allocate(std::size_t bytes,
+                 std::size_t align = alignof(std::max_align_t)) {
+    TSCA_CHECK(align != 0 && (align & (align - 1)) == 0,
+               "arena alignment must be a power of two");
+    if (bytes == 0) bytes = 1;
+    if (!blocks_.empty()) {
+      Block& b = blocks_.back();
+      const std::size_t at = (b.used + align - 1) & ~(align - 1);
+      if (at + bytes <= b.size) {
+        b.used = at + bytes;
+        used_ = used_before_last_ + b.used;
+        if (used_ > high_water_) high_water_ = used_;
+        return b.data.get() + at;
+      }
+    }
+    std::size_t want = blocks_.empty() ? kMinBlock : blocks_.back().size * 2;
+    if (want < bytes + align) want = bytes + align;
+    add_block(want);
+    return allocate(bytes, align);
+  }
+
+  // Rewinds every block and, once the high-water mark is known, coalesces
+  // to a single block that can hold it — after which reset is pure pointer
+  // arithmetic and the arena never mallocs again.
+  void reset() {
+    ++resets_;
+    if (blocks_.size() > 1 ||
+        (!blocks_.empty() && blocks_.front().size < high_water_)) {
+      std::size_t want = kMinBlock;
+      while (want < high_water_) want *= 2;
+      blocks_.clear();
+      add_block(want);
+    }
+    for (Block& b : blocks_) b.used = 0;
+    used_ = 0;
+    used_before_last_ = 0;
+  }
+
+  std::size_t used() const { return used_; }
+  std::size_t high_water() const { return high_water_; }
+  std::size_t capacity() const {
+    std::size_t c = 0;
+    for (const Block& b : blocks_) c += b.size;
+    return c;
+  }
+  // Times a fresh block was taken from the system allocator; stops growing
+  // once the arena reaches steady state.
+  std::uint64_t block_allocs() const { return block_allocs_; }
+  std::uint64_t resets() const { return resets_; }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::uint8_t[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  static constexpr std::size_t kMinBlock = 4096;
+
+  void add_block(std::size_t size) {
+    used_before_last_ = 0;
+    for (const Block& b : blocks_) used_before_last_ += b.used;
+    blocks_.push_back(
+        Block{std::make_unique<std::uint8_t[]>(size), size, 0});
+    ++block_allocs_;
+  }
+
+  std::vector<Block> blocks_;
+  std::size_t used_ = 0;
+  std::size_t used_before_last_ = 0;  // bytes burned in non-tail blocks
+  std::size_t high_water_ = 0;
+  std::uint64_t block_allocs_ = 0;
+  std::uint64_t resets_ = 0;
+};
+
+// Minimal std-compatible allocator over an Arena: containers built with it
+// grow by bumping the worker's arena and free nothing — the worker's
+// per-batch reset() reclaims everything at once.  The container must not
+// outlive the arena or survive a reset.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena* arena) : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& o) : arena_(o.arena()) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(arena_->allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T*, std::size_t) {}  // bump arena: reset() reclaims
+
+  Arena* arena() const { return arena_; }
+
+  template <typename U>
+  bool operator==(const ArenaAllocator<U>& o) const {
+    return arena_ == o.arena();
+  }
+  template <typename U>
+  bool operator!=(const ArenaAllocator<U>& o) const {
+    return arena_ != o.arena();
+  }
+
+ private:
+  Arena* arena_;
+};
+
+}  // namespace tsca::core

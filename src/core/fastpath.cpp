@@ -211,7 +211,11 @@ void fast_conv_impl(const pack::TiledFm* const* inputs, int batch,
                     const std::vector<std::int32_t>& bias,
                     const nn::Requant& rq, pack::TiledFm* const* outputs,
                     int otile_row0, int otile_rows, const PadSpec* pad,
-                    FastConvStats* stats) {
+                    FastConvStats* stats, FastScratch* scratch) {
+  // Scratch-less callers pay a call-local working set, exactly the old
+  // behaviour; scratch owners amortize it to zero.
+  FastScratch local;
+  FastScratch& sc = scratch != nullptr ? *scratch : local;
   TSCA_CHECK(fw.decoded(), "fast conv weights not decoded");
   TSCA_CHECK(batch > 0, "fast conv empty batch");
   const pack::TiledFm& in0 = *inputs[0];
@@ -232,7 +236,8 @@ void fast_conv_impl(const pack::TiledFm* const* inputs, int batch,
   const int oc_count = fw.out_channels;
   const std::size_t lane_bytes =
       static_cast<std::size_t>(batch) * pack::kTileSize;
-  std::vector<std::int32_t> bias_of(static_cast<std::size_t>(oc_count));
+  std::vector<std::int32_t>& bias_of = sc.bias_of;
+  bias_of.resize(static_cast<std::size_t>(oc_count));
   for (int oc = 0; oc < oc_count; ++oc)
     bias_of[static_cast<std::size_t>(oc)] =
         oc < static_cast<int>(bias.size())
@@ -255,8 +260,10 @@ void fast_conv_impl(const pack::TiledFm* const* inputs, int batch,
   // back to back, so a region gather's per-image hops span one plane_sz
   // instead of the whole (channels × images) buffer — the gather's working
   // set per (position, channel) is a few cache lines, not the full batch.
-  std::vector<std::int8_t> planes(static_cast<std::size_t>(batch) *
-                                  fw.channels * plane_sz);
+  // assign() re-zeroes reused capacity: out-of-grid plane bytes must read
+  // zero on every call, exactly like a freshly value-initialized vector.
+  std::vector<std::int8_t>& planes = sc.planes;
+  planes.assign(static_cast<std::size_t>(batch) * fw.channels * plane_sz, 0);
   for (int i = 0; i < batch; ++i)
     for (int c = 0; c < fw.channels; ++c) {
       std::int8_t* plane =
@@ -273,9 +280,10 @@ void fast_conv_impl(const pack::TiledFm* const* inputs, int batch,
   // Batch-major working set, reused at every position: acc is [oc][img][pos]
   // so one conv_run call per region run covers all images.
   const std::ptrdiff_t img_stride = static_cast<std::ptrdiff_t>(plane_sz);
-  std::vector<std::int32_t> acc(static_cast<std::size_t>(oc_count) *
-                                lane_bytes);
-  std::vector<std::int8_t> rqout(lane_bytes);
+  std::vector<std::int32_t>& acc = sc.acc;
+  acc.resize(static_cast<std::size_t>(oc_count) * lane_bytes);
+  std::vector<std::int8_t>& rqout = sc.rqout;
+  rqout.resize(lane_bytes);
 
   // Whole-window path: one window load + one permute/dot-accumulate per tap
   // quad replaces a conv_run per offset run.  The per-image window masks
@@ -283,8 +291,8 @@ void fast_conv_impl(const pack::TiledFm* const* inputs, int batch,
   // are bit-equal to the run path's.
   const bool use_win =
       fw.vnni() && be.conv_win != nullptr && simd::conv_win_host_ok();
-  std::vector<std::uint64_t> masks(use_win ? static_cast<std::size_t>(batch)
-                                           : 0);
+  std::vector<std::uint64_t>& masks = sc.masks;
+  masks.resize(use_win ? static_cast<std::size_t>(batch) : 0);
 
   for (int oty = otile_row0; oty < otile_row0 + otile_rows; ++oty) {
     for (int otx = 0; otx < out0.tiles_x(); ++otx) {
@@ -398,12 +406,34 @@ void fast_conv_impl(const pack::TiledFm* const* inputs, int batch,
 
 }  // namespace
 
+void FastScratch::reserve_conv(int batch, int channels, int out_channels,
+                               int prows, int pcols) {
+  TSCA_CHECK(batch > 0 && channels > 0 && out_channels > 0 && prows > 0 &&
+             pcols > 0);
+  const std::size_t lane_bytes =
+      static_cast<std::size_t>(batch) * pack::kTileSize;
+  const std::size_t plane_sz = static_cast<std::size_t>(prows) *
+                               pack::kTileDim * pcols * pack::kTileDim;
+  bias_of.reserve(static_cast<std::size_t>(out_channels));
+  planes.reserve(static_cast<std::size_t>(batch) * channels * plane_sz);
+  acc.reserve(static_cast<std::size_t>(out_channels) * lane_bytes);
+  rqout.reserve(lane_bytes);
+  masks.reserve(static_cast<std::size_t>(batch));
+}
+
+std::size_t FastScratch::capacity_bytes() const {
+  return bias_of.capacity() * sizeof(std::int32_t) + planes.capacity() +
+         acc.capacity() * sizeof(std::int32_t) + rqout.capacity() +
+         masks.capacity() * sizeof(std::uint64_t);
+}
+
 void fast_conv(const pack::TiledFm* const* inputs, int batch,
                const FastConvWeights& fw, const std::vector<std::int32_t>& bias,
                const nn::Requant& rq, pack::TiledFm* const* outputs,
-               int otile_row0, int otile_rows, FastConvStats* stats) {
+               int otile_row0, int otile_rows, FastConvStats* stats,
+               FastScratch* scratch) {
   fast_conv_impl(inputs, batch, fw, bias, rq, outputs, otile_row0, otile_rows,
-                 nullptr, stats);
+                 nullptr, stats, scratch);
 }
 
 void fast_conv_padded(const pack::TiledFm* const* inputs, int batch,
@@ -411,10 +441,11 @@ void fast_conv_padded(const pack::TiledFm* const* inputs, int batch,
                       const std::vector<std::int32_t>& bias,
                       const nn::Requant& rq, int pad_top, int pad_left,
                       pack::TiledFm* const* outputs, int otile_row0,
-                      int otile_rows, FastConvStats* stats) {
+                      int otile_rows, FastConvStats* stats,
+                      FastScratch* scratch) {
   const PadSpec pad{pad_top, pad_left};
   fast_conv_impl(inputs, batch, fw, bias, rq, outputs, otile_row0, otile_rows,
-                 &pad, stats);
+                 &pad, stats, scratch);
 }
 
 void fast_conv(const pack::TiledFm& input, const FastConvWeights& fw,

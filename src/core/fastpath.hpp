@@ -123,6 +123,35 @@ struct FastConvStats {
   }
 };
 
+// Reusable working set for fast_conv / fast_conv_padded.  One call needs a
+// bias table, the flat zero-padded pixel planes, the batch-major accumulator
+// block, a requantize staging row and (conv_win path) per-image window
+// masks; without a scratch every call allocates all five.  A caller that
+// owns a FastScratch and passes it to consecutive calls amortizes those
+// allocations to zero once the vectors reach the largest layer's size —
+// the warm serving path's per-worker Runtime does exactly that, presized
+// via reserve_conv() to the program's maximum layer so even the first warm
+// request stays allocation-free.  A scratch must not be shared across
+// threads; stripe-parallel callers hold one per worker.
+struct FastScratch {
+  std::vector<std::int32_t> bias_of;
+  std::vector<std::int8_t> planes;
+  std::vector<std::int32_t> acc;
+  std::vector<std::int8_t> rqout;
+  std::vector<std::uint64_t> masks;
+
+  // Grows every vector's capacity to what a conv over `channels` input /
+  // `out_channels` output channels with plane geometry (`prows` tile rows ×
+  // `pcols` tile columns) over `batch` images will ask for.  Monotonic:
+  // never shrinks, so one pass over a program's layers sizes the scratch
+  // for all of them.
+  void reserve_conv(int batch, int channels, int out_channels, int prows,
+                    int pcols);
+
+  // Total capacity in bytes across the five vectors (high-water metric).
+  std::size_t capacity_bytes() const;
+};
+
 // Convolves `batch` images (already padded) into their outputs — every output
 // channel, every tile position in rows [otile_row0, otile_row0 + otile_rows),
 // matching the conv unit bit-for-bit: out-of-grid window tiles read zero,
@@ -132,10 +161,13 @@ struct FastConvStats {
 // calls (the batch-major layout only changes which values sit in one vector
 // register together, never the per-image arithmetic).  `stats`, when
 // non-null, is accumulated into (callers sum stripes in index order).
+// `scratch`, when non-null, supplies the working set (see FastScratch);
+// null falls back to call-local vectors with identical results.
 void fast_conv(const pack::TiledFm* const* inputs, int batch,
                const FastConvWeights& fw, const std::vector<std::int32_t>& bias,
                const nn::Requant& rq, pack::TiledFm* const* outputs,
-               int otile_row0, int otile_rows, FastConvStats* stats = nullptr);
+               int otile_row0, int otile_rows, FastConvStats* stats = nullptr,
+               FastScratch* scratch = nullptr);
 
 // Single-image, full-height convenience form (the original PR 4 interface).
 void fast_conv(const pack::TiledFm& input, const FastConvWeights& fw,
@@ -154,7 +186,8 @@ void fast_conv_padded(const pack::TiledFm* const* inputs, int batch,
                       const std::vector<std::int32_t>& bias,
                       const nn::Requant& rq, int pad_top, int pad_left,
                       pack::TiledFm* const* outputs, int otile_row0,
-                      int otile_rows, FastConvStats* stats = nullptr);
+                      int otile_rows, FastConvStats* stats = nullptr,
+                      FastScratch* scratch = nullptr);
 
 // One PAD/POOL instruction decoded into replayable form: every output tile
 // position's micro-op steps generated once (core::make_pool_steps) with the
@@ -203,6 +236,8 @@ void fast_pad_pool(const pack::TiledFm& input, const PadPoolInstr& instr,
 // Shape-identical operands; tile padding stays zero (requantize(0) == 0).
 // This is the single eltwise kernel shared by every ExecMode — the operation
 // is host-side in all of them, so cycle/thread/fast agreement is structural.
+// `out` may alias `lhs` or `rhs` (the combine is element-wise), which is how
+// the warm path adds in place without a scratch map.
 void fast_eltwise_add(const pack::TiledFm& lhs, const pack::TiledFm& rhs,
                       const nn::EltwiseQ& q, pack::TiledFm& out);
 

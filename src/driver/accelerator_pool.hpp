@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/accelerator.hpp"
+#include "core/fastpath.hpp"
 #include "sim/dma.hpp"
 #include "sim/dram.hpp"
 
@@ -57,6 +58,10 @@ class AcceleratorPool {
     // Serving timeline position (simulated cycles) for tracing: requests a
     // worker serves lay their spans end to end on the worker's tracks.
     std::uint64_t trace_clock = 0;
+    // Fast-path conv working set, reused across every stripe and request
+    // this context executes.  Safe because a context never runs two units
+    // concurrently (one worker owns it for the pool's lifetime).
+    core::FastScratch fast_scratch;
   };
 
   using Task = std::function<void(Context&, std::size_t)>;

@@ -1,0 +1,692 @@
+#include "driver/compile_cache.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+#include <vector>
+
+namespace tsca::driver {
+
+namespace {
+
+constexpr char kMagic[8] = {'T', 'S', 'C', 'A', 'P', 'R', 'O', 'G'};
+
+// ---- byte-stream serialization ------------------------------------------
+//
+// Little-endian fixed-width writer/reader over a byte vector, mirroring the
+// wire protocol's style: every read is bounds-checked, a short or trailing
+// file fails parsing (→ cache miss), never memory safety.
+
+class Blob {
+ public:
+  std::vector<std::uint8_t> bytes;
+
+  void u8(std::uint8_t v) { bytes.push_back(v); }
+  void u16(std::uint16_t v) {
+    for (int i = 0; i < 2; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void raw(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    bytes.insert(bytes.end(), b, b + n);
+  }
+};
+
+// Parse failure: unwinds to load(), which counts it invalid and recompiles.
+struct ParseError {};
+
+class Cursor {
+ public:
+  explicit Cursor(const std::vector<std::uint8_t>& bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8() {
+    if (pos_ >= bytes_.size()) throw ParseError{};
+    return bytes_[pos_++];
+  }
+  std::uint16_t u16() {
+    std::uint16_t v = 0;
+    for (int i = 0; i < 2; ++i) v |= std::uint16_t(u8()) << (8 * i);
+    return v;
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t(u8()) << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t(u8()) << (8 * i);
+    return v;
+  }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  const std::uint8_t* take(std::size_t n) {
+    if (n > bytes_.size() - pos_) throw ParseError{};
+    const std::uint8_t* p = bytes_.data() + pos_;
+    pos_ += n;
+    return p;
+  }
+  // A length prefix may not claim more than the file still holds — a corrupt
+  // count fails here instead of driving a giant allocation.
+  std::size_t count(std::size_t elem_size) {
+    const std::uint64_t n = u64();
+    if (elem_size != 0 && n > (bytes_.size() - pos_) / elem_size)
+      throw ParseError{};
+    return static_cast<std::size_t>(n);
+  }
+  void done() const {
+    if (pos_ != bytes_.size()) throw ParseError{};
+  }
+
+ private:
+  const std::vector<std::uint8_t>& bytes_;
+  std::size_t pos_ = 0;
+};
+
+// ---- per-type put/get helpers -------------------------------------------
+
+template <typename T>
+void put_vec_pod(Blob& b, const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  b.u64(v.size());
+  b.raw(v.data(), v.size() * sizeof(T));
+}
+
+template <typename T>
+void get_vec_pod(Cursor& c, std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const std::size_t n = c.count(sizeof(T));
+  v.resize(n);
+  if (n != 0) std::memcpy(v.data(), c.take(n * sizeof(T)), n * sizeof(T));
+}
+
+void put_shape(Blob& b, const nn::FmShape& s) {
+  b.i32(s.c);
+  b.i32(s.h);
+  b.i32(s.w);
+}
+
+nn::FmShape get_shape(Cursor& c) {
+  nn::FmShape s;
+  s.c = c.i32();
+  s.h = c.i32();
+  s.w = c.i32();
+  return s;
+}
+
+void put_rq(Blob& b, const nn::Requant& rq) {
+  b.i32(rq.shift);
+  b.u8(rq.relu ? 1 : 0);
+}
+
+nn::Requant get_rq(Cursor& c) {
+  nn::Requant rq;
+  rq.shift = c.i32();
+  rq.relu = c.u8() != 0;
+  return rq;
+}
+
+void put_counters(Blob& b, const core::CounterSnapshot& s) {
+  b.i64(s.weight_cmds);
+  b.i64(s.weight_bubbles);
+  b.i64(s.macs_performed);
+  b.i64(s.ifm_tile_reads);
+  b.i64(s.weight_word_reads);
+  b.i64(s.weight_spill_reads);
+  b.i64(s.ofm_tile_writes);
+  b.i64(s.pool_ops);
+  b.i64(s.conv_instrs);
+  b.i64(s.pad_instrs);
+  b.i64(s.pool_instrs);
+  b.i64(s.positions);
+}
+
+core::CounterSnapshot get_counters(Cursor& c) {
+  core::CounterSnapshot s;
+  s.weight_cmds = c.i64();
+  s.weight_bubbles = c.i64();
+  s.macs_performed = c.i64();
+  s.ifm_tile_reads = c.i64();
+  s.weight_word_reads = c.i64();
+  s.weight_spill_reads = c.i64();
+  s.ofm_tile_writes = c.i64();
+  s.pool_ops = c.i64();
+  s.conv_instrs = c.i64();
+  s.pad_instrs = c.i64();
+  s.pool_instrs = c.i64();
+  s.positions = c.i64();
+  return s;
+}
+
+void put_fastw(Blob& b, const core::FastConvWeights& fw) {
+  b.i32(fw.channels);
+  b.i32(fw.wtiles_y);
+  b.i32(fw.wtiles_x);
+  b.i32(fw.out_channels);
+  put_vec_pod(b, fw.entries);
+  put_vec_pod(b, fw.vnni_idx);
+  put_vec_pod(b, fw.vnni_w);
+  put_vec_pod(b, fw.vnni_corr);
+  put_vec_pod(b, fw.vnni_row);
+  put_vec_pod(b, fw.vnni_begin);
+  put_vec_pod(b, fw.begin);
+}
+
+core::FastConvWeights get_fastw(Cursor& c) {
+  core::FastConvWeights fw;
+  fw.channels = c.i32();
+  fw.wtiles_y = c.i32();
+  fw.wtiles_x = c.i32();
+  fw.out_channels = c.i32();
+  get_vec_pod(c, fw.entries);
+  get_vec_pod(c, fw.vnni_idx);
+  get_vec_pod(c, fw.vnni_w);
+  get_vec_pod(c, fw.vnni_corr);
+  get_vec_pod(c, fw.vnni_row);
+  get_vec_pod(c, fw.vnni_begin);
+  get_vec_pod(c, fw.begin);
+  return fw;
+}
+
+// ---- key hashing --------------------------------------------------------
+
+class Fnv {
+ public:
+  void byte(std::uint8_t b) {
+    h_ ^= b;
+    h_ *= 1099511628211ull;
+  }
+  void raw(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    for (std::size_t i = 0; i < n; ++i) byte(b[i]);
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) byte(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void i32(std::int32_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void str(const std::string& s) {
+    u64(s.size());
+    raw(s.data(), s.size());
+  }
+  template <typename T>
+  void vec_pod(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    u64(v.size());
+    raw(v.data(), v.size() * sizeof(T));
+  }
+  std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 1469598103934665603ull;
+};
+
+std::uint64_t temp_suffix() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+CompileCache::CompileCache(std::string dir) : dir_(std::move(dir)) {
+  if (dir_.empty()) dir_ = default_dir();
+}
+
+std::string CompileCache::default_dir() {
+  if (const char* env = std::getenv("TSCA_CACHE_DIR"); env && *env)
+    return env;
+  if (const char* home = std::getenv("HOME"); home && *home)
+    return std::string(home) + "/.cache/tsca";
+  return ".tsca-cache";
+}
+
+std::string CompileCache::path_for(std::uint64_t key) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "%016llx.prog",
+                static_cast<unsigned long long>(key));
+  return dir_ + "/" + name;
+}
+
+CompileCache::Stats CompileCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::uint64_t CompileCache::key(const nn::Network& net,
+                                const quant::QuantizedModel& model,
+                                const core::ArchConfig& cfg,
+                                const ProgramOptions& options) {
+  Fnv h;
+  h.str(kCompileCacheVersion);
+
+  // Architecture: every field compile() can see (name excluded — two
+  // configs that plan identically should share artifacts).
+  h.i32(cfg.lanes);
+  h.i32(cfg.group);
+  h.i32(cfg.instances);
+  h.i32(cfg.bank_words);
+  h.i32(cfg.weight_scratch_words);
+  h.i32(cfg.fifo_depth);
+  h.byte(cfg.position_barrier ? 1 : 0);
+  h.byte(cfg.skip_empty_tile_groups ? 1 : 0);
+
+  h.byte(options.fuse_pad_conv ? 1 : 0);
+
+  // Topology: input shape plus every LayerSpec field that shapes lowering.
+  h.i32(net.input_shape().c);
+  h.i32(net.input_shape().h);
+  h.i32(net.input_shape().w);
+  h.u64(net.layers().size());
+  for (const nn::LayerSpec& layer : net.layers()) {
+    h.i32(static_cast<std::int32_t>(layer.kind));
+    h.i32(layer.pad.top);
+    h.i32(layer.pad.bottom);
+    h.i32(layer.pad.left);
+    h.i32(layer.pad.right);
+    h.i32(layer.conv.out_c);
+    h.i32(layer.conv.kernel);
+    h.i32(layer.conv.stride);
+    h.byte(layer.conv.relu ? 1 : 0);
+    h.byte(layer.conv.depthwise ? 1 : 0);
+    h.i32(layer.pool.size);
+    h.i32(layer.pool.stride);
+    h.i32(layer.fc.out_dim);
+    h.byte(layer.fc.relu ? 1 : 0);
+    h.i32(layer.eltwise.from);
+    h.byte(layer.eltwise.relu ? 1 : 0);
+  }
+
+  // Quantized weights: every byte that reaches the compiled artifact.
+  const nn::WeightsI8& w = model.weights;
+  h.u64(w.conv.size());
+  for (const nn::FilterBankI8& bank : w.conv) {
+    h.i32(bank.shape().oc);
+    h.i32(bank.shape().ic);
+    h.i32(bank.shape().kh);
+    h.i32(bank.shape().kw);
+    h.raw(bank.data(), bank.size());
+  }
+  h.u64(w.conv_bias.size());
+  for (const std::vector<std::int32_t>& bias : w.conv_bias) h.vec_pod(bias);
+  h.u64(w.conv_requant.size());
+  for (const nn::Requant& rq : w.conv_requant) {
+    h.i32(rq.shift);
+    h.byte(rq.relu ? 1 : 0);
+  }
+  h.u64(w.fc.size());
+  for (const std::vector<std::int8_t>& weights : w.fc) h.vec_pod(weights);
+  h.u64(w.fc_bias.size());
+  for (const std::vector<std::int32_t>& bias : w.fc_bias) h.vec_pod(bias);
+  h.u64(w.fc_requant.size());
+  for (const nn::Requant& rq : w.fc_requant) {
+    h.i32(rq.shift);
+    h.byte(rq.relu ? 1 : 0);
+  }
+  h.u64(w.eltwise.size());
+  for (const nn::EltwiseQ& e : w.eltwise) {
+    h.i32(e.lhs_shift);
+    h.i32(e.rhs_shift);
+    h.i32(e.rq.shift);
+    h.byte(e.rq.relu ? 1 : 0);
+  }
+  return h.value();
+}
+
+bool CompileCache::store(std::uint64_t key, const NetworkProgram& program) {
+  Blob b;
+  b.raw(kMagic, sizeof(kMagic));
+  const std::string version = kCompileCacheVersion;
+  b.u64(version.size());
+  b.raw(version.data(), version.size());
+  b.u64(key);
+
+  // Steps.
+  b.u64(program.steps_.size());
+  for (const NetworkProgram::Step& step : program.steps_) {
+    b.u8(static_cast<std::uint8_t>(step.exec));
+    b.u64(step.layer);
+    b.i32(step.conv);
+    b.i32(step.pool);
+    b.i32(step.fused);
+    b.i32(step.fc);
+    b.i32(step.eltwise);
+    b.i32(step.save_slot);
+    b.i32(step.rhs_slot);
+  }
+
+  // Conv programs.
+  b.u64(program.convs_.size());
+  for (const ConvProgram& conv : program.convs_) {
+    const WeightImage& wimg = conv.wimg;
+    b.i32(wimg.oc_);
+    b.u8(wimg.ternary_ ? 1 : 0);
+    b.i32(wimg.groups_);
+    b.i32(wimg.lanes_);
+    b.i32(wimg.group_size_);
+    b.u64(wimg.bytes_.size());
+    for (const std::vector<std::uint8_t>& stream : wimg.bytes_)
+      put_vec_pod(b, stream);
+    put_vec_pod(b, wimg.words_);
+
+    const ConvPlan& plan = conv.plan;
+    put_shape(b, plan.in_shape);
+    put_shape(b, plan.out_shape);
+    b.i32(plan.kernel);
+    b.i32(plan.in_tiles_x);
+    b.i32(plan.out_tiles_x);
+    b.i32(plan.ifm_base);
+    b.i32(plan.ofm_base);
+    b.i32(plan.weight_base);
+    b.i32(plan.weight_budget_words);
+    b.u64(plan.stripes.size());
+    for (const ConvStripe& stripe : plan.stripes) {
+      b.i32(stripe.otile_row0);
+      b.i32(stripe.otile_rows);
+      b.i32(stripe.in_tile_row0);
+      b.i32(stripe.in_tile_rows);
+      put_vec_pod(b, stripe.chunks);
+    }
+
+    put_vec_pod(b, conv.bias);
+    put_rq(b, conv.rq);
+    b.i64(conv.macs);
+    b.u8(conv.owner != 0 ? 1 : 0);
+    put_vec_pod(b, conv.ddr_offset);
+    put_fastw(b, conv.fastw);
+    b.u64(conv.predicted_cycles);
+    put_counters(b, conv.predicted);
+  }
+
+  // Pool plans — geometry only; fastp and predictions are recomputed on
+  // load (finalize_pool_plan), keeping FastPoolPlan out of the format.
+  b.u64(program.pools_.size());
+  for (const PoolPlan& plan : program.pools_) {
+    put_shape(b, plan.in_shape);
+    put_shape(b, plan.out_shape);
+    b.u8(static_cast<std::uint8_t>(plan.op));
+    b.i32(plan.win);
+    b.i32(plan.stride);
+    b.i32(plan.offset_y);
+    b.i32(plan.offset_x);
+    b.i32(plan.in_tiles_x);
+    b.i32(plan.out_tiles_x);
+    b.i32(plan.ifm_base);
+    b.i32(plan.ofm_base);
+    put_vec_pod(b, plan.stripes);
+  }
+
+  // Fused pad+conv layouts.
+  b.u64(program.fused_.size());
+  for (const FusedPadConvLayout& fused : program.fused_) {
+    b.i32(fused.pad.top);
+    b.i32(fused.pad.bottom);
+    b.i32(fused.pad.left);
+    b.i32(fused.pad.right);
+    put_shape(b, fused.raw);
+    put_shape(b, fused.padded);
+    put_shape(b, fused.out);
+    b.i32(fused.kernel);
+    b.i32(fused.padded_base);
+    b.i32(fused.ofm_base);
+    b.i32(fused.weight_base);
+    b.u64(fused.predicted_pad_cycles);
+    b.u64(fused.predicted_conv_cycles);
+    put_counters(b, fused.predicted);
+  }
+
+  // Host FC layers, eltwise constants, slots, DDR image.
+  b.u64(program.fcs_.size());
+  for (const FcProgram& fc : program.fcs_) {
+    put_vec_pod(b, fc.weights);
+    put_vec_pod(b, fc.bias);
+    put_rq(b, fc.rq);
+    b.i32(fc.out_dim);
+  }
+  b.u64(program.eltwise_.size());
+  for (const nn::EltwiseQ& e : program.eltwise_) {
+    b.i32(e.lhs_shift);
+    b.i32(e.rhs_shift);
+    put_rq(b, e.rq);
+  }
+  b.i32(program.slot_count_);
+  put_vec_pod(b, program.ddr_image_);
+
+  // Publish: temp file in the same directory, then atomic rename.  Any I/O
+  // failure degrades to "no cache", never to an exception on this path.
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  const std::string final_path = path_for(key);
+  const std::string tmp_path = final_path + ".tmp." +
+                               std::to_string(::getpid()) + "." +
+                               std::to_string(temp_suffix());
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(reinterpret_cast<const char*>(b.bytes.data()),
+              static_cast<std::streamsize>(b.bytes.size()));
+    if (!out) {
+      out.close();
+      std::filesystem::remove(tmp_path, ec);
+      return false;
+    }
+  }
+  std::filesystem::rename(tmp_path, final_path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp_path, ec);
+    return false;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.stores;
+  }
+  return true;
+}
+
+std::optional<NetworkProgram> CompileCache::load(std::uint64_t key,
+                                                 const nn::Network& net,
+                                                 const core::ArchConfig& cfg,
+                                                 const ProgramOptions& options) {
+  std::vector<std::uint8_t> bytes;
+  {
+    std::ifstream in(path_for(key), std::ios::binary | std::ios::ate);
+    if (!in) {
+      const std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.misses;
+      return std::nullopt;
+    }
+    const std::streamsize size = in.tellg();
+    in.seekg(0);
+    bytes.resize(static_cast<std::size_t>(size));
+    if (!in.read(reinterpret_cast<char*>(bytes.data()), size)) {
+      const std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.misses;
+      ++stats_.invalid;
+      return std::nullopt;
+    }
+  }
+
+  try {
+    Cursor c(bytes);
+    if (std::memcmp(c.take(sizeof(kMagic)), kMagic, sizeof(kMagic)) != 0)
+      throw ParseError{};
+    const std::size_t vlen = c.count(1);
+    const std::string version(reinterpret_cast<const char*>(c.take(vlen)),
+                              vlen);
+    if (version != kCompileCacheVersion) throw ParseError{};
+    if (c.u64() != key) throw ParseError{};
+
+    // Topology, config, and options are part of the key, never of the file:
+    // the caller's copies are authoritative by construction.
+    NetworkProgram program;
+    program.net_ = net;
+    program.cfg_ = cfg;
+    program.options_ = options;
+    program.stamp_ = next_program_stamp();
+
+    const std::size_t nsteps = c.count(1);
+    program.steps_.resize(nsteps);
+    for (NetworkProgram::Step& step : program.steps_) {
+      const std::uint8_t exec = c.u8();
+      if (exec > static_cast<std::uint8_t>(
+                     NetworkProgram::Step::Exec::kGlobalPool))
+        throw ParseError{};
+      step.exec = static_cast<NetworkProgram::Step::Exec>(exec);
+      step.layer = static_cast<std::size_t>(c.u64());
+      step.conv = c.i32();
+      step.pool = c.i32();
+      step.fused = c.i32();
+      step.fc = c.i32();
+      step.eltwise = c.i32();
+      step.save_slot = c.i32();
+      step.rhs_slot = c.i32();
+    }
+
+    const std::size_t nconvs = c.count(1);
+    program.convs_.resize(nconvs);
+    for (ConvProgram& conv : program.convs_) {
+      WeightImage& wimg = conv.wimg;
+      wimg.oc_ = c.i32();
+      wimg.ternary_ = c.u8() != 0;
+      wimg.groups_ = c.i32();
+      wimg.lanes_ = c.i32();
+      wimg.group_size_ = c.i32();
+      if (wimg.groups_ < 0 || wimg.lanes_ < 0) throw ParseError{};
+      const std::size_t nstreams = c.count(1);
+      if (nstreams != static_cast<std::size_t>(wimg.groups_) *
+                          static_cast<std::size_t>(wimg.lanes_))
+        throw ParseError{};
+      wimg.bytes_.resize(nstreams);
+      for (std::vector<std::uint8_t>& stream : wimg.bytes_)
+        get_vec_pod(c, stream);
+      get_vec_pod(c, wimg.words_);
+      if (wimg.words_.size() != nstreams) throw ParseError{};
+
+      ConvPlan& plan = conv.plan;
+      plan.in_shape = get_shape(c);
+      plan.out_shape = get_shape(c);
+      plan.kernel = c.i32();
+      plan.in_tiles_x = c.i32();
+      plan.out_tiles_x = c.i32();
+      plan.ifm_base = c.i32();
+      plan.ofm_base = c.i32();
+      plan.weight_base = c.i32();
+      plan.weight_budget_words = c.i32();
+      const std::size_t nstripes = c.count(1);
+      plan.stripes.resize(nstripes);
+      for (ConvStripe& stripe : plan.stripes) {
+        stripe.otile_row0 = c.i32();
+        stripe.otile_rows = c.i32();
+        stripe.in_tile_row0 = c.i32();
+        stripe.in_tile_rows = c.i32();
+        get_vec_pod(c, stripe.chunks);
+      }
+
+      get_vec_pod(c, conv.bias);
+      conv.rq = get_rq(c);
+      conv.macs = c.i64();
+      conv.owner = c.u8() != 0 ? program.stamp_ : 0;
+      get_vec_pod(c, conv.ddr_offset);
+      conv.fastw = get_fastw(c);
+      conv.predicted_cycles = c.u64();
+      conv.predicted = get_counters(c);
+    }
+
+    const std::size_t npools = c.count(1);
+    program.pools_.resize(npools);
+    for (PoolPlan& plan : program.pools_) {
+      plan.in_shape = get_shape(c);
+      plan.out_shape = get_shape(c);
+      const std::uint8_t op = c.u8();
+      plan.op = static_cast<core::Opcode>(op);
+      plan.win = c.i32();
+      plan.stride = c.i32();
+      plan.offset_y = c.i32();
+      plan.offset_x = c.i32();
+      plan.in_tiles_x = c.i32();
+      plan.out_tiles_x = c.i32();
+      plan.ifm_base = c.i32();
+      plan.ofm_base = c.i32();
+      get_vec_pod(c, plan.stripes);
+    }
+
+    const std::size_t nfused = c.count(1);
+    program.fused_.resize(nfused);
+    for (FusedPadConvLayout& fused : program.fused_) {
+      fused.pad.top = c.i32();
+      fused.pad.bottom = c.i32();
+      fused.pad.left = c.i32();
+      fused.pad.right = c.i32();
+      fused.raw = get_shape(c);
+      fused.padded = get_shape(c);
+      fused.out = get_shape(c);
+      fused.kernel = c.i32();
+      fused.padded_base = c.i32();
+      fused.ofm_base = c.i32();
+      fused.weight_base = c.i32();
+      fused.predicted_pad_cycles = c.u64();
+      fused.predicted_conv_cycles = c.u64();
+      fused.predicted = get_counters(c);
+    }
+
+    const std::size_t nfcs = c.count(1);
+    program.fcs_.resize(nfcs);
+    for (FcProgram& fc : program.fcs_) {
+      get_vec_pod(c, fc.weights);
+      get_vec_pod(c, fc.bias);
+      fc.rq = get_rq(c);
+      fc.out_dim = c.i32();
+    }
+
+    const std::size_t neltwise = c.count(1);
+    program.eltwise_.resize(neltwise);
+    for (nn::EltwiseQ& e : program.eltwise_) {
+      e.lhs_shift = c.i32();
+      e.rhs_shift = c.i32();
+      e.rq = get_rq(c);
+    }
+    program.slot_count_ = c.i32();
+    get_vec_pod(c, program.ddr_image_);
+    c.done();
+
+    // Pool fast-path decodes and PerfModel predictions derive from the plan
+    // and cfg in microseconds; recomputing keeps them out of the format.
+    for (PoolPlan& plan : program.pools_) finalize_pool_plan(cfg, plan);
+
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.hits;
+    }
+    return program;
+  } catch (const ParseError&) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.misses;
+    ++stats_.invalid;
+    return std::nullopt;
+  }
+}
+
+NetworkProgram CompileCache::get_or_compile(const nn::Network& net,
+                                            const quant::QuantizedModel& model,
+                                            const core::ArchConfig& cfg,
+                                            const ProgramOptions& options) {
+  const std::uint64_t k = key(net, model, cfg, options);
+  if (std::optional<NetworkProgram> cached = load(k, net, cfg, options))
+    return std::move(*cached);
+  NetworkProgram compiled = NetworkProgram::compile(net, model, cfg, options);
+  store(k, compiled);
+  return compiled;
+}
+
+}  // namespace tsca::driver

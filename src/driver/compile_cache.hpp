@@ -1,0 +1,107 @@
+// Persistent compile cache — cold starts without recompiling.
+//
+// NetworkProgram::compile is the expensive step of a cold start: packing
+// every conv layer's filters, serializing weight streams, planning stripes,
+// and decoding the fast-path weight form.  All of it is a pure function of
+// (network topology, quantized weights, ArchConfig, ProgramOptions, code
+// version), so the result can be written to disk once and reloaded by every
+// later process.  The CompileCache does exactly that: programs are stored
+// under one content-derived key per compile request, and a hit deserializes
+// the finished artifact instead of compiling.
+//
+// Key derivation (DESIGN.md §15): FNV-1a over the code-version tag, the
+// ArchConfig, the ProgramOptions, the full topology (every LayerSpec), and
+// every quantized weight/bias/requant byte.  Change any input — retrain,
+// re-quantize, retarget the architecture, or bump kCompileCacheVersion after
+// editing the compiler — and the key moves, so stale artifacts are never
+// loaded (they simply stop being referenced; stale files are small and
+// finite, so no GC pass is needed).
+//
+// File format: a version-stamped, bounds-checked binary serialization of the
+// compiled artifact minus the Network (the caller holds the recipe and
+// passes it to load(), so topology is never parsed from disk).  PoolPlan
+// fast-path decodes and predictions are recomputed on load via
+// finalize_pool_plan — they derive from the plan in microseconds and keeping
+// them out of the format halves its surface.  Everything else (weight
+// images, stripe plans, fast conv weights, the DDR image) loads bit-exact:
+// a cached program executes identically to a freshly compiled one, only the
+// stamp differs (each load mints a new one so runtimes restage correctly).
+//
+// Durability: store() writes to a temp file in the cache directory and
+// renames it into place — atomic on POSIX, so concurrent writers (or a
+// crash mid-write) can never publish a torn file.  load() treats any parse
+// failure — truncation, bad magic, version skew, key mismatch — as a miss;
+// the subsequent store() overwrites the bad file.
+//
+// The default directory is $TSCA_CACHE_DIR, else $HOME/.cache/tsca, else
+// a .tsca-cache directory under the CWD.  Thread-safe (stats under a mutex;
+// file publication is atomic).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "driver/program.hpp"
+
+namespace tsca::driver {
+
+class CompileCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;     // load() returned a program
+    std::uint64_t misses = 0;   // no file for the key
+    std::uint64_t invalid = 0;  // file present but unusable (subset of misses)
+    std::uint64_t stores = 0;   // programs written
+  };
+
+  // Empty dir = default_dir().  The directory is created on first store().
+  explicit CompileCache(std::string dir = "");
+
+  // $TSCA_CACHE_DIR, else $HOME/.cache/tsca, else ./.tsca-cache.
+  static std::string default_dir();
+
+  // The cache key of one compile request.  Covers everything compile()
+  // reads, plus the code-version tag.
+  static std::uint64_t key(const nn::Network& net,
+                           const quant::QuantizedModel& model,
+                           const core::ArchConfig& cfg,
+                           const ProgramOptions& options = {});
+
+  // Loads the program stored under `key`.  `net`/`cfg`/`options` must be the
+  // same recipe the key was derived from — they are copied into the loaded
+  // program (all three are part of the key, never of the file).  nullopt on
+  // miss or a bad file.
+  std::optional<NetworkProgram> load(std::uint64_t key, const nn::Network& net,
+                                     const core::ArchConfig& cfg,
+                                     const ProgramOptions& options = {});
+
+  // Serializes `program` under `key` (atomic rename-on-write).  Returns
+  // false — without throwing — when the directory or file cannot be written;
+  // a read-only home directory degrades to compiling every time, not to a
+  // crash.
+  bool store(std::uint64_t key, const NetworkProgram& program);
+
+  // load-or-compile-and-store in one call (what registry recipes use).
+  NetworkProgram get_or_compile(const nn::Network& net,
+                                const quant::QuantizedModel& model,
+                                const core::ArchConfig& cfg,
+                                const ProgramOptions& options = {});
+
+  const std::string& dir() const { return dir_; }
+  std::string path_for(std::uint64_t key) const;
+  Stats stats() const;
+
+ private:
+  std::string dir_;
+  mutable std::mutex mu_;  // stats only; file publication is atomic rename
+  Stats stats_;
+};
+
+// Bump when compiled-artifact semantics change (new plan fields, different
+// packing, serialization layout edits): the tag feeds both the key and the
+// file header, so old caches invalidate on either side.
+inline constexpr const char* kCompileCacheVersion = "tsca-prog-v1";
+
+}  // namespace tsca::driver

@@ -52,6 +52,8 @@ class WeightImage {
   int aligned_words(int g) const;
 
  private:
+  friend class CompileCache;  // rebuilds images from the on-disk artifact
+
   std::size_t index(int g, int lane) const {
     TSCA_CHECK(g >= 0 && g < groups_ && lane >= 0 && lane < lanes_);
     return static_cast<std::size_t>(g) * lanes_ + lane;

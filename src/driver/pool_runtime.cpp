@@ -271,11 +271,11 @@ void PoolRuntime::fast_exec_conv(const pack::TiledFm* const* inputs, int batch,
   std::vector<core::FastConvStats> per_stripe(plan.stripes.size());
   pool_.parallel_for(
       plan.stripes.size(),
-      [&](AcceleratorPool::Context& /*ctx*/, std::size_t si) {
+      [&](AcceleratorPool::Context& ctx, std::size_t si) {
         const ConvStripe& stripe = plan.stripes[si];
         core::fast_conv(inputs, batch, fw, conv.bias, conv.rq, outputs,
                         stripe.otile_row0, stripe.otile_rows,
-                        &per_stripe[si]);
+                        &per_stripe[si], &ctx.fast_scratch);
       });
   // Index-ordered sum: identical to the serial pass, whatever the worker
   // interleaving (each position's regions/MACs are independent of banding).

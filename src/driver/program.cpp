@@ -12,14 +12,10 @@
 
 namespace tsca::driver {
 
-namespace {
-
-std::uint64_t next_stamp() {
+std::uint64_t next_program_stamp() {
   static std::atomic<std::uint64_t> counter{0};
   return counter.fetch_add(1, std::memory_order_relaxed) + 1;
 }
-
-}  // namespace
 
 core::FastConvWeights decode_fast_weights(const WeightImage& wimg,
                                           int in_channels, int kernel) {
@@ -230,7 +226,7 @@ NetworkProgram NetworkProgram::compile(const nn::Network& net,
   program.net_ = net;
   program.cfg_ = cfg;
   program.options_ = options;
-  program.stamp_ = next_stamp();
+  program.stamp_ = next_program_stamp();
 
   // Pre-scan residual skips: each distinct skip source gets a tensor slot
   // the execution keeps live from the source step to its consuming add.

@@ -232,6 +232,7 @@ class NetworkProgram {
   NetworkProgram() = default;
 
   friend class LoweringContext;  // per-layer lowerings build these vectors
+  friend class CompileCache;     // (de)serializes the compiled artifact
 
   nn::Network net_{nn::FmShape{}};
   core::ArchConfig cfg_;
@@ -251,5 +252,10 @@ class NetworkProgram {
 // prediction, so neither executor derives them again per request/image.
 // Called by LoweringContext::add_pool on every plan a lowering emits.
 void finalize_pool_plan(const core::ArchConfig& cfg, PoolPlan& plan);
+
+// Mints a process-unique program stamp.  compile() takes one per program;
+// the CompileCache takes a fresh one for every deserialized program so
+// runtimes restage exactly as they would after an in-process compile.
+std::uint64_t next_program_stamp();
 
 }  // namespace tsca::driver

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "driver/compile_cache.hpp"
+
 namespace tsca::driver {
 
 struct ProgramHandle::Entry {
@@ -189,9 +191,14 @@ ProgramHandle ProgramRegistry::acquire(const std::string& id) {
   if (entry->program == nullptr) {
     // Compile under the lock: registry-level serialization keeps budget
     // accounting simple, and compiles are rare (cold start / post-evict).
+    // With a persistent cache attached, a warm cache turns the compile into
+    // a deserialization (CompileCache::get_or_compile stores on miss).
     NetworkProgram compiled =
-        NetworkProgram::compile(entry->net, entry->model, cfg_,
-                                options_.program);
+        options_.compile_cache != nullptr
+            ? options_.compile_cache->get_or_compile(entry->net, entry->model,
+                                                     cfg_, options_.program)
+            : NetworkProgram::compile(entry->net, entry->model, cfg_,
+                                      options_.program);
     std::vector<std::pair<std::uint64_t, std::uint64_t>> images;
     std::uint64_t own_bytes = 0;  // distinct bytes of this program alone
     {

@@ -29,6 +29,8 @@
 
 namespace tsca::driver {
 
+class CompileCache;
+
 // acquire() of an id that was never added.
 class UnknownModelError : public Error {
  public:
@@ -54,6 +56,10 @@ struct RegistryOptions {
   // is rejected with RegistryBudgetError.
   std::uint64_t ddr_budget_bytes = 0;
   ProgramOptions program;
+  // Optional persistent compile cache: materializations consult it before
+  // compiling and store what they compile.  Not owned; must outlive the
+  // registry.  Null = compile in-process every time.
+  CompileCache* compile_cache = nullptr;
 };
 
 struct RegistryStats {

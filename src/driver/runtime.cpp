@@ -115,7 +115,27 @@ void unpack_bank_stripe(pack::TiledFm& fm,
 
 Runtime::Runtime(core::Accelerator& accelerator, sim::Dram& dram,
                  sim::DmaEngine& dma, RuntimeOptions options)
-    : acc_(accelerator), dram_(dram), dma_(dma), options_(std::move(options)) {}
+    : acc_(accelerator), dram_(dram), dma_(dma), options_(std::move(options)) {
+  if (options_.metrics != nullptr) {
+    // Resolve every per-layer metric handle once: the registry's handles are
+    // stable for its lifetime, so finish_layer records through plain
+    // pointers with no name assembly on the warm path.
+    obs::MetricsRegistry& m = *options_.metrics;
+    rm_.layers = &m.counter("runtime.layers");
+    rm_.accel_cycles = &m.counter("runtime.accel_cycles");
+    rm_.batches = &m.counter("runtime.batches");
+    rm_.stripes = &m.counter("runtime.stripes");
+    rm_.macs = &m.counter("runtime.macs");
+    rm_.dma_bytes_to_fpga = &m.counter("runtime.dma.bytes_to_fpga");
+    rm_.dma_bytes_to_dram = &m.counter("runtime.dma.bytes_to_dram");
+    rm_.predicted_layers = &m.counter("runtime.predicted_layers");
+    rm_.fast_regions = &m.counter("fastpath.regions");
+    rm_.fast_regions_zero = &m.counter("fastpath.regions_zero");
+    rm_.fast_mac_tiles = &m.counter("fastpath.mac_tiles");
+    rm_.fast_mac_tiles_skipped = &m.counter("fastpath.mac_tiles_skipped");
+    rm_.layer_cycles = &m.histogram("runtime.layer_cycles");
+  }
+}
 
 Runtime::LayerTracer Runtime::begin_layer_trace(int units,
                                                 const char* unit_prefix) {
@@ -170,28 +190,24 @@ void Runtime::adopt_staged_program(std::uint64_t stamp,
 
 void Runtime::finish_layer(const LayerRun& run) {
   if (options_.metrics != nullptr) {
-    obs::MetricsRegistry& m = *options_.metrics;
-    m.counter("runtime.layers").add(1);
-    m.counter("runtime.accel_cycles").add(static_cast<std::int64_t>(run.cycles));
-    m.counter("runtime.batches").add(run.batches);
-    m.counter("runtime.stripes").add(run.stripes);
-    m.counter("runtime.macs").add(run.macs);
-    m.counter("runtime.dma.bytes_to_fpga")
-        .add(static_cast<std::int64_t>(run.dma.bytes_to_fpga));
-    m.counter("runtime.dma.bytes_to_dram")
-        .add(static_cast<std::int64_t>(run.dma.bytes_to_dram));
-    m.histogram("runtime.layer_cycles")
-        .observe(static_cast<std::int64_t>(run.cycles));
-    if (run.cycles_predicted) m.counter("runtime.predicted_layers").add(1);
+    // All through handles cached at construction — no metric-name strings on
+    // the per-layer path (see RunMetrics).
+    rm_.layers->add(1);
+    rm_.accel_cycles->add(static_cast<std::int64_t>(run.cycles));
+    rm_.batches->add(run.batches);
+    rm_.stripes->add(run.stripes);
+    rm_.macs->add(run.macs);
+    rm_.dma_bytes_to_fpga->add(static_cast<std::int64_t>(run.dma.bytes_to_fpga));
+    rm_.dma_bytes_to_dram->add(static_cast<std::int64_t>(run.dma.bytes_to_dram));
+    rm_.layer_cycles->observe(static_cast<std::int64_t>(run.cycles));
+    if (run.cycles_predicted) rm_.predicted_layers->add(1);
     if (run.fast.regions != 0) {
-      m.counter("fastpath.regions")
-          .add(static_cast<std::int64_t>(run.fast.regions));
-      m.counter("fastpath.regions_zero")
-          .add(static_cast<std::int64_t>(run.fast.regions_zero));
-      m.counter("fastpath.mac_tiles")
-          .add(static_cast<std::int64_t>(run.fast.mac_tiles));
-      m.counter("fastpath.mac_tiles_skipped")
-          .add(static_cast<std::int64_t>(run.fast.mac_tiles_skipped));
+      rm_.fast_regions->add(static_cast<std::int64_t>(run.fast.regions));
+      rm_.fast_regions_zero->add(
+          static_cast<std::int64_t>(run.fast.regions_zero));
+      rm_.fast_mac_tiles->add(static_cast<std::int64_t>(run.fast.mac_tiles));
+      rm_.fast_mac_tiles_skipped->add(
+          static_cast<std::int64_t>(run.fast.mac_tiles_skipped));
     }
   }
   if (options_.trace != nullptr) {
@@ -594,7 +610,7 @@ void Runtime::fast_exec_conv(const pack::TiledFm* const* inputs, int batch,
                              pack::TiledFm* const* outputs,
                              core::FastConvStats& stats) {
   core::fast_conv(inputs, batch, fw, conv.bias, conv.rq, outputs, 0,
-                  outputs[0]->tiles_y(), &stats);
+                  outputs[0]->tiles_y(), &stats, &fast_scratch_);
 }
 
 void Runtime::fast_exec_pool(const pack::TiledFm& input, const PoolPlan& plan,
@@ -646,19 +662,26 @@ pack::TiledFm Runtime::fast_pad_pool_layer(const pack::TiledFm& input,
 std::vector<pack::TiledFm> Runtime::fast_conv_batch(
     const std::vector<pack::TiledFm>& inputs, const ConvProgram& conv,
     LayerRun& run) {
-  TSCA_CHECK(!inputs.empty());
-  for (const pack::TiledFm& input : inputs)
-    TSCA_CHECK(input.shape() == inputs.front().shape(),
+  std::vector<pack::TiledFm> fms = inputs;
+  fast_conv_batch_inplace(fms, conv, run);
+  return fms;
+}
+
+void Runtime::fast_conv_batch_inplace(std::vector<pack::TiledFm>& fms,
+                                      const ConvProgram& conv, LayerRun& run) {
+  TSCA_CHECK(!fms.empty());
+  for (const pack::TiledFm& fm : fms)
+    TSCA_CHECK(fm.shape() == fms.front().shape(),
                "batch images must share a shape");
   const ConvPlan& plan = conv.plan;
-  TSCA_CHECK(plan.in_shape == inputs.front().shape(),
+  TSCA_CHECK(plan.in_shape == fms.front().shape(),
              "program compiled for a different input shape");
   check_fast_stripe_invariant(plan);
 
   const FastConvArtifacts art = fast_conv_artifacts(acc_.config(), conv);
   const core::FastConvWeights& fw =
       conv.fastw.decoded() ? conv.fastw : art.local;
-  const auto images = static_cast<std::int64_t>(inputs.size());
+  const auto images = static_cast<std::int64_t>(fms.size());
 
   run.reset_stats();
   run.on_accelerator = true;
@@ -666,35 +689,36 @@ std::vector<pack::TiledFm> Runtime::fast_conv_batch(
   run.macs = conv.macs * images;
   run.stripes = static_cast<int>(plan.stripes.size());
   for (const ConvStripe& stripe : plan.stripes)
-    run.batches += static_cast<int>(stripe.chunks.size() * inputs.size());
+    run.batches += static_cast<int>(stripe.chunks.size() * fms.size());
   // The engine re-runs every chunk's instructions once per image (weights
   // stay staged), so both cycles and work counters scale linearly.
   run.cycles = art.cycles * static_cast<std::uint64_t>(images);
   run.cycles_predicted = true;
   for (std::int64_t img = 0; img < images; ++img) run.counters += art.counters;
 
-  std::vector<pack::TiledFm> outputs(inputs.size(),
-                                     pack::TiledFm(plan.out_shape));
+  // Outputs land in recycled storage; the final swap hands the old input
+  // maps back as the staging pool the next layer's outputs draw from, so a
+  // warm runtime runs whole networks without constructing a single map.
+  size_fm_vec(batch_out_fms_, fms.size());
+  for (pack::TiledFm& out : batch_out_fms_) out.reset(plan.out_shape);
   // Batch-major lane groups: up to kFastBatchLanes images share each weight
   // walk and gathered region.  Per-image outputs are identical to serial
   // single-image runs (the layout only packs more values per vector op).
-  std::vector<const pack::TiledFm*> ins;
-  std::vector<pack::TiledFm*> outs;
-  for (std::size_t i0 = 0; i0 < inputs.size();
+  for (std::size_t i0 = 0; i0 < fms.size();
        i0 += static_cast<std::size_t>(kFastBatchLanes)) {
     const std::size_t n = std::min(static_cast<std::size_t>(kFastBatchLanes),
-                                   inputs.size() - i0);
-    ins.clear();
-    outs.clear();
+                                   fms.size() - i0);
+    scratch_ins_.clear();
+    scratch_outs_.clear();
     for (std::size_t i = 0; i < n; ++i) {
-      ins.push_back(&inputs[i0 + i]);
-      outs.push_back(&outputs[i0 + i]);
+      scratch_ins_.push_back(&fms[i0 + i]);
+      scratch_outs_.push_back(&batch_out_fms_[i0 + i]);
     }
-    fast_exec_conv(ins.data(), static_cast<int>(n), fw, conv, outs.data(),
-                   run.fast);
+    fast_exec_conv(scratch_ins_.data(), static_cast<int>(n), fw, conv,
+                   scratch_outs_.data(), run.fast);
   }
+  fms.swap(batch_out_fms_);
   finish_layer(run);
-  return outputs;
 }
 
 void Runtime::fast_fused_pad_conv(const pack::TiledFm& input,
@@ -729,7 +753,7 @@ void Runtime::fast_fused_pad_conv(const pack::TiledFm& input,
   pack::TiledFm* out = &output;
   core::fast_conv_padded(&in, 1, cp->fastw, cp->bias, cp->rq, lp->pad.top,
                          lp->pad.left, &out, 0, output.tiles_y(),
-                         &conv_run.fast);
+                         &conv_run.fast, &fast_scratch_);
 
   pad_run.on_accelerator = true;
   pad_run.kind = nn::LayerKind::kPad;
@@ -783,25 +807,27 @@ void Runtime::fast_fused_pad_conv_batch(std::vector<pack::TiledFm>& fms,
   for (std::int64_t img = 0; img < images; ++img)
     conv_run.counters += layout.predicted;
 
-  std::vector<pack::TiledFm> outputs(fms.size(), pack::TiledFm(layout.out));
-  std::vector<const pack::TiledFm*> ins;
-  std::vector<pack::TiledFm*> outs;
+  // Same recycled-output discipline as fast_conv_batch_inplace: outputs
+  // reuse pooled maps, the swap donates the old inputs back to the pool.
+  size_fm_vec(batch_out_fms_, fms.size());
+  for (pack::TiledFm& out : batch_out_fms_) out.reset(layout.out);
   for (std::size_t i0 = 0; i0 < fms.size();
        i0 += static_cast<std::size_t>(kFastBatchLanes)) {
     const std::size_t n = std::min(static_cast<std::size_t>(kFastBatchLanes),
                                    fms.size() - i0);
-    ins.clear();
-    outs.clear();
+    scratch_ins_.clear();
+    scratch_outs_.clear();
     for (std::size_t i = 0; i < n; ++i) {
-      ins.push_back(&fms[i0 + i]);
-      outs.push_back(&outputs[i0 + i]);
+      scratch_ins_.push_back(&fms[i0 + i]);
+      scratch_outs_.push_back(&batch_out_fms_[i0 + i]);
     }
-    core::fast_conv_padded(ins.data(), static_cast<int>(n), conv.fastw,
+    core::fast_conv_padded(scratch_ins_.data(), static_cast<int>(n), conv.fastw,
                            conv.bias, conv.rq, layout.pad.top, layout.pad.left,
-                           outs.data(), 0, outputs[i0].tiles_y(),
-                           &conv_run.fast);
+                           scratch_outs_.data(), 0,
+                           batch_out_fms_[i0].tiles_y(), &conv_run.fast,
+                           &fast_scratch_);
   }
-  fms = std::move(outputs);
+  fms.swap(batch_out_fms_);
   finish_layer(pad_run);
   finish_layer(conv_run);
 }
@@ -836,6 +862,14 @@ std::vector<std::int8_t> Runtime::fast_fc(const std::vector<std::int8_t>& in,
 
 std::vector<std::vector<std::int8_t>> Runtime::fast_fc_batch(
     const std::vector<std::vector<std::int8_t>>& ins, const FcProgram& fc) {
+  std::vector<std::vector<std::int8_t>> outs;
+  fast_fc_batch(ins, fc, outs);
+  return outs;
+}
+
+void Runtime::fast_fc_batch(const std::vector<std::vector<std::int8_t>>& ins,
+                            const FcProgram& fc,
+                            std::vector<std::vector<std::int8_t>>& outs) {
   TSCA_CHECK(!ins.empty());
   TSCA_CHECK(fc.out_dim > 0);
   const std::size_t in_size = ins.front().size();
@@ -848,7 +882,9 @@ std::vector<std::vector<std::int8_t>> Runtime::fast_fc_batch(
   const core::simd::SimdBackend& be = core::simd::backend();
   const int groups = static_cast<int>(in_size) / 16;
   const std::size_t head = static_cast<std::size_t>(groups) * 16;
-  std::vector<std::vector<std::int8_t>> outs(ins.size());
+  // resize() keeps existing capacity both at the batch and per-image level,
+  // so a reused `outs` stops allocating once it has seen the widest FC.
+  outs.resize(ins.size());
   for (std::vector<std::int8_t>& out : outs)
     out.resize(static_cast<std::size_t>(fc.out_dim));
   for (int o = 0; o < fc.out_dim; ++o) {
@@ -886,7 +922,105 @@ std::vector<std::vector<std::int8_t>> Runtime::fast_fc_batch(
           nn::requantize(static_cast<std::int32_t>(acc), fc.rq);
     }
   }
-  return outs;
+}
+
+void Runtime::size_fm_vec(std::vector<pack::TiledFm>& v, std::size_t n) {
+  while (v.size() > n) {
+    fm_pool_.push_back(std::move(v.back()));
+    v.pop_back();
+  }
+  while (v.size() < n) {
+    if (!fm_pool_.empty()) {
+      v.push_back(std::move(fm_pool_.back()));
+      fm_pool_.pop_back();
+    } else {
+      v.emplace_back();
+    }
+  }
+}
+
+void Runtime::reserve_warm_scratch(const NetworkProgram& program,
+                                   int max_batch) {
+  TSCA_CHECK(max_batch > 0);
+  // fast_conv sees at most one lane group of images per call.
+  const int lanes = std::min(max_batch, kFastBatchLanes);
+  nn::FmShape biggest{};
+  std::size_t max_tiles = 0;
+  const auto note_shape = [&](const nn::FmShape& s) {
+    const std::size_t tiles = static_cast<std::size_t>(s.c) *
+                              pack::tiles_for(s.h) * pack::tiles_for(s.w);
+    if (tiles > max_tiles) {
+      max_tiles = tiles;
+      biggest = s;
+    }
+  };
+  note_shape(program.net().input_shape());
+  for (const NetworkProgram::Step& step : program.steps()) {
+    switch (step.exec) {
+      case NetworkProgram::Step::Exec::kConv: {
+        const ConvProgram& conv = program.conv(step.conv);
+        note_shape(conv.plan.in_shape);
+        note_shape(conv.plan.out_shape);
+        if (conv.fastw.decoded())
+          fast_scratch_.reserve_conv(
+              lanes, conv.fastw.channels, conv.fastw.out_channels,
+              pack::tiles_for(conv.plan.out_shape.h) + conv.fastw.wtiles_y,
+              pack::tiles_for(conv.plan.out_shape.w) + conv.fastw.wtiles_x);
+        break;
+      }
+      case NetworkProgram::Step::Exec::kFusedPadConv: {
+        const ConvProgram& conv = program.conv(step.conv);
+        const FusedPadConvLayout& layout = program.fused(step.fused);
+        note_shape(layout.raw);
+        note_shape(layout.out);
+        if (conv.fastw.decoded())
+          fast_scratch_.reserve_conv(
+              lanes, conv.fastw.channels, conv.fastw.out_channels,
+              pack::tiles_for(layout.out.h) + conv.fastw.wtiles_y,
+              pack::tiles_for(layout.out.w) + conv.fastw.wtiles_x);
+        break;
+      }
+      case NetworkProgram::Step::Exec::kPadPool:
+      case NetworkProgram::Step::Exec::kGlobalPool: {
+        const PoolPlan& plan = program.pool(step.pool);
+        note_shape(plan.in_shape);
+        note_shape(plan.out_shape);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  // Pre-grow the recycled map pool so the busiest moment of a batch — the
+  // current maps plus the output staging maps — never constructs storage.
+  // Each pooled map carries capacity for the program's largest feature map;
+  // reset() to any smaller shape reuses it.
+  const std::size_t want = static_cast<std::size_t>(max_batch) * 2;
+  fm_pool_.reserve(want);
+  while (fm_pool_.size() + batch_fms_.size() + batch_out_fms_.size() < want)
+    fm_pool_.emplace_back(biggest);
+  batch_fms_.reserve(static_cast<std::size_t>(max_batch));
+  batch_out_fms_.reserve(static_cast<std::size_t>(max_batch));
+  batch_flats_.reserve(static_cast<std::size_t>(max_batch));
+  batch_flats2_.reserve(static_cast<std::size_t>(max_batch));
+  batch_slots_.resize(static_cast<std::size_t>(program.slot_count()));
+  scratch_ins_.reserve(static_cast<std::size_t>(kFastBatchLanes));
+  scratch_outs_.reserve(static_cast<std::size_t>(kFastBatchLanes));
+}
+
+std::size_t Runtime::warm_scratch_bytes() const {
+  const auto fm_bytes = [](const pack::TiledFm& fm) {
+    return fm.tiles().capacity() * sizeof(pack::Tile);
+  };
+  std::size_t bytes = fast_scratch_.capacity_bytes();
+  for (const pack::TiledFm& fm : fm_pool_) bytes += fm_bytes(fm);
+  for (const pack::TiledFm& fm : batch_fms_) bytes += fm_bytes(fm);
+  for (const pack::TiledFm& fm : batch_out_fms_) bytes += fm_bytes(fm);
+  for (const std::vector<pack::TiledFm>& slot : batch_slots_)
+    for (const pack::TiledFm& fm : slot) bytes += fm_bytes(fm);
+  for (const std::vector<std::int8_t>& f : batch_flats_) bytes += f.capacity();
+  for (const std::vector<std::int8_t>& f : batch_flats2_) bytes += f.capacity();
+  return bytes;
 }
 
 namespace {
@@ -1003,16 +1137,14 @@ NetworkRun Runtime::run_network(const NetworkProgram& program,
       }
       case NetworkProgram::Step::Exec::kSoftmax:
         break;  // host-side, float domain; logits pass through
-      case NetworkProgram::Step::Exec::kEltwiseAdd: {
+      case NetworkProgram::Step::Exec::kEltwiseAdd:
         // Host-side in every ExecMode — one shared kernel, zero cycles,
         // zero counters, so cycle/thread/fast agreement is structural.
-        pack::TiledFm out;
+        // Adds in place: the combine is element-wise, so aliasing is exact.
         core::fast_eltwise_add(fm,
                                slots[static_cast<std::size_t>(step.rhs_slot)],
-                               program.eltwise(step.eltwise), out);
-        fm = std::move(out);
+                               program.eltwise(step.eltwise), fm);
         break;
-      }
     }
     if (step.save_slot >= 0)
       slots[static_cast<std::size_t>(step.save_slot)] = fm;
@@ -1032,26 +1164,42 @@ NetworkRun Runtime::run_network(const NetworkProgram& program,
 BatchNetworkRun Runtime::run_network_batch(
     const NetworkProgram& program,
     const std::vector<nn::FeatureMapI8>& inputs) {
-  TSCA_CHECK(!inputs.empty());
-  for (const nn::FeatureMapI8& input : inputs)
-    TSCA_CHECK(input.shape() == program.net().input_shape(),
+  std::vector<const nn::FeatureMapI8*> ptrs;
+  ptrs.reserve(inputs.size());
+  for (const nn::FeatureMapI8& input : inputs) ptrs.push_back(&input);
+  return run_network_batch(program, ptrs.data(), ptrs.size());
+}
+
+BatchNetworkRun Runtime::run_network_batch(const NetworkProgram& program,
+                                           const nn::FeatureMapI8* const* inputs,
+                                           std::size_t n) {
+  TSCA_CHECK(n > 0);
+  for (std::size_t i = 0; i < n; ++i)
+    TSCA_CHECK(inputs[i]->shape() == program.net().input_shape(),
                "input shape mismatch");
   ensure_program_staged(program);
   const std::vector<nn::LayerSpec>& layers = program.net().layers();
-  const std::size_t n = inputs.size();
 
   BatchNetworkRun result;
   result.requests.resize(n);
-  std::vector<pack::TiledFm> fms;
-  fms.reserve(n);
-  for (const nn::FeatureMapI8& input : inputs)
-    fms.push_back(pack::to_tiled(input));
-  std::vector<std::vector<std::int8_t>> flats(n);
+  // Activations, flats and residual slots live in member storage: every
+  // vector and map below reuses what the previous batch grew, so a warm
+  // runtime's steady state performs no per-batch tensor allocation (see
+  // DESIGN.md §15 and reserve_warm_scratch).
+  result.layers.reserve(2 * program.steps().size());
+  size_fm_vec(batch_fms_, n);
+  std::vector<pack::TiledFm>& fms = batch_fms_;
+  for (std::size_t i = 0; i < n; ++i) pack::to_tiled(*inputs[i], fms[i]);
+  batch_flats_.resize(n);
+  batch_flats2_.resize(n);
+  // FC reads and writes different flats, so the warm path ping-pongs between
+  // two reused buffers instead of allocating the output fresh.
+  std::vector<std::vector<std::int8_t>>* flats_cur = &batch_flats_;
   bool is_flat = false;
   // Residual-skip tensor slots, one map per slot per image.
-  std::vector<std::vector<pack::TiledFm>> slots(
-      static_cast<std::size_t>(program.slot_count()),
-      std::vector<pack::TiledFm>(n));
+  batch_slots_.resize(static_cast<std::size_t>(program.slot_count()));
+  for (std::vector<pack::TiledFm>& slot : batch_slots_) slot.resize(n);
+  std::vector<std::vector<pack::TiledFm>>& slots = batch_slots_;
 
   const std::uint64_t clock0 = trace_clock_;
   for (const NetworkProgram::Step& step : program.steps()) {
@@ -1101,23 +1249,30 @@ BatchNetworkRun Runtime::run_network_batch(
         break;
       case NetworkProgram::Step::Exec::kConv:
         // The batched path: every weight chunk staged once for all images.
-        fms = run_conv_batch(fms, program.conv(step.conv), agg);
+        if (options_.mode == ExecMode::kFast)
+          fast_conv_batch_inplace(fms, program.conv(step.conv), agg);
+        else
+          fms = run_conv_batch(fms, program.conv(step.conv), agg);
         break;
       case NetworkProgram::Step::Exec::kFlatten:
         for (std::size_t i = 0; i < n; ++i) {
           const nn::FeatureMapI8 linear = pack::from_tiled(fms[i]);
-          flats[i].assign(linear.data(), linear.data() + linear.size());
+          (*flats_cur)[i].assign(linear.data(), linear.data() + linear.size());
         }
         is_flat = true;
         break;
       case NetworkProgram::Step::Exec::kFc: {
         const FcProgram& fc = program.fc(step.fc);
         if (options_.mode == ExecMode::kFast) {
-          flats = fast_fc_batch(flats, fc);
+          // Outputs can't alias inputs, so alternate the two reused buffers.
+          std::vector<std::vector<std::int8_t>>* next =
+              flats_cur == &batch_flats_ ? &batch_flats2_ : &batch_flats_;
+          fast_fc_batch(*flats_cur, fc, *next);
+          flats_cur = next;
         } else {
           for (std::size_t i = 0; i < n; ++i)
-            flats[i] = nn::fc_i8(flats[i], fc.weights, fc.bias, fc.out_dim,
-                                 fc.rq);
+            (*flats_cur)[i] = nn::fc_i8((*flats_cur)[i], fc.weights, fc.bias,
+                                        fc.out_dim, fc.rq);
         }
         break;
       }
@@ -1126,12 +1281,11 @@ BatchNetworkRun Runtime::run_network_batch(
       case NetworkProgram::Step::Exec::kEltwiseAdd: {
         const std::vector<pack::TiledFm>& rhs =
             slots[static_cast<std::size_t>(step.rhs_slot)];
-        for (std::size_t i = 0; i < n; ++i) {
-          pack::TiledFm out;
+        // In place: fast_eltwise_add's combine is element-wise, so writing
+        // the left operand is exact and skips a scratch map per image.
+        for (std::size_t i = 0; i < n; ++i)
           core::fast_eltwise_add(fms[i], rhs[i],
-                                 program.eltwise(step.eltwise), out);
-          fms[i] = std::move(out);
-        }
+                                 program.eltwise(step.eltwise), fms[i]);
         break;
       }
     }
@@ -1144,7 +1298,10 @@ BatchNetworkRun Runtime::run_network_batch(
   for (std::size_t i = 0; i < n; ++i) {
     result.requests[i].flat_output = is_flat;
     if (is_flat)
-      result.requests[i].logits = std::move(flats[i]);
+      // Moving donates the reused buffer's storage to the result — one small
+      // logits-sized allocation per request next batch, part of the warm
+      // path's documented constant (DESIGN.md §15).
+      result.requests[i].logits = std::move((*flats_cur)[i]);
     else
       result.requests[i].final_fm = pack::from_tiled(fms[i]);
   }

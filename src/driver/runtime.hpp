@@ -226,6 +226,15 @@ class Runtime {
   BatchNetworkRun run_network_batch(const NetworkProgram& program,
                                     const std::vector<nn::FeatureMapI8>& inputs);
 
+  // Pointer form — the zero-copy warm path.  The serving layer batches
+  // requests whose inputs live inside queued Pending objects; staging `n`
+  // pointers instead of `n` feature-map copies keeps request payloads
+  // untouched (they are neither copied nor moved).  Bit-identical to the
+  // vector form.
+  BatchNetworkRun run_network_batch(const NetworkProgram& program,
+                                    const nn::FeatureMapI8* const* inputs,
+                                    std::size_t n);
+
   // Makes `program`'s weight image resident in this runtime's DDR (a host
   // write — no DMA statistics), so weight chunks DMA straight from it.
   // No-op when already resident.  The pool runtime stages every worker
@@ -292,6 +301,28 @@ class Runtime {
   std::uint64_t trace_clock() const { return trace_clock_; }
   void set_trace_clock(std::uint64_t cycles) { trace_clock_ = cycles; }
 
+  // Per-batch option updates for a Runtime reused across batches (the
+  // serving workers keep one Runtime alive instead of constructing one per
+  // batch): the cycle budget and cancellation flag are the only options
+  // that legitimately change between batches.
+  void set_cycle_budget(std::uint64_t budget) {
+    options_.cycle_budget = budget;
+  }
+  void set_cancel(const std::atomic<bool>* cancel) {
+    options_.cancel = cancel;
+  }
+
+  // Pre-sizes every reusable buffer — the fast-path conv scratch and the
+  // feature-map recycle pool — to the program's largest layer over batches
+  // of up to `max_batch` images, so even the first warm request after
+  // staging allocates nothing.  Idempotent and monotonic (never shrinks);
+  // call per program adopted into a long-lived runtime.
+  void reserve_warm_scratch(const NetworkProgram& program, int max_batch);
+
+  // Bytes held by the reusable warm-path storage (scratch + recycled maps):
+  // the high-water figure behind the zero-allocation steady state.
+  std::size_t warm_scratch_bytes() const;
+
  protected:
   // Per-layer trace handles: one compute track plus one ".dma" sibling per
   // execution unit (accelerator instance or pool worker), cursors rewound to
@@ -320,6 +351,12 @@ class Runtime {
   std::vector<pack::TiledFm> fast_conv_batch(
       const std::vector<pack::TiledFm>& inputs, const ConvProgram& conv,
       LayerRun& run);
+  // Warm-path form: replaces `fms` with the layer's outputs in place,
+  // recycling the input maps' storage through the runtime's feature-map
+  // pool instead of freeing it.  Outputs and statistics are bit-identical
+  // to fast_conv_batch.
+  void fast_conv_batch_inplace(std::vector<pack::TiledFm>& fms,
+                               const ConvProgram& conv, LayerRun& run);
   // Fast executor hooks.  The serial bodies below run one full-height
   // batch-major call (conv) / a serial stripe loop (pad-pool); PoolRuntime
   // overrides them to fan the plan's stripe row-bands out across its
@@ -357,6 +394,16 @@ class Runtime {
   // Per-image results are bit-identical to fast_fc.
   std::vector<std::vector<std::int8_t>> fast_fc_batch(
       const std::vector<std::vector<std::int8_t>>& ins, const FcProgram& fc);
+  // Reuse form: sizes `outs` (recycling element capacity) and fills it.
+  // `outs` must not alias `ins`.
+  void fast_fc_batch(const std::vector<std::vector<std::int8_t>>& ins,
+                     const FcProgram& fc,
+                     std::vector<std::vector<std::int8_t>>& outs);
+  // Sizes a feature-map vector to `n` elements, moving removed maps'
+  // storage into fm_pool_ and reusing pooled storage for added ones — the
+  // vector and its maps stop allocating once they have seen their largest
+  // batch.
+  void size_fm_vec(std::vector<pack::TiledFm>& v, std::size_t n);
   core::Accelerator& acc_;
   sim::Dram& dram_;
   sim::DmaEngine& dma_;
@@ -369,6 +416,42 @@ class Runtime {
   std::uint64_t resident_stamp_ = 0;
   std::uint64_t program_base_ = 0;
   std::uint64_t ddr_floor_ = 0;
+  // --- Warm-path reusable storage (DESIGN.md §15) ---------------------
+  // Everything below persists across run_network_batch calls on a reused
+  // Runtime and only ever grows: once the runtime has executed its largest
+  // batch through its largest program, the warm path touches none of the
+  // system allocator.  A Runtime is single-threaded by contract, so none of
+  // this needs locking; stripe-parallel fan-out uses the per-pool-context
+  // scratches instead (AcceleratorPool::Context::fast_scratch).
+  // Metric handles resolved once at construction (finish_layer runs per
+  // layer per batch; looking names up there would put a heap-allocated
+  // std::string key on the zero-allocation warm path).  All null when
+  // options_.metrics is null.
+  struct RunMetrics {
+    obs::Counter* layers = nullptr;
+    obs::Counter* accel_cycles = nullptr;
+    obs::Counter* batches = nullptr;
+    obs::Counter* stripes = nullptr;
+    obs::Counter* macs = nullptr;
+    obs::Counter* dma_bytes_to_fpga = nullptr;
+    obs::Counter* dma_bytes_to_dram = nullptr;
+    obs::Counter* predicted_layers = nullptr;
+    obs::Counter* fast_regions = nullptr;
+    obs::Counter* fast_regions_zero = nullptr;
+    obs::Counter* fast_mac_tiles = nullptr;
+    obs::Counter* fast_mac_tiles_skipped = nullptr;
+    obs::Histogram* layer_cycles = nullptr;
+  };
+  RunMetrics rm_;
+  core::FastScratch fast_scratch_;          // fast conv working set
+  std::vector<pack::TiledFm> fm_pool_;      // recycled feature-map storage
+  std::vector<pack::TiledFm> batch_out_fms_;  // layer output staging
+  std::vector<pack::TiledFm> batch_fms_;      // run_network_batch currents
+  std::vector<std::vector<std::int8_t>> batch_flats_;   // flat activations
+  std::vector<std::vector<std::int8_t>> batch_flats2_;  // FC double buffer
+  std::vector<std::vector<pack::TiledFm>> batch_slots_;  // residual slots
+  std::vector<const pack::TiledFm*> scratch_ins_;   // lane-group pointers
+  std::vector<pack::TiledFm*> scratch_outs_;
 };
 
 // Stripe (de)serialization between tiled feature maps and bank images:

@@ -1,0 +1,134 @@
+#include "obs/alloc_count.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace tsca::obs {
+
+namespace {
+
+// Process-wide; the hooks touch nothing else, so they can run on any thread
+// at any point after static initialization (atomics are constant-initialized).
+std::atomic<bool> g_armed{false};
+std::atomic<std::int64_t> g_count{0};
+std::atomic<std::int64_t> g_bytes{0};
+
+inline void note_alloc(std::size_t size) {
+  if (!g_armed.load(std::memory_order_relaxed)) return;
+  g_count.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(static_cast<std::int64_t>(size),
+                    std::memory_order_relaxed);
+}
+
+}  // namespace
+
+bool alloc_counting_enabled() {
+#ifdef TSCA_COUNT_ALLOCS
+  return true;
+#else
+  return false;
+#endif
+}
+
+AllocStats warm_alloc_stats() {
+  AllocStats s;
+  s.count = g_count.load(std::memory_order_relaxed);
+  s.bytes = g_bytes.load(std::memory_order_relaxed);
+  return s;
+}
+
+void reset_warm_alloc_stats() {
+  g_count.store(0, std::memory_order_relaxed);
+  g_bytes.store(0, std::memory_order_relaxed);
+}
+
+void arm_warm_alloc_counting() {
+  g_armed.store(true, std::memory_order_relaxed);
+}
+
+void disarm_warm_alloc_counting() {
+  g_armed.store(false, std::memory_order_relaxed);
+}
+
+void publish_warm_alloc_stats(MetricsRegistry& m) {
+  const AllocStats s = warm_alloc_stats();
+  Counter& count = m.counter("alloc.warm.count");
+  Counter& bytes = m.counter("alloc.warm.bytes");
+  count.add(s.count - count.value());
+  bytes.add(s.bytes - bytes.value());
+}
+
+}  // namespace tsca::obs
+
+#ifdef TSCA_COUNT_ALLOCS
+
+// Global allocation hooks — compiled only in the instrumented build so they
+// never fight a sanitizer's interposed allocator.  malloc/free-backed, which
+// matches the default implementation's contract; sized and aligned variants
+// route through the same two primitives so every new has a matching delete.
+
+namespace {
+
+void* counted_alloc(std::size_t size) {
+  if (size == 0) size = 1;
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  tsca::obs::note_alloc(size);
+  return p;
+}
+
+void* counted_alloc(std::size_t size, std::align_val_t align) {
+  if (size == 0) size = 1;
+  // aligned_alloc wants size to be a multiple of the alignment.
+  const std::size_t a = static_cast<std::size_t>(align);
+  const std::size_t rounded = (size + a - 1) / a * a;
+  void* p = std::aligned_alloc(a, rounded);
+  if (p == nullptr) throw std::bad_alloc();
+  tsca::obs::note_alloc(size);
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_alloc(size, align);
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_alloc(size, align);
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return counted_alloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return counted_alloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+#endif  // TSCA_COUNT_ALLOCS

@@ -1,0 +1,64 @@
+// Warm-path allocation accounting (observability layer).
+//
+// "The warm path allocates nothing" is PR 9's headline invariant, and an
+// invariant nobody measures rots.  This module makes it a number: when the
+// build carries -DTSCA_COUNT_ALLOCS=ON, alloc_count.cpp replaces the global
+// operator new/new[]/delete family with malloc-backed hooks that bump two
+// process-wide atomics — allocation count and bytes — whenever counting is
+// *armed*.  Arming is scoped by WarmPathGuard: the warm-allocation test and
+// the throughput bench arm it after the first (cold) request has populated
+// every reusable buffer, run N warm requests, and assert the delta stays at
+// the small documented constant (DESIGN.md §15 lists what may allocate).
+//
+// The API below is always present; in a build without TSCA_COUNT_ALLOCS the
+// hooks are not compiled (they would fight the sanitizers' interposed
+// allocators), alloc_counting_enabled() returns false, and every stat reads
+// zero — callers gate on enabled(), not on the preprocessor.
+//
+// The hooks themselves never allocate and never throw past the standard
+// contract: counting is two relaxed fetch_adds behind one relaxed load of
+// the armed flag, cheap enough that an instrumented build still runs the
+// full test suite.
+#pragma once
+
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+
+namespace tsca::obs {
+
+struct AllocStats {
+  std::int64_t count = 0;  // operator new calls observed while armed
+  std::int64_t bytes = 0;  // bytes those calls requested
+};
+
+// True when the build was configured with TSCA_COUNT_ALLOCS and the hook
+// translation unit is linked in.
+bool alloc_counting_enabled();
+
+// Totals accumulated while armed, since the last reset.
+AllocStats warm_alloc_stats();
+void reset_warm_alloc_stats();
+
+// Arms/disarms counting process-wide (all threads).  Prefer WarmPathGuard.
+void arm_warm_alloc_counting();
+void disarm_warm_alloc_counting();
+
+// RAII arming scope.  Construct after the cold request has warmed every
+// reusable buffer; everything allocated while the guard lives is charged to
+// the warm path.  Guards do not nest meaningfully (arming is a flag, not a
+// count) — one scope at a time.
+class WarmPathGuard {
+ public:
+  WarmPathGuard() { arm_warm_alloc_counting(); }
+  ~WarmPathGuard() { disarm_warm_alloc_counting(); }
+  WarmPathGuard(const WarmPathGuard&) = delete;
+  WarmPathGuard& operator=(const WarmPathGuard&) = delete;
+};
+
+// Mirrors the current totals into `alloc.warm.count` / `alloc.warm.bytes`
+// counters of `m` (idempotent: sets, not accumulates).  Zeros when counting
+// is disabled — the counters still exist so dashboards need no conditionals.
+void publish_warm_alloc_stats(MetricsRegistry& m);
+
+}  // namespace tsca::obs

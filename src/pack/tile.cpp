@@ -3,13 +3,18 @@
 namespace tsca::pack {
 
 TiledFm to_tiled(const nn::FeatureMapI8& fm) {
-  TiledFm tiled(fm.shape());
+  TiledFm tiled;
+  to_tiled(fm, tiled);
+  return tiled;
+}
+
+void to_tiled(const nn::FeatureMapI8& fm, TiledFm& out) {
+  out.reset(fm.shape());
   for (int c = 0; c < fm.channels(); ++c)
     for (int y = 0; y < fm.height(); ++y)
       for (int x = 0; x < fm.width(); ++x)
-        tiled.tile(c, y / kTileDim, x / kTileDim)
+        out.tile(c, y / kTileDim, x / kTileDim)
             .at(y % kTileDim, x % kTileDim) = fm.at(c, y, x);
-  return tiled;
 }
 
 nn::FeatureMapI8 from_tiled(const TiledFm& tiled) {

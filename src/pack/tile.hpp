@@ -87,6 +87,19 @@ class TiledFm {
   std::vector<Tile>& tiles() { return tiles_; }
   const std::vector<Tile>& tiles() const { return tiles_; }
 
+  // Re-shapes in place: contents equal a freshly constructed TiledFm(shape)
+  // (every tile zero), but the tile storage's capacity is reused — no
+  // allocation once the map has grown to the largest shape it has carried.
+  // This is what lets the warm serving path recycle feature maps across
+  // layers and batches instead of constructing new ones.
+  void reset(nn::FmShape shape) {
+    shape_ = shape;
+    tiles_y_ = tiles_for(shape.h);
+    tiles_x_ = tiles_for(shape.w);
+    tiles_.assign(
+        static_cast<std::size_t>(shape.c) * tiles_y_ * tiles_x_, Tile{});
+  }
+
   bool operator==(const TiledFm&) const = default;
 
  private:
@@ -98,6 +111,9 @@ class TiledFm {
 
 // Linear (CHW) ↔ tiled conversions.  to_tiled pads with zeros.
 TiledFm to_tiled(const nn::FeatureMapI8& fm);
+// Reuse form: resets `out` to fm's shape (recycling its storage) and fills
+// it.  Identical result to the returning form.
+void to_tiled(const nn::FeatureMapI8& fm, TiledFm& out);
 nn::FeatureMapI8 from_tiled(const TiledFm& tiled);
 
 // Reads the 4×4 region of `fm` whose top-left corner is (y0, x0) — the

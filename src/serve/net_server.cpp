@@ -125,10 +125,26 @@ void NetServer::enqueue(const std::shared_ptr<Connection>& conn, MsgType type,
                         std::vector<std::uint8_t> payload) {
   {
     const std::lock_guard<std::mutex> lock(conn->m);
-    conn->outbox.push_back(std::move(payload));
-    conn->outbox_types.push_back(type);
+    conn->outbox.push_back(OutFrame{type, std::move(payload)});
   }
   conn->cv.notify_one();
+}
+
+std::vector<std::uint8_t> NetServer::take_spare(Connection& conn) {
+  std::vector<std::uint8_t> buf;
+  const std::lock_guard<std::mutex> lock(conn.m);
+  if (!conn.spare.empty()) {
+    buf = std::move(conn.spare.back());
+    conn.spare.pop_back();
+  }
+  return buf;
+}
+
+void NetServer::give_spare(Connection& conn, std::vector<std::uint8_t> buf) {
+  buf.clear();
+  const std::lock_guard<std::mutex> lock(conn.m);
+  if (conn.spare.size() < kMaxSpareBuffers)
+    conn.spare.push_back(std::move(buf));
 }
 
 void NetServer::handle_frame(const std::shared_ptr<Connection>& conn,
@@ -153,13 +169,17 @@ void NetServer::handle_frame(const std::shared_ptr<Connection>& conn,
       const std::shared_ptr<Connection> c = conn;
       const std::uint64_t sid = server_.submit_with(
           std::move(req.input), opts, [c, wire_id](Response&& r) {
-            std::vector<std::uint8_t> payload = encode_response(wire_id, r);
+            // Encode into a recycled buffer (outside the lock — the writer
+            // may be draining) so a settled connection's response path
+            // reuses the same storage frame after frame.
+            std::vector<std::uint8_t> payload = take_spare(*c);
+            encode_response(wire_id, r, payload);
             {
               const std::lock_guard<std::mutex> lock(c->m);
               c->open.erase(wire_id);
               c->wire_to_server.erase(wire_id);
-              c->outbox.push_back(std::move(payload));
-              c->outbox_types.push_back(MsgType::kResponse);
+              c->outbox.push_back(OutFrame{MsgType::kResponse,
+                                           std::move(payload)});
             }
             c->cv.notify_one();
           });
@@ -204,11 +224,10 @@ void NetServer::handle_frame(const std::shared_ptr<Connection>& conn,
 
 void NetServer::reader_loop(const std::shared_ptr<Connection>& conn) {
   try {
-    for (;;) {
-      std::optional<Frame> frame = read_frame(conn->fd);
-      if (!frame) break;  // clean close
-      handle_frame(conn, *frame);
-    }
+    // One Frame for the connection's lifetime: its payload buffer grows to
+    // the largest frame seen and is recycled every iteration.
+    Frame frame;
+    while (read_frame(conn->fd, frame)) handle_frame(conn, frame);
   } catch (const ProtocolError&) {
     // Malformed traffic or a mid-frame disconnect: drop the connection.
     // Requests already admitted keep running; their responses have nowhere
@@ -223,24 +242,25 @@ void NetServer::reader_loop(const std::shared_ptr<Connection>& conn) {
 }
 
 void NetServer::writer_loop(const std::shared_ptr<Connection>& conn) {
+  // Wire-assembly scratch, reused across every frame this connection sends.
+  std::vector<std::uint8_t> wire;
+  OutFrame out;
   for (;;) {
-    std::vector<std::uint8_t> payload;
-    MsgType type;
     {
       std::unique_lock<std::mutex> lock(conn->m);
       conn->cv.wait(lock,
                     [&] { return conn->closing || !conn->outbox.empty(); });
       if (conn->outbox.empty()) break;  // closing, fully drained
-      payload = std::move(conn->outbox.front());
+      out = std::move(conn->outbox.front());
       conn->outbox.pop_front();
-      type = conn->outbox_types.front();
-      conn->outbox_types.pop_front();
     }
     try {
-      write_frame(conn->fd, type, payload);
+      write_frame(conn->fd, out.type, out.payload, wire);
     } catch (const ProtocolError&) {
       break;  // peer gone
     }
+    // The drained payload buffer goes back to the completion path's pool.
+    give_spare(*conn, std::move(out.payload));
   }
   // The connection is finished either way.  The shutdown sends the FIN the
   // peer is waiting on (reader bailed on malformed traffic) and unblocks the

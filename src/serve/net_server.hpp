@@ -89,13 +89,22 @@ class NetServer {
   std::size_t tracked_connections();
 
  private:
+  // One queued server-to-client frame (encoded payload + its type octet).
+  struct OutFrame {
+    MsgType type{};
+    std::vector<std::uint8_t> payload;
+  };
+
   struct Connection {
     int fd = -1;
     std::uint64_t client_id = 0;
     std::mutex m;
     std::condition_variable cv;
-    std::deque<std::vector<std::uint8_t>> outbox;  // whole encoded payloads
-    std::deque<MsgType> outbox_types;
+    std::deque<OutFrame> outbox;
+    // Drained payload buffers, recycled by the completion path so a settled
+    // connection encodes responses into reused storage (DESIGN.md §15).
+    // Bounded at kMaxSpareBuffers; guarded by `m` like the outbox.
+    std::vector<std::vector<std::uint8_t>> spare;
     bool closing = false;  // reader gone or stop(): writer drains and exits
     // wire_id → server id for kCancel; entries live from submit to
     // completion.  `open` guards the insert against a callback that already
@@ -109,6 +118,16 @@ class NetServer {
     std::atomic<bool> reader_done{false};
     std::atomic<bool> writer_done{false};
   };
+
+  // Cap on recycled payload buffers held per connection — enough to cover a
+  // full batch of completions landing between writer wakeups without letting
+  // a burst pin memory forever.
+  static constexpr std::size_t kMaxSpareBuffers = 16;
+
+  // Pops a recycled payload buffer (empty vector when the pool is dry).
+  static std::vector<std::uint8_t> take_spare(Connection& conn);
+  // Returns a drained buffer to the pool (dropped when the pool is full).
+  static void give_spare(Connection& conn, std::vector<std::uint8_t> buf);
 
   void accept_loop();
   void reap_finished_connections();

@@ -150,6 +150,13 @@ WireRequest decode_request(const std::vector<std::uint8_t>& payload) {
 std::vector<std::uint8_t> encode_response(std::uint64_t wire_id,
                                           const Response& response) {
   std::vector<std::uint8_t> out;
+  encode_response(wire_id, response, out);
+  return out;
+}
+
+void encode_response(std::uint64_t wire_id, const Response& response,
+                     std::vector<std::uint8_t>& out) {
+  out.clear();
   out.reserve(64 + response.logits.size() + response.final_fm.size() +
               response.error.size());
   Writer w(out);
@@ -166,7 +173,6 @@ std::vector<std::uint8_t> encode_response(std::uint64_t wire_id,
   put_fm(w, response.final_fm);
   w.u32(static_cast<std::uint32_t>(response.error.size()));
   w.bytes(response.error.data(), response.error.size());
-  return out;
 }
 
 WireResponse decode_response(const std::vector<std::uint8_t>& payload) {
@@ -271,9 +277,14 @@ void write_all(int fd, const void* buf, std::size_t n) {
 }  // namespace
 
 std::optional<Frame> read_frame(int fd) {
+  Frame frame;
+  if (!read_frame(fd, frame)) return std::nullopt;
+  return frame;
+}
+
+bool read_frame(int fd, Frame& frame) {
   std::uint8_t header[4];
-  if (!read_exact(fd, header, sizeof(header), /*eof_ok=*/true))
-    return std::nullopt;
+  if (!read_exact(fd, header, sizeof(header), /*eof_ok=*/true)) return false;
   std::uint32_t length = 0;
   for (int i = 0; i < 4; ++i) length |= std::uint32_t(header[i]) << (8 * i);
   if (length < 1) throw ProtocolError("empty frame (no type octet)");
@@ -284,26 +295,32 @@ std::optional<Frame> read_frame(int fd) {
   read_exact(fd, &type, 1, /*eof_ok=*/false);
   if (type < 1 || type > static_cast<std::uint8_t>(MsgType::kMetricsResponse))
     throw ProtocolError("unknown message type " + std::to_string(type));
-  Frame frame;
   frame.type = static_cast<MsgType>(type);
-  frame.payload.resize(length - 1);
+  frame.payload.resize(length - 1);  // shrinking keeps capacity: no realloc
   if (!frame.payload.empty())
     read_exact(fd, frame.payload.data(), frame.payload.size(),
                /*eof_ok=*/false);
-  return frame;
+  return true;
 }
 
 void write_frame(int fd, MsgType type,
                  const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> scratch;
+  write_frame(fd, type, payload, scratch);
+}
+
+void write_frame(int fd, MsgType type, const std::vector<std::uint8_t>& payload,
+                 std::vector<std::uint8_t>& scratch) {
   TSCA_CHECK(payload.size() + 1 <= kMaxFrameBytes,
              "frame too large: " << payload.size());
   const std::uint32_t length = static_cast<std::uint32_t>(payload.size() + 1);
-  std::vector<std::uint8_t> buf;
-  buf.reserve(5 + payload.size());
-  for (int i = 0; i < 4; ++i) buf.push_back(std::uint8_t(length >> (8 * i)));
-  buf.push_back(static_cast<std::uint8_t>(type));
-  buf.insert(buf.end(), payload.begin(), payload.end());
-  write_all(fd, buf.data(), buf.size());
+  scratch.clear();
+  scratch.reserve(5 + payload.size());
+  for (int i = 0; i < 4; ++i)
+    scratch.push_back(std::uint8_t(length >> (8 * i)));
+  scratch.push_back(static_cast<std::uint8_t>(type));
+  scratch.insert(scratch.end(), payload.begin(), payload.end());
+  write_all(fd, scratch.data(), scratch.size());
 }
 
 }  // namespace tsca::serve

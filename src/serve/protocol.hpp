@@ -90,6 +90,12 @@ WireRequest decode_request(const std::vector<std::uint8_t>& payload);
 
 std::vector<std::uint8_t> encode_response(std::uint64_t wire_id,
                                           const Response& response);
+// Reuse form: clears `out` and encodes into it, recycling its capacity.
+// The socket front-end's completion path pulls spare buffers from a
+// per-connection pool, so a settled connection encodes responses without
+// touching the allocator.
+void encode_response(std::uint64_t wire_id, const Response& response,
+                     std::vector<std::uint8_t>& out);
 WireResponse decode_response(const std::vector<std::uint8_t>& payload);
 
 std::vector<std::uint8_t> encode_cancel(std::uint64_t wire_id);
@@ -109,8 +115,19 @@ struct Frame {
 // unknown-type frame.
 std::optional<Frame> read_frame(int fd);
 
+// Reuse form: fills `frame` in place, recycling its payload buffer, so a
+// connection's read loop stops allocating once the buffer has grown to the
+// largest frame it has carried.  Returns false on clean EOF at a frame
+// boundary; same errors as above.
+bool read_frame(int fd, Frame& frame);
+
 // Sends one whole frame; ProtocolError on any send failure.
 void write_frame(int fd, MsgType type,
                  const std::vector<std::uint8_t>& payload);
+
+// Reuse form: assembles length/type/payload in `scratch` (capacity recycled
+// across calls) before the single send.
+void write_frame(int fd, MsgType type, const std::vector<std::uint8_t>& payload,
+                 std::vector<std::uint8_t>& scratch);
 
 }  // namespace tsca::serve

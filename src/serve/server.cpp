@@ -45,6 +45,21 @@ void Server::start(const core::ArchConfig& cfg) {
   metrics_
       ->counter(std::string("serve.simd.") + core::simd::backend_name())
       .add(core::simd::backend().width);
+  // Resolve the fixed completion-path metric handles once; the registry's
+  // find-or-create handles are stable for its lifetime, so workers record
+  // through plain pointers with no name assembly or registry lock.
+  sm_.completed = &metrics_->counter("serve.completed");
+  sm_.deadline_missed = &metrics_->counter("serve.deadline_missed");
+  sm_.late_executions = &metrics_->counter("serve.late_executions");
+  sm_.executed = &metrics_->counter("serve.executed");
+  sm_.cancelled = &metrics_->counter("serve.cancelled");
+  sm_.cancelled_by_client = &metrics_->counter("serve.cancelled_by_client");
+  sm_.exec_errors = &metrics_->counter("serve.exec_errors");
+  sm_.latency_us = &metrics_->histogram("serve.latency_us");
+  sm_.queued_us = &metrics_->histogram("serve.queued_us");
+  sm_.exec_us = &metrics_->histogram("serve.exec_us");
+  sm_.arena_bytes = &metrics_->histogram("serve.worker.arena_bytes");
+  sm_.scratch_bytes = &metrics_->histogram("serve.worker.scratch_bytes");
   // Stage the startup program's weight image into every worker context up
   // front: part of server startup, never of any request's latency.
   contexts_.reserve(static_cast<std::size_t>(options_.workers));
@@ -205,37 +220,79 @@ bool Server::cancel(std::uint64_t id) {
   return false;
 }
 
+Server::ReqMetrics& Server::class_metrics(WorkerState& state, int priority) {
+  const auto it = state.classes.find(priority);
+  if (it != state.classes.end()) return it->second;
+  const std::string cls = "serve.class" + std::to_string(priority);
+  ReqMetrics m;
+  m.completed = &metrics_->counter(cls + ".completed");
+  m.deadline_missed = &metrics_->counter(cls + ".deadline_missed");
+  m.latency_us = &metrics_->histogram(cls + ".latency_us");
+  return state.classes.emplace(priority, m).first->second;
+}
+
+Server::ReqMetrics& Server::model_metrics(WorkerState& state,
+                                          const std::string& model_id) {
+  const auto it = state.models.find(model_id);
+  if (it != state.models.end()) return it->second;
+  const std::string mdl = "serve.model." + model_id;
+  ReqMetrics m;
+  m.completed = &metrics_->counter(mdl + ".completed");
+  m.deadline_missed = &metrics_->counter(mdl + ".deadline_missed");
+  m.latency_us = &metrics_->histogram(mdl + ".latency_us");
+  return state.models.emplace(model_id, m).first->second;
+}
+
 void Server::worker_loop(int w) {
   driver::AcceleratorPool::Context& ctx =
       *contexts_[static_cast<std::size_t>(w)];
+  // One Runtime for the worker's lifetime (the heart of the zero-allocation
+  // warm path): its scratch arenas — conv planes, recycled feature maps, FC
+  // double buffers — grow to the program's largest layer once, presized
+  // below, and every subsequent batch reuses them.  The runtime adopts the
+  // residency start() staged into this worker's context.
+  driver::RuntimeOptions ropts;
+  ropts.mode = options_.mode;
+  ropts.trace = options_.trace;
+  ropts.metrics = metrics_;
+  ropts.trace_scope = "serve/worker" + std::to_string(w) + "/";
+  ropts.cancel = &cancel_;
+  driver::Runtime runtime(ctx.acc, ctx.dram, ctx.dma, ropts);
+  runtime.adopt_staged_program(ctx.staged_stamp, ctx.ddr_floor);
+  runtime.set_trace_clock(ctx.trace_clock);
+  runtime.reserve_warm_scratch(*program_, options_.batch.max_batch);
+  WorkerState state;
   for (;;) {
     std::vector<Pending> batch = scheduler_.next_batch();
     if (batch.empty()) return;  // queue closed
-    execute_batch(w, ctx, std::move(batch));
+    execute_batch(w, ctx, runtime, state, std::move(batch));
   }
 }
 
 void Server::execute_batch(int w, driver::AcceleratorPool::Context& ctx,
+                           driver::Runtime& runtime, WorkerState& state,
                            std::vector<Pending> batch) {
   const TimePoint exec_start = Clock::now();
   // Last-chance pass: a deadline can expire — and a client cancel can land —
   // between the scheduler's check and the batch reaching this worker.
+  // Compacts in place: survivors slide down over the completed slots, so the
+  // pass allocates nothing.
   const bool client_cancels =
       cancel_mark_count_.load(std::memory_order_relaxed) > 0;
   if (options_.batch.cancel_expired || client_cancels) {
     const TimePoint horizon =
         exec_start + std::chrono::microseconds(options_.batch.min_slack_us);
-    std::vector<Pending> live;
-    live.reserve(batch.size());
-    for (Pending& p : batch) {
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      Pending& p = batch[i];
       if (client_cancels && take_cancel_mark(p.request.id)) {
         Response r;
         r.id = p.request.id;
         r.status = Status::kCancelled;
         r.latency.queued_us = us_between(p.request.submitted, p.dispatched);
         r.latency.batch_us = us_between(p.dispatched, exec_start);
-        metrics_->counter("serve.cancelled").add(1);
-        metrics_->counter("serve.cancelled_by_client").add(1);
+        sm_.cancelled->add(1);
+        sm_.cancelled_by_client->add(1);
         complete(p, std::move(r));
         continue;
       }
@@ -243,9 +300,10 @@ void Server::execute_batch(int w, driver::AcceleratorPool::Context& ctx,
         complete_expired(p, exec_start, *metrics_, options_.trace, epoch_);
         continue;
       }
-      live.push_back(std::move(p));
+      if (kept != i) batch[kept] = std::move(batch[i]);
+      ++kept;
     }
-    batch = std::move(live);
+    batch.resize(kept);
     if (batch.empty()) return;
   }
 
@@ -269,18 +327,34 @@ void Server::execute_batch(int w, driver::AcceleratorPool::Context& ctx,
     if (ctx.staged_stamp != program->stamp()) {
       stage_program_in_context(ctx, *program);
       metrics_->counter("serve.model_restage").add(1);
+      // A model switch also re-sizes the warm scratch (no-op when this
+      // program is smaller than anything the runtime has already served).
+      runtime.reserve_warm_scratch(*program, options_.batch.max_batch);
     }
+    // The persistent runtime must track whichever residency the context
+    // holds before it runs this batch's program.
+    runtime.adopt_staged_program(ctx.staged_stamp, ctx.ddr_floor);
   }
 
-  // A fresh serial Runtime per attempt over this worker's private context,
-  // exactly like PoolRuntime::serve — adopted residency, worker-scoped
-  // trace tracks, the worker's simulated-cycle clock carried across batches.
-  driver::RuntimeOptions ropts;
-  ropts.mode = options_.mode;
-  ropts.trace = options_.trace;
-  ropts.metrics = metrics_;
-  ropts.trace_scope = "serve/worker" + std::to_string(w) + "/";
-  ropts.cancel = &cancel_;
+  // Whatever happens below — success, stop()-cancellation, a budget
+  // abort, a typed validation error — the context must absorb the
+  // simulated cycles the runtime burned before the throw, or the next
+  // run on this worker rewinds the clock and its trace spans overlap
+  // this batch's.
+  struct ClockGuard {
+    driver::AcceleratorPool::Context& ctx;
+    driver::Runtime& runtime;
+    ~ClockGuard() { ctx.trace_clock = runtime.trace_clock(); }
+  } clock_guard{ctx, runtime};
+
+  // Per-batch staging draws from the worker's arena: reset is O(1) and
+  // frees nothing, so once the arena has grown to the largest batch's
+  // footprint these vectors cost zero allocations.
+  state.arena.reset();
+  using FmPtrVec = std::vector<const nn::FeatureMapI8*,
+                               core::ArenaAllocator<const nn::FeatureMapI8*>>;
+  FmPtrVec inputs{core::ArenaAllocator<const nn::FeatureMapI8*>(
+      &state.arena)};
 
   driver::BatchNetworkRun result;
   for (;;) {
@@ -295,28 +369,17 @@ void Server::execute_batch(int w, driver::AcceleratorPool::Context& ctx,
       if (p.request.cycle_budget != 0)
         budget = budget == 0 ? p.request.cycle_budget
                              : std::min(budget, p.request.cycle_budget);
-    ropts.cycle_budget = budget;
-    driver::Runtime runtime(ctx.acc, ctx.dram, ctx.dma, ropts);
-    runtime.adopt_staged_program(ctx.staged_stamp, ctx.ddr_floor);
-    runtime.set_trace_clock(ctx.trace_clock);
+    runtime.set_cycle_budget(budget);
 
-    // Whatever happens below — success, stop()-cancellation, a budget
-    // abort, a typed validation error — the context must absorb the
-    // simulated cycles the runtime burned before the throw, or the next
-    // run on this worker rewinds the clock and its trace spans overlap
-    // this batch's.
-    struct ClockGuard {
-      driver::AcceleratorPool::Context& ctx;
-      driver::Runtime& runtime;
-      ~ClockGuard() { ctx.trace_clock = runtime.trace_clock(); }
-    } clock_guard{ctx, runtime};
-
-    std::vector<nn::FeatureMapI8> inputs;
+    // Request payloads are staged by pointer — never copied, never moved —
+    // into the batch-order table run_network_batch consumes.
+    inputs.clear();
     inputs.reserve(batch.size());
-    for (const Pending& p : batch) inputs.push_back(p.request.input);
+    for (const Pending& p : batch) inputs.push_back(&p.request.input);
 
     try {
-      result = runtime.run_network_batch(*program, inputs);
+      result = runtime.run_network_batch(*program, inputs.data(),
+                                         inputs.size());
       break;
     } catch (const driver::RequestCancelled&) {
       for (Pending& p : batch) {
@@ -326,35 +389,37 @@ void Server::execute_batch(int w, driver::AcceleratorPool::Context& ctx,
         r.latency.queued_us = us_between(p.request.submitted, p.dispatched);
         r.latency.batch_us = us_between(p.dispatched, exec_start);
         r.latency.exec_us = us_between(exec_start, Clock::now());
-        metrics_->counter("serve.cancelled").add(1);
+        sm_.cancelled->add(1);
         complete(p, std::move(r));
       }
       return;
     } catch (const driver::BudgetExceeded&) {
-      metrics_->counter("serve.exec_errors").add(1);
+      sm_.exec_errors->add(1);
       metrics_->counter("serve.budget_exceeded").add(1);
       const std::exception_ptr err = std::current_exception();
-      std::vector<Pending> survivors;
-      survivors.reserve(batch.size());
-      for (Pending& p : batch) {
-        if (p.request.cycle_budget != 0 && p.request.cycle_budget == budget)
+      std::size_t kept = 0;
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        Pending& p = batch[i];
+        if (p.request.cycle_budget != 0 && p.request.cycle_budget == budget) {
           complete_error(p, err);
-        else
-          survivors.push_back(std::move(p));
+          continue;
+        }
+        if (kept != i) batch[kept] = std::move(batch[i]);
+        ++kept;
       }
       // budget == 0 never throws BudgetExceeded, so some request always
       // matched above — but never risk re-running an unshrunk batch.
-      if (survivors.size() == batch.size()) {
-        for (Pending& p : survivors) complete_error(p, err);
+      if (kept == batch.size()) {
+        for (Pending& p : batch) complete_error(p, err);
         return;
       }
-      batch = std::move(survivors);
+      batch.resize(kept);
       if (batch.empty()) return;
     } catch (...) {
       // Execution failed some other way (bad input shape, ...): the error
       // belongs to the submitters — the original exception through
       // in-process futures, a kError Response on the callback path.
-      metrics_->counter("serve.exec_errors").add(1);
+      sm_.exec_errors->add(1);
       for (Pending& p : batch) complete_error(p, std::current_exception());
       return;
     }
@@ -376,25 +441,24 @@ void Server::execute_batch(int w, driver::AcceleratorPool::Context& ctx,
     r.latency.exec_us = us_between(exec_start, exec_end);
     const bool late = exec_end > p.request.deadline;
     r.status = late ? Status::kDeadlineMissed : Status::kOk;
-    const std::string cls =
-        "serve.class" + std::to_string(p.request.priority);
-    metrics_->counter(late ? "serve.deadline_missed" : "serve.completed")
-        .add(1);
-    metrics_->counter(cls + (late ? ".deadline_missed" : ".completed")).add(1);
-    if (late) metrics_->counter("serve.late_executions").add(1);
-    metrics_->counter("serve.executed").add(1);
+    // All through handles resolved at start() or cached on the class/model's
+    // first completion — the warm path assembles no metric names.
+    ReqMetrics& cls = class_metrics(state, p.request.priority);
+    (late ? sm_.deadline_missed : sm_.completed)->add(1);
+    (late ? cls.deadline_missed : cls.completed)->add(1);
+    if (late) sm_.late_executions->add(1);
+    sm_.executed->add(1);
     if (!p.request.model_id.empty()) {
       // Per-model serving metrics: registry-mode requests always carry a
       // concrete id (admission resolves empty submits to the default).
-      const std::string mdl = "serve.model." + p.request.model_id;
-      metrics_->counter(mdl + (late ? ".deadline_missed" : ".completed"))
-          .add(1);
-      metrics_->histogram(mdl + ".latency_us").observe(r.latency.total_us());
+      ReqMetrics& mdl = model_metrics(state, p.request.model_id);
+      (late ? mdl.deadline_missed : mdl.completed)->add(1);
+      mdl.latency_us->observe(r.latency.total_us());
     }
-    metrics_->histogram("serve.latency_us").observe(r.latency.total_us());
-    metrics_->histogram(cls + ".latency_us").observe(r.latency.total_us());
-    metrics_->histogram("serve.queued_us").observe(r.latency.queued_us);
-    metrics_->histogram("serve.exec_us").observe(r.latency.exec_us);
+    sm_.latency_us->observe(r.latency.total_us());
+    cls.latency_us->observe(r.latency.total_us());
+    sm_.queued_us->observe(r.latency.queued_us);
+    sm_.exec_us->observe(r.latency.exec_us);
     if (options_.trace != nullptr)
       options_.trace->track("serve/requests")
           .complete("req " + std::to_string(r.id), late ? "late" : "request",
@@ -410,6 +474,12 @@ void Server::execute_batch(int w, driver::AcceleratorPool::Context& ctx,
                   static_cast<std::uint64_t>(us_between(epoch_, exec_start)),
                   static_cast<std::uint64_t>(us_between(exec_start, exec_end)),
                   {{"batch", batch_size}});
+  // Warm-path footprint observability: the arena's high-water mark is this
+  // worker's whole per-batch staging footprint; the scratch bytes are the
+  // runtime's persistent reusable storage.
+  sm_.arena_bytes->observe(static_cast<std::int64_t>(state.arena.high_water()));
+  sm_.scratch_bytes->observe(
+      static_cast<std::int64_t>(runtime.warm_scratch_bytes()));
   // A cancel that raced with execution left its mark unconsumed; drop the
   // marks of everything this batch completed so the set stays bounded.
   if (cancel_mark_count_.load(std::memory_order_relaxed) > 0) {

@@ -37,9 +37,11 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "core/arena.hpp"
 #include "driver/accelerator_pool.hpp"
 #include "driver/program.hpp"
 #include "driver/program_registry.hpp"
@@ -130,6 +132,44 @@ class Server {
   TimePoint epoch() const { return epoch_; }
 
  private:
+  // Completion-path metric handles for one SLO class or one model, resolved
+  // once and reused so the warm path never assembles metric name strings.
+  struct ReqMetrics {
+    obs::Counter* completed = nullptr;
+    obs::Counter* deadline_missed = nullptr;
+    obs::Histogram* latency_us = nullptr;
+  };
+
+  // Per-worker serving state that persists across batches (DESIGN.md §15).
+  // The arena backs per-batch staging (the input-pointer table) and is
+  // reset between batches — O(1), no free — so its high-water mark is the
+  // worker's whole per-batch footprint.  The metric caches fill lazily on
+  // each class/model's first completion.  Touched only by the owning
+  // worker thread; the worker's Runtime lives on worker_loop's stack.
+  struct WorkerState {
+    core::Arena arena;
+    std::unordered_map<int, ReqMetrics> classes;
+    std::unordered_map<std::string, ReqMetrics> models;
+  };
+
+  // Fixed serving metrics, resolved once at start(): handles are stable for
+  // the registry's lifetime, so the per-request completion path is pure
+  // atomic adds.
+  struct ServeMetrics {
+    obs::Counter* completed = nullptr;
+    obs::Counter* deadline_missed = nullptr;
+    obs::Counter* late_executions = nullptr;
+    obs::Counter* executed = nullptr;
+    obs::Counter* cancelled = nullptr;
+    obs::Counter* cancelled_by_client = nullptr;
+    obs::Counter* exec_errors = nullptr;
+    obs::Histogram* latency_us = nullptr;
+    obs::Histogram* queued_us = nullptr;
+    obs::Histogram* exec_us = nullptr;
+    obs::Histogram* arena_bytes = nullptr;
+    obs::Histogram* scratch_bytes = nullptr;
+  };
+
   // Shared constructor tail: builds the worker contexts (program_ must be
   // set), stages the startup program into each, launches the workers.
   void start(const core::ArchConfig& cfg);
@@ -139,9 +179,13 @@ class Server {
   std::uint64_t admit(nn::FeatureMapI8 input, const SubmitOptions& opts,
                       std::function<void(Response&&)> on_complete,
                       std::future<Response>* future_out);
-  // Runs one batch on worker w's context; completes every request in it.
+  // Runs one batch on worker w's persistent runtime over its private
+  // context; completes every request in it.
   void execute_batch(int w, driver::AcceleratorPool::Context& ctx,
+                     driver::Runtime& runtime, WorkerState& state,
                      std::vector<Pending> batch);
+  ReqMetrics& class_metrics(WorkerState& state, int priority);
+  ReqMetrics& model_metrics(WorkerState& state, const std::string& model_id);
   // Consumes a pending client-cancel mark for `id`.
   bool take_cancel_mark(std::uint64_t id);
 
@@ -155,6 +199,7 @@ class Server {
   ServerOptions options_;
   obs::MetricsRegistry own_metrics_;
   obs::MetricsRegistry* metrics_;  // options_.metrics or &own_metrics_
+  ServeMetrics sm_;                // resolved against *metrics_ in start()
   TimePoint epoch_;
   RequestQueue queue_;
   BatchScheduler scheduler_;
