@@ -1,0 +1,358 @@
+// Autotuner + heterogeneous-fleet benchmark (`src/tune/` end to end).
+//
+// Runs the seeded design-space search against the validated perf/area/power
+// models, then plans and simulates a deadline-aware fleet from the frontier,
+// and gates the three contract properties the tune subsystem promises:
+//
+//   1. frontier_covers_paper — every one of the paper's four variants is
+//      weakly dominated by a Pareto-frontier point (the search never does
+//      worse than the hand-picked designs; in practice it strictly
+//      dominates all four).
+//   2. search_reproducible   — two searches with the same seed serialize to
+//      byte-identical JSON, independent of worker scheduling.
+//   3. hetero_beats_homog    — the slack-routed heterogeneous fleet beats
+//      the best homogeneous fleet under the same area/power budget on
+//      goodput at 2x and 3x offered load.
+//
+// The fleet scenario is derived from the frontier itself (deadlines and
+// rates are multiples of the fastest variant's service time), so the gate
+// self-calibrates if the models are retuned.  Everything is deterministic:
+// fixed search seed, seeded Poisson arrivals, integer-microsecond event
+// simulation.
+//
+// Writes a machine-readable summary (default BENCH_autotune.json) and exits
+// nonzero if any gate fails.
+//
+// usage: bench_autotune [--quick] [--out FILE]
+//   --quick  small search space + small study network (tier-1 smoke)
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "driver/study.hpp"
+#include "obs/metrics.hpp"
+#include "tune/autotuner.hpp"
+#include "tune/fleet.hpp"
+
+namespace {
+
+using tsca::tune::CandidateEval;
+
+struct Scenario {
+  tsca::tune::TrafficModel traffic;
+  tsca::tune::FleetBudget budget;
+};
+
+// Builds the two-class fleet scenario relative to the frontier's fastest
+// variant F (by GOPS) and runner-up G:
+//   strict — per-request work = one full network, deadline the geometric
+//            mean of F's and G's service times, so F is the only variant
+//            that can serve it no matter how the frontier is scaled (the
+//            small quick-mode network compresses the F/G gap; a fixed
+//            multiple of F's service time would not separate them).
+//            Rate: 0.225x one F instance's capacity.
+//   bulk   — a quarter of the work, deadline 70x F's service time, rate
+//            0.56x the bulk-only capacity of a budget-filling homogeneous F
+//            fleet — so 2x load overloads the homogeneous baseline while a
+//            well-mixed fleet still has headroom.
+// The budget (2.6x F's ALMs, 3.1x F's watts) fits two F instances with
+// awkward leftover space a heterogeneous mix can use and a homogeneous one
+// cannot.
+Scenario make_scenario(const std::vector<CandidateEval>& frontier,
+                       std::int64_t network_macs, bool quick) {
+  const CandidateEval* fastest = &frontier.front();
+  for (const CandidateEval& e : frontier)
+    if (e.gops > fastest->gops) fastest = &e;
+  const CandidateEval* runner_up = nullptr;
+  for (const CandidateEval& e : frontier)
+    if (e.gops < fastest->gops &&
+        (runner_up == nullptr || e.gops > runner_up->gops))
+      runner_up = &e;
+
+  tsca::tune::TrafficClass strict{"strict", 0.0, 0, network_macs};
+  tsca::tune::TrafficClass bulk{"bulk", 0.0, 0, network_macs / 4};
+  const std::int64_t tf_strict = tsca::tune::service_us(*fastest, strict);
+  const std::int64_t tf_bulk = tsca::tune::service_us(*fastest, bulk);
+  strict.deadline_us =
+      runner_up == nullptr
+          ? static_cast<std::int64_t>(1.42 * static_cast<double>(tf_strict))
+          : std::max(tf_strict,
+                     static_cast<std::int64_t>(std::sqrt(
+                         static_cast<double>(tf_strict) *
+                         static_cast<double>(tsca::tune::service_us(
+                             *runner_up, strict)))));
+  bulk.deadline_us = 70 * tf_bulk;
+
+  Scenario s;
+  s.budget.max_alms = static_cast<int>(2.6 * fastest->area_alms);
+  s.budget.max_power_w = 3.1 * fastest->power.fpga_w();
+  const int count_f =
+      std::min(s.budget.max_alms / fastest->area_alms,
+               static_cast<int>(s.budget.max_power_w / fastest->power.fpga_w()));
+  const double bulk_capacity =
+      static_cast<double>(count_f) * 1e6 / static_cast<double>(tf_bulk);
+  bulk.rate_rps = 0.56 * bulk_capacity;
+  strict.rate_rps = 0.225 * 1e6 / static_cast<double>(tf_strict);
+
+  s.traffic.classes = {strict, bulk};
+  s.traffic.window_s = quick ? 0.25 : 0.5;
+  s.traffic.seed = 42;
+  return s;
+}
+
+void write_plan_json(std::ostream& os,
+                     const std::vector<CandidateEval>& frontier,
+                     const tsca::tune::FleetPlan& plan) {
+  os << "{\"groups\": [";
+  for (std::size_t g = 0; g < plan.groups.size(); ++g) {
+    os << (g == 0 ? "" : ", ") << "{\"variant\": \""
+       << frontier[plan.groups[g].candidate].config.name
+       << "\", \"count\": " << plan.groups[g].count << "}";
+  }
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "], \"instances\": %d, \"alms\": %d, \"power_w\": %.2f, "
+                "\"planned_rps\": %.0f, \"uncovered_rps\": %.0f}",
+                plan.total_instances, plan.total_alms, plan.total_power_w,
+                plan.planned_capacity_rps, plan.uncovered_rps);
+  os << buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_autotune.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out FILE]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  using tsca::driver::StudyOptions;
+  namespace tune = tsca::tune;
+
+  StudyOptions sopts;
+  sopts.pruned = true;
+  sopts.input_extent = quick ? 32 : 64;
+  sopts.channel_divisor = quick ? 8 : 4;
+  const tsca::driver::StudyNetwork net =
+      tsca::driver::build_study_network(sopts);
+
+  tsca::obs::MetricsRegistry metrics;
+  tune::TuneOptions topts;
+  topts.space = quick ? tune::SearchSpace::quick() : tune::SearchSpace{};
+  topts.seed = 2017;
+  topts.refine_rounds = quick ? 1 : 2;
+  topts.mutations_per_point = quick ? 4 : 8;
+  topts.metrics = &metrics;
+
+  // --- search (twice: the second run feeds the reproducibility gate) ---
+  const auto t0 = std::chrono::steady_clock::now();
+  const tune::TuneResult run1 = tune::Autotuner(net, topts).run();
+  const auto search_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+  const tune::TuneResult run2 = tune::Autotuner(net, topts).run();
+
+  std::ostringstream json1, json2;
+  tune::write_result_json(json1, run1, /*include_evaluated=*/true);
+  tune::write_result_json(json2, run2, /*include_evaluated=*/true);
+  const bool gate_reproducible = json1.str() == json2.str();
+
+  std::vector<CandidateEval> frontier;
+  for (const std::size_t fi : run1.frontier)
+    frontier.push_back(run1.evaluated[fi]);
+
+  std::printf("search: %d considered, %d deduped, %d pruned, %zu evaluated, "
+              "%zu-point frontier, %lld ms%s\n",
+              run1.considered, run1.deduped, run1.pruned,
+              run1.evaluated.size(), frontier.size(),
+              static_cast<long long>(search_ms), quick ? " (quick)" : "");
+  std::ostringstream table;
+  tune::write_frontier_table(table, run1);
+  std::fputs(table.str().c_str(), stdout);
+
+  // --- paper-variant coverage ---
+  struct Coverage {
+    CandidateEval eval;
+    std::string dominated_by;
+    bool weak = false;
+    bool strict = false;
+  };
+  std::vector<Coverage> coverage;
+  bool gate_coverage = true;
+  for (const tsca::core::ArchConfig& cfg :
+       tsca::core::ArchConfig::paper_variants()) {
+    Coverage c;
+    c.eval = tune::evaluate_config(cfg, net, topts.device, topts.constraints);
+    for (const CandidateEval& f : frontier) {
+      if (!tune::weakly_dominates(f, c.eval)) continue;
+      c.weak = true;
+      c.dominated_by = f.config.name;
+      c.strict = f.gops > c.eval.gops || f.gops_per_w > c.eval.gops_per_w ||
+                 f.area_alms < c.eval.area_alms;
+      if (c.strict) break;  // prefer reporting a strict dominator
+    }
+    gate_coverage = gate_coverage && c.weak;
+    std::printf("paper %-12s %7.2f GOPS %6.2f GOPS/W %7d ALMs -> %s by %s\n",
+                c.eval.config.name.c_str(), c.eval.gops, c.eval.gops_per_w,
+                c.eval.area_alms,
+                c.weak ? (c.strict ? "strictly dominated" : "matched")
+                       : "NOT COVERED",
+                c.weak ? c.dominated_by.c_str() : "-");
+    coverage.push_back(std::move(c));
+  }
+
+  // --- fleet planning + routed simulation ---
+  const Scenario sc =
+      make_scenario(frontier, frontier.front().perf.total_macs, quick);
+  const tune::FleetPlan hetero =
+      tune::plan_fleet(frontier, sc.traffic, sc.budget, {.headroom = 2.0});
+  const tune::FleetPlan homog =
+      tune::plan_homogeneous(frontier, sc.traffic, sc.budget);
+
+  std::printf("budget: %d ALMs, %.2f W | strict %.0f rps / %lld us | "
+              "bulk %.0f rps / %lld us\n",
+              sc.budget.max_alms, sc.budget.max_power_w,
+              sc.traffic.classes[0].rate_rps,
+              static_cast<long long>(sc.traffic.classes[0].deadline_us),
+              sc.traffic.classes[1].rate_rps,
+              static_cast<long long>(sc.traffic.classes[1].deadline_us));
+  std::ostringstream plans;
+  plans << "--- heterogeneous plan ---\n";
+  tune::write_plan_table(plans, frontier, hetero);
+  plans << "--- homogeneous plan ---\n";
+  tune::write_plan_table(plans, frontier, homog);
+  std::fputs(plans.str().c_str(), stdout);
+
+  const bool plans_in_budget =
+      hetero.total_alms <= sc.budget.max_alms &&
+      hetero.total_power_w <= sc.budget.max_power_w &&
+      homog.total_alms <= sc.budget.max_alms &&
+      homog.total_power_w <= sc.budget.max_power_w &&
+      hetero.total_instances > 0 && homog.total_instances > 0;
+
+  struct LoadPoint {
+    double mult = 0.0;
+    tune::FleetReport hetero, homog, naive;
+  };
+  std::vector<LoadPoint> loads;
+  bool gate_fleet = plans_in_budget;
+  for (const double mult : {1.0, 2.0, 3.0}) {
+    LoadPoint lp;
+    lp.mult = mult;
+    lp.hetero = tune::simulate_fleet(frontier, hetero, sc.traffic, mult);
+    lp.homog = tune::simulate_fleet(frontier, homog, sc.traffic, mult);
+    lp.naive = tune::simulate_fleet(frontier, hetero, sc.traffic, mult,
+                                    {.slack_routing = false});
+    std::printf("x%.1f load: hetero %8.0f rps (shed %5d, util %.2f) | "
+                "homog %8.0f rps (shed %5d) | naive-route %8.0f rps "
+                "(late %5d)\n",
+                mult, lp.hetero.goodput_rps, lp.hetero.shed,
+                lp.hetero.utilization, lp.homog.goodput_rps, lp.homog.shed,
+                lp.naive.goodput_rps, lp.naive.late);
+    if (mult >= 2.0)
+      gate_fleet = gate_fleet && lp.hetero.goodput_rps > lp.homog.goodput_rps;
+    loads.push_back(std::move(lp));
+  }
+
+  const bool pass = gate_coverage && gate_reproducible && gate_fleet;
+  std::printf("gates: frontier_covers_paper=%s search_reproducible=%s "
+              "hetero_beats_homog=%s -> %s\n",
+              gate_coverage ? "pass" : "FAIL",
+              gate_reproducible ? "pass" : "FAIL",
+              gate_fleet ? "pass" : "FAIL", pass ? "PASS" : "FAIL");
+
+  // --- summary JSON ---
+  std::ofstream os(out_path);
+  os << "{\n  \"bench\": \"autotune\",\n  \"mode\": \""
+     << (quick ? "quick" : "full") << "\",\n  \"workload\": {\"input_extent\": "
+     << sopts.input_extent << ", \"channel_divisor\": " << sopts.channel_divisor
+     << ", \"total_macs\": " << frontier.front().perf.total_macs << "},\n";
+  os << "  \"search\": {\"seed\": " << topts.seed
+     << ", \"considered\": " << run1.considered
+     << ", \"deduped\": " << run1.deduped << ", \"pruned\": " << run1.pruned
+     << ", \"evaluated\": " << run1.evaluated.size()
+     << ", \"frontier_size\": " << run1.frontier.size()
+     << ", \"wall_ms\": " << search_ms << ", \"configs_evaluated_counter\": "
+     << metrics.counter("tune.configs_evaluated").value()
+     << ", \"configs_pruned_counter\": "
+     << metrics.counter("tune.configs_pruned").value() << "},\n";
+  os << "  \"frontier\": [\n";
+  for (std::size_t i = 0; i < frontier.size(); ++i) {
+    os << "    ";
+    tune::write_eval_json(os, frontier[i]);
+    os << (i + 1 == frontier.size() ? "\n" : ",\n");
+  }
+  os << "  ],\n  \"paper_variants\": [\n";
+  for (std::size_t i = 0; i < coverage.size(); ++i) {
+    const Coverage& c = coverage[i];
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"name\": \"%s\", \"gops\": %.3f, \"gops_per_w\": "
+                  "%.3f, \"alms\": %d, \"dominated\": %s, \"strictly\": %s, "
+                  "\"by\": \"%s\"}%s\n",
+                  c.eval.config.name.c_str(), c.eval.gops, c.eval.gops_per_w,
+                  c.eval.area_alms, c.weak ? "true" : "false",
+                  c.strict ? "true" : "false", c.dominated_by.c_str(),
+                  i + 1 == coverage.size() ? "" : ",");
+    os << buf;
+  }
+  os << "  ],\n  \"fleet\": {\n    \"budget\": {\"max_alms\": "
+     << sc.budget.max_alms << ", \"max_power_w\": ";
+  {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f", sc.budget.max_power_w);
+    os << buf;
+  }
+  os << "},\n    \"traffic\": [";
+  for (std::size_t c = 0; c < sc.traffic.classes.size(); ++c) {
+    const tune::TrafficClass& cls = sc.traffic.classes[c];
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"class\": \"%s\", \"rate_rps\": %.0f, \"deadline_us\": "
+                  "%lld, \"macs\": %lld}",
+                  c == 0 ? "" : ", ", cls.name.c_str(), cls.rate_rps,
+                  static_cast<long long>(cls.deadline_us),
+                  static_cast<long long>(cls.macs));
+    os << buf;
+  }
+  os << "],\n    \"hetero_plan\": ";
+  write_plan_json(os, frontier, hetero);
+  os << ",\n    \"homog_plan\": ";
+  write_plan_json(os, frontier, homog);
+  os << ",\n    \"loads\": [\n";
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "      {\"multiplier\": %.1f,\n",
+                  loads[i].mult);
+    os << buf << "       \"hetero\": ";
+    tune::write_fleet_report_json(os, loads[i].hetero);
+    os << ",\n       \"homog\": ";
+    tune::write_fleet_report_json(os, loads[i].homog);
+    os << ",\n       \"hetero_naive_route\": ";
+    tune::write_fleet_report_json(os, loads[i].naive);
+    os << "}" << (i + 1 == loads.size() ? "\n" : ",\n");
+  }
+  os << "    ]\n  },\n  \"gates\": {\"frontier_covers_paper\": "
+     << (gate_coverage ? "true" : "false") << ", \"search_reproducible\": "
+     << (gate_reproducible ? "true" : "false")
+     << ", \"hetero_beats_homog\": " << (gate_fleet ? "true" : "false")
+     << ", \"pass\": " << (pass ? "true" : "false") << "}\n}\n";
+  os.close();
+  std::printf("wrote %s\n", out_path.c_str());
+  return pass ? 0 : 1;
+}

@@ -5,59 +5,76 @@
 // full-size VGG-16 workload with the validated performance model, and prints
 // performance / area / power trade-offs — reproducing how the authors
 // explored 16-unopt → 512-opt, and going beyond (e.g. a hypothetical
-// 1024-MAC part on a GT1150).
+// 1024-MAC part on a GT1150).  Each design point goes through
+// tune::evaluate_config, the same evaluation the autotuner searches over
+// (src/tune/autotuner.hpp runs this sweep's logic at scale).
 //
-// Usage: ./build/examples/arch_explorer [--pruned]
+// Usage: ./build/examples/arch_explorer [--pruned] [--json]
+//   --json  machine-readable output: one JSON object per design point
 #include <cstdio>
 #include <cstring>
+#include <iostream>
+#include <string>
 
 #include "driver/study.hpp"
-#include "model/power.hpp"
+#include "tune/evaluate.hpp"
 
 using namespace tsca;
 
 namespace {
 
+bool g_json = false;
+bool g_first_row = true;
+
+void section(const char* title) {
+  if (g_json)
+    std::printf("%s  {\"section\": \"%s\", \"rows\": [\n",
+                g_first_row ? "" : "\n  ]},\n", title);
+  else
+    std::printf("--- %s ---\n", title);
+  g_first_row = true;
+}
+
 void report(const core::ArchConfig& cfg, const driver::StudyNetwork& net,
             const model::FpgaDevice& device) {
-  const driver::VariantResult perf = driver::evaluate_variant(cfg, net);
-  const model::AreaReport area = model::estimate_area(cfg);
-  const model::PowerEstimate power =
-      model::estimate_power(cfg, area, model::Activity::peak(cfg), device);
-  const bool fits = area.alm_utilization(device) <= 0.85 &&
-                    area.m20k_utilization(device) <= 1.0 &&
-                    area.dsp_utilization(device) <= 1.0;
-  std::printf("%-14s %4d @%3.0f  %7.1f %7.1f  %5.1f%% %5.1f%% %5.1f%%  "
-              "%5.2fW %6.1f  %s\n",
-              cfg.name.c_str(), cfg.macs_per_cycle(), cfg.clock_mhz,
-              perf.network_gops, perf.best_gops,
-              100 * area.alm_utilization(device),
-              100 * area.dsp_utilization(device),
-              100 * area.m20k_utilization(device), power.fpga_w(),
-              perf.network_gops / power.fpga_w(),
-              fits ? "" : "(does not fit!)");
+  const tune::CandidateEval eval = tune::evaluate_config(cfg, net, device);
+  if (g_json) {
+    if (!g_first_row) std::printf(",\n");
+    std::printf("    ");
+    tune::write_eval_json(std::cout, eval);
+    std::cout.flush();
+  } else {
+    tune::write_eval_row(std::cout, eval);
+  }
+  g_first_row = false;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bool pruned = false;
-  for (int i = 1; i < argc; ++i)
+  for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--pruned") == 0) pruned = true;
+    if (std::strcmp(argv[i], "--json") == 0) g_json = true;
+  }
 
   const driver::StudyNetwork net =
       driver::build_study_network({.pruned = pruned});
-  std::printf("VGG-16 (%s) architecture exploration\n\n", net.model_name.c_str());
-  std::printf("%-14s %4s %5s %8s %7s  %6s %6s %6s  %6s %6s\n", "variant",
-              "MACs", "MHz", "GOPS", "peak", "ALM", "DSP", "M20K", "power",
-              "GOPS/W");
+  if (g_json) {
+    std::printf("{\"model\": \"%s\", \"sections\": [\n",
+                net.model_name.c_str());
+  } else {
+    std::printf("VGG-16 (%s) architecture exploration\n\n",
+                net.model_name.c_str());
+    tune::write_eval_header(std::cout);
+  }
 
   const model::FpgaDevice sx660 = model::FpgaDevice::arria10_sx660();
-  std::printf("--- the paper's four variants (SX660) ---\n");
+  section("the paper's four variants (SX660)");
   for (const core::ArchConfig& cfg : core::ArchConfig::paper_variants())
     report(cfg, net, sx660);
 
-  std::printf("--- clock sweep on 256 MACs/cycle ---\n");
+  section("clock sweep on 256 MACs/cycle");
   for (double mhz : {55.0, 100.0, 150.0, 200.0}) {
     core::ArchConfig cfg = core::ArchConfig::k256_opt();
     cfg.name = "256@" + std::to_string(static_cast<int>(mhz));
@@ -65,7 +82,7 @@ int main(int argc, char** argv) {
     report(cfg, net, sx660);
   }
 
-  std::printf("--- weight scratchpad sweep (256-opt) ---\n");
+  section("weight scratchpad sweep (256-opt)");
   for (int words : {16, 64, 256, 1024}) {
     core::ArchConfig cfg = core::ArchConfig::k256_opt();
     cfg.name = "256 ws" + std::to_string(words);
@@ -73,8 +90,9 @@ int main(int argc, char** argv) {
     report(cfg, net, sx660);
   }
 
-  std::printf("--- scale-out on a GT1150 (paper §V: 'software changes alone "
-              "would allow us to scale out') ---\n");
+  section(
+      "scale-out on a GT1150 (paper §V: 'software changes alone would allow "
+      "us to scale out')");
   const model::FpgaDevice gt1150 = model::FpgaDevice::arria10_gt1150();
   for (int instances : {2, 3, 4}) {
     core::ArchConfig cfg = core::ArchConfig::k512_opt();
@@ -83,5 +101,6 @@ int main(int argc, char** argv) {
     cfg.bank_words = 32 * 1024 * 2 / instances;
     report(cfg, net, gt1150);
   }
+  if (g_json) std::printf("\n  ]}\n]}\n");
   return 0;
 }

@@ -34,6 +34,13 @@ run_config() {
   # must both hold.
   echo "=== ${build_dir} bench_serve_scheduler --quick ==="
   (cd "${root}/${build_dir}" && ./bench/bench_serve_scheduler --quick)
+  # Autotuner smoke: small search space + small study network; its gates
+  # (frontier weakly dominates the paper variants, seeded search is
+  # byte-reproducible, the slack-routed heterogeneous fleet beats the
+  # homogeneous equal-budget baseline at >=2x load) must all hold.
+  echo "=== ${build_dir} bench_autotune --quick ==="
+  (cd "${root}/${build_dir}" &&
+    ./bench/bench_autotune --quick --out /tmp/BENCH_autotune_quick.json)
 }
 
 # ThreadSanitizer build, restricted to the suites that exercise cross-thread
@@ -43,16 +50,18 @@ run_config() {
 # reader/writer threads against the admission queue, on ephemeral loopback
 # ports), the stripe-parallel fast path (FastStripeWorkers fans
 # conv/pool stripes out across pool workers), the multi-model
-# ProgramRegistry (concurrent acquire/evict/recompile), and the zoo nets
-# (slot-threaded batch execution).
+# ProgramRegistry (concurrent acquire/evict/recompile), the zoo nets
+# (slot-threaded batch execution), and the autotuner (parallel candidate
+# evaluation across pool workers writing generation-order slots, plus the
+# fleet planner/router it feeds).
 # (Full-suite TSan is tier 2 — too slow.)
 run_tsan() {
   build_dir=build-tsan
-  echo "=== ${build_dir} (-DTSCA_SANITIZE=thread, Pool|Program|Serve|FastStripe|Net|Registry|Zoo tests) ==="
+  echo "=== ${build_dir} (-DTSCA_SANITIZE=thread, Pool|Program|Serve|FastStripe|Net|Registry|Zoo|Tune|Fleet tests) ==="
   cmake -B "${root}/${build_dir}" -S "${root}" -DTSCA_SANITIZE=thread
   cmake --build "${root}/${build_dir}" -j "${jobs}"
   ctest --test-dir "${root}/${build_dir}" --output-on-failure -j "${jobs}" \
-    -R 'Pool|Program|Serve|FastStripe|NetProtocol|NetServe|Registry|Zoo'
+    -R 'Pool|Program|Serve|FastStripe|NetProtocol|NetServe|Registry|Zoo|Tune|Fleet'
 }
 
 # Forced-backend matrix: the equivalence suites re-run with

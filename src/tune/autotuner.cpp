@@ -1,0 +1,176 @@
+#include "tune/autotuner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <ostream>
+#include <thread>
+#include <unordered_set>
+
+#include "driver/accelerator_pool.hpp"
+
+namespace tsca::tune {
+
+namespace {
+
+int default_workers() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<int>(std::clamp(hw, 1u, 8u));
+}
+
+}  // namespace
+
+Autotuner::Autotuner(const driver::StudyNetwork& network, TuneOptions options)
+    : network_(network), options_(std::move(options)) {
+  if (options_.workers <= 0) options_.workers = default_workers();
+}
+
+bool weakly_dominates(const CandidateEval& a, const CandidateEval& b) {
+  return a.gops >= b.gops && a.gops_per_w >= b.gops_per_w &&
+         a.area_alms <= b.area_alms;
+}
+
+std::vector<std::size_t> pareto_frontier(
+    const std::vector<CandidateEval>& evals) {
+  std::vector<std::size_t> frontier;
+  for (std::size_t i = 0; i < evals.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < evals.size() && !dominated; ++j) {
+      if (j == i) continue;
+      if (!weakly_dominates(evals[j], evals[i])) continue;
+      // Strict dominance knocks i out; for objective-equal ties (distinct
+      // configs, same figures of merit) only the earliest-generated point
+      // represents the equivalence class on the frontier.
+      const bool strict = evals[j].gops > evals[i].gops ||
+                          evals[j].gops_per_w > evals[i].gops_per_w ||
+                          evals[j].area_alms < evals[i].area_alms;
+      if (strict || j < i) dominated = true;
+    }
+    if (!dominated) frontier.push_back(i);
+  }
+  std::sort(frontier.begin(), frontier.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (evals[a].area_alms != evals[b].area_alms)
+                return evals[a].area_alms < evals[b].area_alms;
+              if (evals[a].gops != evals[b].gops)
+                return evals[a].gops > evals[b].gops;
+              return a < b;
+            });
+  return frontier;
+}
+
+TuneResult Autotuner::run() {
+  obs::Counter* evaluated_ctr =
+      options_.metrics ? &options_.metrics->counter("tune.configs_evaluated")
+                       : nullptr;
+  obs::Counter* pruned_ctr =
+      options_.metrics ? &options_.metrics->counter("tune.configs_pruned")
+                       : nullptr;
+  obs::Histogram* eval_latency =
+      options_.metrics ? &options_.metrics->histogram("tune.eval_latency_us")
+                       : nullptr;
+
+  TuneResult result;
+  std::unordered_set<std::string> seen;
+
+  // The pool only supplies worker threads here — evaluation is pure model
+  // math, so the contexts' simulated accelerators and DDR stay untouched
+  // (1 MiB keeps the per-context staging allocation token-sized).
+  driver::AcceleratorPool pool(
+      core::ArchConfig::k256_opt(),
+      {.workers = options_.workers, .dram_bytes = 1u << 20});
+
+  // Admits a candidate batch: dedup on the canonical key, prune on fit,
+  // evaluate survivors in parallel, append in generation order.
+  const auto evaluate_batch = [&](std::vector<core::ArchConfig> batch) {
+    std::vector<core::ArchConfig> fresh;
+    for (core::ArchConfig& cfg : batch) {
+      ++result.considered;
+      if (!seen.insert(config_key(cfg)).second) {
+        ++result.deduped;
+        continue;
+      }
+      const FitReport fit = check_fit(cfg, options_.device,
+                                      options_.constraints);
+      if (!fit.fits) {
+        ++result.pruned;
+        if (pruned_ctr != nullptr) pruned_ctr->add(1);
+        continue;
+      }
+      fresh.push_back(std::move(cfg));
+    }
+    const std::size_t base = result.evaluated.size();
+    result.evaluated.resize(base + fresh.size());
+    pool.parallel_for(fresh.size(), [&](driver::AcceleratorPool::Context&,
+                                        std::size_t i) {
+      const auto t0 = std::chrono::steady_clock::now();
+      result.evaluated[base + i] = evaluate_config(
+          fresh[i], network_, options_.device, options_.constraints);
+      if (eval_latency != nullptr)
+        eval_latency->observe(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+      if (evaluated_ctr != nullptr) evaluated_ctr->add(1);
+    });
+  };
+
+  // Phase 1: seeds + grid.
+  std::vector<core::ArchConfig> initial;
+  if (options_.include_paper_variants)
+    for (const core::ArchConfig& cfg : core::ArchConfig::paper_variants())
+      initial.push_back(cfg);
+  for (core::ArchConfig& cfg : options_.space.grid())
+    initial.push_back(std::move(cfg));
+  evaluate_batch(std::move(initial));
+  result.frontier = pareto_frontier(result.evaluated);
+
+  // Phase 2: seeded local refinement around the frontier.  The Rng is
+  // consumed serially in frontier order, so the mutation sequence (and with
+  // it the whole search) is a function of the seed alone.
+  Rng rng(options_.seed);
+  for (int round = 0; round < options_.refine_rounds; ++round) {
+    std::vector<core::ArchConfig> mutations;
+    for (const std::size_t fi : result.frontier) {
+      const core::ArchConfig& base = result.evaluated[fi].config;
+      for (int m = 0; m < options_.mutations_per_point; ++m)
+        mutations.push_back(options_.space.mutate(base, rng));
+    }
+    evaluate_batch(std::move(mutations));
+    result.frontier = pareto_frontier(result.evaluated);
+  }
+  return result;
+}
+
+void write_frontier_table(std::ostream& os, const TuneResult& result) {
+  write_eval_header(os);
+  for (const std::size_t fi : result.frontier)
+    write_eval_row(os, result.evaluated[fi]);
+}
+
+void write_result_json(std::ostream& os, const TuneResult& result,
+                       bool include_evaluated) {
+  os << "{\n  \"considered\": " << result.considered
+     << ",\n  \"deduped\": " << result.deduped
+     << ",\n  \"pruned\": " << result.pruned
+     << ",\n  \"evaluated\": " << result.evaluated.size()
+     << ",\n  \"frontier_size\": " << result.frontier.size()
+     << ",\n  \"frontier\": [\n";
+  for (std::size_t i = 0; i < result.frontier.size(); ++i) {
+    os << "    ";
+    write_eval_json(os, result.evaluated[result.frontier[i]]);
+    os << (i + 1 == result.frontier.size() ? "\n" : ",\n");
+  }
+  os << "  ]";
+  if (include_evaluated) {
+    os << ",\n  \"candidates\": [\n";
+    for (std::size_t i = 0; i < result.evaluated.size(); ++i) {
+      os << "    ";
+      write_eval_json(os, result.evaluated[i]);
+      os << (i + 1 == result.evaluated.size() ? "\n" : ",\n");
+    }
+    os << "  ]";
+  }
+  os << "\n}\n";
+}
+
+}  // namespace tsca::tune

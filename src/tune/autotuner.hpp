@@ -1,0 +1,100 @@
+// Design-space autotuner: seeded, deterministic search over ArchConfig.
+//
+// Explores the SearchSpace against the validated perf/area/power models for
+// one workload (a driver::StudyNetwork), in two phases:
+//
+//   1. Grid: the full cartesian enumeration (plus the paper's four variants
+//      as seeds), pruned by device fit *before* evaluation — a config whose
+//      structural area already exceeds the FitConstraints never pays for a
+//      performance-model walk.
+//   2. Refinement: `refine_rounds` rounds of local mutation around the
+//      current Pareto frontier (mutations_per_point seeded moves per
+//      frontier point), re-deduped against everything seen so far.
+//
+// Candidates are evaluated in parallel across AcceleratorPool workers, but
+// results land in generation-order slots and every evaluation is a pure
+// function of its config — so the emitted frontier is bit-reproducible for
+// a fixed seed, independent of worker count or thread scheduling
+// (tests/test_tune.cpp holds it to byte-equal JSON).
+//
+// The frontier is the non-dominated set over (maximize network GOPS,
+// maximize GOPS/W, minimize ALMs).  Distinct configs with identical
+// figures of merit (e.g. bank sizes the workload never stresses) collapse
+// to the earliest-generated representative, so the frontier stays a set of
+// genuinely different trade-off points.
+//
+// Progress is observable: `tune.configs_evaluated` / `tune.configs_pruned`
+// counters and the `tune.eval_latency_us` per-candidate histogram land in
+// the supplied MetricsRegistry (and from there in the Prometheus
+// exposition).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "driver/study.hpp"
+#include "obs/metrics.hpp"
+#include "tune/evaluate.hpp"
+#include "tune/search_space.hpp"
+
+namespace tsca::tune {
+
+struct TuneOptions {
+  SearchSpace space;
+  FitConstraints constraints;
+  model::FpgaDevice device = model::FpgaDevice::arria10_sx660();
+  std::uint64_t seed = 1;
+  int refine_rounds = 2;
+  int mutations_per_point = 8;  // mutations per frontier point per round
+  int workers = 0;              // parallel evaluators; 0 = host-sized
+  bool include_paper_variants = true;
+  obs::MetricsRegistry* metrics = nullptr;  // optional progress counters
+};
+
+struct TuneResult {
+  // Every candidate that fit the device, in generation order.
+  std::vector<CandidateEval> evaluated;
+  // Indices into `evaluated` of the Pareto-optimal set, sorted by ascending
+  // area (ties: descending GOPS, then generation order).
+  std::vector<std::size_t> frontier;
+  int considered = 0;  // generated (grid + seeds + mutations, pre-dedup)
+  int deduped = 0;     // dropped as duplicates of an earlier candidate
+  int pruned = 0;      // dropped by device-fit pruning (never evaluated)
+
+  const CandidateEval& frontier_at(std::size_t i) const {
+    return evaluated[frontier[i]];
+  }
+};
+
+class Autotuner {
+ public:
+  // `network` must outlive run().
+  Autotuner(const driver::StudyNetwork& network, TuneOptions options);
+
+  TuneResult run();
+
+  const TuneOptions& options() const { return options_; }
+
+ private:
+  const driver::StudyNetwork& network_;
+  TuneOptions options_;
+};
+
+// True iff `a` weakly dominates `b`: at least as good on all three axes.
+bool weakly_dominates(const CandidateEval& a, const CandidateEval& b);
+
+// Non-dominated subset of `evals` (indices, in the result's canonical
+// order).  Exposed for tests and for re-deriving frontiers of merged sets.
+std::vector<std::size_t> pareto_frontier(
+    const std::vector<CandidateEval>& evals);
+
+// Human-readable frontier table.
+void write_frontier_table(std::ostream& os, const TuneResult& result);
+
+// Structured result: search metadata, the frontier, and (optionally) every
+// evaluated candidate.  Byte-reproducible for identical results.
+void write_result_json(std::ostream& os, const TuneResult& result,
+                       bool include_evaluated = false);
+
+}  // namespace tsca::tune

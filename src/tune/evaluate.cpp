@@ -1,0 +1,114 @@
+#include "tune/evaluate.hpp"
+
+#include <cmath>
+#include <ostream>
+
+namespace tsca::tune {
+
+namespace {
+
+// Doubles in the JSON output must serialize identically for identical
+// inputs.  %.17g round-trips any double exactly; trailing-digit noise is
+// fine because the same bits always print the same bytes.
+void json_double(std::ostream& os, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os << buf;
+}
+
+}  // namespace
+
+FitReport check_fit(const core::ArchConfig& cfg,
+                    const model::FpgaDevice& device,
+                    const FitConstraints& constraints) {
+  FitReport fit;
+  fit.area = model::estimate_area(cfg);
+  fit.alm_util = fit.area.alm_utilization(device);
+  fit.dsp_util = fit.area.dsp_utilization(device);
+  fit.m20k_util = fit.area.m20k_utilization(device);
+  fit.fits = fit.alm_util <= constraints.max_alm_utilization &&
+             fit.dsp_util <= constraints.max_dsp_utilization &&
+             fit.m20k_util <= constraints.max_m20k_utilization;
+  return fit;
+}
+
+CandidateEval evaluate_config(const core::ArchConfig& cfg,
+                              const driver::StudyNetwork& network,
+                              const model::FpgaDevice& device,
+                              const FitConstraints& constraints) {
+  CandidateEval eval;
+  eval.config = cfg;
+  eval.perf = driver::evaluate_variant(cfg, network);
+  eval.area = model::estimate_area(cfg);
+  eval.power = model::estimate_power(cfg, eval.area,
+                                     model::Activity::peak(cfg), device);
+  eval.gops = eval.perf.network_gops;
+  eval.gops_per_w = eval.power.fpga_w() > 0.0
+                        ? eval.perf.network_gops / eval.power.fpga_w()
+                        : 0.0;
+  eval.area_alms = eval.area.total_alms;
+  eval.alm_util = eval.area.alm_utilization(device);
+  eval.dsp_util = eval.area.dsp_utilization(device);
+  eval.m20k_util = eval.area.m20k_utilization(device);
+  eval.fits = eval.alm_util <= constraints.max_alm_utilization &&
+              eval.dsp_util <= constraints.max_dsp_utilization &&
+              eval.m20k_util <= constraints.max_m20k_utilization;
+  return eval;
+}
+
+void write_eval_header(std::ostream& os) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%-14s %4s %5s %8s %7s  %6s %6s %6s  %6s %7s\n", "variant",
+                "MACs", "MHz", "GOPS", "peak", "ALM", "DSP", "M20K", "power",
+                "GOPS/W");
+  os << buf;
+}
+
+void write_eval_row(std::ostream& os, const CandidateEval& eval) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%-14s %4d @%3.0f  %7.1f %7.1f  %5.1f%% %5.1f%% %5.1f%%  "
+                "%5.2fW %7.1f  %s\n",
+                eval.config.name.c_str(), eval.config.macs_per_cycle(),
+                eval.config.clock_mhz, eval.gops, eval.perf.best_gops,
+                100 * eval.alm_util, 100 * eval.dsp_util, 100 * eval.m20k_util,
+                eval.power.fpga_w(), eval.gops_per_w,
+                eval.fits ? "" : "(does not fit!)");
+  os << buf;
+}
+
+void write_eval_json(std::ostream& os, const CandidateEval& eval) {
+  const core::ArchConfig& cfg = eval.config;
+  os << "{\"name\": \"" << cfg.name << "\", \"lanes\": " << cfg.lanes
+     << ", \"group\": " << cfg.group << ", \"instances\": " << cfg.instances
+     << ", \"bank_words\": " << cfg.bank_words
+     << ", \"weight_scratch_words\": " << cfg.weight_scratch_words
+     << ", \"fifo_depth\": " << cfg.fifo_depth
+     << ", \"optimized_build\": " << (cfg.optimized_build ? "true" : "false")
+     << ", \"clock_mhz\": ";
+  json_double(os, cfg.clock_mhz);
+  os << ", \"macs_per_cycle\": " << cfg.macs_per_cycle() << ", \"gops\": ";
+  json_double(os, eval.gops);
+  os << ", \"best_gops\": ";
+  json_double(os, eval.perf.best_gops);
+  os << ", \"gops_per_w\": ";
+  json_double(os, eval.gops_per_w);
+  os << ", \"mean_efficiency\": ";
+  json_double(os, eval.perf.mean_efficiency);
+  os << ", \"area_alms\": " << eval.area_alms
+     << ", \"area_dsp\": " << eval.area.total_dsp
+     << ", \"area_m20k\": " << eval.area.total_m20k << ", \"fpga_w\": ";
+  json_double(os, eval.power.fpga_w());
+  os << ", \"board_w\": ";
+  json_double(os, eval.power.board_w);
+  os << ", \"alm_util\": ";
+  json_double(os, eval.alm_util);
+  os << ", \"dsp_util\": ";
+  json_double(os, eval.dsp_util);
+  os << ", \"m20k_util\": ";
+  json_double(os, eval.m20k_util);
+  os << ", \"fits\": " << (eval.fits ? "true" : "false") << "}";
+}
+
+}  // namespace tsca::tune

@@ -1,0 +1,86 @@
+// Candidate evaluation for design-space exploration (`src/tune/`).
+//
+// One CandidateEval bundles everything the autotuner, the fleet planner and
+// the examples need to compare architecture variants: the validated
+// performance model's whole-network numbers (driver::evaluate_variant), the
+// structural area report, the activity-based power estimate, and the derived
+// figures of merit the paper plots (GOPS, GOPS/W) plus device-fit
+// utilizations.  `evaluate_config` is the single shared entry point —
+// examples/arch_explorer.cpp and the autotuner both call it instead of
+// duplicating the perf/area/power/fit plumbing inline.
+//
+// Evaluation is a pure function of (config, network, device, constraints):
+// no clocks, no ambient state — the property the autotuner's determinism
+// contract rests on.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "driver/study.hpp"
+#include "model/area.hpp"
+#include "model/power.hpp"
+
+namespace tsca::tune {
+
+// Device-fit constraints: a candidate whose post-place utilization would
+// exceed these is pruned before (or flagged after) evaluation.  The ALM
+// ceiling is below 1.0 because real designs stop routing long before the
+// fabric is full (the paper's 512-opt "routed, with congestion" at ~90 %).
+struct FitConstraints {
+  double max_alm_utilization = 0.85;
+  double max_dsp_utilization = 1.0;
+  double max_m20k_utilization = 1.0;
+};
+
+// A fully evaluated design point.
+struct CandidateEval {
+  core::ArchConfig config;
+  driver::VariantResult perf;
+  model::AreaReport area;
+  model::PowerEstimate power;
+
+  // Derived figures of merit (the Pareto axes).
+  double gops = 0.0;         // whole-network effective GOPS (perf.network_gops)
+  double gops_per_w = 0.0;   // network GOPS per FPGA watt
+  int area_alms = 0;         // total ALMs (the area objective)
+
+  double alm_util = 0.0;
+  double dsp_util = 0.0;
+  double m20k_util = 0.0;
+  bool fits = false;
+};
+
+// Area/power/fit only — cheap (no performance model walk).  Used by the
+// autotuner to prune non-fitting candidates before paying for evaluation.
+struct FitReport {
+  model::AreaReport area;
+  double alm_util = 0.0;
+  double dsp_util = 0.0;
+  double m20k_util = 0.0;
+  bool fits = false;
+};
+
+FitReport check_fit(const core::ArchConfig& cfg, const model::FpgaDevice& device,
+                    const FitConstraints& constraints = {});
+
+// Full evaluation: performance model over `network`, area, power at peak
+// activity, derived metrics, fit flags.
+CandidateEval evaluate_config(const core::ArchConfig& cfg,
+                              const driver::StudyNetwork& network,
+                              const model::FpgaDevice& device,
+                              const FitConstraints& constraints = {});
+
+// Human-readable row (the arch_explorer table format): name, MACs/cycle,
+// clock, GOPS, peak GOPS, utilizations, power, GOPS/W, fit marker.
+void write_eval_row(std::ostream& os, const CandidateEval& eval);
+void write_eval_header(std::ostream& os);
+
+// Machine-readable row: one JSON object (no trailing newline).  Doubles are
+// printed with enough digits to be bit-faithful, so two identical
+// evaluations serialize to identical bytes (the reproducibility contract).
+void write_eval_json(std::ostream& os, const CandidateEval& eval);
+
+}  // namespace tsca::tune

@@ -1,0 +1,366 @@
+#include "tune/fleet.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <ostream>
+
+#include "serve/load_generator.hpp"
+#include "util/check.hpp"
+
+namespace tsca::tune {
+
+namespace {
+
+// Exact nearest-rank percentile over a sorted sample (0 when empty).
+std::int64_t percentile(const std::vector<std::int64_t>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  const std::size_t idx = rank == 0 ? 0 : rank - 1;
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+struct Instance {
+  std::size_t candidate = 0;
+  std::int64_t free_at = 0;
+  std::int64_t busy_us = 0;
+};
+
+std::vector<Instance> expand(const FleetPlan& plan) {
+  std::vector<Instance> instances;
+  for (const FleetGroup& g : plan.groups)
+    for (int i = 0; i < g.count; ++i)
+      instances.push_back({g.candidate, 0, 0});
+  return instances;
+}
+
+}  // namespace
+
+std::int64_t service_us(const CandidateEval& variant,
+                        const TrafficClass& cls) {
+  TSCA_CHECK(variant.gops > 0.0, "variant has no modelled throughput");
+  // gops is effective GMAC/s; macs / (gops x 1e9) seconds = macs/(gops x 1e3) us.
+  const double us =
+      static_cast<double>(cls.macs) / (variant.gops * 1e3);
+  return std::max<std::int64_t>(1, static_cast<std::int64_t>(std::llround(us)));
+}
+
+FleetPlan plan_fleet(const std::vector<CandidateEval>& variants,
+                     const TrafficModel& traffic, const FleetBudget& budget,
+                     const PlanOptions& options) {
+  TSCA_CHECK(budget.max_alms > 0 && budget.max_power_w > 0.0);
+  TSCA_CHECK(!traffic.classes.empty());
+
+  // Classes in tightest-deadline-first order: an instance's capacity goes to
+  // the hardest-to-serve demand before the bulk.
+  std::vector<std::size_t> order(traffic.classes.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (traffic.classes[a].deadline_us != traffic.classes[b].deadline_us)
+      return traffic.classes[a].deadline_us < traffic.classes[b].deadline_us;
+    return a < b;
+  });
+
+  std::vector<double> remaining;
+  for (const TrafficClass& cls : traffic.classes)
+    remaining.push_back(cls.rate_rps * options.headroom);
+
+  FleetPlan plan;
+  std::map<std::size_t, int> counts;
+  double covered_total = 0.0;
+
+  // Marginal coverage of adding one instance of `v`, written into `takes`
+  // (per-class rps) when `commit`.
+  const auto coverage = [&](const CandidateEval& v,
+                            std::vector<double>* takes) {
+    double cap_frac = 1.0;
+    double covered = 0.0;
+    for (const std::size_t c : order) {
+      const TrafficClass& cls = traffic.classes[c];
+      const std::int64_t t_us = service_us(v, cls);
+      if (t_us > cls.deadline_us) continue;  // can never make this deadline
+      const double inst_rps = cap_frac * 1e6 / static_cast<double>(t_us);
+      const double take = std::min(remaining[c], inst_rps);
+      if (take <= 0.0) continue;
+      covered += take;
+      cap_frac -= take * static_cast<double>(t_us) / 1e6;
+      if (takes != nullptr) (*takes)[c] = take;
+      if (cap_frac <= 0.0) break;
+    }
+    return covered;
+  };
+
+  // One greedy step: among affordable variants (optionally restricted to
+  // those that cover `must_cover`), add the one with the best newly covered
+  // rps per budget fraction consumed.  Returns false when no candidate
+  // helps.
+  const auto add_best = [&](std::size_t must_cover) {
+    double best_score = 0.0;
+    std::size_t best = variants.size();
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+      const CandidateEval& v = variants[i];
+      if (plan.total_alms + v.area_alms > budget.max_alms) continue;
+      if (plan.total_power_w + v.power.fpga_w() > budget.max_power_w)
+        continue;
+      if (must_cover < traffic.classes.size() &&
+          service_us(v, traffic.classes[must_cover]) >
+              traffic.classes[must_cover].deadline_us)
+        continue;
+      const double covered = coverage(v, nullptr);
+      if (covered <= 1e-9) continue;
+      const double cost_frac = std::max(
+          static_cast<double>(v.area_alms) /
+              static_cast<double>(budget.max_alms),
+          v.power.fpga_w() / budget.max_power_w);
+      const double score = covered / std::max(cost_frac, 1e-12);
+      if (score > best_score) {
+        best_score = score;
+        best = i;
+      }
+    }
+    if (best == variants.size()) return false;
+    std::vector<double> takes(traffic.classes.size(), 0.0);
+    covered_total += coverage(variants[best], &takes);
+    for (std::size_t c = 0; c < takes.size(); ++c) remaining[c] -= takes[c];
+    counts[best] += 1;
+    plan.total_instances += 1;
+    plan.total_alms += variants[best].area_alms;
+    plan.total_power_w += variants[best].power.fpga_w();
+    return true;
+  };
+
+  // Stage 1 — cover classes tightest deadline first, restricted to variants
+  // that can actually serve the class under construction.  Without this
+  // staging, the greedy would spend the whole budget on the cheapest bulk
+  // capacity and leave no room for the (larger) variants the tight class
+  // needs.
+  for (const std::size_t c : order)
+    while (remaining[c] > 1e-9)
+      if (!add_best(c)) break;
+  // Stage 2 — spend any leftover budget on whatever still covers demand.
+  while (add_best(traffic.classes.size())) {
+  }
+  for (std::size_t c = 0; c < remaining.size(); ++c)
+    plan.uncovered_rps += std::max(0.0, remaining[c]);
+
+  for (const auto& [candidate, count] : counts)
+    plan.groups.push_back({candidate, count});
+  plan.planned_capacity_rps = covered_total;
+  return plan;
+}
+
+FleetPlan plan_homogeneous(const std::vector<CandidateEval>& variants,
+                           const TrafficModel& traffic,
+                           const FleetBudget& budget) {
+  TSCA_CHECK(budget.max_alms > 0 && budget.max_power_w > 0.0);
+  TSCA_CHECK(!traffic.classes.empty());
+  double total_rate = 0.0;
+  for (const TrafficClass& cls : traffic.classes) total_rate += cls.rate_rps;
+
+  FleetPlan plan;
+  double best_capacity = 0.0;
+  std::size_t best = variants.size();
+  int best_count = 0;
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    const CandidateEval& v = variants[i];
+    // A homogeneous fleet must serve every class, tightest deadline included.
+    bool serves_all = true;
+    double mix_t_us = 0.0;  // mix-weighted service time per request
+    for (const TrafficClass& cls : traffic.classes) {
+      const std::int64_t t_us = service_us(v, cls);
+      if (t_us > cls.deadline_us) {
+        serves_all = false;
+        break;
+      }
+      mix_t_us += (cls.rate_rps / total_rate) * static_cast<double>(t_us);
+    }
+    if (!serves_all || mix_t_us <= 0.0) continue;
+    const int count = static_cast<int>(
+        std::min(static_cast<double>(budget.max_alms / v.area_alms),
+                 std::floor(budget.max_power_w / v.power.fpga_w())));
+    if (count < 1) continue;
+    const double capacity = count * 1e6 / mix_t_us;
+    if (capacity > best_capacity) {
+      best_capacity = capacity;
+      best = i;
+      best_count = count;
+    }
+  }
+  if (best != variants.size()) {
+    plan.groups.push_back({best, best_count});
+    plan.total_instances = best_count;
+    plan.total_alms = best_count * variants[best].area_alms;
+    plan.total_power_w = best_count * variants[best].power.fpga_w();
+    plan.planned_capacity_rps = best_capacity;
+  }
+  return plan;
+}
+
+FleetReport simulate_fleet(const std::vector<CandidateEval>& variants,
+                           const FleetPlan& plan, const TrafficModel& traffic,
+                           double load_multiplier,
+                           const RouterPolicy& policy) {
+  std::vector<Instance> instances = expand(plan);
+
+  struct Event {
+    std::int64_t t = 0;
+    std::size_t cls = 0;
+    int seq = 0;
+  };
+  std::vector<Event> events;
+  for (std::size_t c = 0; c < traffic.classes.size(); ++c) {
+    const TrafficClass& cls = traffic.classes[c];
+    const double rate = cls.rate_rps * load_multiplier;
+    if (rate <= 0.0) continue;
+    const int n = std::max(
+        1, static_cast<int>(std::llround(rate * traffic.window_s)));
+    const std::vector<std::int64_t> offsets =
+        serve::poisson_arrivals_us(traffic.seed + c, n, rate);
+    for (int i = 0; i < n; ++i)
+      events.push_back({offsets[static_cast<std::size_t>(i)], c, i});
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.t != b.t) return a.t < b.t;
+    if (a.cls != b.cls) return a.cls < b.cls;
+    return a.seq < b.seq;
+  });
+
+  FleetReport report;
+  std::vector<FleetClassReport> cls_reports(traffic.classes.size());
+  std::vector<std::vector<std::int64_t>> latencies(traffic.classes.size());
+  for (std::size_t c = 0; c < traffic.classes.size(); ++c)
+    cls_reports[c].name = traffic.classes[c].name;
+
+  std::int64_t wall = 0;
+  for (const Event& ev : events) {
+    const TrafficClass& cls = traffic.classes[ev.cls];
+    FleetClassReport& cr = cls_reports[ev.cls];
+    ++cr.submitted;
+    wall = std::max(wall, ev.t);
+    const std::int64_t deadline = ev.t + cls.deadline_us;
+
+    std::size_t chosen = instances.size();
+    if (policy.slack_routing) {
+      // Cheapest (lowest-power, then smallest, then first) instance whose
+      // completion — after its current backlog — still makes the deadline.
+      for (std::size_t i = 0; i < instances.size(); ++i) {
+        const CandidateEval& v = variants[instances[i].candidate];
+        const std::int64_t start = std::max(ev.t, instances[i].free_at);
+        if (start + service_us(v, cls) > deadline) continue;
+        if (chosen == instances.size()) {
+          chosen = i;
+          continue;
+        }
+        const CandidateEval& best = variants[instances[chosen].candidate];
+        if (v.power.fpga_w() < best.power.fpga_w() ||
+            (v.power.fpga_w() == best.power.fpga_w() &&
+             v.area_alms < best.area_alms))
+          chosen = i;
+      }
+      if (chosen == instances.size()) {
+        // No instance can finish in time: shed before execution, exactly as
+        // the serve scheduler's feasibility horizon does.
+        ++cr.shed;
+        continue;
+      }
+    } else {
+      // Naive baseline: earliest-free instance, no deadline awareness.
+      if (!instances.empty()) {
+        chosen = 0;
+        for (std::size_t i = 1; i < instances.size(); ++i)
+          if (instances[i].free_at < instances[chosen].free_at) chosen = i;
+      }
+      if (chosen == instances.size()) {
+        ++cr.shed;
+        continue;
+      }
+    }
+
+    Instance& inst = instances[chosen];
+    const CandidateEval& v = variants[inst.candidate];
+    const std::int64_t start = std::max(ev.t, inst.free_at);
+    const std::int64_t finish = start + service_us(v, cls);
+    inst.free_at = finish;
+    inst.busy_us += finish - start;
+    wall = std::max(wall, finish);
+    latencies[ev.cls].push_back(finish - ev.t);
+    if (finish <= deadline)
+      ++cr.ok;
+    else
+      ++cr.late;
+  }
+
+  for (std::size_t c = 0; c < cls_reports.size(); ++c) {
+    std::sort(latencies[c].begin(), latencies[c].end());
+    cls_reports[c].p50_us = percentile(latencies[c], 0.50);
+    cls_reports[c].p99_us = percentile(latencies[c], 0.99);
+    report.submitted += cls_reports[c].submitted;
+    report.ok += cls_reports[c].ok;
+    report.shed += cls_reports[c].shed;
+    report.late += cls_reports[c].late;
+  }
+  report.classes = std::move(cls_reports);
+  report.wall_us = wall;
+  report.goodput_rps =
+      wall > 0 ? static_cast<double>(report.ok) * 1e6 /
+                     static_cast<double>(wall)
+               : 0.0;
+  std::int64_t busy = 0;
+  for (const Instance& inst : instances) busy += inst.busy_us;
+  report.utilization =
+      (wall > 0 && !instances.empty())
+          ? static_cast<double>(busy) /
+                (static_cast<double>(wall) *
+                 static_cast<double>(instances.size()))
+          : 0.0;
+  return report;
+}
+
+void write_plan_table(std::ostream& os,
+                      const std::vector<CandidateEval>& variants,
+                      const FleetPlan& plan) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%-16s %5s %10s %8s %8s\n", "variant",
+                "count", "ALMs/inst", "W/inst", "GOPS");
+  os << buf;
+  for (const FleetGroup& g : plan.groups) {
+    const CandidateEval& v = variants[g.candidate];
+    std::snprintf(buf, sizeof(buf), "%-16s %5d %10d %8.2f %8.1f\n",
+                  v.config.name.c_str(), g.count, v.area_alms,
+                  v.power.fpga_w(), v.gops);
+    os << buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "total: %d instances, %d ALMs, %.2f W, planned %.0f rps\n",
+                plan.total_instances, plan.total_alms, plan.total_power_w,
+                plan.planned_capacity_rps);
+  os << buf;
+}
+
+void write_fleet_report_json(std::ostream& os, const FleetReport& report) {
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "{\"submitted\": %d, \"ok\": %d, \"shed\": %d, \"late\": %d, "
+                "\"wall_us\": %lld, \"goodput_rps\": %.2f, "
+                "\"utilization\": %.4f, \"classes\": [",
+                report.submitted, report.ok, report.shed, report.late,
+                static_cast<long long>(report.wall_us), report.goodput_rps,
+                report.utilization);
+  os << buf;
+  for (std::size_t c = 0; c < report.classes.size(); ++c) {
+    const FleetClassReport& cr = report.classes[c];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"class\": \"%s\", \"submitted\": %d, \"ok\": %d, "
+                  "\"shed\": %d, \"late\": %d, \"p50_us\": %lld, "
+                  "\"p99_us\": %lld}%s",
+                  cr.name.c_str(), cr.submitted, cr.ok, cr.shed, cr.late,
+                  static_cast<long long>(cr.p50_us),
+                  static_cast<long long>(cr.p99_us),
+                  c + 1 == report.classes.size() ? "" : ", ");
+    os << buf;
+  }
+  os << "]}";
+}
+
+}  // namespace tsca::tune

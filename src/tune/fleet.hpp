@@ -1,0 +1,133 @@
+// Heterogeneous-fleet capacity planning over a Pareto frontier.
+//
+// Turns the autotuner's frontier into a deployment decision: given a traffic
+// model (per-class arrival rates, deadlines and per-request work — the same
+// deterministic Poisson arrival streams serve::LoadGenerator uses) and an
+// area/power budget, FleetPlanner picks how many instances of which variants
+// to build, and the FleetRouter simulation plays offered load against that
+// fleet, routing each request by deadline slack to the *cheapest* (lowest
+// FPGA-power) variant instance that can still make its deadline, and
+// shedding requests no instance can finish in time — the same
+// feasibility-horizon shedding discipline the serve subsystem's
+// BatchScheduler applies (tests/test_tune.cpp cross-checks the two).
+//
+// Everything here is deterministic: arrivals are seeded, the simulation is
+// event-ordered in integer microseconds, and latency percentiles are exact
+// (computed from the sorted completion times, not histogram buckets).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "tune/evaluate.hpp"
+
+namespace tsca::tune {
+
+// One request class: an SLO bucket with its own arrival rate, deadline and
+// per-request work (dense MACs, the paper's "ops" accounting).
+struct TrafficClass {
+  std::string name;
+  double rate_rps = 0.0;
+  std::int64_t deadline_us = 0;
+  std::int64_t macs = 0;
+};
+
+struct TrafficModel {
+  std::vector<TrafficClass> classes;
+  double window_s = 1.0;   // simulated arrival window
+  std::uint64_t seed = 1;  // arrival-stream seed (per class: seed + index)
+};
+
+// Modelled service time of one class-`cls` request on `variant`,
+// microseconds (≥ 1): macs / network-GOPS.
+std::int64_t service_us(const CandidateEval& variant, const TrafficClass& cls);
+
+struct FleetBudget {
+  int max_alms = 0;          // summed across instances
+  double max_power_w = 0.0;  // summed FPGA watts across instances
+};
+
+struct FleetGroup {
+  std::size_t candidate = 0;  // index into the variant set handed to plan()
+  int count = 0;
+};
+
+struct FleetPlan {
+  std::vector<FleetGroup> groups;  // ordered by candidate index
+  int total_instances = 0;
+  int total_alms = 0;
+  double total_power_w = 0.0;
+  // Planner-side estimate of mix-weighted serving capacity (rps) — the
+  // router simulation is the ground truth, this is the planning signal.
+  double planned_capacity_rps = 0.0;
+  // Demand (x headroom) the budget could not cover (0 = fully planned).
+  double uncovered_rps = 0.0;
+};
+
+struct PlanOptions {
+  // Plan for this multiple of the offered rates (capacity headroom for
+  // overload); the greedy loop keeps adding instances until demand x
+  // headroom is covered or no affordable instance helps.
+  double headroom = 2.0;
+};
+
+// Greedy marginal-coverage planner: each step adds the instance with the
+// best (newly covered rps) / (budget fraction consumed), allocating each
+// instance's capacity to the tightest-deadline classes it can serve first.
+// Deterministic: ties break on the lower candidate index.
+FleetPlan plan_fleet(const std::vector<CandidateEval>& variants,
+                     const TrafficModel& traffic, const FleetBudget& budget,
+                     const PlanOptions& options = {});
+
+// Strongest single-variant fleet under the same budget: the variant must
+// meet every class's deadline, replicated as many times as the budget
+// allows; picks the candidate maximizing mix-weighted capacity.  The
+// baseline the heterogeneous plan is benchmarked against.
+FleetPlan plan_homogeneous(const std::vector<CandidateEval>& variants,
+                           const TrafficModel& traffic,
+                           const FleetBudget& budget);
+
+struct RouterPolicy {
+  // Route by deadline slack to the cheapest instance that can still make
+  // the deadline, shedding infeasible requests.  false = the naive
+  // baseline: earliest-free instance, no shedding (late work executes).
+  bool slack_routing = true;
+};
+
+struct FleetClassReport {
+  std::string name;
+  int submitted = 0;
+  int ok = 0;    // completed within deadline
+  int shed = 0;  // no instance could make the deadline; never executed
+  int late = 0;  // executed but finished past the deadline (naive policy)
+  std::int64_t p50_us = 0;  // exact percentiles over completed requests
+  std::int64_t p99_us = 0;
+};
+
+struct FleetReport {
+  std::vector<FleetClassReport> classes;
+  int submitted = 0;
+  int ok = 0;
+  int shed = 0;
+  int late = 0;
+  std::int64_t wall_us = 0;   // last arrival/completion
+  double goodput_rps = 0.0;   // ok / wall
+  double utilization = 0.0;   // busy time / (instances x wall)
+};
+
+// Plays `load_multiplier` x the traffic model's rates against the planned
+// fleet.  Pure function of its arguments (seeded arrivals, integer-µs event
+// simulation) — same inputs, same report, bit for bit.
+FleetReport simulate_fleet(const std::vector<CandidateEval>& variants,
+                           const FleetPlan& plan, const TrafficModel& traffic,
+                           double load_multiplier,
+                           const RouterPolicy& policy = {});
+
+void write_plan_table(std::ostream& os,
+                      const std::vector<CandidateEval>& variants,
+                      const FleetPlan& plan);
+void write_fleet_report_json(std::ostream& os, const FleetReport& report);
+
+}  // namespace tsca::tune

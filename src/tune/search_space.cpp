@@ -1,0 +1,145 @@
+#include "tune/search_space.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace tsca::tune {
+
+namespace {
+
+// Index of the choice closest to `value` (mutated configs can sit off-grid).
+template <typename T>
+std::size_t nearest_index(const std::vector<T>& choices, T value) {
+  std::size_t best = 0;
+  double best_d = -1.0;
+  for (std::size_t i = 0; i < choices.size(); ++i) {
+    const double d = std::abs(static_cast<double>(choices[i]) -
+                              static_cast<double>(value));
+    if (best_d < 0.0 || d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+template <typename T>
+T step_choice(const std::vector<T>& choices, T value, bool up) {
+  const std::size_t i = nearest_index(choices, value);
+  if (up) return choices[std::min(i + 1, choices.size() - 1)];
+  return choices[i == 0 ? 0 : i - 1];
+}
+
+}  // namespace
+
+SearchSpace SearchSpace::quick() {
+  SearchSpace s;
+  s.lanes = {1, 4};
+  s.instances = {1, 2};
+  s.bank_words = {16 * 1024, 32 * 1024, 128 * 1024};
+  s.weight_scratch_words = {64, 256};
+  s.unopt_clocks = {55.0};
+  s.opt_clocks = {120.0, 150.0};
+  return s;
+}
+
+std::vector<core::ArchConfig> SearchSpace::grid() const {
+  std::vector<core::ArchConfig> out;
+  // Flavour-major order so the paper-like corners come early in each band.
+  for (const bool optimized : {false, true}) {
+    const std::vector<double>& clocks = optimized ? opt_clocks : unopt_clocks;
+    for (const int l : lanes)
+      for (const int inst : instances)
+        for (const int bank : bank_words)
+          for (const int scratch : weight_scratch_words)
+            for (const double mhz : clocks) {
+              core::ArchConfig cfg;
+              cfg.lanes = l;
+              cfg.group = l;
+              cfg.instances = inst;
+              cfg.bank_words = bank;
+              cfg.weight_scratch_words = scratch;
+              cfg.clock_mhz = mhz;
+              cfg.optimized_build = optimized;
+              cfg.name = config_name(cfg);
+              cfg.validate();
+              out.push_back(std::move(cfg));
+            }
+  }
+  return out;
+}
+
+core::ArchConfig SearchSpace::mutate(const core::ArchConfig& base,
+                                     Rng& rng) const {
+  core::ArchConfig cfg = base;
+  const int axis = rng.next_int(0, 5);
+  const bool up = rng.next_bool();
+  switch (axis) {
+    case 0: {  // lanes (and group, paired)
+      const int l = step_choice(lanes, cfg.lanes, up);
+      cfg.lanes = l;
+      cfg.group = l;
+      break;
+    }
+    case 1:
+      cfg.instances = step_choice(instances, cfg.instances, up);
+      break;
+    case 2:
+      cfg.bank_words = up ? std::min(bank_words.back(), cfg.bank_words * 2)
+                          : std::max(bank_words.front(), cfg.bank_words / 2);
+      break;
+    case 3:
+      cfg.weight_scratch_words =
+          up ? std::min(weight_scratch_words.back(),
+                        cfg.weight_scratch_words * 2)
+             : std::max(weight_scratch_words.front(),
+                        cfg.weight_scratch_words / 2);
+      break;
+    case 4: {  // clock jitter inside the flavour band
+      cfg.clock_mhz *= up ? 1.1 : 0.9;
+      break;
+    }
+    case 5: {  // build flavour flip
+      cfg.optimized_build = !cfg.optimized_build;
+      break;
+    }
+    default:
+      break;
+  }
+  const double lo = cfg.optimized_build ? opt_clock_min : unopt_clock_min;
+  const double hi = cfg.optimized_build ? opt_clock_max : unopt_clock_max;
+  cfg.clock_mhz = std::clamp(cfg.clock_mhz, lo, hi);
+  cfg.name = config_name(cfg);
+  cfg.validate();
+  return cfg;
+}
+
+std::string config_key(const core::ArchConfig& cfg) {
+  // The clock is a double; hash-identical keys must mean bit-identical
+  // configs, so serialize its bit pattern rather than a rounded decimal.
+  std::uint64_t clock_bits = 0;
+  static_assert(sizeof(clock_bits) == sizeof(cfg.clock_mhz));
+  std::memcpy(&clock_bits, &cfg.clock_mhz, sizeof(clock_bits));
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "l%d-g%d-i%d-b%d-w%d-f%d-pb%d-sk%d-c%016llx-o%d", cfg.lanes,
+                cfg.group, cfg.instances, cfg.bank_words,
+                cfg.weight_scratch_words, cfg.fifo_depth,
+                cfg.position_barrier ? 1 : 0,
+                cfg.skip_empty_tile_groups ? 1 : 0,
+                static_cast<unsigned long long>(clock_bits),
+                cfg.optimized_build ? 1 : 0);
+  return buf;
+}
+
+std::string config_name(const core::ArchConfig& cfg) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%d@%.0f%s-b%dk-w%d", cfg.macs_per_cycle(),
+                cfg.clock_mhz, cfg.optimized_build ? "o" : "u",
+                cfg.bank_words / 1024, cfg.weight_scratch_words);
+  return buf;
+}
+
+}  // namespace tsca::tune

@@ -1,0 +1,64 @@
+// The autotuner's design space over core::ArchConfig.
+//
+// The paper explored four hand-picked variants (16-unopt … 512-opt) produced
+// by "software and constraint changes alone" (§V).  This file makes that
+// space explicit: discrete axes for the datapath shape (lanes/group pairs,
+// instances), the memory system (bank size, weight scratchpad), and the
+// build/timing knobs (optimized build, clock target), plus two generation
+// primitives the search driver composes:
+//
+//   * grid()   — the deterministic cartesian enumeration (fixed nested-loop
+//                order, so candidate i is the same config on every run);
+//   * mutate() — a seeded local move from an existing config (one axis
+//                nudged a step), for refining around the Pareto frontier.
+//
+// Clock targets are tied to the build flavour the way the paper's timing
+// closure was: unoptimized builds close at low clocks only (55–100 MHz),
+// optimized builds reach 120–200 MHz.  mutate() keeps the clock inside the
+// flavour's band.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "util/rng.hpp"
+
+namespace tsca::tune {
+
+struct SearchSpace {
+  std::vector<int> lanes = {1, 2, 4};  // lanes == group (paper pairing)
+  std::vector<int> instances = {1, 2, 4};
+  std::vector<int> bank_words = {8 * 1024, 16 * 1024, 32 * 1024, 64 * 1024,
+                                 128 * 1024};
+  std::vector<int> weight_scratch_words = {16, 64, 256, 1024};
+  // Clock bands per build flavour (MHz).
+  std::vector<double> unopt_clocks = {55.0, 100.0};
+  std::vector<double> opt_clocks = {120.0, 150.0, 200.0};
+  // Clock bounds mutate() clamps to, per flavour.
+  double unopt_clock_min = 40.0, unopt_clock_max = 110.0;
+  double opt_clock_min = 100.0, opt_clock_max = 220.0;
+
+  // A smaller space for smoke runs (--quick): the paper's axes only.
+  static SearchSpace quick();
+
+  // Full cartesian product in fixed order.  Every config validates; names
+  // are systematic ("<macs>@<clock><o|u>-b<bank>-w<scratch>").
+  std::vector<core::ArchConfig> grid() const;
+
+  // One local move from `base`: a uniformly chosen axis steps to a
+  // neighbouring value (clock jitters ±10 % inside the flavour band, sizes
+  // halve/double, lanes/instances step by one).  Deterministic in `rng`.
+  core::ArchConfig mutate(const core::ArchConfig& base, Rng& rng) const;
+};
+
+// Canonical identity of a config: every field that affects evaluation
+// (everything except `name`).  Two configs with equal keys are the same
+// design point — the search driver dedups on this.
+std::string config_key(const core::ArchConfig& cfg);
+
+// Systematic display name for a generated candidate.
+std::string config_name(const core::ArchConfig& cfg);
+
+}  // namespace tsca::tune

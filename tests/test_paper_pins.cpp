@@ -1,0 +1,115 @@
+// Paper-reference pins: lock the modelled numbers for the paper's four
+// variants so model refactors cannot silently drift the figures the repo
+// reproduces (Fig. 6 area, Table I power, Fig. 8 throughput).
+//
+// The pin workload is the small pruned study network (32x32 input, 1/8
+// channels) — big enough to exercise every layer type, small enough that
+// the whole file runs in well under a second.  Area and cycle counts are
+// integers and pinned exactly; power and GOPS are doubles and pinned to a
+// relative 1e-9 (identical math, allowing only for libm/platform noise).
+//
+// If a deliberate model change moves these numbers, re-pin them in the same
+// commit and say why in the message.
+
+#include <gtest/gtest.h>
+
+#include "core/config.hpp"
+#include "driver/study.hpp"
+#include "model/area.hpp"
+#include "model/power.hpp"
+
+namespace {
+
+using namespace tsca;
+
+struct Pin {
+  const char* name;
+  int alms;
+  int dsp;
+  int m20k;
+  double static_w;
+  double dynamic_w;
+  std::int64_t total_cycles;
+  double network_gops;
+};
+
+// Generated from the models at the time of pinning (see file comment).
+constexpr Pin kPins[] = {
+    {"16-unopt", 26190, 32, 1029, 1.2821062460267008, 0.085603600000000002,
+     194143ll, 1.365459931384845},
+    {"256-unopt", 90125, 416, 1032, 1.72666381913541, 0.219335, 17309ll,
+     13.847946547884188},
+    {"256-opt", 105799, 416, 1032, 1.8356494357914812, 0.5133588, 17309ll,
+     37.767126948775058},
+    {"512-opt", 200127, 832, 1036, 2.4915378655435472, 0.77436191999999981,
+     13561ll, 37.094722002795166},
+};
+
+const driver::StudyNetwork& pin_network() {
+  static const driver::StudyNetwork net = driver::build_study_network(
+      {.pruned = true, .input_extent = 32, .channel_divisor = 8});
+  return net;
+}
+
+const Pin& pin_for(const core::ArchConfig& cfg) {
+  for (const Pin& p : kPins)
+    if (cfg.name == p.name) return p;
+  ADD_FAILURE() << "no pin for paper variant " << cfg.name;
+  static Pin none{};
+  return none;
+}
+
+TEST(PaperPins, AreaIsExact) {
+  for (const core::ArchConfig& cfg : core::ArchConfig::paper_variants()) {
+    const Pin& pin = pin_for(cfg);
+    const model::AreaReport area = model::estimate_area(cfg);
+    EXPECT_EQ(area.total_alms, pin.alms) << cfg.name;
+    EXPECT_EQ(area.total_dsp, pin.dsp) << cfg.name;
+    EXPECT_EQ(area.total_m20k, pin.m20k) << cfg.name;
+  }
+}
+
+TEST(PaperPins, PowerMatchesToNineDigits) {
+  for (const core::ArchConfig& cfg : core::ArchConfig::paper_variants()) {
+    const Pin& pin = pin_for(cfg);
+    const model::PowerEstimate power =
+        model::estimate_power(cfg, model::estimate_area(cfg),
+                              model::Activity::peak(cfg),
+                              model::FpgaDevice::arria10_sx660());
+    EXPECT_NEAR(power.static_w, pin.static_w, 1e-9 * pin.static_w)
+        << cfg.name;
+    EXPECT_NEAR(power.dynamic_w, pin.dynamic_w, 1e-9 * pin.dynamic_w)
+        << cfg.name;
+  }
+}
+
+TEST(PaperPins, PerformanceCyclesExactGopsPinned) {
+  for (const core::ArchConfig& cfg : core::ArchConfig::paper_variants()) {
+    const Pin& pin = pin_for(cfg);
+    const driver::VariantResult perf =
+        driver::evaluate_variant(cfg, pin_network());
+    EXPECT_EQ(perf.total_cycles, pin.total_cycles) << cfg.name;
+    EXPECT_NEAR(perf.network_gops, pin.network_gops,
+                1e-9 * pin.network_gops)
+        << cfg.name;
+  }
+}
+
+// The ordering facts the paper's conclusions rest on, independent of the
+// exact pinned values: optimization buys throughput at an area premium, and
+// 512 is faster than 256 per instance but less area-efficient.
+TEST(PaperPins, VariantOrderingInvariants) {
+  const auto variants = core::ArchConfig::paper_variants();
+  ASSERT_EQ(variants.size(), 4u);
+  const Pin& p16 = pin_for(variants[0]);
+  const Pin& p256u = pin_for(variants[1]);
+  const Pin& p256o = pin_for(variants[2]);
+  const Pin& p512o = pin_for(variants[3]);
+  EXPECT_LT(p16.network_gops, p256u.network_gops);
+  EXPECT_LT(p256u.network_gops, p256o.network_gops);
+  EXPECT_GT(p256o.network_gops / p256o.alms, p512o.network_gops / p512o.alms);
+  EXPECT_LT(p256u.alms, p256o.alms);
+  EXPECT_LT(p256o.alms, p512o.alms);
+}
+
+}  // namespace

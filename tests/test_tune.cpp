@@ -1,0 +1,329 @@
+// Tests for src/tune/: the design-space autotuner (search determinism,
+// Pareto algebra, fit pruning, observability) and the heterogeneous-fleet
+// planner/router (budget discipline, class coverage, slack routing,
+// shedding semantics cross-checked against the serve scheduler).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "serve/batch_scheduler.hpp"
+#include "serve/request_queue.hpp"
+#include "tune/autotuner.hpp"
+#include "tune/evaluate.hpp"
+#include "tune/fleet.hpp"
+#include "tune/search_space.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace tsca;
+
+const driver::StudyNetwork& tiny_network() {
+  static const driver::StudyNetwork net = driver::build_study_network(
+      {.pruned = true, .input_extent = 32, .channel_divisor = 8});
+  return net;
+}
+
+tune::TuneOptions tiny_options() {
+  tune::TuneOptions opts;
+  opts.space = tune::SearchSpace::quick();
+  opts.seed = 2017;
+  opts.refine_rounds = 1;
+  opts.mutations_per_point = 4;
+  return opts;
+}
+
+// A synthetic design point for planner/router algebra tests; service time
+// for a class is macs / (gops x 1e3) us.
+tune::CandidateEval synthetic(const char* name, double gops, int alms,
+                              double watts) {
+  tune::CandidateEval e;
+  e.config.name = name;
+  e.gops = gops;
+  e.gops_per_w = gops / watts;
+  e.area_alms = alms;
+  e.power.static_w = watts;
+  e.power.dynamic_w = 0.0;
+  e.fits = true;
+  return e;
+}
+
+// --- search ------------------------------------------------------------
+
+TEST(TuneSearch, SameSeedSameBytesAcrossWorkerCounts) {
+  tune::TuneOptions a = tiny_options();
+  a.workers = 1;
+  tune::TuneOptions b = tiny_options();
+  b.workers = 4;  // parallel evaluation must not change the result
+  const tune::TuneResult ra = tune::Autotuner(tiny_network(), a).run();
+  const tune::TuneResult rb = tune::Autotuner(tiny_network(), b).run();
+  std::ostringstream ja, jb;
+  tune::write_result_json(ja, ra, /*include_evaluated=*/true);
+  tune::write_result_json(jb, rb, /*include_evaluated=*/true);
+  EXPECT_EQ(ja.str(), jb.str());
+  EXPECT_FALSE(ra.frontier.empty());
+}
+
+TEST(TuneSearch, AccountingAddsUpAndEverythingEvaluatedFits) {
+  const tune::TuneResult r =
+      tune::Autotuner(tiny_network(), tiny_options()).run();
+  EXPECT_EQ(r.considered,
+            r.deduped + r.pruned + static_cast<int>(r.evaluated.size()));
+  EXPECT_GT(r.pruned, 0);  // the quick grid contains non-fitting configs
+  EXPECT_GT(r.deduped, 0);  // paper seeds overlap the grid
+  for (const tune::CandidateEval& e : r.evaluated) EXPECT_TRUE(e.fits);
+}
+
+TEST(TuneSearch, TighterConstraintsPruneMore) {
+  tune::TuneOptions strict = tiny_options();
+  strict.constraints.max_alm_utilization = 0.25;
+  const tune::TuneResult loose =
+      tune::Autotuner(tiny_network(), tiny_options()).run();
+  const tune::TuneResult tight =
+      tune::Autotuner(tiny_network(), strict).run();
+  EXPECT_GT(tight.pruned, loose.pruned);
+  for (const tune::CandidateEval& e : tight.evaluated)
+    EXPECT_LE(e.alm_util, 0.25);
+}
+
+TEST(TuneSearch, MutationsStayInsideTheSpace) {
+  const tune::SearchSpace space;
+  Rng rng(7);
+  core::ArchConfig cfg = core::ArchConfig::k256_opt();
+  for (int i = 0; i < 200; ++i) {
+    cfg = space.mutate(cfg, rng);
+    cfg.validate();  // aborts on malformed configs
+    const double lo =
+        cfg.optimized_build ? space.opt_clock_min : space.unopt_clock_min;
+    const double hi =
+        cfg.optimized_build ? space.opt_clock_max : space.unopt_clock_max;
+    EXPECT_GE(cfg.clock_mhz, lo);
+    EXPECT_LE(cfg.clock_mhz, hi);
+  }
+}
+
+TEST(TuneSearch, ParetoFrontierDropsDominatedCollapsesTies) {
+  std::vector<tune::CandidateEval> evals;
+  evals.push_back(synthetic("good-small", 10.0, 100, 2.0));   // frontier
+  evals.push_back(synthetic("dominated", 9.0, 120, 2.25));    // worse all axes
+  evals.push_back(synthetic("good-big", 20.0, 200, 4.0));     // frontier
+  evals.push_back(synthetic("tie-of-0", 10.0, 100, 2.0));     // == index 0
+  evals.push_back(synthetic("efficient", 8.0, 100, 1.0));     // best gops/W
+  const std::vector<std::size_t> frontier = tune::pareto_frontier(evals);
+  // Sorted by ascending area; the tie collapsed to the earliest index.
+  ASSERT_EQ(frontier.size(), 3u);
+  EXPECT_EQ(frontier[0], 0u);
+  EXPECT_EQ(frontier[1], 4u);
+  EXPECT_EQ(frontier[2], 2u);
+  EXPECT_TRUE(tune::weakly_dominates(evals[0], evals[3]));
+  EXPECT_TRUE(tune::weakly_dominates(evals[3], evals[0]));
+  EXPECT_FALSE(tune::weakly_dominates(evals[0], evals[4]));
+}
+
+TEST(TuneMetrics, CountersAndLatencyHistogramExported) {
+  obs::MetricsRegistry metrics;
+  tune::TuneOptions opts = tiny_options();
+  opts.metrics = &metrics;
+  const tune::TuneResult r = tune::Autotuner(tiny_network(), opts).run();
+  EXPECT_EQ(metrics.counter("tune.configs_evaluated").value(),
+            static_cast<std::int64_t>(r.evaluated.size()));
+  EXPECT_EQ(metrics.counter("tune.configs_pruned").value(), r.pruned);
+  const std::string text = metrics.prometheus();
+  EXPECT_NE(text.find("# TYPE tsca_tune_configs_evaluated counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE tsca_tune_configs_pruned counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE tsca_tune_eval_latency_us histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("tsca_tune_eval_latency_us_count "),
+            std::string::npos);
+}
+
+// --- fleet planner -----------------------------------------------------
+
+struct PlannerScenario {
+  std::vector<tune::CandidateEval> variants;
+  tune::TrafficModel traffic;
+};
+
+// big is the only variant meeting the strict deadline; small is the better
+// rps-per-budget choice for bulk.
+PlannerScenario planner_scenario() {
+  PlannerScenario s;
+  s.variants.push_back(synthetic("big", 100.0, 200'000, 4.0));
+  s.variants.push_back(synthetic("small", 40.0, 90'000, 2.0));
+  s.traffic.classes = {
+      {"strict", 300.0, 1200, 100'000'000},  // big: 1000us, small: 2500us
+      {"bulk", 6000.0, 5000, 10'000'000},    // big: 100us, small: 250us
+  };
+  s.traffic.window_s = 0.25;
+  s.traffic.seed = 9;
+  return s;
+}
+
+TEST(FleetPlanner, CoversTightClassFirstThenFillsCheaply) {
+  const PlannerScenario s = planner_scenario();
+  const tune::FleetPlan plan = tune::plan_fleet(
+      s.variants, s.traffic, {.max_alms = 520'000, .max_power_w = 11.0});
+  // One big for the strict class (only feasible server), then smalls for
+  // the remaining bulk demand: 1x big covers 600 strict + 4000 bulk rps,
+  // two smalls cover the other 8000 bulk rps of the 2x-headroom target.
+  ASSERT_EQ(plan.groups.size(), 2u);
+  EXPECT_EQ(plan.groups[0].candidate, 0u);
+  EXPECT_EQ(plan.groups[0].count, 1);
+  EXPECT_EQ(plan.groups[1].candidate, 1u);
+  EXPECT_EQ(plan.groups[1].count, 2);
+  EXPECT_EQ(plan.total_alms, 380'000);
+  EXPECT_DOUBLE_EQ(plan.uncovered_rps, 0.0);
+  EXPECT_NEAR(plan.planned_capacity_rps, 2.0 * (300.0 + 6000.0), 1e-6);
+}
+
+TEST(FleetPlanner, RespectsBudgetAndReportsUncoveredDemand) {
+  const PlannerScenario s = planner_scenario();
+  const tune::FleetBudget budget{100'000, 11.0};  // only one small fits
+  const tune::FleetPlan plan = tune::plan_fleet(s.variants, s.traffic, budget);
+  EXPECT_LE(plan.total_alms, budget.max_alms);
+  EXPECT_LE(plan.total_power_w, budget.max_power_w);
+  EXPECT_EQ(plan.total_instances, 1);
+  EXPECT_GT(plan.uncovered_rps, 0.0);  // strict demand is unservable
+}
+
+TEST(FleetPlanner, HomogeneousMustServeEveryClass) {
+  const PlannerScenario s = planner_scenario();
+  const tune::FleetPlan plan = tune::plan_homogeneous(
+      s.variants, s.traffic, {.max_alms = 520'000, .max_power_w = 11.0});
+  // small cannot meet the strict deadline, so the homogeneous fleet is all
+  // bigs even though small wins on rps per ALM.
+  ASSERT_EQ(plan.groups.size(), 1u);
+  EXPECT_EQ(plan.groups[0].candidate, 0u);
+  EXPECT_EQ(plan.groups[0].count, 2);  // min(alms: 2, power: 2)
+  for (const tune::TrafficClass& cls : s.traffic.classes)
+    EXPECT_LE(tune::service_us(s.variants[0], cls), cls.deadline_us);
+}
+
+// --- fleet router ------------------------------------------------------
+
+TEST(FleetRouter, SlackRoutingPicksFeasibleOverCheap) {
+  // cheap cannot make the deadline even when idle; fast can.  The slack
+  // router must send everything to fast (no late completions by
+  // construction); the naive earliest-free router spreads over both and
+  // produces late work.
+  std::vector<tune::CandidateEval> variants;
+  variants.push_back(synthetic("cheap", 10.0, 50'000, 1.0));  // 1000us
+  variants.push_back(synthetic("fast", 100.0, 200'000, 4.0));  // 100us
+  tune::FleetPlan plan;
+  plan.groups = {{0, 1}, {1, 1}};
+  plan.total_instances = 2;
+  tune::TrafficModel traffic;
+  traffic.classes = {{"only", 2000.0, 400, 10'000'000}};
+  traffic.window_s = 0.25;
+  traffic.seed = 11;
+
+  const tune::FleetReport routed =
+      tune::simulate_fleet(variants, plan, traffic, 1.0);
+  EXPECT_EQ(routed.late, 0);  // slack routing never executes late work
+  EXPECT_GT(routed.ok, 0);
+  EXPECT_EQ(routed.ok + routed.shed, routed.submitted);
+  // 2000 rps x 100us fits comfortably on the fast instance alone; the
+  // cheap instance (infeasible for this deadline) must stay idle, so
+  // utilization is at most half.
+  EXPECT_LE(routed.utilization, 0.5);
+
+  const tune::FleetReport naive = tune::simulate_fleet(
+      variants, plan, traffic, 1.0, {.slack_routing = false});
+  EXPECT_EQ(naive.shed, 0);  // the naive router never sheds...
+  EXPECT_GT(naive.late, 0);  // ...it burns capacity on late work instead
+  EXPECT_GT(routed.ok, naive.ok);
+}
+
+TEST(FleetRouter, ShedsWhenNoInstanceCanMakeTheDeadline) {
+  std::vector<tune::CandidateEval> variants;
+  variants.push_back(synthetic("slow", 10.0, 50'000, 1.0));  // 1000us
+  tune::FleetPlan plan;
+  plan.groups = {{0, 1}};
+  plan.total_instances = 1;
+  tune::TrafficModel traffic;
+  traffic.classes = {{"hopeless", 100.0, 500, 10'000'000}};  // 500 < 1000
+  traffic.window_s = 0.25;
+  traffic.seed = 12;
+  const tune::FleetReport report =
+      tune::simulate_fleet(variants, plan, traffic, 1.0);
+  EXPECT_EQ(report.ok, 0);
+  EXPECT_EQ(report.late, 0);
+  EXPECT_EQ(report.shed, report.submitted);
+  EXPECT_DOUBLE_EQ(report.utilization, 0.0);  // shed before execution
+}
+
+TEST(FleetRouter, DeterministicAcrossRepeatRuns) {
+  const PlannerScenario s = planner_scenario();
+  const tune::FleetPlan plan = tune::plan_fleet(
+      s.variants, s.traffic, {.max_alms = 520'000, .max_power_w = 11.0});
+  const tune::FleetReport a =
+      tune::simulate_fleet(s.variants, plan, s.traffic, 2.0);
+  const tune::FleetReport b =
+      tune::simulate_fleet(s.variants, plan, s.traffic, 2.0);
+  std::ostringstream ja, jb;
+  tune::write_fleet_report_json(ja, a);
+  tune::write_fleet_report_json(jb, b);
+  EXPECT_EQ(ja.str(), jb.str());
+}
+
+// The router's shed rule is the serve scheduler's feasibility horizon: a
+// request whose deadline cannot be met once service time is paid is
+// completed as missed *before* execution.  Drive serve's real machinery
+// with the same three situations the router faces (already expired, too
+// little slack, comfortably feasible) and check both sides agree.
+TEST(FleetRouter, ShedSemanticsMatchServeBatchScheduler) {
+  serve::RequestQueue queue(8, /*fair_share=*/false);
+  obs::MetricsRegistry metrics;
+  serve::BatchPolicy policy;
+  policy.max_batch = 4;
+  policy.max_queue_delay_us = 0;
+  policy.cancel_expired = true;
+  policy.min_slack_us = 2000;  // the variant's service time
+  serve::BatchScheduler scheduler(queue, policy, metrics);
+
+  const serve::TimePoint now = serve::Clock::now();
+  const auto push = [&](std::uint64_t id, serve::TimePoint deadline) {
+    serve::Pending p;
+    p.request.id = id;
+    p.request.deadline = deadline;
+    p.request.submitted = now;
+    std::future<serve::Response> f = p.promise.get_future();
+    EXPECT_EQ(queue.push(std::move(p)), serve::Admit::kAdmitted);
+    return f;
+  };
+  auto expired = push(1, now - std::chrono::milliseconds(1));
+  auto infeasible = push(2, now + std::chrono::microseconds(500));
+  auto feasible = push(3, now + std::chrono::hours(1));
+
+  std::vector<serve::Pending> batch = scheduler.next_batch();
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].request.id, 3u);
+  EXPECT_EQ(expired.get().status, serve::Status::kDeadlineMissed);
+  EXPECT_EQ(infeasible.get().status, serve::Status::kDeadlineMissed);
+  serve::complete(batch[0], serve::Response{});
+  (void)feasible;
+
+  // The router, given the same slack arithmetic (deadline shorter than
+  // service time), makes the identical call: shed pre-execution.
+  std::vector<tune::CandidateEval> variants;
+  variants.push_back(synthetic("v", 10.0, 50'000, 1.0));  // 2000us service
+  tune::FleetPlan plan;
+  plan.groups = {{0, 1}};
+  plan.total_instances = 1;
+  tune::TrafficModel traffic;
+  traffic.classes = {{"tight", 50.0, 500, 20'000'000}};  // 500us < 2000us
+  traffic.window_s = 0.1;
+  traffic.seed = 13;
+  const tune::FleetReport report =
+      tune::simulate_fleet(variants, plan, traffic, 1.0);
+  EXPECT_EQ(report.shed, report.submitted);
+  EXPECT_EQ(report.late, 0);
+}
+
+}  // namespace
